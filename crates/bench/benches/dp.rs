@@ -1,0 +1,24 @@
+//! Criterion bench: the Selinger DP baseline. Illustrates the 2^n wall the
+//! paper describes — every +4 tables multiplies the work by 16.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use milpjoin_dp::{optimize, DpOptions};
+use milpjoin_workloads::{Topology, WorkloadSpec};
+use std::hint::black_box;
+
+fn bench_dp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dp");
+    g.sample_size(10);
+    for n in [8usize, 12, 16, 20] {
+        let (catalog, query) = WorkloadSpec::new(Topology::Chain, n).generate(1);
+        g.bench_with_input(BenchmarkId::new("chain", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(optimize(&catalog, &query, &DpOptions::default()).unwrap().cost)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dp);
+criterion_main!(benches);

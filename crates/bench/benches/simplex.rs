@@ -1,0 +1,30 @@
+//! Criterion bench: LP relaxation solve time of the join-ordering MILP
+//! (root relaxation — the unit of work branch-and-bound repeats).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use milpjoin::{encode, EncoderConfig, Precision};
+use milpjoin_milp::lp::LpProblem;
+use milpjoin_milp::simplex::{Simplex, SimplexLimits};
+use milpjoin_workloads::{Topology, WorkloadSpec};
+use std::hint::black_box;
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lp_relaxation");
+    g.sample_size(10);
+    for n in [6usize, 8, 10] {
+        let (catalog, query) = WorkloadSpec::new(Topology::Star, n).generate(1);
+        let config = EncoderConfig::default().precision(Precision::Low);
+        let enc = encode(&catalog, &query, &config).unwrap();
+        let lp = LpProblem::from_model(&enc.model);
+        g.bench_with_input(BenchmarkId::new("star-low", n), &n, |b, _| {
+            b.iter(|| {
+                let mut sx = Simplex::new(&lp);
+                black_box(sx.solve(&SimplexLimits::default()).status)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simplex);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! # milpjoin-bench — experiment harness
+//!
+//! Reproduces every figure and table of the paper's evaluation:
+//!
+//! * `fig1` — median number of MILP variables and constraints per query
+//!   size and precision (paper Figure 1).
+//! * `fig2` — anytime comparison of DP vs. the MILP optimizer at three
+//!   precision configurations: guaranteed optimality factor (Cost/LB) over
+//!   optimization time (paper Figure 2).
+//! * `tables` — the variable/constraint inventory of the formulation
+//!   (paper Tables 1–2).
+//!
+//! Criterion microbenches cover encoding, LP solving, DP, end-to-end
+//! optimization, and the formulation ablations discussed in §4.
+
+use std::time::Duration;
+
+use milpjoin::Precision;
+use milpjoin_workloads::Topology;
+
+/// Shared CLI argument parsing for the experiment binaries (hand-rolled:
+/// no CLI dependency is available offline).
+#[derive(Debug, Clone)]
+pub struct ExperimentArgs {
+    /// Use the paper's full grid (n up to 60, 60 s timeout).
+    pub full: bool,
+    /// Per-(query, optimizer) timeout.
+    pub timeout: Duration,
+    /// Queries per configuration point.
+    pub queries: usize,
+    /// Random seed base.
+    pub seed: u64,
+}
+
+impl Default for ExperimentArgs {
+    fn default() -> Self {
+        ExperimentArgs { full: false, timeout: Duration::from_secs(5), queries: 3, seed: 42 }
+    }
+}
+
+impl ExperimentArgs {
+    /// Parses `--full`, `--timeout <secs>`, `--queries <k>`, `--seed <s>`.
+    pub fn parse(args: impl Iterator<Item = String>) -> Self {
+        let mut out = ExperimentArgs::default();
+        let mut args = args.peekable();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--full" => out.full = true,
+                "--timeout" => {
+                    if let Some(v) = args.next().and_then(|s| s.parse::<f64>().ok()) {
+                        out.timeout = Duration::from_secs_f64(v);
+                    }
+                }
+                "--queries" => {
+                    if let Some(v) = args.next().and_then(|s| s.parse().ok()) {
+                        out.queries = v;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = args.next().and_then(|s| s.parse().ok()) {
+                        out.seed = v;
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Query sizes for the anytime experiment.
+    pub fn fig2_sizes(&self) -> Vec<usize> {
+        if self.full {
+            vec![10, 20, 30, 40, 50, 60]
+        } else {
+            vec![4, 6, 8, 10]
+        }
+    }
+
+    /// Query sizes for the formulation-size experiment (cheap: no solving).
+    pub fn fig1_sizes(&self) -> Vec<usize> {
+        vec![10, 20, 30, 40, 50, 60]
+    }
+}
+
+/// The three precision configurations of §7.1.
+pub const PRECISIONS: [Precision; 3] = [Precision::High, Precision::Medium, Precision::Low];
+
+/// The paper's three join-graph topologies.
+pub const TOPOLOGIES: [Topology; 3] = Topology::PAPER;
+
+/// Median of a small unsorted sample.
+pub fn median(values: &mut [f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    values.sort_by(f64::total_cmp);
+    let mid = values.len() / 2;
+    if values.len() % 2 == 1 {
+        values[mid]
+    } else {
+        0.5 * (values[mid - 1] + values[mid])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_args() {
+        let a = ExperimentArgs::parse(
+            ["--full", "--timeout", "2.5", "--queries", "7", "--seed", "9"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert!(a.full);
+        assert_eq!(a.timeout, Duration::from_secs_f64(2.5));
+        assert_eq!(a.queries, 7);
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.fig2_sizes(), vec![10, 20, 30, 40, 50, 60]);
+    }
+
+    #[test]
+    fn median_works() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert!(median(&mut []).is_nan());
+    }
+}

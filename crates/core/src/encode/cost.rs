@@ -1,0 +1,340 @@
+//! §4.3 + §5.3 + §5.4 — cost encodings and objective construction.
+//!
+//! Page counts of inner operands are exact per-table constants; page counts
+//! of outer operands derive from the approximate cardinality `co[j]` (ratio
+//! mode) or from the threshold flags directly (threshold mode). The
+//! log-linear sort-merge term `P·⌈log2 P⌉` is encoded through the same
+//! threshold grid, exactly as §4.3 describes. Block-nested-loop cost uses
+//! the paper's second formulation: `Σ_t pages(t) · (blocks_j · tii[t][j])`
+//! with one binary×continuous linearization per (join, table).
+//!
+//! With operator selection (§5.3), every join gets `jos`/`pjc`/`ajc`
+//! variables; with interesting orders (§5.4) a sorted-output property gates
+//! a cheaper sort-merge variant that skips sorting its outer input.
+
+use milpjoin_milp::{LinExpr, Sense, Var};
+use milpjoin_qopt::CostModelKind;
+
+use crate::config::PageMode;
+use crate::stats::{ConstrCategory, VarCategory};
+
+use super::{Ctx, PhysOp};
+
+/// Pages for a cardinality level (0 cardinality = 0 pages).
+fn pages_of(ctx: &Ctx<'_>, card: f64) -> f64 {
+    if card <= 0.0 {
+        0.0
+    } else {
+        let p = &ctx.config.cost_params;
+        (card * p.tuple_bytes / p.page_bytes).ceil().max(1.0)
+    }
+}
+
+/// `P * ceil(log2 P)` for a page count.
+fn plp_of(pages: f64) -> f64 {
+    if pages <= 0.0 {
+        0.0
+    } else {
+        pages * pages.log2().ceil().max(0.0)
+    }
+}
+
+/// Approximate outer-operand page expression for join `j`.
+fn pgo_expr(ctx: &mut Ctx<'_>, j: usize) -> LinExpr {
+    match ctx.config.page_mode {
+        PageMode::Ratio => {
+            let p = &ctx.config.cost_params;
+            ctx.vars.co[j] * (p.tuple_bytes / p.page_bytes)
+        }
+        PageMode::Threshold => {
+            // Telescoped level differences over the threshold flags.
+            let mut expr = LinExpr::constant(pages_of(ctx, ctx.grid.level_value(None)));
+            let mut prev = pages_of(ctx, ctx.grid.level_value(None));
+            for r in 0..ctx.grid.len() {
+                let cur = pages_of(ctx, ctx.grid.level_value(Some(r)));
+                expr += ctx.vars.cto[j][r] * (cur - prev);
+                prev = cur;
+            }
+            expr
+        }
+    }
+}
+
+/// Upper bound on the outer-operand page count.
+fn pgo_upper(ctx: &Ctx<'_>) -> f64 {
+    let top = ctx.grid.level_value(Some(ctx.grid.len().saturating_sub(1)));
+    pages_of(ctx, top).max(1.0)
+}
+
+/// Exact inner-operand page expression for join `j`.
+fn pgi_expr(ctx: &Ctx<'_>, j: usize) -> LinExpr {
+    let mut expr = LinExpr::new();
+    for t in 0..ctx.n {
+        expr += ctx.vars.tii[j][t] * pages_of(ctx, ctx.card[t]);
+    }
+    expr
+}
+
+fn pgi_upper(ctx: &Ctx<'_>) -> f64 {
+    (0..ctx.n).map(|t| pages_of(ctx, ctx.card[t])).fold(1.0, f64::max)
+}
+
+/// Outer `P·⌈log2 P⌉` expression via threshold levels.
+fn plpo_expr(ctx: &Ctx<'_>, j: usize) -> LinExpr {
+    let mut expr = LinExpr::constant(plp_of(pages_of(ctx, ctx.grid.level_value(None))));
+    let mut prev = plp_of(pages_of(ctx, ctx.grid.level_value(None)));
+    for r in 0..ctx.grid.len() {
+        let cur = plp_of(pages_of(ctx, ctx.grid.level_value(Some(r))));
+        expr += ctx.vars.cto[j][r] * (cur - prev);
+        prev = cur;
+    }
+    expr
+}
+
+/// Exact inner `P·⌈log2 P⌉` expression.
+fn plpi_expr(ctx: &Ctx<'_>, j: usize) -> LinExpr {
+    let mut expr = LinExpr::new();
+    for t in 0..ctx.n {
+        expr += ctx.vars.tii[j][t] * plp_of(pages_of(ctx, ctx.card[t]));
+    }
+    expr
+}
+
+/// Builds (cost expression, upper bound) of executing join `j` with `op`.
+/// `bnl_blocks` caches the per-join linearized block products.
+fn op_cost(ctx: &mut Ctx<'_>, j: usize, op: PhysOp) -> (LinExpr, f64) {
+    let params = ctx.config.cost_params;
+    let po_up = pgo_upper(ctx);
+    let pi_up = pgi_upper(ctx);
+    match op {
+        PhysOp::Hash => {
+            let expr = (pgo_expr(ctx, j) + pgi_expr(ctx, j)) * 3.0;
+            (expr, 3.0 * (po_up + pi_up))
+        }
+        PhysOp::SortMerge => {
+            let expr = plpo_expr(ctx, j) * 2.0
+                + plpi_expr(ctx, j) * 2.0
+                + pgo_expr(ctx, j)
+                + pgi_expr(ctx, j);
+            (expr, 2.0 * plp_of(po_up) + 2.0 * plp_of(pi_up) + po_up + pi_up)
+        }
+        PhysOp::SortMergeReuseOuter => {
+            // Outer already sorted: skip its sort phase.
+            let expr = plpi_expr(ctx, j) * 2.0 + pgo_expr(ctx, j) + pgi_expr(ctx, j);
+            (expr, 2.0 * plp_of(pi_up) + po_up + pi_up)
+        }
+        PhysOp::BlockNestedLoop => {
+            // cost = Σ_t pages(t) · (blocks_j · tii[t][j]).
+            let blocks_upper = (po_up / params.buffer_pages).ceil().max(1.0);
+            let blocks = pgo_expr(ctx, j) * (1.0 / params.buffer_pages);
+            let mut expr = LinExpr::new();
+            for t in 0..ctx.n {
+                let pages_t = pages_of(ctx, ctx.card[t]);
+                if pages_t == 0.0 {
+                    continue;
+                }
+                let tii = ctx.vars.tii[j][t];
+                let z = ctx.linearize_product_lower(
+                    tii,
+                    blocks.clone(),
+                    blocks_upper,
+                    &format!("bnl_{t}_{j}"),
+                );
+                expr += z * pages_t;
+            }
+            (expr, blocks_upper * pi_up)
+        }
+    }
+}
+
+/// Hash-join pages of the outer operand under projection: byte-size based,
+/// `Σ_l (Byte(l)/pageBytes) · (co_j · clo[l][j])`.
+fn pgo_expr_projected(ctx: &mut Ctx<'_>, j: usize) -> LinExpr {
+    let co_upper = ctx.grid.level_value(Some(ctx.grid.len().saturating_sub(1)));
+    let mut expr = LinExpr::new();
+    for l in 0..ctx.vars.columns.len() {
+        let byte = ctx.catalog.column(ctx.vars.columns[l]).bytes;
+        let clo = ctx.vars.clo[j][l];
+        let co = ctx.vars.co[j];
+        let z = ctx.linearize_product_lower(
+            clo,
+            LinExpr::from(co),
+            co_upper,
+            &format!("projpg_{l}_{j}"),
+        );
+        expr += z * (byte / ctx.config.cost_params.page_bytes);
+    }
+    expr
+}
+
+/// Inner pages under projection: only carried columns count.
+fn pgi_expr_projected(ctx: &Ctx<'_>, j: usize) -> LinExpr {
+    let mut expr = LinExpr::new();
+    for l in 0..ctx.vars.columns.len() {
+        let cid = ctx.vars.columns[l];
+        let byte = ctx.catalog.column(cid).bytes;
+        let tpos = ctx.query.table_position(cid.table).expect("validated");
+        let card = ctx.card[tpos];
+        expr += ctx.vars.cli[j][l] * (card * byte / ctx.config.cost_params.page_bytes);
+    }
+    expr
+}
+
+pub(crate) fn build(ctx: &mut Ctx<'_>) {
+    let jn = ctx.num_joins;
+    let mut objective = LinExpr::new();
+
+    let operator_selection =
+        ctx.config.operator_selection && ctx.config.cost_model != CostModelKind::Cout;
+
+    if operator_selection {
+        build_operator_selection(ctx, &mut objective);
+    } else {
+        // Single global cost function.
+        match ctx.config.cost_model {
+            CostModelKind::Cout => {
+                // Σ_{j >= 1} co_j: intermediate results are the outer
+                // operands of all joins after the first.
+                for j in 1..jn {
+                    objective += LinExpr::from(ctx.vars.co[j]);
+                }
+            }
+            CostModelKind::Hash => {
+                for j in 0..jn {
+                    if ctx.config.projection {
+                        let o = pgo_expr_projected(ctx, j);
+                        let i = pgi_expr_projected(ctx, j);
+                        objective += (o + i) * 3.0;
+                    } else {
+                        let (expr, _) = op_cost(ctx, j, PhysOp::Hash);
+                        objective += expr;
+                    }
+                }
+            }
+            CostModelKind::SortMerge => {
+                for j in 0..jn {
+                    let (expr, _) = op_cost(ctx, j, PhysOp::SortMerge);
+                    objective += expr;
+                }
+            }
+            CostModelKind::BlockNestedLoop => {
+                for j in 0..jn {
+                    let (expr, _) = op_cost(ctx, j, PhysOp::BlockNestedLoop);
+                    objective += expr;
+                }
+            }
+        }
+    }
+
+    // Expensive predicates (§5.1): Σ_j evalCost_p · pco[p][j] · co[j].
+    if ctx.scheduling {
+        let co_upper = ctx.grid.level_value(Some(ctx.grid.len().saturating_sub(1)));
+        for (qi, p) in ctx.query.predicates.iter().enumerate() {
+            if p.eval_cost_per_tuple <= 0.0 {
+                continue;
+            }
+            let Some(e) = ctx.vars.pred_index[qi] else { continue };
+            for j in 0..jn {
+                let pco = ctx.vars.pco[e][j];
+                let co = ctx.vars.co[j];
+                let w = ctx.linearize_product_lower(
+                    pco,
+                    LinExpr::from(co),
+                    co_upper,
+                    &format!("pcost_{qi}_{j}"),
+                );
+                objective += w * p.eval_cost_per_tuple;
+            }
+        }
+    }
+
+    ctx.model.set_objective(objective, Sense::Minimize);
+}
+
+fn build_operator_selection(ctx: &mut Ctx<'_>, objective: &mut LinExpr) {
+    let jn = ctx.num_joins;
+
+    // Enabled operator set.
+    let mut ops = vec![PhysOp::Hash, PhysOp::SortMerge, PhysOp::BlockNestedLoop];
+    if ctx.config.interesting_orders {
+        ops.push(PhysOp::SortMergeReuseOuter);
+    }
+    ctx.vars.op_set = ops.clone();
+
+    // jos variables + one-operator-per-join.
+    for j in 0..jn {
+        let row: Vec<Var> = (0..ops.len())
+            .map(|i| ctx.add_binary(VarCategory::OperatorSelected, format!("jos_{j}_{i}")))
+            .collect();
+        let sum: LinExpr = row.iter().map(|&v| LinExpr::from(v)).sum();
+        ctx.add_eq(ConstrCategory::OperatorChoice, sum, 1.0, format!("one_op_{j}"));
+        ctx.vars.jos.push(row);
+    }
+
+    // Interesting orders: sorted-output property chain (§5.4).
+    if ctx.config.interesting_orders {
+        for j in 0..jn {
+            let ohp = ctx.add_binary(VarCategory::Property, format!("ohp_sorted_{j}"));
+            ctx.vars.ohp_sorted.push(ohp);
+        }
+        // Base case: the first outer operand is sorted iff its table is.
+        let mut expr = LinExpr::from(ctx.vars.ohp_sorted[0]);
+        for t in 0..ctx.n {
+            let sorted = ctx.catalog.table(ctx.query.tables[t]).sorted;
+            if sorted {
+                expr += ctx.vars.tio[0][t] * (-1.0);
+            }
+        }
+        ctx.add_eq(ConstrCategory::Properties, expr, 0.0, "ohp_base".into());
+        // Production: ohp[j] = Σ_{i produces sorted} jos[j-1][i].
+        for j in 1..jn {
+            let mut expr = LinExpr::from(ctx.vars.ohp_sorted[j]);
+            for (i, op) in ops.iter().enumerate() {
+                if op.produces_sorted() {
+                    expr += ctx.vars.jos[j - 1][i] * (-1.0);
+                }
+            }
+            ctx.add_eq(ConstrCategory::Properties, expr, 0.0, format!("ohp_prod_{j}"));
+        }
+        // Consumption: operators requiring sorted outer are gated.
+        for j in 0..jn {
+            for (i, op) in ops.iter().enumerate() {
+                if op.requires_sorted_outer() {
+                    let expr = LinExpr::from(ctx.vars.jos[j][i]) - ctx.vars.ohp_sorted[j];
+                    ctx.add_le(
+                        ConstrCategory::Properties,
+                        expr,
+                        0.0,
+                        format!("ohp_req_{j}_{i}"),
+                    );
+                }
+            }
+        }
+    }
+
+    // Potential and actual cost per (join, operator).
+    for j in 0..jn {
+        for (i, op) in ops.clone().into_iter().enumerate() {
+            let (expr, upper) = op_cost(ctx, j, op);
+            let pjc = ctx.add_continuous(
+                VarCategory::PotentialJoinCost,
+                0.0,
+                upper,
+                format!("pjc_{j}_{i}"),
+            );
+            let def = LinExpr::from(pjc) - expr;
+            ctx.add_eq(ConstrCategory::OperatorChoice, def, 0.0, format!("pjc_def_{j}_{i}"));
+            let ajc = ctx.add_continuous(
+                VarCategory::ActualJoinCost,
+                0.0,
+                upper,
+                format!("ajc_{j}_{i}"),
+            );
+            // ajc >= pjc - U(1 - jos):  pjc + U·jos - ajc <= U.
+            let gate =
+                LinExpr::from(pjc) + ctx.vars.jos[j][i] * upper - ajc;
+            ctx.add_le(ConstrCategory::OperatorChoice, gate, upper, format!("ajc_{j}_{i}"));
+            *objective += LinExpr::from(ajc);
+        }
+    }
+}

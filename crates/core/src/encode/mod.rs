@@ -1,0 +1,357 @@
+//! The query → MILP transformation (Section 4 of the paper, with the
+//! Section 5 extensions).
+//!
+//! Submodule map (mirroring the paper's structure):
+//!
+//! * [`join_order`] — §4.1: `tio`/`tii` variables and the constraints that
+//!   restrict assignments to valid left-deep plans.
+//! * [`predicates`] — §4.2 + §5.1: `pao` applicability variables, n-ary
+//!   predicates, correlated groups, and expensive-predicate scheduling
+//!   (`pco`).
+//! * [`cardinality`] — §4.2: log-cardinality variables, threshold flags,
+//!   and approximate cardinalities.
+//! * [`cost`] — §4.3 + §5.3 + §5.4: objective construction for C_out /
+//!   hash / sort-merge / BNL, operator selection, and interesting orders.
+//! * [`projection`] — §5.2: column tracking and byte-based page counts.
+
+pub mod cardinality;
+pub mod cost;
+pub mod join_order;
+pub mod predicates;
+pub mod projection;
+
+use milpjoin_milp::{LinExpr, Model, Var};
+use milpjoin_qopt::{Catalog, ColumnId, Estimator, Query, QueryError};
+
+use crate::config::{ConfigError, EncoderConfig};
+use crate::stats::{ConstrCategory, FormulationStats, VarCategory};
+use crate::thresholds::ThresholdGrid;
+
+/// Physical operator implementations available to the operator-selection
+/// extension. `SortMergeReuseOuter` is the decomposed sort-merge of §5.4
+/// that skips sorting an already-sorted outer input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhysOp {
+    Hash,
+    SortMerge,
+    SortMergeReuseOuter,
+    BlockNestedLoop,
+}
+
+impl PhysOp {
+    /// The logical operator this decodes to.
+    pub fn join_op(self) -> milpjoin_qopt::JoinOp {
+        match self {
+            PhysOp::Hash => milpjoin_qopt::JoinOp::Hash,
+            PhysOp::SortMerge | PhysOp::SortMergeReuseOuter => milpjoin_qopt::JoinOp::SortMerge,
+            PhysOp::BlockNestedLoop => milpjoin_qopt::JoinOp::BlockNestedLoop,
+        }
+    }
+
+    /// Whether this operator produces sorted output (interesting orders).
+    pub fn produces_sorted(self) -> bool {
+        matches!(self, PhysOp::SortMerge | PhysOp::SortMergeReuseOuter)
+    }
+
+    /// Whether this operator requires a sorted outer input.
+    pub fn requires_sorted_outer(self) -> bool {
+        matches!(self, PhysOp::SortMergeReuseOuter)
+    }
+}
+
+/// Errors from [`encode`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EncodeError {
+    Query(QueryError),
+    Config(ConfigError),
+    /// Queries with fewer than two tables have no joins to order.
+    TooFewTables(usize),
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::Query(e) => write!(f, "invalid query: {e}"),
+            EncodeError::Config(e) => write!(f, "invalid configuration: {e}"),
+            EncodeError::TooFewTables(n) => write!(f, "query has {n} tables; need at least 2"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+impl From<QueryError> for EncodeError {
+    fn from(e: QueryError) -> Self {
+        EncodeError::Query(e)
+    }
+}
+
+impl From<ConfigError> for EncodeError {
+    fn from(e: ConfigError) -> Self {
+        EncodeError::Config(e)
+    }
+}
+
+/// All variable handles of one encoding, for the decoder and for tests.
+#[derive(Debug, Clone, Default)]
+pub struct EncodingVars {
+    /// `tio[j][t]`: table (query-local position) `t` in the outer operand
+    /// of join `j`.
+    pub tio: Vec<Vec<Var>>,
+    /// `tii[j][t]`.
+    pub tii: Vec<Vec<Var>>,
+    /// `pao[p][j]`: multi-table predicate `p` applicable on the outer
+    /// operand of join `j`. Indexed by *encoded predicate index* (see
+    /// `pred_index`).
+    pub pao: Vec<Vec<Var>>,
+    /// Map from query predicate index to encoded predicate index (`None`
+    /// for unary predicates, which are folded into table cardinalities).
+    pub pred_index: Vec<Option<usize>>,
+    /// `pag[g][j]`: correlated group applicability.
+    pub pag: Vec<Vec<Var>>,
+    /// `lco[j]`.
+    pub lco: Vec<Var>,
+    /// `cto[j][r]`.
+    pub cto: Vec<Vec<Var>>,
+    /// `co[j]`.
+    pub co: Vec<Var>,
+    /// `ci[j]`.
+    pub ci: Vec<Var>,
+    /// `jos[j][i]`: operator `op_set[i]` realizes join `j` (empty without
+    /// operator selection).
+    pub jos: Vec<Vec<Var>>,
+    /// The enabled operator list for `jos` columns.
+    pub op_set: Vec<PhysOp>,
+    /// `ohp[j]`: outer operand of join `j` is sorted (interesting orders).
+    pub ohp_sorted: Vec<Var>,
+    /// `pco[p][j]`: encoded predicate `p` evaluated during join `j`.
+    pub pco: Vec<Vec<Var>>,
+    /// `clo[j][l]`: column `l` present in the outer operand of join `j`
+    /// (index `num_joins` = the final result).
+    pub clo: Vec<Vec<Var>>,
+    /// `cli[j][l]`.
+    pub cli: Vec<Vec<Var>>,
+    /// Global column list for `clo`/`cli` indices.
+    pub columns: Vec<ColumnId>,
+}
+
+/// A fully-built MILP for one query.
+#[derive(Debug, Clone)]
+pub struct Encoding {
+    pub model: Model,
+    pub vars: EncodingVars,
+    pub stats: FormulationStats,
+    pub grid: ThresholdGrid,
+    pub num_joins: usize,
+}
+
+/// Shared state threaded through the encoding passes.
+pub(crate) struct Ctx<'a> {
+    pub catalog: &'a Catalog,
+    pub query: &'a Query,
+    pub config: &'a EncoderConfig,
+    #[allow(dead_code)]
+    pub est: Estimator,
+    pub model: Model,
+    pub stats: FormulationStats,
+    pub vars: EncodingVars,
+    pub grid: ThresholdGrid,
+    pub n: usize,
+    pub num_joins: usize,
+    /// log10 effective cardinality per query-local table (unary predicates
+    /// folded in).
+    pub log_card: Vec<f64>,
+    /// Effective cardinality per query-local table.
+    pub card: Vec<f64>,
+    /// Whether the pco scheduling machinery is active.
+    pub scheduling: bool,
+}
+
+impl<'a> Ctx<'a> {
+    pub fn add_binary(&mut self, cat: VarCategory, name: String) -> Var {
+        self.stats.count_var(cat);
+        self.model.add_binary(name)
+    }
+
+    pub fn add_continuous(&mut self, cat: VarCategory, lb: f64, ub: f64, name: String) -> Var {
+        self.stats.count_var(cat);
+        self.model.add_continuous(lb, ub, name)
+    }
+
+    pub fn add_le(&mut self, cat: ConstrCategory, expr: LinExpr, rhs: f64, name: String) {
+        self.stats.count_constr(cat);
+        self.model.add_le(expr, rhs, name);
+    }
+
+    pub fn add_ge(&mut self, cat: ConstrCategory, expr: LinExpr, rhs: f64, name: String) {
+        self.stats.count_constr(cat);
+        self.model.add_ge(expr, rhs, name);
+    }
+
+    pub fn add_eq(&mut self, cat: ConstrCategory, expr: LinExpr, rhs: f64, name: String) {
+        self.stats.count_constr(cat);
+        self.model.add_eq(expr, rhs, name);
+    }
+
+    /// Adds the lower-side linearization of `z = bin * cont_expr` for a
+    /// non-negative expression bounded by `upper`. Sufficient when `z`
+    /// appears with non-negative coefficient in a minimized objective: the
+    /// optimum sets `z = cont_expr` when `bin = 1` and `z = 0` otherwise.
+    pub fn linearize_product_lower(
+        &mut self,
+        bin: Var,
+        cont_expr: LinExpr,
+        upper: f64,
+        name: &str,
+    ) -> Var {
+        let z = self.add_continuous(
+            VarCategory::LinearizationAux,
+            0.0,
+            f64::INFINITY,
+            format!("z_{name}"),
+        );
+        // z >= cont - U * (1 - bin)  <=>  cont + U*bin - z <= U;
+        // z >= 0 is the variable bound.
+        let expr = cont_expr + bin * upper - z;
+        self.add_le(ConstrCategory::Linearization, expr, upper, format!("lin_{name}"));
+        z
+    }
+}
+
+/// Transforms a validated query into a MILP whose optimal solutions are
+/// cost-minimal left-deep plans.
+pub fn encode(
+    catalog: &Catalog,
+    query: &Query,
+    config: &EncoderConfig,
+) -> Result<Encoding, EncodeError> {
+    query.validate(catalog)?;
+    let n = query.num_tables();
+    if n < 2 {
+        return Err(EncodeError::TooFewTables(n));
+    }
+    check_config(catalog, query, config)?;
+
+    let est = Estimator::new(catalog, query);
+    // Anchor the threshold window at the cost scale of a greedy plan: any
+    // plan competitive with the greedy bound keeps all its intermediate
+    // results below roughly that scale, so precision is spent where the
+    // optimum lives (see `thresholds::MAX_GRID_DECADES` for why the window
+    // must be bounded).
+    let anchor = greedy_anchor_log(&est, n) + config.precision.log10_spacing();
+    let grid = ThresholdGrid::build_windowed(
+        config.precision,
+        n,
+        est.log10_cardinality_lower_bound(),
+        est.log10_cardinality_upper_bound(),
+        anchor,
+        config.approx_mode,
+    );
+
+    // Effective per-table cardinalities: unary predicates are applied at
+    // scan time (their selectivity folds into the table).
+    let mut log_card: Vec<f64> = Vec::with_capacity(n);
+    for i in 0..n {
+        log_card.push(est.log10_cardinality(milpjoin_qopt::TableSet::single(i)));
+    }
+    let card: Vec<f64> = log_card.iter().map(|lc| 10f64.powf(*lc)).collect();
+
+    let scheduling = config.projection
+        || query.predicates.iter().any(|p| p.eval_cost_per_tuple > 0.0 && p.tables.len() >= 2);
+
+    let mut ctx = Ctx {
+        catalog,
+        query,
+        config,
+        est,
+        model: Model::new(format!("join-order-{n}t")),
+        stats: FormulationStats::default(),
+        vars: EncodingVars::default(),
+        grid,
+        n,
+        num_joins: n - 1,
+        log_card,
+        card,
+        scheduling,
+    };
+
+    join_order::build(&mut ctx);
+    predicates::build(&mut ctx);
+    cardinality::build(&mut ctx);
+    if config.projection {
+        projection::build(&mut ctx);
+    }
+    cost::build(&mut ctx);
+
+    let Ctx { model, stats, vars, grid, num_joins, .. } = ctx;
+    Ok(Encoding { model, vars, stats, grid, num_joins })
+}
+
+/// log10 of the best total C_out over several greedy nearest-neighbor
+/// plans — an upper bound on the cost scale any optimal plan can reach
+/// (every intermediate result of a plan that beats this bound is smaller
+/// than the bound). The tighter this anchor, the better conditioned the
+/// threshold window, so a handful of start tables are tried.
+fn greedy_anchor_log(est: &Estimator, n: usize) -> f64 {
+    use milpjoin_qopt::TableSet;
+    // Candidate start tables: the few smallest ones.
+    let mut starts: Vec<usize> = (0..n).collect();
+    starts.sort_by(|&a, &b| {
+        est.log10_cardinality(TableSet::single(a))
+            .total_cmp(&est.log10_cardinality(TableSet::single(b)))
+    });
+    starts.truncate(5);
+
+    let mut best = f64::INFINITY;
+    for &start in &starts {
+        let mut set = TableSet::single(start);
+        let mut total_log: f64 = f64::NEG_INFINITY; // log10 of running Cout sum
+        while set.len() < n {
+            let next = (0..n)
+                .filter(|&t| !set.contains(t))
+                .min_by(|&a, &b| {
+                    est.log10_cardinality(set.insert(a))
+                        .total_cmp(&est.log10_cardinality(set.insert(b)))
+                })
+                .expect("remaining table");
+            set = set.insert(next);
+            let lc = est.log10_cardinality(set);
+            // log10(10^total + 10^lc), numerically stable.
+            total_log = if total_log == f64::NEG_INFINITY {
+                lc
+            } else {
+                let hi = total_log.max(lc);
+                hi + (10f64.powf(total_log - hi) + 10f64.powf(lc - hi)).log10()
+            };
+        }
+        best = best.min(total_log);
+    }
+    let min_single = starts
+        .first()
+        .map(|&s| est.log10_cardinality(TableSet::single(s)))
+        .unwrap_or(0.0);
+    best.max(min_single)
+}
+
+fn check_config(
+    catalog: &Catalog,
+    query: &Query,
+    config: &EncoderConfig,
+) -> Result<(), ConfigError> {
+    use milpjoin_qopt::CostModelKind;
+    if config.interesting_orders && !config.operator_selection {
+        return Err(ConfigError::OrdersNeedOperatorSelection);
+    }
+    if config.projection {
+        match config.cost_model {
+            CostModelKind::Cout | CostModelKind::Hash => {}
+            other => return Err(ConfigError::ProjectionUnsupportedModel(other)),
+        }
+        for &t in &query.tables {
+            if catalog.table(t).columns.is_empty() {
+                return Err(ConfigError::ProjectionNeedsColumns);
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,132 @@
+//! §4.2 + §5.1 — predicate applicability, n-ary predicates, correlated
+//! groups, and expensive-predicate scheduling.
+//!
+//! Unary predicates are folded into effective table cardinalities during
+//! context construction (they are always evaluated at scan time in our
+//! model) and get no variables here. Predicates over two or more tables get
+//! one `pao[p][j]` per join: applicable on the outer operand of join `j`
+//! only if every referenced table is present. Because predicate evaluation
+//! (in the base model) only ever *reduces* cardinality and cost, no
+//! constraint forces evaluation — the solver applies predicates as early as
+//! possible on its own.
+//!
+//! When scheduling is active (expensive predicates or projection), `pco`
+//! variables pinpoint the join during which each predicate is evaluated:
+//! `pco[p][j] = pao[p][j+1] - pao[p][j]` with the convention
+//! `pao[p][num_joins] = 1` (every predicate is evaluated by the end) and
+//! monotone `pao`.
+
+use milpjoin_milp::LinExpr;
+
+use crate::stats::{ConstrCategory, VarCategory};
+
+use super::Ctx;
+
+pub(crate) fn build(ctx: &mut Ctx<'_>) {
+    let jn = ctx.num_joins;
+
+    // pao variables for multi-table predicates.
+    let mut pred_index = Vec::with_capacity(ctx.query.predicates.len());
+    for (qi, p) in ctx.query.predicates.iter().enumerate() {
+        if p.tables.len() < 2 {
+            pred_index.push(None);
+            continue;
+        }
+        let e = ctx.vars.pao.len();
+        pred_index.push(Some(e));
+        let mut row = Vec::with_capacity(jn);
+        for j in 0..jn {
+            row.push(ctx.add_binary(VarCategory::PredicateApplicable, format!("pao_{qi}_{j}")));
+        }
+        ctx.vars.pao.push(row);
+    }
+    ctx.vars.pred_index = pred_index;
+
+    // Applicability: pao <= tio for every referenced table (general n-ary
+    // form of §5.1).
+    for (qi, p) in ctx.query.predicates.iter().enumerate() {
+        let Some(e) = ctx.vars.pred_index[qi] else { continue };
+        let positions: Vec<usize> = p
+            .tables
+            .iter()
+            .map(|&t| ctx.query.table_position(t).expect("validated"))
+            .collect();
+        for j in 0..jn {
+            for &tp in &positions {
+                let expr = LinExpr::from(ctx.vars.pao[e][j]) - ctx.vars.tio[j][tp];
+                ctx.add_le(
+                    ConstrCategory::PredicateApplicability,
+                    expr,
+                    0.0,
+                    format!("pao_le_tio_{qi}_{tp}_{j}"),
+                );
+            }
+        }
+    }
+
+    // Correlated groups (§5.1): pag[g][j] = AND over member predicates.
+    for (gi, g) in ctx.query.correlated_groups.iter().enumerate() {
+        let members: Vec<usize> = g
+            .members
+            .iter()
+            .filter_map(|pid| ctx.vars.pred_index[pid.index()])
+            .collect();
+        let mut row = Vec::with_capacity(jn);
+        for j in 0..jn {
+            let pag = ctx.add_binary(VarCategory::GroupApplicable, format!("pag_{gi}_{j}"));
+            // pag <= pao_p for each member.
+            for &e in &members {
+                let expr = LinExpr::from(pag) - ctx.vars.pao[e][j];
+                ctx.add_le(ConstrCategory::GroupLinking, expr, 0.0, format!("pag_le_{gi}_{j}"));
+            }
+            // pag >= 1 - |g| + sum pao.
+            let sum: LinExpr = members.iter().map(|&e| LinExpr::from(ctx.vars.pao[e][j])).sum();
+            let expr = LinExpr::from(pag) - sum;
+            ctx.add_ge(
+                ConstrCategory::GroupLinking,
+                expr,
+                1.0 - members.len() as f64,
+                format!("pag_ge_{gi}_{j}"),
+            );
+            row.push(pag);
+        }
+        ctx.vars.pag.push(row);
+    }
+
+    // Expensive-predicate / projection scheduling (§5.1).
+    if ctx.scheduling {
+        for (qi, _p) in ctx.query.predicates.iter().enumerate() {
+            let Some(e) = ctx.vars.pred_index[qi] else { continue };
+            // Monotonicity: pao[j] <= pao[j+1].
+            for j in 0..jn - 1 {
+                let expr = LinExpr::from(ctx.vars.pao[e][j]) - ctx.vars.pao[e][j + 1];
+                ctx.add_le(
+                    ConstrCategory::PredicateScheduling,
+                    expr,
+                    0.0,
+                    format!("pao_mono_{qi}_{j}"),
+                );
+            }
+            // pco[j] = pao[j+1] - pao[j], with pao[jn] := 1.
+            let mut row = Vec::with_capacity(jn);
+            for j in 0..jn {
+                let pco =
+                    ctx.add_binary(VarCategory::PredicateEvaluation, format!("pco_{qi}_{j}"));
+                let expr = if j + 1 < jn {
+                    LinExpr::from(pco) - ctx.vars.pao[e][j + 1] + ctx.vars.pao[e][j]
+                } else {
+                    // pco[last] = 1 - pao[last].
+                    LinExpr::from(pco) + ctx.vars.pao[e][j] - 1.0
+                };
+                ctx.add_eq(
+                    ConstrCategory::PredicateScheduling,
+                    expr,
+                    0.0,
+                    format!("pco_def_{qi}_{j}"),
+                );
+                row.push(pco);
+            }
+            ctx.vars.pco.push(row);
+        }
+    }
+}

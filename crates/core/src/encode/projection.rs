@@ -1,0 +1,106 @@
+//! §5.2 — projection: column presence tracking.
+//!
+//! One binary `clo[j][l]` per (operand, column) marks whether column `l` is
+//! carried by the outer operand of join `j`; index `num_joins` denotes the
+//! final result. `cli[j][l]` is the analogue for inner operands. The
+//! constraints:
+//!
+//! * a column requires its table: `clo <= tio`, `cli <= tii`;
+//! * no reappearing after projection: a column is in the result of join `j`
+//!   only if it came from the outer or the inner operand:
+//!   `clo[j+1][l] <= clo[j][l] + cli[j][l]`;
+//! * all query output columns are present in the final result;
+//! * a predicate evaluated during join `j` needs its columns on one of the
+//!   two inputs: `pco[p][j] <= clo[j][l] + cli[j][l]`.
+//!
+//! Byte-size-based cost terms are built in [`super::cost`].
+
+use milpjoin_milp::LinExpr;
+use milpjoin_qopt::ColumnId;
+
+use crate::stats::{ConstrCategory, VarCategory};
+
+use super::Ctx;
+
+pub(crate) fn build(ctx: &mut Ctx<'_>) {
+    let jn = ctx.num_joins;
+
+    // Global column list over the query tables.
+    let mut columns: Vec<ColumnId> = Vec::new();
+    for &t in &ctx.query.tables {
+        for c in 0..ctx.catalog.table(t).columns.len() {
+            columns.push(ColumnId { table: t, column: c as u32 });
+        }
+    }
+    ctx.vars.columns = columns.clone();
+    let ncols = columns.len();
+
+    // Variables: clo for 0..=jn (jn = final result), cli for 0..jn.
+    for j in 0..=jn {
+        let row: Vec<_> = (0..ncols)
+            .map(|l| ctx.add_binary(VarCategory::Column, format!("clo_{l}_{j}")))
+            .collect();
+        ctx.vars.clo.push(row);
+    }
+    for j in 0..jn {
+        let row: Vec<_> = (0..ncols)
+            .map(|l| ctx.add_binary(VarCategory::Column, format!("cli_{l}_{j}")))
+            .collect();
+        ctx.vars.cli.push(row);
+    }
+
+    for (l, cid) in columns.iter().enumerate() {
+        let tpos = ctx.query.table_position(cid.table).expect("validated");
+        // Table presence.
+        for j in 0..jn {
+            let expr = LinExpr::from(ctx.vars.clo[j][l]) - ctx.vars.tio[j][tpos];
+            ctx.add_le(ConstrCategory::Projection, expr, 0.0, format!("clo_tio_{l}_{j}"));
+            let expr = LinExpr::from(ctx.vars.cli[j][l]) - ctx.vars.tii[j][tpos];
+            ctx.add_le(ConstrCategory::Projection, expr, 0.0, format!("cli_tii_{l}_{j}"));
+        }
+        // Column flow: result columns come from one of the inputs.
+        for j in 0..jn {
+            let expr = LinExpr::from(ctx.vars.clo[j + 1][l])
+                - ctx.vars.clo[j][l]
+                - ctx.vars.cli[j][l];
+            ctx.add_le(ConstrCategory::Projection, expr, 0.0, format!("clo_flow_{l}_{j}"));
+        }
+    }
+
+    // Output requirements: explicitly listed columns, or every column when
+    // the query does not project (SELECT *).
+    let required: Vec<usize> = if ctx.query.output_columns.is_empty() {
+        (0..ncols).collect()
+    } else {
+        columns
+            .iter()
+            .enumerate()
+            .filter(|(_, cid)| ctx.query.output_columns.contains(cid))
+            .map(|(l, _)| l)
+            .collect()
+    };
+    for l in required {
+        let expr = LinExpr::from(ctx.vars.clo[jn][l]);
+        ctx.add_eq(ConstrCategory::Projection, expr, 1.0, format!("out_{l}"));
+    }
+
+    // Predicate column requirements (needs the pco scheduling machinery,
+    // which `scheduling` guarantees is on when projection is enabled).
+    for (qi, p) in ctx.query.predicates.iter().enumerate() {
+        let Some(e) = ctx.vars.pred_index[qi] else { continue };
+        for colref in &p.columns {
+            let Some(l) = columns.iter().position(|c| c == colref) else { continue };
+            for j in 0..jn {
+                let expr = LinExpr::from(ctx.vars.pco[e][j])
+                    - ctx.vars.clo[j][l]
+                    - ctx.vars.cli[j][l];
+                ctx.add_le(
+                    ConstrCategory::Projection,
+                    expr,
+                    0.0,
+                    format!("pred_cols_{qi}_{l}_{j}"),
+                );
+            }
+        }
+    }
+}

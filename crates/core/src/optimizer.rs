@@ -1,0 +1,290 @@
+//! High-level anytime optimizer: encode → solve → decode → cost.
+//!
+//! [`MilpOptimizer::optimize`] runs the full pipeline of the paper: the
+//! query is transformed into a MILP, handed to the branch-and-bound solver,
+//! and every incumbent / bound improvement is recorded into an
+//! [`AnytimeTrace`] — the data behind the paper's Figure 2, where
+//! algorithms are compared by the *guaranteed optimality factor*
+//! (incumbent cost / lower bound) they can prove at each point in time.
+
+use std::time::Duration;
+
+use milpjoin_milp::branch_bound::SolverEvent;
+use milpjoin_milp::{SolveStatus, Solver, SolverOptions};
+use milpjoin_qopt::cost::plan_cost;
+use milpjoin_qopt::{Catalog, LeftDeepPlan, Query};
+
+use crate::config::EncoderConfig;
+use crate::decode::{decode, DecodedPlan};
+use crate::encode::{encode, EncodeError, Encoding};
+use crate::stats::FormulationStats;
+
+/// One sample of the anytime state.
+#[derive(Debug, Clone, Copy)]
+pub struct TracePoint {
+    pub elapsed: Duration,
+    /// Best incumbent objective so far (MILP cost space), if any.
+    pub incumbent: Option<f64>,
+    /// Global lower bound (MILP cost space).
+    pub bound: f64,
+}
+
+/// The incumbent/bound history of one solve.
+#[derive(Debug, Clone, Default)]
+pub struct AnytimeTrace {
+    points: Vec<TracePoint>,
+}
+
+impl AnytimeTrace {
+    pub fn push(&mut self, p: TracePoint) {
+        self.points.push(p);
+    }
+
+    pub fn points(&self) -> &[TracePoint] {
+        &self.points
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The anytime state at `elapsed`: the last point at or before it.
+    pub fn state_at(&self, elapsed: Duration) -> Option<TracePoint> {
+        self.points.iter().take_while(|p| p.elapsed <= elapsed).last().copied()
+    }
+
+    /// The guaranteed optimality factor (cost / lower bound) provable at
+    /// `elapsed`; `None` while no incumbent exists or the bound is not yet
+    /// positive.
+    pub fn guaranteed_factor_at(&self, elapsed: Duration) -> Option<f64> {
+        let state = self.state_at(elapsed)?;
+        let inc = state.incumbent?;
+        if state.bound > 0.0 {
+            Some((inc / state.bound).max(1.0))
+        } else {
+            None
+        }
+    }
+}
+
+/// Everything the optimizer returns for one query.
+#[derive(Debug, Clone)]
+pub struct OptimizeOutcome {
+    /// The decoded plan (with operators when operator selection was on).
+    pub plan: LeftDeepPlan,
+    /// Full decoded information (predicate schedule, ...).
+    pub decoded: DecodedPlan,
+    pub status: SolveStatus,
+    /// Objective of the best incumbent in the MILP's (approximate) cost
+    /// space.
+    pub milp_objective: f64,
+    /// Final lower bound in the MILP's cost space.
+    pub milp_bound: f64,
+    /// Exact cost of the decoded plan under the configured cost model.
+    pub true_cost: f64,
+    pub trace: AnytimeTrace,
+    pub stats: FormulationStats,
+    pub nodes: u64,
+    pub simplex_iterations: u64,
+    pub solve_time: Duration,
+}
+
+impl OptimizeOutcome {
+    /// Final guaranteed optimality factor (MILP space).
+    pub fn optimality_factor(&self) -> Option<f64> {
+        if self.milp_bound > 0.0 {
+            Some((self.milp_objective / self.milp_bound).max(1.0))
+        } else {
+            None
+        }
+    }
+}
+
+/// Optimization failures.
+#[derive(Debug)]
+pub enum OptimizeError {
+    Encode(EncodeError),
+    /// The solver proved infeasibility — impossible for a well-formed
+    /// encoding and therefore a bug surface, reported loudly.
+    Infeasible,
+    /// No incumbent was found within the limits.
+    NoPlanFound { status: SolveStatus },
+    Solver(String),
+}
+
+impl std::fmt::Display for OptimizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptimizeError::Encode(e) => write!(f, "{e}"),
+            OptimizeError::Infeasible => {
+                write!(f, "encoding is infeasible (this indicates a bug)")
+            }
+            OptimizeError::NoPlanFound { status } => {
+                write!(f, "no plan found within limits (solver status: {status})")
+            }
+            OptimizeError::Solver(e) => write!(f, "solver error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OptimizeError {}
+
+impl From<EncodeError> for OptimizeError {
+    fn from(e: EncodeError) -> Self {
+        OptimizeError::Encode(e)
+    }
+}
+
+/// Solve-time limits and knobs.
+#[derive(Debug, Clone, Default)]
+pub struct OptimizeOptions {
+    pub time_limit: Option<Duration>,
+    /// Stop when the MILP gap reaches this value (0 = proven optimal).
+    pub relative_gap: f64,
+    pub node_limit: Option<u64>,
+    pub seed: u64,
+}
+
+impl OptimizeOptions {
+    pub fn with_time_limit(limit: Duration) -> Self {
+        OptimizeOptions { time_limit: Some(limit), ..Default::default() }
+    }
+}
+
+/// The MILP-based join order optimizer (the paper's system).
+///
+/// ```
+/// use milpjoin::{MilpOptimizer, OptimizeOptions};
+/// use milpjoin_qopt::{Catalog, Query, Predicate};
+///
+/// let mut catalog = Catalog::new();
+/// let r = catalog.add_table("R", 10.0);
+/// let s = catalog.add_table("S", 1000.0);
+/// let t = catalog.add_table("T", 100.0);
+/// let mut query = Query::new(vec![r, s, t]);
+/// query.add_predicate(Predicate::binary(r, s, 0.1));
+///
+/// let outcome = MilpOptimizer::with_defaults()
+///     .optimize(&catalog, &query, &OptimizeOptions::default())
+///     .unwrap();
+/// outcome.plan.validate(&query).unwrap();
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MilpOptimizer {
+    config: EncoderConfig,
+}
+
+impl MilpOptimizer {
+    pub fn new(config: EncoderConfig) -> Self {
+        MilpOptimizer { config }
+    }
+
+    pub fn with_defaults() -> Self {
+        Self::default()
+    }
+
+    pub fn config(&self) -> &EncoderConfig {
+        &self.config
+    }
+
+    /// Builds the MILP without solving (for formulation-size experiments).
+    pub fn encode_only(&self, catalog: &Catalog, query: &Query) -> Result<Encoding, EncodeError> {
+        encode(catalog, query, &self.config)
+    }
+
+    /// Runs the full optimize pipeline.
+    pub fn optimize(
+        &self,
+        catalog: &Catalog,
+        query: &Query,
+        options: &OptimizeOptions,
+    ) -> Result<OptimizeOutcome, OptimizeError> {
+        // Single-table queries need no joins and no MILP.
+        if query.num_tables() == 1 {
+            query.validate(catalog).map_err(EncodeError::Query)?;
+            let plan = LeftDeepPlan::from_order(query.tables.clone());
+            return Ok(OptimizeOutcome {
+                decoded: DecodedPlan { plan: plan.clone(), predicate_schedule: vec![] },
+                plan,
+                status: SolveStatus::Optimal,
+                milp_objective: 0.0,
+                milp_bound: 0.0,
+                true_cost: 0.0,
+                trace: AnytimeTrace::default(),
+                stats: FormulationStats::default(),
+                nodes: 0,
+                simplex_iterations: 0,
+                solve_time: Duration::ZERO,
+            });
+        }
+
+        let encoding = encode(catalog, query, &self.config)?;
+
+        let solver_options = SolverOptions {
+            time_limit: options.time_limit,
+            relative_gap: options.relative_gap.max(1e-6),
+            node_limit: options.node_limit,
+            seed: options.seed,
+            ..SolverOptions::default()
+        };
+
+        let mut trace = AnytimeTrace::default();
+        let mut last_incumbent: Option<f64> = None;
+        let mut last_bound = f64::NEG_INFINITY;
+        let result = Solver::new(solver_options)
+            .solve_with_callback(&encoding.model, |ev| match ev {
+                SolverEvent::Incumbent(inc) => {
+                    last_incumbent = Some(inc.objective);
+                    last_bound = last_bound.max(inc.bound);
+                    trace.push(TracePoint {
+                        elapsed: inc.elapsed,
+                        incumbent: last_incumbent,
+                        bound: last_bound,
+                    });
+                }
+                SolverEvent::BoundImproved { elapsed, bound, .. } => {
+                    last_bound = last_bound.max(*bound);
+                    trace.push(TracePoint {
+                        elapsed: *elapsed,
+                        incumbent: last_incumbent,
+                        bound: last_bound,
+                    });
+                }
+            })
+            .map_err(|e| OptimizeError::Solver(e.to_string()))?;
+
+        match result.status {
+            SolveStatus::Infeasible => return Err(OptimizeError::Infeasible),
+            s if !s.has_solution() => {
+                return Err(OptimizeError::NoPlanFound { status: s });
+            }
+            _ => {}
+        }
+
+        let solution = result.solution.as_ref().expect("has_solution checked");
+        let decoded = decode(&encoding, query, solution)
+            .map_err(|e| OptimizeError::Solver(format!("decode failed: {e}")))?;
+        let true_cost = plan_cost(
+            catalog,
+            query,
+            &decoded.plan,
+            self.config.cost_model,
+            &self.config.cost_params,
+        )
+        .total;
+
+        Ok(OptimizeOutcome {
+            plan: decoded.plan.clone(),
+            decoded,
+            status: result.status,
+            milp_objective: result.objective.expect("has solution"),
+            milp_bound: result.bound,
+            true_cost,
+            trace,
+            stats: encoding.stats,
+            nodes: result.nodes,
+            simplex_iterations: result.simplex_iterations,
+            solve_time: result.solve_time,
+        })
+    }
+}

@@ -1,0 +1,375 @@
+//! Cardinality threshold grids and precision configurations (§4.2, §7.1).
+//!
+//! The MILP cannot represent raw cardinalities (products of inputs), so the
+//! encoding works with log-cardinalities and converts back through a
+//! geometric grid of thresholds `θ_0 < θ_1 < ... < θ_{l-1}`: one binary
+//! variable per threshold marks whether the operand cardinality reaches it,
+//! and the approximate cardinality is a weighted sum of those indicators.
+//! The grid's geometric spacing *is* the approximation tolerance: spacing
+//! factor 3 means the approximation is within factor 3 of the truth inside
+//! the modeled range.
+//!
+//! The paper's three configurations (§7.1):
+//!
+//! | config | tolerance factor | thresholds/result (n ≤ 40) | (n > 40) |
+//! |--------|------------------|------------------------------|----------|
+//! | high   | 3                | 60                           | 100      |
+//! | medium | 10               | 30                           | 50       |
+//! | low    | 100              | 15                           | 25       |
+//!
+//! (The paper states the high/low counts explicitly; medium is interpolated
+//! at the same modeled range.) Above the top threshold the approximation
+//! saturates — the paper equally models "a bounded cardinality range".
+
+/// Approximation precision configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Precision {
+    /// Tolerance factor 3 (paper's "high precision").
+    High,
+    /// Tolerance factor 10.
+    Medium,
+    /// Tolerance factor 100 (paper's "low precision").
+    Low,
+    /// Custom tolerance factor and threshold cap.
+    Custom { factor: f64, max_thresholds: usize },
+}
+
+impl Precision {
+    /// The multiplicative approximation tolerance.
+    pub fn tolerance_factor(self) -> f64 {
+        match self {
+            Precision::High => 3.0,
+            Precision::Medium => 10.0,
+            Precision::Low => 100.0,
+            Precision::Custom { factor, .. } => factor,
+        }
+    }
+
+    /// Maximum thresholds per intermediate result for a query of `n` tables
+    /// (the paper's §7.1 figures).
+    pub fn max_thresholds(self, num_tables: usize) -> usize {
+        let large = num_tables > 40;
+        match self {
+            Precision::High => {
+                if large {
+                    100
+                } else {
+                    60
+                }
+            }
+            Precision::Medium => {
+                if large {
+                    50
+                } else {
+                    30
+                }
+            }
+            Precision::Low => {
+                if large {
+                    25
+                } else {
+                    15
+                }
+            }
+            Precision::Custom { max_thresholds, .. } => max_thresholds,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::High => "high",
+            Precision::Medium => "medium",
+            Precision::Low => "low",
+            Precision::Custom { .. } => "custom",
+        }
+    }
+
+    /// Grid spacing in log10 units.
+    pub fn log10_spacing(self) -> f64 {
+        self.tolerance_factor().log10()
+    }
+}
+
+/// Whether the threshold sum under- or over-approximates the cardinality
+/// (both variants appear in the paper's Example 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ApproxMode {
+    /// `co` lands on the highest reached threshold: a lower bound of the
+    /// true cardinality (paper's primary formulation).
+    #[default]
+    LowerBound,
+    /// `co` lands on the next threshold above: an upper bound within the
+    /// modeled range.
+    UpperBound,
+}
+
+/// Maximum dynamic range (in decades) the threshold grid may span.
+///
+/// The `co = Σ δ_r · cto_r` constraint — and every big-M/linearization row
+/// whose constant is the top threshold — mixes coefficients as far apart as
+/// the grid's endpoints. A double-precision simplex keeps such rows
+/// well-conditioned only up to ~6 decades of intra-row range (beyond that,
+/// equilibration scaling leaves the small coefficients below the
+/// feasibility/pricing tolerances, producing phantom infeasibilities and
+/// numerically detached variables). The grid is therefore a *window* of at
+/// most this width, anchored at the cost scale of a quickly-computed greedy
+/// plan — the paper's own suggestion of bounding the modeled cardinality
+/// range via query properties. Operands above the window saturate at the
+/// top threshold; operands below it approximate to the floor — both with
+/// negligible effect on plan ranking near the optimum.
+pub const MAX_GRID_DECADES: f64 = 6.0;
+
+/// A concrete geometric threshold grid in log10 space.
+#[derive(Debug, Clone)]
+pub struct ThresholdGrid {
+    /// log10 of each threshold value, ascending.
+    log_thresholds: Vec<f64>,
+    /// log10 of the largest representable log-cardinality (used for big-M).
+    pub log_card_max: f64,
+    /// Smallest possible log-cardinality (used for variable bounds).
+    pub log_card_min: f64,
+    mode: ApproxMode,
+}
+
+impl ThresholdGrid {
+    /// Builds the grid for a query whose outer-operand log10-cardinality
+    /// ranges over `[log_card_min, log_card_max]`, with the top of the
+    /// window at `log_card_max`.
+    pub fn build(
+        precision: Precision,
+        num_tables: usize,
+        log_card_min: f64,
+        log_card_max: f64,
+        mode: ApproxMode,
+    ) -> Self {
+        Self::build_windowed(precision, num_tables, log_card_min, log_card_max, log_card_max, mode)
+    }
+
+    /// Builds the grid with an explicit window anchor: the top threshold is
+    /// placed at `anchor_log_top` (clamped into the representable range) and
+    /// the grid extends downward by at most [`MAX_GRID_DECADES`] /
+    /// the precision's threshold budget.
+    pub fn build_windowed(
+        precision: Precision,
+        num_tables: usize,
+        log_card_min: f64,
+        log_card_max: f64,
+        anchor_log_top: f64,
+        mode: ApproxMode,
+    ) -> Self {
+        let spacing = precision.log10_spacing();
+        let cap = precision.max_thresholds(num_tables).max(1);
+        let top = anchor_log_top.min(log_card_max).max(log_card_min + spacing);
+        // Budget: paper's per-precision cap, further limited by the
+        // numerically-resolvable window width.
+        let width_cap = (MAX_GRID_DECADES / spacing).floor() as usize + 1;
+        let budget = cap.min(width_cap).max(1);
+        // Do not extend below the smallest representable operand.
+        let lowest_useful = log_card_min + spacing;
+        let needed = if top > lowest_useful {
+            ((top - lowest_useful) / spacing).ceil() as usize + 1
+        } else {
+            1
+        };
+        let count = needed.min(budget);
+        let base = top - spacing * (count as f64 - 1.0);
+        let log_thresholds: Vec<f64> = (0..count).map(|r| base + r as f64 * spacing).collect();
+        ThresholdGrid { log_thresholds, log_card_max, log_card_min, mode }
+    }
+
+    pub fn len(&self) -> usize {
+        self.log_thresholds.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.log_thresholds.is_empty()
+    }
+
+    pub fn mode(&self) -> ApproxMode {
+        self.mode
+    }
+
+    /// log10 of threshold `r`.
+    pub fn log_threshold(&self, r: usize) -> f64 {
+        self.log_thresholds[r]
+    }
+
+    /// Raw value of threshold `r`.
+    pub fn threshold(&self, r: usize) -> f64 {
+        10f64.powf(self.log_thresholds[r])
+    }
+
+    /// The value the approximation assigns when thresholds `0..=r` are
+    /// active (`None` = no threshold active).
+    pub fn level_value(&self, active_up_to: Option<usize>) -> f64 {
+        match (self.mode, active_up_to) {
+            (ApproxMode::LowerBound, None) => 0.0,
+            (ApproxMode::LowerBound, Some(r)) => self.threshold(r),
+            (ApproxMode::UpperBound, None) => self.threshold(0),
+            (ApproxMode::UpperBound, Some(r)) => {
+                if r + 1 < self.len() {
+                    self.threshold(r + 1)
+                } else {
+                    // Saturated: top of the modeled range.
+                    self.threshold(self.len() - 1)
+                }
+            }
+        }
+    }
+
+    /// The weight `δ_r` of threshold variable `r` in the cardinality sum,
+    /// i.e. `co = Σ_r δ_r · cto_r` reproduces [`Self::level_value`].
+    pub fn delta(&self, r: usize) -> f64 {
+        match self.mode {
+            ApproxMode::LowerBound => {
+                if r == 0 {
+                    self.threshold(0)
+                } else {
+                    self.threshold(r) - self.threshold(r - 1)
+                }
+            }
+            ApproxMode::UpperBound => {
+                // Base value θ_0 is a constant offset; variable r lifts the
+                // level from θ_{r} to θ_{r+1} (saturating at the top).
+                let hi = if r + 1 < self.len() { self.threshold(r + 1) } else { self.threshold(r) };
+                let lo = self.threshold(r);
+                if r == 0 {
+                    hi - lo + 0.0
+                } else {
+                    hi - self.threshold(r)
+                }
+            }
+        }
+    }
+
+    /// Constant offset added to the weighted threshold sum (non-zero only
+    /// for the upper-bound mode, whose floor is θ_0).
+    pub fn constant_offset(&self) -> f64 {
+        match self.mode {
+            ApproxMode::LowerBound => 0.0,
+            ApproxMode::UpperBound => self.threshold(0),
+        }
+    }
+
+    /// The approximation of `card` this grid produces when the solver sets
+    /// exactly the forced thresholds (reference semantics for tests).
+    pub fn approximate(&self, card: f64) -> f64 {
+        let lc = card.log10();
+        let mut last_reached = None;
+        for (r, &lt) in self.log_thresholds.iter().enumerate() {
+            if lc > lt + 1e-12 {
+                last_reached = Some(r);
+            }
+        }
+        self.level_value(last_reached)
+    }
+
+    /// Big-M constant for the activation constraint of threshold `r`:
+    /// `lco - M · cto_r <= log θ_r` must be satisfiable with `cto_r = 1` for
+    /// any representable `lco`.
+    pub fn big_m(&self, r: usize) -> f64 {
+        (self.log_card_max - self.log_thresholds[r]).max(0.0) + 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_parameters_match_paper() {
+        assert_eq!(Precision::High.tolerance_factor(), 3.0);
+        assert_eq!(Precision::High.max_thresholds(40), 60);
+        assert_eq!(Precision::High.max_thresholds(50), 100);
+        assert_eq!(Precision::Low.max_thresholds(30), 15);
+        assert_eq!(Precision::Low.max_thresholds(60), 25);
+        assert_eq!(Precision::Medium.tolerance_factor(), 10.0);
+    }
+
+    #[test]
+    fn grid_respects_cap() {
+        // The budget is the paper's cap further limited by the numerically
+        // resolvable window width.
+        let g = ThresholdGrid::build(Precision::Low, 60, 0.0, 300.0, ApproxMode::LowerBound);
+        let low_budget = (MAX_GRID_DECADES / Precision::Low.log10_spacing()) as usize + 1;
+        assert_eq!(g.len(), 25.min(low_budget));
+        let g2 = ThresholdGrid::build(Precision::High, 10, 0.0, 300.0, ApproxMode::LowerBound);
+        let high_budget = (MAX_GRID_DECADES / Precision::High.log10_spacing()) as usize + 1;
+        assert_eq!(g2.len(), 60.min(high_budget));
+        // Precision ordering is preserved: high > medium > low counts.
+        let gm = ThresholdGrid::build(Precision::Medium, 10, 0.0, 300.0, ApproxMode::LowerBound);
+        assert!(g2.len() > gm.len() && gm.len() > g.len());
+    }
+
+    #[test]
+    fn small_range_needs_few_thresholds() {
+        let g = ThresholdGrid::build(Precision::Medium, 10, 1.0, 4.5, ApproxMode::LowerBound);
+        // Range 3.5 decades at spacing 1 -> about 4 thresholds.
+        assert!(g.len() <= 5, "len {}", g.len());
+        assert!(g.len() >= 3);
+    }
+
+    #[test]
+    fn lower_bound_within_tolerance() {
+        let g = ThresholdGrid::build(Precision::Medium, 10, 0.0, 10.0, ApproxMode::LowerBound);
+        for card in [5.0, 99.0, 1234.0, 1e6, 3.3e9] {
+            let approx = g.approximate(card);
+            assert!(approx <= card * (1.0 + 1e-9), "approx {approx} > card {card}");
+            // Between the first and last threshold, the multiplicative
+            // error is at most the tolerance factor (below θ_0 the
+            // approximation is 0 — an additive error of at most θ_0).
+            let lc = card.log10();
+            if lc > g.log_threshold(0) && lc <= g.log_threshold(g.len() - 1) {
+                assert!(
+                    card / approx <= 10.0 * (1.0 + 1e-9),
+                    "card {card} approx {approx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn upper_bound_dominates_lower() {
+        let lo = ThresholdGrid::build(Precision::Medium, 10, 0.0, 8.0, ApproxMode::LowerBound);
+        let hi = ThresholdGrid::build(Precision::Medium, 10, 0.0, 8.0, ApproxMode::UpperBound);
+        for card in [12.0, 800.0, 52_000.0, 9.9e6] {
+            assert!(hi.approximate(card) >= lo.approximate(card));
+            assert!(hi.approximate(card) >= card.min(hi.threshold(hi.len() - 1)) * 0.999);
+        }
+    }
+
+    #[test]
+    fn delta_sums_reproduce_levels() {
+        for mode in [ApproxMode::LowerBound, ApproxMode::UpperBound] {
+            let g = ThresholdGrid::build(Precision::Medium, 10, 0.0, 6.0, mode);
+            for upto in 0..g.len() {
+                let sum: f64 = (0..=upto).map(|r| g.delta(r)).sum::<f64>() + g.constant_offset();
+                let level = g.level_value(Some(upto));
+                assert!(
+                    (sum - level).abs() < 1e-6 * level.max(1.0),
+                    "mode {mode:?} upto {upto}: sum {sum} level {level}"
+                );
+            }
+            // No thresholds active.
+            assert!((g.constant_offset() - g.level_value(None)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn big_m_large_enough() {
+        let g = ThresholdGrid::build(Precision::Low, 20, 0.0, 40.0, ApproxMode::LowerBound);
+        for r in 0..g.len() {
+            // lco - M <= log θ_r must hold for lco = log_card_max.
+            assert!(g.log_card_max - g.big_m(r) <= g.log_threshold(r) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn thresholds_strictly_increasing() {
+        let g = ThresholdGrid::build(Precision::High, 10, 1.0, 20.0, ApproxMode::LowerBound);
+        for r in 1..g.len() {
+            assert!(g.log_threshold(r) > g.log_threshold(r - 1));
+            assert!(g.delta(r) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,648 @@
+//! Branch-and-bound search over the LP relaxation.
+//!
+//! Search organization: a best-first priority queue over open nodes (keyed
+//! by the parent LP bound) combined with bounded-depth *plunging* — after
+//! branching, the child closer to the LP value is processed immediately,
+//! which finds incumbents early and keeps the simplex warm. The global dual
+//! bound is the minimum over all open node bounds; the solver emits an event
+//! whenever an improving incumbent is found or the global bound rises, which
+//! is exactly the anytime interface the paper relies on.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::branching::{select_branching_var, Pseudocosts};
+use crate::heuristics::{diving_heuristic, rounding_heuristic};
+use crate::lp::LpProblem;
+use crate::options::SolverOptions;
+use crate::simplex::{LpStatus, Simplex, SimplexLimits};
+use crate::solution::{IncumbentEvent, Solution};
+use crate::status::SolveStatus;
+
+/// Events emitted during the search (the anytime stream).
+#[derive(Debug, Clone)]
+pub enum SolverEvent {
+    /// A new best incumbent was found.
+    Incumbent(IncumbentEvent),
+    /// The global dual bound improved (model sense).
+    BoundImproved { elapsed: Duration, bound: f64, nodes: u64 },
+}
+
+/// One branching decision relative to the parent node.
+#[derive(Debug)]
+struct NodeData {
+    parent: Option<Arc<NodeData>>,
+    var: usize,
+    lb: f64,
+    ub: f64,
+    /// LP objective of the parent (for pseudocost updates).
+    parent_obj: f64,
+    /// Fractional part of `var` at the parent.
+    frac: f64,
+    /// Whether this is the up-branch.
+    up: bool,
+    depth: u32,
+}
+
+/// An open node in the priority queue.
+struct OpenNode {
+    bound: f64,
+    seq: u64,
+    data: Option<Arc<NodeData>>,
+}
+
+impl PartialEq for OpenNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound && self.seq == other.seq
+    }
+}
+impl Eq for OpenNode {}
+impl PartialOrd for OpenNode {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OpenNode {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the smallest bound pops first.
+        other
+            .bound
+            .total_cmp(&self.bound)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Summary of a finished search (minimization space).
+pub struct SearchOutcome {
+    pub status: SolveStatus,
+    pub incumbent: Option<(Vec<f64>, f64)>,
+    pub bound: f64,
+    pub nodes: u64,
+    pub simplex_iterations: u64,
+}
+
+pub struct BranchBound<'a, F: FnMut(&SolverEvent)> {
+    lp: &'a LpProblem,
+    opts: &'a SolverOptions,
+    callback: F,
+    start: Instant,
+    deadline: Option<Instant>,
+    sx: Simplex<'a>,
+    heap: BinaryHeap<OpenNode>,
+    pseudo: Pseudocosts,
+    incumbent: Option<(Vec<f64>, f64)>,
+    nodes: u64,
+    seq: u64,
+    last_bound_reported: f64,
+    /// Diagnostics: LP infeasibilities confirmed from cold restarts.
+    infeasible_nodes: u64,
+    /// Diagnostics: warm verdicts that required a cold re-solve.
+    cold_retries: u64,
+    /// Diagnostics: confirmed unbounded verdicts in a bounded model.
+    numerical_failures: u64,
+    /// Bounds of nodes parked after their LP stalled (kept so the global
+    /// dual bound stays valid; never re-processed).
+    stalled_bounds: Vec<f64>,
+}
+
+impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
+    pub fn new(lp: &'a LpProblem, opts: &'a SolverOptions, callback: F) -> Self {
+        let start = Instant::now();
+        BranchBound {
+            lp,
+            opts,
+            callback,
+            start,
+            deadline: opts.time_limit.map(|d| start + d),
+            sx: Simplex::new(lp),
+            heap: BinaryHeap::new(),
+            pseudo: Pseudocosts::new(lp.num_structural, &lp.obj),
+            incumbent: None,
+            nodes: 0,
+            seq: 0,
+            last_bound_reported: f64::NEG_INFINITY,
+            infeasible_nodes: 0,
+            cold_retries: 0,
+            numerical_failures: 0,
+            stalled_bounds: Vec::new(),
+        }
+    }
+
+    fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    fn out_of_time(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Current global dual bound (min space): min over open nodes, the
+    /// current node (if passed), and — when the tree is exhausted — the
+    /// incumbent.
+    fn global_bound(&self, current: Option<f64>) -> f64 {
+        let mut b = f64::INFINITY;
+        if let Some(top) = self.heap.peek() {
+            b = b.min(top.bound);
+        }
+        for &s in &self.stalled_bounds {
+            b = b.min(s);
+        }
+        if let Some(c) = current {
+            b = b.min(c);
+        }
+        if b.is_infinite() {
+            if let Some((_, obj)) = &self.incumbent {
+                b = *obj;
+            }
+        }
+        b
+    }
+
+    fn maybe_report_bound(&mut self, current: Option<f64>) {
+        let b = self.global_bound(current);
+        if b.is_finite() && b > self.last_bound_reported + 1e-9 * (1.0 + b.abs()) {
+            self.last_bound_reported = b;
+            let ev = SolverEvent::BoundImproved {
+                elapsed: self.elapsed(),
+                bound: self.lp.user_objective(b),
+                nodes: self.nodes,
+            };
+            (self.callback)(&ev);
+        }
+    }
+
+    /// Verifies an integral candidate against the row system and accepts it
+    /// as incumbent if it improves. `current_bound` is the bound context for
+    /// the emitted event.
+    fn try_accept_incumbent(&mut self, values: &[f64], obj: f64, current_bound: Option<f64>) -> bool {
+        if let Some((_, best)) = &self.incumbent {
+            if obj >= *best - 1e-12 * (1.0 + best.abs()) {
+                return false;
+            }
+        }
+        if !self.verify_rows(values) {
+            return false;
+        }
+        self.incumbent = Some((values.to_vec(), obj));
+        let bound = self.global_bound(current_bound);
+        let ev = SolverEvent::Incumbent(IncumbentEvent {
+            elapsed: self.elapsed(),
+            objective: self.lp.user_objective(obj),
+            bound: self.lp.user_objective(bound.min(obj)),
+            nodes: self.nodes,
+            // Events cross the API boundary: report model-space values.
+            solution: Solution::new(self.lp.unscale_values(values)),
+        });
+        (self.callback)(&ev);
+        true
+    }
+
+    /// Row-activity feasibility check of structural values.
+    fn verify_rows(&self, values: &[f64]) -> bool {
+        let m = self.lp.num_rows;
+        let mut act = vec![0.0; m];
+        for j in 0..self.lp.num_structural {
+            if values[j] != 0.0 {
+                self.lp.column_axpy(j, values[j], &mut act);
+            }
+        }
+        for i in 0..m {
+            let (lo, hi) = (self.lp.row_lo[i], self.lp.row_hi[i]);
+            let tol = 1e-6 * (1.0 + act[i].abs());
+            if act[i] < lo - tol || act[i] > hi + tol {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Applies the bound chain of a node onto the simplex working bounds.
+    fn apply_node_bounds(&mut self, data: &Option<Arc<NodeData>>) {
+        self.sx.reset_bounds();
+        let mut chain: Vec<&NodeData> = Vec::new();
+        let mut cur = data.as_deref();
+        while let Some(d) = cur {
+            chain.push(d);
+            cur = d.parent.as_deref();
+        }
+        for d in chain.into_iter().rev() {
+            let (lb, ub) = {
+                let (l, u) = self.sx.bounds();
+                (l[d.var].max(d.lb), u[d.var].min(d.ub))
+            };
+            self.sx.set_bounds(d.var, lb, ub);
+        }
+    }
+
+    /// Fractional integer variables of the current LP solution.
+    fn fractional_candidates(&self) -> Vec<(usize, f64)> {
+        let values = self.sx.values();
+        let mut out = Vec::new();
+        for j in 0..self.lp.num_structural {
+            if self.lp.integer[j] {
+                let v = values[j];
+                let f = v - v.floor();
+                if f > self.opts.integrality_tol && f < 1.0 - self.opts.integrality_tol {
+                    out.push((j, f));
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether a node can be pruned against the incumbent under the gap
+    /// target.
+    fn prunable(&self, bound: f64) -> bool {
+        match &self.incumbent {
+            Some((_, inc)) => {
+                let slack = self.opts.relative_gap * inc.abs().max(1e-10);
+                bound >= inc - slack - 1e-12
+            }
+            None => false,
+        }
+    }
+
+    /// Runs the search to completion or a limit.
+    pub fn run(mut self) -> SearchOutcome {
+        // Root node.
+        let root_seq = self.next_seq();
+        self.heap.push(OpenNode { bound: f64::NEG_INFINITY, seq: root_seq, data: None });
+
+        let mut hit_limit = false;
+        let mut root_unbounded = false;
+        let mut root_done = false;
+
+        'search: while let Some(node) = self.heap.pop() {
+            if self.prunable(node.bound) {
+                // Heap is bound-ordered: everything else is prunable too.
+                break;
+            }
+            if self.out_of_time() || self.opts.node_limit.is_some_and(|n| self.nodes >= n) {
+                // Re-push so its bound still counts as open.
+                self.heap.push(node);
+                hit_limit = true;
+                break;
+            }
+            if self.gap_reached(Some(node.bound)) {
+                self.heap.push(node);
+                break;
+            }
+
+            // Plunge from this node up to max_dive_depth. The first node of
+            // a plunge comes from the heap and is solved from a cold basis
+            // (robust); dive children reuse the just-solved parent basis in
+            // place (the safest possible warm start), falling back to a cold
+            // re-solve whenever the warm solve fails in any way.
+            let mut current = Some((node.data, /* warm */ false));
+            let mut dive_depth = 0u32;
+            while let Some((data, warm)) = current.take() {
+                if self.out_of_time() {
+                    // The abandoned subtree keeps the last node bound open:
+                    // conservatively re-add it so the reported bound stays
+                    // valid.
+                    let bound = data.as_ref().map_or(f64::NEG_INFINITY, |d| d.parent_obj);
+                    let seq = self.next_seq();
+                    self.heap.push(OpenNode { bound, seq, data });
+                    hit_limit = true;
+                    break 'search;
+                }
+
+                self.apply_node_bounds(&data);
+                if !warm {
+                    self.sx.install_slack_basis();
+                }
+                let mut res = self.sx.solve(&SimplexLimits {
+                    max_iterations: None,
+                    deadline: self.deadline,
+                });
+                if warm && res.status != LpStatus::Optimal {
+                    // Warm starts can strand phase 1 in a bad basis; verify
+                    // any non-optimal verdict from a cold start.
+                    self.sx.install_slack_basis();
+                    res = self.sx.solve(&SimplexLimits {
+                        max_iterations: None,
+                        deadline: self.deadline,
+                    });
+                    self.cold_retries += 1;
+                }
+                self.nodes += 1;
+
+                // A stalled LP that is primal-feasible is still a usable
+                // branching point: its fractional solution guides the
+                // children, whose valid bound is inherited from the parent.
+                let stalled_feasible = res.status == LpStatus::IterationLimit
+                    && self.sx.primal_infeasibility() < 1e-5;
+
+                match res.status {
+                    LpStatus::Infeasible => {
+                        self.infeasible_nodes += 1;
+                        self.maybe_report_bound(None);
+                        break;
+                    }
+                    LpStatus::Unbounded => {
+                        if data.is_none() {
+                            root_unbounded = true;
+                            break 'search;
+                        }
+                        // A bounded-below MILP cannot have unbounded nodes
+                        // unless the root was. Never drop the node silently:
+                        // park it so its bound stays open.
+                        self.numerical_failures += 1;
+                        let bound = data.as_ref().map_or(f64::NEG_INFINITY, |d| d.parent_obj);
+                        self.stalled_bounds.push(bound);
+                        break;
+                    }
+                    LpStatus::TimeLimit => {
+                        hit_limit = true;
+                        let bound = data.as_ref().map_or(f64::NEG_INFINITY, |d| d.parent_obj);
+                        let seq = self.next_seq();
+                        self.heap.push(OpenNode { bound, seq, data });
+                        break 'search;
+                    }
+                    LpStatus::IterationLimit if !stalled_feasible => {
+                        // The node LP stalled at an infeasible point; park
+                        // the node (its parent bound stays part of the
+                        // global bound) and move on rather than aborting
+                        // the whole search.
+                        self.numerical_failures += 1;
+                        let bound = data.as_ref().map_or(f64::NEG_INFINITY, |d| d.parent_obj);
+                        self.stalled_bounds.push(bound);
+                        break;
+                    }
+                    LpStatus::IterationLimit | LpStatus::Optimal => {}
+                }
+
+                // For a proven-optimal LP the objective is a valid subtree
+                // bound; a stalled-feasible LP only inherits its parent's.
+                let exact = res.status == LpStatus::Optimal;
+                let obj = if exact {
+                    res.objective
+                } else {
+                    data.as_ref().map_or(f64::NEG_INFINITY, |d| d.parent_obj)
+                };
+
+                // Pseudocost update from the parent's prediction.
+                if exact {
+                    if let Some(d) = &data {
+                        if d.parent_obj.is_finite() {
+                            self.pseudo.record(d.var, d.frac, obj - d.parent_obj, d.up);
+                        }
+                    }
+                }
+
+                if self.prunable(obj) {
+                    self.maybe_report_bound(None);
+                    break;
+                }
+
+                let candidates = self.fractional_candidates();
+                if candidates.is_empty() {
+                    let point_obj = self.sx.objective();
+                    let values = self.sx.values()[..self.lp.num_structural].to_vec();
+                    let snapped = self.snap_integral(values);
+                    self.try_accept_incumbent(&snapped, point_obj, None);
+                    self.maybe_report_bound(None);
+                    break;
+                }
+
+                // Select the branching variable and capture the node state
+                // *before* heuristics run: they re-solve LPs on the shared
+                // simplex and would otherwise leave stale values behind.
+                let Some((var, frac)) =
+                    select_branching_var(self.opts.branching, &candidates, &self.pseudo)
+                else {
+                    break;
+                };
+                let val = self.sx.values()[var];
+                let (node_lb, node_ub) = {
+                    let (l, u) = self.sx.bounds();
+                    (l[var], u[var])
+                };
+                let depth = data.as_ref().map_or(0, |d| d.depth) + 1;
+
+                // Root-only diving heuristic for a fast first incumbent.
+                if data.is_none() && !root_done {
+                    root_done = true;
+                    if self.opts.root_diving {
+                        self.run_diving(obj);
+                    }
+                } else if self.opts.heuristic_frequency > 0
+                    && self.nodes % self.opts.heuristic_frequency == 0
+                {
+                    self.run_rounding(obj);
+                }
+
+                let down = Arc::new(NodeData {
+                    parent: data.clone(),
+                    var,
+                    lb: node_lb,
+                    ub: val.floor(),
+                    parent_obj: obj,
+                    frac,
+                    up: false,
+                    depth,
+                });
+                let up = Arc::new(NodeData {
+                    parent: data.clone(),
+                    var,
+                    lb: val.ceil(),
+                    ub: node_ub,
+                    parent_obj: obj,
+                    frac,
+                    up: true,
+                    depth,
+                });
+                // Dive toward the nearest integer.
+                let (first, second) = if frac < 0.5 { (down, up) } else { (up, down) };
+
+                let seq = self.next_seq();
+                self.heap.push(OpenNode { bound: obj, seq, data: Some(second) });
+
+                dive_depth += 1;
+                if dive_depth <= self.opts.max_dive_depth {
+                    current = Some((Some(first), true));
+                } else {
+                    let seq = self.next_seq();
+                    self.heap.push(OpenNode { bound: obj, seq, data: Some(first) });
+                }
+                self.maybe_report_bound(current.as_ref().map(|_| obj));
+            }
+        }
+
+        if std::env::var_os("MILP_STATS").is_some() {
+            eprintln!(
+                "bb: nodes={} infeasible={} cold_retries={} numerical_failures={} heap_left={}",
+                self.nodes, self.infeasible_nodes, self.cold_retries,
+                self.numerical_failures, self.heap.len()
+            );
+        }
+        // Parked nodes that the incumbent does not prune keep the search
+        // inconclusive.
+        if self.stalled_bounds.iter().any(|&b| !self.prunable(b)) {
+            hit_limit = true;
+        }
+        let bound = self.global_bound(None);
+        let status = if root_unbounded {
+            SolveStatus::Unbounded
+        } else {
+            match (&self.incumbent, hit_limit) {
+                (Some(_), false) => SolveStatus::Optimal,
+                (Some(_), true) => {
+                    if self.gap_reached(None) {
+                        SolveStatus::Optimal
+                    } else {
+                        SolveStatus::Feasible
+                    }
+                }
+                (None, true) => SolveStatus::NoSolutionFound,
+                (None, false) => SolveStatus::Infeasible,
+            }
+        };
+        // When proven optimal the bound equals the incumbent objective.
+        let final_bound = match (&self.incumbent, status) {
+            (Some((_, obj)), SolveStatus::Optimal) => *obj,
+            _ => bound,
+        };
+        SearchOutcome {
+            status,
+            incumbent: self.incumbent,
+            bound: final_bound,
+            nodes: self.nodes,
+            simplex_iterations: self.sx.iterations_total(),
+        }
+    }
+
+    fn gap_reached(&self, current: Option<f64>) -> bool {
+        let Some((_, inc)) = &self.incumbent else { return false };
+        let bound = self.global_bound(current);
+        if !bound.is_finite() {
+            return false;
+        }
+        let gap = (inc - bound).max(0.0) / inc.abs().max(1e-10);
+        gap <= self.opts.relative_gap
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    /// Rounds integer entries that are within tolerance of an integer.
+    fn snap_integral(&self, mut values: Vec<f64>) -> Vec<f64> {
+        for j in 0..self.lp.num_structural {
+            if self.lp.integer[j] {
+                values[j] = values[j].round();
+            }
+        }
+        values
+    }
+
+    fn run_diving(&mut self, current_obj: f64) {
+        let (lb, ub) = {
+            let (l, u) = self.sx.bounds();
+            (l.to_vec(), u.to_vec())
+        };
+        if let Some((vals, obj)) = diving_heuristic(
+            &mut self.sx,
+            self.lp,
+            &lb,
+            &ub,
+            self.opts.integrality_tol,
+            self.deadline,
+        ) {
+            let snapped = self.snap_integral(vals);
+            self.try_accept_incumbent(&snapped, obj, Some(current_obj));
+        }
+    }
+
+    fn run_rounding(&mut self, current_obj: f64) {
+        let base = self.sx.values().to_vec();
+        let (lb, ub) = {
+            let (l, u) = self.sx.bounds();
+            (l.to_vec(), u.to_vec())
+        };
+        if let Some((vals, obj)) =
+            rounding_heuristic(&mut self.sx, self.lp, &lb, &ub, &base, self.deadline)
+        {
+            let snapped = self.snap_integral(vals);
+            self.try_accept_incumbent(&snapped, obj, Some(current_obj));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Sense};
+
+    fn run(model: &Model, opts: &SolverOptions) -> SearchOutcome {
+        let lp = LpProblem::from_model(model);
+        let bb = BranchBound::new(&lp, opts, |_ev| {});
+        bb.run()
+    }
+
+    #[test]
+    fn knapsack_optimum() {
+        // max 4a + 5b + 3c, 3a + 4b + 2c <= 6 -> b + c = 8
+        let mut m = Model::new("ks");
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_binary("c");
+        m.add_le(a * 3.0 + b * 4.0 + c * 2.0, 6.0, "cap");
+        m.set_objective(a * 4.0 + b * 5.0 + c * 3.0, Sense::Maximize);
+        let out = run(&m, &SolverOptions::default());
+        assert_eq!(out.status, SolveStatus::Optimal);
+        let (_, obj) = out.incumbent.unwrap();
+        // Minimization space: -8.
+        assert!((obj + 8.0).abs() < 1e-6, "obj={obj}");
+    }
+
+    #[test]
+    fn infeasible_integer_program() {
+        let mut m = Model::new("inf");
+        let x = m.add_integer(0.0, 10.0, "x");
+        m.add_ge(x * 2.0, 3.0, "c0");
+        m.add_le(x * 2.0, 3.5, "c1"); // forces 1.5 <= x <= 1.75: no integer
+        m.set_objective(x.into(), Sense::Minimize);
+        let out = run(&m, &SolverOptions::default());
+        assert_eq!(out.status, SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn pure_lp_passthrough() {
+        let mut m = Model::new("lp");
+        let x = m.add_continuous(0.0, 2.0, "x");
+        m.set_objective(x.into(), Sense::Maximize);
+        let out = run(&m, &SolverOptions::default());
+        assert_eq!(out.status, SolveStatus::Optimal);
+        assert!((out.incumbent.unwrap().1 + 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn events_are_emitted() {
+        let mut m = Model::new("ev");
+        let vars: Vec<_> = (0..6).map(|i| m.add_binary(format!("x{i}"))).collect();
+        let mut cap = crate::expr::LinExpr::new();
+        let mut obj = crate::expr::LinExpr::new();
+        for (i, &v) in vars.iter().enumerate() {
+            cap += v * (1.0 + i as f64);
+            obj += v * (2.0 + (i as f64) * 1.3);
+        }
+        m.add_le(cap, 7.0, "cap");
+        m.set_objective(obj, Sense::Maximize);
+        let lp = LpProblem::from_model(&m);
+        let opts = SolverOptions::default();
+        let mut incumbents = 0;
+        let mut bounds = 0;
+        let bb = BranchBound::new(&lp, &opts, |ev| match ev {
+            SolverEvent::Incumbent(_) => incumbents += 1,
+            SolverEvent::BoundImproved { .. } => bounds += 1,
+        });
+        let out = bb.run();
+        assert_eq!(out.status, SolveStatus::Optimal);
+        assert!(incumbents >= 1);
+        assert!(bounds >= 1);
+    }
+}

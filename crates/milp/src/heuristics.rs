@@ -1,0 +1,188 @@
+//! Primal heuristics: quick attempts at integer-feasible solutions.
+//!
+//! Both heuristics are what gives the solver its early *anytime* incumbents:
+//! branch and bound alone may take many nodes before an LP relaxation comes
+//! out integral, but rounding/diving usually produce a feasible plan within
+//! the first few LP solves — mirroring how commercial solvers behave in the
+//! paper's Figure 2 (incumbents almost immediately, bound closes later).
+
+use std::time::Instant;
+
+use crate::lp::LpProblem;
+use crate::simplex::{LpStatus, Simplex, SimplexLimits};
+
+/// Result of a heuristic: structural variable values and the
+/// minimization-space objective.
+pub type HeuristicSolution = (Vec<f64>, f64);
+
+/// Rounds all integer variables of `base_values` to the nearest integer
+/// within the node bounds, fixes them, and re-solves the LP for the
+/// continuous variables. Returns a feasible solution if the fixed LP is
+/// feasible.
+///
+/// `node_lb`/`node_ub` are the bounds of the node the heuristic runs at; the
+/// simplex `sx` is left with those bounds restored.
+pub fn rounding_heuristic(
+    sx: &mut Simplex<'_>,
+    lp: &LpProblem,
+    node_lb: &[f64],
+    node_ub: &[f64],
+    base_values: &[f64],
+    deadline: Option<Instant>,
+) -> Option<HeuristicSolution> {
+    for j in 0..lp.num_structural {
+        if lp.integer[j] {
+            let target = base_values[j].round().clamp(node_lb[j], node_ub[j]).round();
+            sx.set_bounds(j, target, target);
+        } else {
+            sx.set_bounds(j, node_lb[j], node_ub[j]);
+        }
+    }
+    let res = sx.solve(&SimplexLimits { max_iterations: None, deadline });
+    let out = if res.status == LpStatus::Optimal {
+        Some((sx.values()[..lp.num_structural].to_vec(), res.objective))
+    } else {
+        None
+    };
+    restore_bounds(sx, node_lb, node_ub);
+    out
+}
+
+/// Iteratively fixes the most fractional integer variable to its nearest
+/// integer and re-solves, until the LP is integral. When a fix makes the LP
+/// infeasible, the opposite rounding is tried once before giving up.
+/// Classic "fractional diving" with one-level backtracking.
+pub fn diving_heuristic(
+    sx: &mut Simplex<'_>,
+    lp: &LpProblem,
+    node_lb: &[f64],
+    node_ub: &[f64],
+    integrality_tol: f64,
+    deadline: Option<Instant>,
+) -> Option<HeuristicSolution> {
+    let max_depth = 10 + 2 * lp.integer.iter().filter(|&&b| b).count();
+    let mut result = None;
+    // Dive LPs are warm-started and should re-solve in few pivots; a stalled
+    // one just fails the heuristic instead of burning the time budget.
+    let lp_iteration_cap = 500 + 4 * (lp.num_rows as u64);
+    // The fix applied at the previous level, for one-step backtracking:
+    // (var, tried value, pre-fix lower, pre-fix upper, already retried).
+    let mut last_fix: Option<(usize, f64, f64, f64, bool)> = None;
+    for _depth in 0..max_depth {
+        let res = sx.solve(&SimplexLimits { max_iterations: Some(lp_iteration_cap), deadline });
+        if res.status != LpStatus::Optimal {
+            // Try the opposite rounding of the most recent fix once.
+            match last_fix.take() {
+                Some((j, tried, lo, hi, false)) if res.status == LpStatus::Infeasible => {
+                    let opposite = if tried > (lo + hi) / 2.0 { tried - 1.0 } else { tried + 1.0 };
+                    if opposite >= lo - 0.5 && opposite <= hi + 0.5 {
+                        let v = opposite.clamp(lo, hi).round();
+                        sx.set_bounds(j, v, v);
+                        last_fix = Some((j, v, lo, hi, true));
+                        continue;
+                    }
+                    break;
+                }
+                _ => break,
+            }
+        }
+        let values = sx.values();
+        // Most fractional integer variable.
+        let mut pick: Option<(usize, f64, f64)> = None; // (col, value, fractionality)
+        for j in 0..lp.num_structural {
+            if !lp.integer[j] {
+                continue;
+            }
+            let v = values[j];
+            let frac_dist = (v - v.round()).abs();
+            if frac_dist > integrality_tol {
+                match pick {
+                    Some((_, _, best)) if frac_dist <= best => {}
+                    _ => pick = Some((j, v, frac_dist)),
+                }
+            }
+        }
+        let Some((j, v, _)) = pick else {
+            // Integral.
+            result = Some((values[..lp.num_structural].to_vec(), res.objective));
+            break;
+        };
+        // Pin every already-integral integer variable (cheap: they satisfy
+        // the current LP) so later re-solves cannot wander, then fix the
+        // most fractional one toward its nearest integer.
+        let snapshot: Vec<(usize, f64)> = (0..lp.num_structural)
+            .filter(|&k| lp.integer[k])
+            .map(|k| (k, values[k]))
+            .collect();
+        for (k, vk) in snapshot {
+            if k != j && (vk - vk.round()).abs() <= 1e-9 {
+                let (lo, hi) = {
+                    let (lb, ub) = sx.bounds();
+                    (lb[k], ub[k])
+                };
+                let t = vk.round().clamp(lo, hi).round();
+                sx.set_bounds(k, t, t);
+            }
+        }
+        let (lo, hi) = {
+            let (lb, ub) = sx.bounds();
+            (lb[j], ub[j])
+        };
+        let target = v.round().clamp(lo, hi).round();
+        sx.set_bounds(j, target, target);
+        last_fix = Some((j, target, lo, hi, false));
+    }
+    restore_bounds(sx, node_lb, node_ub);
+    result
+}
+
+fn restore_bounds(sx: &mut Simplex<'_>, node_lb: &[f64], node_ub: &[f64]) {
+    for j in 0..node_lb.len() {
+        sx.set_bounds(j, node_lb[j], node_ub[j]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lp::LpProblem;
+    use crate::model::{Model, Sense};
+
+    /// min -x - y, x,y binary, x + y <= 1: optimum -1.
+    fn toy() -> Model {
+        let mut m = Model::new("t");
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_le(x + y, 1.0, "c");
+        m.set_objective(x * -1.0 - y, Sense::Minimize);
+        m
+    }
+
+    #[test]
+    fn rounding_finds_feasible_point() {
+        let m = toy();
+        let lp = LpProblem::from_model(&m);
+        let mut sx = Simplex::new(&lp);
+        sx.solve(&SimplexLimits::default());
+        let base = sx.values().to_vec();
+        let (lb, ub) = (lp.lb.clone(), lp.ub.clone());
+        if let Some((vals, obj)) = rounding_heuristic(&mut sx, &lp, &lb, &ub, &base, None) {
+            assert!(m.is_feasible(&vals, 1e-6), "{vals:?}");
+            assert!(obj <= 0.0);
+        }
+        // Bounds restored either way.
+        assert_eq!(sx.bounds().0, &lb[..]);
+    }
+
+    #[test]
+    fn diving_reaches_integral_solution() {
+        let m = toy();
+        let lp = LpProblem::from_model(&m);
+        let mut sx = Simplex::new(&lp);
+        let (lb, ub) = (lp.lb.clone(), lp.ub.clone());
+        let sol = diving_heuristic(&mut sx, &lp, &lb, &ub, 1e-6, None);
+        let (vals, obj) = sol.expect("diving should succeed on this toy problem");
+        assert!(m.is_feasible(&vals, 1e-6));
+        assert!((obj - (-1.0)).abs() < 1e-6, "objective {obj}");
+    }
+}

@@ -1,0 +1,102 @@
+//! Solver configuration.
+
+use std::time::Duration;
+
+/// Variable selection rule for branching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BranchingRule {
+    /// Branch on the integer variable whose LP value is closest to 0.5
+    /// fractionality.
+    MostFractional,
+    /// Pseudocost branching: estimated objective degradation per unit of
+    /// fractionality, learned from observed LP bound changes.
+    #[default]
+    Pseudocost,
+}
+
+/// Options controlling a MILP solve.
+#[derive(Debug, Clone)]
+pub struct SolverOptions {
+    /// Wall-clock limit for the whole solve.
+    pub time_limit: Option<Duration>,
+    /// Stop as soon as the relative gap `(incumbent - bound)/max(|incumbent|, eps)`
+    /// falls below this value. `0.0` demands proven optimality (within
+    /// tolerances).
+    pub relative_gap: f64,
+    /// Maximum number of branch-and-bound nodes.
+    pub node_limit: Option<u64>,
+    /// Branching variable selection rule.
+    pub branching: BranchingRule,
+    /// Integer feasibility tolerance.
+    pub integrality_tol: f64,
+    /// Run the rounding heuristic every this many nodes (0 disables).
+    pub heuristic_frequency: u64,
+    /// Enable the diving heuristic at the root node.
+    pub root_diving: bool,
+    /// Enable bound-tightening presolve.
+    pub presolve: bool,
+    /// Depth of the periodic best-first plunge (dive) after node selection.
+    pub max_dive_depth: u32,
+    /// Random seed (tie-breaking only; the algorithm is deterministic for a
+    /// fixed seed).
+    pub seed: u64,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            time_limit: None,
+            relative_gap: 1e-6,
+            node_limit: None,
+            branching: BranchingRule::default(),
+            integrality_tol: 1e-6,
+            heuristic_frequency: 50,
+            root_diving: true,
+            presolve: true,
+            max_dive_depth: 64,
+            seed: 0,
+        }
+    }
+}
+
+impl SolverOptions {
+    /// Convenience: options with a time limit.
+    pub fn with_time_limit(limit: Duration) -> Self {
+        SolverOptions { time_limit: Some(limit), ..Default::default() }
+    }
+
+    /// Builder-style setter for the relative gap target.
+    pub fn relative_gap(mut self, gap: f64) -> Self {
+        self.relative_gap = gap;
+        self
+    }
+
+    /// Builder-style setter for the branching rule.
+    pub fn branching(mut self, rule: BranchingRule) -> Self {
+        self.branching = rule;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = SolverOptions::default();
+        assert!(o.time_limit.is_none());
+        assert!(o.relative_gap >= 0.0);
+        assert!(o.integrality_tol > 0.0 && o.integrality_tol < 1e-2);
+    }
+
+    #[test]
+    fn builders() {
+        let o = SolverOptions::with_time_limit(Duration::from_secs(3))
+            .relative_gap(0.05)
+            .branching(BranchingRule::MostFractional);
+        assert_eq!(o.time_limit, Some(Duration::from_secs(3)));
+        assert_eq!(o.relative_gap, 0.05);
+        assert_eq!(o.branching, BranchingRule::MostFractional);
+    }
+}

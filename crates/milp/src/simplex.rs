@@ -1,0 +1,889 @@
+//! Bounded-variable primal simplex with composite phase 1.
+//!
+//! The engine works on the computational form of [`crate::lp::LpProblem`]:
+//! all columns (structural and logical) are bounded variables, the
+//! constraint system is `A x + s = 0`. Phase 1 minimizes the sum of primal
+//! infeasibilities of the basic variables (no artificial variables are
+//! introduced), which makes warm starts after branch-and-bound bound changes
+//! cheap: a handful of phase-1 iterations repair the basis.
+//!
+//! Numerical safeguards: sparse LU with partial pivoting, product-form
+//! updates with periodic refactorization, Harris-style two-pass ratio test,
+//! relative dual tolerances, and a Bland's-rule fallback under prolonged
+//! degeneracy.
+
+use std::time::Instant;
+
+use crate::lp::LpProblem;
+use crate::lu::LuFactors;
+
+/// Basis membership of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarStatus {
+    Basic,
+    AtLower,
+    AtUpper,
+    /// Nonbasic free variable, resting at zero.
+    Free,
+}
+
+/// A saved basis: per-column status. Row assignments are reconstructed on
+/// load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasisSnapshot {
+    pub status: Vec<VarStatus>,
+}
+
+/// Outcome of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    Optimal,
+    Infeasible,
+    Unbounded,
+    IterationLimit,
+    TimeLimit,
+}
+
+/// Result summary of one simplex run.
+#[derive(Debug, Clone)]
+pub struct LpResult {
+    pub status: LpStatus,
+    /// Minimization-space objective (without offset); meaningful for
+    /// `Optimal` and as a best-effort value otherwise.
+    pub objective: f64,
+    pub iterations: u64,
+}
+
+/// Resource limits for one solve call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimplexLimits {
+    pub max_iterations: Option<u64>,
+    pub deadline: Option<Instant>,
+}
+
+const FEAS_TOL: f64 = 1e-7;
+const DUAL_TOL: f64 = 1e-7;
+const PIVOT_TOL: f64 = 1e-8;
+const REFACTOR_INTERVAL: usize = 100;
+/// Consecutive degenerate pivots before switching to Bland's rule.
+const DEGEN_LIMIT: u64 = 400;
+
+fn feas_tol(bound: f64) -> f64 {
+    FEAS_TOL * (1.0 + bound.abs())
+}
+
+/// The simplex engine. Owns working bounds (so branch-and-bound can tighten
+/// them without touching the shared [`LpProblem`]) and the current basis.
+pub struct Simplex<'a> {
+    lp: &'a LpProblem,
+    pub lb: Vec<f64>,
+    pub ub: Vec<f64>,
+    status: Vec<VarStatus>,
+    /// basis[i] = column occupying basis position i.
+    basis: Vec<usize>,
+    x: Vec<f64>,
+    lu: Option<LuFactors>,
+    iterations_total: u64,
+    /// Active cost perturbation (anti-cycling), sparse over columns.
+    perturbation: Option<Vec<f64>>,
+}
+
+impl<'a> Simplex<'a> {
+    pub fn new(lp: &'a LpProblem) -> Self {
+        let ncols = lp.num_cols();
+        let m = lp.num_rows;
+        let mut s = Simplex {
+            lp,
+            lb: lp.lb.clone(),
+            ub: lp.ub.clone(),
+            status: vec![VarStatus::AtLower; ncols],
+            basis: Vec::with_capacity(m),
+            x: vec![0.0; ncols],
+            lu: None,
+            iterations_total: 0,
+            perturbation: None,
+        };
+        s.install_slack_basis();
+        s
+    }
+
+    /// Resets to the all-logical basis.
+    pub fn install_slack_basis(&mut self) {
+        let n = self.lp.num_structural;
+        let m = self.lp.num_rows;
+        self.basis.clear();
+        for j in 0..n {
+            self.status[j] = self.nonbasic_resting_status(j);
+        }
+        for i in 0..m {
+            self.status[n + i] = VarStatus::Basic;
+            self.basis.push(n + i);
+        }
+        self.lu = None;
+    }
+
+    fn nonbasic_resting_status(&self, j: usize) -> VarStatus {
+        let (l, u) = (self.lb[j], self.ub[j]);
+        if l.is_finite() {
+            VarStatus::AtLower
+        } else if u.is_finite() {
+            VarStatus::AtUpper
+        } else {
+            VarStatus::Free
+        }
+    }
+
+    /// Overrides the bounds of a column (used by branch and bound). The
+    /// caller must re-solve afterwards.
+    pub fn set_bounds(&mut self, col: usize, lb: f64, ub: f64) {
+        self.lb[col] = lb;
+        self.ub[col] = ub;
+    }
+
+    /// Restores bounds from the underlying problem.
+    pub fn reset_bounds(&mut self) {
+        self.lb.copy_from_slice(&self.lp.lb);
+        self.ub.copy_from_slice(&self.lp.ub);
+    }
+
+    pub fn basis_snapshot(&self) -> BasisSnapshot {
+        BasisSnapshot { status: self.status.clone() }
+    }
+
+    /// Loads a basis snapshot. Falls back to the slack basis if the snapshot
+    /// does not contain exactly `m` basic columns.
+    pub fn load_basis(&mut self, snap: &BasisSnapshot) {
+        let m = self.lp.num_rows;
+        if snap.status.len() != self.status.len()
+            || snap.status.iter().filter(|s| **s == VarStatus::Basic).count() != m
+        {
+            self.install_slack_basis();
+            return;
+        }
+        self.status.copy_from_slice(&snap.status);
+        self.basis.clear();
+        for (j, s) in self.status.iter().enumerate() {
+            if *s == VarStatus::Basic {
+                self.basis.push(j);
+            }
+        }
+        self.lu = None;
+    }
+
+    /// Current column values (structural prefix is the model solution).
+    pub fn values(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Minimization-space objective of the current point (without offset).
+    pub fn objective(&self) -> f64 {
+        let mut acc = 0.0;
+        for (j, &c) in self.lp.obj.iter().enumerate() {
+            if c != 0.0 {
+                acc += c * self.x[j];
+            }
+        }
+        acc
+    }
+
+    pub fn iterations_total(&self) -> u64 {
+        self.iterations_total
+    }
+
+    /// Objective coefficient of a column including any active anti-cycling
+    /// perturbation.
+    fn cost(&self, j: usize) -> f64 {
+        match &self.perturbation {
+            Some(p) => self.lp.obj[j] + p[j],
+            None => self.lp.obj[j],
+        }
+    }
+
+    /// Objective of the current point under the working (possibly
+    /// perturbed) costs — the quantity the iteration actually decreases.
+    fn working_objective(&self) -> f64 {
+        match &self.perturbation {
+            Some(p) => {
+                let mut acc = 0.0;
+                for j in 0..self.lp.num_cols() {
+                    let c = self.lp.obj[j] + p[j];
+                    if c != 0.0 {
+                        acc += c * self.x[j];
+                    }
+                }
+                acc
+            }
+            None => self.objective(),
+        }
+    }
+
+    fn snap_nonbasic_values(&mut self) {
+        for j in 0..self.lp.num_cols() {
+            match self.status[j] {
+                VarStatus::AtLower => {
+                    if self.lb[j].is_finite() {
+                        self.x[j] = self.lb[j];
+                    } else {
+                        self.status[j] = self.nonbasic_resting_status(j);
+                        self.x[j] = match self.status[j] {
+                            VarStatus::AtUpper => self.ub[j],
+                            _ => 0.0,
+                        };
+                    }
+                }
+                VarStatus::AtUpper => {
+                    if self.ub[j].is_finite() {
+                        self.x[j] = self.ub[j];
+                    } else {
+                        self.status[j] = self.nonbasic_resting_status(j);
+                        self.x[j] = match self.status[j] {
+                            VarStatus::AtLower => self.lb[j],
+                            _ => 0.0,
+                        };
+                    }
+                }
+                VarStatus::Free => self.x[j] = 0.0,
+                VarStatus::Basic => {}
+            }
+        }
+    }
+
+    fn factorize(&mut self) {
+        let lp = self.lp;
+        let basis = self.basis.clone();
+        let mut getter = |k: usize| lp.column_pattern(basis[k]);
+        let (lu, report) = LuFactors::factorize(lp.num_rows, &mut getter);
+        self.lu = Some(lu);
+        // Defective columns were replaced by logicals; mirror that in the
+        // basis bookkeeping.
+        for &(pos, row) in &report.replaced {
+            let kicked = self.basis[pos];
+            let logical = self.lp.num_structural + row;
+            if kicked == logical {
+                continue;
+            }
+            self.status[kicked] = self.nonbasic_resting_status(kicked);
+            // If the logical was nonbasic it now becomes basic; if it was
+            // "basic" at another position the factorization would have
+            // pivoted its row, so this cannot occur.
+            self.status[logical] = VarStatus::Basic;
+            self.basis[pos] = logical;
+        }
+    }
+
+    /// Recomputes basic variable values from the nonbasic assignment.
+    fn compute_basics(&mut self) {
+        self.snap_nonbasic_values();
+        let m = self.lp.num_rows;
+        let mut rhs = vec![0.0; m];
+        for j in 0..self.lp.num_cols() {
+            if self.status[j] != VarStatus::Basic && self.x[j] != 0.0 {
+                self.lp.column_axpy(j, -self.x[j], &mut rhs);
+            }
+        }
+        self.lu.as_ref().expect("factorized").ftran(&mut rhs);
+        for (i, &col) in self.basis.iter().enumerate() {
+            self.x[col] = rhs[i];
+        }
+    }
+
+    /// Runs the simplex method to completion or a limit.
+    pub fn solve(&mut self, limits: &SimplexLimits) -> LpResult {
+        let m = self.lp.num_rows;
+        let ncols = self.lp.num_cols();
+        let max_iter = limits
+            .max_iterations
+            .unwrap_or_else(|| 2_000 + 40 * (m as u64 + ncols as u64));
+
+        // Reuse existing factors when only bounds changed since the last
+        // solve (the common warm-start path in branch and bound).
+        if self.lu.is_none() {
+            self.factorize();
+        }
+        self.compute_basics();
+
+        self.perturbation = None;
+        let trace = std::env::var_os("MILP_TRACE").is_some();
+        let mut iterations = 0u64;
+        let mut degen_streak = 0u64;
+        let mut etas_since_refactor = 0usize;
+        // Incremental value updates drift numerically; every termination
+        // verdict is confirmed against freshly refactorized basic values
+        // before it is returned.
+        let mut confirmed = false;
+        // Stall detection on actual progress (micro-steps from the Harris
+        // relaxation evade the pure step-length degeneracy counter): switch
+        // to Bland's rule after STALL_BLAND non-improving iterations and
+        // give up (IterationLimit) after STALL_ABORT.
+        const STALL_BLAND: u64 = 200;
+        /// Non-improving iterations before cost perturbation engages.
+        const STALL_PERTURB: u64 = 400;
+        // Last-resort abort: scaled to the problem size, since large
+        // degenerate LPs legitimately crawl through long zero-step
+        // stretches between improvements.
+        let stall_abort: u64 = 5_000 + 4 * m as u64;
+        let mut stall_counter = 0u64;
+        let mut best_progress = f64::INFINITY; // phase1: violation; phase2: objective
+        let mut last_phase1 = false;
+
+        loop {
+            if iterations >= max_iter {
+                return self.finish(LpStatus::IterationLimit, iterations);
+            }
+            if iterations % 64 == 0 {
+                if let Some(deadline) = limits.deadline {
+                    if Instant::now() >= deadline {
+                        return self.finish(LpStatus::TimeLimit, iterations);
+                    }
+                }
+            }
+            if etas_since_refactor >= REFACTOR_INTERVAL {
+                self.factorize();
+                self.compute_basics();
+                etas_since_refactor = 0;
+            }
+
+            // Phase detection: total violation of basic bounds (violations
+            // below the per-bound tolerance are ignored so that phase 1
+            // cannot tread water on sub-tolerance noise).
+            let mut total_violation = 0.0;
+            for &col in &self.basis {
+                let v = self.x[col];
+                if v < self.lb[col] - feas_tol(self.lb[col]) {
+                    total_violation += self.lb[col] - v;
+                } else if v > self.ub[col] + feas_tol(self.ub[col]) {
+                    total_violation += v - self.ub[col];
+                }
+            }
+            let phase1 = total_violation > 1e-6;
+
+            // Progress accounting for stall detection (scales differ per
+            // phase, so reset on phase changes).
+            if phase1 != last_phase1 {
+                best_progress = f64::INFINITY;
+                last_phase1 = phase1;
+            }
+            let progress = if phase1 { total_violation } else { self.working_objective() };
+            if progress < best_progress - 1e-13 * (1.0 + best_progress.abs()) {
+                best_progress = progress;
+                stall_counter = 0;
+            } else {
+                stall_counter += 1;
+            }
+            if stall_counter >= stall_abort {
+                return self.finish(LpStatus::IterationLimit, iterations);
+            }
+            let engage_perturbation =
+                stall_counter >= STALL_PERTURB && self.perturbation.is_none() && !phase1;
+            if engage_perturbation {
+                // Deterministic tiny cost perturbation: breaks the exact
+                // dual ties that tolerance-based Bland's rule cannot.
+                let pert: Vec<f64> = (0..ncols)
+                    .map(|j| {
+                        let h = (j as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                        let u = (h >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+                        1e-7 * (1.0 + self.lp.obj[j].abs()) * (0.5 + u)
+                    })
+                    .collect();
+                self.perturbation = Some(pert);
+                // Progress is now measured against the perturbed objective.
+                best_progress = f64::INFINITY;
+                stall_counter = 0;
+            }
+
+            // Dual values for the phase objective.
+            let mut cb = vec![0.0; m];
+            for (i, &col) in self.basis.iter().enumerate() {
+                cb[i] = if phase1 {
+                    let v = self.x[col];
+                    if v < self.lb[col] - feas_tol(self.lb[col]) {
+                        -1.0
+                    } else if v > self.ub[col] + feas_tol(self.ub[col]) {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                } else {
+                    self.cost(col)
+                };
+            }
+            self.lu.as_ref().unwrap().btran(&mut cb);
+            let y = cb; // now indexed by row
+
+            // Pricing: Dantzig rule on scale-normalized reduced costs, or
+            // Bland's rule (first eligible index) under prolonged
+            // degeneracy.
+            let use_bland = degen_streak > DEGEN_LIMIT || stall_counter > STALL_BLAND;
+            let mut entering: Option<(usize, f64, f64)> = None; // (col, score, direction)
+            for j in 0..ncols {
+                let st = self.status[j];
+                if st == VarStatus::Basic {
+                    continue;
+                }
+                // Fixed columns (equality slacks, fixed variables) cannot
+                // move and must never enter.
+                if self.ub[j] - self.lb[j] <= 0.0 {
+                    continue;
+                }
+                let cj = if phase1 { 0.0 } else { self.cost(j) };
+                let d = cj - self.lp.column_dot(j, &y);
+                // The matrix is equilibration-scaled, so an absolute dual
+                // tolerance plus a small noise floor proportional to the
+                // dot-product magnitude is appropriate. Phase 1 uses a much
+                // tighter tolerance: a repair direction may carry a tiny
+                // reduced cost when fixing the violation needs a long walk,
+                // and missing it turns a feasible LP into a false
+                // "infeasible".
+                let scale = 1.0 + cj.abs() + self.lp.column_abs_dot(j, &y);
+                let tol = if phase1 { 1e-10 + 1e-13 * scale } else { DUAL_TOL + 1e-12 * scale };
+                let dir = match st {
+                    VarStatus::AtLower if d < -tol => 1.0,
+                    VarStatus::AtUpper if d > tol => -1.0,
+                    VarStatus::Free if d < -tol => 1.0,
+                    VarStatus::Free if d > tol => -1.0,
+                    _ => continue,
+                };
+                if use_bland {
+                    entering = Some((j, d.abs(), dir));
+                    break;
+                }
+                let score = d.abs() / scale.sqrt();
+                match entering {
+                    Some((_, best, _)) if score <= best => {}
+                    _ => entering = Some((j, score, dir)),
+                }
+            }
+
+            let Some((q, _, dir)) = entering else {
+                // Optimal under perturbed costs: drop the perturbation and
+                // re-optimize the true objective from this (usually
+                // optimal) basis.
+                if !phase1 && self.perturbation.is_some() {
+                    self.perturbation = None;
+                    best_progress = f64::INFINITY;
+                    stall_counter = 0;
+                    degen_streak = 0;
+                    confirmed = false;
+                    iterations += 1;
+                    continue;
+                }
+                // Phase optimal — but only trust values computed from a
+                // fresh factorization (incremental updates drift).
+                if !confirmed {
+                    self.factorize();
+                    self.compute_basics();
+                    etas_since_refactor = 0;
+                    confirmed = true;
+                    iterations += 1;
+                    continue;
+                }
+                if phase1 {
+                    // Confirmed phase-1 optimum with positive violation.
+                    return self.finish(LpStatus::Infeasible, iterations);
+                }
+                return self.finish(LpStatus::Optimal, iterations);
+            };
+            confirmed = false;
+
+            // Entering direction d = B^-1 a_q.
+            let mut dvec = vec![0.0; m];
+            self.lp.column_axpy(q, 1.0, &mut dvec);
+            self.lu.as_ref().unwrap().ftran(&mut dvec);
+
+            // Ratio test (two-pass Harris style; strict Bland variant under
+            // prolonged degeneracy).
+            let (step, leaving) = self.ratio_test(q, dir, &dvec, phase1, use_bland);
+
+            if trace {
+                eprintln!(
+                    "it={iterations} ph={} q={q} dir={dir} step={step:.3e} out={leaving:?} obj={:.9} bland={use_bland}",
+                    if phase1 { 1 } else { 2 },
+                    self.objective()
+                );
+            }
+
+            match leaving {
+                RatioOutcome::Unbounded => {
+                    if phase1 {
+                        // Should not happen: infeasibility is bounded below.
+                        return self.finish(LpStatus::Infeasible, iterations);
+                    }
+                    return self.finish(LpStatus::Unbounded, iterations);
+                }
+                RatioOutcome::BoundFlip => {
+                    // Entering moves to its opposite bound; basis unchanged.
+                    let t = step;
+                    self.apply_step(q, dir, t, &dvec);
+                    self.status[q] = match self.status[q] {
+                        VarStatus::AtLower => VarStatus::AtUpper,
+                        VarStatus::AtUpper => VarStatus::AtLower,
+                        s => s,
+                    };
+                    self.x[q] = match self.status[q] {
+                        VarStatus::AtLower => self.lb[q],
+                        VarStatus::AtUpper => self.ub[q],
+                        _ => self.x[q],
+                    };
+                }
+                RatioOutcome::Leaving { row, to_upper } => {
+                    let t = step;
+                    self.apply_step(q, dir, t, &dvec);
+                    let out_col = self.basis[row];
+                    self.status[out_col] =
+                        if to_upper { VarStatus::AtUpper } else { VarStatus::AtLower };
+                    self.x[out_col] =
+                        if to_upper { self.ub[out_col] } else { self.lb[out_col] };
+                    self.status[q] = VarStatus::Basic;
+                    self.basis[row] = q;
+                    let ok = self.lu.as_mut().unwrap().push_eta(row, &dvec);
+                    if ok {
+                        etas_since_refactor += 1;
+                    } else {
+                        self.factorize();
+                        self.compute_basics();
+                        etas_since_refactor = 0;
+                    }
+                }
+            }
+
+            if step > 1e-10 {
+                degen_streak = 0;
+            } else {
+                degen_streak += 1;
+            }
+            iterations += 1;
+        }
+    }
+
+    /// Moves entering `q` by `dir * t` and updates basics along `dvec`.
+    fn apply_step(&mut self, q: usize, dir: f64, t: f64, dvec: &[f64]) {
+        if t == 0.0 {
+            return;
+        }
+        self.x[q] += dir * t;
+        for (i, &di) in dvec.iter().enumerate() {
+            if di != 0.0 {
+                let col = self.basis[i];
+                self.x[col] -= dir * t * di;
+            }
+        }
+    }
+
+    fn ratio_test(
+        &self,
+        q: usize,
+        dir: f64,
+        dvec: &[f64],
+        phase1: bool,
+        bland: bool,
+    ) -> (f64, RatioOutcome) {
+        // The entering variable's own range provides a bound-flip candidate.
+        let own_range = self.ub[q] - self.lb[q];
+        let mut limit = if own_range.is_finite() { own_range } else { f64::INFINITY };
+        let mut limit_is_flip = own_range.is_finite();
+
+        // Pass 1: step limit. Harris relaxation is disabled in Bland mode so
+        // that the anti-cycling argument applies to exact ratios.
+        for (i, &di) in dvec.iter().enumerate() {
+            if di.abs() <= PIVOT_TOL {
+                continue;
+            }
+            let col = self.basis[i];
+            let delta = -dir * di; // movement of basic per unit step
+            let xb = self.x[col];
+            let (l, u) = (self.lb[col], self.ub[col]);
+            let target = self.breakpoint(xb, l, u, delta, phase1);
+            let Some(target) = target else { continue };
+            let slack = if bland { 0.0 } else { feas_tol(target) };
+            let relaxed = target + slack * delta.signum();
+            let ratio = ((relaxed - xb) / delta).max(0.0);
+            if ratio < limit {
+                limit = ratio;
+                limit_is_flip = false;
+            }
+        }
+
+        if limit.is_infinite() {
+            return (0.0, RatioOutcome::Unbounded);
+        }
+
+        // Pass 2: among blocking rows within the limit, choose the largest
+        // pivot magnitude (or the smallest variable index under Bland's
+        // rule); step to the chosen row's exact bound.
+        let mut best: Option<(usize, f64, f64, bool)> = None; // (row, |pivot| or -col, exact ratio, to_upper)
+        for (i, &di) in dvec.iter().enumerate() {
+            if di.abs() <= PIVOT_TOL {
+                continue;
+            }
+            let col = self.basis[i];
+            let delta = -dir * di;
+            let xb = self.x[col];
+            let (l, u) = (self.lb[col], self.ub[col]);
+            let Some(target) = self.breakpoint(xb, l, u, delta, phase1) else { continue };
+            let exact = ((target - xb) / delta).max(0.0);
+            if exact <= limit + 1e-15 {
+                // The leaving variable rests at whichever bound blocked.
+                let to_upper = target == u && l != u;
+                // Bland: prefer the smallest column index; otherwise the
+                // largest pivot for numerical stability.
+                let score = if bland { -(col as f64) } else { di.abs() };
+                match best {
+                    Some((_, bs, _, _)) if score <= bs => {}
+                    _ => best = Some((i, score, exact, to_upper)),
+                }
+            }
+        }
+
+        match best {
+            Some((row, _, exact, to_upper)) => (exact, RatioOutcome::Leaving { row, to_upper }),
+            None if limit_is_flip => (own_range, RatioOutcome::BoundFlip),
+            None => {
+                // Relaxation artifacts: fall back to the entering variable's
+                // own range as a flip if possible, otherwise declare
+                // unbounded.
+                if own_range.is_finite() {
+                    (own_range, RatioOutcome::BoundFlip)
+                } else {
+                    (0.0, RatioOutcome::Unbounded)
+                }
+            }
+        }
+    }
+
+    /// The bound at which a basic variable blocks, given its movement
+    /// direction, or `None` if it never blocks.
+    fn breakpoint(&self, xb: f64, l: f64, u: f64, delta: f64, phase1: bool) -> Option<f64> {
+        let below = xb < l - feas_tol(l);
+        let above = xb > u + feas_tol(u);
+        if delta > 0.0 {
+            if below {
+                // Infeasible below, moving up: becomes feasible at l.
+                Some(l)
+            } else if above {
+                // Above the upper bound, moving up: no gradient change.
+                if phase1 { None } else { Some(u) }
+            } else if u.is_finite() {
+                Some(u)
+            } else {
+                None
+            }
+        } else if above {
+            Some(u)
+        } else if below {
+            if phase1 { None } else { Some(l) }
+        } else if l.is_finite() {
+            Some(l)
+        } else {
+            None
+        }
+    }
+
+    fn finish(&mut self, status: LpStatus, iterations: u64) -> LpResult {
+        self.iterations_total += iterations;
+        LpResult { status, objective: self.objective(), iterations }
+    }
+
+    /// Columns violating their bounds, with violation amounts (diagnostics).
+    pub fn infeasible_columns(&self) -> Vec<(usize, f64)> {
+        (0..self.lp.num_cols())
+            .filter_map(|j| {
+                let v = self.x[j];
+                let viol = (self.lb[j] - v).max(0.0) + (v - self.ub[j]).max(0.0);
+                (viol > 0.0).then_some((j, viol))
+            })
+            .collect()
+    }
+
+    /// Primal infeasibility of the current point (for diagnostics).
+    pub fn primal_infeasibility(&self) -> f64 {
+        let mut total = 0.0;
+        for j in 0..self.lp.num_cols() {
+            let v = self.x[j];
+            total += (self.lb[j] - v).max(0.0) + (v - self.ub[j]).max(0.0);
+        }
+        total
+    }
+
+    /// Access to the working bounds (for heuristics).
+    pub fn bounds(&self) -> (&[f64], &[f64]) {
+        (&self.lb, &self.ub)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum RatioOutcome {
+    Leaving { row: usize, to_upper: bool },
+    BoundFlip,
+    Unbounded,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lp::LpProblem;
+    use crate::model::{Model, Sense};
+
+    fn solve_model(m: &Model) -> (LpResult, Vec<f64>, LpProblem) {
+        let lp = LpProblem::from_model(m);
+        let mut sx = Simplex::new(&lp);
+        let res = sx.solve(&SimplexLimits::default());
+        let vals = sx.values()[..lp.num_structural].to_vec();
+        (res, vals, lp)
+    }
+
+    #[test]
+    fn simple_2d_lp() {
+        // max x + y s.t. x + 2y <= 4, 3x + y <= 6, x,y >= 0
+        // optimum at x=1.6, y=1.2, obj=2.8
+        let mut m = Model::new("t");
+        let x = m.add_continuous(0.0, f64::INFINITY, "x");
+        let y = m.add_continuous(0.0, f64::INFINITY, "y");
+        m.add_le(x + y * 2.0, 4.0, "c0");
+        m.add_le(x * 3.0 + y, 6.0, "c1");
+        m.set_objective(x + y, Sense::Maximize);
+        let (res, vals, lp) = solve_model(&m);
+        assert_eq!(res.status, LpStatus::Optimal);
+        assert!((lp.user_objective(res.objective) - 2.8).abs() < 1e-6);
+        assert!((vals[0] - 1.6).abs() < 1e-6);
+        assert!((vals[1] - 1.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + y = 2, x - y = 0 -> x = y = 1
+        let mut m = Model::new("t");
+        let x = m.add_continuous(0.0, 10.0, "x");
+        let y = m.add_continuous(0.0, 10.0, "y");
+        m.add_eq(x + y, 2.0, "c0");
+        m.add_eq(x - y, 0.0, "c1");
+        m.set_objective(x + y, Sense::Minimize);
+        let (res, vals, _) = solve_model(&m);
+        assert_eq!(res.status, LpStatus::Optimal);
+        assert!((vals[0] - 1.0).abs() < 1e-6);
+        assert!((vals[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = Model::new("t");
+        let x = m.add_continuous(0.0, 1.0, "x");
+        m.add_ge(x.into(), 2.0, "c0");
+        m.set_objective(x.into(), Sense::Minimize);
+        let (res, _, _) = solve_model(&m);
+        assert_eq!(res.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut m = Model::new("t");
+        let x = m.add_continuous(0.0, f64::INFINITY, "x");
+        m.set_objective(x.into(), Sense::Maximize);
+        let (res, _, _) = solve_model(&m);
+        assert_eq!(res.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        // min x s.t. x >= -5 -> x = -5
+        let mut m = Model::new("t");
+        let x = m.add_continuous(-5.0, 5.0, "x");
+        m.set_objective(x.into(), Sense::Minimize);
+        let (res, vals, _) = solve_model(&m);
+        assert_eq!(res.status, LpStatus::Optimal);
+        assert!((vals[0] + 5.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn free_variable_lp() {
+        // min x + 2y, x free, y in [0, 3], x + y >= 1, x >= -4 via constraint
+        let mut m = Model::new("t");
+        let x = m.add_continuous(f64::NEG_INFINITY, f64::INFINITY, "x");
+        let y = m.add_continuous(0.0, 3.0, "y");
+        m.add_ge(x + y, 1.0, "c0");
+        m.add_ge(x.into(), -4.0, "c1");
+        m.set_objective(x + y * 2.0, Sense::Minimize);
+        let (res, vals, lp) = solve_model(&m);
+        assert_eq!(res.status, LpStatus::Optimal);
+        // obj = x + 2y = (x + y) + y >= 1 + y, minimized at y = 0, x = 1.
+        assert!((lp.user_objective(res.objective) - 1.0).abs() < 1e-6);
+        assert!((vals[0] - 1.0).abs() < 1e-6);
+        assert!(vals[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn ranged_constraint() {
+        // max x s.t. 1 <= x <= 3 (as range row), x in [0, 10]
+        let mut m = Model::new("t");
+        let x = m.add_continuous(0.0, 10.0, "x");
+        m.add_range(1.0, LinExprOf(x), 3.0, "r");
+        m.set_objective(x.into(), Sense::Maximize);
+        let (res, vals, _) = solve_model(&m);
+        assert_eq!(res.status, LpStatus::Optimal);
+        assert!((vals[0] - 3.0).abs() < 1e-7);
+    }
+
+    #[allow(non_snake_case)]
+    fn LinExprOf(v: crate::model::Var) -> crate::expr::LinExpr {
+        v.into()
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Highly degenerate: many redundant constraints through the origin.
+        let mut m = Model::new("t");
+        let x = m.add_continuous(0.0, 10.0, "x");
+        let y = m.add_continuous(0.0, 10.0, "y");
+        for i in 0..20 {
+            let a = 1.0 + (i as f64) * 0.1;
+            m.add_ge(x * a + y, 0.0, format!("c{i}"));
+        }
+        m.add_le(x + y, 5.0, "cap");
+        m.set_objective(x + y, Sense::Maximize);
+        let (res, _, lp) = solve_model(&m);
+        assert_eq!(res.status, LpStatus::Optimal);
+        assert!((lp.user_objective(res.objective) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warm_start_after_bound_change() {
+        // Solve, tighten a bound, re-solve from the old basis.
+        let mut m = Model::new("t");
+        let x = m.add_continuous(0.0, 4.0, "x");
+        let y = m.add_continuous(0.0, 4.0, "y");
+        m.add_le(x + y, 6.0, "c0");
+        m.set_objective(x + y, Sense::Maximize);
+        let lp = LpProblem::from_model(&m);
+        let mut sx = Simplex::new(&lp);
+        let r1 = sx.solve(&SimplexLimits::default());
+        assert_eq!(r1.status, LpStatus::Optimal);
+        assert!((r1.objective - (-6.0)).abs() < 1e-6); // min space: -(x+y)
+
+        sx.set_bounds(0, 0.0, 1.0); // x <= 1
+        let r2 = sx.solve(&SimplexLimits::default());
+        assert_eq!(r2.status, LpStatus::Optimal);
+        assert!((r2.objective - (-5.0)).abs() < 1e-6);
+        // The warm-started solve should be quick.
+        assert!(r2.iterations <= 10, "warm start took {} iterations", r2.iterations);
+    }
+
+    #[test]
+    fn many_bound_flips() {
+        // Boxed variables with no constraints: optimum is a pure sequence of
+        // bound flips.
+        let mut m = Model::new("t");
+        let mut obj = crate::expr::LinExpr::new();
+        for i in 0..8 {
+            let v = m.add_continuous(-1.0, 1.0, format!("v{i}"));
+            let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+            obj += v * sign;
+        }
+        m.set_objective(obj, Sense::Minimize);
+        let (res, vals, _) = solve_model(&m);
+        assert_eq!(res.status, LpStatus::Optimal);
+        assert!((res.objective + 8.0).abs() < 1e-7);
+        for (i, v) in vals.iter().enumerate() {
+            let expect = if i % 2 == 0 { -1.0 } else { 1.0 };
+            assert!((v - expect).abs() < 1e-8);
+        }
+    }
+}

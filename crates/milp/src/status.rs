@@ -1,0 +1,58 @@
+//! Solve outcome classification.
+
+use std::fmt;
+
+/// Final status of a MILP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveStatus {
+    /// An incumbent was found and proven optimal within the gap target.
+    Optimal,
+    /// An incumbent was found but the search stopped on a limit; the
+    /// reported gap bounds its distance from the optimum.
+    Feasible,
+    /// The problem has no feasible solution.
+    Infeasible,
+    /// The relaxation is unbounded in the optimization direction.
+    Unbounded,
+    /// A limit was hit before any incumbent was found.
+    NoSolutionFound,
+}
+
+impl SolveStatus {
+    /// Whether a usable incumbent exists.
+    pub fn has_solution(self) -> bool {
+        matches!(self, SolveStatus::Optimal | SolveStatus::Feasible)
+    }
+}
+
+impl fmt::Display for SolveStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SolveStatus::Optimal => "optimal",
+            SolveStatus::Feasible => "feasible (limit reached)",
+            SolveStatus::Infeasible => "infeasible",
+            SolveStatus::Unbounded => "unbounded",
+            SolveStatus::NoSolutionFound => "no solution found",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_solution() {
+        assert!(SolveStatus::Optimal.has_solution());
+        assert!(SolveStatus::Feasible.has_solution());
+        assert!(!SolveStatus::Infeasible.has_solution());
+        assert!(!SolveStatus::Unbounded.has_solution());
+        assert!(!SolveStatus::NoSolutionFound.has_solution());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SolveStatus::Optimal.to_string(), "optimal");
+    }
+}

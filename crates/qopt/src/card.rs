@@ -1,0 +1,196 @@
+//! Cardinality estimation for joins of table subsets.
+//!
+//! Follows the paper's model: the cardinality of a join over a table set is
+//! the product of table cardinalities times the selectivities of all
+//! *applicable* predicates (those whose referenced tables are all in the
+//! set), times the correction factors of fully-applicable correlated groups
+//! (§5.1). Everything is precomputed into bitmask form so that a lookup is a
+//! couple of machine words per predicate.
+
+use crate::catalog::Catalog;
+use crate::query::Query;
+use crate::table_set::TableSet;
+
+/// Precomputed cardinality estimator for one query.
+#[derive(Debug, Clone)]
+pub struct Estimator {
+    /// log10 cardinality per query-local table position.
+    log_card: Vec<f64>,
+    /// (required-set mask, log10 selectivity) per predicate.
+    preds: Vec<(TableSet, f64)>,
+    /// (required-set mask, log10 correction) per correlated group.
+    groups: Vec<(TableSet, f64)>,
+}
+
+impl Estimator {
+    /// Builds an estimator; the query must be valid for the catalog.
+    pub fn new(catalog: &Catalog, query: &Query) -> Self {
+        let log_card = query.tables.iter().map(|&t| catalog.log10_cardinality(t)).collect();
+        let pred_mask = |tables: &[crate::catalog::TableId]| {
+            TableSet::from_positions(
+                tables.iter().map(|&t| query.table_position(t).expect("validated query")),
+            )
+        };
+        let preds = query
+            .predicates
+            .iter()
+            .map(|p| (pred_mask(&p.tables), p.log10_selectivity()))
+            .collect();
+        let groups = query
+            .correlated_groups
+            .iter()
+            .map(|g| {
+                let mask = g
+                    .members
+                    .iter()
+                    .map(|pid| pred_mask(&query.predicates[pid.index()].tables))
+                    .fold(TableSet::EMPTY, |a, b| a | b);
+                (mask, g.correction.log10())
+            })
+            .collect();
+        Estimator { log_card, preds, groups }
+    }
+
+    /// Number of tables in the query.
+    pub fn num_tables(&self) -> usize {
+        self.log_card.len()
+    }
+
+    /// log10 of the estimated cardinality of joining `set` (with all
+    /// applicable predicates evaluated).
+    pub fn log10_cardinality(&self, set: TableSet) -> f64 {
+        let mut acc = 0.0;
+        for i in set.iter() {
+            acc += self.log_card[i];
+        }
+        for &(mask, logsel) in &self.preds {
+            if mask.is_subset_of(set) {
+                acc += logsel;
+            }
+        }
+        for &(mask, logcorr) in &self.groups {
+            if mask.is_subset_of(set) {
+                acc += logcorr;
+            }
+        }
+        acc
+    }
+
+    /// Estimated cardinality of joining `set`.
+    pub fn cardinality(&self, set: TableSet) -> f64 {
+        10f64.powf(self.log10_cardinality(set))
+    }
+
+    /// Predicates applicable on `set` (all referenced tables present).
+    pub fn applicable_predicates(&self, set: TableSet) -> impl Iterator<Item = usize> + '_ {
+        self.preds
+            .iter()
+            .enumerate()
+            .filter(move |(_, (mask, _))| mask.is_subset_of(set))
+            .map(|(i, _)| i)
+    }
+
+    /// Upper bound on log10 cardinality over all subsets: the cross product
+    /// of everything with no predicates applied.
+    pub fn log10_cardinality_upper_bound(&self) -> f64 {
+        self.log_card.iter().sum()
+    }
+
+    /// Lower bound on log10 cardinality over all *non-empty* subsets:
+    /// smallest single table with every negative factor applied (a valid,
+    /// if loose, lower bound).
+    pub fn log10_cardinality_lower_bound(&self) -> f64 {
+        let min_table =
+            self.log_card.iter().copied().fold(f64::INFINITY, f64::min).min(0.0);
+        let neg_preds: f64 = self.preds.iter().map(|&(_, s)| s.min(0.0)).sum();
+        let neg_groups: f64 = self.groups.iter().map(|&(_, c)| c.min(0.0)).sum();
+        min_table + neg_preds + neg_groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::query::{Predicate, Query};
+
+    /// The paper's running example: R(10) |><| S(1000) |><| T(100), one
+    /// predicate between R and S with selectivity 0.1.
+    fn example() -> (Catalog, Query) {
+        let mut c = Catalog::new();
+        let r = c.add_table("R", 10.0);
+        let s = c.add_table("S", 1000.0);
+        let t = c.add_table("T", 100.0);
+        let mut q = Query::new(vec![r, s, t]);
+        q.add_predicate(Predicate::binary(r, s, 0.1));
+        (c, q)
+    }
+
+    #[test]
+    fn paper_example_cardinalities() {
+        let (c, q) = example();
+        let e = Estimator::new(&c, &q);
+        // R alone: 10.
+        assert!((e.cardinality(TableSet::single(0)) - 10.0).abs() < 1e-6);
+        // R x S with predicate: 10 * 1000 * 0.1 = 1000.
+        assert!((e.cardinality(TableSet::from_positions([0, 1])) - 1000.0).abs() < 1e-6);
+        // R x T cross product: 10 * 100 = 1000 (predicate not applicable).
+        assert!((e.cardinality(TableSet::from_positions([0, 2])) - 1000.0).abs() < 1e-6);
+        // Full join: 10 * 1000 * 100 * 0.1 = 100000.
+        assert!((e.cardinality(TableSet::full(3)) - 100000.0).abs() < 1e-3);
+        // Log form from Example 2 of the paper: lco = 1 + 3 + 2 - 1 = 5.
+        assert!((e.log10_cardinality(TableSet::full(3)) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn applicable_predicates_mask() {
+        let (c, q) = example();
+        let e = Estimator::new(&c, &q);
+        assert_eq!(e.applicable_predicates(TableSet::single(0)).count(), 0);
+        assert_eq!(e.applicable_predicates(TableSet::from_positions([0, 1])).count(), 1);
+        assert_eq!(e.applicable_predicates(TableSet::from_positions([1, 2])).count(), 0);
+    }
+
+    #[test]
+    fn correlated_group_correction() {
+        let mut c = Catalog::new();
+        let r = c.add_table("R", 100.0);
+        let s = c.add_table("S", 100.0);
+        let mut q = Query::new(vec![r, s]);
+        let p1 = q.add_predicate(Predicate::binary(r, s, 0.1));
+        let p2 = q.add_predicate(Predicate::binary(r, s, 0.1));
+        // Fully correlated: the second predicate adds nothing, so the
+        // correction factor is 10 (undoing one 0.1).
+        q.add_correlated_group(vec![p1, p2], 10.0);
+        let e = Estimator::new(&c, &q);
+        // 100 * 100 * 0.1 * 0.1 * 10 = 1000.
+        assert!((e.cardinality(TableSet::full(2)) - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nary_predicate_needs_all_tables() {
+        let mut c = Catalog::new();
+        let r = c.add_table("R", 10.0);
+        let s = c.add_table("S", 10.0);
+        let t = c.add_table("T", 10.0);
+        let mut q = Query::new(vec![r, s, t]);
+        q.add_predicate(Predicate::nary(vec![r, s, t], 0.01));
+        let e = Estimator::new(&c, &q);
+        assert!((e.cardinality(TableSet::from_positions([0, 1])) - 100.0).abs() < 1e-6);
+        assert!((e.cardinality(TableSet::full(3)) - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bounds_bracket_all_subsets() {
+        let (c, q) = example();
+        let e = Estimator::new(&c, &q);
+        let ub = e.log10_cardinality_upper_bound();
+        let lb = e.log10_cardinality_lower_bound();
+        for bits in 1u64..(1 << 3) {
+            let s = TableSet(bits);
+            let lc = e.log10_cardinality(s);
+            assert!(lc <= ub + 1e-9, "{s}: {lc} > {ub}");
+            assert!(lc >= lb - 1e-9, "{s}: {lc} < {lb}");
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Join-graph topology helpers.
+//!
+//! The paper's evaluation distinguishes chain, cycle, and star join-graph
+//! structures (after Steinbrunn et al.). This module derives the graph from
+//! a query's binary predicates and classifies it.
+
+use crate::query::Query;
+use crate::table_set::TableSet;
+
+/// Recognized join graph shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphShape {
+    Chain,
+    Cycle,
+    Star,
+    Clique,
+    /// Anything else (including disconnected graphs).
+    Other,
+}
+
+/// Adjacency structure over query-local table positions, built from the
+/// binary predicates (n-ary predicates are treated as cliques over their
+/// tables).
+#[derive(Debug, Clone)]
+pub struct JoinGraph {
+    n: usize,
+    adj: Vec<TableSet>,
+    num_edges: usize,
+}
+
+impl JoinGraph {
+    pub fn from_query(query: &Query) -> Self {
+        let n = query.num_tables();
+        let mut adj = vec![TableSet::EMPTY; n];
+        let mut edges = std::collections::HashSet::new();
+        for p in &query.predicates {
+            let positions: Vec<usize> = p
+                .tables
+                .iter()
+                .map(|&t| query.table_position(t).expect("validated query"))
+                .collect();
+            for (i, &a) in positions.iter().enumerate() {
+                for &b in &positions[i + 1..] {
+                    if a != b {
+                        adj[a] = adj[a].insert(b);
+                        adj[b] = adj[b].insert(a);
+                        edges.insert((a.min(b), a.max(b)));
+                    }
+                }
+            }
+        }
+        JoinGraph { n, adj, num_edges: edges.len() }
+    }
+
+    pub fn num_tables(&self) -> usize {
+        self.n
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    pub fn neighbors(&self, i: usize) -> TableSet {
+        self.adj[i]
+    }
+
+    pub fn degree(&self, i: usize) -> usize {
+        self.adj[i].len()
+    }
+
+    /// Whether the graph is connected (single table counts as connected).
+    pub fn is_connected(&self) -> bool {
+        if self.n == 0 {
+            return true;
+        }
+        let mut seen = TableSet::single(0);
+        let mut frontier = TableSet::single(0);
+        while !frontier.is_empty() {
+            let mut next = TableSet::EMPTY;
+            for i in frontier.iter() {
+                next = next | (self.adj[i] - seen);
+            }
+            seen = seen | next;
+            frontier = next;
+        }
+        seen == TableSet::full(self.n)
+    }
+
+    /// Classifies the topology.
+    pub fn shape(&self) -> GraphShape {
+        let n = self.n;
+        if n <= 1 {
+            return GraphShape::Other;
+        }
+        if !self.is_connected() {
+            return GraphShape::Other;
+        }
+        let degrees: Vec<usize> = (0..n).map(|i| self.degree(i)).collect();
+        let max_deg = degrees.iter().copied().max().unwrap_or(0);
+        let ones = degrees.iter().filter(|&&d| d == 1).count();
+        let twos = degrees.iter().filter(|&&d| d == 2).count();
+
+        if n == 2 {
+            // A single edge is simultaneously a chain/star; call it chain.
+            return if self.num_edges == 1 { GraphShape::Chain } else { GraphShape::Other };
+        }
+        if self.num_edges == n * (n - 1) / 2 {
+            return GraphShape::Clique;
+        }
+        if self.num_edges == n - 1 && ones == 2 && twos == n - 2 {
+            return GraphShape::Chain;
+        }
+        if self.num_edges == n && twos == n {
+            return GraphShape::Cycle;
+        }
+        if self.num_edges == n - 1 && max_deg == n - 1 && ones == n - 1 {
+            return GraphShape::Star;
+        }
+        GraphShape::Other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::query::{Predicate, Query};
+
+    fn query_with_edges(n: usize, edges: &[(usize, usize)]) -> Query {
+        let mut c = Catalog::new();
+        let ids: Vec<_> = (0..n).map(|i| c.add_table(format!("T{i}"), 10.0)).collect();
+        let mut q = Query::new(ids.clone());
+        for &(a, b) in edges {
+            q.add_predicate(Predicate::binary(ids[a], ids[b], 0.1));
+        }
+        q
+    }
+
+    #[test]
+    fn chain_shape() {
+        let q = query_with_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let g = JoinGraph::from_query(&q);
+        assert!(g.is_connected());
+        assert_eq!(g.shape(), GraphShape::Chain);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let q = query_with_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(JoinGraph::from_query(&q).shape(), GraphShape::Cycle);
+    }
+
+    #[test]
+    fn star_shape() {
+        let q = query_with_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(JoinGraph::from_query(&q).shape(), GraphShape::Star);
+    }
+
+    #[test]
+    fn clique_shape() {
+        let q = query_with_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(JoinGraph::from_query(&q).shape(), GraphShape::Clique);
+    }
+
+    #[test]
+    fn disconnected_is_other() {
+        let q = query_with_edges(4, &[(0, 1), (2, 3)]);
+        let g = JoinGraph::from_query(&q);
+        assert!(!g.is_connected());
+        assert_eq!(g.shape(), GraphShape::Other);
+    }
+
+    #[test]
+    fn duplicate_predicates_counted_once() {
+        let q = query_with_edges(3, &[(0, 1), (0, 1), (1, 2)]);
+        let g = JoinGraph::from_query(&q);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.shape(), GraphShape::Chain);
+    }
+
+    #[test]
+    fn nary_predicate_forms_clique() {
+        let mut c = Catalog::new();
+        let ids: Vec<_> = (0..3).map(|i| c.add_table(format!("T{i}"), 10.0)).collect();
+        let mut q = Query::new(ids.clone());
+        q.add_predicate(Predicate::nary(ids.clone(), 0.1));
+        let g = JoinGraph::from_query(&q);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.shape(), GraphShape::Clique);
+    }
+}

@@ -1,0 +1,199 @@
+//! Left-deep query plans.
+//!
+//! A left-deep plan over `n` tables is a permutation of the tables plus an
+//! operator choice per join: `((T_0 ⋈ T_1) ⋈ T_2) ⋈ ...`. The outer operand
+//! of join `j >= 1` is the result of join `j - 1`; inner operands are single
+//! tables (Section 3 of the paper).
+
+use std::fmt;
+
+use crate::catalog::{Catalog, TableId};
+use crate::query::Query;
+use crate::table_set::TableSet;
+
+/// Physical join operator implementations discussed in §4.3 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinOp {
+    Hash,
+    SortMerge,
+    BlockNestedLoop,
+}
+
+impl fmt::Display for JoinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            JoinOp::Hash => "HJ",
+            JoinOp::SortMerge => "SMJ",
+            JoinOp::BlockNestedLoop => "BNL",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A left-deep plan: `order[0]` is the first outer table, `order[j+1]` is
+/// the inner table of join `j`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeftDeepPlan {
+    pub order: Vec<TableId>,
+    /// Operator per join (`order.len() - 1` entries) or empty when a single
+    /// operator is assumed globally.
+    pub operators: Vec<JoinOp>,
+}
+
+/// Errors from [`LeftDeepPlan::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    WrongTableCount { expected: usize, got: usize },
+    NotAPermutation,
+    WrongOperatorCount { expected: usize, got: usize },
+}
+
+impl LeftDeepPlan {
+    /// Plan with a single global operator assumption (no per-join choices).
+    pub fn from_order(order: Vec<TableId>) -> Self {
+        LeftDeepPlan { order, operators: Vec::new() }
+    }
+
+    /// Plan with explicit operator choices.
+    pub fn with_operators(order: Vec<TableId>, operators: Vec<JoinOp>) -> Self {
+        LeftDeepPlan { order, operators }
+    }
+
+    pub fn num_joins(&self) -> usize {
+        self.order.len().saturating_sub(1)
+    }
+
+    /// The table set joined after `k + 1` tables (prefix of the order), in
+    /// query-local positions.
+    pub fn prefix_set(&self, query: &Query, k: usize) -> TableSet {
+        TableSet::from_positions(
+            self.order[..=k].iter().map(|&t| query.table_position(t).expect("table in query")),
+        )
+    }
+
+    /// Checks that the plan is a complete permutation of the query tables
+    /// with a consistent operator list.
+    pub fn validate(&self, query: &Query) -> Result<(), PlanError> {
+        if self.order.len() != query.num_tables() {
+            return Err(PlanError::WrongTableCount {
+                expected: query.num_tables(),
+                got: self.order.len(),
+            });
+        }
+        let mut seen = TableSet::EMPTY;
+        for &t in &self.order {
+            match query.table_position(t) {
+                Some(i) if !seen.contains(i) => seen = seen.insert(i),
+                _ => return Err(PlanError::NotAPermutation),
+            }
+        }
+        if !self.operators.is_empty() && self.operators.len() != self.num_joins() {
+            return Err(PlanError::WrongOperatorCount {
+                expected: self.num_joins(),
+                got: self.operators.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Operator of join `j` (falls back to hash join when unspecified).
+    pub fn operator(&self, j: usize) -> JoinOp {
+        self.operators.get(j).copied().unwrap_or(JoinOp::Hash)
+    }
+
+    /// Human-readable rendering like `((R ⋈ S) ⋈ T)`.
+    pub fn render(&self, catalog: &Catalog) -> String {
+        if self.order.is_empty() {
+            return "∅".into();
+        }
+        let mut s = catalog.table(self.order[0]).name.clone();
+        for (j, &t) in self.order.iter().enumerate().skip(1) {
+            let op = if self.operators.is_empty() {
+                String::from("⋈")
+            } else {
+                format!("⋈[{}]", self.operator(j - 1))
+            };
+            s = format!("({s} {op} {})", catalog.table(t).name);
+        }
+        s
+    }
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::WrongTableCount { expected, got } => {
+                write!(f, "plan covers {got} tables, query has {expected}")
+            }
+            PlanError::NotAPermutation => write!(f, "plan order is not a permutation"),
+            PlanError::WrongOperatorCount { expected, got } => {
+                write!(f, "plan has {got} operators, needs {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Predicate;
+
+    fn setup() -> (Catalog, Query) {
+        let mut c = Catalog::new();
+        let r = c.add_table("R", 10.0);
+        let s = c.add_table("S", 1000.0);
+        let t = c.add_table("T", 100.0);
+        let mut q = Query::new(vec![r, s, t]);
+        q.add_predicate(Predicate::binary(r, s, 0.1));
+        (c, q)
+    }
+
+    #[test]
+    fn validation() {
+        let (_, q) = setup();
+        let plan = LeftDeepPlan::from_order(vec![q.tables[0], q.tables[1], q.tables[2]]);
+        plan.validate(&q).unwrap();
+
+        let short = LeftDeepPlan::from_order(vec![q.tables[0]]);
+        assert!(matches!(short.validate(&q), Err(PlanError::WrongTableCount { .. })));
+
+        let dup = LeftDeepPlan::from_order(vec![q.tables[0], q.tables[0], q.tables[2]]);
+        assert_eq!(dup.validate(&q), Err(PlanError::NotAPermutation));
+
+        let bad_ops = LeftDeepPlan::with_operators(
+            vec![q.tables[0], q.tables[1], q.tables[2]],
+            vec![JoinOp::Hash],
+        );
+        assert!(matches!(bad_ops.validate(&q), Err(PlanError::WrongOperatorCount { .. })));
+    }
+
+    #[test]
+    fn prefix_sets() {
+        let (_, q) = setup();
+        let plan = LeftDeepPlan::from_order(vec![q.tables[2], q.tables[0], q.tables[1]]);
+        assert_eq!(plan.prefix_set(&q, 0), TableSet::single(2));
+        assert_eq!(plan.prefix_set(&q, 1), TableSet::from_positions([0, 2]));
+        assert_eq!(plan.prefix_set(&q, 2), TableSet::full(3));
+    }
+
+    #[test]
+    fn render() {
+        let (c, q) = setup();
+        let plan = LeftDeepPlan::from_order(vec![q.tables[0], q.tables[1], q.tables[2]]);
+        assert_eq!(plan.render(&c), "((R ⋈ S) ⋈ T)");
+        let with_ops = LeftDeepPlan::with_operators(
+            plan.order.clone(),
+            vec![JoinOp::Hash, JoinOp::SortMerge],
+        );
+        assert_eq!(with_ops.render(&c), "((R ⋈[HJ] S) ⋈[SMJ] T)");
+    }
+
+    #[test]
+    fn default_operator_is_hash() {
+        let (_, q) = setup();
+        let plan = LeftDeepPlan::from_order(q.tables.clone());
+        assert_eq!(plan.operator(0), JoinOp::Hash);
+    }
+}

@@ -1,0 +1,180 @@
+//! Compact sets of query tables (bitmask over query-local positions).
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Sub};
+
+/// A set of up to 64 query tables, identified by their *query-local*
+/// position (see [`crate::query::Query::table_position`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct TableSet(pub u64);
+
+impl TableSet {
+    pub const EMPTY: TableSet = TableSet(0);
+
+    /// The singleton set of position `i`.
+    pub fn single(i: usize) -> Self {
+        debug_assert!(i < 64);
+        TableSet(1u64 << i)
+    }
+
+    /// The full set of the first `n` positions.
+    pub fn full(n: usize) -> Self {
+        debug_assert!(n <= 64);
+        if n == 64 {
+            TableSet(u64::MAX)
+        } else {
+            TableSet((1u64 << n) - 1)
+        }
+    }
+
+    pub fn from_positions<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = TableSet::EMPTY;
+        for i in iter {
+            s = s.insert(i);
+        }
+        s
+    }
+
+    #[must_use]
+    pub fn insert(self, i: usize) -> Self {
+        TableSet(self.0 | (1u64 << i))
+    }
+
+    #[must_use]
+    pub fn remove(self, i: usize) -> Self {
+        TableSet(self.0 & !(1u64 << i))
+    }
+
+    pub fn contains(self, i: usize) -> bool {
+        self.0 & (1u64 << i) != 0
+    }
+
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    pub fn is_subset_of(self, other: TableSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    pub fn intersects(self, other: TableSet) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Iterates the member positions in ascending order.
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(i)
+            }
+        })
+    }
+
+    /// The lowest member position, if any.
+    pub fn first(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as usize)
+        }
+    }
+}
+
+impl BitOr for TableSet {
+    type Output = TableSet;
+    fn bitor(self, rhs: TableSet) -> TableSet {
+        TableSet(self.0 | rhs.0)
+    }
+}
+
+impl BitAnd for TableSet {
+    type Output = TableSet;
+    fn bitand(self, rhs: TableSet) -> TableSet {
+        TableSet(self.0 & rhs.0)
+    }
+}
+
+impl BitXor for TableSet {
+    type Output = TableSet;
+    fn bitxor(self, rhs: TableSet) -> TableSet {
+        TableSet(self.0 ^ rhs.0)
+    }
+}
+
+impl Sub for TableSet {
+    type Output = TableSet;
+    fn sub(self, rhs: TableSet) -> TableSet {
+        TableSet(self.0 & !rhs.0)
+    }
+}
+
+impl fmt::Display for TableSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, i) in self.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{i}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let s = TableSet::from_positions([0, 3, 5]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(0) && s.contains(3) && s.contains(5));
+        assert!(!s.contains(1));
+        assert_eq!(TableSet::full(3), TableSet(0b111));
+        assert_eq!(TableSet::full(64).len(), 64);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = TableSet::from_positions([0, 1, 2]);
+        let b = TableSet::from_positions([2, 3]);
+        assert_eq!(a | b, TableSet::from_positions([0, 1, 2, 3]));
+        assert_eq!(a & b, TableSet::single(2));
+        assert_eq!(a - b, TableSet::from_positions([0, 1]));
+        assert_eq!(a ^ b, TableSet::from_positions([0, 1, 3]));
+        assert!(TableSet::single(2).is_subset_of(a));
+        assert!(!a.is_subset_of(b));
+        assert!(a.intersects(b));
+    }
+
+    #[test]
+    fn iteration_order() {
+        let s = TableSet::from_positions([5, 1, 9]);
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![1, 5, 9]);
+        assert_eq!(s.first(), Some(1));
+        assert_eq!(TableSet::EMPTY.first(), None);
+    }
+
+    #[test]
+    fn insert_remove() {
+        let s = TableSet::EMPTY.insert(4);
+        assert!(s.contains(4));
+        assert!(s.remove(4).is_empty());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(TableSet::from_positions([1, 3]).to_string(), "{1,3}");
+    }
+}

@@ -1,0 +1,245 @@
+//! # milpjoin-workloads — random join query generation
+//!
+//! Generates the randomized workloads used in the paper's evaluation (§7.1),
+//! following the method of Steinbrunn, Moerkotte & Kemper ("Heuristic and
+//! randomized optimization for the join ordering problem", VLDBJ 1997),
+//! which the paper adopts: queries of a given size with chain, cycle, or
+//! star join-graph structure, random table cardinalities, and random
+//! predicate selectivities. Cross products are permitted during
+//! optimization, which the generator does not need to model — it only
+//! determines which predicates exist.
+//!
+//! Cardinalities are drawn log-uniformly from `[10, 100_000]` and
+//! selectivities log-uniformly from `[0.0001, 1.0]` by default, both
+//! configurable via [`WorkloadSpec`].
+//!
+//! ```
+//! use milpjoin_workloads::{Topology, WorkloadSpec};
+//! let spec = WorkloadSpec::new(Topology::Star, 10);
+//! let (catalog, query) = spec.generate(42);
+//! assert_eq!(query.num_tables(), 10);
+//! assert_eq!(query.num_predicates(), 9);
+//! query.validate(&catalog).unwrap();
+//! ```
+
+use milpjoin_qopt::{Catalog, GraphShape, Predicate, Query, TableId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Join graph topologies from Steinbrunn et al. (chain, cycle, star) plus
+/// clique as a stress shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Topology {
+    Chain,
+    Cycle,
+    Star,
+    Clique,
+}
+
+impl Topology {
+    pub fn name(self) -> &'static str {
+        match self {
+            Topology::Chain => "chain",
+            Topology::Cycle => "cycle",
+            Topology::Star => "star",
+            Topology::Clique => "clique",
+        }
+    }
+
+    /// The three topologies evaluated in the paper's Figure 2.
+    pub const PAPER: [Topology; 3] = [Topology::Chain, Topology::Cycle, Topology::Star];
+
+    /// Edges (as local position pairs) for `n` tables.
+    pub fn edges(self, n: usize) -> Vec<(usize, usize)> {
+        match self {
+            Topology::Chain => (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect(),
+            Topology::Cycle => {
+                let mut e: Vec<_> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+                if n > 2 {
+                    e.push((n - 1, 0));
+                }
+                e
+            }
+            Topology::Star => (1..n).map(|i| (0, i)).collect(),
+            Topology::Clique => {
+                let mut e = Vec::with_capacity(n * (n - 1) / 2);
+                for i in 0..n {
+                    for j in i + 1..n {
+                        e.push((i, j));
+                    }
+                }
+                e
+            }
+        }
+    }
+
+    pub fn expected_shape(self, n: usize) -> GraphShape {
+        match self {
+            _ if n < 3 => GraphShape::Chain,
+            // A 3-cycle is a triangle (clique); a 3-star is a path (chain).
+            Topology::Cycle if n == 3 => GraphShape::Clique,
+            Topology::Star if n == 3 => GraphShape::Chain,
+            Topology::Chain => GraphShape::Chain,
+            Topology::Cycle => GraphShape::Cycle,
+            Topology::Star => GraphShape::Star,
+            Topology::Clique => GraphShape::Clique,
+        }
+    }
+}
+
+/// Parameters of a random query workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    pub topology: Topology,
+    pub num_tables: usize,
+    /// Table cardinalities are drawn log-uniformly from this range.
+    pub cardinality_range: (f64, f64),
+    /// Predicate selectivities are drawn log-uniformly from this range.
+    pub selectivity_range: (f64, f64),
+}
+
+impl WorkloadSpec {
+    pub fn new(topology: Topology, num_tables: usize) -> Self {
+        WorkloadSpec {
+            topology,
+            num_tables,
+            cardinality_range: (10.0, 100_000.0),
+            selectivity_range: (1e-4, 1.0),
+        }
+    }
+
+    /// Builder-style setter for the cardinality range.
+    pub fn cardinalities(mut self, lo: f64, hi: f64) -> Self {
+        assert!(lo >= 1.0 && hi >= lo);
+        self.cardinality_range = (lo, hi);
+        self
+    }
+
+    /// Builder-style setter for the selectivity range.
+    pub fn selectivities(mut self, lo: f64, hi: f64) -> Self {
+        assert!(lo > 0.0 && hi >= lo && hi <= 1.0);
+        self.selectivity_range = (lo, hi);
+        self
+    }
+
+    /// Generates a random catalog + query pair from a seed. The same seed
+    /// always produces the same workload.
+    pub fn generate(&self, seed: u64) -> (Catalog, Query) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+        let mut catalog = Catalog::new();
+        let ids: Vec<TableId> = (0..self.num_tables)
+            .map(|i| {
+                let card = log_uniform(&mut rng, self.cardinality_range).round().max(1.0);
+                catalog.add_table(format!("T{i}"), card)
+            })
+            .collect();
+        let mut query = Query::new(ids.clone());
+        for (a, b) in self.topology.edges(self.num_tables) {
+            let sel = log_uniform(&mut rng, self.selectivity_range).min(1.0);
+            query.add_predicate(Predicate::binary(ids[a], ids[b], sel));
+        }
+        (catalog, query)
+    }
+
+    /// Generates a batch of workloads with seeds `base_seed..base_seed + k`.
+    pub fn generate_batch(&self, base_seed: u64, k: usize) -> Vec<(Catalog, Query)> {
+        (0..k as u64).map(|i| self.generate(base_seed + i)).collect()
+    }
+}
+
+fn log_uniform(rng: &mut StdRng, (lo, hi): (f64, f64)) -> f64 {
+    if lo >= hi {
+        return lo;
+    }
+    let (llo, lhi) = (lo.ln(), hi.ln());
+    (rng.random_range(llo..lhi)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milpjoin_qopt::JoinGraph;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let spec = WorkloadSpec::new(Topology::Chain, 8);
+        let (c1, q1) = spec.generate(7);
+        let (c2, q2) = spec.generate(7);
+        for (a, b) in c1.tables().iter().zip(c2.tables()) {
+            assert_eq!(a.cardinality, b.cardinality);
+        }
+        for (a, b) in q1.predicates.iter().zip(&q2.predicates) {
+            assert_eq!(a.selectivity, b.selectivity);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = WorkloadSpec::new(Topology::Chain, 8);
+        let (c1, _) = spec.generate(1);
+        let (c2, _) = spec.generate(2);
+        let same = c1
+            .tables()
+            .iter()
+            .zip(c2.tables())
+            .all(|(a, b)| a.cardinality == b.cardinality);
+        assert!(!same);
+    }
+
+    #[test]
+    fn topologies_have_expected_shapes() {
+        for topo in [Topology::Chain, Topology::Cycle, Topology::Star, Topology::Clique] {
+            for n in [3usize, 5, 10] {
+                let spec = WorkloadSpec::new(topo, n);
+                let (catalog, query) = spec.generate(0);
+                query.validate(&catalog).unwrap();
+                let shape = JoinGraph::from_query(&query).shape();
+                assert_eq!(shape, topo.expected_shape(n), "{topo:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_counts() {
+        assert_eq!(Topology::Chain.edges(10).len(), 9);
+        assert_eq!(Topology::Cycle.edges(10).len(), 10);
+        assert_eq!(Topology::Star.edges(10).len(), 9);
+        assert_eq!(Topology::Clique.edges(10).len(), 45);
+        // Degenerate sizes.
+        assert_eq!(Topology::Cycle.edges(2).len(), 1);
+        assert!(Topology::Chain.edges(1).is_empty());
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let spec = WorkloadSpec::new(Topology::Star, 30)
+            .cardinalities(100.0, 1000.0)
+            .selectivities(0.01, 0.5);
+        let (catalog, query) = spec.generate(3);
+        for t in catalog.tables() {
+            assert!(t.cardinality >= 100.0 && t.cardinality <= 1000.0);
+        }
+        for p in &query.predicates {
+            assert!(p.selectivity >= 0.01 && p.selectivity <= 0.5);
+        }
+    }
+
+    #[test]
+    fn batch_generation() {
+        let spec = WorkloadSpec::new(Topology::Cycle, 6);
+        let batch = spec.generate_batch(100, 5);
+        assert_eq!(batch.len(), 5);
+        for (c, q) in &batch {
+            q.validate(c).unwrap();
+        }
+    }
+
+    #[test]
+    fn two_table_degenerate_queries() {
+        for topo in Topology::PAPER {
+            let (c, q) = WorkloadSpec::new(topo, 2).generate(0);
+            q.validate(&c).unwrap();
+            assert_eq!(q.num_joins(), 1);
+        }
+    }
+}

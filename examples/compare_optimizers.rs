@@ -1,0 +1,59 @@
+//! Side-by-side comparison of the MILP optimizer against the Selinger DP
+//! baseline and a greedy heuristic on the same workload — the experiment
+//! behind the paper's Figure 2, on one query.
+//!
+//! Run with: `cargo run --release --example compare_optimizers [n]`
+
+use std::time::{Duration, Instant};
+
+use milpjoin::{EncoderConfig, MilpOptimizer, OptimizeOptions, Precision};
+use milpjoin_dp::{greedy_order, optimize as dp_optimize, DpOptions};
+use milpjoin_qopt::cost::{plan_cost, CostModelKind, CostParams};
+use milpjoin_workloads::{Topology, WorkloadSpec};
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let timeout = Duration::from_secs(10);
+    let (catalog, query) = WorkloadSpec::new(Topology::Chain, n).generate(3);
+    let params = CostParams::default();
+    println!("chain query, {n} tables, C_out cost model, {timeout:?} budget\n");
+
+    // Greedy heuristic (instant, no guarantees).
+    let t0 = Instant::now();
+    let greedy = greedy_order(&catalog, &query, &DpOptions::default());
+    let gcost = plan_cost(&catalog, &query, &greedy, CostModelKind::Cout, &params).total;
+    println!("greedy:  cost {:>14.4e}  in {:>10.2?}  (no optimality guarantee)", gcost, t0.elapsed());
+
+    // Dynamic programming (optimal or nothing).
+    let t0 = Instant::now();
+    let dp_opts = DpOptions { deadline: Some(t0 + timeout), ..Default::default() };
+    match dp_optimize(&catalog, &query, &dp_opts) {
+        Ok(res) => println!(
+            "DP:      cost {:>14.4e}  in {:>10.2?}  (proven optimal)",
+            res.cost,
+            t0.elapsed()
+        ),
+        Err(e) => println!("DP:      failed after {:>10.2?}: {e}", t0.elapsed()),
+    }
+
+    // MILP (anytime with guaranteed factor).
+    for precision in [Precision::High, Precision::Medium, Precision::Low] {
+        let t0 = Instant::now();
+        let optimizer = MilpOptimizer::new(EncoderConfig::default().precision(precision));
+        match optimizer.optimize(&catalog, &query, &OptimizeOptions::with_time_limit(timeout)) {
+            Ok(out) => println!(
+                "ILP {:<7}: cost {:>12.4e}  in {:>10.2?}  (status {}, factor {})",
+                format!("({})", precision.name()),
+                out.true_cost,
+                t0.elapsed(),
+                out.status,
+                out.optimality_factor().map_or("-".into(), |f| format!("{f:.2}"))
+            ),
+            Err(e) => println!(
+                "ILP {:<7}: failed after {:>10.2?}: {e}",
+                format!("({})", precision.name()),
+                t0.elapsed()
+            ),
+        }
+    }
+}

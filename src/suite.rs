@@ -1,0 +1,41 @@
+//! Shared helpers for the workspace-level integration tests and examples.
+
+use std::time::Duration;
+
+use milpjoin::{EncoderConfig, MilpOptimizer, OptimizeOptions, OptimizeOutcome, Precision};
+use milpjoin_qopt::{Catalog, Query};
+use milpjoin_workloads::{Topology, WorkloadSpec};
+
+/// Generates a seeded random workload (re-exported convenience).
+pub fn workload(topology: Topology, num_tables: usize, seed: u64) -> (Catalog, Query) {
+    WorkloadSpec::new(topology, num_tables).generate(seed)
+}
+
+/// Runs the MILP optimizer with a precision and time limit.
+pub fn optimize_with(
+    catalog: &Catalog,
+    query: &Query,
+    precision: Precision,
+    time_limit: Duration,
+) -> Result<OptimizeOutcome, milpjoin::OptimizeError> {
+    let optimizer = MilpOptimizer::new(EncoderConfig::default().precision(precision));
+    optimizer.optimize(catalog, query, &OptimizeOptions::with_time_limit(time_limit))
+}
+
+/// Formats a duration as fractional seconds.
+pub fn secs(d: Duration) -> String {
+    format!("{:.2}s", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_work() {
+        let (c, q) = workload(Topology::Chain, 4, 0);
+        let out = optimize_with(&c, &q, Precision::Low, Duration::from_secs(10)).unwrap();
+        out.plan.validate(&q).unwrap();
+        assert_eq!(secs(Duration::from_millis(1500)), "1.50s");
+    }
+}

@@ -1,0 +1,77 @@
+//! Empirical verification of the paper's Theorems 1 and 2: the MILP has
+//! O(n * (n + m + l)) variables and constraints.
+
+use milpjoin::{encode, EncoderConfig, Precision};
+use milpjoin_workloads::{Topology, WorkloadSpec};
+
+/// Returns (vars, constraints, n, m, l) for one encoded query.
+fn sizes(topo: Topology, n: usize) -> (f64, f64, f64) {
+    let (catalog, query) = WorkloadSpec::new(topo, n).generate(0);
+    let enc =
+        encode(&catalog, &query, &EncoderConfig::default().precision(Precision::Medium)).unwrap();
+    let bound = n as f64 * (n as f64 + query.num_predicates() as f64 + enc.grid.len() as f64);
+    (enc.stats.num_vars() as f64, enc.stats.num_constraints() as f64, bound)
+}
+
+#[test]
+fn variables_within_linear_factor_of_bound() {
+    // Theorem 1: #vars = O(n(n+m+l)). Empirically the hidden constant is
+    // small; assert a generous 8.
+    for topo in Topology::PAPER {
+        for n in [5usize, 10, 20, 40, 60] {
+            let (vars, _, bound) = sizes(topo, n);
+            assert!(vars <= 8.0 * bound, "{topo:?} n={n}: {vars} vars vs bound {bound}");
+            assert!(vars >= 0.05 * bound, "{topo:?} n={n}: suspiciously few vars");
+        }
+    }
+}
+
+#[test]
+fn constraints_within_linear_factor_of_bound() {
+    // Theorem 2: #constraints = O(n(n+m+l)).
+    for topo in Topology::PAPER {
+        for n in [5usize, 10, 20, 40, 60] {
+            let (_, cons, bound) = sizes(topo, n);
+            assert!(cons <= 8.0 * bound, "{topo:?} n={n}: {cons} constraints vs bound {bound}");
+        }
+    }
+}
+
+#[test]
+fn growth_is_quadratic_not_cubic() {
+    // Doubling n with fixed l should grow sizes by ~4x (n * n term), far
+    // below 8x (cubic would give that at the next doubling).
+    let (v20, c20, _) = sizes(Topology::Star, 20);
+    let (v40, c40, _) = sizes(Topology::Star, 40);
+    let vr = v40 / v20;
+    let cr = c40 / c20;
+    assert!(vr > 1.8 && vr < 6.0, "variable growth ratio {vr}");
+    assert!(cr > 1.8 && cr < 6.0, "constraint growth ratio {cr}");
+}
+
+#[test]
+fn precision_orders_formulation_size() {
+    // Higher precision => more thresholds => strictly more variables and
+    // constraints (Figure 1's ordering).
+    let (catalog, query) = WorkloadSpec::new(Topology::Star, 20).generate(0);
+    let mut last = (0usize, 0usize);
+    for p in [Precision::Low, Precision::Medium, Precision::High] {
+        let enc = encode(&catalog, &query, &EncoderConfig::default().precision(p)).unwrap();
+        let cur = (enc.stats.num_vars(), enc.stats.num_constraints());
+        assert!(cur > last, "{p:?}: {cur:?} not larger than {last:?}");
+        last = cur;
+    }
+}
+
+#[test]
+fn chain_cycle_differ_by_one_predicate_family() {
+    // The paper notes cycle graphs need one more predicate('s variables)
+    // per intermediate result than chains.
+    let (cat_chain, q_chain) = WorkloadSpec::new(Topology::Chain, 20).generate(0);
+    let (cat_cycle, q_cycle) = WorkloadSpec::new(Topology::Cycle, 20).generate(0);
+    let config = EncoderConfig::default().precision(Precision::Medium);
+    let e_chain = encode(&cat_chain, &q_chain, &config).unwrap();
+    let e_cycle = encode(&cat_cycle, &q_cycle, &config).unwrap();
+    assert_eq!(q_cycle.num_predicates(), q_chain.num_predicates() + 1);
+    assert!(e_cycle.stats.num_vars() > e_chain.stats.num_vars());
+}

@@ -1,0 +1,81 @@
+//! Cross-crate integration: the MILP optimizer's plans must be within the
+//! configured tolerance factor of the DP optimum (which is exact), per the
+//! approximation guarantee of §4.2.
+
+use std::time::Duration;
+
+use milpjoin::{EncoderConfig, MilpOptimizer, OptimizeOptions, Precision};
+use milpjoin_dp::{optimize as dp_optimize, DpOptions};
+use milpjoin_qopt::cost::CostModelKind;
+use milpjoin_workloads::{Topology, WorkloadSpec};
+
+fn check(topo: Topology, n: usize, seed: u64, precision: Precision, model: CostModelKind) {
+    let (catalog, query) = WorkloadSpec::new(topo, n).generate(seed);
+    let dp = dp_optimize(
+        &catalog,
+        &query,
+        &DpOptions { cost_model: model, ..DpOptions::default() },
+    )
+    .expect("DP solves small queries");
+
+    let config = EncoderConfig::default().precision(precision).cost_model(model);
+    let out = MilpOptimizer::new(config)
+        .optimize(
+            &catalog,
+            &query,
+            &OptimizeOptions::with_time_limit(Duration::from_secs(30)),
+        )
+        .expect("MILP finds a plan");
+    out.plan.validate(&query).unwrap();
+
+    // Approximation guarantee: within the tolerance factor of optimal, with
+    // a little slack for the sub-θ0 floor of the threshold window and a
+    // slack floor for near-zero optima.
+    let factor = precision.tolerance_factor();
+    let limit = (dp.cost * factor * 1.5).max(dp.cost + 1e4);
+    assert!(
+        out.true_cost <= limit,
+        "{topo:?} n={n} seed={seed} {model:?}: MILP {:.4e} vs DP {:.4e} (limit {:.4e})",
+        out.true_cost,
+        dp.cost,
+        limit
+    );
+}
+
+#[test]
+fn cout_small_queries_all_topologies() {
+    for topo in Topology::PAPER {
+        for n in [2usize, 3, 4, 5] {
+            for seed in 0..3u64 {
+                check(topo, n, seed, Precision::High, CostModelKind::Cout);
+            }
+        }
+    }
+}
+
+#[test]
+fn cout_medium_precision() {
+    for topo in Topology::PAPER {
+        check(topo, 5, 11, Precision::Medium, CostModelKind::Cout);
+    }
+}
+
+#[test]
+fn hash_cost_model_agreement() {
+    for seed in 0..2u64 {
+        check(Topology::Star, 4, seed, Precision::High, CostModelKind::Hash);
+        check(Topology::Chain, 4, seed, Precision::High, CostModelKind::Hash);
+    }
+}
+
+#[test]
+fn sort_merge_and_bnl_models_run() {
+    for model in [CostModelKind::SortMerge, CostModelKind::BlockNestedLoop] {
+        check(Topology::Star, 4, 1, Precision::High, model);
+    }
+}
+
+#[test]
+fn six_table_star_near_optimal() {
+    check(Topology::Star, 6, 5, Precision::High, CostModelKind::Cout);
+}

@@ -49,8 +49,12 @@ fn bench_ablation(c: &mut Criterion) {
         use milpjoin::encode;
         use milpjoin_milp::{Solver, SolverOptions};
         let (catalog, query) = WorkloadSpec::new(Topology::Star, 6).generate(1);
-        let enc = encode(&catalog, &query, &EncoderConfig::default().precision(Precision::Low))
-            .unwrap();
+        let enc = encode(
+            &catalog,
+            &query,
+            &EncoderConfig::default().precision(Precision::Low),
+        )
+        .unwrap();
         let sopts = SolverOptions {
             time_limit: Some(Duration::from_secs(20)),
             branching: rule,

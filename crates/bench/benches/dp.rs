@@ -13,7 +13,11 @@ fn bench_dp(c: &mut Criterion) {
         let (catalog, query) = WorkloadSpec::new(Topology::Chain, n).generate(1);
         g.bench_with_input(BenchmarkId::new("chain", n), &n, |b, _| {
             b.iter(|| {
-                black_box(optimize(&catalog, &query, &DpOptions::default()).unwrap().cost)
+                black_box(
+                    optimize(&catalog, &query, &DpOptions::default())
+                        .unwrap()
+                        .cost,
+                )
             })
         });
     }

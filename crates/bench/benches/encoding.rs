@@ -10,20 +10,12 @@ use std::hint::black_box;
 fn bench_encoding(c: &mut Criterion) {
     let mut g = c.benchmark_group("encode");
     for n in [10usize, 20, 40] {
-        for (pname, precision) in
-            [("low", Precision::Low), ("high", Precision::High)]
-        {
+        for (pname, precision) in [("low", Precision::Low), ("high", Precision::High)] {
             let (catalog, query) = WorkloadSpec::new(Topology::Star, n).generate(1);
             let config = EncoderConfig::default().precision(precision);
-            g.bench_with_input(
-                BenchmarkId::new(format!("star-{pname}"), n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        black_box(encode(&catalog, &query, &config).unwrap().stats.num_vars())
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(format!("star-{pname}"), n), &n, |b, _| {
+                b.iter(|| black_box(encode(&catalog, &query, &config).unwrap().stats.num_vars()))
+            });
         }
     }
     g.finish();

@@ -16,7 +16,12 @@ fn bench_end_to_end(c: &mut Criterion) {
         let opts = OptimizeOptions::with_time_limit(Duration::from_secs(20));
         g.bench_with_input(BenchmarkId::new("star-low", n), &n, |b, _| {
             b.iter(|| {
-                black_box(optimizer.optimize(&catalog, &query, &opts).unwrap().true_cost)
+                black_box(
+                    optimizer
+                        .optimize(&catalog, &query, &opts)
+                        .unwrap()
+                        .true_cost,
+                )
             })
         });
     }

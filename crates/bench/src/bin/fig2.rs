@@ -30,15 +30,18 @@ fn main() {
         args.timeout = args.timeout.max(Duration::from_secs(60));
     }
     let timeout = args.timeout;
-    let sample_points: Vec<Duration> =
-        (1..=SAMPLES).map(|i| timeout.mul_f64(i as f64 / SAMPLES as f64)).collect();
+    let sample_points: Vec<Duration> = (1..=SAMPLES)
+        .map(|i| timeout.mul_f64(i as f64 / SAMPLES as f64))
+        .collect();
 
     println!(
         "# Figure 2: guaranteed optimality factor (Cost/LB) over time; timeout {:?}, {} queries/point",
         timeout, args.queries
     );
-    let header: Vec<String> =
-        sample_points.iter().map(|d| format!("{:>8.1}s", d.as_secs_f64())).collect();
+    let header: Vec<String> = sample_points
+        .iter()
+        .map(|d| format!("{:>8.1}s", d.as_secs_f64()))
+        .collect();
     println!("{:<26} {}", "configuration", header.join(" "));
 
     for topo in TOPOLOGIES {
@@ -48,8 +51,7 @@ fn main() {
             // Dynamic programming baseline.
             let mut dp_rows: Vec<Vec<Option<f64>>> = Vec::new();
             for qi in 0..args.queries {
-                let (catalog, query) =
-                    WorkloadSpec::new(topo, n).generate(args.seed + qi as u64);
+                let (catalog, query) = WorkloadSpec::new(topo, n).generate(args.seed + qi as u64);
                 let start = Instant::now();
                 let opts = DpOptions {
                     deadline: Some(start + timeout),
@@ -92,7 +94,11 @@ fn main() {
                     };
                     rows.push(row);
                 }
-                print_series(&format!("ILP ({})", precision.name()), &sample_points, &rows);
+                print_series(
+                    &format!("ILP ({})", precision.name()),
+                    &sample_points,
+                    &rows,
+                );
             }
         }
     }

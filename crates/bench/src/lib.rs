@@ -34,7 +34,12 @@ pub struct ExperimentArgs {
 
 impl Default for ExperimentArgs {
     fn default() -> Self {
-        ExperimentArgs { full: false, timeout: Duration::from_secs(5), queries: 3, seed: 42 }
+        ExperimentArgs {
+            full: false,
+            timeout: Duration::from_secs(5),
+            queries: 3,
+            seed: 42,
+        }
     }
 }
 
@@ -109,9 +114,17 @@ mod tests {
     #[test]
     fn parse_args() {
         let a = ExperimentArgs::parse(
-            ["--full", "--timeout", "2.5", "--queries", "7", "--seed", "9"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "--full",
+                "--timeout",
+                "2.5",
+                "--queries",
+                "7",
+                "--seed",
+                "9",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         );
         assert!(a.full);
         assert_eq!(a.timeout, Duration::from_secs_f64(2.5));

@@ -69,7 +69,11 @@ impl Default for EncoderConfig {
 
 impl EncoderConfig {
     pub fn new(precision: Precision, cost_model: CostModelKind) -> Self {
-        EncoderConfig { precision, cost_model, ..Default::default() }
+        EncoderConfig {
+            precision,
+            cost_model,
+            ..Default::default()
+        }
     }
 
     pub fn precision(mut self, p: Precision) -> Self {
@@ -119,10 +123,17 @@ impl std::fmt::Display for ConfigError {
                 write!(f, "interesting orders require operator selection")
             }
             ConfigError::ProjectionUnsupportedModel(m) => {
-                write!(f, "projection is not supported with the {} cost model", m.name())
+                write!(
+                    f,
+                    "projection is not supported with the {} cost model",
+                    m.name()
+                )
             }
             ConfigError::ProjectionNeedsColumns => {
-                write!(f, "projection requires declared columns on all query tables")
+                write!(
+                    f,
+                    "projection requires declared columns on all query tables"
+                )
             }
         }
     }

@@ -7,7 +7,7 @@
 //! violated tolerance) is reported, never silently accepted.
 
 use milpjoin_milp::Solution;
-use milpjoin_qopt::{JoinOp, LeftDeepPlan, Query};
+use milpjoin_qopt::{JoinOp, LeftDeepPlan, Query, TableSet};
 
 use crate::encode::Encoding;
 
@@ -20,6 +20,51 @@ pub struct DecodedPlan {
     /// scan time) or when scheduling is disabled and the predicate is
     /// simply applied as early as possible.
     pub predicate_schedule: Vec<Option<usize>>,
+}
+
+impl DecodedPlan {
+    /// Decoded view of a plan that did not come from a MILP solution
+    /// (heuristic seeds, fallbacks): every multi-table predicate is
+    /// scheduled at its earliest applicable join, matching the implicit
+    /// schedule [`decode`] produces when explicit scheduling is off.
+    pub fn for_plan(query: &Query, plan: LeftDeepPlan) -> Self {
+        let jn = plan.num_joins();
+        let predicate_schedule = query
+            .predicates
+            .iter()
+            .map(|p| {
+                if p.tables.len() < 2 {
+                    return None;
+                }
+                let mask = TableSet::from_positions(
+                    p.tables
+                        .iter()
+                        .map(|&t| query.table_position(t).expect("validated plan")),
+                );
+                let first = (0..jn).find(|&j| mask.is_subset_of(plan.prefix_set(query, j)));
+                Some(evaluation_join(first, jn))
+            })
+            .collect();
+        DecodedPlan {
+            plan,
+            predicate_schedule,
+        }
+    }
+}
+
+/// The one place the schedule convention lives: `pao[j]` marks a predicate
+/// applicable on the *outer operand* of join `j` (the first `j + 1` tables),
+/// so the first such join means the predicate was evaluated during join
+/// `j - 1` — the join that completed that prefix. A predicate never
+/// applicable on any outer operand involves the last table and is evaluated
+/// during the final join. Used by [`decode`]'s implicit branch,
+/// [`DecodedPlan::for_plan`], and mirrored by the warm-start hints.
+fn evaluation_join(first_applicable_outer: Option<usize>, num_joins: usize) -> usize {
+    match first_applicable_outer {
+        Some(0) => 0, // cannot happen for >= 2-table predicates, but stay safe
+        Some(j) => j - 1,
+        None => num_joins.saturating_sub(1),
+    }
 }
 
 /// Decoding failures.
@@ -64,20 +109,27 @@ pub fn decode(
     let n = query.num_tables();
 
     // First outer table.
-    let outer0: Vec<usize> =
-        (0..n).filter(|&t| solution.is_one(encoding.vars.tio[0][t])).collect();
+    let outer0: Vec<usize> = (0..n)
+        .filter(|&t| solution.is_one(encoding.vars.tio[0][t]))
+        .collect();
     if outer0.len() != 1 {
-        return Err(DecodeError::AmbiguousOuter { count: outer0.len() });
+        return Err(DecodeError::AmbiguousOuter {
+            count: outer0.len(),
+        });
     }
 
     let mut order = Vec::with_capacity(n);
     order.push(query.tables[outer0[0]]);
 
     for j in 0..jn {
-        let inner: Vec<usize> =
-            (0..n).filter(|&t| solution.is_one(encoding.vars.tii[j][t])).collect();
+        let inner: Vec<usize> = (0..n)
+            .filter(|&t| solution.is_one(encoding.vars.tii[j][t]))
+            .collect();
         if inner.len() != 1 {
-            return Err(DecodeError::AmbiguousInner { join: j, count: inner.len() });
+            return Err(DecodeError::AmbiguousInner {
+                join: j,
+                count: inner.len(),
+            });
         }
         order.push(query.tables[inner[0]]);
     }
@@ -90,7 +142,10 @@ pub fn decode(
                 .filter(|&i| solution.is_one(encoding.vars.jos[j][i]))
                 .collect();
             if chosen.len() != 1 {
-                return Err(DecodeError::AmbiguousOperator { join: j, count: chosen.len() });
+                return Err(DecodeError::AmbiguousOperator {
+                    join: j,
+                    count: chosen.len(),
+                });
             }
             operators.push(encoding.vars.op_set[chosen[0]].join_op());
         }
@@ -101,7 +156,8 @@ pub fn decode(
     } else {
         LeftDeepPlan::with_operators(order, operators)
     };
-    plan.validate(query).map_err(|_| DecodeError::NotAPermutation)?;
+    plan.validate(query)
+        .map_err(|_| DecodeError::NotAPermutation)?;
 
     // Predicate schedule.
     let mut schedule = Vec::with_capacity(query.predicates.len());
@@ -115,19 +171,16 @@ pub fn decode(
             let at = (0..jn).find(|&j| solution.is_one(encoding.vars.pco[e][j]));
             schedule.push(at);
         } else {
-            // Implicit: applicable on the outer operand of join j means it
-            // was evaluated during join j-1; never applicable means the
-            // last join.
+            // Implicit schedule: see `evaluation_join` for the convention.
             let first_pao = (0..jn).find(|&j| solution.is_one(encoding.vars.pao[e][j]));
-            schedule.push(Some(match first_pao {
-                Some(0) => 0, // cannot happen for >= 2 tables, but stay safe
-                Some(j) => j - 1,
-                None => jn - 1,
-            }));
+            schedule.push(Some(evaluation_join(first_pao, jn)));
         }
     }
 
-    Ok(DecodedPlan { plan, predicate_schedule: schedule })
+    Ok(DecodedPlan {
+        plan,
+        predicate_schedule: schedule,
+    })
 }
 
 /// Like a [`JoinOp`] list, but also usable when operator selection was off.

@@ -30,8 +30,12 @@ pub(crate) fn build(ctx: &mut Ctx<'_>) {
     let lco_lb = ctx.grid.log_card_min.min(0.0) - 1.0;
     let lco_ub = ctx.grid.log_card_max + 1.0;
     for j in 0..jn {
-        let lco =
-            ctx.add_continuous(VarCategory::LogCardOuter, lco_lb, lco_ub, format!("lco_{j}"));
+        let lco = ctx.add_continuous(
+            VarCategory::LogCardOuter,
+            lco_lb,
+            lco_ub,
+            format!("lco_{j}"),
+        );
         ctx.vars.lco.push(lco);
         let co = ctx.add_continuous(VarCategory::CardOuter, 0.0, co_upper, format!("co_{j}"));
         ctx.vars.co.push(co);
@@ -50,7 +54,12 @@ pub(crate) fn build(ctx: &mut Ctx<'_>) {
         for t in 0..n {
             ci_expr += ctx.vars.tii[j][t] * (-ctx.card[t]);
         }
-        ctx.add_eq(ConstrCategory::InnerCardinality, ci_expr, 0.0, format!("ci_def_{j}"));
+        ctx.add_eq(
+            ConstrCategory::InnerCardinality,
+            ci_expr,
+            0.0,
+            format!("ci_def_{j}"),
+        );
 
         // Log cardinality of the outer operand.
         let mut lco_expr = LinExpr::from(ctx.vars.lco[j]);
@@ -65,7 +74,12 @@ pub(crate) fn build(ctx: &mut Ctx<'_>) {
         for (gi, g) in ctx.query.correlated_groups.iter().enumerate() {
             lco_expr += ctx.vars.pag[gi][j] * (-g.correction.log10());
         }
-        ctx.add_eq(ConstrCategory::LogCardinality, lco_expr, 0.0, format!("lco_def_{j}"));
+        ctx.add_eq(
+            ConstrCategory::LogCardinality,
+            lco_expr,
+            0.0,
+            format!("lco_def_{j}"),
+        );
 
         // Threshold activation: lco - M * cto <= log10 θ_r.
         for r in 0..l {

@@ -76,7 +76,9 @@ fn pgi_expr(ctx: &Ctx<'_>, j: usize) -> LinExpr {
 }
 
 fn pgi_upper(ctx: &Ctx<'_>) -> f64 {
-    (0..ctx.n).map(|t| pages_of(ctx, ctx.card[t])).fold(1.0, f64::max)
+    (0..ctx.n)
+        .map(|t| pages_of(ctx, ctx.card[t]))
+        .fold(1.0, f64::max)
 }
 
 /// Outer `P·⌈log2 P⌉` expression via threshold levels.
@@ -116,7 +118,10 @@ fn op_cost(ctx: &mut Ctx<'_>, j: usize, op: PhysOp) -> (LinExpr, f64) {
                 + plpi_expr(ctx, j) * 2.0
                 + pgo_expr(ctx, j)
                 + pgi_expr(ctx, j);
-            (expr, 2.0 * plp_of(po_up) + 2.0 * plp_of(pi_up) + po_up + pi_up)
+            (
+                expr,
+                2.0 * plp_of(po_up) + 2.0 * plp_of(pi_up) + po_up + pi_up,
+            )
         }
         PhysOp::SortMergeReuseOuter => {
             // Outer already sorted: skip its sort phase.
@@ -233,7 +238,9 @@ pub(crate) fn build(ctx: &mut Ctx<'_>) {
             if p.eval_cost_per_tuple <= 0.0 {
                 continue;
             }
-            let Some(e) = ctx.vars.pred_index[qi] else { continue };
+            let Some(e) = ctx.vars.pred_index[qi] else {
+                continue;
+            };
             for j in 0..jn {
                 let pco = ctx.vars.pco[e][j];
                 let co = ctx.vars.co[j];
@@ -267,7 +274,12 @@ fn build_operator_selection(ctx: &mut Ctx<'_>, objective: &mut LinExpr) {
             .map(|i| ctx.add_binary(VarCategory::OperatorSelected, format!("jos_{j}_{i}")))
             .collect();
         let sum: LinExpr = row.iter().map(|&v| LinExpr::from(v)).sum();
-        ctx.add_eq(ConstrCategory::OperatorChoice, sum, 1.0, format!("one_op_{j}"));
+        ctx.add_eq(
+            ConstrCategory::OperatorChoice,
+            sum,
+            1.0,
+            format!("one_op_{j}"),
+        );
         ctx.vars.jos.push(row);
     }
 
@@ -294,7 +306,12 @@ fn build_operator_selection(ctx: &mut Ctx<'_>, objective: &mut LinExpr) {
                     expr += ctx.vars.jos[j - 1][i] * (-1.0);
                 }
             }
-            ctx.add_eq(ConstrCategory::Properties, expr, 0.0, format!("ohp_prod_{j}"));
+            ctx.add_eq(
+                ConstrCategory::Properties,
+                expr,
+                0.0,
+                format!("ohp_prod_{j}"),
+            );
         }
         // Consumption: operators requiring sorted outer are gated.
         for j in 0..jn {
@@ -323,7 +340,12 @@ fn build_operator_selection(ctx: &mut Ctx<'_>, objective: &mut LinExpr) {
                 format!("pjc_{j}_{i}"),
             );
             let def = LinExpr::from(pjc) - expr;
-            ctx.add_eq(ConstrCategory::OperatorChoice, def, 0.0, format!("pjc_def_{j}_{i}"));
+            ctx.add_eq(
+                ConstrCategory::OperatorChoice,
+                def,
+                0.0,
+                format!("pjc_def_{j}_{i}"),
+            );
             let ajc = ctx.add_continuous(
                 VarCategory::ActualJoinCost,
                 0.0,
@@ -331,9 +353,13 @@ fn build_operator_selection(ctx: &mut Ctx<'_>, objective: &mut LinExpr) {
                 format!("ajc_{j}_{i}"),
             );
             // ajc >= pjc - U(1 - jos):  pjc + U·jos - ajc <= U.
-            let gate =
-                LinExpr::from(pjc) + ctx.vars.jos[j][i] * upper - ajc;
-            ctx.add_le(ConstrCategory::OperatorChoice, gate, upper, format!("ajc_{j}_{i}"));
+            let gate = LinExpr::from(pjc) + ctx.vars.jos[j][i] * upper - ajc;
+            ctx.add_le(
+                ConstrCategory::OperatorChoice,
+                gate,
+                upper,
+                format!("ajc_{j}_{i}"),
+            );
             *objective += LinExpr::from(ajc);
         }
     }

@@ -36,32 +36,54 @@ pub(crate) fn build(ctx: &mut Ctx<'_>) {
 
     // Exactly one table in the first outer operand.
     let first_outer: LinExpr = ctx.vars.tio[0].iter().map(|&v| LinExpr::from(v)).sum();
-    ctx.add_eq(ConstrCategory::SingleTableOperand, first_outer, 1.0, "one_outer_0".into());
+    ctx.add_eq(
+        ConstrCategory::SingleTableOperand,
+        first_outer,
+        1.0,
+        "one_outer_0".into(),
+    );
 
     // Exactly one table in every inner operand.
     for j in 0..jn {
         let inner: LinExpr = ctx.vars.tii[j].iter().map(|&v| LinExpr::from(v)).sum();
-        ctx.add_eq(ConstrCategory::SingleTableOperand, inner, 1.0, format!("one_inner_{j}"));
+        ctx.add_eq(
+            ConstrCategory::SingleTableOperand,
+            inner,
+            1.0,
+            format!("one_inner_{j}"),
+        );
     }
 
     // Chaining: outer of join j = result of join j-1.
     for j in 1..jn {
         for t in 0..n {
-            let expr = LinExpr::from(ctx.vars.tio[j][t])
-                - ctx.vars.tio[j - 1][t]
-                - ctx.vars.tii[j - 1][t];
-            ctx.add_eq(ConstrCategory::OperandChaining, expr, 0.0, format!("chain_{t}_{j}"));
+            let expr =
+                LinExpr::from(ctx.vars.tio[j][t]) - ctx.vars.tio[j - 1][t] - ctx.vars.tii[j - 1][t];
+            ctx.add_eq(
+                ConstrCategory::OperandChaining,
+                expr,
+                0.0,
+                format!("chain_{t}_{j}"),
+            );
         }
     }
 
     // Overlap exclusion. Required for the last join; optional strengthening
     // elsewhere (chaining + binary bounds already imply it for j < last).
-    let joins_with_overlap: Vec<usize> =
-        if ctx.config.overlap_all_joins { (0..jn).collect() } else { vec![jn - 1] };
+    let joins_with_overlap: Vec<usize> = if ctx.config.overlap_all_joins {
+        (0..jn).collect()
+    } else {
+        vec![jn - 1]
+    };
     for j in joins_with_overlap {
         for t in 0..n {
             let expr = ctx.vars.tio[j][t] + ctx.vars.tii[j][t];
-            ctx.add_le(ConstrCategory::NoOverlap, expr, 1.0, format!("overlap_{t}_{j}"));
+            ctx.add_le(
+                ConstrCategory::NoOverlap,
+                expr,
+                1.0,
+                format!("overlap_{t}_{j}"),
+            );
         }
     }
 }

@@ -145,6 +145,146 @@ pub struct Encoding {
     pub num_joins: usize,
 }
 
+/// Converts a left-deep plan into a warm-start hint for the MILP: values
+/// for every join-order, predicate-applicability and threshold binary that
+/// the plan determines. Variables the plan does *not* determine (operator
+/// selection, projection columns) are left unhinted — the solver completes
+/// them with a fractional dive. The hints satisfy every constraint of the
+/// encoding, so fixing them leaves the LP feasible and the plan becomes the
+/// root incumbent (see `SolverOptions::initial_solution`).
+#[allow(clippy::needless_range_loop)] // j / j+1 arithmetic over parallel rows
+pub fn warm_start_assignment(
+    encoding: &Encoding,
+    catalog: &Catalog,
+    query: &Query,
+    plan: &milpjoin_qopt::LeftDeepPlan,
+) -> Result<Vec<(Var, f64)>, milpjoin_qopt::PlanError> {
+    use milpjoin_qopt::TableSet;
+
+    plan.validate(query)?;
+    let n = query.num_tables();
+    let jn = encoding.num_joins;
+    let vars = &encoding.vars;
+    let est = Estimator::new(catalog, query);
+
+    let positions: Vec<usize> = plan
+        .order
+        .iter()
+        .map(|&t| query.table_position(t).expect("validated plan"))
+        .collect();
+    // Outer operand of join j = first j+1 tables of the order.
+    let outer_sets: Vec<TableSet> = (0..jn)
+        .map(|j| TableSet::from_positions(positions[..=j].iter().copied()))
+        .collect();
+
+    let mut hints = Vec::new();
+    for j in 0..jn {
+        for t in 0..n {
+            let in_outer = outer_sets[j].contains(t);
+            hints.push((vars.tio[j][t], if in_outer { 1.0 } else { 0.0 }));
+            let is_inner = positions[j + 1] == t;
+            hints.push((vars.tii[j][t], if is_inner { 1.0 } else { 0.0 }));
+        }
+    }
+
+    // Predicate applicability: as early as the operand allows (predicates
+    // only reduce cost in the base model, and under scheduling this is the
+    // monotone schedule with every predicate evaluated at first
+    // opportunity).
+    let pred_positions: Vec<Option<TableSet>> = query
+        .predicates
+        .iter()
+        .enumerate()
+        .map(|(qi, p)| {
+            vars.pred_index[qi].map(|_| {
+                TableSet::from_positions(
+                    p.tables
+                        .iter()
+                        .map(|&t| query.table_position(t).expect("validated")),
+                )
+            })
+        })
+        .collect();
+    let mut pao_values: Vec<Vec<f64>> = vec![vec![0.0; jn]; vars.pao.len()];
+    for (qi, mask) in pred_positions.iter().enumerate() {
+        let (Some(e), Some(mask)) = (vars.pred_index[qi], mask) else {
+            continue;
+        };
+        for j in 0..jn {
+            let applicable = mask.is_subset_of(outer_sets[j]);
+            pao_values[e][j] = if applicable { 1.0 } else { 0.0 };
+            hints.push((vars.pao[e][j], pao_values[e][j]));
+        }
+    }
+
+    // Correlated groups: AND over the member predicates' applicability.
+    // The per-join values are kept so the lco computation below reuses
+    // them (guaranteeing the two formulas agree by construction).
+    let mut pag_values: Vec<Vec<f64>> = vec![vec![0.0; jn]; query.correlated_groups.len()];
+    for (gi, g) in query.correlated_groups.iter().enumerate() {
+        let members: Vec<usize> = g
+            .members
+            .iter()
+            .filter_map(|pid| vars.pred_index[pid.index()])
+            .collect();
+        for j in 0..jn {
+            let all = members.iter().all(|&e| pao_values[e][j] > 0.5);
+            pag_values[gi][j] = if all { 1.0 } else { 0.0 };
+            hints.push((vars.pag[gi][j], pag_values[gi][j]));
+        }
+    }
+
+    // Evaluation schedule (when active): pco[j] = pao[j+1] - pao[j], with
+    // the convention pao[num_joins] = 1. `pco` rows are allocated per
+    // encoded predicate in the same dense order as `pred_index`, so the
+    // encoded index `e` addresses both.
+    if !vars.pco.is_empty() {
+        for qi in 0..query.predicates.len() {
+            let Some(e) = vars.pred_index[qi] else {
+                continue;
+            };
+            for j in 0..jn {
+                let next = if j + 1 < jn {
+                    pao_values[e][j + 1]
+                } else {
+                    1.0
+                };
+                hints.push((vars.pco[e][j], next - pao_values[e][j]));
+            }
+        }
+    }
+
+    // Threshold flags: cto[j][r] = 1 iff the outer operand's log-cardinality
+    // exceeds threshold r. The log-cardinality is recomputed with exactly
+    // the formula of the lco defining constraint so the fixed LP stays
+    // consistent.
+    let log_card: Vec<f64> = (0..n)
+        .map(|t| est.log10_cardinality(TableSet::single(t)))
+        .collect();
+    for j in 0..jn {
+        let mut lco: f64 = outer_sets[j].iter().map(|t| log_card[t]).sum();
+        for (qi, p) in query.predicates.iter().enumerate() {
+            if let Some(e) = vars.pred_index[qi] {
+                lco += pao_values[e][j] * p.log10_selectivity();
+            }
+        }
+        for (gi, g) in query.correlated_groups.iter().enumerate() {
+            lco += pag_values[gi][j] * g.correction.log10();
+        }
+        for r in 0..encoding.grid.len() {
+            // The activation constraint is one-sided: cto = 1 is always
+            // feasible (it only adds δ_r to co), while cto = 0 is
+            // infeasible once lco exceeds the threshold. Err toward 1 on
+            // boundary cases so rounding differences between this lco and
+            // the LP's can never make the fixed LP infeasible.
+            let active = lco > encoding.grid.log_threshold(r) - 1e-9;
+            hints.push((vars.cto[j][r], if active { 1.0 } else { 0.0 }));
+        }
+    }
+
+    Ok(hints)
+}
+
 /// Shared state threaded through the encoding passes.
 pub(crate) struct Ctx<'a> {
     pub catalog: &'a Catalog,
@@ -213,7 +353,12 @@ impl<'a> Ctx<'a> {
         // z >= cont - U * (1 - bin)  <=>  cont + U*bin - z <= U;
         // z >= 0 is the variable bound.
         let expr = cont_expr + bin * upper - z;
-        self.add_le(ConstrCategory::Linearization, expr, upper, format!("lin_{name}"));
+        self.add_le(
+            ConstrCategory::Linearization,
+            expr,
+            upper,
+            format!("lin_{name}"),
+        );
         z
     }
 }
@@ -233,12 +378,15 @@ pub fn encode(
     check_config(catalog, query, config)?;
 
     let est = Estimator::new(catalog, query);
-    // Anchor the threshold window at the cost scale of a greedy plan: any
-    // plan competitive with the greedy bound keeps all its intermediate
-    // results below roughly that scale, so precision is spent where the
-    // optimum lives (see `thresholds::MAX_GRID_DECADES` for why the window
-    // must be bounded).
-    let anchor = greedy_anchor_log(&est, n) + config.precision.log10_spacing();
+    // Anchor the threshold window at the cardinality scale implied by a
+    // greedy plan's total cost: any plan competitive with the greedy bound
+    // keeps every operand below the cardinality whose *model cost* alone
+    // already exceeds that bound, so precision is spent where the optimum
+    // lives (see `thresholds::MAX_GRID_DECADES` for why the window must be
+    // bounded). For page-based cost models the same cost admits much larger
+    // operands than under C_out (cost per tuple is ~tuple_bytes/page_bytes,
+    // not 1), hence the model-specific cost→cardinality factor.
+    let anchor = greedy_anchor_log(&est, config, n) + config.precision.log10_spacing();
     let grid = ThresholdGrid::build_windowed(
         config.precision,
         n,
@@ -257,7 +405,10 @@ pub fn encode(
     let card: Vec<f64> = log_card.iter().map(|lc| 10f64.powf(*lc)).collect();
 
     let scheduling = config.projection
-        || query.predicates.iter().any(|p| p.eval_cost_per_tuple > 0.0 && p.tables.len() >= 2);
+        || query
+            .predicates
+            .iter()
+            .any(|p| p.eval_cost_per_tuple > 0.0 && p.tables.len() >= 2);
 
     let mut ctx = Ctx {
         catalog,
@@ -283,16 +434,35 @@ pub fn encode(
     }
     cost::build(&mut ctx);
 
-    let Ctx { model, stats, vars, grid, num_joins, .. } = ctx;
-    Ok(Encoding { model, vars, stats, grid, num_joins })
+    let Ctx {
+        model,
+        stats,
+        vars,
+        grid,
+        num_joins,
+        ..
+    } = ctx;
+    Ok(Encoding {
+        model,
+        vars,
+        stats,
+        grid,
+        num_joins,
+    })
 }
 
-/// log10 of the best total C_out over several greedy nearest-neighbor
-/// plans — an upper bound on the cost scale any optimal plan can reach
-/// (every intermediate result of a plan that beats this bound is smaller
-/// than the bound). The tighter this anchor, the better conditioned the
-/// threshold window, so a handful of start tables are tried.
-fn greedy_anchor_log(est: &Estimator, n: usize) -> f64 {
+/// log10 of the largest operand cardinality that can still appear in a plan
+/// competitive with a greedy upper bound, derived from the best total cost
+/// over several greedy nearest-neighbor plans under the *configured* cost
+/// model. Under C_out an intermediate larger than the greedy total already
+/// costs more than the whole greedy plan; under the page-based models the
+/// same argument holds after converting cost back to tuples through the
+/// model's cheapest cost-per-tuple (e.g. a hash join pays at least
+/// `3 · tuple_bytes / page_bytes` per outer tuple). The tighter this
+/// anchor, the better conditioned the threshold window, so a handful of
+/// start tables are tried.
+fn greedy_anchor_log(est: &Estimator, config: &EncoderConfig, n: usize) -> f64 {
+    use milpjoin_qopt::cost::JoinContext;
     use milpjoin_qopt::TableSet;
     // Candidate start tables: the few smallest ones.
     let mut starts: Vec<usize> = (0..n).collect();
@@ -302,10 +472,17 @@ fn greedy_anchor_log(est: &Estimator, n: usize) -> f64 {
     });
     starts.truncate(5);
 
-    let mut best = f64::INFINITY;
+    let model = config.cost_model;
+    let params = &config.cost_params;
+    let num_joins = n - 1;
+    // The cost sum is accumulated in log10 space: raw cardinalities (and
+    // thus costs) overflow f64 well before the 64-table query limit, and an
+    // overflowed anchor would silently degenerate the window to the full
+    // unwindowed grid on exactly the large queries it exists for.
+    let mut best_log = f64::INFINITY;
     for &start in &starts {
         let mut set = TableSet::single(start);
-        let mut total_log: f64 = f64::NEG_INFINITY; // log10 of running Cout sum
+        let mut total_log = f64::NEG_INFINITY; // log10 of running cost sum
         while set.len() < n {
             let next = (0..n)
                 .filter(|&t| !set.contains(t))
@@ -314,23 +491,69 @@ fn greedy_anchor_log(est: &Estimator, n: usize) -> f64 {
                         .total_cmp(&est.log10_cardinality(set.insert(b)))
                 })
                 .expect("remaining table");
-            set = set.insert(next);
-            let lc = est.log10_cardinality(set);
-            // log10(10^total + 10^lc), numerically stable.
-            total_log = if total_log == f64::NEG_INFINITY {
-                lc
-            } else {
-                let hi = total_log.max(lc);
-                hi + (10f64.powf(total_log - hi) + 10f64.powf(lc - hi)).log10()
+            let joined = set.insert(next);
+            let join_log = {
+                let cost = match model {
+                    // C_out excludes the final join; for the anchor the
+                    // final result still bounds the relevant cardinality
+                    // scale, so it is kept in the sum (it is identical
+                    // across plans).
+                    milpjoin_qopt::CostModelKind::Cout => est.cardinality(joined),
+                    other => {
+                        let ctx = JoinContext {
+                            outer_card: est.cardinality(set),
+                            inner_card: est.cardinality(TableSet::single(next)),
+                            output_card: est.cardinality(joined),
+                            join_index: set.len() - 1,
+                            num_joins,
+                        };
+                        other.join_cost(&ctx, params)
+                    }
+                };
+                if cost.is_finite() && cost > 0.0 {
+                    cost.log10()
+                } else {
+                    // Raw cost overflowed (or hit a zero-cost degenerate):
+                    // approximate its log10 from log-cardinalities. Every
+                    // model's cost is bounded below by the operand
+                    // cardinalities themselves, and for the anchor a
+                    // conservative per-join log estimate suffices.
+                    est.log10_cardinality(joined)
+                        .max(est.log10_cardinality(set))
+                        .max(0.0)
+                }
             };
+            // log10(10^total + 10^join), numerically stable.
+            total_log = if total_log == f64::NEG_INFINITY {
+                join_log
+            } else {
+                let hi = total_log.max(join_log);
+                hi + (10f64.powf(total_log - hi) + 10f64.powf(join_log - hi)).log10()
+            };
+            set = joined;
         }
-        best = best.min(total_log);
+        best_log = best_log.min(total_log);
     }
+
+    // Cost → cardinality: the largest operand whose *own* model cost does
+    // not yet exceed the greedy bound.
+    let tuples_per_cost = match model {
+        milpjoin_qopt::CostModelKind::Cout => 1.0,
+        milpjoin_qopt::CostModelKind::Hash => params.page_bytes / (3.0 * params.tuple_bytes),
+        // Sort-merge pays at least po + pi pages; drop the log factor for a
+        // conservative (upper) bound.
+        milpjoin_qopt::CostModelKind::SortMerge => params.page_bytes / params.tuple_bytes,
+        // BNL pays at least ceil(po / buffer) inner pages with pi >= 1.
+        milpjoin_qopt::CostModelKind::BlockNestedLoop => {
+            params.buffer_pages * params.page_bytes / params.tuple_bytes
+        }
+    };
+    let anchor = best_log.max(0.0) + tuples_per_cost.log10();
     let min_single = starts
         .first()
         .map(|&s| est.log10_cardinality(TableSet::single(s)))
         .unwrap_or(0.0);
-    best.max(min_single)
+    anchor.max(min_single)
 }
 
 fn check_config(

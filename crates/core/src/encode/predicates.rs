@@ -45,7 +45,9 @@ pub(crate) fn build(ctx: &mut Ctx<'_>) {
     // Applicability: pao <= tio for every referenced table (general n-ary
     // form of §5.1).
     for (qi, p) in ctx.query.predicates.iter().enumerate() {
-        let Some(e) = ctx.vars.pred_index[qi] else { continue };
+        let Some(e) = ctx.vars.pred_index[qi] else {
+            continue;
+        };
         let positions: Vec<usize> = p
             .tables
             .iter()
@@ -77,10 +79,18 @@ pub(crate) fn build(ctx: &mut Ctx<'_>) {
             // pag <= pao_p for each member.
             for &e in &members {
                 let expr = LinExpr::from(pag) - ctx.vars.pao[e][j];
-                ctx.add_le(ConstrCategory::GroupLinking, expr, 0.0, format!("pag_le_{gi}_{j}"));
+                ctx.add_le(
+                    ConstrCategory::GroupLinking,
+                    expr,
+                    0.0,
+                    format!("pag_le_{gi}_{j}"),
+                );
             }
             // pag >= 1 - |g| + sum pao.
-            let sum: LinExpr = members.iter().map(|&e| LinExpr::from(ctx.vars.pao[e][j])).sum();
+            let sum: LinExpr = members
+                .iter()
+                .map(|&e| LinExpr::from(ctx.vars.pao[e][j]))
+                .sum();
             let expr = LinExpr::from(pag) - sum;
             ctx.add_ge(
                 ConstrCategory::GroupLinking,
@@ -96,7 +106,9 @@ pub(crate) fn build(ctx: &mut Ctx<'_>) {
     // Expensive-predicate / projection scheduling (§5.1).
     if ctx.scheduling {
         for (qi, _p) in ctx.query.predicates.iter().enumerate() {
-            let Some(e) = ctx.vars.pred_index[qi] else { continue };
+            let Some(e) = ctx.vars.pred_index[qi] else {
+                continue;
+            };
             // Monotonicity: pao[j] <= pao[j+1].
             for j in 0..jn - 1 {
                 let expr = LinExpr::from(ctx.vars.pao[e][j]) - ctx.vars.pao[e][j + 1];
@@ -110,8 +122,7 @@ pub(crate) fn build(ctx: &mut Ctx<'_>) {
             // pco[j] = pao[j+1] - pao[j], with pao[jn] := 1.
             let mut row = Vec::with_capacity(jn);
             for j in 0..jn {
-                let pco =
-                    ctx.add_binary(VarCategory::PredicateEvaluation, format!("pco_{qi}_{j}"));
+                let pco = ctx.add_binary(VarCategory::PredicateEvaluation, format!("pco_{qi}_{j}"));
                 let expr = if j + 1 < jn {
                     LinExpr::from(pco) - ctx.vars.pao[e][j + 1] + ctx.vars.pao[e][j]
                 } else {

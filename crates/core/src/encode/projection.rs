@@ -29,7 +29,10 @@ pub(crate) fn build(ctx: &mut Ctx<'_>) {
     let mut columns: Vec<ColumnId> = Vec::new();
     for &t in &ctx.query.tables {
         for c in 0..ctx.catalog.table(t).columns.len() {
-            columns.push(ColumnId { table: t, column: c as u32 });
+            columns.push(ColumnId {
+                table: t,
+                column: c as u32,
+            });
         }
     }
     ctx.vars.columns = columns.clone();
@@ -54,16 +57,30 @@ pub(crate) fn build(ctx: &mut Ctx<'_>) {
         // Table presence.
         for j in 0..jn {
             let expr = LinExpr::from(ctx.vars.clo[j][l]) - ctx.vars.tio[j][tpos];
-            ctx.add_le(ConstrCategory::Projection, expr, 0.0, format!("clo_tio_{l}_{j}"));
+            ctx.add_le(
+                ConstrCategory::Projection,
+                expr,
+                0.0,
+                format!("clo_tio_{l}_{j}"),
+            );
             let expr = LinExpr::from(ctx.vars.cli[j][l]) - ctx.vars.tii[j][tpos];
-            ctx.add_le(ConstrCategory::Projection, expr, 0.0, format!("cli_tii_{l}_{j}"));
+            ctx.add_le(
+                ConstrCategory::Projection,
+                expr,
+                0.0,
+                format!("cli_tii_{l}_{j}"),
+            );
         }
         // Column flow: result columns come from one of the inputs.
         for j in 0..jn {
-            let expr = LinExpr::from(ctx.vars.clo[j + 1][l])
-                - ctx.vars.clo[j][l]
-                - ctx.vars.cli[j][l];
-            ctx.add_le(ConstrCategory::Projection, expr, 0.0, format!("clo_flow_{l}_{j}"));
+            let expr =
+                LinExpr::from(ctx.vars.clo[j + 1][l]) - ctx.vars.clo[j][l] - ctx.vars.cli[j][l];
+            ctx.add_le(
+                ConstrCategory::Projection,
+                expr,
+                0.0,
+                format!("clo_flow_{l}_{j}"),
+            );
         }
     }
 
@@ -87,13 +104,16 @@ pub(crate) fn build(ctx: &mut Ctx<'_>) {
     // Predicate column requirements (needs the pco scheduling machinery,
     // which `scheduling` guarantees is on when projection is enabled).
     for (qi, p) in ctx.query.predicates.iter().enumerate() {
-        let Some(e) = ctx.vars.pred_index[qi] else { continue };
+        let Some(e) = ctx.vars.pred_index[qi] else {
+            continue;
+        };
         for colref in &p.columns {
-            let Some(l) = columns.iter().position(|c| c == colref) else { continue };
+            let Some(l) = columns.iter().position(|c| c == colref) else {
+                continue;
+            };
             for j in 0..jn {
-                let expr = LinExpr::from(ctx.vars.pco[e][j])
-                    - ctx.vars.clo[j][l]
-                    - ctx.vars.cli[j][l];
+                let expr =
+                    LinExpr::from(ctx.vars.pco[e][j]) - ctx.vars.clo[j][l] - ctx.vars.cli[j][l];
                 ctx.add_le(
                     ConstrCategory::Projection,
                     expr,

@@ -1,0 +1,243 @@
+//! Hybrid optimizer: greedy construction warm-starting the MILP.
+//!
+//! Following the hybrid strategy of Schönberger & Trummer ("Hybrid Mixed
+//! Integer Linear Programming for Large-Scale Join Order Optimisation",
+//! 2025): a linear-time greedy heuristic produces a feasible plan in
+//! microseconds; that plan is injected into the MILP solver as the root
+//! incumbent ([`OptimizeOptions::initial_plan`]), so the anytime trace opens
+//! with a finite incumbent at t ≈ 0 — and a finite *guaranteed optimality
+//! factor* as soon as the root LP bound lands — instead of waiting for
+//! branch and bound to stumble on its first integral solution. The search
+//! also prunes against the greedy bound from the first node.
+//!
+//! The hybrid additionally keeps the greedy plan as a safety net: when the
+//! decoded MILP plan is worse than the greedy one under the *exact* cost
+//! model (possible when the threshold window collapses costs below its
+//! floor into ties), the greedy plan is returned instead.
+
+use milpjoin_dp::{greedy_order, DpOptions};
+use milpjoin_qopt::cost::plan_cost;
+use milpjoin_qopt::orderer::{JoinOrderer, OrderingError, OrderingOptions, OrderingOutcome};
+use milpjoin_qopt::{Catalog, LeftDeepPlan, Query};
+
+use crate::config::EncoderConfig;
+use crate::decode::DecodedPlan;
+use crate::optimizer::{MilpOptimizer, OptimizeError, OptimizeOptions, OptimizeOutcome};
+
+/// Greedy-seeded MILP optimizer (the recommended entry point).
+///
+/// ```
+/// use std::time::Duration;
+/// use milpjoin::{EncoderConfig, HybridOptimizer, OptimizeOptions};
+/// use milpjoin_qopt::{Catalog, Predicate, Query};
+///
+/// let mut catalog = Catalog::new();
+/// let r = catalog.add_table("R", 10.0);
+/// let s = catalog.add_table("S", 1000.0);
+/// let t = catalog.add_table("T", 100.0);
+/// let mut query = Query::new(vec![r, s, t]);
+/// query.add_predicate(Predicate::binary(r, s, 0.1));
+///
+/// let outcome = HybridOptimizer::with_defaults()
+///     .optimize(&catalog, &query, &OptimizeOptions::default())
+///     .unwrap();
+/// outcome.plan.validate(&query).unwrap();
+/// // The warm start guarantees an incumbent from the very first event.
+/// assert!(outcome.trace.points().first().unwrap().incumbent.is_some());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct HybridOptimizer {
+    config: EncoderConfig,
+}
+
+impl HybridOptimizer {
+    pub fn new(config: EncoderConfig) -> Self {
+        HybridOptimizer { config }
+    }
+
+    pub fn with_defaults() -> Self {
+        Self::default()
+    }
+
+    pub fn config(&self) -> &EncoderConfig {
+        &self.config
+    }
+
+    /// The greedy plan this optimizer would seed the MILP with.
+    pub fn seed_plan(&self, catalog: &Catalog, query: &Query) -> LeftDeepPlan {
+        let dp_options = DpOptions {
+            cost_model: self.config.cost_model,
+            params: self.config.cost_params,
+            ..DpOptions::default()
+        };
+        greedy_order(catalog, query, &dp_options)
+    }
+
+    /// Runs greedy, then the warm-started MILP pipeline. Any
+    /// `initial_plan` already present in `options` takes precedence over
+    /// the greedy seed (callers may have a better incumbent, e.g. a cached
+    /// plan for a similar query).
+    ///
+    /// Caveat when the safety net fires (the seed beats the decoded MILP
+    /// plan under the exact cost model): `plan` / `decoded` / `true_cost`
+    /// describe the seed, while `status`, `milp_objective`, `milp_bound`
+    /// and the `trace` keep describing the MILP *search* — a valid record
+    /// of what was proven in MILP space, but not a certificate for the
+    /// returned plan. The [`JoinOrderer::order`] projection reports that
+    /// case with `bound: None` and `proven_optimal: false`.
+    pub fn optimize(
+        &self,
+        catalog: &Catalog,
+        query: &Query,
+        options: &OptimizeOptions,
+    ) -> Result<OptimizeOutcome, OptimizeError> {
+        Ok(self.optimize_tracked(catalog, query, options)?.0)
+    }
+
+    /// Like [`Self::optimize`], additionally reporting whether the seed
+    /// plan replaced the decoded MILP plan (`true` when the safety net
+    /// fired, meaning the MILP certificate does not describe the returned
+    /// plan).
+    fn optimize_tracked(
+        &self,
+        catalog: &Catalog,
+        query: &Query,
+        options: &OptimizeOptions,
+    ) -> Result<(OptimizeOutcome, bool), OptimizeError> {
+        // Validate before seeding: the greedy construction (and the
+        // warm-start hint builder) index the catalog directly and would
+        // panic on a query the MILP path rejects with a proper error.
+        query
+            .validate(catalog)
+            .map_err(|e| OptimizeError::Encode(crate::encode::EncodeError::Query(e)))?;
+        let seed = match &options.initial_plan {
+            Some(plan) => plan.clone(),
+            None => self.seed_plan(catalog, query),
+        };
+        let milp_options = OptimizeOptions {
+            initial_plan: Some(seed.clone()),
+            ..options.clone()
+        };
+        let mut outcome =
+            MilpOptimizer::new(self.config.clone()).optimize(catalog, query, &milp_options)?;
+
+        // Safety net: never return a plan worse than the seed under the
+        // exact cost model. `plan`, `decoded` and `true_cost` then describe
+        // the seed; `status` / `milp_objective` / `milp_bound` keep
+        // describing the MILP-space certificate (still a valid statement
+        // about the MILP search, but no longer about the returned plan).
+        // Skipped under operator selection: the seed carries no per-join
+        // operator choices, so swapping it in would hand back an
+        // operator-less plan from an optimizer configured to choose them
+        // (and its canonical-operator cost is not comparable anyway).
+        let seed_cost = plan_cost(
+            catalog,
+            query,
+            &seed,
+            self.config.cost_model,
+            &self.config.cost_params,
+        )
+        .total;
+        let swapped = !self.config.operator_selection && seed_cost < outcome.true_cost;
+        if swapped {
+            outcome.decoded = DecodedPlan::for_plan(query, seed);
+            outcome.plan = outcome.decoded.plan.clone();
+            outcome.true_cost = seed_cost;
+        }
+        Ok((outcome, swapped))
+    }
+}
+
+impl JoinOrderer for HybridOptimizer {
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+
+    fn order(
+        &self,
+        catalog: &Catalog,
+        query: &Query,
+        options: &OrderingOptions,
+    ) -> Result<OrderingOutcome, OrderingError> {
+        let (outcome, swapped) = self
+            .optimize_tracked(catalog, query, &OptimizeOptions::from_ordering(options))
+            .map_err(|e| crate::optimizer::ordering_error(e, options))?;
+        let mut ordering = outcome.into_ordering_outcome();
+        if swapped {
+            // The MILP certificate belongs to the discarded plan: report
+            // the seed like the greedy backend would — exact cost as the
+            // objective, nothing proven. The trace still records the MILP
+            // search history (see `HybridOptimizer::optimize`).
+            ordering.objective = ordering.cost;
+            ordering.bound = None;
+            ordering.proven_optimal = false;
+        }
+        Ok(ordering)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milpjoin_qopt::Predicate;
+
+    fn example() -> (Catalog, Query) {
+        let mut c = Catalog::new();
+        let r = c.add_table("R", 10.0);
+        let s = c.add_table("S", 1000.0);
+        let t = c.add_table("T", 100.0);
+        let mut q = Query::new(vec![r, s, t]);
+        q.add_predicate(Predicate::binary(r, s, 0.1));
+        (c, q)
+    }
+
+    #[test]
+    fn hybrid_solves_the_paper_example() {
+        let (c, q) = example();
+        let out = HybridOptimizer::with_defaults()
+            .optimize(&c, &q, &OptimizeOptions::default())
+            .unwrap();
+        out.plan.validate(&q).unwrap();
+        // Greedy alone already reaches 1000 here, so the hybrid must too.
+        assert!(out.true_cost <= 1000.0 + 1e-6, "cost {}", out.true_cost);
+    }
+
+    #[test]
+    fn trace_opens_with_an_incumbent() {
+        let (c, q) = example();
+        let out = HybridOptimizer::with_defaults()
+            .optimize(&c, &q, &OptimizeOptions::default())
+            .unwrap();
+        let first = out.trace.points().first().expect("non-empty trace");
+        assert!(
+            first.incumbent.is_some(),
+            "first trace point must carry the warm start"
+        );
+    }
+
+    #[test]
+    fn single_table_query_shortcut() {
+        let mut c = Catalog::new();
+        let r = c.add_table("R", 42.0);
+        let q = Query::new(vec![r]);
+        let out = HybridOptimizer::with_defaults()
+            .optimize(&c, &q, &OptimizeOptions::default())
+            .unwrap();
+        assert_eq!(out.plan.order, vec![r]);
+        assert_eq!(out.true_cost, 0.0);
+    }
+
+    #[test]
+    fn trait_object_usage() {
+        let (c, q) = example();
+        let backends: Vec<Box<dyn JoinOrderer>> = vec![
+            Box::new(HybridOptimizer::with_defaults()),
+            Box::new(MilpOptimizer::with_defaults()),
+        ];
+        for b in backends {
+            let out = b.order(&c, &q, &OrderingOptions::default()).unwrap();
+            out.plan.validate(&q).unwrap();
+            assert!(out.cost.is_finite());
+        }
+    }
+}

@@ -48,20 +48,28 @@
 pub mod config;
 pub mod decode;
 pub mod encode;
+pub mod hybrid;
 pub mod optimizer;
 pub mod stats;
 pub mod thresholds;
 
 pub use config::{ConfigError, EncoderConfig, PageMode};
 pub use decode::{decode, DecodeError, DecodedPlan};
-pub use encode::{encode, EncodeError, Encoding, EncodingVars, PhysOp};
+pub use encode::{encode, warm_start_assignment, EncodeError, Encoding, EncodingVars, PhysOp};
+pub use hybrid::HybridOptimizer;
 pub use optimizer::{
     AnytimeTrace, MilpOptimizer, OptimizeError, OptimizeOptions, OptimizeOutcome, TracePoint,
+    MIN_RELATIVE_GAP,
 };
 pub use stats::{ConstrCategory, FormulationStats, VarCategory};
 pub use thresholds::{ApproxMode, Precision, ThresholdGrid};
 
+// Backend-agnostic ordering interface (defined in `milpjoin_qopt`),
+// re-exported so downstream users need only one dependency.
+pub use milpjoin_qopt::orderer::{JoinOrderer, OrderingError, OrderingOptions, OrderingOutcome};
+
 // Re-export the substrate crates so downstream users need only one
 // dependency.
+pub use milpjoin_dp as dp;
 pub use milpjoin_milp as milp;
 pub use milpjoin_qopt as qopt;

@@ -12,60 +12,17 @@ use std::time::Duration;
 use milpjoin_milp::branch_bound::SolverEvent;
 use milpjoin_milp::{SolveStatus, Solver, SolverOptions};
 use milpjoin_qopt::cost::plan_cost;
+use milpjoin_qopt::orderer::{JoinOrderer, OrderingError, OrderingOptions, OrderingOutcome};
 use milpjoin_qopt::{Catalog, LeftDeepPlan, Query};
 
 use crate::config::EncoderConfig;
 use crate::decode::{decode, DecodedPlan};
-use crate::encode::{encode, EncodeError, Encoding};
+use crate::encode::{encode, warm_start_assignment, EncodeError, Encoding};
 use crate::stats::FormulationStats;
 
-/// One sample of the anytime state.
-#[derive(Debug, Clone, Copy)]
-pub struct TracePoint {
-    pub elapsed: Duration,
-    /// Best incumbent objective so far (MILP cost space), if any.
-    pub incumbent: Option<f64>,
-    /// Global lower bound (MILP cost space).
-    pub bound: f64,
-}
-
-/// The incumbent/bound history of one solve.
-#[derive(Debug, Clone, Default)]
-pub struct AnytimeTrace {
-    points: Vec<TracePoint>,
-}
-
-impl AnytimeTrace {
-    pub fn push(&mut self, p: TracePoint) {
-        self.points.push(p);
-    }
-
-    pub fn points(&self) -> &[TracePoint] {
-        &self.points
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
-    }
-
-    /// The anytime state at `elapsed`: the last point at or before it.
-    pub fn state_at(&self, elapsed: Duration) -> Option<TracePoint> {
-        self.points.iter().take_while(|p| p.elapsed <= elapsed).last().copied()
-    }
-
-    /// The guaranteed optimality factor (cost / lower bound) provable at
-    /// `elapsed`; `None` while no incumbent exists or the bound is not yet
-    /// positive.
-    pub fn guaranteed_factor_at(&self, elapsed: Duration) -> Option<f64> {
-        let state = self.state_at(elapsed)?;
-        let inc = state.incumbent?;
-        if state.bound > 0.0 {
-            Some((inc / state.bound).max(1.0))
-        } else {
-            None
-        }
-    }
-}
+// The anytime trace is backend-agnostic and lives with the `JoinOrderer`
+// trait; re-exported here for source compatibility.
+pub use milpjoin_qopt::orderer::{AnytimeTrace, TracePoint};
 
 /// Everything the optimizer returns for one query.
 #[derive(Debug, Clone)]
@@ -108,7 +65,9 @@ pub enum OptimizeError {
     /// encoding and therefore a bug surface, reported loudly.
     Infeasible,
     /// No incumbent was found within the limits.
-    NoPlanFound { status: SolveStatus },
+    NoPlanFound {
+        status: SolveStatus,
+    },
     Solver(String),
 }
 
@@ -135,19 +94,54 @@ impl From<EncodeError> for OptimizeError {
     }
 }
 
+/// The smallest relative gap the optimizer will target. A request below
+/// this value (including the default `0.0`) is clamped up to it: the
+/// floating-point simplex cannot certify gaps tighter than its own
+/// tolerances, so "0" operationally means "proven optimal within numerical
+/// tolerance" — which is also how [`SolveStatus::Optimal`] is reported.
+pub const MIN_RELATIVE_GAP: f64 = 1e-6;
+
 /// Solve-time limits and knobs.
 #[derive(Debug, Clone, Default)]
 pub struct OptimizeOptions {
     pub time_limit: Option<Duration>,
-    /// Stop when the MILP gap reaches this value (0 = proven optimal).
+    /// Stop when the MILP gap reaches this value. Values below
+    /// [`MIN_RELATIVE_GAP`] (including the default `0.0`) are clamped to
+    /// that floor, so `0.0` requests proven optimality within numerical
+    /// tolerance.
     pub relative_gap: f64,
     pub node_limit: Option<u64>,
     pub seed: u64,
+    /// Warm start: a feasible plan (typically from a heuristic) installed
+    /// as the root incumbent before branch and bound starts. The anytime
+    /// trace then opens with this incumbent at t ≈ 0 and the search prunes
+    /// against it from the first node.
+    pub initial_plan: Option<LeftDeepPlan>,
 }
 
 impl OptimizeOptions {
     pub fn with_time_limit(limit: Duration) -> Self {
-        OptimizeOptions { time_limit: Some(limit), ..Default::default() }
+        OptimizeOptions {
+            time_limit: Some(limit),
+            ..Default::default()
+        }
+    }
+
+    /// Builder-style setter for the warm-start plan.
+    pub fn initial_plan(mut self, plan: LeftDeepPlan) -> Self {
+        self.initial_plan = Some(plan);
+        self
+    }
+
+    /// Translates backend-agnostic [`OrderingOptions`] into MILP options.
+    pub fn from_ordering(options: &OrderingOptions) -> Self {
+        OptimizeOptions {
+            time_limit: options.time_limit,
+            relative_gap: options.relative_gap,
+            node_limit: options.node_limit,
+            seed: options.seed,
+            initial_plan: None,
+        }
     }
 }
 
@@ -204,7 +198,7 @@ impl MilpOptimizer {
             query.validate(catalog).map_err(EncodeError::Query)?;
             let plan = LeftDeepPlan::from_order(query.tables.clone());
             return Ok(OptimizeOutcome {
-                decoded: DecodedPlan { plan: plan.clone(), predicate_schedule: vec![] },
+                decoded: DecodedPlan::for_plan(query, plan.clone()),
                 plan,
                 status: SolveStatus::Optimal,
                 milp_objective: 0.0,
@@ -220,11 +214,23 @@ impl MilpOptimizer {
 
         let encoding = encode(catalog, query, &self.config)?;
 
+        // A warm-start plan becomes integer-variable hints for the solver;
+        // an invalid plan is a caller bug, reported loudly.
+        let initial_solution = options
+            .initial_plan
+            .as_ref()
+            .map(|plan| {
+                warm_start_assignment(&encoding, catalog, query, plan)
+                    .map_err(|e| OptimizeError::Solver(format!("invalid initial plan: {e}")))
+            })
+            .transpose()?;
+
         let solver_options = SolverOptions {
             time_limit: options.time_limit,
-            relative_gap: options.relative_gap.max(1e-6),
+            relative_gap: options.relative_gap.max(MIN_RELATIVE_GAP),
             node_limit: options.node_limit,
             seed: options.seed,
+            initial_solution,
             ..SolverOptions::default()
         };
 
@@ -286,5 +292,147 @@ impl MilpOptimizer {
             simplex_iterations: result.simplex_iterations,
             solve_time: result.solve_time,
         })
+    }
+}
+
+impl OptimizeOutcome {
+    /// Projects the MILP-specific outcome onto the backend-agnostic shape.
+    pub fn into_ordering_outcome(self) -> OrderingOutcome {
+        OrderingOutcome {
+            plan: self.plan,
+            cost: self.true_cost,
+            objective: self.milp_objective,
+            // A -inf bound means the search proved nothing (e.g. stopped
+            // before the root LP finished); the contract spells that None.
+            bound: self.milp_bound.is_finite().then_some(self.milp_bound),
+            proven_optimal: self.status == SolveStatus::Optimal,
+            trace: self.trace,
+            elapsed: self.solve_time,
+        }
+    }
+}
+
+/// Maps MILP failures onto the unified error shape. `options` supplies the
+/// context needed to classify `NoPlanFound` — a time limit makes it a
+/// timeout, otherwise whichever budget stopped the search.
+pub(crate) fn ordering_error(e: OptimizeError, options: &OrderingOptions) -> OrderingError {
+    match e {
+        OptimizeError::Encode(EncodeError::Query(q)) => OrderingError::InvalidQuery(q.to_string()),
+        OptimizeError::Encode(EncodeError::Config(c)) => {
+            OrderingError::InvalidConfig(c.to_string())
+        }
+        OptimizeError::Encode(e) => OrderingError::InvalidQuery(e.to_string()),
+        OptimizeError::NoPlanFound { status } => match status {
+            // A correctly-built encoding is bounded below; an unbounded
+            // verdict is a solver/encoder bug, not a budget problem.
+            SolveStatus::Unbounded => OrderingError::Backend(format!(
+                "solver reported an unbounded encoding (status: {status})"
+            )),
+            // Best-effort classification: when the clock is the sole
+            // configured budget the overwhelmingly likely cause is the
+            // deadline (rare all-node numerical stalls also land here).
+            // With a node limit configured the stop cause is ambiguous,
+            // so report the neutral resource-limit form instead.
+            _ if options.time_limit.is_some() && options.node_limit.is_none() => {
+                OrderingError::Timeout
+            }
+            _ => OrderingError::ResourceLimit(format!(
+                "no plan found within the configured limits (solver status: {status})"
+            )),
+        },
+        OptimizeError::Infeasible => OrderingError::Backend("encoding is infeasible (bug)".into()),
+        OptimizeError::Solver(m) => OrderingError::Backend(m),
+    }
+}
+
+impl JoinOrderer for MilpOptimizer {
+    fn name(&self) -> &'static str {
+        "milp"
+    }
+
+    fn order(
+        &self,
+        catalog: &Catalog,
+        query: &Query,
+        options: &OrderingOptions,
+    ) -> Result<OrderingOutcome, OrderingError> {
+        let outcome = self
+            .optimize(catalog, query, &OptimizeOptions::from_ordering(options))
+            .map_err(|e| ordering_error(e, options))?;
+        Ok(outcome.into_ordering_outcome())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_table_fast_path() {
+        let mut catalog = Catalog::new();
+        let r = catalog.add_table("R", 42.0);
+        let query = Query::new(vec![r]);
+        let out = MilpOptimizer::with_defaults()
+            .optimize(&catalog, &query, &OptimizeOptions::default())
+            .unwrap();
+        // No joins: zero-cost plan over the single table, no MILP built.
+        assert_eq!(out.plan.order, vec![r]);
+        assert_eq!(out.status, SolveStatus::Optimal);
+        assert_eq!(out.true_cost, 0.0);
+        assert_eq!(out.milp_objective, 0.0);
+        assert_eq!(out.nodes, 0);
+        assert_eq!(out.simplex_iterations, 0);
+        assert!(out.trace.is_empty());
+        assert_eq!(out.stats.num_vars(), 0);
+        // The empty trace has no state to report, at any time.
+        assert!(out.trace.state_at(Duration::from_secs(3600)).is_none());
+        assert!(out.trace.guaranteed_factor_at(Duration::ZERO).is_none());
+    }
+
+    #[test]
+    fn single_table_fast_path_validates_the_query() {
+        let catalog = Catalog::new(); // `r` missing from this catalog
+        let mut other = Catalog::new();
+        let r = other.add_table("R", 42.0);
+        let query = Query::new(vec![r]);
+        let err = MilpOptimizer::with_defaults()
+            .optimize(&catalog, &query, &OptimizeOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, OptimizeError::Encode(_)));
+    }
+
+    #[test]
+    fn relative_gap_floor_is_applied() {
+        // A request of 0.0 (the default) is documented to mean "proven
+        // optimal within numerical tolerance" — i.e. the clamped floor.
+        assert!(
+            OptimizeOptions::default()
+                .relative_gap
+                .max(MIN_RELATIVE_GAP)
+                == MIN_RELATIVE_GAP
+        );
+        let mut catalog = Catalog::new();
+        let r = catalog.add_table("R", 10.0);
+        let s = catalog.add_table("S", 1000.0);
+        let t = catalog.add_table("T", 100.0);
+        let mut query = Query::new(vec![r, s, t]);
+        query.add_predicate(milpjoin_qopt::Predicate::binary(r, s, 0.1));
+        let out = MilpOptimizer::with_defaults()
+            .optimize(
+                &catalog,
+                &query,
+                &OptimizeOptions {
+                    relative_gap: 0.0,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(out.status, SolveStatus::Optimal);
+        // Proven optimal: the final bound matches the objective within the
+        // floor's tolerance.
+        assert!(
+            out.milp_objective - out.milp_bound
+                <= MIN_RELATIVE_GAP * out.milp_objective.abs() + 1e-9
+        );
     }
 }

@@ -216,11 +216,17 @@ impl FormulationStats {
     }
 
     pub fn vars_in(&self, cat: VarCategory) -> usize {
-        self.vars.iter().find(|(c, _)| *c == cat).map_or(0, |(_, n)| *n)
+        self.vars
+            .iter()
+            .find(|(c, _)| *c == cat)
+            .map_or(0, |(_, n)| *n)
     }
 
     pub fn constrs_in(&self, cat: ConstrCategory) -> usize {
-        self.constrs.iter().find(|(c, _)| *c == cat).map_or(0, |(_, n)| *n)
+        self.constrs
+            .iter()
+            .find(|(c, _)| *c == cat)
+            .map_or(0, |(_, n)| *n)
     }
 
     pub fn var_breakdown(&self) -> &[(VarCategory, usize)] {

@@ -142,7 +142,14 @@ impl ThresholdGrid {
         log_card_max: f64,
         mode: ApproxMode,
     ) -> Self {
-        Self::build_windowed(precision, num_tables, log_card_min, log_card_max, log_card_max, mode)
+        Self::build_windowed(
+            precision,
+            num_tables,
+            log_card_min,
+            log_card_max,
+            log_card_max,
+            mode,
+        )
     }
 
     /// Builds the grid with an explicit window anchor: the top threshold is
@@ -174,7 +181,12 @@ impl ThresholdGrid {
         let count = needed.min(budget);
         let base = top - spacing * (count as f64 - 1.0);
         let log_thresholds: Vec<f64> = (0..count).map(|r| base + r as f64 * spacing).collect();
-        ThresholdGrid { log_thresholds, log_card_max, log_card_min, mode }
+        ThresholdGrid {
+            log_thresholds,
+            log_card_max,
+            log_card_min,
+            mode,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -231,7 +243,11 @@ impl ThresholdGrid {
             ApproxMode::UpperBound => {
                 // Base value θ_0 is a constant offset; variable r lifts the
                 // level from θ_{r} to θ_{r+1} (saturating at the top).
-                let hi = if r + 1 < self.len() { self.threshold(r + 1) } else { self.threshold(r) };
+                let hi = if r + 1 < self.len() {
+                    self.threshold(r + 1)
+                } else {
+                    self.threshold(r)
+                };
                 let lo = self.threshold(r);
                 if r == 0 {
                     hi - lo + 0.0
@@ -314,7 +330,10 @@ mod tests {
         let g = ThresholdGrid::build(Precision::Medium, 10, 0.0, 10.0, ApproxMode::LowerBound);
         for card in [5.0, 99.0, 1234.0, 1e6, 3.3e9] {
             let approx = g.approximate(card);
-            assert!(approx <= card * (1.0 + 1e-9), "approx {approx} > card {card}");
+            assert!(
+                approx <= card * (1.0 + 1e-9),
+                "approx {approx} > card {card}"
+            );
             // Between the first and last threshold, the multiplicative
             // error is at most the tolerance factor (below θ_0 the
             // approximation is 0 — an additive error of at most θ_0).

@@ -61,7 +61,9 @@ fn lco_equals_estimator_on_solved_plans() {
     // solver applies every applicable predicate).
     let (c, q) = example();
     let enc = encode(&c, &q, &EncoderConfig::default().precision(Precision::High)).unwrap();
-    let result = Solver::new(SolverOptions::default()).solve(&enc.model).unwrap();
+    let result = Solver::new(SolverOptions::default())
+        .solve(&enc.model)
+        .unwrap();
     let sol = result.solution.as_ref().unwrap();
     let d = decode(&enc, &q, sol).unwrap();
     let est = Estimator::new(&c, &q);
@@ -80,7 +82,9 @@ fn lco_equals_estimator_on_solved_plans() {
 fn co_respects_tolerance_within_window() {
     let (c, q) = example();
     let enc = encode(&c, &q, &EncoderConfig::default().precision(Precision::High)).unwrap();
-    let result = Solver::new(SolverOptions::default()).solve(&enc.model).unwrap();
+    let result = Solver::new(SolverOptions::default())
+        .solve(&enc.model)
+        .unwrap();
     let sol = result.solution.as_ref().unwrap();
     let d = decode(&enc, &q, sol).unwrap();
     let est = Estimator::new(&c, &q);
@@ -90,7 +94,10 @@ fn co_respects_tolerance_within_window() {
         let true_card = est.cardinality(prefix);
         let co = sol.value(enc.vars.co[j]);
         // Lower-bound mode: co <= card; within the window, co >= card/factor.
-        assert!(co <= true_card * (1.0 + 1e-6) + 1.0, "join {j}: co {co} > card {true_card}");
+        assert!(
+            co <= true_card * (1.0 + 1e-6) + 1.0,
+            "join {j}: co {co} > card {true_card}"
+        );
         let lc = true_card.log10();
         if lc > enc.grid.log_threshold(0) && lc <= enc.grid.log_threshold(enc.grid.len() - 1) {
             assert!(
@@ -106,7 +113,14 @@ fn optimizer_is_deterministic_for_fixed_seed() {
     let (c, q) = example();
     let run = || {
         MilpOptimizer::new(EncoderConfig::default().precision(Precision::Medium))
-            .optimize(&c, &q, &OptimizeOptions { seed: 7, ..OptimizeOptions::default() })
+            .optimize(
+                &c,
+                &q,
+                &OptimizeOptions {
+                    seed: 7,
+                    ..OptimizeOptions::default()
+                },
+            )
             .unwrap()
     };
     let a = run();
@@ -121,7 +135,9 @@ fn threshold_flags_form_prefix_under_ordering() {
     let config = EncoderConfig::default().precision(Precision::Medium);
     assert!(config.threshold_ordering);
     let enc = encode(&c, &q, &config).unwrap();
-    let result = Solver::new(SolverOptions::default()).solve(&enc.model).unwrap();
+    let result = Solver::new(SolverOptions::default())
+        .solve(&enc.model)
+        .unwrap();
     let sol = result.solution.as_ref().unwrap();
     for j in 0..enc.num_joins {
         let mut seen_zero = false;
@@ -147,7 +163,11 @@ fn page_mode_threshold_variant_solves() {
         ..Default::default()
     };
     let out = MilpOptimizer::new(config)
-        .optimize(&c, &q, &OptimizeOptions::with_time_limit(Duration::from_secs(30)))
+        .optimize(
+            &c,
+            &q,
+            &OptimizeOptions::with_time_limit(Duration::from_secs(30)),
+        )
         .unwrap();
     out.plan.validate(&q).unwrap();
 }
@@ -174,7 +194,9 @@ fn estimator_prefix_consistency() {
     // Sanity: prefix sets grow monotonically and the estimator agrees with
     // direct products for predicate-free prefixes.
     let mut c = Catalog::new();
-    let ids: Vec<_> = (0..4).map(|i| c.add_table(format!("T{i}"), 10f64.powi(i + 1))).collect();
+    let ids: Vec<_> = (0..4)
+        .map(|i| c.add_table(format!("T{i}"), 10f64.powi(i + 1)))
+        .collect();
     let q = Query::new(ids.clone());
     let est = Estimator::new(&c, &q);
     let mut set = TableSet::EMPTY;

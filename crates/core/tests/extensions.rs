@@ -3,7 +3,9 @@
 
 use std::time::Duration;
 
-use milpjoin::{encode, ConfigError, EncodeError, EncoderConfig, MilpOptimizer, OptimizeOptions, Precision};
+use milpjoin::{
+    encode, ConfigError, EncodeError, EncoderConfig, MilpOptimizer, OptimizeOptions, Precision,
+};
 use milpjoin_qopt::cost::{operator_cost, CostModelKind, CostParams, JoinContext};
 use milpjoin_qopt::{Catalog, JoinOp, Predicate, Query};
 
@@ -28,7 +30,9 @@ fn operator_selection_decodes_one_operator_per_join() {
         .precision(Precision::High)
         .cost_model(CostModelKind::Hash)
         .operator_selection(true);
-    let out = MilpOptimizer::new(config).optimize(&c, &q, &opts()).unwrap();
+    let out = MilpOptimizer::new(config)
+        .optimize(&c, &q, &opts())
+        .unwrap();
     assert_eq!(out.plan.operators.len(), q.num_joins());
     out.plan.validate(&q).unwrap();
 }
@@ -43,10 +47,15 @@ fn operator_selection_beats_or_matches_single_operator() {
         .precision(Precision::High)
         .cost_model(CostModelKind::Hash);
     let with_sel = hash_only.clone().operator_selection(true);
-    let out_hash = MilpOptimizer::new(hash_only).optimize(&c, &q, &opts()).unwrap();
-    let out_sel = MilpOptimizer::new(with_sel).optimize(&c, &q, &opts()).unwrap();
+    let out_hash = MilpOptimizer::new(hash_only)
+        .optimize(&c, &q, &opts())
+        .unwrap();
+    let out_sel = MilpOptimizer::new(with_sel)
+        .optimize(&c, &q, &opts())
+        .unwrap();
     // Cost the operator-selected plan exactly with its chosen operators.
-    let sel_cost = milpjoin_qopt::cost::plan_cost(&c, &q, &out_sel.plan, CostModelKind::Hash, &params).total;
+    let sel_cost =
+        milpjoin_qopt::cost::plan_cost(&c, &q, &out_sel.plan, CostModelKind::Hash, &params).total;
     // Allow approximation slack of the tolerance factor.
     assert!(
         sel_cost <= out_hash.true_cost * 3.5 + 1e4,
@@ -56,6 +65,7 @@ fn operator_selection_beats_or_matches_single_operator() {
 }
 
 #[test]
+#[allow(clippy::field_reassign_with_default)] // deliberately bypasses the builder
 fn interesting_orders_requires_operator_selection() {
     let (c, q) = three_tables();
     let mut config = EncoderConfig::default();
@@ -63,7 +73,9 @@ fn interesting_orders_requires_operator_selection() {
     config.operator_selection = false;
     assert!(matches!(
         encode(&c, &q, &config),
-        Err(EncodeError::Config(ConfigError::OrdersNeedOperatorSelection))
+        Err(EncodeError::Config(
+            ConfigError::OrdersNeedOperatorSelection
+        ))
     ));
 }
 
@@ -79,7 +91,9 @@ fn interesting_orders_enable_cheaper_sort_merge() {
         .interesting_orders(true);
     let enc = encode(&c, &q, &config).unwrap();
     assert!(enc.stats.vars_in(milpjoin::VarCategory::Property) > 0);
-    let out = MilpOptimizer::new(config).optimize(&c, &q, &opts()).unwrap();
+    let out = MilpOptimizer::new(config)
+        .optimize(&c, &q, &opts())
+        .unwrap();
     out.plan.validate(&q).unwrap();
 }
 
@@ -101,7 +115,9 @@ fn projection_rejects_unsupported_models() {
         .cost_model(CostModelKind::SortMerge);
     assert!(matches!(
         encode(&c, &q, &config),
-        Err(EncodeError::Config(ConfigError::ProjectionUnsupportedModel(_)))
+        Err(EncodeError::Config(
+            ConfigError::ProjectionUnsupportedModel(_)
+        ))
     ));
 }
 
@@ -128,7 +144,9 @@ fn projection_tracks_columns_end_to_end() {
         .projection(true);
     let enc = encode(&c, &q, &config).unwrap();
     assert!(enc.stats.vars_in(milpjoin::VarCategory::Column) > 0);
-    let out = MilpOptimizer::new(config).optimize(&c, &q, &opts()).unwrap();
+    let out = MilpOptimizer::new(config)
+        .optimize(&c, &q, &opts())
+        .unwrap();
     out.plan.validate(&q).unwrap();
 }
 
@@ -143,8 +161,14 @@ fn expensive_predicates_get_scheduled() {
     q.add_predicate(Predicate::binary(b, d, 0.2).with_eval_cost(5.0));
     let config = EncoderConfig::default().precision(Precision::High);
     let enc = encode(&c, &q, &config).unwrap();
-    assert!(enc.stats.vars_in(milpjoin::VarCategory::PredicateEvaluation) > 0);
-    let out = MilpOptimizer::new(config).optimize(&c, &q, &opts()).unwrap();
+    assert!(
+        enc.stats
+            .vars_in(milpjoin::VarCategory::PredicateEvaluation)
+            > 0
+    );
+    let out = MilpOptimizer::new(config)
+        .optimize(&c, &q, &opts())
+        .unwrap();
     // The expensive predicate's schedule must be reported.
     assert_eq!(out.decoded.predicate_schedule.len(), 2);
     assert!(out.decoded.predicate_schedule[1].is_some());
@@ -164,7 +188,9 @@ fn correlated_groups_change_cardinalities() {
     let config = EncoderConfig::default().precision(Precision::High);
     let enc = encode(&c, &q, &config).unwrap();
     assert!(enc.stats.vars_in(milpjoin::VarCategory::GroupApplicable) > 0);
-    let out = MilpOptimizer::new(config).optimize(&c, &q, &opts()).unwrap();
+    let out = MilpOptimizer::new(config)
+        .optimize(&c, &q, &opts())
+        .unwrap();
     out.plan.validate(&q).unwrap();
 }
 
@@ -192,9 +218,16 @@ fn unary_predicates_fold_into_scans() {
     let a = c.add_table("A", 1000.0);
     let b = c.add_table("B", 1000.0);
     let mut q = Query::new(vec![a, b]);
-    q.add_predicate(Predicate { tables: vec![a], ..Predicate::binary(a, b, 0.001) });
+    q.add_predicate(Predicate {
+        tables: vec![a],
+        ..Predicate::binary(a, b, 0.001)
+    });
     let enc = encode(&c, &q, &EncoderConfig::default()).unwrap();
-    assert_eq!(enc.stats.vars_in(milpjoin::VarCategory::PredicateApplicable), 0);
+    assert_eq!(
+        enc.stats
+            .vars_in(milpjoin::VarCategory::PredicateApplicable),
+        0
+    );
     assert_eq!(enc.vars.pred_index[0], None);
 }
 

@@ -3,8 +3,8 @@
 //! selectivity 0.1.
 
 use milpjoin::{
-    encode, ApproxMode, ConstrCategory, EncoderConfig, MilpOptimizer, OptimizeOptions,
-    Precision, VarCategory,
+    encode, ApproxMode, ConstrCategory, EncoderConfig, MilpOptimizer, OptimizeOptions, Precision,
+    VarCategory,
 };
 use milpjoin_qopt::cost::{plan_cost, CostModelKind, CostParams};
 use milpjoin_qopt::{Catalog, LeftDeepPlan, Predicate, Query};
@@ -44,7 +44,10 @@ fn example1_constraint_structure() {
     // Chaining: (n tables) x (jn - 1 joins).
     assert_eq!(enc.stats.constrs_in(ConstrCategory::OperandChaining), 3);
     // Predicate applicability: 2 tables x 2 joins.
-    assert_eq!(enc.stats.constrs_in(ConstrCategory::PredicateApplicability), 4);
+    assert_eq!(
+        enc.stats.constrs_in(ConstrCategory::PredicateApplicability),
+        4
+    );
     // Overlap on all joins (default config): 3 tables x 2 joins.
     assert_eq!(enc.stats.constrs_in(ConstrCategory::NoOverlap), 6);
 }
@@ -78,7 +81,14 @@ fn optimizer_matches_brute_force_exactly_at_high_precision() {
     let out = opt.optimize(&c, &q, &OptimizeOptions::default()).unwrap();
     // Enumerate all left-deep plans.
     let mut best = f64::INFINITY;
-    let perms = [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+    let perms = [
+        [0, 1, 2],
+        [0, 2, 1],
+        [1, 0, 2],
+        [1, 2, 0],
+        [2, 0, 1],
+        [2, 1, 0],
+    ];
     for p in perms {
         let plan = LeftDeepPlan::from_order(p.iter().map(|&i| q.tables[i]).collect());
         let cost = plan_cost(&c, &q, &plan, CostModelKind::Cout, &CostParams::default()).total;
@@ -105,7 +115,11 @@ fn hash_cost_model_end_to_end() {
     // The worst hash plan joins S⋈T first; verify we beat it.
     let worst = LeftDeepPlan::from_order(vec![q.tables[1], q.tables[2], q.tables[0]]);
     let worst_cost = plan_cost(&c, &q, &worst, CostModelKind::Hash, &CostParams::default()).total;
-    assert!(out.true_cost < worst_cost, "{} !< {worst_cost}", out.true_cost);
+    assert!(
+        out.true_cost < worst_cost,
+        "{} !< {worst_cost}",
+        out.true_cost
+    );
 }
 
 #[test]

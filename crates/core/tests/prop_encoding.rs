@@ -21,7 +21,10 @@ fn random_query() -> impl Strategy<Value = RandomQuery> {
             0..=n,
         );
         (cards, edges).prop_map(|(cards, edges)| RandomQuery {
-            cards: cards.into_iter().map(|l| 10f64.powf(l).round().max(1.0)).collect(),
+            cards: cards
+                .into_iter()
+                .map(|l| 10f64.powf(l).round().max(1.0))
+                .collect(),
             edges: edges
                 .into_iter()
                 .filter(|(a, b, _)| a != b)

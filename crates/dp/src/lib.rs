@@ -27,13 +27,20 @@ use std::time::Instant;
 use milpjoin_qopt::cost::{CostModelKind, CostParams, JoinContext};
 use milpjoin_qopt::{Catalog, Estimator, LeftDeepPlan, Query, TableSet};
 
+pub mod orderer;
+
+pub use orderer::{DpOptimizer, GreedyOptimizer};
+
 /// Failure modes of the DP baseline.
 #[derive(Debug, Clone, PartialEq)]
 pub enum DpError {
     /// The deadline expired before the DP table was complete.
     Timeout,
     /// The DP table would exceed the configured memory budget.
-    MemoryLimit { required_bytes: u64, budget_bytes: u64 },
+    MemoryLimit {
+        required_bytes: u64,
+        budget_bytes: u64,
+    },
     /// The query is empty or otherwise unoptimizable.
     InvalidQuery,
 }
@@ -42,7 +49,10 @@ impl std::fmt::Display for DpError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DpError::Timeout => write!(f, "dynamic programming timed out"),
-            DpError::MemoryLimit { required_bytes, budget_bytes } => write!(
+            DpError::MemoryLimit {
+                required_bytes,
+                budget_bytes,
+            } => write!(
                 f,
                 "DP table needs {required_bytes} bytes, budget is {budget_bytes}"
             ),
@@ -86,7 +96,11 @@ pub struct DpResult {
 }
 
 /// Exhaustive left-deep join ordering with cross products via subset DP.
-pub fn optimize(catalog: &Catalog, query: &Query, options: &DpOptions) -> Result<DpResult, DpError> {
+pub fn optimize(
+    catalog: &Catalog,
+    query: &Query,
+    options: &DpOptions,
+) -> Result<DpResult, DpError> {
     let start = Instant::now();
     let n = query.num_tables();
     if n == 0 || n > 63 {
@@ -262,7 +276,13 @@ mod tests {
         // Optimal Cout: intermediate 1000 (either R⋈S first or R⋈T first).
         assert!((res.cost - 1000.0).abs() < 1e-6, "cost {}", res.cost);
         // Cross-check against the exact plan costing.
-        let pc = plan_cost(&c, &q, &res.plan, CostModelKind::Cout, &CostParams::default());
+        let pc = plan_cost(
+            &c,
+            &q,
+            &res.plan,
+            CostModelKind::Cout,
+            &CostParams::default(),
+        );
         assert!((pc.total - res.cost).abs() < 1e-6);
     }
 
@@ -277,12 +297,16 @@ mod tests {
         let mut best = f64::INFINITY;
         // All 6 permutations of 3 tables.
         let perms = [
-            [0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0],
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
         ];
         for p in perms {
             let plan = LeftDeepPlan::from_order(p.iter().map(|&i| tables[i]).collect());
-            let cost =
-                plan_cost(&c, &q, &plan, opts.cost_model, &opts.params).total;
+            let cost = plan_cost(&c, &q, &plan, opts.cost_model, &opts.params).total;
             best = best.min(cost);
         }
         assert!((dp.cost - best).abs() < 1e-9);
@@ -307,9 +331,14 @@ mod tests {
     #[test]
     fn memory_limit_enforced() {
         let mut c = Catalog::new();
-        let ids: Vec<_> = (0..30).map(|i| c.add_table(format!("T{i}"), 10.0)).collect();
+        let ids: Vec<_> = (0..30)
+            .map(|i| c.add_table(format!("T{i}"), 10.0))
+            .collect();
         let q = Query::new(ids);
-        let opts = DpOptions { memory_budget_bytes: 1 << 20, ..Default::default() };
+        let opts = DpOptions {
+            memory_budget_bytes: 1 << 20,
+            ..Default::default()
+        };
         match optimize(&c, &q, &opts) {
             Err(DpError::MemoryLimit { .. }) => {}
             other => panic!("expected memory limit, got {other:?}"),
@@ -319,7 +348,9 @@ mod tests {
     #[test]
     fn deadline_enforced() {
         let mut c = Catalog::new();
-        let ids: Vec<_> = (0..22).map(|i| c.add_table(format!("T{i}"), 10.0)).collect();
+        let ids: Vec<_> = (0..22)
+            .map(|i| c.add_table(format!("T{i}"), 10.0))
+            .collect();
         let q = Query::new(ids);
         let opts = DpOptions {
             deadline: Some(Instant::now() + Duration::from_millis(1)),
@@ -359,7 +390,10 @@ mod tests {
     #[test]
     fn hash_cost_model_dp() {
         let (c, q) = example();
-        let opts = DpOptions { cost_model: CostModelKind::Hash, ..Default::default() };
+        let opts = DpOptions {
+            cost_model: CostModelKind::Hash,
+            ..Default::default()
+        };
         let res = optimize(&c, &q, &opts).unwrap();
         res.plan.validate(&q).unwrap();
         let pc = plan_cost(&c, &q, &res.plan, CostModelKind::Hash, &opts.params);

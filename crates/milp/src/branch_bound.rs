@@ -27,7 +27,11 @@ pub enum SolverEvent {
     /// A new best incumbent was found.
     Incumbent(IncumbentEvent),
     /// The global dual bound improved (model sense).
-    BoundImproved { elapsed: Duration, bound: f64, nodes: u64 },
+    BoundImproved {
+        elapsed: Duration,
+        bound: f64,
+        nodes: u64,
+    },
 }
 
 /// One branching decision relative to the parent node.
@@ -152,7 +156,11 @@ impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
         if let Some(c) = current {
             b = b.min(c);
         }
-        if b.is_infinite() {
+        // Only an *exhausted* tree (no open bound at all) proves the
+        // incumbent: a -inf bound means an open node exists whose subtree is
+        // still unexplored (e.g. the root right after a warm start), and
+        // must not be mistaken for proof.
+        if b == f64::INFINITY {
             if let Some((_, obj)) = &self.incumbent {
                 b = *obj;
             }
@@ -176,7 +184,12 @@ impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
     /// Verifies an integral candidate against the row system and accepts it
     /// as incumbent if it improves. `current_bound` is the bound context for
     /// the emitted event.
-    fn try_accept_incumbent(&mut self, values: &[f64], obj: f64, current_bound: Option<f64>) -> bool {
+    fn try_accept_incumbent(
+        &mut self,
+        values: &[f64],
+        obj: f64,
+        current_bound: Option<f64>,
+    ) -> bool {
         if let Some((_, best)) = &self.incumbent {
             if obj >= *best - 1e-12 * (1.0 + best.abs()) {
                 return false;
@@ -264,11 +277,84 @@ impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
         }
     }
 
+    /// Attempts to turn the user-supplied warm-start hints into the root
+    /// incumbent: fix the hinted integer variables, solve the LP for the
+    /// continuous completion, and — if other integer variables come out
+    /// fractional — finish with one fractional dive. Failures are silent:
+    /// the search simply starts without an incumbent, as it would have
+    /// anyway.
+    fn try_warm_start(&mut self) {
+        let Some(hints) = self.opts.initial_solution.clone() else {
+            return;
+        };
+        if hints.is_empty() {
+            return;
+        }
+        self.sx.reset_bounds();
+        let mut fixed_any = false;
+        for (var, value) in &hints {
+            let j = var.index();
+            if j >= self.lp.num_structural || !self.lp.integer[j] {
+                continue;
+            }
+            // Integer columns are never rescaled (see `LpProblem`), so model
+            // values carry over; clamp into the (possibly presolved) bounds.
+            let v = value.round().clamp(self.lp.lb[j], self.lp.ub[j]).round();
+            self.sx.set_bounds(j, v, v);
+            fixed_any = true;
+        }
+        if !fixed_any {
+            self.sx.reset_bounds();
+            return;
+        }
+        self.sx.install_slack_basis();
+        let res = self.sx.solve(&SimplexLimits {
+            max_iterations: None,
+            deadline: self.deadline,
+        });
+        if res.status == LpStatus::Optimal {
+            if self.fractional_candidates().is_empty() {
+                let obj = self.sx.objective();
+                let values = self.sx.values()[..self.lp.num_structural].to_vec();
+                let snapped = self.snap_integral(values);
+                self.try_accept_incumbent(&snapped, obj, None);
+            } else {
+                // Hints only covered part of the integer variables; dive the
+                // rest down from the hinted LP.
+                let (lb, ub) = {
+                    let (l, u) = self.sx.bounds();
+                    (l.to_vec(), u.to_vec())
+                };
+                if let Some((vals, obj)) = diving_heuristic(
+                    &mut self.sx,
+                    self.lp,
+                    &lb,
+                    &ub,
+                    self.opts.integrality_tol,
+                    self.deadline,
+                ) {
+                    let snapped = self.snap_integral(vals);
+                    self.try_accept_incumbent(&snapped, obj, None);
+                }
+            }
+        }
+        self.sx.reset_bounds();
+    }
+
     /// Runs the search to completion or a limit.
     pub fn run(mut self) -> SearchOutcome {
         // Root node.
         let root_seq = self.next_seq();
-        self.heap.push(OpenNode { bound: f64::NEG_INFINITY, seq: root_seq, data: None });
+        self.heap.push(OpenNode {
+            bound: f64::NEG_INFINITY,
+            seq: root_seq,
+            data: None,
+        });
+
+        // Warm start after the root is open so the reported global bound
+        // stays -inf (nothing is proven yet) while the incumbent event
+        // fires at t ≈ 0.
+        self.try_warm_start();
 
         let mut hit_limit = false;
         let mut root_unbounded = false;
@@ -332,8 +418,8 @@ impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
                 // A stalled LP that is primal-feasible is still a usable
                 // branching point: its fractional solution guides the
                 // children, whose valid bound is inherited from the parent.
-                let stalled_feasible = res.status == LpStatus::IterationLimit
-                    && self.sx.primal_infeasibility() < 1e-5;
+                let stalled_feasible =
+                    res.status == LpStatus::IterationLimit && self.sx.primal_infeasibility() < 1e-5;
 
                 match res.status {
                     LpStatus::Infeasible => {
@@ -429,7 +515,7 @@ impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
                         self.run_diving(obj);
                     }
                 } else if self.opts.heuristic_frequency > 0
-                    && self.nodes % self.opts.heuristic_frequency == 0
+                    && self.nodes.is_multiple_of(self.opts.heuristic_frequency)
                 {
                     self.run_rounding(obj);
                 }
@@ -458,14 +544,22 @@ impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
                 let (first, second) = if frac < 0.5 { (down, up) } else { (up, down) };
 
                 let seq = self.next_seq();
-                self.heap.push(OpenNode { bound: obj, seq, data: Some(second) });
+                self.heap.push(OpenNode {
+                    bound: obj,
+                    seq,
+                    data: Some(second),
+                });
 
                 dive_depth += 1;
                 if dive_depth <= self.opts.max_dive_depth {
                     current = Some((Some(first), true));
                 } else {
                     let seq = self.next_seq();
-                    self.heap.push(OpenNode { bound: obj, seq, data: Some(first) });
+                    self.heap.push(OpenNode {
+                        bound: obj,
+                        seq,
+                        data: Some(first),
+                    });
                 }
                 self.maybe_report_bound(current.as_ref().map(|_| obj));
             }
@@ -474,8 +568,11 @@ impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
         if std::env::var_os("MILP_STATS").is_some() {
             eprintln!(
                 "bb: nodes={} infeasible={} cold_retries={} numerical_failures={} heap_left={}",
-                self.nodes, self.infeasible_nodes, self.cold_retries,
-                self.numerical_failures, self.heap.len()
+                self.nodes,
+                self.infeasible_nodes,
+                self.cold_retries,
+                self.numerical_failures,
+                self.heap.len()
             );
         }
         // Parked nodes that the incumbent does not prune keep the search
@@ -515,7 +612,9 @@ impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
     }
 
     fn gap_reached(&self, current: Option<f64>) -> bool {
-        let Some((_, inc)) = &self.incumbent else { return false };
+        let Some((_, inc)) = &self.incumbent else {
+            return false;
+        };
         let bound = self.global_bound(current);
         if !bound.is_finite() {
             return false;
@@ -618,6 +717,99 @@ mod tests {
         let out = run(&m, &SolverOptions::default());
         assert_eq!(out.status, SolveStatus::Optimal);
         assert!((out.incumbent.unwrap().1 + 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn warm_start_becomes_root_incumbent() {
+        // max 4a + 5b + 3c, 3a + 4b + 2c <= 6. Feasible hint {a}: value 4
+        // (min space -4). The FIRST event must be that incumbent, before
+        // any bound event.
+        let mut m = Model::new("ws");
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_binary("c");
+        m.add_le(a * 3.0 + b * 4.0 + c * 2.0, 6.0, "cap");
+        m.set_objective(a * 4.0 + b * 5.0 + c * 3.0, Sense::Maximize);
+        let lp = LpProblem::from_model(&m);
+        let opts = SolverOptions::default().initial_solution(vec![(a, 1.0), (b, 0.0), (c, 0.0)]);
+        let mut events: Vec<(bool, f64)> = Vec::new();
+        let bb = BranchBound::new(&lp, &opts, |ev| match ev {
+            SolverEvent::Incumbent(inc) => events.push((true, inc.objective)),
+            SolverEvent::BoundImproved { bound, .. } => events.push((false, *bound)),
+        });
+        let out = bb.run();
+        assert_eq!(out.status, SolveStatus::Optimal);
+        // First event is the warm-start incumbent with the hinted objective.
+        let (is_incumbent, obj) = events[0];
+        assert!(is_incumbent, "first event must be the warm-start incumbent");
+        assert!((obj - 4.0).abs() < 1e-9, "warm incumbent {obj}");
+        // The search still reaches the true optimum (b + c = 8).
+        assert!((out.incumbent.unwrap().1 + 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn partial_warm_start_completed_by_dive() {
+        // Hint only one variable; the dive must fix the rest.
+        let mut m = Model::new("ws2");
+        let vars: Vec<_> = (0..8).map(|i| m.add_binary(format!("x{i}"))).collect();
+        let mut cap = crate::expr::LinExpr::new();
+        let mut obj = crate::expr::LinExpr::new();
+        for (i, &v) in vars.iter().enumerate() {
+            cap += v * (1.0 + (i % 3) as f64);
+            obj += v * (1.5 + (i % 4) as f64);
+        }
+        m.add_le(cap, 8.0, "cap");
+        m.set_objective(obj, Sense::Maximize);
+        let lp = LpProblem::from_model(&m);
+        let opts = SolverOptions::default().initial_solution(vec![(vars[3], 1.0)]);
+        let mut first_is_incumbent = None;
+        let bb = BranchBound::new(&lp, &opts, |ev| {
+            if first_is_incumbent.is_none() {
+                first_is_incumbent = Some(matches!(ev, SolverEvent::Incumbent(_)));
+            }
+        });
+        let out = bb.run();
+        assert_eq!(out.status, SolveStatus::Optimal);
+        assert_eq!(
+            first_is_incumbent,
+            Some(true),
+            "dive must complete the partial hint"
+        );
+    }
+
+    #[test]
+    fn infeasible_warm_start_is_dropped() {
+        // Hints violating a constraint must not poison the search.
+        let mut m = Model::new("ws3");
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        m.add_le(a + b, 1.0, "excl");
+        m.set_objective(a * 2.0 + b * 3.0, Sense::Maximize);
+        let lp = LpProblem::from_model(&m);
+        let opts = SolverOptions::default().initial_solution(vec![(a, 1.0), (b, 1.0)]);
+        let bb = BranchBound::new(&lp, &opts, |_| {});
+        let out = bb.run();
+        assert_eq!(out.status, SolveStatus::Optimal);
+        assert!((out.incumbent.unwrap().1 + 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warm_start_with_zero_node_limit_returns_hint() {
+        let mut m = Model::new("ws4");
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        m.add_le(a + b, 1.0, "excl");
+        m.set_objective(a * 2.0 + b * 3.0, Sense::Maximize);
+        let lp = LpProblem::from_model(&m);
+        let mut opts = SolverOptions::default().initial_solution(vec![(a, 1.0), (b, 0.0)]);
+        opts.node_limit = Some(0);
+        let bb = BranchBound::new(&lp, &opts, |_| {});
+        let out = bb.run();
+        // The only incumbent is the hint; nothing was proven.
+        assert_eq!(out.status, SolveStatus::Feasible);
+        assert_eq!(out.nodes, 0);
+        assert!((out.incumbent.unwrap().1 + 2.0).abs() < 1e-9);
+        assert_eq!(out.bound, f64::NEG_INFINITY);
     }
 
     #[test]

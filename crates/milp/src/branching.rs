@@ -16,7 +16,9 @@ pub struct Pseudocosts {
 
 impl Pseudocosts {
     pub fn new(num_vars: usize, obj: &[f64]) -> Self {
-        let init = (0..num_vars).map(|j| obj.get(j).copied().unwrap_or(0.0).abs() + 1.0).collect();
+        let init = (0..num_vars)
+            .map(|j| obj.get(j).copied().unwrap_or(0.0).abs() + 1.0)
+            .collect();
         Pseudocosts {
             down_sum: vec![0.0; num_vars],
             down_cnt: vec![0; num_vars],
@@ -77,22 +79,16 @@ pub fn select_branching_var(
         return None;
     }
     match rule {
-        BranchingRule::MostFractional => candidates
-            .iter()
-            .copied()
-            .max_by(|a, b| {
-                let fa = a.1.min(1.0 - a.1);
-                let fb = b.1.min(1.0 - b.1);
-                fa.partial_cmp(&fb).unwrap_or(std::cmp::Ordering::Equal)
-            }),
-        BranchingRule::Pseudocost => candidates
-            .iter()
-            .copied()
-            .max_by(|a, b| {
-                let sa = pseudocosts.score(a.0, a.1);
-                let sb = pseudocosts.score(b.0, b.1);
-                sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal)
-            }),
+        BranchingRule::MostFractional => candidates.iter().copied().max_by(|a, b| {
+            let fa = a.1.min(1.0 - a.1);
+            let fb = b.1.min(1.0 - b.1);
+            fa.partial_cmp(&fb).unwrap_or(std::cmp::Ordering::Equal)
+        }),
+        BranchingRule::Pseudocost => candidates.iter().copied().max_by(|a, b| {
+            let sa = pseudocosts.score(a.0, a.1);
+            let sb = pseudocosts.score(b.0, b.1);
+            sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal)
+        }),
     }
 }
 

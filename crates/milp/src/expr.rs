@@ -27,17 +27,26 @@ impl LinExpr {
 
     /// An expression consisting of a single constant.
     pub fn constant(value: f64) -> Self {
-        Self { terms: Vec::new(), constant: value }
+        Self {
+            terms: Vec::new(),
+            constant: value,
+        }
     }
 
     /// An expression consisting of a single `coeff * var` term.
     pub fn term(var: Var, coeff: f64) -> Self {
-        Self { terms: vec![(var, coeff)], constant: 0.0 }
+        Self {
+            terms: vec![(var, coeff)],
+            constant: 0.0,
+        }
     }
 
     /// Builds an expression from an iterator of `(var, coeff)` pairs.
     pub fn from_terms<I: IntoIterator<Item = (Var, f64)>>(iter: I) -> Self {
-        Self { terms: iter.into_iter().collect(), constant: 0.0 }
+        Self {
+            terms: iter.into_iter().collect(),
+            constant: 0.0,
+        }
     }
 
     /// Adds `coeff * var` to the expression.
@@ -166,7 +175,8 @@ impl AddAssign<f64> for LinExpr {
 impl Sub for LinExpr {
     type Output = LinExpr;
     fn sub(mut self, rhs: LinExpr) -> LinExpr {
-        self.terms.extend(rhs.terms.into_iter().map(|(v, c)| (v, -c)));
+        self.terms
+            .extend(rhs.terms.into_iter().map(|(v, c)| (v, -c)));
         self.constant -= rhs.constant;
         self
     }
@@ -190,7 +200,8 @@ impl Sub<f64> for LinExpr {
 
 impl SubAssign for LinExpr {
     fn sub_assign(&mut self, rhs: LinExpr) {
-        self.terms.extend(rhs.terms.into_iter().map(|(v, c)| (v, -c)));
+        self.terms
+            .extend(rhs.terms.into_iter().map(|(v, c)| (v, -c)));
         self.constant -= rhs.constant;
     }
 }

@@ -38,7 +38,10 @@ pub fn rounding_heuristic(
             sx.set_bounds(j, node_lb[j], node_ub[j]);
         }
     }
-    let res = sx.solve(&SimplexLimits { max_iterations: None, deadline });
+    let res = sx.solve(&SimplexLimits {
+        max_iterations: None,
+        deadline,
+    });
     let out = if res.status == LpStatus::Optimal {
         Some((sx.values()[..lp.num_structural].to_vec(), res.objective))
     } else {
@@ -69,12 +72,19 @@ pub fn diving_heuristic(
     // (var, tried value, pre-fix lower, pre-fix upper, already retried).
     let mut last_fix: Option<(usize, f64, f64, f64, bool)> = None;
     for _depth in 0..max_depth {
-        let res = sx.solve(&SimplexLimits { max_iterations: Some(lp_iteration_cap), deadline });
+        let res = sx.solve(&SimplexLimits {
+            max_iterations: Some(lp_iteration_cap),
+            deadline,
+        });
         if res.status != LpStatus::Optimal {
             // Try the opposite rounding of the most recent fix once.
             match last_fix.take() {
                 Some((j, tried, lo, hi, false)) if res.status == LpStatus::Infeasible => {
-                    let opposite = if tried > (lo + hi) / 2.0 { tried - 1.0 } else { tried + 1.0 };
+                    let opposite = if tried > (lo + hi) / 2.0 {
+                        tried - 1.0
+                    } else {
+                        tried + 1.0
+                    };
                     if opposite >= lo - 0.5 && opposite <= hi + 0.5 {
                         let v = opposite.clamp(lo, hi).round();
                         sx.set_bounds(j, v, v);

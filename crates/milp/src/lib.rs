@@ -38,6 +38,11 @@
 //! assert_eq!(result.objective.unwrap(), 8.0);
 //! ```
 
+// The simplex / branch-and-bound kernels walk several parallel arrays
+// (values, bounds, integrality flags) by column index; iterator rewrites of
+// those loops obscure the math for no gain.
+#![allow(clippy::needless_range_loop)]
+
 pub mod branch_bound;
 pub mod branching;
 pub mod expr;

@@ -259,8 +259,8 @@ mod tests {
         // Scaling is a power of two per row/column; check scale-invariant
         // relationships instead of absolute values.
         let (sx, sy) = (lp.col_scale[0], lp.col_scale[1]);
-        assert!((lp.obj[0] - (-1.0) * sx).abs() < 1e-12);
-        assert!((lp.obj[1] - (-1.0) * sy).abs() < 1e-12);
+        assert!((lp.obj[0] + sx).abs() < 1e-12);
+        assert!((lp.obj[1] + sy).abs() < 1e-12);
         // c0: activity <= 6 -> slack lower bound is -6 * row_scale.
         assert!(lp.lb[2] < 0.0 && lp.lb[2].is_finite());
         assert!(lp.ub[2].is_infinite());

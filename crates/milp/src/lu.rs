@@ -51,7 +51,10 @@ impl LuFactors {
     /// Factorizes the basis given by `columns`: for each basis position, the
     /// sparse `(row, value)` pattern of the basis column. Numerically
     /// dependent columns are replaced by logical columns and reported.
-    pub fn factorize(m: usize, columns: &mut dyn FnMut(usize) -> Vec<(u32, f64)>) -> (Self, FactorizeReport) {
+    pub fn factorize(
+        m: usize,
+        columns: &mut dyn FnMut(usize) -> Vec<(u32, f64)>,
+    ) -> (Self, FactorizeReport) {
         let mut lu = LuFactors {
             m,
             l_cols: vec![Vec::new(); m],
@@ -151,8 +154,7 @@ impl LuFactors {
         // logical (identity) column.
         let mut replaced = Vec::new();
         if !defective.is_empty() {
-            let mut free_rows: Vec<usize> =
-                (0..m).filter(|&r| pos_of_row[r] == NONE).collect();
+            let mut free_rows: Vec<usize> = (0..m).filter(|&r| pos_of_row[r] == NONE).collect();
             for k in defective {
                 let r = free_rows.pop().expect("one free row per defective column");
                 lu.pivot_row[k] = r as u32;
@@ -166,7 +168,13 @@ impl LuFactors {
         let fill = lu.l_cols.iter().map(Vec::len).sum::<usize>()
             + lu.u_cols.iter().map(Vec::len).sum::<usize>()
             + m;
-        (lu, FactorizeReport { replaced, fill_nnz: fill })
+        (
+            lu,
+            FactorizeReport {
+                replaced,
+                fill_nnz: fill,
+            },
+        )
     }
 
     pub fn num_etas(&self) -> usize {
@@ -303,8 +311,7 @@ mod tests {
 
     #[test]
     fn identity_ftran_btran() {
-        let cols: Vec<Vec<(u32, f64)>> =
-            (0..4).map(|k| vec![(k as u32, 1.0)]).collect();
+        let cols: Vec<Vec<(u32, f64)>> = (0..4).map(|k| vec![(k as u32, 1.0)]).collect();
         let (lu, rep) = factor(&cols);
         assert!(rep.replaced.is_empty());
         let mut b = vec![1.0, 2.0, 3.0, 4.0];
@@ -416,7 +423,11 @@ mod tests {
                         .filter_map(|r| {
                             let v = next();
                             // ~60% sparsity
-                            if v.abs() < 0.8 { None } else { Some((r as u32, v)) }
+                            if v.abs() < 0.8 {
+                                None
+                            } else {
+                                Some((r as u32, v))
+                            }
                         })
                         .collect()
                 })

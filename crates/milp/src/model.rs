@@ -131,7 +131,10 @@ pub struct Model {
 
 impl Model {
     pub fn new(name: impl Into<String>) -> Self {
-        Model { name: name.into(), ..Default::default() }
+        Model {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     pub fn name(&self) -> &str {
@@ -160,7 +163,12 @@ impl Model {
             _ => (lb, ub),
         };
         let v = Var(self.vars.len() as u32);
-        self.vars.push(VarData { name: name.into(), lb, ub, vtype });
+        self.vars.push(VarData {
+            name: name.into(),
+            lb,
+            ub,
+            vtype,
+        });
         v
     }
 
@@ -176,7 +184,10 @@ impl Model {
 
     /// Number of integer (including binary) variables.
     pub fn num_integer_vars(&self) -> usize {
-        self.vars.iter().filter(|v| v.vtype != VarType::Continuous).count()
+        self.vars
+            .iter()
+            .filter(|v| v.vtype != VarType::Continuous)
+            .count()
     }
 
     /// Total number of nonzero constraint coefficients.
@@ -277,15 +288,23 @@ impl Model {
     pub fn validate(&self) -> Result<(), ModelError> {
         for v in &self.vars {
             if v.lb.is_nan() || v.ub.is_nan() {
-                return Err(ModelError::NotFinite { context: format!("bounds of {}", v.name) });
+                return Err(ModelError::NotFinite {
+                    context: format!("bounds of {}", v.name),
+                });
             }
             if v.lb > v.ub {
-                return Err(ModelError::InvalidBounds { var: v.name.clone(), lb: v.lb, ub: v.ub });
+                return Err(ModelError::InvalidBounds {
+                    var: v.name.clone(),
+                    lb: v.lb,
+                    ub: v.ub,
+                });
             }
         }
         for c in &self.constrs {
             if c.lo.is_nan() || c.hi.is_nan() {
-                return Err(ModelError::NotFinite { context: format!("bounds of {}", c.name) });
+                return Err(ModelError::NotFinite {
+                    context: format!("bounds of {}", c.name),
+                });
             }
             if c.lo > c.hi {
                 return Err(ModelError::InvalidConstraint {
@@ -299,7 +318,9 @@ impl Model {
                     return Err(ModelError::UnknownVariable { index: v.index() });
                 }
                 if coeff.is_nan() {
-                    return Err(ModelError::NotFinite { context: format!("coefficient in {}", c.name) });
+                    return Err(ModelError::NotFinite {
+                        context: format!("coefficient in {}", c.name),
+                    });
                 }
             }
         }
@@ -308,7 +329,9 @@ impl Model {
                 return Err(ModelError::UnknownVariable { index: v.index() });
             }
             if coeff.is_nan() {
-                return Err(ModelError::NotFinite { context: "objective".into() });
+                return Err(ModelError::NotFinite {
+                    context: "objective".into(),
+                });
             }
         }
         Ok(())
@@ -391,7 +414,10 @@ mod tests {
     fn validate_rejects_crossed_bounds() {
         let mut m = Model::new("t");
         m.add_continuous(1.0, 0.0, "x");
-        assert!(matches!(m.validate(), Err(ModelError::InvalidBounds { .. })));
+        assert!(matches!(
+            m.validate(),
+            Err(ModelError::InvalidBounds { .. })
+        ));
     }
 
     #[test]

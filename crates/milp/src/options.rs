@@ -2,6 +2,8 @@
 
 use std::time::Duration;
 
+use crate::model::Var;
+
 /// Variable selection rule for branching.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BranchingRule {
@@ -40,6 +42,17 @@ pub struct SolverOptions {
     /// Random seed (tie-breaking only; the algorithm is deterministic for a
     /// fixed seed).
     pub seed: u64,
+    /// Warm start: suggested values for (a subset of) the *integer*
+    /// variables. Before the search begins, the hinted variables are fixed
+    /// to their (rounded, bound-clamped) values and the resulting LP is
+    /// solved — completed by one fractional dive if other integer variables
+    /// remain fractional. A feasible completion becomes the root incumbent,
+    /// so the anytime stream opens with a finite objective and the search
+    /// can prune against it immediately. Infeasible or incompletable hints
+    /// are dropped silently (the solve proceeds cold, exactly as without
+    /// hints). Hints on continuous variables are ignored — the LP chooses
+    /// their optimal completion.
+    pub initial_solution: Option<Vec<(Var, f64)>>,
 }
 
 impl Default for SolverOptions {
@@ -55,6 +68,7 @@ impl Default for SolverOptions {
             presolve: true,
             max_dive_depth: 64,
             seed: 0,
+            initial_solution: None,
         }
     }
 }
@@ -62,7 +76,10 @@ impl Default for SolverOptions {
 impl SolverOptions {
     /// Convenience: options with a time limit.
     pub fn with_time_limit(limit: Duration) -> Self {
-        SolverOptions { time_limit: Some(limit), ..Default::default() }
+        SolverOptions {
+            time_limit: Some(limit),
+            ..Default::default()
+        }
     }
 
     /// Builder-style setter for the relative gap target.
@@ -74,6 +91,12 @@ impl SolverOptions {
     /// Builder-style setter for the branching rule.
     pub fn branching(mut self, rule: BranchingRule) -> Self {
         self.branching = rule;
+        self
+    }
+
+    /// Builder-style setter for a warm-start hint.
+    pub fn initial_solution(mut self, hints: Vec<(Var, f64)>) -> Self {
+        self.initial_solution = Some(hints);
         self
     }
 }

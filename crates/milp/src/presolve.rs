@@ -64,7 +64,11 @@ pub fn presolve(model: &mut Model, max_rounds: usize) -> PresolveOutcome {
             let mut inf_max = 0usize;
             for &(v, a) in &terms {
                 let d = model.var_data(v);
-                let (cmin, cmax) = if a >= 0.0 { (a * d.lb, a * d.ub) } else { (a * d.ub, a * d.lb) };
+                let (cmin, cmax) = if a >= 0.0 {
+                    (a * d.lb, a * d.ub)
+                } else {
+                    (a * d.ub, a * d.lb)
+                };
                 if cmin.is_finite() {
                     fin_min += cmin;
                 } else {
@@ -76,7 +80,11 @@ pub fn presolve(model: &mut Model, max_rounds: usize) -> PresolveOutcome {
                     inf_max += 1;
                 }
             }
-            let act_min = if inf_min > 0 { f64::NEG_INFINITY } else { fin_min };
+            let act_min = if inf_min > 0 {
+                f64::NEG_INFINITY
+            } else {
+                fin_min
+            };
             let act_max = if inf_max > 0 { f64::INFINITY } else { fin_max };
             let tol = 1e-9 * (1.0 + fin_min.abs().max(fin_max.abs()));
             if act_min > hi + tol || act_max < lo - tol {
@@ -89,17 +97,28 @@ pub fn presolve(model: &mut Model, max_rounds: usize) -> PresolveOutcome {
                 }
                 let d = model.var_data(v);
                 let (vlb, vub, vtype) = (d.lb, d.ub, d.vtype);
-                let (self_min, self_max) =
-                    if a >= 0.0 { (a * vlb, a * vub) } else { (a * vub, a * vlb) };
+                let (self_min, self_max) = if a >= 0.0 {
+                    (a * vlb, a * vub)
+                } else {
+                    (a * vub, a * vlb)
+                };
                 let rest_min = if self_min.is_finite() {
-                    if inf_min > 0 { f64::NEG_INFINITY } else { fin_min - self_min }
+                    if inf_min > 0 {
+                        f64::NEG_INFINITY
+                    } else {
+                        fin_min - self_min
+                    }
                 } else if inf_min == 1 {
                     fin_min
                 } else {
                     f64::NEG_INFINITY
                 };
                 let rest_max = if self_max.is_finite() {
-                    if inf_max > 0 { f64::INFINITY } else { fin_max - self_max }
+                    if inf_max > 0 {
+                        f64::INFINITY
+                    } else {
+                        fin_max - self_max
+                    }
                 } else if inf_max == 1 {
                     fin_max
                 } else {
@@ -147,7 +166,9 @@ pub fn presolve(model: &mut Model, max_rounds: usize) -> PresolveOutcome {
             break;
         }
     }
-    PresolveOutcome::Reduced { bound_changes: total_changes }
+    PresolveOutcome::Reduced {
+        bound_changes: total_changes,
+    }
 }
 
 #[cfg(test)]

@@ -147,7 +147,9 @@ impl<'a> Simplex<'a> {
     }
 
     pub fn basis_snapshot(&self) -> BasisSnapshot {
-        BasisSnapshot { status: self.status.clone() }
+        BasisSnapshot {
+            status: self.status.clone(),
+        }
     }
 
     /// Loads a basis snapshot. Falls back to the slack basis if the snapshot
@@ -155,7 +157,12 @@ impl<'a> Simplex<'a> {
     pub fn load_basis(&mut self, snap: &BasisSnapshot) {
         let m = self.lp.num_rows;
         if snap.status.len() != self.status.len()
-            || snap.status.iter().filter(|s| **s == VarStatus::Basic).count() != m
+            || snap
+                .status
+                .iter()
+                .filter(|s| **s == VarStatus::Basic)
+                .count()
+                != m
         {
             self.install_slack_basis();
             return;
@@ -330,7 +337,7 @@ impl<'a> Simplex<'a> {
             if iterations >= max_iter {
                 return self.finish(LpStatus::IterationLimit, iterations);
             }
-            if iterations % 64 == 0 {
+            if iterations.is_multiple_of(64) {
                 if let Some(deadline) = limits.deadline {
                     if Instant::now() >= deadline {
                         return self.finish(LpStatus::TimeLimit, iterations);
@@ -363,7 +370,11 @@ impl<'a> Simplex<'a> {
                 best_progress = f64::INFINITY;
                 last_phase1 = phase1;
             }
-            let progress = if phase1 { total_violation } else { self.working_objective() };
+            let progress = if phase1 {
+                total_violation
+            } else {
+                self.working_objective()
+            };
             if progress < best_progress - 1e-13 * (1.0 + best_progress.abs()) {
                 best_progress = progress;
                 stall_counter = 0;
@@ -435,7 +446,11 @@ impl<'a> Simplex<'a> {
                 // and missing it turns a feasible LP into a false
                 // "infeasible".
                 let scale = 1.0 + cj.abs() + self.lp.column_abs_dot(j, &y);
-                let tol = if phase1 { 1e-10 + 1e-13 * scale } else { DUAL_TOL + 1e-12 * scale };
+                let tol = if phase1 {
+                    1e-10 + 1e-13 * scale
+                } else {
+                    DUAL_TOL + 1e-12 * scale
+                };
                 let dir = match st {
                     VarStatus::AtLower if d < -tol => 1.0,
                     VarStatus::AtUpper if d > tol => -1.0,
@@ -529,10 +544,16 @@ impl<'a> Simplex<'a> {
                     let t = step;
                     self.apply_step(q, dir, t, &dvec);
                     let out_col = self.basis[row];
-                    self.status[out_col] =
-                        if to_upper { VarStatus::AtUpper } else { VarStatus::AtLower };
-                    self.x[out_col] =
-                        if to_upper { self.ub[out_col] } else { self.lb[out_col] };
+                    self.status[out_col] = if to_upper {
+                        VarStatus::AtUpper
+                    } else {
+                        VarStatus::AtLower
+                    };
+                    self.x[out_col] = if to_upper {
+                        self.ub[out_col]
+                    } else {
+                        self.lb[out_col]
+                    };
                     self.status[q] = VarStatus::Basic;
                     self.basis[row] = q;
                     let ok = self.lu.as_mut().unwrap().push_eta(row, &dvec);
@@ -579,7 +600,11 @@ impl<'a> Simplex<'a> {
     ) -> (f64, RatioOutcome) {
         // The entering variable's own range provides a bound-flip candidate.
         let own_range = self.ub[q] - self.lb[q];
-        let mut limit = if own_range.is_finite() { own_range } else { f64::INFINITY };
+        let mut limit = if own_range.is_finite() {
+            own_range
+        } else {
+            f64::INFINITY
+        };
         let mut limit_is_flip = own_range.is_finite();
 
         // Pass 1: step limit. Harris relaxation is disabled in Bland mode so
@@ -619,7 +644,9 @@ impl<'a> Simplex<'a> {
             let delta = -dir * di;
             let xb = self.x[col];
             let (l, u) = (self.lb[col], self.ub[col]);
-            let Some(target) = self.breakpoint(xb, l, u, delta, phase1) else { continue };
+            let Some(target) = self.breakpoint(xb, l, u, delta, phase1) else {
+                continue;
+            };
             let exact = ((target - xb) / delta).max(0.0);
             if exact <= limit + 1e-15 {
                 // The leaving variable rests at whichever bound blocked.
@@ -661,7 +688,11 @@ impl<'a> Simplex<'a> {
                 Some(l)
             } else if above {
                 // Above the upper bound, moving up: no gradient change.
-                if phase1 { None } else { Some(u) }
+                if phase1 {
+                    None
+                } else {
+                    Some(u)
+                }
             } else if u.is_finite() {
                 Some(u)
             } else {
@@ -670,7 +701,11 @@ impl<'a> Simplex<'a> {
         } else if above {
             Some(u)
         } else if below {
-            if phase1 { None } else { Some(l) }
+            if phase1 {
+                None
+            } else {
+                Some(l)
+            }
         } else if l.is_finite() {
             Some(l)
         } else {
@@ -680,7 +715,11 @@ impl<'a> Simplex<'a> {
 
     fn finish(&mut self, status: LpStatus, iterations: u64) -> LpResult {
         self.iterations_total += iterations;
-        LpResult { status, objective: self.objective(), iterations }
+        LpResult {
+            status,
+            objective: self.objective(),
+            iterations,
+        }
     }
 
     /// Columns violating their bounds, with violation amounts (diagnostics).
@@ -863,7 +902,11 @@ mod tests {
         assert_eq!(r2.status, LpStatus::Optimal);
         assert!((r2.objective - (-5.0)).abs() < 1e-6);
         // The warm-started solve should be quick.
-        assert!(r2.iterations <= 10, "warm start took {} iterations", r2.iterations);
+        assert!(
+            r2.iterations <= 10,
+            "warm start took {} iterations",
+            r2.iterations
+        );
     }
 
     #[test]

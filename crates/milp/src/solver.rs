@@ -92,9 +92,13 @@ impl Solver {
         let bb = BranchBound::new(&lp, &self.options, callback);
         let outcome = bb.run();
 
-        let objective = outcome.incumbent.as_ref().map(|(_, obj)| lp.user_objective(*obj));
-        let solution =
-            outcome.incumbent.map(|(vals, _)| Solution::new(lp.unscale_values(&vals)));
+        let objective = outcome
+            .incumbent
+            .as_ref()
+            .map(|(_, obj)| lp.user_objective(*obj));
+        let solution = outcome
+            .incumbent
+            .map(|(vals, _)| Solution::new(lp.unscale_values(&vals)));
         Ok(MipResult {
             status: outcome.status,
             objective,
@@ -117,12 +121,13 @@ mod tests {
     fn knapsack_via_facade() {
         let mut m = Model::new("ks");
         let items = [(3.0, 4.0), (4.0, 5.0), (2.0, 3.0)];
-        let vars: Vec<_> =
-            items.iter().enumerate().map(|(i, _)| m.add_binary(format!("x{i}"))).collect();
-        let weight: crate::expr::LinExpr =
-            vars.iter().zip(&items).map(|(&v, &(w, _))| v * w).sum();
-        let value: crate::expr::LinExpr =
-            vars.iter().zip(&items).map(|(&v, &(_, p))| v * p).sum();
+        let vars: Vec<_> = items
+            .iter()
+            .enumerate()
+            .map(|(i, _)| m.add_binary(format!("x{i}")))
+            .collect();
+        let weight: crate::expr::LinExpr = vars.iter().zip(&items).map(|(&v, &(w, _))| v * w).sum();
+        let value: crate::expr::LinExpr = vars.iter().zip(&items).map(|(&v, &(_, p))| v * p).sum();
         m.add_le(weight, 6.0, "cap");
         m.set_objective(value, Sense::Maximize);
         let r = Solver::new(SolverOptions::default()).solve(&m).unwrap();

@@ -30,7 +30,12 @@ impl CscMatrix {
             }
             col_ptr.push(row_idx.len());
         }
-        CscMatrix { nrows, col_ptr, row_idx, values }
+        CscMatrix {
+            nrows,
+            col_ptr,
+            row_idx,
+            values,
+        }
     }
 
     pub fn nrows(&self) -> usize {
@@ -49,7 +54,10 @@ impl CscMatrix {
     pub fn column(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
         let lo = self.col_ptr[j];
         let hi = self.col_ptr[j + 1];
-        self.row_idx[lo..hi].iter().zip(&self.values[lo..hi]).map(|(&r, &v)| (r as usize, v))
+        self.row_idx[lo..hi]
+            .iter()
+            .zip(&self.values[lo..hi])
+            .map(|(&r, &v)| (r as usize, v))
     }
 
     /// Number of nonzeros in column `j`.
@@ -96,7 +104,12 @@ impl CscMatrix {
                 next[r] += 1;
             }
         }
-        CsrMatrix { ncols, row_ptr, col_idx, values }
+        CsrMatrix {
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 }
 
@@ -122,7 +135,10 @@ impl CsrMatrix {
     pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
         let lo = self.row_ptr[i];
         let hi = self.row_ptr[i + 1];
-        self.col_idx[lo..hi].iter().zip(&self.values[lo..hi]).map(|(&c, &v)| (c as usize, v))
+        self.col_idx[lo..hi]
+            .iter()
+            .zip(&self.values[lo..hi])
+            .map(|(&c, &v)| (c as usize, v))
     }
 
     pub fn row_nnz(&self, i: usize) -> usize {
@@ -140,7 +156,11 @@ mod tests {
         // [4 0 5]
         CscMatrix::from_columns(
             3,
-            &[vec![(0, 1.0), (2, 4.0)], vec![(1, 3.0)], vec![(0, 2.0), (2, 5.0)]],
+            &[
+                vec![(0, 1.0), (2, 4.0)],
+                vec![(1, 3.0)],
+                vec![(0, 2.0), (2, 5.0)],
+            ],
         )
     }
 

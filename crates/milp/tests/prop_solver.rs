@@ -25,8 +25,12 @@ fn random_ip() -> impl Strategy<Value = RandomIp> {
             (prop::collection::vec(-3i32..=3, num_vars), -4i32..=12),
             0..=4,
         );
-        (var_ub, obj, rows, any::<bool>()).prop_map(move |(var_ub, obj, rows, maximize)| {
-            RandomIp { num_vars, var_ub, obj, rows, maximize }
+        (var_ub, obj, rows, any::<bool>()).prop_map(move |(var_ub, obj, rows, maximize)| RandomIp {
+            num_vars,
+            var_ub,
+            obj,
+            rows,
+            maximize,
         })
     })
 }
@@ -41,7 +45,14 @@ fn build_model(ip: &RandomIp) -> Model {
         m.add_le(expr, *rhs as f64, format!("c{i}"));
     }
     let obj: LinExpr = vars.iter().zip(&ip.obj).map(|(&v, &c)| v * c as f64).sum();
-    m.set_objective(obj, if ip.maximize { Sense::Maximize } else { Sense::Minimize });
+    m.set_objective(
+        obj,
+        if ip.maximize {
+            Sense::Maximize
+        } else {
+            Sense::Minimize
+        },
+    );
     m
 }
 
@@ -52,12 +63,20 @@ fn brute_force(ip: &RandomIp) -> Option<i64> {
     loop {
         // Feasibility.
         let feasible = ip.rows.iter().all(|(coeffs, rhs)| {
-            let act: i64 =
-                coeffs.iter().zip(&point).map(|(&c, &x)| c as i64 * x as i64).sum();
+            let act: i64 = coeffs
+                .iter()
+                .zip(&point)
+                .map(|(&c, &x)| c as i64 * x as i64)
+                .sum();
             act <= *rhs as i64
         });
         if feasible {
-            let obj: i64 = ip.obj.iter().zip(&point).map(|(&c, &x)| c as i64 * x as i64).sum();
+            let obj: i64 = ip
+                .obj
+                .iter()
+                .zip(&point)
+                .map(|(&c, &x)| c as i64 * x as i64)
+                .sum();
             best = Some(match best {
                 Some(b) => {
                     if ip.maximize {
@@ -157,11 +176,16 @@ fn mixed_integer_exact() {
     assert_eq!(r.status, SolveStatus::Optimal);
     // Candidates: x=3 -> y<=1 -> 9+2=11; x=2 -> y<=3 -> 6+6=12; x=4 -> y=0 -> 12?
     // 2*4=8 > 7 infeasible. So optimum 12 at x=2,y=3.
-    assert!((r.objective.unwrap() - 12.0).abs() < 1e-6, "{:?}", r.objective);
+    assert!(
+        (r.objective.unwrap() - 12.0).abs() < 1e-6,
+        "{:?}",
+        r.objective
+    );
 }
 
 /// An assignment problem (equality constraints, binary variables).
 #[test]
+#[allow(clippy::needless_range_loop)] // x[i][j] / x[j][i] transposed indexing
 fn assignment_problem() {
     let cost = [[4.0, 2.0, 8.0], [4.0, 3.0, 7.0], [3.0, 1.0, 6.0]];
     let mut m = Model::new("assign");
@@ -177,14 +201,20 @@ fn assignment_problem() {
         let col: LinExpr = (0..3).map(|j| LinExpr::from(x[j][i])).sum();
         m.add_eq(col, 1.0, format!("col{i}"));
     }
-    let obj: LinExpr =
-        (0..3).flat_map(|i| (0..3).map(move |j| (i, j))).map(|(i, j)| x[i][j] * cost[i][j]).sum();
+    let obj: LinExpr = (0..3)
+        .flat_map(|i| (0..3).map(move |j| (i, j)))
+        .map(|(i, j)| x[i][j] * cost[i][j])
+        .sum();
     m.set_objective(obj, Sense::Minimize);
     let r = Solver::new(SolverOptions::default()).solve(&m).unwrap();
     assert_eq!(r.status, SolveStatus::Optimal);
     // Optimal assignment: (0->1)=2, (1->2)? enumerate: best is 2 + 7 + 3 = 12
     // or 4+3+6=13, 4+7+1=12, 8+4+1=13, 2+4+6=12, 8+3+3=14 -> optimum 12.
-    assert!((r.objective.unwrap() - 12.0).abs() < 1e-6, "{:?}", r.objective);
+    assert!(
+        (r.objective.unwrap() - 12.0).abs() < 1e-6,
+        "{:?}",
+        r.objective
+    );
 }
 
 /// Equality-constrained binary model with no feasible assignment.

@@ -25,10 +25,16 @@ pub struct Estimator {
 impl Estimator {
     /// Builds an estimator; the query must be valid for the catalog.
     pub fn new(catalog: &Catalog, query: &Query) -> Self {
-        let log_card = query.tables.iter().map(|&t| catalog.log10_cardinality(t)).collect();
+        let log_card = query
+            .tables
+            .iter()
+            .map(|&t| catalog.log10_cardinality(t))
+            .collect();
         let pred_mask = |tables: &[crate::catalog::TableId]| {
             TableSet::from_positions(
-                tables.iter().map(|&t| query.table_position(t).expect("validated query")),
+                tables
+                    .iter()
+                    .map(|&t| query.table_position(t).expect("validated query")),
             )
         };
         let preds = query
@@ -48,7 +54,11 @@ impl Estimator {
                 (mask, g.correction.log10())
             })
             .collect();
-        Estimator { log_card, preds, groups }
+        Estimator {
+            log_card,
+            preds,
+            groups,
+        }
     }
 
     /// Number of tables in the query.
@@ -100,8 +110,12 @@ impl Estimator {
     /// smallest single table with every negative factor applied (a valid,
     /// if loose, lower bound).
     pub fn log10_cardinality_lower_bound(&self) -> f64 {
-        let min_table =
-            self.log_card.iter().copied().fold(f64::INFINITY, f64::min).min(0.0);
+        let min_table = self
+            .log_card
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .min(0.0);
         let neg_preds: f64 = self.preds.iter().map(|&(_, s)| s.min(0.0)).sum();
         let neg_groups: f64 = self.groups.iter().map(|&(_, c)| c.min(0.0)).sum();
         min_table + neg_preds + neg_groups
@@ -147,8 +161,16 @@ mod tests {
         let (c, q) = example();
         let e = Estimator::new(&c, &q);
         assert_eq!(e.applicable_predicates(TableSet::single(0)).count(), 0);
-        assert_eq!(e.applicable_predicates(TableSet::from_positions([0, 1])).count(), 1);
-        assert_eq!(e.applicable_predicates(TableSet::from_positions([1, 2])).count(), 0);
+        assert_eq!(
+            e.applicable_predicates(TableSet::from_positions([0, 1]))
+                .count(),
+            1
+        );
+        assert_eq!(
+            e.applicable_predicates(TableSet::from_positions([1, 2]))
+                .count(),
+            0
+        );
     }
 
     #[test]

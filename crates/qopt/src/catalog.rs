@@ -70,7 +70,11 @@ pub struct Catalog {
 
 impl Default for Catalog {
     fn default() -> Self {
-        Catalog { tables: Vec::new(), page_size_bytes: 8192.0, default_tuple_bytes: 64.0 }
+        Catalog {
+            tables: Vec::new(),
+            page_size_bytes: 8192.0,
+            default_tuple_bytes: 64.0,
+        }
     }
 }
 
@@ -107,8 +111,14 @@ impl Catalog {
     /// Adds a column to an existing table; returns its id.
     pub fn add_column(&mut self, table: TableId, name: impl Into<String>, bytes: f64) -> ColumnId {
         let t = &mut self.tables[table.index()];
-        t.columns.push(Column { name: name.into(), bytes });
-        ColumnId { table, column: (t.columns.len() - 1) as u32 }
+        t.columns.push(Column {
+            name: name.into(),
+            bytes,
+        });
+        ColumnId {
+            table,
+            column: (t.columns.len() - 1) as u32,
+        }
     }
 
     /// Marks a table as physically sorted on its join key (interesting
@@ -155,7 +165,9 @@ impl Catalog {
 
     /// Pages for `cardinality` rows of `tuple_bytes`-wide tuples.
     pub fn pages_for(&self, cardinality: f64, tuple_bytes: f64) -> f64 {
-        (cardinality * tuple_bytes / self.page_size_bytes).ceil().max(1.0)
+        (cardinality * tuple_bytes / self.page_size_bytes)
+            .ceil()
+            .max(1.0)
     }
 
     /// Pages for an intermediate result under the fixed-width simplification.
@@ -188,8 +200,14 @@ mod tests {
             "S",
             10.0,
             vec![
-                Column { name: "a".into(), bytes: 4.0 },
-                Column { name: "b".into(), bytes: 12.0 },
+                Column {
+                    name: "a".into(),
+                    bytes: 4.0,
+                },
+                Column {
+                    name: "b".into(),
+                    bytes: 12.0,
+                },
             ],
         );
         assert_eq!(c.tuple_bytes(s), 16.0);

@@ -35,7 +35,11 @@ pub struct CostParams {
 
 impl Default for CostParams {
     fn default() -> Self {
-        CostParams { tuple_bytes: 64.0, page_bytes: 8192.0, buffer_pages: 64.0 }
+        CostParams {
+            tuple_bytes: 64.0,
+            page_bytes: 8192.0,
+            buffer_pages: 64.0,
+        }
     }
 }
 
@@ -115,9 +119,7 @@ impl CostModelKind {
             }
             CostModelKind::Hash => operator_cost(JoinOp::Hash, ctx, params),
             CostModelKind::SortMerge => operator_cost(JoinOp::SortMerge, ctx, params),
-            CostModelKind::BlockNestedLoop => {
-                operator_cost(JoinOp::BlockNestedLoop, ctx, params)
-            }
+            CostModelKind::BlockNestedLoop => operator_cost(JoinOp::BlockNestedLoop, ctx, params),
         }
     }
 }
@@ -181,7 +183,11 @@ pub fn plan_cost_with_estimator(
         let pos0 = query.table_position(plan.order[0]).expect("validated plan");
         outer_set = TableSet::single(pos0);
     }
-    let mut outer_card = if n > 0 { est.cardinality(outer_set) } else { 0.0 };
+    let mut outer_card = if n > 0 {
+        est.cardinality(outer_set)
+    } else {
+        0.0
+    };
 
     for j in 0..num_joins {
         let inner = plan.order[j + 1];
@@ -190,7 +196,13 @@ pub fn plan_cost_with_estimator(
         let result_set = outer_set.insert(inner_pos);
         let output_card = est.cardinality(result_set);
 
-        let ctx = JoinContext { outer_card, inner_card, output_card, join_index: j, num_joins };
+        let ctx = JoinContext {
+            outer_card,
+            inner_card,
+            output_card,
+            join_index: j,
+            num_joins,
+        };
         let cost = if !plan.operators.is_empty() && model != CostModelKind::Cout {
             operator_cost(plan.operator(j), &ctx, params)
         } else {
@@ -206,7 +218,9 @@ pub fn plan_cost_with_estimator(
         for p in &query.predicates {
             if p.eval_cost_per_tuple > 0.0 {
                 let mask = TableSet::from_positions(
-                    p.tables.iter().map(|&t| query.table_position(t).expect("valid")),
+                    p.tables
+                        .iter()
+                        .map(|&t| query.table_position(t).expect("valid")),
                 );
                 let now = mask.is_subset_of(result_set);
                 let before = mask.is_subset_of(outer_set);
@@ -222,7 +236,11 @@ pub fn plan_cost_with_estimator(
         outer_card = output_card;
     }
 
-    PlanCost { total, per_join, predicate_cost }
+    PlanCost {
+        total,
+        per_join,
+        predicate_cost,
+    }
 }
 
 #[cfg(test)]
@@ -243,7 +261,11 @@ mod tests {
     }
 
     fn params() -> CostParams {
-        CostParams { tuple_bytes: 10.0, page_bytes: 100.0, buffer_pages: 4.0 }
+        CostParams {
+            tuple_bytes: 10.0,
+            page_bytes: 100.0,
+            buffer_pages: 4.0,
+        }
     }
 
     #[test]
@@ -330,12 +352,20 @@ mod tests {
         // operand is R (cardinality 10).
         let plan = LeftDeepPlan::from_order(vec![q.tables[0], q.tables[1], q.tables[2]]);
         let pc = plan_cost(&c, &q, &plan, CostModelKind::Cout, &params());
-        assert!((pc.predicate_cost - 10.0).abs() < 1e-6, "{}", pc.predicate_cost);
+        assert!(
+            (pc.predicate_cost - 10.0).abs() < 1e-6,
+            "{}",
+            pc.predicate_cost
+        );
         // Order R, T, S: predicate evaluated during the last join, whose
         // outer operand is R x T (cardinality 1000).
         let plan2 = LeftDeepPlan::from_order(vec![q.tables[0], q.tables[2], q.tables[1]]);
         let pc2 = plan_cost(&c, &q, &plan2, CostModelKind::Cout, &params());
-        assert!((pc2.predicate_cost - 1000.0).abs() < 1e-3, "{}", pc2.predicate_cost);
+        assert!(
+            (pc2.predicate_cost - 1000.0).abs() < 1e-3,
+            "{}",
+            pc2.predicate_cost
+        );
     }
 
     #[test]

@@ -49,7 +49,11 @@ impl JoinGraph {
                 }
             }
         }
-        JoinGraph { n, adj, num_edges: edges.len() }
+        JoinGraph {
+            n,
+            adj,
+            num_edges: edges.len(),
+        }
     }
 
     pub fn num_tables(&self) -> usize {
@@ -102,7 +106,11 @@ impl JoinGraph {
 
         if n == 2 {
             // A single edge is simultaneously a chain/star; call it chain.
-            return if self.num_edges == 1 { GraphShape::Chain } else { GraphShape::Other };
+            return if self.num_edges == 1 {
+                GraphShape::Chain
+            } else {
+                GraphShape::Other
+            };
         }
         if self.num_edges == n * (n - 1) / 2 {
             return GraphShape::Clique;

@@ -28,6 +28,7 @@ pub mod card;
 pub mod catalog;
 pub mod cost;
 pub mod graph;
+pub mod orderer;
 pub mod plan;
 pub mod query;
 pub mod table_set;
@@ -36,6 +37,9 @@ pub use card::Estimator;
 pub use catalog::{Catalog, Column, ColumnId, Table, TableId};
 pub use cost::{CostModelKind, CostParams, JoinContext, PlanCost};
 pub use graph::{GraphShape, JoinGraph};
+pub use orderer::{
+    AnytimeTrace, JoinOrderer, OrderingError, OrderingOptions, OrderingOutcome, TracePoint,
+};
 pub use plan::{JoinOp, LeftDeepPlan, PlanError};
 pub use query::{CorrelatedGroup, Predicate, PredicateId, Query, QueryError};
 pub use table_set::TableSet;

@@ -1,0 +1,262 @@
+//! Backend-agnostic join ordering interface.
+//!
+//! Every optimizer in the workspace — the MILP encoder/solver pipeline, the
+//! Selinger DP baseline, the greedy heuristic, and the hybrid that chains
+//! greedy into a warm-started MILP — answers the same question: *given a
+//! catalog and a query, which left-deep plan should run?* [`JoinOrderer`]
+//! is that question as a trait, with unified [`OrderingOptions`] (runtime
+//! limits) and a unified [`OrderingOutcome`] (plan, costs, bounds, anytime
+//! trace). Cost-model choice stays a per-backend *construction* concern so
+//! outcomes of differently-configured backends are never silently compared.
+//!
+//! The [`AnytimeTrace`] lives here rather than in the MILP crate because it
+//! is a property of the *interface*, not of one backend: DP produces a
+//! single trace point when it finishes, the MILP emits a stream of
+//! incumbent/bound improvements, and the hybrid starts the stream with its
+//! greedy incumbent at t ≈ 0.
+
+use std::time::Duration;
+
+use crate::catalog::Catalog;
+use crate::plan::LeftDeepPlan;
+use crate::query::Query;
+
+/// One sample of the anytime state.
+#[derive(Debug, Clone, Copy)]
+pub struct TracePoint {
+    pub elapsed: Duration,
+    /// Best incumbent objective so far (backend objective space), if any.
+    pub incumbent: Option<f64>,
+    /// Global lower bound (backend objective space).
+    pub bound: f64,
+}
+
+/// The incumbent/bound history of one optimization run.
+#[derive(Debug, Clone, Default)]
+pub struct AnytimeTrace {
+    points: Vec<TracePoint>,
+}
+
+impl AnytimeTrace {
+    pub fn push(&mut self, p: TracePoint) {
+        self.points.push(p);
+    }
+
+    pub fn points(&self) -> &[TracePoint] {
+        &self.points
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The anytime state at `elapsed`: the last point at or before it.
+    pub fn state_at(&self, elapsed: Duration) -> Option<TracePoint> {
+        self.points
+            .iter()
+            .take_while(|p| p.elapsed <= elapsed)
+            .last()
+            .copied()
+    }
+
+    /// The guaranteed optimality factor (cost / lower bound) provable at
+    /// `elapsed`; `None` while no incumbent exists or the bound is not yet
+    /// positive.
+    pub fn guaranteed_factor_at(&self, elapsed: Duration) -> Option<f64> {
+        let state = self.state_at(elapsed)?;
+        let inc = state.incumbent?;
+        if state.bound > 0.0 {
+            Some((inc / state.bound).max(1.0))
+        } else {
+            None
+        }
+    }
+}
+
+/// Runtime limits shared by every backend. Limits a backend cannot honor
+/// are ignored (greedy has no nodes to limit; DP has no gap to close).
+#[derive(Debug, Clone, Default)]
+pub struct OrderingOptions {
+    /// Wall-clock budget for the whole optimization.
+    pub time_limit: Option<Duration>,
+    /// Stop once the backend proves its objective within this relative gap
+    /// of optimal (bounding backends only).
+    pub relative_gap: f64,
+    /// Branch-and-bound node budget (search backends only).
+    pub node_limit: Option<u64>,
+    /// Random seed (tie-breaking; every backend is deterministic per seed).
+    pub seed: u64,
+}
+
+impl OrderingOptions {
+    pub fn with_time_limit(limit: Duration) -> Self {
+        OrderingOptions {
+            time_limit: Some(limit),
+            ..Default::default()
+        }
+    }
+}
+
+/// What every backend reports for one query.
+#[derive(Debug, Clone)]
+pub struct OrderingOutcome {
+    /// The chosen left-deep plan.
+    pub plan: LeftDeepPlan,
+    /// Exact cost of `plan` under the backend's configured cost model.
+    pub cost: f64,
+    /// Objective of `plan` in the backend's own objective space — equal to
+    /// `cost` for exact backends (DP, greedy), the approximate MILP-space
+    /// objective for MILP-based backends.
+    pub objective: f64,
+    /// Lower bound (backend objective space) proven to hold for *every*
+    /// plan; `None` when the backend proves nothing (greedy).
+    pub bound: Option<f64>,
+    /// Whether the backend proved `plan` optimal in its objective space.
+    pub proven_optimal: bool,
+    /// Incumbent/bound history (backend objective space).
+    pub trace: AnytimeTrace,
+    /// Wall-clock time the backend spent.
+    pub elapsed: Duration,
+}
+
+impl OrderingOutcome {
+    /// Final guaranteed optimality factor `objective / bound` in the
+    /// backend's objective space; `None` without a positive bound.
+    pub fn guaranteed_factor(&self) -> Option<f64> {
+        match self.bound {
+            Some(b) if b > 0.0 => Some((self.objective / b).max(1.0)),
+            _ => None,
+        }
+    }
+}
+
+/// Unified failure modes across backends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrderingError {
+    /// The backend could not produce any plan within its time limit.
+    Timeout,
+    /// A resource budget (memory, nodes, ...) was exhausted before a plan
+    /// was found.
+    ResourceLimit(String),
+    /// The query cannot be optimized (empty, unknown tables, ...).
+    InvalidQuery(String),
+    /// The backend's configuration is inconsistent (independent of the
+    /// query, e.g. an encoder extension without its prerequisite).
+    InvalidConfig(String),
+    /// A backend-internal failure (solver bug surface).
+    Backend(String),
+}
+
+impl std::fmt::Display for OrderingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OrderingError::Timeout => write!(f, "no plan found within the time limit"),
+            OrderingError::ResourceLimit(m) => write!(f, "resource limit exhausted: {m}"),
+            OrderingError::InvalidQuery(m) => write!(f, "invalid query: {m}"),
+            OrderingError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            OrderingError::Backend(m) => write!(f, "backend failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for OrderingError {}
+
+/// A join ordering backend: anything that maps a (catalog, query) pair to a
+/// costed left-deep plan under shared runtime limits.
+pub trait JoinOrderer {
+    /// Short human-readable backend name (`"milp"`, `"dp"`, `"greedy"`,
+    /// `"hybrid"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// Produces a plan for `query` within the limits of `options`.
+    fn order(
+        &self,
+        catalog: &Catalog,
+        query: &Query,
+        options: &OrderingOptions,
+    ) -> Result<OrderingOutcome, OrderingError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_at_before_first_point_is_none() {
+        let mut trace = AnytimeTrace::default();
+        assert!(trace.state_at(Duration::from_secs(10)).is_none());
+        trace.push(TracePoint {
+            elapsed: Duration::from_millis(500),
+            incumbent: Some(10.0),
+            bound: 2.0,
+        });
+        assert!(trace.state_at(Duration::from_millis(499)).is_none());
+        assert!(trace.state_at(Duration::from_millis(500)).is_some());
+    }
+
+    #[test]
+    fn guaranteed_factor_requires_positive_bound() {
+        let mut trace = AnytimeTrace::default();
+        trace.push(TracePoint {
+            elapsed: Duration::ZERO,
+            incumbent: Some(10.0),
+            bound: 0.0,
+        });
+        trace.push(TracePoint {
+            elapsed: Duration::from_secs(1),
+            incumbent: Some(10.0),
+            bound: -3.0,
+        });
+        assert_eq!(trace.guaranteed_factor_at(Duration::from_secs(2)), None);
+        trace.push(TracePoint {
+            elapsed: Duration::from_secs(3),
+            incumbent: Some(10.0),
+            bound: 5.0,
+        });
+        assert_eq!(
+            trace.guaranteed_factor_at(Duration::from_secs(3)),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn factor_is_clamped_to_one() {
+        let mut trace = AnytimeTrace::default();
+        trace.push(TracePoint {
+            elapsed: Duration::ZERO,
+            incumbent: Some(4.0),
+            bound: 5.0,
+        });
+        assert_eq!(trace.guaranteed_factor_at(Duration::ZERO), Some(1.0));
+    }
+
+    #[test]
+    fn factor_without_incumbent_is_none() {
+        let mut trace = AnytimeTrace::default();
+        trace.push(TracePoint {
+            elapsed: Duration::ZERO,
+            incumbent: None,
+            bound: 5.0,
+        });
+        assert_eq!(trace.guaranteed_factor_at(Duration::ZERO), None);
+    }
+
+    #[test]
+    fn outcome_factor() {
+        let outcome = OrderingOutcome {
+            plan: LeftDeepPlan::from_order(vec![]),
+            cost: 10.0,
+            objective: 10.0,
+            bound: Some(4.0),
+            proven_optimal: false,
+            trace: AnytimeTrace::default(),
+            elapsed: Duration::ZERO,
+        };
+        assert_eq!(outcome.guaranteed_factor(), Some(2.5));
+        let unbounded = OrderingOutcome {
+            bound: None,
+            ..outcome
+        };
+        assert_eq!(unbounded.guaranteed_factor(), None);
+    }
+}

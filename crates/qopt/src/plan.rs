@@ -51,7 +51,10 @@ pub enum PlanError {
 impl LeftDeepPlan {
     /// Plan with a single global operator assumption (no per-join choices).
     pub fn from_order(order: Vec<TableId>) -> Self {
-        LeftDeepPlan { order, operators: Vec::new() }
+        LeftDeepPlan {
+            order,
+            operators: Vec::new(),
+        }
     }
 
     /// Plan with explicit operator choices.
@@ -67,7 +70,9 @@ impl LeftDeepPlan {
     /// query-local positions.
     pub fn prefix_set(&self, query: &Query, k: usize) -> TableSet {
         TableSet::from_positions(
-            self.order[..=k].iter().map(|&t| query.table_position(t).expect("table in query")),
+            self.order[..=k]
+                .iter()
+                .map(|&t| query.table_position(t).expect("table in query")),
         )
     }
 
@@ -157,7 +162,10 @@ mod tests {
         plan.validate(&q).unwrap();
 
         let short = LeftDeepPlan::from_order(vec![q.tables[0]]);
-        assert!(matches!(short.validate(&q), Err(PlanError::WrongTableCount { .. })));
+        assert!(matches!(
+            short.validate(&q),
+            Err(PlanError::WrongTableCount { .. })
+        ));
 
         let dup = LeftDeepPlan::from_order(vec![q.tables[0], q.tables[0], q.tables[2]]);
         assert_eq!(dup.validate(&q), Err(PlanError::NotAPermutation));
@@ -166,7 +174,10 @@ mod tests {
             vec![q.tables[0], q.tables[1], q.tables[2]],
             vec![JoinOp::Hash],
         );
-        assert!(matches!(bad_ops.validate(&q), Err(PlanError::WrongOperatorCount { .. })));
+        assert!(matches!(
+            bad_ops.validate(&q),
+            Err(PlanError::WrongOperatorCount { .. })
+        ));
     }
 
     #[test]
@@ -183,10 +194,8 @@ mod tests {
         let (c, q) = setup();
         let plan = LeftDeepPlan::from_order(vec![q.tables[0], q.tables[1], q.tables[2]]);
         assert_eq!(plan.render(&c), "((R ⋈ S) ⋈ T)");
-        let with_ops = LeftDeepPlan::with_operators(
-            plan.order.clone(),
-            vec![JoinOp::Hash, JoinOp::SortMerge],
-        );
+        let with_ops =
+            LeftDeepPlan::with_operators(plan.order.clone(), vec![JoinOp::Hash, JoinOp::SortMerge]);
         assert_eq!(with_ops.render(&c), "((R ⋈[HJ] S) ⋈[SMJ] T)");
     }
 

@@ -55,9 +55,19 @@ impl Predicate {
     pub fn nary(tables: Vec<TableId>, selectivity: f64) -> Self {
         let name = format!(
             "p({})",
-            tables.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(",")
+            tables
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
         );
-        Predicate { name, tables, selectivity, eval_cost_per_tuple: 0.0, columns: Vec::new() }
+        Predicate {
+            name,
+            tables,
+            selectivity,
+            eval_cost_per_tuple: 0.0,
+            columns: Vec::new(),
+        }
     }
 
     /// Marks this predicate as expensive.
@@ -100,11 +110,20 @@ pub enum QueryError {
     DuplicateTable(TableId),
     UnknownTable(TableId),
     /// Predicate references a table that is not part of the query.
-    PredicateTableNotInQuery { predicate: String, table: TableId },
-    InvalidSelectivity { predicate: String, selectivity: f64 },
+    PredicateTableNotInQuery {
+        predicate: String,
+        table: TableId,
+    },
+    InvalidSelectivity {
+        predicate: String,
+        selectivity: f64,
+    },
     /// Correlated group references an unknown predicate.
     UnknownPredicate(PredicateId),
-    TooManyTables { count: usize, max: usize },
+    TooManyTables {
+        count: usize,
+        max: usize,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -114,10 +133,19 @@ impl fmt::Display for QueryError {
             QueryError::DuplicateTable(t) => write!(f, "table {t} appears twice"),
             QueryError::UnknownTable(t) => write!(f, "table {t} not in catalog"),
             QueryError::PredicateTableNotInQuery { predicate, table } => {
-                write!(f, "predicate {predicate} references table {table} outside the query")
+                write!(
+                    f,
+                    "predicate {predicate} references table {table} outside the query"
+                )
             }
-            QueryError::InvalidSelectivity { predicate, selectivity } => {
-                write!(f, "predicate {predicate} has selectivity {selectivity} outside (0, 1]")
+            QueryError::InvalidSelectivity {
+                predicate,
+                selectivity,
+            } => {
+                write!(
+                    f,
+                    "predicate {predicate} has selectivity {selectivity} outside (0, 1]"
+                )
             }
             QueryError::UnknownPredicate(p) => write!(f, "unknown predicate #{}", p.0),
             QueryError::TooManyTables { count, max } => {
@@ -135,7 +163,10 @@ pub const MAX_TABLES: usize = 64;
 
 impl Query {
     pub fn new(tables: Vec<TableId>) -> Self {
-        Query { tables, ..Default::default() }
+        Query {
+            tables,
+            ..Default::default()
+        }
     }
 
     pub fn add_predicate(&mut self, p: Predicate) -> PredicateId {
@@ -145,7 +176,10 @@ impl Query {
     }
 
     pub fn add_correlated_group(&mut self, members: Vec<PredicateId>, correction: f64) {
-        self.correlated_groups.push(CorrelatedGroup { members, correction });
+        self.correlated_groups.push(CorrelatedGroup {
+            members,
+            correction,
+        });
     }
 
     /// Number of tables `n`.
@@ -174,7 +208,10 @@ impl Query {
             return Err(QueryError::NoTables);
         }
         if self.tables.len() > MAX_TABLES {
-            return Err(QueryError::TooManyTables { count: self.tables.len(), max: MAX_TABLES });
+            return Err(QueryError::TooManyTables {
+                count: self.tables.len(),
+                max: MAX_TABLES,
+            });
         }
         for (i, &t) in self.tables.iter().enumerate() {
             if t.index() >= catalog.num_tables() {
@@ -247,7 +284,10 @@ mod tests {
         let (c, mut q) = setup();
         let (r, s) = (q.tables[0], q.tables[1]);
         q.add_predicate(Predicate::binary(r, s, 0.0));
-        assert!(matches!(q.validate(&c), Err(QueryError::InvalidSelectivity { .. })));
+        assert!(matches!(
+            q.validate(&c),
+            Err(QueryError::InvalidSelectivity { .. })
+        ));
     }
 
     #[test]
@@ -278,7 +318,10 @@ mod tests {
         q.add_correlated_group(vec![PredicateId(0)], 2.0);
         q.validate(&c).unwrap();
         q.add_correlated_group(vec![PredicateId(9)], 2.0);
-        assert_eq!(q.validate(&c), Err(QueryError::UnknownPredicate(PredicateId(9))));
+        assert_eq!(
+            q.validate(&c),
+            Err(QueryError::UnknownPredicate(PredicateId(9)))
+        );
     }
 
     #[test]

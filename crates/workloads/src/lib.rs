@@ -129,7 +129,9 @@ impl WorkloadSpec {
         let mut catalog = Catalog::new();
         let ids: Vec<TableId> = (0..self.num_tables)
             .map(|i| {
-                let card = log_uniform(&mut rng, self.cardinality_range).round().max(1.0);
+                let card = log_uniform(&mut rng, self.cardinality_range)
+                    .round()
+                    .max(1.0);
                 catalog.add_table(format!("T{i}"), card)
             })
             .collect();
@@ -143,7 +145,9 @@ impl WorkloadSpec {
 
     /// Generates a batch of workloads with seeds `base_seed..base_seed + k`.
     pub fn generate_batch(&self, base_seed: u64, k: usize) -> Vec<(Catalog, Query)> {
-        (0..k as u64).map(|i| self.generate(base_seed + i)).collect()
+        (0..k as u64)
+            .map(|i| self.generate(base_seed + i))
+            .collect()
     }
 }
 
@@ -188,7 +192,12 @@ mod tests {
 
     #[test]
     fn topologies_have_expected_shapes() {
-        for topo in [Topology::Chain, Topology::Cycle, Topology::Star, Topology::Clique] {
+        for topo in [
+            Topology::Chain,
+            Topology::Cycle,
+            Topology::Star,
+            Topology::Clique,
+        ] {
             for n in [3usize, 5, 10] {
                 let spec = WorkloadSpec::new(topo, n);
                 let (catalog, query) = spec.generate(0);

@@ -18,7 +18,11 @@ fn main() {
 
     let optimizer = MilpOptimizer::new(EncoderConfig::default().precision(Precision::Medium));
     let outcome = optimizer
-        .optimize(&catalog, &query, &OptimizeOptions::with_time_limit(Duration::from_secs(10)))
+        .optimize(
+            &catalog,
+            &query,
+            &OptimizeOptions::with_time_limit(Duration::from_secs(10)),
+        )
         .expect("a plan within the budget");
 
     println!("final plan:   {}", outcome.plan.render(&catalog));

@@ -1,59 +1,81 @@
-//! Side-by-side comparison of the MILP optimizer against the Selinger DP
-//! baseline and a greedy heuristic on the same workload — the experiment
-//! behind the paper's Figure 2, on one query.
+//! Side-by-side comparison of every join ordering backend — greedy, DP,
+//! MILP at three precisions, and the greedy-warm-started hybrid — driven
+//! through the single [`JoinOrderer`] trait on the same workload. This is
+//! the experiment behind the paper's Figure 2 on one query, extended with
+//! the hybrid strategy of Schönberger & Trummer (2025).
 //!
 //! Run with: `cargo run --release --example compare_optimizers [n]`
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use milpjoin::{EncoderConfig, MilpOptimizer, OptimizeOptions, Precision};
-use milpjoin_dp::{greedy_order, optimize as dp_optimize, DpOptions};
-use milpjoin_qopt::cost::{plan_cost, CostModelKind, CostParams};
+use milpjoin::{
+    EncoderConfig, HybridOptimizer, JoinOrderer, MilpOptimizer, OrderingOptions, Precision,
+};
+use milpjoin_dp::{DpOptimizer, GreedyOptimizer};
 use milpjoin_workloads::{Topology, WorkloadSpec};
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
     let timeout = Duration::from_secs(10);
-    let (catalog, query) = WorkloadSpec::new(Topology::Chain, n).generate(3);
-    let params = CostParams::default();
-    println!("chain query, {n} tables, C_out cost model, {timeout:?} budget\n");
+    let (catalog, query) = WorkloadSpec::new(Topology::Star, n).generate(3);
+    let options = OrderingOptions::with_time_limit(timeout);
+    println!("star query, {n} tables, C_out cost model, {timeout:?} budget\n");
 
-    // Greedy heuristic (instant, no guarantees).
-    let t0 = Instant::now();
-    let greedy = greedy_order(&catalog, &query, &DpOptions::default());
-    let gcost = plan_cost(&catalog, &query, &greedy, CostModelKind::Cout, &params).total;
-    println!("greedy:  cost {:>14.4e}  in {:>10.2?}  (no optimality guarantee)", gcost, t0.elapsed());
-
-    // Dynamic programming (optimal or nothing).
-    let t0 = Instant::now();
-    let dp_opts = DpOptions { deadline: Some(t0 + timeout), ..Default::default() };
-    match dp_optimize(&catalog, &query, &dp_opts) {
-        Ok(res) => println!(
-            "DP:      cost {:>14.4e}  in {:>10.2?}  (proven optimal)",
-            res.cost,
-            t0.elapsed()
+    let backends: Vec<(String, Box<dyn JoinOrderer>)> = vec![
+        ("greedy".into(), Box::new(GreedyOptimizer::default())),
+        ("dp".into(), Box::new(DpOptimizer::default())),
+        (
+            "milp (low)".into(),
+            Box::new(MilpOptimizer::new(
+                EncoderConfig::default().precision(Precision::Low),
+            )),
         ),
-        Err(e) => println!("DP:      failed after {:>10.2?}: {e}", t0.elapsed()),
-    }
+        (
+            "milp (medium)".into(),
+            Box::new(MilpOptimizer::new(
+                EncoderConfig::default().precision(Precision::Medium),
+            )),
+        ),
+        (
+            "milp (high)".into(),
+            Box::new(MilpOptimizer::new(
+                EncoderConfig::default().precision(Precision::High),
+            )),
+        ),
+        (
+            "hybrid (medium)".into(),
+            Box::new(HybridOptimizer::new(
+                EncoderConfig::default().precision(Precision::Medium),
+            )),
+        ),
+    ];
 
-    // MILP (anytime with guaranteed factor).
-    for precision in [Precision::High, Precision::Medium, Precision::Low] {
-        let t0 = Instant::now();
-        let optimizer = MilpOptimizer::new(EncoderConfig::default().precision(precision));
-        match optimizer.optimize(&catalog, &query, &OptimizeOptions::with_time_limit(timeout)) {
-            Ok(out) => println!(
-                "ILP {:<7}: cost {:>12.4e}  in {:>10.2?}  (status {}, factor {})",
-                format!("({})", precision.name()),
-                out.true_cost,
-                t0.elapsed(),
-                out.status,
-                out.optimality_factor().map_or("-".into(), |f| format!("{f:.2}"))
-            ),
-            Err(e) => println!(
-                "ILP {:<7}: failed after {:>10.2?}: {e}",
-                format!("({})", precision.name()),
-                t0.elapsed()
-            ),
+    for (label, backend) in &backends {
+        match backend.order(&catalog, &query, &options) {
+            Ok(out) => {
+                let guarantee = match (out.proven_optimal, out.guaranteed_factor()) {
+                    (true, _) => "proven optimal".to_string(),
+                    (false, Some(f)) => format!("within {f:.2}x of optimal"),
+                    (false, None) => "no guarantee".to_string(),
+                };
+                let first_incumbent = out
+                    .trace
+                    .points()
+                    .first()
+                    .and_then(|p| p.incumbent.map(|_| p.elapsed));
+                let anytime = match first_incumbent {
+                    Some(t) => format!("first incumbent at {t:>10.2?}"),
+                    None => "first trace point has no incumbent".to_string(),
+                };
+                println!(
+                    "{label:<16} cost {:>12.4e}  in {:>10.2?}  ({guarantee}; {anytime})",
+                    out.cost, out.elapsed
+                );
+            }
+            Err(e) => println!("{label:<16} failed: {e}"),
         }
     }
 }

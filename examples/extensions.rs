@@ -32,7 +32,10 @@ fn main() {
 
     println!("plan: {}", outcome.plan.render(&catalog));
     println!("status: {}", outcome.status);
-    println!("true cost (C_out + predicate evaluation): {:.3e}", outcome.true_cost);
+    println!(
+        "true cost (C_out + predicate evaluation): {:.3e}",
+        outcome.true_cost
+    );
     println!();
     println!("predicate evaluation schedule chosen by the MILP:");
     for (pid, at) in outcome.decoded.predicate_schedule.iter().enumerate() {

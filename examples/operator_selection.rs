@@ -30,7 +30,10 @@ fn main() {
         .optimize(&catalog, &query, &OptimizeOptions::default())
         .expect("optimizable");
 
-    println!("plan with per-join operators: {}", outcome.plan.render(&catalog));
+    println!(
+        "plan with per-join operators: {}",
+        outcome.plan.render(&catalog)
+    );
     println!("status: {}", outcome.status);
     println!("cost (hash-model units): {:.1}", outcome.true_cost);
     for (j, op) in outcome.plan.operators.iter().enumerate() {

@@ -26,13 +26,22 @@ fn main() {
 
     println!("plan:        {}", outcome.plan.render(&catalog));
     println!("status:      {}", outcome.status);
-    println!("true cost:   {} (C_out: sum of intermediate result sizes)", outcome.true_cost);
-    println!("MILP obj:    {:.1} (approximate cost space)", outcome.milp_objective);
+    println!(
+        "true cost:   {} (C_out: sum of intermediate result sizes)",
+        outcome.true_cost
+    );
+    println!(
+        "MILP obj:    {:.1} (approximate cost space)",
+        outcome.milp_objective
+    );
     println!("MILP bound:  {:.1}", outcome.milp_bound);
     println!("B&B nodes:   {}", outcome.nodes);
     println!();
-    println!("formulation: {} variables, {} constraints",
-        outcome.stats.num_vars(), outcome.stats.num_constraints());
+    println!(
+        "formulation: {} variables, {} constraints",
+        outcome.stats.num_vars(),
+        outcome.stats.num_constraints()
+    );
     println!();
     println!("anytime trace (incumbent / bound over time):");
     for p in outcome.trace.points() {

@@ -19,7 +19,11 @@ pub fn optimize_with(
     time_limit: Duration,
 ) -> Result<OptimizeOutcome, milpjoin::OptimizeError> {
     let optimizer = MilpOptimizer::new(EncoderConfig::default().precision(precision));
-    optimizer.optimize(catalog, query, &OptimizeOptions::with_time_limit(time_limit))
+    optimizer.optimize(
+        catalog,
+        query,
+        &OptimizeOptions::with_time_limit(time_limit),
+    )
 }
 
 /// Formats a duration as fractional seconds.

@@ -10,7 +10,11 @@ use milpjoin_workloads::{Topology, WorkloadSpec};
 fn trace_monotonicity() {
     let (catalog, query) = WorkloadSpec::new(Topology::Star, 6).generate(2);
     let out = MilpOptimizer::new(EncoderConfig::default().precision(Precision::Low))
-        .optimize(&catalog, &query, &OptimizeOptions::with_time_limit(Duration::from_secs(20)))
+        .optimize(
+            &catalog,
+            &query,
+            &OptimizeOptions::with_time_limit(Duration::from_secs(20)),
+        )
         .unwrap();
     let mut last_inc = f64::INFINITY;
     let mut last_bound = f64::NEG_INFINITY;
@@ -22,7 +26,10 @@ fn trace_monotonicity() {
             assert!(inc <= last_inc * (1.0 + 1e-9), "incumbent worsened");
             last_inc = inc;
         }
-        assert!(p.bound >= last_bound - 1e-9 * (1.0 + last_bound.abs()), "bound dropped");
+        assert!(
+            p.bound >= last_bound - 1e-9 * (1.0 + last_bound.abs()),
+            "bound dropped"
+        );
         last_bound = p.bound;
     }
 }
@@ -31,12 +38,19 @@ fn trace_monotonicity() {
 fn guaranteed_factor_is_nonincreasing_over_time() {
     let (catalog, query) = WorkloadSpec::new(Topology::Star, 6).generate(4);
     let out = MilpOptimizer::new(EncoderConfig::default().precision(Precision::Low))
-        .optimize(&catalog, &query, &OptimizeOptions::with_time_limit(Duration::from_secs(20)))
+        .optimize(
+            &catalog,
+            &query,
+            &OptimizeOptions::with_time_limit(Duration::from_secs(20)),
+        )
         .unwrap();
     let mut last = f64::INFINITY;
     for ms in [50u64, 200, 1000, 5000, 20000] {
         if let Some(f) = out.trace.guaranteed_factor_at(Duration::from_millis(ms)) {
-            assert!(f <= last * (1.0 + 1e-9), "factor rose from {last} to {f} at {ms}ms");
+            assert!(
+                f <= last * (1.0 + 1e-9),
+                "factor rose from {last} to {f} at {ms}ms"
+            );
             last = f;
         }
     }
@@ -60,7 +74,11 @@ fn time_limit_respected() {
 fn final_factor_matches_trace_tail() {
     let (catalog, query) = WorkloadSpec::new(Topology::Star, 4).generate(3);
     let out = MilpOptimizer::new(EncoderConfig::default().precision(Precision::Medium))
-        .optimize(&catalog, &query, &OptimizeOptions::with_time_limit(Duration::from_secs(20)))
+        .optimize(
+            &catalog,
+            &query,
+            &OptimizeOptions::with_time_limit(Duration::from_secs(20)),
+        )
         .unwrap();
     if let (Some(final_factor), Some(tail)) = (
         out.optimality_factor(),

@@ -50,7 +50,10 @@ fn foreign_table_predicate_rejected() {
 #[test]
 fn dp_memory_budget() {
     let (catalog, query) = WorkloadSpec::new(Topology::Chain, 30).generate(0);
-    let opts = DpOptions { memory_budget_bytes: 1 << 16, ..DpOptions::default() };
+    let opts = DpOptions {
+        memory_budget_bytes: 1 << 16,
+        ..DpOptions::default()
+    };
     assert!(matches!(
         dp_optimize(&catalog, &query, &opts),
         Err(DpError::MemoryLimit { .. })
@@ -68,7 +71,10 @@ fn milp_tiny_time_limit_fails_gracefully() {
     // Either a plan (fast machine) or a clean "no plan" error.
     if let Err(e) = result {
         let msg = e.to_string();
-        assert!(msg.contains("no plan") || msg.contains("limit"), "unexpected error: {msg}");
+        assert!(
+            msg.contains("no plan") || msg.contains("limit"),
+            "unexpected error: {msg}"
+        );
     }
 }
 
@@ -82,7 +88,11 @@ fn extreme_selectivities_and_cardinalities() {
     query.add_predicate(Predicate::binary(a, b, 1e-9)); // extreme selectivity
     query.add_predicate(Predicate::binary(b, c, 1.0)); // no-op selectivity
     let out = MilpOptimizer::with_defaults()
-        .optimize(&catalog, &query, &OptimizeOptions::with_time_limit(Duration::from_secs(20)))
+        .optimize(
+            &catalog,
+            &query,
+            &OptimizeOptions::with_time_limit(Duration::from_secs(20)),
+        )
         .unwrap();
     out.plan.validate(&query).unwrap();
     assert!(out.true_cost.is_finite());
@@ -90,7 +100,12 @@ fn extreme_selectivities_and_cardinalities() {
 
 #[test]
 fn workload_validates_across_sizes() {
-    for topo in [Topology::Chain, Topology::Cycle, Topology::Star, Topology::Clique] {
+    for topo in [
+        Topology::Chain,
+        Topology::Cycle,
+        Topology::Star,
+        Topology::Clique,
+    ] {
         for n in [2usize, 3, 13, 60] {
             let (catalog, query) = WorkloadSpec::new(topo, n).generate(99);
             query.validate(&catalog).unwrap();

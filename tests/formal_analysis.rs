@@ -7,10 +7,18 @@ use milpjoin_workloads::{Topology, WorkloadSpec};
 /// Returns (vars, constraints, n, m, l) for one encoded query.
 fn sizes(topo: Topology, n: usize) -> (f64, f64, f64) {
     let (catalog, query) = WorkloadSpec::new(topo, n).generate(0);
-    let enc =
-        encode(&catalog, &query, &EncoderConfig::default().precision(Precision::Medium)).unwrap();
+    let enc = encode(
+        &catalog,
+        &query,
+        &EncoderConfig::default().precision(Precision::Medium),
+    )
+    .unwrap();
     let bound = n as f64 * (n as f64 + query.num_predicates() as f64 + enc.grid.len() as f64);
-    (enc.stats.num_vars() as f64, enc.stats.num_constraints() as f64, bound)
+    (
+        enc.stats.num_vars() as f64,
+        enc.stats.num_constraints() as f64,
+        bound,
+    )
 }
 
 #[test]
@@ -20,8 +28,14 @@ fn variables_within_linear_factor_of_bound() {
     for topo in Topology::PAPER {
         for n in [5usize, 10, 20, 40, 60] {
             let (vars, _, bound) = sizes(topo, n);
-            assert!(vars <= 8.0 * bound, "{topo:?} n={n}: {vars} vars vs bound {bound}");
-            assert!(vars >= 0.05 * bound, "{topo:?} n={n}: suspiciously few vars");
+            assert!(
+                vars <= 8.0 * bound,
+                "{topo:?} n={n}: {vars} vars vs bound {bound}"
+            );
+            assert!(
+                vars >= 0.05 * bound,
+                "{topo:?} n={n}: suspiciously few vars"
+            );
         }
     }
 }
@@ -32,7 +46,10 @@ fn constraints_within_linear_factor_of_bound() {
     for topo in Topology::PAPER {
         for n in [5usize, 10, 20, 40, 60] {
             let (_, cons, bound) = sizes(topo, n);
-            assert!(cons <= 8.0 * bound, "{topo:?} n={n}: {cons} constraints vs bound {bound}");
+            assert!(
+                cons <= 8.0 * bound,
+                "{topo:?} n={n}: {cons} constraints vs bound {bound}"
+            );
         }
     }
 }

@@ -1,30 +1,46 @@
-//! Cross-crate integration: the MILP optimizer's plans must be within the
-//! configured tolerance factor of the DP optimum (which is exact), per the
-//! approximation guarantee of §4.2.
+//! Cross-backend integration through the unified [`JoinOrderer`] trait: the
+//! MILP optimizer's plans must be within the configured tolerance factor of
+//! the DP optimum (which is exact), per the approximation guarantee of
+//! §4.2, and the greedy-warm-started hybrid must never be worse than either
+//! the greedy seed or the plain MILP.
 
 use std::time::Duration;
 
-use milpjoin::{EncoderConfig, MilpOptimizer, OptimizeOptions, Precision};
-use milpjoin_dp::{optimize as dp_optimize, DpOptions};
+use milpjoin::{
+    EncoderConfig, HybridOptimizer, JoinOrderer, MilpOptimizer, OrderingOptions, Precision,
+};
+use milpjoin_dp::{DpOptimizer, GreedyOptimizer};
 use milpjoin_qopt::cost::CostModelKind;
+use milpjoin_qopt::{Catalog, Query};
 use milpjoin_workloads::{Topology, WorkloadSpec};
 
-fn check(topo: Topology, n: usize, seed: u64, precision: Precision, model: CostModelKind) {
-    let (catalog, query) = WorkloadSpec::new(topo, n).generate(seed);
-    let dp = dp_optimize(
-        &catalog,
-        &query,
-        &DpOptions { cost_model: model, ..DpOptions::default() },
-    )
-    .expect("DP solves small queries");
+fn workload(topo: Topology, n: usize, seed: u64) -> (Catalog, Query) {
+    WorkloadSpec::new(topo, n).generate(seed)
+}
 
-    let config = EncoderConfig::default().precision(precision).cost_model(model);
-    let out = MilpOptimizer::new(config)
-        .optimize(
-            &catalog,
-            &query,
-            &OptimizeOptions::with_time_limit(Duration::from_secs(30)),
-        )
+fn options() -> OrderingOptions {
+    OrderingOptions::with_time_limit(Duration::from_secs(30))
+}
+
+/// DP optimum under `model` via the trait (proven exact).
+fn dp_optimum(catalog: &Catalog, query: &Query, model: CostModelKind) -> f64 {
+    let out = DpOptimizer::new(model)
+        .order(catalog, query, &options())
+        .expect("DP solves small queries");
+    assert!(out.proven_optimal);
+    out.cost
+}
+
+fn check(topo: Topology, n: usize, seed: u64, precision: Precision, model: CostModelKind) {
+    let (catalog, query) = workload(topo, n, seed);
+    let optimal = dp_optimum(&catalog, &query, model);
+
+    let config = EncoderConfig::default()
+        .precision(precision)
+        .cost_model(model);
+    let milp = MilpOptimizer::new(config.clone());
+    let out = milp
+        .order(&catalog, &query, &options())
         .expect("MILP finds a plan");
     out.plan.validate(&query).unwrap();
 
@@ -32,12 +48,29 @@ fn check(topo: Topology, n: usize, seed: u64, precision: Precision, model: CostM
     // a little slack for the sub-θ0 floor of the threshold window and a
     // slack floor for near-zero optima.
     let factor = precision.tolerance_factor();
-    let limit = (dp.cost * factor * 1.5).max(dp.cost + 1e4);
+    let limit = (optimal * factor * 1.5).max(optimal + 1e4);
     assert!(
-        out.true_cost <= limit,
+        out.cost <= limit,
         "{topo:?} n={n} seed={seed} {model:?}: MILP {:.4e} vs DP {:.4e} (limit {:.4e})",
-        out.true_cost,
-        dp.cost,
+        out.cost,
+        optimal,
+        limit
+    );
+
+    // The hybrid must stay within the same guarantee and is additionally
+    // capped by its greedy seed.
+    let hybrid = HybridOptimizer::new(config.clone())
+        .order(&catalog, &query, &options())
+        .unwrap();
+    hybrid.plan.validate(&query).unwrap();
+    let greedy = GreedyOptimizer::new(model)
+        .order(&catalog, &query, &options())
+        .unwrap();
+    assert!(
+        hybrid.cost <= greedy.cost + 1e-9 && hybrid.cost <= limit,
+        "{topo:?} n={n} seed={seed} {model:?}: hybrid {:.4e} vs greedy {:.4e} / limit {:.4e}",
+        hybrid.cost,
+        greedy.cost,
         limit
     );
 }
@@ -63,8 +96,20 @@ fn cout_medium_precision() {
 #[test]
 fn hash_cost_model_agreement() {
     for seed in 0..2u64 {
-        check(Topology::Star, 4, seed, Precision::High, CostModelKind::Hash);
-        check(Topology::Chain, 4, seed, Precision::High, CostModelKind::Hash);
+        check(
+            Topology::Star,
+            4,
+            seed,
+            Precision::High,
+            CostModelKind::Hash,
+        );
+        check(
+            Topology::Chain,
+            4,
+            seed,
+            Precision::High,
+            CostModelKind::Hash,
+        );
     }
 }
 
@@ -78,4 +123,57 @@ fn sort_merge_and_bnl_models_run() {
 #[test]
 fn six_table_star_near_optimal() {
     check(Topology::Star, 6, 5, Precision::High, CostModelKind::Cout);
+}
+
+/// A query whose tables are unknown to the catalog is an error — never a
+/// panic — from every backend behind the trait.
+#[test]
+fn invalid_query_rejected_by_every_backend() {
+    let catalog = Catalog::new(); // empty: nothing the query names exists
+    let mut other = Catalog::new();
+    let r = other.add_table("R", 10.0);
+    let s = other.add_table("S", 20.0);
+    let query = Query::new(vec![r, s]);
+    let backends: Vec<Box<dyn JoinOrderer>> = vec![
+        Box::new(GreedyOptimizer::default()),
+        Box::new(DpOptimizer::default()),
+        Box::new(MilpOptimizer::with_defaults()),
+        Box::new(HybridOptimizer::with_defaults()),
+    ];
+    for b in &backends {
+        let err = b.order(&catalog, &query, &options()).unwrap_err();
+        assert!(
+            matches!(err, milpjoin::OrderingError::InvalidQuery(_)),
+            "{}: expected InvalidQuery, got {err:?}",
+            b.name()
+        );
+    }
+}
+
+/// Every backend behind the same trait object produces a valid plan, and
+/// their exact costs are ordered the way theory demands:
+/// DP <= hybrid <= greedy.
+#[test]
+fn all_backends_through_one_trait() {
+    let (catalog, query) = workload(Topology::Cycle, 5, 7);
+    let backends: Vec<Box<dyn JoinOrderer>> = vec![
+        Box::new(GreedyOptimizer::default()),
+        Box::new(DpOptimizer::default()),
+        Box::new(MilpOptimizer::new(
+            EncoderConfig::default().precision(Precision::High),
+        )),
+        Box::new(HybridOptimizer::new(
+            EncoderConfig::default().precision(Precision::High),
+        )),
+    ];
+    let mut costs = std::collections::HashMap::new();
+    for b in &backends {
+        let out = b.order(&catalog, &query, &options()).unwrap();
+        out.plan.validate(&query).unwrap();
+        assert!(out.cost.is_finite() && out.cost >= 0.0);
+        assert!(out.elapsed <= Duration::from_secs(31));
+        costs.insert(b.name(), out.cost);
+    }
+    assert!(costs["dp"] <= costs["hybrid"] + 1e-9);
+    assert!(costs["hybrid"] <= costs["greedy"] + 1e-9);
 }

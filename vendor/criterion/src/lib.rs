@@ -1,0 +1,222 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The workspace container cannot fetch the real criterion, so this stub
+//! implements the API surface the benches use (`criterion_group!`,
+//! `criterion_main!`, `Criterion::benchmark_group`, `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`) with a deliberately simple measurement
+//! loop: warm up once, time `sample_size` runs, report min/median/max to
+//! stdout. One machine-parseable line per benchmark is emitted in the form
+//!
+//! ```text
+//! BENCH_RESULT group=<g> id=<id> samples=<k> min_ns=<..> median_ns=<..> max_ns=<..>
+//! ```
+//!
+//! so harnesses (e.g. the `BENCH_0001.json` baseline recorder) can scrape
+//! results without depending on criterion's JSON layout.
+//!
+//! Environment knobs: `BENCH_SAMPLE_SIZE` overrides every group's sample
+//! count (useful for smoke runs).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier: a function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            param: param.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.param)
+    }
+}
+
+/// Passed to the measurement closure; `iter` runs and times the payload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // One untimed warmup to populate caches / lazy statics.
+        std::hint::black_box(f());
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let sample_size = self.effective_sample_size();
+        let mut b = Bencher {
+            samples: Vec::with_capacity(sample_size),
+            sample_size,
+        };
+        routine(&mut b, input);
+        self.report(&id.to_string(), &b.samples);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.effective_sample_size();
+        let mut b = Bencher {
+            samples: Vec::with_capacity(sample_size),
+            sample_size,
+        };
+        routine(&mut b);
+        let name = name.into();
+        self.report(&name, &b.samples);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn effective_sample_size(&self) -> usize {
+        std::env::var("BENCH_SAMPLE_SIZE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(self.sample_size)
+            .max(1)
+    }
+
+    fn report(&mut self, id: &str, samples: &[Duration]) {
+        if samples.is_empty() {
+            return;
+        }
+        let mut ns: Vec<u128> = samples.iter().map(|d| d.as_nanos()).collect();
+        ns.sort_unstable();
+        let (min, max) = (ns[0], ns[ns.len() - 1]);
+        let median = if ns.len() % 2 == 1 {
+            ns[ns.len() / 2]
+        } else {
+            (ns[ns.len() / 2 - 1] + ns[ns.len() / 2]) / 2
+        };
+        println!(
+            "{}/{:<40} time: [min {:>12} median {:>12} max {:>12}]",
+            self.name,
+            id,
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(max)
+        );
+        println!(
+            "BENCH_RESULT group={} id={} samples={} min_ns={} median_ns={} max_ns={}",
+            self.name,
+            id,
+            ns.len(),
+            min,
+            median,
+            max
+        );
+        self.criterion.results += 1;
+    }
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: u64,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    pub fn final_summary(&self) {
+        println!("(criterion stub: {} benchmark(s) measured)", self.results);
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("demo");
+            g.sample_size(3);
+            g.bench_with_input(BenchmarkId::new("square", 4), &4u64, |b, &n| {
+                b.iter(|| n * n)
+            });
+            g.finish();
+        }
+        assert_eq!(c.results, 1);
+    }
+}

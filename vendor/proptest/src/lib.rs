@@ -1,0 +1,342 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest this workspace's property tests rely
+//! on: `Strategy` with `prop_map` / `prop_flat_map`, range and tuple
+//! strategies, `prop::collection::vec`, `any::<bool>()`, the `proptest!`
+//! macro with `#![proptest_config(...)]`, and `prop_assert!` /
+//! `prop_assert_eq!`. Differences from upstream: no shrinking (a failing
+//! case panics with its debug representation instead of a minimized one),
+//! and value streams are deterministic per test name rather than driven by
+//! a persisted failure file.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of random values (non-shrinking).
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(usize, u32, u64, i32, i64, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, G);
+
+    /// Strategy for `any::<T>()`.
+    pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+    impl Strategy for AnyStrategy<bool> {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.random_bool()
+        }
+    }
+
+    /// Uniform draw over a type's natural domain (stub: `bool` only, extend
+    /// as tests need it).
+    pub fn any<T>() -> AnyStrategy<T> {
+        AnyStrategy(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count specification for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.size.lo == self.size.hi {
+                self.size.lo
+            } else {
+                rng.random_range(self.size.lo..=self.size.hi)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vector of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Stable seed from a test name (FNV-1a) so each test gets its own
+    /// deterministic stream.
+    pub fn seed_from_name(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+// The `proptest!` macro expands in downstream crates that do not depend on
+// `rand` themselves; route the RNG through this re-export.
+#[doc(hidden)]
+pub use rand as __rand;
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespace mirror of upstream's `prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// The test-definition macro. Supports the upstream surface used here:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn property(x in 0usize..10, ...) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with ($cfg) $($rest)*);
+    };
+    (@with ($cfg:expr) $($(#[$attr:meta])* fn $name:ident($pat:pat in $strat:expr) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                use $crate::strategy::Strategy as _;
+                let config: $crate::test_runner::Config = $cfg;
+                let strat = $strat;
+                let mut rng =
+                    <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                        $crate::test_runner::seed_from_name(stringify!($name)),
+                    );
+                for _case in 0..config.cases {
+                    let value = strat.generate(&mut rng);
+                    // Keep a debug rendering so a failure names its input
+                    // (no shrinking in this stub).
+                    let rendered = format!("{:?}", value);
+                    let run = std::panic::AssertUnwindSafe(|| {
+                        let $pat = value;
+                        $body
+                    });
+                    if let Err(panic) = std::panic::catch_unwind(run) {
+                        eprintln!(
+                            "proptest case {}/{} failed for input: {}",
+                            _case + 1,
+                            config.cases,
+                            rendered
+                        );
+                        std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Assertion macros: identical to `assert!`-family here (no shrinking, so a
+/// panic is the right failure mode).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn tuples_and_vecs((n, xs) in (1usize..4, prop::collection::vec(0i32..=3, 5))) {
+            prop_assert!((1..4).contains(&n));
+            prop_assert_eq!(xs.len(), 5);
+            prop_assert!(xs.iter().all(|&x| (0..=3).contains(&x)));
+        }
+
+        #[test]
+        fn flat_map_chains(v in (2usize..=5).prop_flat_map(|n| prop::collection::vec(0.0f64..1.0, n))) {
+            prop_assert!(v.len() >= 2 && v.len() <= 5);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(b in any::<bool>()) {
+            prop_assert_eq!(b as u8 <= 1, true);
+        }
+    }
+}

@@ -7,7 +7,7 @@
 //! violated tolerance) is reported, never silently accepted.
 
 use milpjoin_milp::Solution;
-use milpjoin_qopt::{JoinOp, LeftDeepPlan, Query, TableSet};
+use milpjoin_qopt::{eager_evaluation_joins, JoinOp, LeftDeepPlan, Query};
 
 use crate::encode::Encoding;
 
@@ -25,45 +25,32 @@ pub struct DecodedPlan {
 impl DecodedPlan {
     /// Decoded view of a plan that did not come from a MILP solution
     /// (heuristic seeds, fallbacks): every multi-table predicate is
-    /// scheduled at its earliest applicable join, matching the implicit
+    /// scheduled at its earliest applicable join — the shared eager
+    /// schedule of [`eager_evaluation_joins`], matching the implicit
     /// schedule [`decode`] produces when explicit scheduling is off.
     pub fn for_plan(query: &Query, plan: LeftDeepPlan) -> Self {
-        let jn = plan.num_joins();
+        let eval_joins = eager_evaluation_joins(query, &plan);
         let predicate_schedule = query
             .predicates
             .iter()
-            .map(|p| {
+            .zip(eval_joins)
+            .map(|(p, eval)| {
                 if p.tables.len() < 2 {
+                    // Unary predicates are evaluated at scan time.
                     return None;
                 }
-                let mask = TableSet::from_positions(
-                    p.tables
-                        .iter()
-                        .map(|&t| query.table_position(t).expect("validated plan")),
-                );
-                let first = (0..jn).find(|&j| mask.is_subset_of(plan.prefix_set(query, j)));
-                Some(evaluation_join(first, jn))
+                // Two distinct tables cannot both be the plan's first, so
+                // `eval` is Some for any well-formed multi-table predicate;
+                // a degenerate predicate listing one table twice (which
+                // validation does not reject) falls back to join 0, the
+                // earliest schedulable join.
+                Some(eval.unwrap_or(0))
             })
             .collect();
         DecodedPlan {
             plan,
             predicate_schedule,
         }
-    }
-}
-
-/// The one place the schedule convention lives: `pao[j]` marks a predicate
-/// applicable on the *outer operand* of join `j` (the first `j + 1` tables),
-/// so the first such join means the predicate was evaluated during join
-/// `j - 1` — the join that completed that prefix. A predicate never
-/// applicable on any outer operand involves the last table and is evaluated
-/// during the final join. Used by [`decode`]'s implicit branch,
-/// [`DecodedPlan::for_plan`], and mirrored by the warm-start hints.
-fn evaluation_join(first_applicable_outer: Option<usize>, num_joins: usize) -> usize {
-    match first_applicable_outer {
-        Some(0) => 0, // cannot happen for >= 2-table predicates, but stay safe
-        Some(j) => j - 1,
-        None => num_joins.saturating_sub(1),
     }
 }
 
@@ -159,7 +146,11 @@ pub fn decode(
     plan.validate(query)
         .map_err(|_| DecodeError::NotAPermutation)?;
 
-    // Predicate schedule.
+    // Predicate schedule. Without explicit scheduling, predicates are
+    // applied eagerly — the shared schedule derived from the decoded plan
+    // itself (`eager_evaluation_joins`), which the encoding's `pao`
+    // applicability constraints mirror.
+    let eager = eager_evaluation_joins(query, &plan);
     let mut schedule = Vec::with_capacity(query.predicates.len());
     for (qi, _) in query.predicates.iter().enumerate() {
         let Some(e) = encoding.vars.pred_index[qi] else {
@@ -171,9 +162,10 @@ pub fn decode(
             let at = (0..jn).find(|&j| solution.is_one(encoding.vars.pco[e][j]));
             schedule.push(at);
         } else {
-            // Implicit schedule: see `evaluation_join` for the convention.
-            let first_pao = (0..jn).find(|&j| solution.is_one(encoding.vars.pao[e][j]));
-            schedule.push(Some(evaluation_join(first_pao, jn)));
+            // `None` only for a degenerate repeated-table predicate whose
+            // single table leads the plan: schedule it at join 0 (see
+            // `DecodedPlan::for_plan`).
+            schedule.push(Some(eager[qi].unwrap_or(0)));
         }
     }
 
@@ -186,4 +178,31 @@ pub fn decode(
 /// Like a [`JoinOp`] list, but also usable when operator selection was off.
 pub fn effective_operator(decoded: &DecodedPlan, j: usize) -> JoinOp {
     decoded.plan.operator(j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milpjoin_qopt::{Catalog, Predicate, Query};
+
+    /// A predicate listing one table twice passes validation (only
+    /// membership is checked) and must not panic the heuristic-plan
+    /// decoder when that table leads the plan.
+    #[test]
+    fn for_plan_handles_repeated_table_predicates() {
+        let mut c = Catalog::new();
+        let r = c.add_table("R", 10.0);
+        let s = c.add_table("S", 20.0);
+        let mut q = Query::new(vec![r, s]);
+        q.add_predicate(Predicate {
+            name: "degenerate".into(),
+            tables: vec![r, r],
+            selectivity: 0.5,
+            eval_cost_per_tuple: 0.0,
+            columns: vec![],
+        });
+        q.validate(&c).unwrap();
+        let d = DecodedPlan::for_plan(&q, LeftDeepPlan::from_order(vec![r, s]));
+        assert_eq!(d.predicate_schedule, vec![Some(0)]);
+    }
 }

@@ -190,29 +190,26 @@ pub fn warm_start_assignment(
     // Predicate applicability: as early as the operand allows (predicates
     // only reduce cost in the base model, and under scheduling this is the
     // monotone schedule with every predicate evaluated at first
-    // opportunity).
-    let pred_positions: Vec<Option<TableSet>> = query
-        .predicates
-        .iter()
-        .enumerate()
-        .map(|(qi, p)| {
-            vars.pred_index[qi].map(|_| {
-                TableSet::from_positions(
-                    p.tables
-                        .iter()
-                        .map(|&t| query.table_position(t).expect("validated")),
-                )
-            })
-        })
-        .collect();
+    // opportunity). The shared eager schedule
+    // (`milpjoin_qopt::eager_evaluation_joins`) gives the join during
+    // which each predicate is evaluated; the outer operand of every
+    // *later* join then covers the predicate, so `pao[e][j] = 1` exactly
+    // for `j > eval_join` — the same convention the decoder and the exact
+    // cost model derive from.
+    let eval_joins = milpjoin_qopt::eager_evaluation_joins(query, plan);
     let mut pao_values: Vec<Vec<f64>> = vec![vec![0.0; jn]; vars.pao.len()];
-    for (qi, mask) in pred_positions.iter().enumerate() {
-        let (Some(e), Some(mask)) = (vars.pred_index[qi], mask) else {
+    for qi in 0..query.predicates.len() {
+        let Some(e) = vars.pred_index[qi] else {
             continue;
         };
+        // Encoded predicates span >= 2 tables, so an evaluation join
+        // always exists; `None` (applicable at scan) would mean pao = 1
+        // everywhere.
+        let first_applicable = eval_joins[qi].map_or(0, |eval| eval + 1);
+        for j in first_applicable..jn {
+            pao_values[e][j] = 1.0;
+        }
         for j in 0..jn {
-            let applicable = mask.is_subset_of(outer_sets[j]);
-            pao_values[e][j] = if applicable { 1.0 } else { 0.0 };
             hints.push((vars.pao[e][j], pao_values[e][j]));
         }
     }

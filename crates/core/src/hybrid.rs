@@ -13,11 +13,21 @@
 //! The hybrid additionally keeps the greedy plan as a safety net: when the
 //! decoded MILP plan is worse than the greedy one under the *exact* cost
 //! model (possible when the threshold window collapses costs below its
-//! floor into ties), the greedy plan is returned instead.
+//! floor into ties), the greedy plan is returned instead. And when the
+//! warm-started MILP produces *no* plan at all (`NoPlanFound` — possible
+//! only when the solver rejects the warm start, e.g. numerically, and then
+//! exhausts its budget), the [`JoinOrderer::order`] surface falls back to
+//! a greedy-only outcome instead of propagating the error: honest
+//! `bound: None`, `proven_optimal: false`, exactly like the greedy
+//! backend. A caller with a feasible seed never sees `NoPlanFound`.
+
+use std::time::Instant;
 
 use milpjoin_dp::{greedy_order, DpOptions};
-use milpjoin_qopt::cost::plan_cost;
-use milpjoin_qopt::orderer::{JoinOrderer, OrderingError, OrderingOptions, OrderingOutcome};
+use milpjoin_qopt::cost::{plan_cost, CostModelKind, CostParams};
+use milpjoin_qopt::orderer::{
+    CostTrace, CostTracePoint, JoinOrderer, OrderingError, OrderingOptions, OrderingOutcome,
+};
 use milpjoin_qopt::{Catalog, LeftDeepPlan, Query};
 
 use crate::config::EncoderConfig;
@@ -81,39 +91,61 @@ impl HybridOptimizer {
     /// Caveat when the safety net fires (the seed beats the decoded MILP
     /// plan under the exact cost model): `plan` / `decoded` / `true_cost`
     /// describe the seed, while `status`, `milp_objective`, `milp_bound`
-    /// and the `trace` keep describing the MILP *search* — a valid record
-    /// of what was proven in MILP space, but not a certificate for the
-    /// returned plan. The [`JoinOrderer::order`] projection reports that
-    /// case with `bound: None` and `proven_optimal: false`.
+    /// and the MILP-space `trace` keep describing the MILP *search* — a
+    /// valid record of what was proven in MILP space, but not a
+    /// certificate for the returned plan. The [`JoinOrderer::order`]
+    /// projection reports that case with `proven_optimal: false` but
+    /// *keeps* the cost-space `bound`: the projected bound holds for every
+    /// plan, the seed included, so `guaranteed_factor` stays valid.
+    ///
+    /// This native surface also propagates [`OptimizeError::NoPlanFound`]
+    /// unchanged (an [`OptimizeOutcome`] cannot describe a greedy-only
+    /// result); the [`JoinOrderer::order`] surface falls back to the seed
+    /// instead.
     pub fn optimize(
         &self,
         catalog: &Catalog,
         query: &Query,
         options: &OptimizeOptions,
     ) -> Result<OptimizeOutcome, OptimizeError> {
-        Ok(self.optimize_tracked(catalog, query, options)?.0)
+        let seed = self.resolve_seed(catalog, query, options)?;
+        Ok(self.optimize_tracked(catalog, query, options, seed)?.0)
+    }
+
+    /// Validates the query and resolves the warm-start seed: any
+    /// `initial_plan` already present in `options` takes precedence over
+    /// the greedy construction (callers may have a better incumbent, e.g.
+    /// a cached plan for a similar query). Validation must come first: the
+    /// greedy construction (and the warm-start hint builder) index the
+    /// catalog directly and would panic on a query the MILP path rejects
+    /// with a proper error.
+    fn resolve_seed(
+        &self,
+        catalog: &Catalog,
+        query: &Query,
+        options: &OptimizeOptions,
+    ) -> Result<LeftDeepPlan, OptimizeError> {
+        query
+            .validate(catalog)
+            .map_err(|e| OptimizeError::Encode(crate::encode::EncodeError::Query(e)))?;
+        Ok(match &options.initial_plan {
+            Some(plan) => plan.clone(),
+            None => self.seed_plan(catalog, query),
+        })
     }
 
     /// Like [`Self::optimize`], additionally reporting whether the seed
     /// plan replaced the decoded MILP plan (`true` when the safety net
     /// fired, meaning the MILP certificate does not describe the returned
-    /// plan).
+    /// plan). The query must already be validated and `seed` resolved
+    /// ([`Self::resolve_seed`]).
     fn optimize_tracked(
         &self,
         catalog: &Catalog,
         query: &Query,
         options: &OptimizeOptions,
+        seed: LeftDeepPlan,
     ) -> Result<(OptimizeOutcome, bool), OptimizeError> {
-        // Validate before seeding: the greedy construction (and the
-        // warm-start hint builder) index the catalog directly and would
-        // panic on a query the MILP path rejects with a proper error.
-        query
-            .validate(catalog)
-            .map_err(|e| OptimizeError::Encode(crate::encode::EncodeError::Query(e)))?;
-        let seed = match &options.initial_plan {
-            Some(plan) => plan.clone(),
-            None => self.seed_plan(catalog, query),
-        };
         let milp_options = OptimizeOptions {
             initial_plan: Some(seed.clone()),
             ..options.clone()
@@ -148,9 +180,48 @@ impl HybridOptimizer {
     }
 }
 
+impl HybridOptimizer {
+    /// The greedy-only outcome returned when the warm-started MILP finds
+    /// no plan at all: the seed with honest guarantee-free certificates,
+    /// exactly what the greedy backend would report. The trace point is
+    /// stamped at `seed_elapsed` — the moment the seed existed — not at
+    /// the end of the exhausted MILP budget, so anytime consumers see the
+    /// incumbent from t ≈ 0 as the warm-start story promises.
+    fn greedy_fallback_outcome(
+        &self,
+        catalog: &Catalog,
+        query: &Query,
+        seed: LeftDeepPlan,
+        seed_elapsed: std::time::Duration,
+        elapsed: std::time::Duration,
+    ) -> OrderingOutcome {
+        let seed_cost = plan_cost(
+            catalog,
+            query,
+            &seed,
+            self.config.cost_model,
+            &self.config.cost_params,
+        )
+        .total;
+        OrderingOutcome {
+            plan: seed,
+            cost: seed_cost,
+            objective: seed_cost,
+            bound: None,
+            proven_optimal: false,
+            trace: CostTrace::single(seed_elapsed.min(elapsed), seed_cost, None),
+            elapsed,
+        }
+    }
+}
+
 impl JoinOrderer for HybridOptimizer {
     fn name(&self) -> &'static str {
         "hybrid"
+    }
+
+    fn cost_model(&self) -> (CostModelKind, CostParams) {
+        (self.config.cost_model, self.config.cost_params)
     }
 
     fn order(
@@ -159,20 +230,46 @@ impl JoinOrderer for HybridOptimizer {
         query: &Query,
         options: &OrderingOptions,
     ) -> Result<OrderingOutcome, OrderingError> {
-        let (outcome, swapped) = self
-            .optimize_tracked(catalog, query, &OptimizeOptions::from_ordering(options))
+        // Resolve the seed here so it survives a MILP failure (the
+        // greedy-only fallback below needs it).
+        let start = Instant::now();
+        let opt_options = OptimizeOptions::from_ordering(options);
+        let seed = self
+            .resolve_seed(catalog, query, &opt_options)
             .map_err(|e| crate::optimizer::ordering_error(e, options))?;
-        let mut ordering = outcome.into_ordering_outcome();
-        if swapped {
-            // The MILP certificate belongs to the discarded plan: report
-            // the seed like the greedy backend would — exact cost as the
-            // objective, nothing proven. The trace still records the MILP
-            // search history (see `HybridOptimizer::optimize`).
-            ordering.objective = ordering.cost;
-            ordering.bound = None;
-            ordering.proven_optimal = false;
+        let seed_elapsed = start.elapsed();
+        match self.optimize_tracked(catalog, query, &opt_options, seed.clone()) {
+            Ok((outcome, swapped)) => {
+                let mut ordering = outcome.into_ordering_outcome();
+                if swapped {
+                    // The MILP-space certificate belongs to the discarded
+                    // plan: report the seed like the greedy backend would —
+                    // exact cost as the objective, nothing proven about
+                    // *this plan's* optimality. The cost-space bound is
+                    // global (it holds for every plan, the seed included)
+                    // and is kept; a final trace point makes the trace tail
+                    // describe the plan actually returned.
+                    ordering.objective = ordering.cost;
+                    ordering.proven_optimal = false;
+                    ordering.trace.push(CostTracePoint {
+                        elapsed: ordering.elapsed,
+                        incumbent: Some(ordering.cost),
+                        bound: ordering.bound,
+                    });
+                }
+                Ok(ordering)
+            }
+            // Deferred fallback (see the module docs): a feasible seed
+            // exists, so "no plan" must never propagate to the caller.
+            Err(OptimizeError::NoPlanFound { .. }) => Ok(self.greedy_fallback_outcome(
+                catalog,
+                query,
+                seed,
+                seed_elapsed,
+                start.elapsed(),
+            )),
+            Err(e) => Err(crate::optimizer::ordering_error(e, options)),
         }
-        Ok(ordering)
     }
 }
 
@@ -225,6 +322,33 @@ mod tests {
             .unwrap();
         assert_eq!(out.plan.order, vec![r]);
         assert_eq!(out.true_cost, 0.0);
+    }
+
+    #[test]
+    fn greedy_fallback_outcome_is_honest() {
+        use std::time::Duration;
+        let (c, q) = example();
+        let hybrid = HybridOptimizer::with_defaults();
+        let seed = hybrid.seed_plan(&c, &q);
+        let out = hybrid.greedy_fallback_outcome(
+            &c,
+            &q,
+            seed.clone(),
+            Duration::from_micros(50),
+            Duration::from_secs(10),
+        );
+        assert_eq!(out.plan, seed);
+        assert!(out.bound.is_none());
+        assert!(!out.proven_optimal);
+        assert!(out.guaranteed_factor().is_none());
+        assert_eq!(out.elapsed, Duration::from_secs(10));
+        let points = out.trace.points();
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].incumbent, Some(out.cost));
+        assert_eq!(points[0].bound, None);
+        // The incumbent is stamped when the seed existed, not at the end
+        // of the exhausted MILP budget.
+        assert_eq!(points[0].elapsed, Duration::from_micros(50));
     }
 
     #[test]

@@ -58,15 +58,20 @@ pub use decode::{decode, DecodeError, DecodedPlan};
 pub use encode::{encode, warm_start_assignment, EncodeError, Encoding, EncodingVars, PhysOp};
 pub use hybrid::HybridOptimizer;
 pub use optimizer::{
-    AnytimeTrace, MilpOptimizer, OptimizeError, OptimizeOptions, OptimizeOutcome, TracePoint,
-    MIN_RELATIVE_GAP,
+    cost_space_bound, AnytimeTrace, MilpOptimizer, OptimizeError, OptimizeOptions, OptimizeOutcome,
+    TracePoint, MIN_RELATIVE_GAP,
 };
 pub use stats::{ConstrCategory, FormulationStats, VarCategory};
 pub use thresholds::{ApproxMode, Precision, ThresholdGrid};
 
-// Backend-agnostic ordering interface (defined in `milpjoin_qopt`),
-// re-exported so downstream users need only one dependency.
-pub use milpjoin_qopt::orderer::{JoinOrderer, OrderingError, OrderingOptions, OrderingOutcome};
+// Backend-agnostic ordering interface and the session service layer
+// (defined in `milpjoin_qopt`), re-exported so downstream users need only
+// one dependency.
+pub use milpjoin_qopt::orderer::{
+    CostTrace, CostTracePoint, JoinOrderer, OrderingError, OrderingOptions, OrderingOutcome,
+};
+pub use milpjoin_qopt::session::{PlanSession, SessionOutcome, SessionStats};
+pub use milpjoin_qopt::{Fingerprint, FingerprintOptions, FingerprintedQuery};
 
 // Re-export the substrate crates so downstream users need only one
 // dependency.

@@ -2,27 +2,69 @@
 //!
 //! [`MilpOptimizer::optimize`] runs the full pipeline of the paper: the
 //! query is transformed into a MILP, handed to the branch-and-bound solver,
-//! and every incumbent / bound improvement is recorded into an
-//! [`AnytimeTrace`] — the data behind the paper's Figure 2, where
-//! algorithms are compared by the *guaranteed optimality factor*
-//! (incumbent cost / lower bound) they can prove at each point in time.
+//! and every incumbent / bound improvement is recorded — the data behind
+//! the paper's Figure 2, where algorithms are compared by the *guaranteed
+//! optimality factor* (incumbent cost / lower bound) they can prove at
+//! each point in time.
+//!
+//! Two traces are kept per solve:
+//!
+//! * the MILP-native [`AnytimeTrace`] (`trace`): incumbents and dual
+//!   bounds in the MILP's approximate objective space — the raw search
+//!   record;
+//! * the cost-space [`CostTrace`] (`cost_trace`): each MILP incumbent is
+//!   **decoded once at trace-point creation** and projected through
+//!   `plan_cost` (projections cached per decoded plan), and the dual bound
+//!   is projected by [`cost_space_bound`], so incumbents are *exact* plan
+//!   costs and `guaranteed_factor_at` means the same thing as for the DP
+//!   and greedy backends.
 
 use std::time::Duration;
 
 use milpjoin_milp::branch_bound::SolverEvent;
 use milpjoin_milp::{SolveStatus, Solver, SolverOptions};
 use milpjoin_qopt::cost::plan_cost;
-use milpjoin_qopt::orderer::{JoinOrderer, OrderingError, OrderingOptions, OrderingOutcome};
-use milpjoin_qopt::{Catalog, LeftDeepPlan, Query};
+use milpjoin_qopt::orderer::{
+    CostTrace, CostTracePoint, JoinOrderer, OrderingError, OrderingOptions, OrderingOutcome,
+};
+use milpjoin_qopt::{Catalog, CostModelKind, CostParams, LeftDeepPlan, Query};
 
 use crate::config::EncoderConfig;
 use crate::decode::{decode, DecodedPlan};
 use crate::encode::{encode, warm_start_assignment, EncodeError, Encoding};
 use crate::stats::FormulationStats;
+use crate::thresholds::ApproxMode;
 
 // The anytime trace is backend-agnostic and lives with the `JoinOrderer`
 // trait; re-exported here for source compatibility.
 pub use milpjoin_qopt::orderer::{AnytimeTrace, TracePoint};
+
+/// Projects a MILP-space dual bound into exact-cost space.
+///
+/// Under the default [`ApproxMode::LowerBound`], every approximate
+/// cardinality under-estimates the true one (thresholds snap down, the
+/// window floor is zero, saturation caps at the top threshold) and every
+/// cost formula is monotone in those cardinalities, so the MILP objective
+/// of *any* plan under-estimates its exact cost — a MILP dual bound is
+/// already a valid cost-space lower bound for every plan.
+///
+/// Under [`ApproxMode::UpperBound`] no cost-space bound is claimed
+/// (`None`). The tempting projection `bound / tolerance_factor` is only
+/// valid inside the threshold window: operands *below* the window floor
+/// approximate to θ_0 — an over-estimate with no bounded factor — so a
+/// query whose optimum lives below the floor could be handed a "lower
+/// bound" above its true optimal cost, i.e. a false certificate. A valid
+/// projection would need per-query window-floor accounting (see
+/// ROADMAP.md).
+pub fn cost_space_bound(config: &EncoderConfig, milp_bound: f64) -> Option<f64> {
+    if !milp_bound.is_finite() {
+        return None;
+    }
+    match config.approx_mode {
+        ApproxMode::LowerBound => Some(milp_bound),
+        ApproxMode::UpperBound => None,
+    }
+}
 
 /// Everything the optimizer returns for one query.
 #[derive(Debug, Clone)]
@@ -37,9 +79,17 @@ pub struct OptimizeOutcome {
     pub milp_objective: f64,
     /// Final lower bound in the MILP's cost space.
     pub milp_bound: f64,
+    /// [`cost_space_bound`] projection of `milp_bound`: a lower bound, in
+    /// exact cost space, on the cost of *every* plan. `None` when the
+    /// search proved nothing.
+    pub cost_bound: Option<f64>,
     /// Exact cost of the decoded plan under the configured cost model.
     pub true_cost: f64,
+    /// MILP-space search record.
     pub trace: AnytimeTrace,
+    /// Cost-space trace: exact costs of the decoded incumbents plus the
+    /// projected bound (see the module docs).
+    pub cost_trace: CostTrace,
     pub stats: FormulationStats,
     pub nodes: u64,
     pub simplex_iterations: u64,
@@ -203,8 +253,10 @@ impl MilpOptimizer {
                 status: SolveStatus::Optimal,
                 milp_objective: 0.0,
                 milp_bound: 0.0,
+                cost_bound: Some(0.0),
                 true_cost: 0.0,
                 trace: AnytimeTrace::default(),
+                cost_trace: CostTrace::default(),
                 stats: FormulationStats::default(),
                 nodes: 0,
                 simplex_iterations: 0,
@@ -235,7 +287,14 @@ impl MilpOptimizer {
         };
 
         let mut trace = AnytimeTrace::default();
+        let mut cost_trace = CostTrace::default();
+        // Exact-cost projections of decoded incumbents, keyed by the
+        // decoded plan: each incumbent is decoded once, and a re-visited
+        // plan (e.g. two MILP solutions differing only in threshold
+        // variables) reuses its cached projection.
+        let mut projections: Vec<(LeftDeepPlan, f64)> = Vec::new();
         let mut last_incumbent: Option<f64> = None;
+        let mut last_exact: Option<f64> = None;
         let mut last_bound = f64::NEG_INFINITY;
         let result = Solver::new(solver_options)
             .solve_with_callback(&encoding.model, |ev| match ev {
@@ -247,6 +306,33 @@ impl MilpOptimizer {
                         incumbent: last_incumbent,
                         bound: last_bound,
                     });
+                    // Cost-space projection: decode the incumbent and cost
+                    // it exactly. A decode failure is a solver-bug surface;
+                    // the final decode after the solve reports it loudly,
+                    // so here the point is simply skipped.
+                    if let Ok(d) = decode(&encoding, query, &inc.solution) {
+                        let exact = match projections.iter().find(|(p, _)| *p == d.plan) {
+                            Some(&(_, c)) => c,
+                            None => {
+                                let c = plan_cost(
+                                    catalog,
+                                    query,
+                                    &d.plan,
+                                    self.config.cost_model,
+                                    &self.config.cost_params,
+                                )
+                                .total;
+                                projections.push((d.plan, c));
+                                c
+                            }
+                        };
+                        last_exact = Some(exact);
+                        cost_trace.push(CostTracePoint {
+                            elapsed: inc.elapsed,
+                            incumbent: last_exact,
+                            bound: cost_space_bound(&self.config, last_bound),
+                        });
+                    }
                 }
                 SolverEvent::BoundImproved { elapsed, bound, .. } => {
                     last_bound = last_bound.max(*bound);
@@ -254,6 +340,11 @@ impl MilpOptimizer {
                         elapsed: *elapsed,
                         incumbent: last_incumbent,
                         bound: last_bound,
+                    });
+                    cost_trace.push(CostTracePoint {
+                        elapsed: *elapsed,
+                        incumbent: last_exact,
+                        bound: cost_space_bound(&self.config, last_bound),
                     });
                 }
             })
@@ -270,14 +361,21 @@ impl MilpOptimizer {
         let solution = result.solution.as_ref().expect("has_solution checked");
         let decoded = decode(&encoding, query, solution)
             .map_err(|e| OptimizeError::Solver(format!("decode failed: {e}")))?;
-        let true_cost = plan_cost(
-            catalog,
-            query,
-            &decoded.plan,
-            self.config.cost_model,
-            &self.config.cost_params,
-        )
-        .total;
+        // The final solution is the last incumbent: reuse its cached
+        // projection instead of re-costing.
+        let true_cost = match projections.iter().find(|(p, _)| *p == decoded.plan) {
+            Some(&(_, c)) => c,
+            None => {
+                plan_cost(
+                    catalog,
+                    query,
+                    &decoded.plan,
+                    self.config.cost_model,
+                    &self.config.cost_params,
+                )
+                .total
+            }
+        };
 
         Ok(OptimizeOutcome {
             plan: decoded.plan.clone(),
@@ -285,8 +383,10 @@ impl MilpOptimizer {
             status: result.status,
             milp_objective: result.objective.expect("has solution"),
             milp_bound: result.bound,
+            cost_bound: cost_space_bound(&self.config, result.bound),
             true_cost,
             trace,
+            cost_trace,
             stats: encoding.stats,
             nodes: result.nodes,
             simplex_iterations: result.simplex_iterations,
@@ -296,17 +396,18 @@ impl MilpOptimizer {
 }
 
 impl OptimizeOutcome {
-    /// Projects the MILP-specific outcome onto the backend-agnostic shape.
+    /// Projects the MILP-specific outcome onto the backend-agnostic shape:
+    /// exact cost, cost-space bound ([`cost_space_bound`]; a -inf MILP
+    /// bound means the search proved nothing and projects to `None`), and
+    /// the cost-space trace.
     pub fn into_ordering_outcome(self) -> OrderingOutcome {
         OrderingOutcome {
             plan: self.plan,
             cost: self.true_cost,
             objective: self.milp_objective,
-            // A -inf bound means the search proved nothing (e.g. stopped
-            // before the root LP finished); the contract spells that None.
-            bound: self.milp_bound.is_finite().then_some(self.milp_bound),
+            bound: self.cost_bound,
             proven_optimal: self.status == SolveStatus::Optimal,
-            trace: self.trace,
+            trace: self.cost_trace,
             elapsed: self.solve_time,
         }
     }
@@ -348,6 +449,10 @@ pub(crate) fn ordering_error(e: OptimizeError, options: &OrderingOptions) -> Ord
 impl JoinOrderer for MilpOptimizer {
     fn name(&self) -> &'static str {
         "milp"
+    }
+
+    fn cost_model(&self) -> (CostModelKind, CostParams) {
+        (self.config.cost_model, self.config.cost_params)
     }
 
     fn order(
@@ -399,6 +504,23 @@ mod tests {
             .optimize(&catalog, &query, &OptimizeOptions::default())
             .unwrap_err();
         assert!(matches!(err, OptimizeError::Encode(_)));
+    }
+
+    #[test]
+    fn cost_space_bound_projection_modes() {
+        // LowerBound approximations under-estimate cost: the MILP dual
+        // bound passes through unchanged. A -inf bound (nothing proven)
+        // projects to None.
+        let lower = EncoderConfig::default();
+        assert_eq!(cost_space_bound(&lower, 42.0), Some(42.0));
+        assert_eq!(cost_space_bound(&lower, f64::NEG_INFINITY), None);
+        // UpperBound approximations over-estimate with no bounded factor
+        // below the window floor: no cost-space bound is claimed.
+        let upper = EncoderConfig {
+            approx_mode: ApproxMode::UpperBound,
+            ..Default::default()
+        };
+        assert_eq!(cost_space_bound(&upper, 42.0), None);
     }
 
     #[test]

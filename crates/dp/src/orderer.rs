@@ -9,7 +9,7 @@ use std::time::Instant;
 
 use milpjoin_qopt::cost::{plan_cost, CostModelKind, CostParams};
 use milpjoin_qopt::orderer::{
-    AnytimeTrace, JoinOrderer, OrderingError, OrderingOptions, OrderingOutcome, TracePoint,
+    CostTrace, JoinOrderer, OrderingError, OrderingOptions, OrderingOutcome,
 };
 use milpjoin_qopt::{Catalog, Query};
 
@@ -60,6 +60,10 @@ impl JoinOrderer for DpOptimizer {
         "dp"
     }
 
+    fn cost_model(&self) -> (CostModelKind, CostParams) {
+        (self.cost_model, self.params)
+    }
+
     fn order(
         &self,
         catalog: &Catalog,
@@ -76,19 +80,15 @@ impl JoinOrderer for DpOptimizer {
             DpError::MemoryLimit { .. } => OrderingError::ResourceLimit(e.to_string()),
             DpError::InvalidQuery => OrderingError::InvalidQuery(e.to_string()),
         })?;
-        let mut trace = AnytimeTrace::default();
-        trace.push(TracePoint {
-            elapsed: res.elapsed,
-            incumbent: Some(res.cost),
-            bound: res.cost,
-        });
+        // DP proves exact optimality, so its exact cost is also the
+        // cost-space lower bound: a one-point trace with factor 1.
         Ok(OrderingOutcome {
+            trace: CostTrace::single(res.elapsed, res.cost, Some(res.cost)),
             plan: res.plan,
             cost: res.cost,
             objective: res.cost,
             bound: Some(res.cost),
             proven_optimal: true,
-            trace,
             elapsed: res.elapsed,
         })
     }
@@ -126,6 +126,10 @@ impl JoinOrderer for GreedyOptimizer {
         "greedy"
     }
 
+    fn cost_model(&self) -> (CostModelKind, CostParams) {
+        (self.cost_model, self.params)
+    }
+
     fn order(
         &self,
         catalog: &Catalog,
@@ -147,21 +151,15 @@ impl JoinOrderer for GreedyOptimizer {
         let plan = greedy_order(catalog, query, &dp_options);
         let cost = plan_cost(catalog, query, &plan, self.cost_model, &self.params).total;
         let elapsed = start.elapsed();
-        let mut trace = AnytimeTrace::default();
-        // No bound: a greedy construction proves nothing. A non-positive
-        // bound keeps `guaranteed_factor_at` honest (`None`).
-        trace.push(TracePoint {
-            elapsed,
-            incumbent: Some(cost),
-            bound: 0.0,
-        });
+        // No bound: a greedy construction proves nothing, so
+        // `guaranteed_factor_at` honestly stays `None`.
         Ok(OrderingOutcome {
+            trace: CostTrace::single(elapsed, cost, None),
             plan,
             cost,
             objective: cost,
             bound: None,
             proven_optimal: false,
-            trace,
             elapsed,
         })
     }

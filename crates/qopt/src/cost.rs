@@ -17,7 +17,7 @@
 
 use crate::card::Estimator;
 use crate::catalog::Catalog;
-use crate::plan::{JoinOp, LeftDeepPlan};
+use crate::plan::{eager_evaluation_joins, JoinOp, LeftDeepPlan};
 use crate::query::Query;
 use crate::table_set::TableSet;
 
@@ -178,6 +178,17 @@ pub fn plan_cost_with_estimator(
     let mut total = 0.0;
     let mut predicate_cost = 0.0;
 
+    // Expensive predicates are evaluated eagerly, during the join that
+    // first makes them applicable — the shared schedule of
+    // `eager_evaluation_joins` (also the source for the MILP decoder's
+    // implicit schedule and the warm-start hints). Computed only when a
+    // predicate actually carries an evaluation cost (hot path).
+    let eval_joins: Option<Vec<Option<usize>>> = query
+        .predicates
+        .iter()
+        .any(|p| p.eval_cost_per_tuple > 0.0)
+        .then(|| eager_evaluation_joins(query, plan));
+
     let mut outer_set = TableSet::EMPTY;
     if n > 0 {
         let pos0 = query.table_position(plan.order[0]).expect("validated plan");
@@ -211,20 +222,12 @@ pub fn plan_cost_with_estimator(
         per_join.push(cost);
         total += cost;
 
-        // Expensive predicates, evaluated eagerly: a predicate is evaluated
-        // during the join that first makes it applicable. Following the
-        // paper's cost term  sum_j pco_pj * co_j,  the charge is
-        // proportional to the outer-operand cardinality of that join.
-        for p in &query.predicates {
-            if p.eval_cost_per_tuple > 0.0 {
-                let mask = TableSet::from_positions(
-                    p.tables
-                        .iter()
-                        .map(|&t| query.table_position(t).expect("valid")),
-                );
-                let now = mask.is_subset_of(result_set);
-                let before = mask.is_subset_of(outer_set);
-                if now && !before {
+        // Following the paper's cost term  sum_j pco_pj * co_j,  the
+        // charge for an expensive predicate evaluated during this join is
+        // proportional to the join's outer-operand cardinality.
+        if let Some(eval_joins) = &eval_joins {
+            for (p, eval_join) in query.predicates.iter().zip(eval_joins) {
+                if p.eval_cost_per_tuple > 0.0 && *eval_join == Some(j) {
                     let c = p.eval_cost_per_tuple * outer_card;
                     predicate_cost += c;
                     total += c;

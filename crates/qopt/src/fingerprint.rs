@@ -1,0 +1,371 @@
+//! Canonical query fingerprints for structure-keyed plan caching.
+//!
+//! Two queries of a stream frequently share their *structure* — the same
+//! join graph over tables of (nearly) the same size with (nearly) the same
+//! selectivities — while naming entirely different [`TableId`]s. A
+//! [`Fingerprint`] captures that structure in a hashable key so a plan
+//! cache ([`crate::session::PlanSession`]) can reuse one backend solve for
+//! the whole equivalence class:
+//!
+//! * tables are relabeled into a **canonical order** (sorted by quantized
+//!   size, then degree, then incident-selectivity profile — a cheap,
+//!   deterministic approximation of graph canonicalization; sound by
+//!   construction because equal fingerprints imply equal *labeled*
+//!   canonical structures, merely incomplete across exotic symmetries);
+//! * join-graph edges (predicates) are expressed over canonical positions
+//!   and **sorted**;
+//! * cardinalities, selectivities, per-tuple evaluation costs, tuple
+//!   widths and correlation corrections are **quantized** on a log10 grid
+//!   ([`FingerprintOptions::log10_step`], default a tenth of a decade), so
+//!   statistically-indistinguishable queries collide on purpose.
+//!
+//! Quantization makes hits *approximate*: the cached join order is
+//! near-optimal for the new query, not certified. The session therefore
+//! re-costs reused plans exactly and only carries optimality certificates
+//! across when the unquantized statistics match exactly
+//! ([`FingerprintedQuery::exact`]).
+
+use crate::catalog::Catalog;
+use crate::query::Query;
+
+/// Knobs of the fingerprint computation.
+#[derive(Debug, Clone, Copy)]
+pub struct FingerprintOptions {
+    /// Quantization step, in decades, applied to `log10` of every
+    /// statistic (cardinalities, selectivities, evaluation costs, tuple
+    /// widths, corrections). `0.1` buckets values within ~26% of each
+    /// other; smaller steps trade hit rate for fidelity.
+    pub log10_step: f64,
+}
+
+impl Default for FingerprintOptions {
+    fn default() -> Self {
+        FingerprintOptions { log10_step: 0.1 }
+    }
+}
+
+/// Quantizes a positive statistic onto the log10 grid. Non-positive values
+/// (an unset evaluation cost) map to a sentinel bucket of their own.
+fn quantize(value: f64, step: f64) -> i64 {
+    if value <= 0.0 || !value.is_finite() {
+        return i64::MIN;
+    }
+    (value.log10() / step).round() as i64
+}
+
+/// One table of the canonical structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct TableKey {
+    qlog_card: i64,
+    qlog_tuple_bytes: i64,
+    sorted: bool,
+}
+
+/// One predicate (join-graph edge, or n-ary hyperedge) over canonical
+/// table positions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct PredKey {
+    /// Canonical positions, ascending.
+    tables: Vec<u16>,
+    qlog_selectivity: i64,
+    qlog_eval_cost: i64,
+}
+
+/// One correlated group, over indices into the sorted predicate list.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct GroupKey {
+    /// Indices into [`Fingerprint::predicates`], ascending.
+    members: Vec<u32>,
+    qlog_correction: i64,
+}
+
+/// The canonical, quantized structure of one query — the plan-cache key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Fingerprint {
+    tables: Vec<TableKey>,
+    predicates: Vec<PredKey>,
+    groups: Vec<GroupKey>,
+}
+
+impl Fingerprint {
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+}
+
+/// The *unquantized* statistics of a query in canonical order, used to
+/// decide whether two fingerprint-equal queries are in fact identical (so
+/// optimality certificates may be carried across a cache hit).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactStats {
+    /// (cardinality, tuple_bytes, sorted) per canonical table.
+    tables: Vec<(f64, f64, bool)>,
+    /// (canonical positions, selectivity, eval cost) per sorted predicate.
+    predicates: Vec<(Vec<u16>, f64, f64)>,
+    /// (sorted-predicate indices, correction) per group.
+    groups: Vec<(Vec<u32>, f64)>,
+}
+
+/// A query together with its fingerprint and the canonical relabeling —
+/// everything the plan cache needs to store a solved plan or instantiate a
+/// cached one for a structurally-identical query.
+#[derive(Debug, Clone)]
+pub struct FingerprintedQuery {
+    pub fingerprint: Fingerprint,
+    /// Exact statistics for certificate carry-over decisions.
+    pub exact: ExactStats,
+    /// `to_canonical[query_position] = canonical index`.
+    pub to_canonical: Vec<usize>,
+    /// `from_canonical[canonical_index] = query_position` (inverse).
+    pub from_canonical: Vec<usize>,
+    /// Whether the query is safe to cache. Projection information (output
+    /// columns, per-predicate column requirements) is not captured by the
+    /// fingerprint, so such queries must bypass the cache.
+    pub cacheable: bool,
+}
+
+impl FingerprintedQuery {
+    /// Computes the fingerprint of a query **already validated** against
+    /// `catalog`.
+    pub fn compute(catalog: &Catalog, query: &Query, options: &FingerprintOptions) -> Self {
+        let step = options.log10_step.max(1e-9);
+        let n = query.num_tables();
+        // Canonical positions are stored as u16 in the predicate keys;
+        // validated queries are capped far below that (MAX_TABLES = 64,
+        // the table-set bitmask width), so the casts below cannot
+        // truncate.
+        debug_assert!(
+            n <= usize::from(u16::MAX) + 1,
+            "fingerprint requires a validated query (<= {} tables)",
+            crate::query::MAX_TABLES
+        );
+
+        // Per-position raw statistics.
+        let raw: Vec<(f64, f64, bool)> = query
+            .tables
+            .iter()
+            .map(|&t| {
+                let table = catalog.table(t);
+                (
+                    table.cardinality,
+                    table.tuple_bytes(catalog.default_tuple_bytes),
+                    table.sorted,
+                )
+            })
+            .collect();
+        let keys: Vec<TableKey> = raw
+            .iter()
+            .map(|&(card, bytes, sorted)| TableKey {
+                qlog_card: quantize(card, step),
+                qlog_tuple_bytes: quantize(bytes, step),
+                sorted,
+            })
+            .collect();
+
+        // Structural profile per position: degree and the sorted list of
+        // incident quantized selectivities — canonicalization signals that
+        // do not depend on the (yet unknown) canonical numbering.
+        let mut profiles: Vec<(usize, Vec<i64>)> = vec![(0, Vec::new()); n];
+        for p in &query.predicates {
+            let q_sel = quantize(p.selectivity, step);
+            for &t in &p.tables {
+                let pos = query.table_position(t).expect("validated query");
+                profiles[pos].0 += 1;
+                profiles[pos].1.push(q_sel);
+            }
+        }
+        for prof in &mut profiles {
+            prof.1.sort_unstable();
+        }
+
+        // Canonical order: sort positions by (table key, profile), original
+        // position as the deterministic tie-break.
+        let mut from_canonical: Vec<usize> = (0..n).collect();
+        from_canonical
+            .sort_by(|&a, &b| (&keys[a], &profiles[a], a).cmp(&(&keys[b], &profiles[b], b)));
+        let mut to_canonical = vec![0usize; n];
+        for (canon, &pos) in from_canonical.iter().enumerate() {
+            to_canonical[pos] = canon;
+        }
+
+        // Predicates over canonical positions, sorted. Remember where each
+        // original predicate landed for the group mapping.
+        let mut preds: Vec<(PredKey, Vec<u16>, f64, f64, usize)> = query
+            .predicates
+            .iter()
+            .enumerate()
+            .map(|(pi, p)| {
+                let mut tables: Vec<u16> = p
+                    .tables
+                    .iter()
+                    .map(|&t| {
+                        to_canonical[query.table_position(t).expect("validated query")] as u16
+                    })
+                    .collect();
+                tables.sort_unstable();
+                let key = PredKey {
+                    tables: tables.clone(),
+                    qlog_selectivity: quantize(p.selectivity, step),
+                    qlog_eval_cost: quantize(p.eval_cost_per_tuple, step),
+                };
+                (key, tables, p.selectivity, p.eval_cost_per_tuple, pi)
+            })
+            .collect();
+        preds.sort_by(|a, b| (&a.0, a.4).cmp(&(&b.0, b.4)));
+        let mut pred_rank = vec![0u32; preds.len()];
+        for (sorted_idx, p) in preds.iter().enumerate() {
+            pred_rank[p.4] = sorted_idx as u32;
+        }
+
+        // Correlated groups over sorted-predicate indices, sorted.
+        let mut groups: Vec<(GroupKey, Vec<u32>, f64)> = query
+            .correlated_groups
+            .iter()
+            .map(|g| {
+                let mut members: Vec<u32> =
+                    g.members.iter().map(|pid| pred_rank[pid.index()]).collect();
+                members.sort_unstable();
+                (
+                    GroupKey {
+                        members: members.clone(),
+                        qlog_correction: quantize(g.correction, step),
+                    },
+                    members,
+                    g.correction,
+                )
+            })
+            .collect();
+        groups.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let cacheable = query.output_columns.is_empty()
+            && query.predicates.iter().all(|p| p.columns.is_empty());
+
+        FingerprintedQuery {
+            fingerprint: Fingerprint {
+                tables: from_canonical.iter().map(|&pos| keys[pos]).collect(),
+                predicates: preds.iter().map(|p| p.0.clone()).collect(),
+                groups: groups.iter().map(|g| g.0.clone()).collect(),
+            },
+            exact: ExactStats {
+                tables: from_canonical.iter().map(|&pos| raw[pos]).collect(),
+                predicates: preds.iter().map(|p| (p.1.clone(), p.2, p.3)).collect(),
+                groups: groups.iter().map(|g| (g.1.clone(), g.2)).collect(),
+            },
+            to_canonical,
+            from_canonical,
+            cacheable,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Predicate;
+
+    fn star(catalog: &mut Catalog, cards: &[f64], sel: f64) -> Query {
+        let ids: Vec<_> = cards
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| catalog.add_table(format!("T{i}_{c}"), c))
+            .collect();
+        let mut q = Query::new(ids.clone());
+        for &leaf in &ids[1..] {
+            q.add_predicate(Predicate::binary(ids[0], leaf, sel));
+        }
+        q
+    }
+
+    #[test]
+    fn identical_structure_over_disjoint_tables_matches() {
+        let mut c = Catalog::new();
+        let q1 = star(&mut c, &[10.0, 500.0, 2000.0], 0.1);
+        let q2 = star(&mut c, &[10.0, 500.0, 2000.0], 0.1);
+        assert_ne!(q1.tables, q2.tables);
+        let opts = FingerprintOptions::default();
+        let f1 = FingerprintedQuery::compute(&c, &q1, &opts);
+        let f2 = FingerprintedQuery::compute(&c, &q2, &opts);
+        assert_eq!(f1.fingerprint, f2.fingerprint);
+        assert_eq!(f1.exact, f2.exact);
+        assert!(f1.cacheable);
+    }
+
+    #[test]
+    fn permuted_table_listing_matches() {
+        let mut c = Catalog::new();
+        let a = c.add_table("A", 10.0);
+        let b = c.add_table("B", 500.0);
+        let d = c.add_table("D", 2000.0);
+        let mut q1 = Query::new(vec![a, b, d]);
+        q1.add_predicate(Predicate::binary(a, b, 0.1));
+        // Same structure, tables listed in a different order and the
+        // predicate written with its endpoints flipped.
+        let a2 = c.add_table("A2", 10.0);
+        let b2 = c.add_table("B2", 500.0);
+        let d2 = c.add_table("D2", 2000.0);
+        let mut q2 = Query::new(vec![d2, a2, b2]);
+        q2.add_predicate(Predicate::binary(b2, a2, 0.1));
+        let opts = FingerprintOptions::default();
+        let f1 = FingerprintedQuery::compute(&c, &q1, &opts);
+        let f2 = FingerprintedQuery::compute(&c, &q2, &opts);
+        assert_eq!(f1.fingerprint, f2.fingerprint);
+    }
+
+    #[test]
+    fn near_identical_stats_collide_but_exact_stats_differ() {
+        let mut c = Catalog::new();
+        let q1 = star(&mut c, &[10.0, 500.0, 2000.0], 0.1);
+        // 2% cardinality drift: same quantization bucket at step 0.1.
+        let q2 = star(&mut c, &[10.1, 505.0, 2010.0], 0.1);
+        let opts = FingerprintOptions::default();
+        let f1 = FingerprintedQuery::compute(&c, &q1, &opts);
+        let f2 = FingerprintedQuery::compute(&c, &q2, &opts);
+        assert_eq!(f1.fingerprint, f2.fingerprint);
+        assert_ne!(f1.exact, f2.exact);
+    }
+
+    #[test]
+    fn different_structure_differs() {
+        let mut c = Catalog::new();
+        let q1 = star(&mut c, &[10.0, 500.0, 2000.0], 0.1);
+        let q2 = star(&mut c, &[10.0, 500.0, 2000.0], 0.5); // other selectivity
+        let q3 = star(&mut c, &[10.0, 500.0, 90000.0], 0.1); // other cardinality
+        let opts = FingerprintOptions::default();
+        let f1 = FingerprintedQuery::compute(&c, &q1, &opts);
+        assert_ne!(
+            f1.fingerprint,
+            FingerprintedQuery::compute(&c, &q2, &opts).fingerprint
+        );
+        assert_ne!(
+            f1.fingerprint,
+            FingerprintedQuery::compute(&c, &q3, &opts).fingerprint
+        );
+    }
+
+    #[test]
+    fn canonical_maps_are_inverses() {
+        let mut c = Catalog::new();
+        let q = star(&mut c, &[2000.0, 10.0, 500.0], 0.1);
+        let f = FingerprintedQuery::compute(&c, &q, &FingerprintOptions::default());
+        for pos in 0..q.num_tables() {
+            assert_eq!(f.from_canonical[f.to_canonical[pos]], pos);
+        }
+        // Canonical order is sorted by quantized cardinality here.
+        let canon_cards: Vec<f64> = f
+            .from_canonical
+            .iter()
+            .map(|&pos| c.cardinality(q.tables[pos]))
+            .collect();
+        assert_eq!(canon_cards, vec![10.0, 500.0, 2000.0]);
+    }
+
+    #[test]
+    fn projection_queries_are_uncacheable() {
+        let mut c = Catalog::new();
+        let mut q = star(&mut c, &[10.0, 500.0, 2000.0], 0.1);
+        let col = c.add_column(q.tables[0], "a", 8.0);
+        q.output_columns.push(col);
+        let f = FingerprintedQuery::compute(&c, &q, &FingerprintOptions::default());
+        assert!(!f.cacheable);
+    }
+}

@@ -27,19 +27,24 @@
 pub mod card;
 pub mod catalog;
 pub mod cost;
+pub mod fingerprint;
 pub mod graph;
 pub mod orderer;
 pub mod plan;
 pub mod query;
+pub mod session;
 pub mod table_set;
 
 pub use card::Estimator;
 pub use catalog::{Catalog, Column, ColumnId, Table, TableId};
 pub use cost::{CostModelKind, CostParams, JoinContext, PlanCost};
+pub use fingerprint::{Fingerprint, FingerprintOptions, FingerprintedQuery};
 pub use graph::{GraphShape, JoinGraph};
 pub use orderer::{
-    AnytimeTrace, JoinOrderer, OrderingError, OrderingOptions, OrderingOutcome, TracePoint,
+    AnytimeTrace, CostTrace, CostTracePoint, JoinOrderer, OrderingError, OrderingOptions,
+    OrderingOutcome, TracePoint,
 };
-pub use plan::{JoinOp, LeftDeepPlan, PlanError};
+pub use plan::{eager_evaluation_joins, JoinOp, LeftDeepPlan, PlanError};
 pub use query::{CorrelatedGroup, Predicate, PredicateId, Query, QueryError};
+pub use session::{PlanSession, SessionOutcome, SessionStats};
 pub use table_set::TableSet;

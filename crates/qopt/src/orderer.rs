@@ -6,22 +6,38 @@
 //! catalog and a query, which left-deep plan should run?* [`JoinOrderer`]
 //! is that question as a trait, with unified [`OrderingOptions`] (runtime
 //! limits) and a unified [`OrderingOutcome`] (plan, costs, bounds, anytime
-//! trace). Cost-model choice stays a per-backend *construction* concern so
-//! outcomes of differently-configured backends are never silently compared.
+//! trace). Cost-model choice stays a per-backend *construction* concern
+//! (exposed read-only through [`JoinOrderer::cost_model`]) so outcomes of
+//! differently-configured backends are never silently compared.
 //!
-//! The [`AnytimeTrace`] lives here rather than in the MILP crate because it
-//! is a property of the *interface*, not of one backend: DP produces a
-//! single trace point when it finishes, the MILP emits a stream of
-//! incumbent/bound improvements, and the hybrid starts the stream with its
-//! greedy incumbent at t ≈ 0.
+//! ## Cost-space traces
+//!
+//! The [`CostTrace`] is **cost-space by construction**: incumbents are
+//! *exact* plan costs under the backend's configured cost model, and the
+//! bound is a cost-space lower bound proven to hold for every plan. Exact
+//! backends (DP, greedy) emit exact costs natively; MILP-based backends
+//! decode each MILP incumbent and project it through `plan_cost` at
+//! trace-point creation, and project their MILP-space dual bound into cost
+//! space (see `milpjoin::optimizer`). The payoff is that
+//! [`CostTrace::guaranteed_factor_at`] means the *same thing* for DP,
+//! greedy, MILP, and hybrid — the paper's Figure 2 metric is directly
+//! comparable across backends.
+//!
+//! Backends that search in a different objective space may additionally
+//! keep a native-space [`AnytimeTrace`] (the MILP pipeline's
+//! `OptimizeOutcome` does); that record is a property of the backend, not
+//! of this interface.
 
 use std::time::Duration;
 
 use crate::catalog::Catalog;
+use crate::cost::{CostModelKind, CostParams};
 use crate::plan::LeftDeepPlan;
 use crate::query::Query;
 
-/// One sample of the anytime state.
+/// One sample of a backend-native anytime state (objective space of the
+/// backend that produced it; see [`CostTracePoint`] for the cross-backend
+/// cost-space form).
 #[derive(Debug, Clone, Copy)]
 pub struct TracePoint {
     pub elapsed: Duration,
@@ -31,7 +47,10 @@ pub struct TracePoint {
     pub bound: f64,
 }
 
-/// The incumbent/bound history of one optimization run.
+/// The incumbent/bound history of one optimization run in the backend's
+/// *native* objective space. Kept by backends whose search space is not the
+/// exact cost space (the MILP pipeline); the cross-backend record is
+/// [`CostTrace`].
 #[derive(Debug, Clone, Default)]
 pub struct AnytimeTrace {
     points: Vec<TracePoint>,
@@ -59,9 +78,9 @@ impl AnytimeTrace {
             .copied()
     }
 
-    /// The guaranteed optimality factor (cost / lower bound) provable at
-    /// `elapsed`; `None` while no incumbent exists or the bound is not yet
-    /// positive.
+    /// The guaranteed optimality factor (incumbent / lower bound) provable
+    /// at `elapsed`; `None` while no incumbent exists or the bound is not
+    /// yet positive.
     pub fn guaranteed_factor_at(&self, elapsed: Duration) -> Option<f64> {
         let state = self.state_at(elapsed)?;
         let inc = state.incumbent?;
@@ -69,6 +88,83 @@ impl AnytimeTrace {
             Some((inc / state.bound).max(1.0))
         } else {
             None
+        }
+    }
+}
+
+/// One sample of the cost-space anytime state.
+#[derive(Debug, Clone, Copy)]
+pub struct CostTracePoint {
+    pub elapsed: Duration,
+    /// *Exact* cost (backend's configured cost model) of the incumbent plan
+    /// known at this point, if any.
+    pub incumbent: Option<f64>,
+    /// Cost-space lower bound proven to hold for *every* plan at this
+    /// point; `None` while nothing is proven.
+    pub bound: Option<f64>,
+}
+
+/// The incumbent/bound history of one optimization run, in exact cost
+/// space. See the module docs: incumbents are exact plan costs for every
+/// backend, so anytime plots of different backends are directly
+/// comparable.
+///
+/// The incumbent at each point is the exact cost of the plan the backend
+/// *currently holds* (and would return if stopped there). For
+/// approximating backends that sequence is monotone in the backend's own
+/// objective space but **not necessarily in cost space**: a MILP-space
+/// improvement can decode to an exactly-worse plan, so incumbents may
+/// regress between points. The trace records that honestly rather than
+/// smoothing it (the hybrid's safety net guards the final answer against
+/// its seed; see ROADMAP.md for extending it to every decoded incumbent).
+#[derive(Debug, Clone, Default)]
+pub struct CostTrace {
+    points: Vec<CostTracePoint>,
+}
+
+impl CostTrace {
+    /// A one-point trace (heuristics and cached results: a single
+    /// incumbent, optionally with a carried bound).
+    pub fn single(elapsed: Duration, incumbent: f64, bound: Option<f64>) -> Self {
+        let mut t = CostTrace::default();
+        t.push(CostTracePoint {
+            elapsed,
+            incumbent: Some(incumbent),
+            bound,
+        });
+        t
+    }
+
+    pub fn push(&mut self, p: CostTracePoint) {
+        self.points.push(p);
+    }
+
+    pub fn points(&self) -> &[CostTracePoint] {
+        &self.points
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The anytime state at `elapsed`: the last point at or before it.
+    pub fn state_at(&self, elapsed: Duration) -> Option<CostTracePoint> {
+        self.points
+            .iter()
+            .take_while(|p| p.elapsed <= elapsed)
+            .last()
+            .copied()
+    }
+
+    /// The guaranteed optimality factor (exact incumbent cost / cost-space
+    /// lower bound) provable at `elapsed`; `None` while no incumbent exists
+    /// or no positive bound is proven.
+    pub fn guaranteed_factor_at(&self, elapsed: Duration) -> Option<f64> {
+        let state = self.state_at(elapsed)?;
+        let inc = state.incumbent?;
+        match state.bound {
+            Some(b) if b > 0.0 => Some((inc / b).max(1.0)),
+            _ => None,
         }
     }
 }
@@ -108,23 +204,30 @@ pub struct OrderingOutcome {
     /// `cost` for exact backends (DP, greedy), the approximate MILP-space
     /// objective for MILP-based backends.
     pub objective: f64,
-    /// Lower bound (backend objective space) proven to hold for *every*
-    /// plan; `None` when the backend proves nothing (greedy).
+    /// Cost-space lower bound proven to hold for *every* plan; `None` when
+    /// the backend proves nothing (greedy). MILP-based backends project
+    /// their MILP-space dual bound into cost space (see
+    /// `milpjoin::optimizer`), so `cost / bound` is a valid guarantee even
+    /// when the returned plan did not come out of the MILP search (the
+    /// hybrid's safety net).
     pub bound: Option<f64>,
-    /// Whether the backend proved `plan` optimal in its objective space.
+    /// Whether the backend proved `plan` optimal in its own objective
+    /// space. Note for approximating backends this does *not* mean
+    /// `cost == bound`: a MILP-space proof pins the plan within the
+    /// configured tolerance factor of the cost-space optimum.
     pub proven_optimal: bool,
-    /// Incumbent/bound history (backend objective space).
-    pub trace: AnytimeTrace,
+    /// Incumbent/bound history in exact cost space.
+    pub trace: CostTrace,
     /// Wall-clock time the backend spent.
     pub elapsed: Duration,
 }
 
 impl OrderingOutcome {
-    /// Final guaranteed optimality factor `objective / bound` in the
-    /// backend's objective space; `None` without a positive bound.
+    /// Final guaranteed optimality factor `cost / bound` in exact cost
+    /// space; `None` without a positive bound.
     pub fn guaranteed_factor(&self) -> Option<f64> {
         match self.bound {
-            Some(b) if b > 0.0 => Some((self.objective / b).max(1.0)),
+            Some(b) if b > 0.0 => Some((self.cost / b).max(1.0)),
             _ => None,
         }
     }
@@ -168,6 +271,13 @@ pub trait JoinOrderer {
     /// `"hybrid"`, ...).
     fn name(&self) -> &'static str;
 
+    /// The exact cost model this backend is configured to optimize — the
+    /// space in which [`OrderingOutcome::cost`] and the [`CostTrace`] are
+    /// expressed. Services layered on top (the plan cache in
+    /// `crate::session`) use this to cost reused plans without re-running
+    /// the backend.
+    fn cost_model(&self) -> (CostModelKind, CostParams);
+
     /// Produces a plan for `query` within the limits of `options`.
     fn order(
         &self,
@@ -182,7 +292,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn state_at_before_first_point_is_none() {
+    fn native_state_at_before_first_point_is_none() {
         let mut trace = AnytimeTrace::default();
         assert!(trace.state_at(Duration::from_secs(10)).is_none());
         trace.push(TracePoint {
@@ -195,23 +305,36 @@ mod tests {
     }
 
     #[test]
+    fn cost_state_at_before_first_point_is_none() {
+        let mut trace = CostTrace::default();
+        assert!(trace.state_at(Duration::from_secs(10)).is_none());
+        trace.push(CostTracePoint {
+            elapsed: Duration::from_millis(500),
+            incumbent: Some(10.0),
+            bound: Some(2.0),
+        });
+        assert!(trace.state_at(Duration::from_millis(499)).is_none());
+        assert!(trace.state_at(Duration::from_millis(500)).is_some());
+    }
+
+    #[test]
     fn guaranteed_factor_requires_positive_bound() {
-        let mut trace = AnytimeTrace::default();
-        trace.push(TracePoint {
+        let mut trace = CostTrace::default();
+        trace.push(CostTracePoint {
             elapsed: Duration::ZERO,
             incumbent: Some(10.0),
-            bound: 0.0,
+            bound: None,
         });
-        trace.push(TracePoint {
+        trace.push(CostTracePoint {
             elapsed: Duration::from_secs(1),
             incumbent: Some(10.0),
-            bound: -3.0,
+            bound: Some(-3.0),
         });
         assert_eq!(trace.guaranteed_factor_at(Duration::from_secs(2)), None);
-        trace.push(TracePoint {
+        trace.push(CostTracePoint {
             elapsed: Duration::from_secs(3),
             incumbent: Some(10.0),
-            bound: 5.0,
+            bound: Some(5.0),
         });
         assert_eq!(
             trace.guaranteed_factor_at(Duration::from_secs(3)),
@@ -221,35 +344,38 @@ mod tests {
 
     #[test]
     fn factor_is_clamped_to_one() {
-        let mut trace = AnytimeTrace::default();
-        trace.push(TracePoint {
-            elapsed: Duration::ZERO,
-            incumbent: Some(4.0),
-            bound: 5.0,
-        });
+        let trace = CostTrace::single(Duration::ZERO, 4.0, Some(5.0));
         assert_eq!(trace.guaranteed_factor_at(Duration::ZERO), Some(1.0));
     }
 
     #[test]
     fn factor_without_incumbent_is_none() {
-        let mut trace = AnytimeTrace::default();
-        trace.push(TracePoint {
+        let mut trace = CostTrace::default();
+        trace.push(CostTracePoint {
             elapsed: Duration::ZERO,
             incumbent: None,
-            bound: 5.0,
+            bound: Some(5.0),
         });
         assert_eq!(trace.guaranteed_factor_at(Duration::ZERO), None);
     }
 
     #[test]
-    fn outcome_factor() {
+    fn single_point_trace() {
+        let trace = CostTrace::single(Duration::from_millis(3), 7.0, None);
+        assert_eq!(trace.points().len(), 1);
+        assert_eq!(trace.points()[0].incumbent, Some(7.0));
+        assert!(trace.points()[0].bound.is_none());
+    }
+
+    #[test]
+    fn outcome_factor_is_cost_over_cost_space_bound() {
         let outcome = OrderingOutcome {
             plan: LeftDeepPlan::from_order(vec![]),
             cost: 10.0,
-            objective: 10.0,
+            objective: 8.0, // backend space, not used for the guarantee
             bound: Some(4.0),
             proven_optimal: false,
-            trace: AnytimeTrace::default(),
+            trace: CostTrace::default(),
             elapsed: Duration::ZERO,
         };
         assert_eq!(outcome.guaranteed_factor(), Some(2.5));

@@ -124,6 +124,49 @@ impl LeftDeepPlan {
     }
 }
 
+/// The single source of truth for *eager predicate application*: for each
+/// predicate of `query`, the index of the join during which the predicate
+/// is first applicable under `plan` — i.e. the join whose *result* is the
+/// first operand containing every predicate table. `None` when the
+/// predicate is already applicable at the initial scan (all of its tables
+/// are the plan's first table).
+///
+/// Three formerly-mirrored computations are derived from this one
+/// function, so they can never silently desync:
+///
+/// * the exact cost model charges an expensive predicate during its eager
+///   evaluation join ([`crate::cost::plan_cost`]);
+/// * the MILP decoder's implicit schedule and the heuristic-plan schedule
+///   (`milpjoin::decode`) report exactly this join;
+/// * the MILP warm-start hints set the applicability flag `pao[p][j]` for
+///   every join `j` strictly after the evaluation join (the outer operand
+///   of join `j` is the plan's first `j + 1` tables, which covers the
+///   predicate iff join `j - 1` already evaluated it).
+///
+/// The plan must be a validated permutation of the query tables.
+pub fn eager_evaluation_joins(query: &Query, plan: &LeftDeepPlan) -> Vec<Option<usize>> {
+    // rank[pos] = index of query-local table position `pos` in the plan
+    // order; a predicate becomes applicable once its highest-ranked table
+    // has been joined, which happens during join `max_rank - 1`.
+    let mut rank = vec![usize::MAX; query.num_tables()];
+    for (i, &t) in plan.order.iter().enumerate() {
+        let pos = query.table_position(t).expect("validated plan");
+        rank[pos] = i;
+    }
+    query
+        .predicates
+        .iter()
+        .map(|p| {
+            let max_rank = p
+                .tables
+                .iter()
+                .map(|&t| rank[query.table_position(t).expect("validated query")])
+                .max()?;
+            max_rank.checked_sub(1)
+        })
+        .collect()
+}
+
 impl fmt::Display for PlanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -204,5 +247,41 @@ mod tests {
         let (_, q) = setup();
         let plan = LeftDeepPlan::from_order(q.tables.clone());
         assert_eq!(plan.operator(0), JoinOp::Hash);
+    }
+
+    #[test]
+    fn eager_evaluation_join_is_the_covering_join() {
+        let (_, mut q) = setup(); // predicate p(R, S)
+        let (r, s, t) = (q.tables[0], q.tables[1], q.tables[2]);
+        q.add_predicate(Predicate::nary(vec![r, s, t], 0.5));
+
+        // Order R, S, T: p(R,S) covered by join 0's result; the n-ary
+        // predicate needs all three tables -> join 1.
+        let plan = LeftDeepPlan::from_order(vec![r, s, t]);
+        assert_eq!(eager_evaluation_joins(&q, &plan), vec![Some(0), Some(1)]);
+
+        // Order T, R, S: p(R,S) first covered by join 1's result.
+        let plan2 = LeftDeepPlan::from_order(vec![t, r, s]);
+        assert_eq!(eager_evaluation_joins(&q, &plan2), vec![Some(1), Some(1)]);
+    }
+
+    #[test]
+    fn eager_evaluation_join_of_scan_predicates_is_none() {
+        let (_, mut q) = setup();
+        let r = q.tables[0];
+        q.predicates.clear();
+        q.add_predicate(Predicate {
+            name: "unary".into(),
+            tables: vec![r],
+            selectivity: 0.5,
+            eval_cost_per_tuple: 1.0,
+            columns: vec![],
+        });
+        // R first: the unary predicate is applicable at scan time.
+        let plan = LeftDeepPlan::from_order(q.tables.clone());
+        assert_eq!(eager_evaluation_joins(&q, &plan), vec![None]);
+        // R last: it only becomes applicable during the final join.
+        let plan2 = LeftDeepPlan::from_order(vec![q.tables[1], q.tables[2], r]);
+        assert_eq!(eager_evaluation_joins(&q, &plan2), vec![Some(1)]);
     }
 }

@@ -1,0 +1,513 @@
+//! The [`PlanSession`] service layer: one catalog, one backend, many
+//! queries.
+//!
+//! The paper's optimizer — like every [`JoinOrderer`] backend — answers one
+//! query per call. Production traffic is a *stream*: many structurally
+//! similar queries against one catalog, where re-solving each from scratch
+//! wastes almost all of the work (the observation behind the hybrid-MILP
+//! pipeline of Schönberger & Trummer, 2025). A session owns the catalog, a
+//! chosen backend, and a plan cache keyed by the canonical query
+//! fingerprint of [`crate::fingerprint`]:
+//!
+//! * [`PlanSession::optimize`] answers one query, consulting the cache
+//!   first;
+//! * [`PlanSession::optimize_batch`] drives a whole slice of queries in
+//!   order — deterministic: the same batch against a fresh session always
+//!   produces the same plans, solves and hit pattern;
+//! * [`PlanSession::explain`] reports what happened (hits, misses, backend
+//!   solves, error counts).
+//!
+//! ## Cache semantics
+//!
+//! A hit means the new query's *canonical structure* matches a solved one
+//! within the fingerprint quantization. The cached join order is
+//! instantiated over the new query's tables and **re-costed exactly**, so
+//! [`OrderingOutcome::cost`] is always truthful. Optimality certificates
+//! (`bound`, `proven_optimal`) are carried over only when the unquantized
+//! statistics match exactly; an approximate hit returns them as
+//! `None`/`false` — the plan is near-optimal by construction, but nothing
+//! is proven for the perturbed statistics. Queries carrying projection
+//! information bypass the cache entirely (the fingerprint does not model
+//! column sets).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use crate::catalog::Catalog;
+use crate::cost::plan_cost;
+use crate::fingerprint::{Fingerprint, FingerprintOptions, FingerprintedQuery};
+use crate::orderer::{CostTrace, JoinOrderer, OrderingError, OrderingOptions, OrderingOutcome};
+use crate::plan::{JoinOp, LeftDeepPlan};
+use crate::query::Query;
+
+/// Cache hit/miss statistics of one session (see [`PlanSession::explain`]).
+#[derive(Debug, Clone, Default)]
+pub struct SessionStats {
+    /// Queries submitted (including failed ones).
+    pub queries: u64,
+    /// Queries answered from the plan cache.
+    pub cache_hits: u64,
+    /// Cache hits whose unquantized statistics matched exactly, so the
+    /// original solve's certificates were carried over.
+    pub exact_hits: u64,
+    /// Queries handed to the backend (cache misses plus uncacheable
+    /// queries).
+    pub backend_solves: u64,
+    /// Backend solves that returned an error.
+    pub backend_errors: u64,
+    /// Queries that bypassed the cache (projection information).
+    pub uncacheable: u64,
+}
+
+impl SessionStats {
+    /// Fraction of submitted queries answered from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.queries as f64
+        }
+    }
+}
+
+/// One session answer: the backend-shaped outcome plus cache provenance.
+#[derive(Debug, Clone)]
+pub struct SessionOutcome {
+    pub outcome: OrderingOutcome,
+    /// Whether the plan came from the cache rather than a backend solve.
+    pub cache_hit: bool,
+    /// Whether a cache hit matched the original query's statistics exactly
+    /// (certificates carried over). Always `false` on a miss.
+    pub exact_hit: bool,
+}
+
+/// A solved structure: the join order in canonical table indices plus what
+/// the backend proved about it.
+struct CachedPlan {
+    canonical_order: Vec<usize>,
+    operators: Vec<JoinOp>,
+    exact: crate::fingerprint::ExactStats,
+    bound: Option<f64>,
+    proven_optimal: bool,
+}
+
+/// A long-lived optimization service over one catalog and one backend.
+///
+/// ```
+/// use std::time::Duration;
+/// use milpjoin_qopt::{Catalog, Predicate, Query};
+/// use milpjoin_qopt::session::PlanSession;
+/// # use milpjoin_qopt::cost::{CostModelKind, CostParams, plan_cost};
+/// # use milpjoin_qopt::orderer::*;
+/// # use milpjoin_qopt::LeftDeepPlan;
+/// # struct Sorter;
+/// # impl JoinOrderer for Sorter {
+/// #     fn name(&self) -> &'static str { "sorter" }
+/// #     fn cost_model(&self) -> (CostModelKind, CostParams) {
+/// #         (CostModelKind::Cout, CostParams::default())
+/// #     }
+/// #     fn order(&self, catalog: &Catalog, query: &Query, _o: &OrderingOptions)
+/// #         -> Result<OrderingOutcome, OrderingError> {
+/// #         let mut order = query.tables.clone();
+/// #         order.sort_by(|&a, &b| catalog.cardinality(a).total_cmp(&catalog.cardinality(b)));
+/// #         let plan = LeftDeepPlan::from_order(order);
+/// #         let cost = plan_cost(catalog, query, &plan, CostModelKind::Cout,
+/// #                              &CostParams::default()).total;
+/// #         Ok(OrderingOutcome { plan, cost, objective: cost, bound: None,
+/// #             proven_optimal: false, trace: CostTrace::default(),
+/// #             elapsed: Duration::ZERO })
+/// #     }
+/// # }
+///
+/// let mut catalog = Catalog::new();
+/// let r = catalog.add_table("R", 10.0);
+/// let s = catalog.add_table("S", 1000.0);
+/// let mut query = Query::new(vec![r, s]);
+/// query.add_predicate(Predicate::binary(r, s, 0.1));
+///
+/// let mut session = PlanSession::new(catalog, Box::new(Sorter));
+/// let first = session.optimize(&query).unwrap();
+/// let second = session.optimize(&query).unwrap();
+/// assert!(!first.cache_hit && second.cache_hit);
+/// assert_eq!(session.explain().backend_solves, 1);
+/// ```
+pub struct PlanSession {
+    catalog: Catalog,
+    backend: Box<dyn JoinOrderer>,
+    options: OrderingOptions,
+    fingerprint_options: FingerprintOptions,
+    caching: bool,
+    cache: HashMap<Fingerprint, CachedPlan>,
+    stats: SessionStats,
+}
+
+impl PlanSession {
+    pub fn new(catalog: Catalog, backend: Box<dyn JoinOrderer>) -> Self {
+        PlanSession {
+            catalog,
+            backend,
+            options: OrderingOptions::default(),
+            fingerprint_options: FingerprintOptions::default(),
+            caching: true,
+            cache: HashMap::new(),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Builder-style setter for the per-query runtime limits.
+    pub fn with_options(mut self, options: OrderingOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Builder-style setter for the fingerprint quantization.
+    pub fn with_fingerprint_options(mut self, options: FingerprintOptions) -> Self {
+        self.fingerprint_options = options;
+        self
+    }
+
+    /// Disables (or re-enables) the plan cache; every query then reaches
+    /// the backend.
+    pub fn with_caching(mut self, on: bool) -> Self {
+        self.caching = on;
+        self
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The underlying backend's name (`"milp"`, `"hybrid"`, ...).
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// Cache hit/miss statistics accumulated so far.
+    pub fn explain(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// Number of distinct solved structures currently cached.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Optimizes one query, reusing a cached plan when a structurally
+    /// identical query was solved before.
+    pub fn optimize(&mut self, query: &Query) -> Result<SessionOutcome, OrderingError> {
+        self.stats.queries += 1;
+        query
+            .validate(&self.catalog)
+            .map_err(|e| OrderingError::InvalidQuery(e.to_string()))?;
+
+        if !self.caching {
+            return self.solve(query, None);
+        }
+        let fp = FingerprintedQuery::compute(&self.catalog, query, &self.fingerprint_options);
+        if !fp.cacheable {
+            self.stats.uncacheable += 1;
+            return self.solve(query, None);
+        }
+        if let Some(hit) = self.try_hit(query, &fp) {
+            return Ok(hit);
+        }
+        self.solve(query, Some(fp))
+    }
+
+    /// Optimizes a batch of queries in order. Deterministic: cache lookups
+    /// and inserts happen in slice order, so identical batches against
+    /// identically-configured fresh sessions produce identical plans and
+    /// hit patterns. Structurally identical queries within the batch share
+    /// a single backend solve.
+    pub fn optimize_batch(
+        &mut self,
+        queries: &[Query],
+    ) -> Vec<Result<SessionOutcome, OrderingError>> {
+        queries.iter().map(|q| self.optimize(q)).collect()
+    }
+
+    /// Attempts to answer `query` from the cache.
+    fn try_hit(&mut self, query: &Query, fp: &FingerprintedQuery) -> Option<SessionOutcome> {
+        let start = Instant::now();
+        let cached = self.cache.get(&fp.fingerprint)?;
+        let order: Vec<_> = cached
+            .canonical_order
+            .iter()
+            .map(|&c| query.tables[fp.from_canonical[c]])
+            .collect();
+        let plan = if cached.operators.is_empty() {
+            LeftDeepPlan::from_order(order)
+        } else {
+            LeftDeepPlan::with_operators(order, cached.operators.clone())
+        };
+        // A fingerprint hit guarantees a structurally compatible plan; a
+        // validation failure would be a canonicalization bug — treated as
+        // a miss, never as a wrong answer.
+        if plan.validate(query).is_err() {
+            debug_assert!(false, "cached plan does not fit a fingerprint-equal query");
+            return None;
+        }
+        let (model, params) = self.backend.cost_model();
+        let cost = plan_cost(&self.catalog, query, &plan, model, &params).total;
+        let exact = fp.exact == cached.exact;
+        let (bound, proven_optimal) = if exact {
+            (cached.bound, cached.proven_optimal)
+        } else {
+            (None, false)
+        };
+        self.stats.cache_hits += 1;
+        if exact {
+            self.stats.exact_hits += 1;
+        }
+        let elapsed = start.elapsed();
+        Some(SessionOutcome {
+            outcome: OrderingOutcome {
+                plan,
+                cost,
+                objective: cost,
+                bound,
+                proven_optimal,
+                trace: CostTrace::single(elapsed, cost, bound),
+                elapsed,
+            },
+            cache_hit: true,
+            exact_hit: exact,
+        })
+    }
+
+    /// Runs the backend and, when the query was fingerprinted, caches the
+    /// solved structure.
+    fn solve(
+        &mut self,
+        query: &Query,
+        fp: Option<FingerprintedQuery>,
+    ) -> Result<SessionOutcome, OrderingError> {
+        self.stats.backend_solves += 1;
+        let outcome = self
+            .backend
+            .order(&self.catalog, query, &self.options)
+            .inspect_err(|_| self.stats.backend_errors += 1)?;
+        if let Some(fp) = fp {
+            let canonical_order: Vec<usize> = outcome
+                .plan
+                .order
+                .iter()
+                .map(|&t| fp.to_canonical[query.table_position(t).expect("validated plan")])
+                .collect();
+            self.cache.insert(
+                fp.fingerprint,
+                CachedPlan {
+                    canonical_order,
+                    operators: outcome.plan.operators.clone(),
+                    exact: fp.exact,
+                    bound: outcome.bound,
+                    proven_optimal: outcome.proven_optimal,
+                },
+            );
+        }
+        Ok(SessionOutcome {
+            outcome,
+            cache_hit: false,
+            exact_hit: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Duration;
+
+    use super::*;
+    use crate::cost::{CostModelKind, CostParams};
+    use crate::query::Predicate;
+
+    /// A deterministic toy backend: joins tables smallest-first and counts
+    /// its invocations.
+    struct CountingBackend {
+        calls: std::cell::Cell<u64>,
+        prove: bool,
+    }
+
+    impl CountingBackend {
+        fn new(prove: bool) -> Self {
+            CountingBackend {
+                calls: std::cell::Cell::new(0),
+                prove,
+            }
+        }
+    }
+
+    impl JoinOrderer for CountingBackend {
+        fn name(&self) -> &'static str {
+            "counting"
+        }
+
+        fn cost_model(&self) -> (CostModelKind, CostParams) {
+            (CostModelKind::Cout, CostParams::default())
+        }
+
+        fn order(
+            &self,
+            catalog: &Catalog,
+            query: &Query,
+            _options: &OrderingOptions,
+        ) -> Result<OrderingOutcome, OrderingError> {
+            self.calls.set(self.calls.get() + 1);
+            let mut order = query.tables.clone();
+            order.sort_by(|&a, &b| catalog.cardinality(a).total_cmp(&catalog.cardinality(b)));
+            let plan = LeftDeepPlan::from_order(order);
+            let cost = plan_cost(
+                catalog,
+                query,
+                &plan,
+                CostModelKind::Cout,
+                &CostParams::default(),
+            )
+            .total;
+            Ok(OrderingOutcome {
+                plan,
+                cost,
+                objective: cost,
+                bound: self.prove.then_some(cost),
+                proven_optimal: self.prove,
+                trace: CostTrace::single(Duration::ZERO, cost, self.prove.then_some(cost)),
+                elapsed: Duration::ZERO,
+            })
+        }
+    }
+
+    fn two_structures(catalog: &mut Catalog, copies: usize) -> Vec<Query> {
+        let mut queries = Vec::new();
+        for _ in 0..copies {
+            for (cards, sel) in [(&[10.0, 500.0, 2000.0], 0.1), (&[7.0, 7.0, 70000.0], 0.5)] {
+                let ids: Vec<_> = cards
+                    .iter()
+                    .map(|&c| catalog.add_table(format!("t{c}_{}", catalog.num_tables()), c))
+                    .collect();
+                let mut q = Query::new(ids.clone());
+                q.add_predicate(Predicate::binary(ids[0], ids[1], sel));
+                q.add_predicate(Predicate::binary(ids[1], ids[2], sel));
+                queries.push(q);
+            }
+        }
+        queries
+    }
+
+    #[test]
+    fn batch_shares_one_solve_per_structure() {
+        let mut catalog = Catalog::new();
+        let queries = two_structures(&mut catalog, 10); // 20 queries, 2 structures
+        let mut session = PlanSession::new(catalog, Box::new(CountingBackend::new(true)));
+        let results = session.optimize_batch(&queries);
+        assert_eq!(results.len(), 20);
+        for r in &results {
+            r.as_ref().unwrap();
+        }
+        let stats = session.explain();
+        assert_eq!(stats.backend_solves, 2);
+        assert_eq!(stats.cache_hits, 18);
+        assert_eq!(stats.exact_hits, 18); // identical stats -> certificates carried
+        assert_eq!(session.cache_len(), 2);
+        assert!((stats.hit_rate() - 0.9).abs() < 1e-12);
+        // Carried certificates on exact hits.
+        let hit = results[2].as_ref().unwrap();
+        assert!(hit.cache_hit && hit.exact_hit);
+        assert!(hit.outcome.proven_optimal);
+        assert_eq!(hit.outcome.bound, Some(hit.outcome.cost));
+    }
+
+    #[test]
+    fn approximate_hit_recosts_and_drops_certificates() {
+        let mut catalog = Catalog::new();
+        let a1 = catalog.add_table("a1", 100.0);
+        let b1 = catalog.add_table("b1", 9000.0);
+        let mut q1 = Query::new(vec![a1, b1]);
+        q1.add_predicate(Predicate::binary(a1, b1, 0.1));
+        // ~1.5% drift: same fingerprint bucket, different exact stats.
+        let a2 = catalog.add_table("a2", 101.5);
+        let b2 = catalog.add_table("b2", 9100.0);
+        let mut q2 = Query::new(vec![a2, b2]);
+        q2.add_predicate(Predicate::binary(a2, b2, 0.1));
+
+        let mut session = PlanSession::new(catalog, Box::new(CountingBackend::new(true)));
+        let first = session.optimize(&q1).unwrap();
+        let second = session.optimize(&q2).unwrap();
+        assert!(!first.cache_hit);
+        assert!(second.cache_hit && !second.exact_hit);
+        assert!(!second.outcome.proven_optimal);
+        assert_eq!(second.outcome.bound, None);
+        // The reused plan is re-costed exactly for the new statistics.
+        let expected = plan_cost(
+            session.catalog(),
+            &q2,
+            &second.outcome.plan,
+            CostModelKind::Cout,
+            &CostParams::default(),
+        )
+        .total;
+        assert_eq!(second.outcome.cost, expected);
+    }
+
+    #[test]
+    fn caching_can_be_disabled() {
+        let mut catalog = Catalog::new();
+        let queries = two_structures(&mut catalog, 2);
+        let mut session =
+            PlanSession::new(catalog, Box::new(CountingBackend::new(false))).with_caching(false);
+        for r in session.optimize_batch(&queries) {
+            r.unwrap();
+        }
+        assert_eq!(session.explain().backend_solves, 4);
+        assert_eq!(session.explain().cache_hits, 0);
+        assert_eq!(session.cache_len(), 0);
+    }
+
+    #[test]
+    fn invalid_queries_are_counted_and_reported() {
+        let catalog = Catalog::new();
+        let mut other = Catalog::new();
+        let r = other.add_table("R", 10.0);
+        let query = Query::new(vec![r]);
+        let mut session = PlanSession::new(catalog, Box::new(CountingBackend::new(false)));
+        let err = session.optimize(&query).unwrap_err();
+        assert!(matches!(err, OrderingError::InvalidQuery(_)));
+        assert_eq!(session.explain().queries, 1);
+        assert_eq!(session.explain().backend_solves, 0);
+    }
+
+    #[test]
+    fn batch_is_deterministic() {
+        let mut c1 = Catalog::new();
+        let queries1 = two_structures(&mut c1, 3);
+        let mut c2 = Catalog::new();
+        let queries2 = two_structures(&mut c2, 3);
+        let mut s1 = PlanSession::new(c1, Box::new(CountingBackend::new(true)));
+        let mut s2 = PlanSession::new(c2, Box::new(CountingBackend::new(true)));
+        let r1 = s1.optimize_batch(&queries1);
+        let r2 = s2.optimize_batch(&queries2);
+        for (i, (a, b)) in r1.iter().zip(&r2).enumerate() {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.cache_hit, b.cache_hit);
+            assert_eq!(a.outcome.cost, b.outcome.cost);
+            // Same join order up to the (deterministic) table renaming:
+            // mapping each plan through its *own* query's positions must
+            // give identical permutations.
+            let positions = |q: &Query, plan: &LeftDeepPlan| -> Vec<usize> {
+                plan.order
+                    .iter()
+                    .map(|&t| q.table_position(t).expect("plan tables are query tables"))
+                    .collect()
+            };
+            assert_eq!(
+                positions(&queries1[i], &a.outcome.plan),
+                positions(&queries2[i], &b.outcome.plan),
+                "query {i}: join orders diverged between identical sessions"
+            );
+        }
+        assert_eq!(s1.explain().cache_hits, s2.explain().cache_hits);
+    }
+}

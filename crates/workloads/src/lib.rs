@@ -149,6 +149,63 @@ impl WorkloadSpec {
             .map(|i| self.generate(base_seed + i))
             .collect()
     }
+
+    /// Generates a *query stream* over one shared catalog — the input
+    /// shape of `PlanSession::optimize_batch`: `unique` distinct random
+    /// structures (seeds `base_seed..base_seed + unique`), each
+    /// instantiated `copies` times over its own fresh tables. Copies share
+    /// cardinalities and selectivities but name disjoint [`TableId`]s, so
+    /// they are structurally identical without being the same query —
+    /// exactly what a structure-keyed plan cache deduplicates. The stream
+    /// interleaves structures round-robin (`s0 s1 ... s0 s1 ...`),
+    /// mimicking recurring query templates in mixed traffic.
+    pub fn generate_stream(
+        &self,
+        base_seed: u64,
+        unique: usize,
+        copies: usize,
+    ) -> (Catalog, Vec<Query>) {
+        let mut catalog = Catalog::new();
+        // The edge list is a property of (topology, n): compute it once
+        // and share it between stat drawing and query instantiation.
+        let edges = self.topology.edges(self.num_tables);
+        // Draw each structure's statistics once, with the same stream the
+        // single-query generator uses.
+        let structures: Vec<(Vec<f64>, Vec<f64>)> = (0..unique as u64)
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64((base_seed + i) ^ 0x9E37_79B9_7F4A_7C15);
+                let cards: Vec<f64> = (0..self.num_tables)
+                    .map(|_| {
+                        log_uniform(&mut rng, self.cardinality_range)
+                            .round()
+                            .max(1.0)
+                    })
+                    .collect();
+                let sels: Vec<f64> = edges
+                    .iter()
+                    .map(|_| log_uniform(&mut rng, self.selectivity_range).min(1.0))
+                    .collect();
+                (cards, sels)
+            })
+            .collect();
+
+        let mut queries = Vec::with_capacity(unique * copies);
+        for copy in 0..copies {
+            for (s, (cards, sels)) in structures.iter().enumerate() {
+                let ids: Vec<TableId> = cards
+                    .iter()
+                    .enumerate()
+                    .map(|(t, &card)| catalog.add_table(format!("S{s}C{copy}T{t}"), card))
+                    .collect();
+                let mut query = Query::new(ids.clone());
+                for (&(a, b), &sel) in edges.iter().zip(sels) {
+                    query.add_predicate(Predicate::binary(ids[a], ids[b], sel));
+                }
+                queries.push(query);
+            }
+        }
+        (catalog, queries)
+    }
 }
 
 fn log_uniform(rng: &mut StdRng, (lo, hi): (f64, f64)) -> f64 {
@@ -240,6 +297,46 @@ mod tests {
         assert_eq!(batch.len(), 5);
         for (c, q) in &batch {
             q.validate(c).unwrap();
+        }
+    }
+
+    #[test]
+    fn stream_copies_are_structurally_identical_but_disjoint() {
+        let spec = WorkloadSpec::new(Topology::Star, 6);
+        let (catalog, queries) = spec.generate_stream(11, 2, 3);
+        assert_eq!(queries.len(), 6);
+        assert_eq!(catalog.num_tables(), 6 * 6);
+        for q in &queries {
+            q.validate(&catalog).unwrap();
+        }
+        // Round-robin interleaving: stream[0] and stream[2] are copies of
+        // structure 0; stream[1] is structure 1.
+        let stats = |q: &Query| -> (Vec<f64>, Vec<f64>) {
+            (
+                q.tables.iter().map(|&t| catalog.cardinality(t)).collect(),
+                q.predicates.iter().map(|p| p.selectivity).collect(),
+            )
+        };
+        assert_eq!(stats(&queries[0]), stats(&queries[2]));
+        assert_ne!(stats(&queries[0]), stats(&queries[1]));
+        // Copies never share a table.
+        assert!(queries[0]
+            .tables
+            .iter()
+            .all(|t| !queries[2].tables.contains(t)));
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let spec = WorkloadSpec::new(Topology::Chain, 5);
+        let (c1, q1) = spec.generate_stream(3, 2, 2);
+        let (c2, q2) = spec.generate_stream(3, 2, 2);
+        assert_eq!(c1.num_tables(), c2.num_tables());
+        for (a, b) in q1.iter().zip(&q2) {
+            assert_eq!(a.tables, b.tables);
+            for (pa, pb) in a.predicates.iter().zip(&b.predicates) {
+                assert_eq!(pa.selectivity, pb.selectivity);
+            }
         }
     }
 

@@ -82,13 +82,17 @@ impl<'a> BenchmarkGroup<'a> {
     where
         F: FnMut(&mut Bencher, &I),
     {
+        let id = id.to_string();
+        if self.filtered_out(&id) {
+            return self;
+        }
         let sample_size = self.effective_sample_size();
         let mut b = Bencher {
             samples: Vec::with_capacity(sample_size),
             sample_size,
         };
         routine(&mut b, input);
-        self.report(&id.to_string(), &b.samples);
+        self.report(&id, &b.samples);
         self
     }
 
@@ -96,18 +100,31 @@ impl<'a> BenchmarkGroup<'a> {
     where
         F: FnMut(&mut Bencher),
     {
+        let name = name.into();
+        if self.filtered_out(&name) {
+            return self;
+        }
         let sample_size = self.effective_sample_size();
         let mut b = Bencher {
             samples: Vec::with_capacity(sample_size),
             sample_size,
         };
         routine(&mut b);
-        let name = name.into();
         self.report(&name, &b.samples);
         self
     }
 
     pub fn finish(&mut self) {}
+
+    /// Substring filtering like real criterion: `cargo bench -- <filter>`
+    /// skips every benchmark whose `group/id` path does not contain the
+    /// filter.
+    fn filtered_out(&self, id: &str) -> bool {
+        match &self.criterion.filter {
+            Some(f) => !format!("{}/{id}", self.name).contains(f.as_str()),
+            None => false,
+        }
+    }
 
     fn effective_sample_size(&self) -> usize {
         std::env::var("BENCH_SAMPLE_SIZE")
@@ -166,9 +183,21 @@ fn fmt_ns(ns: u128) -> String {
 #[derive(Debug, Default)]
 pub struct Criterion {
     results: u64,
+    /// Substring filter (the first free argument, as with real criterion).
+    filter: Option<String>,
 }
 
 impl Criterion {
+    /// Reads the benchmark filter from the command line: the first
+    /// argument that is not a flag (cargo passes `--bench` and friends).
+    pub fn from_args() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Criterion { results: 0, filter }
+    }
+
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
             criterion: self,
@@ -186,7 +215,7 @@ impl Criterion {
 macro_rules! criterion_group {
     ($group:ident, $($target:path),+ $(,)?) => {
         pub fn $group() {
-            let mut c = $crate::Criterion::default();
+            let mut c = $crate::Criterion::from_args();
             $( $target(&mut c); )+
             c.final_summary();
         }

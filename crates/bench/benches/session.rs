@@ -11,12 +11,16 @@
 //! * `hybrid_vs_cold` — the same query solved by the warm-started hybrid
 //!   and by the cold MILP, per topology: tracks the warm-start win over
 //!   time.
+//! * `upper_bound` — one batch under `ApproxMode::UpperBound`: exercises
+//!   the window-floor-corrected cost-space bound projection and reports
+//!   how often a positive bound (hence a guaranteed factor) is proven.
 //! * `fingerprint` — the pure cache-key computation (the per-query
 //!   overhead a hit must amortize).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use milpjoin::{
-    EncoderConfig, HybridOptimizer, MilpOptimizer, OrderingOptions, PlanSession, Precision,
+    ApproxMode, EncoderConfig, HybridOptimizer, MilpOptimizer, OrderingOptions, PlanSession,
+    Precision,
 };
 use milpjoin_qopt::{FingerprintOptions, FingerprintedQuery, JoinOrderer};
 use milpjoin_workloads::{Topology, WorkloadSpec};
@@ -104,6 +108,52 @@ fn bench_hybrid_vs_cold(c: &mut Criterion) {
     g.finish();
 }
 
+/// One batch per topology under the upper-bounding approximation: the
+/// projection must claim a (sound) cost-space bound wherever the MILP dual
+/// bound survives the window-floor correction.
+fn bench_upper_bound(c: &mut Criterion) {
+    let mut g = c.benchmark_group("upper_bound");
+    g.sample_size(3);
+    for topo in TOPOLOGIES {
+        let spec = WorkloadSpec::new(topo, 8);
+        let (catalog, queries) = spec.generate_stream(5, 2, 4);
+        let config = EncoderConfig {
+            approx_mode: ApproxMode::UpperBound,
+            ..EncoderConfig::default().precision(Precision::Low)
+        };
+        g.bench_with_input(
+            BenchmarkId::new("hybrid-upper", topo.name()),
+            &topo,
+            |b, _| {
+                b.iter(|| {
+                    let mut session = PlanSession::new(
+                        catalog.clone(),
+                        Box::new(HybridOptimizer::new(config.clone())),
+                    )
+                    .with_options(options());
+                    let results = session.optimize_batch(&queries);
+                    let mut bounded = 0usize;
+                    let mut with_factor = 0usize;
+                    for r in &results {
+                        let out = &r.as_ref().expect("hybrid always returns a plan").outcome;
+                        bounded += usize::from(out.bound.is_some());
+                        with_factor += usize::from(out.guaranteed_factor().is_some());
+                    }
+                    println!(
+                        "SESSION_STATS topology={} mode=upper queries={} bounded={} factors={}",
+                        topo.name(),
+                        queries.len(),
+                        bounded,
+                        with_factor,
+                    );
+                    black_box(bounded)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
 /// Fingerprint computation: the fixed per-query cache overhead.
 fn bench_fingerprint(c: &mut Criterion) {
     let mut g = c.benchmark_group("fingerprint");
@@ -122,6 +172,7 @@ criterion_group!(
     benches,
     bench_batch,
     bench_hybrid_vs_cold,
+    bench_upper_bound,
     bench_fingerprint
 );
 criterion_main!(benches);

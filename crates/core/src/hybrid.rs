@@ -13,13 +13,18 @@
 //! The hybrid additionally keeps the greedy plan as a safety net: when the
 //! decoded MILP plan is worse than the greedy one under the *exact* cost
 //! model (possible when the threshold window collapses costs below its
-//! floor into ties), the greedy plan is returned instead. And when the
-//! warm-started MILP produces *no* plan at all (`NoPlanFound` — possible
-//! only when the solver rejects the warm start, e.g. numerically, and then
-//! exhausts its budget), the [`JoinOrderer::order`] surface falls back to
-//! a greedy-only outcome instead of propagating the error: honest
-//! `bound: None`, `proven_optimal: false`, exactly like the greedy
-//! backend. A caller with a feasible seed never sees `NoPlanFound`.
+//! floor into ties), the greedy plan is returned instead. Since the MILP
+//! pipeline itself returns the exact-cost **argmin over every decoded
+//! incumbent** (see `milpjoin::optimizer`) and the accepted warm-start
+//! seed is the root incumbent, the safety net fires only in corner cases
+//! the argmin cannot see — a seed the solver rejected, or an incumbent
+//! whose mid-solve decode failed. And when the warm-started MILP produces
+//! *no* plan at all (`NoPlanFound` — possible only when the solver rejects
+//! the warm start, e.g. numerically, and then exhausts its budget), the
+//! [`JoinOrderer::order`] surface falls back to a greedy-only outcome
+//! instead of propagating the error: honest `bound: None`,
+//! `proven_optimal: false`, exactly like the greedy backend. A caller with
+//! a feasible seed never sees `NoPlanFound`.
 
 use std::time::Instant;
 

@@ -58,11 +58,11 @@ pub use decode::{decode, DecodeError, DecodedPlan};
 pub use encode::{encode, warm_start_assignment, EncodeError, Encoding, EncodingVars, PhysOp};
 pub use hybrid::HybridOptimizer;
 pub use optimizer::{
-    cost_space_bound, AnytimeTrace, MilpOptimizer, OptimizeError, OptimizeOptions, OptimizeOutcome,
-    TracePoint, MIN_RELATIVE_GAP,
+    bound_projection, cost_space_bound, AnytimeTrace, MilpOptimizer, OptimizeError,
+    OptimizeOptions, OptimizeOutcome, TracePoint, MIN_RELATIVE_GAP,
 };
 pub use stats::{ConstrCategory, FormulationStats, VarCategory};
-pub use thresholds::{ApproxMode, Precision, ThresholdGrid};
+pub use thresholds::{ApproxMode, CostSpaceProjection, Precision, ThresholdGrid};
 
 // Backend-agnostic ordering interface and the session service layer
 // (defined in `milpjoin_qopt`), re-exported so downstream users need only

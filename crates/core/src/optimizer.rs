@@ -18,6 +18,37 @@
 //!   is projected by [`cost_space_bound`], so incumbents are *exact* plan
 //!   costs and `guaranteed_factor_at` means the same thing as for the DP
 //!   and greedy backends.
+//!
+//! ## The exact-cost argmin guarantee
+//!
+//! The MILP searches an *approximate* objective space: a MILP-space
+//! improvement can decode to a plan whose *exact* cost is worse than an
+//! incumbent decoded earlier (the threshold window collapses nearby costs
+//! into ties). Since every incumbent is decoded and exactly costed at
+//! trace-point creation anyway, the pipeline keeps a running **exact-cost
+//! argmin** over all decoded incumbents and returns that plan — the best
+//! plan ever decoded, at zero extra solve cost. Consequences:
+//!
+//! * cost-space trace incumbents are the running argmin, so they are
+//!   **monotone non-increasing** — the plan the optimizer would hand back
+//!   if stopped at that moment;
+//! * when the argmin is not the final MILP incumbent
+//!   ([`OptimizeOutcome::argmin_swapped`]), the MILP-space certificates
+//!   (`status` / `milp_objective` / `milp_bound`) keep describing the
+//!   search, not the returned plan: the [`JoinOrderer::order`] projection
+//!   then reports `proven_optimal: false` (exactly like the hybrid's
+//!   seed-swap path) while keeping the cost-space `bound`, which holds for
+//!   every plan — the argmin included.
+//!
+//! ## Cost-space bound projection
+//!
+//! [`bound_projection`] computes the per-query [`CostSpaceProjection`]
+//! that turns a MILP dual bound into a cost-space lower bound valid for
+//! every plan; [`cost_space_bound`] applies it. Under the default
+//! lower-bounding approximation the projection is the identity; under
+//! [`ApproxMode::UpperBound`] it divides by a per-model factor after
+//! subtracting the **window-floor inflation** (see the function docs for
+//! the derivation).
 
 use std::time::Duration;
 
@@ -33,43 +64,150 @@ use crate::config::EncoderConfig;
 use crate::decode::{decode, DecodedPlan};
 use crate::encode::{encode, warm_start_assignment, EncodeError, Encoding};
 use crate::stats::FormulationStats;
-use crate::thresholds::ApproxMode;
+use crate::thresholds::{ApproxMode, CostSpaceProjection, ThresholdGrid};
 
 // The anytime trace is backend-agnostic and lives with the `JoinOrderer`
 // trait; re-exported here for source compatibility.
 pub use milpjoin_qopt::orderer::{AnytimeTrace, TracePoint};
 
-/// Projects a MILP-space dual bound into exact-cost space.
+/// Computes the per-query [`CostSpaceProjection`] that turns a MILP dual
+/// bound into a cost-space lower bound valid for **every** plan, or `None`
+/// when no sound projection exists for the configuration.
 ///
 /// Under the default [`ApproxMode::LowerBound`], every approximate
 /// cardinality under-estimates the true one (thresholds snap down, the
 /// window floor is zero, saturation caps at the top threshold) and every
 /// cost formula is monotone in those cardinalities, so the MILP objective
-/// of *any* plan under-estimates its exact cost — a MILP dual bound is
-/// already a valid cost-space lower bound for every plan.
+/// of *any* plan under-estimates its exact cost — the projection is the
+/// identity.
 ///
-/// Under [`ApproxMode::UpperBound`] no cost-space bound is claimed
-/// (`None`). The tempting projection `bound / tolerance_factor` is only
-/// valid inside the threshold window: operands *below* the window floor
-/// approximate to θ_0 — an over-estimate with no bounded factor — so a
-/// query whose optimum lives below the floor could be handed a "lower
-/// bound" above its true optimal cost, i.e. a false certificate. A valid
-/// projection would need per-query window-floor accounting (see
-/// ROADMAP.md).
-pub fn cost_space_bound(config: &EncoderConfig, milp_bound: f64) -> Option<f64> {
-    if !milp_bound.is_finite() {
+/// Under [`ApproxMode::UpperBound`], every outer-operand level satisfies
+/// `level <= max(F·c, θ_0) <= F·c + θ_0` where `c` is the exact operand
+/// cardinality, `F` the tolerance factor and `θ_0` the window floor
+/// ([`ThresholdGrid::upper_level_bound`]). Naively dividing the dual bound
+/// by `F` would be unsound: operands *below* the floor approximate to θ_0
+/// — an over-estimate with no bounded multiplicative factor — so a query
+/// whose optimum lives below the floor could be handed a false
+/// certificate. Instead, the additive floor term is accounted per
+/// objective term and subtracted before dividing. Per cost model (`po`/`pi`
+/// = exact outer/inner pages, `φ = θ_0·tupleBytes/pageBytes + 1` the
+/// per-join outer-page inflation, covering both page modes' ceilings):
+///
+/// * **C_out** — terms `co_j <= F·c_j + θ_0`: divisor `F`, inflation `θ_0`
+///   per counted intermediate (`num_joins - 1` terms);
+/// * **hash** — `3(pgo + pgi) <= F·3(po + pi) + 3φ`: divisor `F`,
+///   inflation `3φ` per join;
+/// * **sort-merge** — the log-linear term is super-linear, so a constant
+///   extra factor is paid: with `Lmax = ⌈log2 pages(θ_top)⌉` the largest
+///   log factor any representable level reaches,
+///   `2·plpo + 2·plpi + pgo + pgi <= F(2Lmax+1)·exact + (2Lmax+1)·φ`:
+///   divisor `F·(2Lmax+1)`, inflation `(2Lmax+1)·φ` per join;
+/// * **block-nested-loop** — `(pgo/B)·pgi <= F·exact + (φ/B)·max_t pgi_t`:
+///   divisor `F`, inflation `(φ/B)·max_t pages(t)` per join;
+/// * **operator selection** — the MILP may pick any enabled operator per
+///   join: the weakest divisor and largest per-join inflation across the
+///   enabled set apply;
+/// * **expensive predicates** — each scheduled predicate pays
+///   `evalCost·co` at one join: `evalCost·θ_0` added once per predicate.
+///
+/// Byte-based projection pages (`projection` with the hash model) change
+/// the objective's *units* — carried-column bytes versus the exact model's
+/// fixed tuple width — so no sound projection exists in either mode and
+/// `None` is returned (the previous identity claim under `LowerBound` was
+/// unsound there).
+pub fn bound_projection(
+    config: &EncoderConfig,
+    catalog: &Catalog,
+    query: &Query,
+    grid: &ThresholdGrid,
+) -> Option<CostSpaceProjection> {
+    use milpjoin_qopt::CostModelKind;
+
+    if config.projection && config.cost_model == CostModelKind::Hash {
         return None;
     }
     match config.approx_mode {
-        ApproxMode::LowerBound => Some(milp_bound),
-        ApproxMode::UpperBound => None,
+        ApproxMode::LowerBound => Some(CostSpaceProjection::identity()),
+        ApproxMode::UpperBound => {
+            let f = config.precision.tolerance_factor();
+            let params = &config.cost_params;
+            let num_joins = query.num_tables().saturating_sub(1);
+            let floor = grid.floor_value();
+            // φ: pgo_milp <= F·po + φ in both page modes (ratio mode needs
+            // no ceiling slack; threshold mode's ⌈·⌉ adds at most 1 page).
+            let page_inflation = floor * params.tuple_bytes / params.page_bytes + 1.0;
+            let lmax = params.pages(grid.top_value()).log2().ceil().max(1.0);
+            let sm_factor = 2.0 * lmax + 1.0;
+            // Raw catalog cardinalities upper-bound the effective (unary
+            // predicates folded) inner-operand pages.
+            let max_inner_pages = query
+                .tables
+                .iter()
+                .map(|&t| params.pages(catalog.cardinality(t)))
+                .fold(1.0, f64::max);
+
+            let per_model = |model: CostModelKind| -> (f64, f64) {
+                match model {
+                    CostModelKind::Cout => (f, floor),
+                    CostModelKind::Hash => (f, 3.0 * page_inflation),
+                    CostModelKind::SortMerge => (f * sm_factor, sm_factor * page_inflation),
+                    CostModelKind::BlockNestedLoop => {
+                        (f, page_inflation / params.buffer_pages * max_inner_pages)
+                    }
+                }
+            };
+            let operator_selection =
+                config.operator_selection && config.cost_model != CostModelKind::Cout;
+            let (divisor, per_join) = if operator_selection {
+                // Enabled set is hash + sort-merge + BNL (+ the sorted-outer
+                // sort-merge variant, dominated by plain sort-merge).
+                [
+                    CostModelKind::Hash,
+                    CostModelKind::SortMerge,
+                    CostModelKind::BlockNestedLoop,
+                ]
+                .into_iter()
+                .map(per_model)
+                .fold((1.0f64, 0.0f64), |(d, i), (dm, im)| (d.max(dm), i.max(im)))
+            } else {
+                per_model(config.cost_model)
+            };
+            let terms = if config.cost_model == CostModelKind::Cout && !operator_selection {
+                // Σ_{j >= 1} co_j: only intermediates are counted.
+                num_joins.saturating_sub(1)
+            } else {
+                num_joins
+            };
+            // Scheduled expensive predicates: evalCost·θ_0 each.
+            let pred_inflation: f64 = query
+                .predicates
+                .iter()
+                .filter(|p| p.tables.len() >= 2 && p.eval_cost_per_tuple > 0.0)
+                .map(|p| p.eval_cost_per_tuple * floor)
+                .sum();
+            Some(CostSpaceProjection {
+                divisor,
+                inflation: per_join * terms as f64 + pred_inflation,
+            })
+        }
     }
+}
+
+/// Projects a MILP-space dual bound into exact-cost space through the
+/// per-query projection of [`bound_projection`]: `None` when no sound
+/// projection exists for the configuration or the search proved nothing.
+/// The projected value is a lower bound on the exact cost of *every* plan
+/// (it may be non-positive, in which case it proves nothing beyond the
+/// trivial `cost >= 0`).
+pub fn cost_space_bound(projection: Option<&CostSpaceProjection>, milp_bound: f64) -> Option<f64> {
+    projection.and_then(|p| p.project(milp_bound))
 }
 
 /// Everything the optimizer returns for one query.
 #[derive(Debug, Clone)]
 pub struct OptimizeOutcome {
-    /// The decoded plan (with operators when operator selection was on).
+    /// The returned plan: the **exact-cost argmin** over every decoded
+    /// incumbent (with operators when operator selection was on).
     pub plan: LeftDeepPlan,
     /// Full decoded information (predicate schedule, ...).
     pub decoded: DecodedPlan,
@@ -83,8 +221,18 @@ pub struct OptimizeOutcome {
     /// exact cost space, on the cost of *every* plan. `None` when the
     /// search proved nothing.
     pub cost_bound: Option<f64>,
-    /// Exact cost of the decoded plan under the configured cost model.
+    /// Exact cost of the returned plan under the configured cost model.
     pub true_cost: f64,
+    /// Whether the returned plan is an *earlier* decoded incumbent whose
+    /// exact cost beats the final MILP incumbent (possible because the
+    /// threshold-window approximation can rank plans differently from the
+    /// exact cost model). When set, `status` / `milp_objective` /
+    /// `milp_bound` keep describing the MILP *search* — still a valid
+    /// record of what was proven in MILP space, but not a certificate for
+    /// the returned plan; the [`JoinOrderer::order`] projection reports
+    /// `proven_optimal: false` accordingly while keeping the global
+    /// cost-space `bound`.
+    pub argmin_swapped: bool,
     /// MILP-space search record.
     pub trace: AnytimeTrace,
     /// Cost-space trace: exact costs of the decoded incumbents plus the
@@ -255,6 +403,7 @@ impl MilpOptimizer {
                 milp_bound: 0.0,
                 cost_bound: Some(0.0),
                 true_cost: 0.0,
+                argmin_swapped: false,
                 trace: AnytimeTrace::default(),
                 cost_trace: CostTrace::default(),
                 stats: FormulationStats::default(),
@@ -286,15 +435,19 @@ impl MilpOptimizer {
             ..SolverOptions::default()
         };
 
+        // Per-query dual-bound projection into exact cost space.
+        let projection = bound_projection(&self.config, catalog, query, &encoding.grid);
+
         let mut trace = AnytimeTrace::default();
         let mut cost_trace = CostTrace::default();
         // Exact-cost projections of decoded incumbents, keyed by the
         // decoded plan: each incumbent is decoded once, and a re-visited
         // plan (e.g. two MILP solutions differing only in threshold
-        // variables) reuses its cached projection.
-        let mut projections: Vec<(LeftDeepPlan, f64)> = Vec::new();
+        // variables) reuses its cached projection. `best` indexes the
+        // running exact-cost argmin — the plan the pipeline will return.
+        let mut projections: Vec<(DecodedPlan, f64)> = Vec::new();
+        let mut best: Option<usize> = None;
         let mut last_incumbent: Option<f64> = None;
-        let mut last_exact: Option<f64> = None;
         let mut last_bound = f64::NEG_INFINITY;
         let result = Solver::new(solver_options)
             .solve_with_callback(&encoding.model, |ev| match ev {
@@ -311,8 +464,8 @@ impl MilpOptimizer {
                     // the final decode after the solve reports it loudly,
                     // so here the point is simply skipped.
                     if let Ok(d) = decode(&encoding, query, &inc.solution) {
-                        let exact = match projections.iter().find(|(p, _)| *p == d.plan) {
-                            Some(&(_, c)) => c,
+                        let idx = match projections.iter().position(|(p, _)| p.plan == d.plan) {
+                            Some(i) => i,
                             None => {
                                 let c = plan_cost(
                                     catalog,
@@ -322,15 +475,23 @@ impl MilpOptimizer {
                                     &self.config.cost_params,
                                 )
                                 .total;
-                                projections.push((d.plan, c));
-                                c
+                                projections.push((d, c));
+                                projections.len() - 1
                             }
                         };
-                        last_exact = Some(exact);
+                        // Strict improvement keeps the earliest argmin on
+                        // ties (deterministic).
+                        if best.is_none_or(|b| projections[idx].1 < projections[b].1) {
+                            best = Some(idx);
+                        }
+                        // Trace incumbents are the running argmin: the
+                        // exact cost of the plan that would be returned if
+                        // the solve stopped here — monotone by
+                        // construction.
                         cost_trace.push(CostTracePoint {
                             elapsed: inc.elapsed,
-                            incumbent: last_exact,
-                            bound: cost_space_bound(&self.config, last_bound),
+                            incumbent: best.map(|b| projections[b].1),
+                            bound: cost_space_bound(projection.as_ref(), last_bound),
                         });
                     }
                 }
@@ -343,8 +504,8 @@ impl MilpOptimizer {
                     });
                     cost_trace.push(CostTracePoint {
                         elapsed: *elapsed,
-                        incumbent: last_exact,
-                        bound: cost_space_bound(&self.config, last_bound),
+                        incumbent: best.map(|b| projections[b].1),
+                        bound: cost_space_bound(projection.as_ref(), last_bound),
                     });
                 }
             })
@@ -359,11 +520,11 @@ impl MilpOptimizer {
         }
 
         let solution = result.solution.as_ref().expect("has_solution checked");
-        let decoded = decode(&encoding, query, solution)
+        let mut decoded = decode(&encoding, query, solution)
             .map_err(|e| OptimizeError::Solver(format!("decode failed: {e}")))?;
         // The final solution is the last incumbent: reuse its cached
         // projection instead of re-costing.
-        let true_cost = match projections.iter().find(|(p, _)| *p == decoded.plan) {
+        let mut true_cost = match projections.iter().find(|(p, _)| p.plan == decoded.plan) {
             Some(&(_, c)) => c,
             None => {
                 plan_cost(
@@ -377,14 +538,35 @@ impl MilpOptimizer {
             }
         };
 
+        // Exact-cost argmin: never return a plan exactly-worse than an
+        // incumbent that was already decoded and costed (the MILP-space
+        // objective and `plan_cost` can disagree under the threshold-window
+        // approximation). A final trace point makes the trace tail describe
+        // the returned plan at termination time.
+        let final_bound = cost_space_bound(projection.as_ref(), result.bound);
+        let argmin_swapped = match best {
+            Some(b) if projections[b].1 < true_cost => {
+                decoded = projections[b].0.clone();
+                true_cost = projections[b].1;
+                cost_trace.push(CostTracePoint {
+                    elapsed: result.solve_time,
+                    incumbent: Some(true_cost),
+                    bound: final_bound,
+                });
+                true
+            }
+            _ => false,
+        };
+
         Ok(OptimizeOutcome {
             plan: decoded.plan.clone(),
             decoded,
             status: result.status,
             milp_objective: result.objective.expect("has solution"),
             milp_bound: result.bound,
-            cost_bound: cost_space_bound(&self.config, result.bound),
+            cost_bound: final_bound,
             true_cost,
+            argmin_swapped,
             trace,
             cost_trace,
             stats: encoding.stats,
@@ -400,13 +582,25 @@ impl OptimizeOutcome {
     /// exact cost, cost-space bound ([`cost_space_bound`]; a -inf MILP
     /// bound means the search proved nothing and projects to `None`), and
     /// the cost-space trace.
+    ///
+    /// When the exact-cost argmin replaced the final MILP incumbent
+    /// ([`Self::argmin_swapped`]), the MILP-space certificate belongs to
+    /// the discarded plan: the returned plan is reported like the hybrid's
+    /// seed-swap path — exact cost as the objective, `proven_optimal:
+    /// false` — while the cost-space `bound` is kept (it holds for every
+    /// plan, the argmin included).
     pub fn into_ordering_outcome(self) -> OrderingOutcome {
+        let objective = if self.argmin_swapped {
+            self.true_cost
+        } else {
+            self.milp_objective
+        };
         OrderingOutcome {
             plan: self.plan,
             cost: self.true_cost,
-            objective: self.milp_objective,
+            objective,
             bound: self.cost_bound,
-            proven_optimal: self.status == SolveStatus::Optimal,
+            proven_optimal: self.status == SolveStatus::Optimal && !self.argmin_swapped,
             trace: self.cost_trace,
             elapsed: self.solve_time,
         }
@@ -506,21 +700,144 @@ mod tests {
         assert!(matches!(err, OptimizeError::Encode(_)));
     }
 
+    fn paper_example() -> (Catalog, Query) {
+        let mut catalog = Catalog::new();
+        let r = catalog.add_table("R", 10.0);
+        let s = catalog.add_table("S", 1000.0);
+        let t = catalog.add_table("T", 100.0);
+        let mut query = Query::new(vec![r, s, t]);
+        query.add_predicate(milpjoin_qopt::Predicate::binary(r, s, 0.1));
+        (catalog, query)
+    }
+
     #[test]
     fn cost_space_bound_projection_modes() {
+        use crate::thresholds::Precision;
+        let (catalog, query) = paper_example();
+        let lower = EncoderConfig::default();
+        let grid = ThresholdGrid::build(
+            Precision::Medium,
+            query.num_tables(),
+            0.0,
+            6.0,
+            ApproxMode::LowerBound,
+        );
         // LowerBound approximations under-estimate cost: the MILP dual
         // bound passes through unchanged. A -inf bound (nothing proven)
         // projects to None.
-        let lower = EncoderConfig::default();
-        assert_eq!(cost_space_bound(&lower, 42.0), Some(42.0));
-        assert_eq!(cost_space_bound(&lower, f64::NEG_INFINITY), None);
-        // UpperBound approximations over-estimate with no bounded factor
-        // below the window floor: no cost-space bound is claimed.
+        let p = bound_projection(&lower, &catalog, &query, &grid).unwrap();
+        assert_eq!(p, CostSpaceProjection::identity());
+        assert_eq!(cost_space_bound(Some(&p), 42.0), Some(42.0));
+        assert_eq!(cost_space_bound(Some(&p), f64::NEG_INFINITY), None);
+        assert_eq!(cost_space_bound(None, 42.0), None);
+
+        // UpperBound approximations over-estimate: the projection divides
+        // by the tolerance factor after subtracting the window-floor
+        // inflation ((num_joins - 1) floor terms under C_out).
         let upper = EncoderConfig {
             approx_mode: ApproxMode::UpperBound,
             ..Default::default()
         };
-        assert_eq!(cost_space_bound(&upper, 42.0), None);
+        let ugrid = ThresholdGrid::build(
+            Precision::Medium,
+            query.num_tables(),
+            0.0,
+            6.0,
+            ApproxMode::UpperBound,
+        );
+        let up = bound_projection(&upper, &catalog, &query, &ugrid).unwrap();
+        assert_eq!(up.divisor, Precision::Medium.tolerance_factor());
+        assert_eq!(up.inflation, ugrid.floor_value()); // one intermediate
+        let projected = cost_space_bound(Some(&up), 42.0).unwrap();
+        assert!((projected - (42.0 - up.inflation) / up.divisor).abs() < 1e-12);
+    }
+
+    #[test]
+    fn byte_based_projection_pages_claim_no_bound() {
+        use milpjoin_qopt::CostModelKind;
+        let (catalog, query) = paper_example();
+        let grid = ThresholdGrid::build(
+            crate::thresholds::Precision::Medium,
+            query.num_tables(),
+            0.0,
+            6.0,
+            ApproxMode::LowerBound,
+        );
+        // Hash + projection prices pages from carried-column bytes — a
+        // different unit from the exact model's fixed tuple width — so no
+        // sound projection exists in either approximation mode.
+        let mut config = EncoderConfig::default().cost_model(CostModelKind::Hash);
+        config.projection = true;
+        assert!(bound_projection(&config, &catalog, &query, &grid).is_none());
+        config.approx_mode = ApproxMode::UpperBound;
+        assert!(bound_projection(&config, &catalog, &query, &grid).is_none());
+        // C_out + projection keeps the cardinality-based objective: sound.
+        config.cost_model = CostModelKind::Cout;
+        config.approx_mode = ApproxMode::LowerBound;
+        assert!(bound_projection(&config, &catalog, &query, &grid).is_some());
+    }
+
+    #[test]
+    fn upper_bound_projection_per_model_accounting() {
+        use milpjoin_qopt::CostModelKind;
+        let (catalog, query) = paper_example();
+        let grid = ThresholdGrid::build(
+            crate::thresholds::Precision::Medium,
+            query.num_tables(),
+            0.0,
+            6.0,
+            ApproxMode::UpperBound,
+        );
+        let f = crate::thresholds::Precision::Medium.tolerance_factor();
+        let base = EncoderConfig {
+            approx_mode: ApproxMode::UpperBound,
+            ..Default::default()
+        };
+        let proj = |model: CostModelKind, op_sel: bool| {
+            let mut c = base.clone().cost_model(model);
+            c.operator_selection = op_sel;
+            bound_projection(&c, &catalog, &query, &grid).unwrap()
+        };
+        // Hash / BNL keep divisor F; sort-merge pays the log-linear factor.
+        assert_eq!(proj(CostModelKind::Hash, false).divisor, f);
+        assert_eq!(proj(CostModelKind::BlockNestedLoop, false).divisor, f);
+        let sm = proj(CostModelKind::SortMerge, false);
+        assert!(sm.divisor > f);
+        // Operator selection takes the weakest divisor across the set.
+        let op = proj(CostModelKind::Hash, true);
+        assert_eq!(op.divisor, sm.divisor);
+        assert!(op.inflation >= proj(CostModelKind::Hash, false).inflation);
+        // Every projection inflates by a positive floor correction.
+        for model in [
+            CostModelKind::Hash,
+            CostModelKind::SortMerge,
+            CostModelKind::BlockNestedLoop,
+        ] {
+            assert!(proj(model, false).inflation > 0.0);
+        }
+    }
+
+    #[test]
+    fn argmin_swap_demotes_certificates_but_keeps_the_bound() {
+        // Synthetic outcome: the search proved MILP-optimality for a plan
+        // that an earlier incumbent beats in exact cost. The projection
+        // must report the argmin like the hybrid's seed-swap path does.
+        let (catalog, query) = paper_example();
+        let out = MilpOptimizer::with_defaults()
+            .optimize(&catalog, &query, &OptimizeOptions::default())
+            .unwrap();
+        let swapped = OptimizeOutcome {
+            argmin_swapped: true,
+            true_cost: out.true_cost - 1.0,
+            ..out.clone()
+        };
+        let ordering = swapped.into_ordering_outcome();
+        assert!(!ordering.proven_optimal);
+        assert_eq!(ordering.objective, out.true_cost - 1.0);
+        assert_eq!(ordering.bound, out.cost_bound); // global: kept
+        let straight = out.clone().into_ordering_outcome();
+        assert!(straight.proven_optimal);
+        assert_eq!(straight.objective, out.milp_objective);
     }
 
     #[test]

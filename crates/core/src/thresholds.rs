@@ -20,6 +20,14 @@
 //! (The paper states the high/low counts explicitly; medium is interpolated
 //! at the same modeled range.) Above the top threshold the approximation
 //! saturates — the paper equally models "a bounded cardinality range".
+//!
+//! The grid also carries the data for projecting MILP dual bounds into
+//! exact cost space: [`CostSpaceProjection`] holds the per-query
+//! window-floor accounting (divisor + additive inflation) that makes the
+//! projection sound under [`ApproxMode::UpperBound`], where operands below
+//! the floor over-approximate to θ_0 with no bounded multiplicative
+//! factor (the per-cost-model derivation lives with
+//! `milpjoin::optimizer::bound_projection`).
 
 /// Approximation precision configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -286,6 +294,94 @@ impl ThresholdGrid {
     pub fn big_m(&self, r: usize) -> f64 {
         (self.log_card_max - self.log_thresholds[r]).max(0.0) + 1.0
     }
+
+    /// Raw value of the window floor `θ_0` — the level every operand below
+    /// the grid approximates to in [`ApproxMode::UpperBound`] (an
+    /// over-estimate with no bounded multiplicative factor; the quantity
+    /// the window-floor accounting of [`CostSpaceProjection`] charges per
+    /// objective term).
+    pub fn floor_value(&self) -> f64 {
+        self.threshold(0)
+    }
+
+    /// Raw value of the top threshold `θ_{l-1}` — the saturation level
+    /// every operand above the window approximates to.
+    pub fn top_value(&self) -> f64 {
+        self.threshold(self.len() - 1)
+    }
+
+    /// The largest factor by which an [`ApproxMode::UpperBound`] level can
+    /// exceed the exact operand cardinality *plus* the floor: for every
+    /// exact cardinality `c`, `level(c) <= max(factor · c, θ_0)`.
+    ///
+    /// * inside the window, `c ∈ (θ_r, θ_{r+1}]` maps to
+    ///   `θ_{r+1} = θ_r · F < F · c` (F = the grid spacing factor);
+    /// * below the floor, the level is the constant `θ_0`;
+    /// * above the window, the level saturates at `θ_top <= c`.
+    ///
+    /// This is the inequality the cost-space bound projection is built on
+    /// (see [`CostSpaceProjection`]).
+    pub fn upper_level_bound(&self, spacing_factor: f64, card: f64) -> f64 {
+        debug_assert_eq!(self.mode, ApproxMode::UpperBound);
+        (spacing_factor * card).max(self.floor_value())
+    }
+}
+
+/// Per-query accounting for projecting a MILP-space dual bound into exact
+/// cost space: for every feasible plan `P` (with operator choices where
+/// operator selection is on),
+///
+/// ```text
+/// milp_objective(P) <= divisor · exact_cost(P) + inflation
+/// ```
+///
+/// so `exact_cost(P) >= (milp_bound - inflation) / divisor` for every plan
+/// — a valid cost-space lower bound.
+///
+/// Under [`ApproxMode::LowerBound`] the approximation under-estimates every
+/// cardinality and every objective term is monotone in them, so the
+/// identity projection (`divisor = 1`, `inflation = 0`) is sound.
+///
+/// Under [`ApproxMode::UpperBound`] each outer-operand level satisfies
+/// `level <= max(F · c, θ_0) <= F · c + θ_0` (see
+/// [`ThresholdGrid::upper_level_bound`]); threading that through each cost
+/// model's objective terms yields a per-query `divisor` (`F` for C_out /
+/// hash / BNL; `F · (2·Lmax + 1)` for sort-merge, where `Lmax` is the
+/// largest `⌈log2 pages⌉` any representable level can reach — the
+/// log-linear sort term is super-linear, so the factor-`F` argument alone
+/// is not enough) and a total additive `inflation` (the window-floor terms
+/// `θ_0`, converted to the model's units, summed over objective terms).
+/// The derivation per model lives with `milpjoin::optimizer::bound_projection`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostSpaceProjection {
+    /// Multiplicative factor `G >= 1` by which the MILP objective can
+    /// exceed the exact cost (beyond the additive inflation).
+    pub divisor: f64,
+    /// Total additive window-floor inflation `Δ >= 0` across all objective
+    /// terms.
+    pub inflation: f64,
+}
+
+impl CostSpaceProjection {
+    /// The identity projection (exact objective spaces;
+    /// [`ApproxMode::LowerBound`]).
+    pub fn identity() -> Self {
+        CostSpaceProjection {
+            divisor: 1.0,
+            inflation: 0.0,
+        }
+    }
+
+    /// Projects a MILP dual bound into a cost-space lower bound valid for
+    /// every plan: `(milp_bound - inflation) / divisor`. `None` when the
+    /// search has proven nothing (`-inf`) or the inputs are not finite.
+    pub fn project(&self, milp_bound: f64) -> Option<f64> {
+        if !milp_bound.is_finite() || !self.divisor.is_finite() || self.divisor < 1.0 {
+            return None;
+        }
+        let corrected = (milp_bound - self.inflation) / self.divisor;
+        corrected.is_finite().then_some(corrected)
+    }
 }
 
 #[cfg(test)]
@@ -381,6 +477,44 @@ mod tests {
             // lco - M <= log θ_r must hold for lco = log_card_max.
             assert!(g.log_card_max - g.big_m(r) <= g.log_threshold(r) + 1e-9);
         }
+    }
+
+    #[test]
+    fn floor_and_top_accessors() {
+        let g = ThresholdGrid::build(Precision::Medium, 10, 0.0, 6.0, ApproxMode::UpperBound);
+        assert_eq!(g.floor_value(), g.threshold(0));
+        assert_eq!(g.top_value(), g.threshold(g.len() - 1));
+        assert!(g.floor_value() < g.top_value());
+    }
+
+    #[test]
+    fn upper_levels_bounded_by_factor_and_floor() {
+        let g = ThresholdGrid::build(Precision::Medium, 10, 0.0, 8.0, ApproxMode::UpperBound);
+        let f = Precision::Medium.tolerance_factor();
+        for card in [0.001, 0.5, 3.0, 42.0, 1e4, 5e7, 1e12] {
+            let level = g.approximate(card);
+            assert!(
+                level <= g.upper_level_bound(f, card) * (1.0 + 1e-9),
+                "card {card}: level {level} above bound {}",
+                g.upper_level_bound(f, card)
+            );
+        }
+    }
+
+    #[test]
+    fn projection_identity_and_correction() {
+        let id = CostSpaceProjection::identity();
+        assert_eq!(id.project(42.0), Some(42.0));
+        assert_eq!(id.project(f64::NEG_INFINITY), None);
+        let corr = CostSpaceProjection {
+            divisor: 10.0,
+            inflation: 20.0,
+        };
+        assert_eq!(corr.project(120.0), Some(10.0));
+        // A corrected bound may be non-positive: still a valid (vacuous)
+        // statement about a non-negative cost space.
+        assert_eq!(corr.project(10.0), Some(-1.0));
+        assert_eq!(corr.project(f64::INFINITY), None);
     }
 
     #[test]

@@ -156,14 +156,18 @@ impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
         if let Some(c) = current {
             b = b.min(c);
         }
-        // Only an *exhausted* tree (no open bound at all) proves the
-        // incumbent: a -inf bound means an open node exists whose subtree is
-        // still unexplored (e.g. the root right after a warm start), and
-        // must not be mistaken for proof.
-        if b == f64::INFINITY {
-            if let Some((_, obj)) = &self.incumbent {
-                b = *obj;
-            }
+        // Cap at the incumbent objective: the true optimum is
+        // min(incumbent, best over open subtrees) >= min(incumbent, b), so
+        // the capped value is always a valid lower bound — while an
+        // uncapped b can *exceed* the optimum when the only remaining open
+        // nodes are about to be pruned (their LP bounds sit above the
+        // incumbent), which would report a false "lower bound" above the
+        // already-found optimum. This also covers the exhausted-tree case
+        // (b = +inf proves the incumbent), while a -inf open bound (e.g.
+        // the root right after a warm start) still dominates and is never
+        // mistaken for proof.
+        if let Some((_, obj)) = &self.incumbent {
+            b = b.min(*obj);
         }
         b
     }

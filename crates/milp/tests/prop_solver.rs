@@ -160,6 +160,40 @@ proptest! {
             }
         }
     }
+
+    #[test]
+    fn event_bounds_never_overshoot_the_optimum(ip in random_ip()) {
+        // Every dual bound the solver *streams* must be a valid global
+        // bound for the final optimum — the anytime guarantee consumers
+        // divide by these values. Regression: the last open nodes of a
+        // search (about to be pruned against the incumbent) used to leak
+        // their LP bounds as "global" bounds above the optimum.
+        use milpjoin_milp::branch_bound::SolverEvent;
+        let model = build_model(&ip);
+        let mut bounds: Vec<f64> = Vec::new();
+        let result = Solver::new(SolverOptions::default())
+            .solve_with_callback(&model, |ev| {
+                let b = match ev {
+                    SolverEvent::Incumbent(inc) => inc.bound,
+                    SolverEvent::BoundImproved { bound, .. } => *bound,
+                };
+                bounds.push(b);
+            })
+            .unwrap();
+        if result.status == SolveStatus::Optimal {
+            let opt = result.objective.unwrap();
+            for &b in &bounds {
+                if !b.is_finite() {
+                    continue;
+                }
+                if ip.maximize {
+                    prop_assert!(b >= opt - 1e-5, "event bound {} below max-optimum {}", b, opt);
+                } else {
+                    prop_assert!(b <= opt + 1e-5, "event bound {} above min-optimum {}", b, opt);
+                }
+            }
+        }
+    }
 }
 
 /// Mixed-integer regression: continuous + integer interaction.

@@ -8,10 +8,14 @@
 //! the whole equivalence class:
 //!
 //! * tables are relabeled into a **canonical order** (sorted by quantized
-//!   size, then degree, then incident-selectivity profile — a cheap,
-//!   deterministic approximation of graph canonicalization; sound by
-//!   construction because equal fingerprints imply equal *labeled*
-//!   canonical structures, merely incomplete across exotic symmetries);
+//!   size, then degree and incident-selectivity profile, then iteratively
+//!   refined by neighborhood: tied tables are re-ranked by the multiset of
+//!   (predicate statistics, co-member ranks) until the partition
+//!   stabilizes, à la 1-WL color refinement — a cheap, deterministic
+//!   approximation of graph canonicalization; sound by construction
+//!   because equal fingerprints imply equal *labeled* canonical
+//!   structures, merely incomplete across exotic symmetries where
+//!   WL-equivalent tables remain tied by input order);
 //! * join-graph edges (predicates) are expressed over canonical positions
 //!   and **sorted**;
 //! * cardinalities, selectivities, per-tuple evaluation costs, tuple
@@ -51,6 +55,22 @@ fn quantize(value: f64, step: f64) -> i64 {
         return i64::MIN;
     }
     (value.log10() / step).round() as i64
+}
+
+/// Dense equivalence-class ranks of `0..n` under the ordering of `key`:
+/// equal keys share a rank, ranks are contiguous from zero.
+fn rank_by_key<K: Ord>(n: usize, key: impl Fn(usize) -> K) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&a| key(a));
+    let mut rank = vec![0usize; n];
+    let mut r = 0;
+    for i in 0..order.len() {
+        if i > 0 && key(order[i]) != key(order[i - 1]) {
+            r += 1;
+        }
+        rank[order[i]] = r;
+    }
+    rank
 }
 
 /// One table of the canonical structure.
@@ -164,25 +184,90 @@ impl FingerprintedQuery {
 
         // Structural profile per position: degree and the sorted list of
         // incident quantized selectivities — canonicalization signals that
-        // do not depend on the (yet unknown) canonical numbering.
+        // do not depend on the (yet unknown) canonical numbering. Member
+        // positions are resolved once per predicate here; the refinement
+        // loop below reuses them every round.
+        let pred_positions: Vec<Vec<usize>> = query
+            .predicates
+            .iter()
+            .map(|p| {
+                p.tables
+                    .iter()
+                    .map(|&t| query.table_position(t).expect("validated query"))
+                    .collect()
+            })
+            .collect();
         let mut profiles: Vec<(usize, Vec<i64>)> = vec![(0, Vec::new()); n];
-        for p in &query.predicates {
+        let mut incident: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (pi, p) in query.predicates.iter().enumerate() {
             let q_sel = quantize(p.selectivity, step);
-            for &t in &p.tables {
-                let pos = query.table_position(t).expect("validated query");
+            for &pos in &pred_positions[pi] {
                 profiles[pos].0 += 1;
                 profiles[pos].1.push(q_sel);
+                incident[pos].push(pi);
             }
         }
         for prof in &mut profiles {
             prof.1.sort_unstable();
         }
 
-        // Canonical order: sort positions by (table key, profile), original
-        // position as the deterministic tie-break.
+        // Initial equivalence classes: positions sharing (table key,
+        // incident-stat profile) get one rank.
+        let mut rank = rank_by_key(n, |pos| (&keys[pos], &profiles[pos]));
+
+        // Iterative neighborhood refinement (1-WL over the predicate
+        // hypergraph): re-rank every position by its current rank plus the
+        // multiset of (predicate statistics, co-member ranks) over its
+        // incident predicates, until the partition stabilizes. Ties between
+        // statistically identical tables are thereby broken by *where* each
+        // statistic attaches in the join graph, not by the input order —
+        // permuting the query's table listing cannot change the outcome.
+        // (Positions that remain tied after stabilization are
+        // WL-equivalent; for those the original-position tie-break below
+        // is still order-sensitive — the documented incompleteness across
+        // exotic symmetries.)
+        loop {
+            let classes = rank.iter().max().map_or(0, |&r| r + 1);
+            if classes == n {
+                break; // fully discriminated
+            }
+            type Neighborhood = Vec<(i64, i64, Vec<usize>)>;
+            let signatures: Vec<(usize, Neighborhood)> = (0..n)
+                .map(|pos| {
+                    let mut nb: Neighborhood = incident[pos]
+                        .iter()
+                        .map(|&pi| {
+                            let p = &query.predicates[pi];
+                            let mut others: Vec<usize> = pred_positions[pi]
+                                .iter()
+                                .filter(|&&q| q != pos)
+                                .map(|&q| rank[q])
+                                .collect();
+                            others.sort_unstable();
+                            (
+                                quantize(p.selectivity, step),
+                                quantize(p.eval_cost_per_tuple, step),
+                                others,
+                            )
+                        })
+                        .collect();
+                    nb.sort();
+                    (rank[pos], nb)
+                })
+                .collect();
+            let refined = rank_by_key(n, |pos| &signatures[pos]);
+            // Each signature embeds the previous rank, so the partition can
+            // only split; a round that splits nothing has stabilized.
+            if refined.iter().max().map_or(0, |&r| r + 1) == classes {
+                break;
+            }
+            rank = refined;
+        }
+
+        // Canonical order: refined rank first, original position as the
+        // final deterministic tie-break among WL-equivalent tables.
         let mut from_canonical: Vec<usize> = (0..n).collect();
-        from_canonical
-            .sort_by(|&a, &b| (&keys[a], &profiles[a], a).cmp(&(&keys[b], &profiles[b], b)));
+        from_canonical.sort_by_key(|&pos| (rank[pos], pos));
         let mut to_canonical = vec![0usize; n];
         for (canon, &pos) in from_canonical.iter().enumerate() {
             to_canonical[pos] = canon;
@@ -195,12 +280,9 @@ impl FingerprintedQuery {
             .iter()
             .enumerate()
             .map(|(pi, p)| {
-                let mut tables: Vec<u16> = p
-                    .tables
+                let mut tables: Vec<u16> = pred_positions[pi]
                     .iter()
-                    .map(|&t| {
-                        to_canonical[query.table_position(t).expect("validated query")] as u16
-                    })
+                    .map(|&pos| to_canonical[pos] as u16)
                     .collect();
                 tables.sort_unstable();
                 let key = PredKey {
@@ -357,6 +439,68 @@ mod tests {
             .map(|&pos| c.cardinality(q.tables[pos]))
             .collect();
         assert_eq!(canon_cards, vec![10.0, 500.0, 2000.0]);
+    }
+
+    /// A 4-clique whose two middle tables are statistically identical
+    /// (same cardinality, same incident-selectivity multiset) but attach
+    /// their selectivities to *different* neighbors — exactly the tie the
+    /// original-position tie-break resolved in input order, missing the
+    /// cache for permuted listings. `swap` exchanges the listing order of
+    /// the two tied tables.
+    fn tied_clique(c: &mut Catalog, swap: bool) -> Query {
+        let t0 = c.add_table(format!("c{}_0", c.num_tables()), 100.0);
+        let t1 = c.add_table(format!("c{}_1", c.num_tables()), 50.0);
+        let t2 = c.add_table(format!("c{}_2", c.num_tables()), 50.0);
+        let t3 = c.add_table(format!("c{}_3", c.num_tables()), 2000.0);
+        let tables = if swap {
+            vec![t0, t2, t1, t3]
+        } else {
+            vec![t0, t1, t2, t3]
+        };
+        let mut q = Query::new(tables);
+        // Incident multisets of t1 and t2 are both {0.1, 0.5, 0.05}, but
+        // t1's 0.1-edge reaches t0 (card 100) while t2's reaches t3
+        // (card 2000): the tables are tied statistically yet structurally
+        // distinguishable through their neighborhoods.
+        q.add_predicate(Predicate::binary(t0, t1, 0.1));
+        q.add_predicate(Predicate::binary(t2, t3, 0.1));
+        q.add_predicate(Predicate::binary(t0, t2, 0.5));
+        q.add_predicate(Predicate::binary(t1, t3, 0.5));
+        q.add_predicate(Predicate::binary(t0, t3, 0.25));
+        q.add_predicate(Predicate::binary(t1, t2, 0.05));
+        q
+    }
+
+    #[test]
+    fn permuted_clique_with_tied_tables_matches() {
+        let mut c = Catalog::new();
+        let q1 = tied_clique(&mut c, false);
+        let q2 = tied_clique(&mut c, true);
+        let opts = FingerprintOptions::default();
+        let f1 = FingerprintedQuery::compute(&c, &q1, &opts);
+        let f2 = FingerprintedQuery::compute(&c, &q2, &opts);
+        // Neighborhood refinement must break the (card 50, {0.1, 0.5,
+        // 0.05}) tie by structure, not by listing order.
+        assert_eq!(f1.fingerprint, f2.fingerprint);
+        assert_eq!(f1.exact, f2.exact);
+    }
+
+    #[test]
+    fn refinement_keeps_cardinality_major_order() {
+        let mut c = Catalog::new();
+        let q = tied_clique(&mut c, false);
+        let f = FingerprintedQuery::compute(&c, &q, &FingerprintOptions::default());
+        let canon_cards: Vec<f64> = f
+            .from_canonical
+            .iter()
+            .map(|&pos| c.cardinality(q.tables[pos]))
+            .collect();
+        // Refinement only splits ties: quantized cardinality stays the
+        // primary sort key.
+        assert_eq!(canon_cards, vec![50.0, 50.0, 100.0, 2000.0]);
+        for pos in 0..q.num_tables() {
+            assert_eq!(f.from_canonical[f.to_canonical[pos]], pos);
+        }
     }
 
     #[test]

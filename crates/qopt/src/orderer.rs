@@ -80,10 +80,14 @@ impl AnytimeTrace {
 
     /// The guaranteed optimality factor (incumbent / lower bound) provable
     /// at `elapsed`; `None` while no incumbent exists or the bound is not
-    /// yet positive.
+    /// yet positive. A zero-objective incumbent is trivially optimal in a
+    /// non-negative objective space and yields `Some(1.0)`.
     pub fn guaranteed_factor_at(&self, elapsed: Duration) -> Option<f64> {
         let state = self.state_at(elapsed)?;
         let inc = state.incumbent?;
+        if inc == 0.0 {
+            return Some(1.0);
+        }
         if state.bound > 0.0 {
             Some((inc / state.bound).max(1.0))
         } else {
@@ -110,13 +114,11 @@ pub struct CostTracePoint {
 /// comparable.
 ///
 /// The incumbent at each point is the exact cost of the plan the backend
-/// *currently holds* (and would return if stopped there). For
-/// approximating backends that sequence is monotone in the backend's own
-/// objective space but **not necessarily in cost space**: a MILP-space
-/// improvement can decode to an exactly-worse plan, so incumbents may
-/// regress between points. The trace records that honestly rather than
-/// smoothing it (the hybrid's safety net guards the final answer against
-/// its seed; see ROADMAP.md for extending it to every decoded incumbent).
+/// *currently holds* (and would return if stopped there). Because the
+/// MILP-based backends keep a running **exact-cost argmin** over every
+/// decoded incumbent and return that plan (a MILP-space improvement can
+/// decode to an exactly-worse plan; the argmin guards against it), this
+/// sequence is monotone non-increasing for every backend.
 #[derive(Debug, Clone, Default)]
 pub struct CostTrace {
     points: Vec<CostTracePoint>,
@@ -159,9 +161,17 @@ impl CostTrace {
     /// The guaranteed optimality factor (exact incumbent cost / cost-space
     /// lower bound) provable at `elapsed`; `None` while no incumbent exists
     /// or no positive bound is proven.
+    ///
+    /// A **zero-cost incumbent** is trivially optimal — exact costs are
+    /// non-negative, so cost `0.0` is the global minimum — and yields
+    /// `Some(1.0)` regardless of the bound (the naive `0 / bound` would
+    /// require a positive bound that can never exist below cost zero).
     pub fn guaranteed_factor_at(&self, elapsed: Duration) -> Option<f64> {
         let state = self.state_at(elapsed)?;
         let inc = state.incumbent?;
+        if inc == 0.0 {
+            return Some(1.0);
+        }
         match state.bound {
             Some(b) if b > 0.0 => Some((inc / b).max(1.0)),
             _ => None,
@@ -225,7 +235,17 @@ pub struct OrderingOutcome {
 impl OrderingOutcome {
     /// Final guaranteed optimality factor `cost / bound` in exact cost
     /// space; `None` without a positive bound.
+    ///
+    /// A **zero-cost plan** is trivially optimal (exact costs are
+    /// non-negative) and yields `Some(1.0)` regardless of the bound: the
+    /// naive `0 / bound` would demand a positive bound that cannot exist
+    /// below cost zero, losing the guarantee exactly where it is
+    /// strongest (cross-product-free single-join queries under C_out have
+    /// no intermediate results and cost `0.0`).
     pub fn guaranteed_factor(&self) -> Option<f64> {
+        if self.cost == 0.0 {
+            return Some(1.0);
+        }
         match self.bound {
             Some(b) if b > 0.0 => Some((self.cost / b).max(1.0)),
             _ => None,
@@ -346,6 +366,35 @@ mod tests {
     fn factor_is_clamped_to_one() {
         let trace = CostTrace::single(Duration::ZERO, 4.0, Some(5.0));
         assert_eq!(trace.guaranteed_factor_at(Duration::ZERO), Some(1.0));
+    }
+
+    #[test]
+    fn zero_cost_incumbent_is_trivially_optimal() {
+        // Exact costs are non-negative: a zero-cost plan is the global
+        // minimum whatever the bound says (even None or 0.0 — no positive
+        // bound can exist below cost zero).
+        for bound in [None, Some(0.0), Some(-1.0)] {
+            let trace = CostTrace::single(Duration::ZERO, 0.0, bound);
+            assert_eq!(trace.guaranteed_factor_at(Duration::ZERO), Some(1.0));
+        }
+        let outcome = OrderingOutcome {
+            plan: LeftDeepPlan::from_order(vec![]),
+            cost: 0.0,
+            objective: 0.0,
+            bound: Some(0.0),
+            proven_optimal: true,
+            trace: CostTrace::default(),
+            elapsed: Duration::ZERO,
+        };
+        assert_eq!(outcome.guaranteed_factor(), Some(1.0));
+        // MILP-space trace: same convention.
+        let mut native = AnytimeTrace::default();
+        native.push(TracePoint {
+            elapsed: Duration::ZERO,
+            incumbent: Some(0.0),
+            bound: 0.0,
+        });
+        assert_eq!(native.guaranteed_factor_at(Duration::ZERO), Some(1.0));
     }
 
     #[test]

@@ -29,6 +29,13 @@
 //! is proven for the perturbed statistics. Queries carrying projection
 //! information bypass the cache entirely (the fingerprint does not model
 //! column sets).
+//!
+//! The cache is **bounded**: at most
+//! [`DEFAULT_CACHE_CAPACITY`] structures by default
+//! ([`PlanSession::with_cache_capacity`] overrides it), with
+//! least-recently-used eviction — a streaming workload of ever-new
+//! structures holds the session's footprint constant instead of growing
+//! forever. [`PlanSession::explain`] reports the eviction count.
 
 use std::collections::HashMap;
 use std::time::Instant;
@@ -57,6 +64,9 @@ pub struct SessionStats {
     pub backend_errors: u64,
     /// Queries that bypassed the cache (projection information).
     pub uncacheable: u64,
+    /// Cached structures evicted to respect the cache capacity
+    /// ([`PlanSession::with_cache_capacity`]).
+    pub evictions: u64,
 }
 
 impl SessionStats {
@@ -89,7 +99,14 @@ struct CachedPlan {
     exact: crate::fingerprint::ExactStats,
     bound: Option<f64>,
     proven_optimal: bool,
+    /// Logical timestamp of the last lookup or insert — the LRU eviction
+    /// key (a session-local counter, deterministic across runs).
+    last_used: u64,
 }
+
+/// Default bound on the number of cached structures
+/// ([`PlanSession::with_cache_capacity`] overrides it).
+pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
 
 /// A long-lived optimization service over one catalog and one backend.
 ///
@@ -138,6 +155,11 @@ pub struct PlanSession {
     fingerprint_options: FingerprintOptions,
     caching: bool,
     cache: HashMap<Fingerprint, CachedPlan>,
+    /// Maximum cached structures; least-recently-used entries are evicted
+    /// beyond it (`0` disables storing entirely).
+    cache_capacity: usize,
+    /// Monotone logical clock stamping cache touches (LRU recency).
+    clock: u64,
     stats: SessionStats,
 }
 
@@ -150,6 +172,8 @@ impl PlanSession {
             fingerprint_options: FingerprintOptions::default(),
             caching: true,
             cache: HashMap::new(),
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            clock: 0,
             stats: SessionStats::default(),
         }
     }
@@ -171,6 +195,37 @@ impl PlanSession {
     pub fn with_caching(mut self, on: bool) -> Self {
         self.caching = on;
         self
+    }
+
+    /// Builder-style setter for the plan-cache capacity (default
+    /// [`DEFAULT_CACHE_CAPACITY`]). The least-recently-used structure is
+    /// evicted when an insert would exceed it — a streaming workload of
+    /// ever-new structures no longer grows the cache without bound. `0`
+    /// stores nothing (lookups still run; prefer [`Self::with_caching`] to
+    /// skip them too). Shrinking below the current population evicts
+    /// immediately.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self.enforce_capacity();
+        self
+    }
+
+    /// Evicts least-recently-used entries until the cache fits the
+    /// capacity.
+    fn enforce_capacity(&mut self) {
+        while self.cache.len() > self.cache_capacity {
+            // O(population) scan per eviction: deterministic, and at the
+            // default capacity the scan is trivially cheap next to a
+            // backend solve. Ties cannot happen (the clock is monotone).
+            let lru = self
+                .cache
+                .iter()
+                .min_by_key(|(_, v)| v.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty cache above capacity");
+            self.cache.remove(&lru);
+            self.stats.evictions += 1;
+        }
     }
 
     pub fn catalog(&self) -> &Catalog {
@@ -230,10 +285,13 @@ impl PlanSession {
         queries.iter().map(|q| self.optimize(q)).collect()
     }
 
-    /// Attempts to answer `query` from the cache.
+    /// Attempts to answer `query` from the cache, refreshing the entry's
+    /// LRU recency on a hit.
     fn try_hit(&mut self, query: &Query, fp: &FingerprintedQuery) -> Option<SessionOutcome> {
         let start = Instant::now();
-        let cached = self.cache.get(&fp.fingerprint)?;
+        let cached = self.cache.get_mut(&fp.fingerprint)?;
+        self.clock += 1;
+        cached.last_used = self.clock;
         let order: Vec<_> = cached
             .canonical_order
             .iter()
@@ -244,6 +302,12 @@ impl PlanSession {
         } else {
             LeftDeepPlan::with_operators(order, cached.operators.clone())
         };
+        let exact = fp.exact == cached.exact;
+        let (bound, proven_optimal) = if exact {
+            (cached.bound, cached.proven_optimal)
+        } else {
+            (None, false)
+        };
         // A fingerprint hit guarantees a structurally compatible plan; a
         // validation failure would be a canonicalization bug — treated as
         // a miss, never as a wrong answer.
@@ -253,12 +317,6 @@ impl PlanSession {
         }
         let (model, params) = self.backend.cost_model();
         let cost = plan_cost(&self.catalog, query, &plan, model, &params).total;
-        let exact = fp.exact == cached.exact;
-        let (bound, proven_optimal) = if exact {
-            (cached.bound, cached.proven_optimal)
-        } else {
-            (None, false)
-        };
         self.stats.cache_hits += 1;
         if exact {
             self.stats.exact_hits += 1;
@@ -292,22 +350,27 @@ impl PlanSession {
             .order(&self.catalog, query, &self.options)
             .inspect_err(|_| self.stats.backend_errors += 1)?;
         if let Some(fp) = fp {
-            let canonical_order: Vec<usize> = outcome
-                .plan
-                .order
-                .iter()
-                .map(|&t| fp.to_canonical[query.table_position(t).expect("validated plan")])
-                .collect();
-            self.cache.insert(
-                fp.fingerprint,
-                CachedPlan {
-                    canonical_order,
-                    operators: outcome.plan.operators.clone(),
-                    exact: fp.exact,
-                    bound: outcome.bound,
-                    proven_optimal: outcome.proven_optimal,
-                },
-            );
+            if self.cache_capacity > 0 {
+                let canonical_order: Vec<usize> = outcome
+                    .plan
+                    .order
+                    .iter()
+                    .map(|&t| fp.to_canonical[query.table_position(t).expect("validated plan")])
+                    .collect();
+                self.clock += 1;
+                self.cache.insert(
+                    fp.fingerprint,
+                    CachedPlan {
+                        canonical_order,
+                        operators: outcome.plan.operators.clone(),
+                        exact: fp.exact,
+                        bound: outcome.bound,
+                        proven_optimal: outcome.proven_optimal,
+                        last_used: self.clock,
+                    },
+                );
+                self.enforce_capacity();
+            }
         }
         Ok(SessionOutcome {
             outcome,
@@ -463,6 +526,77 @@ mod tests {
         }
         assert_eq!(session.explain().backend_solves, 4);
         assert_eq!(session.explain().cache_hits, 0);
+        assert_eq!(session.cache_len(), 0);
+    }
+
+    /// One two-table structure per distinct (cardinality, selectivity)
+    /// pair — distinct fingerprints by construction.
+    fn structure(catalog: &mut Catalog, small: f64, sel: f64) -> Query {
+        let n = catalog.num_tables();
+        let a = catalog.add_table(format!("s{n}a"), small);
+        let b = catalog.add_table(format!("s{n}b"), small * 90.0);
+        let mut q = Query::new(vec![a, b]);
+        q.add_predicate(Predicate::binary(a, b, sel));
+        q
+    }
+
+    #[test]
+    fn cache_capacity_is_enforced_with_lru_eviction() {
+        let mut catalog = Catalog::new();
+        let qa = structure(&mut catalog, 10.0, 0.1);
+        let qb = structure(&mut catalog, 1000.0, 0.2);
+        let qc = structure(&mut catalog, 100000.0, 0.4);
+        let mut session =
+            PlanSession::new(catalog, Box::new(CountingBackend::new(false))).with_cache_capacity(2);
+
+        // Fill: A, B. Touch A (hit), then insert C -> B is the LRU victim.
+        assert!(!session.optimize(&qa).unwrap().cache_hit);
+        assert!(!session.optimize(&qb).unwrap().cache_hit);
+        assert!(session.optimize(&qa).unwrap().cache_hit);
+        assert!(!session.optimize(&qc).unwrap().cache_hit);
+        assert_eq!(session.cache_len(), 2);
+        assert_eq!(session.explain().evictions, 1);
+        // A survived (recency was refreshed); B was evicted and re-solves.
+        assert!(session.optimize(&qa).unwrap().cache_hit);
+        assert!(!session.optimize(&qb).unwrap().cache_hit);
+        assert_eq!(session.explain().evictions, 2);
+    }
+
+    #[test]
+    fn streaming_workload_stays_bounded() {
+        let mut catalog = Catalog::new();
+        // Geometric spacing (> the fingerprint's 0.1-decade bucket) keeps
+        // every structure a distinct fingerprint.
+        let queries: Vec<Query> = (0..40)
+            .map(|i| structure(&mut catalog, 10.0 * 1.5f64.powi(i), 0.1))
+            .collect();
+        let mut session =
+            PlanSession::new(catalog, Box::new(CountingBackend::new(false))).with_cache_capacity(8);
+        for r in session.optimize_batch(&queries) {
+            r.unwrap();
+        }
+        assert_eq!(session.cache_len(), 8);
+        assert_eq!(session.explain().evictions, 32);
+        assert_eq!(session.explain().backend_solves, 40);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_immediately_and_zero_stores_nothing() {
+        let mut catalog = Catalog::new();
+        let qa = structure(&mut catalog, 10.0, 0.1);
+        let qb = structure(&mut catalog, 1000.0, 0.2);
+        let mut session = PlanSession::new(catalog, Box::new(CountingBackend::new(false)));
+        session.optimize(&qa).unwrap();
+        session.optimize(&qb).unwrap();
+        assert_eq!(session.cache_len(), 2);
+        let session = session.with_cache_capacity(1);
+        assert_eq!(session.cache_len(), 1);
+        assert_eq!(session.explain().evictions, 1);
+        let mut session = session.with_cache_capacity(0);
+        assert_eq!(session.cache_len(), 0);
+        // Capacity zero: solves are never stored, lookups always miss.
+        assert!(!session.optimize(&qa).unwrap().cache_hit);
+        assert!(!session.optimize(&qa).unwrap().cache_hit);
         assert_eq!(session.cache_len(), 0);
     }
 

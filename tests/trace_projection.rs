@@ -7,8 +7,8 @@
 use std::time::Duration;
 
 use milpjoin::{
-    EncoderConfig, HybridOptimizer, JoinOrderer, MilpOptimizer, OptimizeOptions, OrderingOptions,
-    Precision,
+    ApproxMode, EncoderConfig, HybridOptimizer, JoinOrderer, MilpOptimizer, OptimizeOptions,
+    OrderingOptions, Precision,
 };
 use milpjoin_dp::GreedyOptimizer;
 use milpjoin_qopt::cost::{plan_cost, CostModelKind, CostParams};
@@ -168,6 +168,58 @@ fn hybrid_trace_describes_the_returned_plan() {
         if let Some(f) = out.trace.guaranteed_factor_at(Duration::from_secs(3600)) {
             let tail_bound = tail.bound.expect("factor requires a bound");
             assert!((f - (out.cost / tail_bound).max(1.0)).abs() <= 1e-9 * (1.0 + f));
+        }
+    }
+}
+
+/// Under `ApproxMode::UpperBound` the window-floor-corrected projection
+/// now claims a bound: it must be `Some` for a finished solve, never
+/// exceed the exhaustively-verified optimum, and trace incumbents stay
+/// exact plan costs with the running-argmin monotonicity.
+#[test]
+fn upper_bound_projection_is_sound_against_exhaustive_optimum() {
+    for (topo, seed) in [
+        (Topology::Star, 3u64),
+        (Topology::Chain, 4),
+        (Topology::Cycle, 5),
+    ] {
+        let (catalog, query) = WorkloadSpec::new(topo, 5).generate(seed);
+        let all = all_plan_costs(&catalog, &query);
+        let optimal = all.iter().cloned().fold(f64::INFINITY, f64::min);
+
+        let config = EncoderConfig {
+            approx_mode: ApproxMode::UpperBound,
+            ..EncoderConfig::default().precision(Precision::Medium)
+        };
+        let out = MilpOptimizer::new(config)
+            .optimize(
+                &catalog,
+                &query,
+                &OptimizeOptions::with_time_limit(Duration::from_secs(30)),
+            )
+            .unwrap();
+
+        assert!(
+            out.cost_bound.is_some(),
+            "{topo:?}: finished UpperBound solve must claim a cost-space bound"
+        );
+        let mut prev = f64::INFINITY;
+        for p in out.cost_trace.points() {
+            if let Some(inc) = p.incumbent {
+                assert!(
+                    matches_some_plan(inc, &all),
+                    "{topo:?}: incumbent {inc:.6e} is not an exact plan cost"
+                );
+                assert!(inc <= prev * (1.0 + 1e-12), "{topo:?}: argmin regressed");
+                prev = inc;
+            }
+            if let Some(b) = p.bound {
+                assert!(
+                    b <= optimal * (1.0 + 1e-6) + 1e-9,
+                    "{topo:?}: UpperBound cost-space bound {b:.6e} exceeds \
+                     the true optimum {optimal:.6e}"
+                );
+            }
         }
     }
 }

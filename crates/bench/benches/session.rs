@@ -14,15 +14,19 @@
 //! * `upper_bound` — one batch under `ApproxMode::UpperBound`: exercises
 //!   the window-floor-corrected cost-space bound projection and reports
 //!   how often a positive bound (hence a guaranteed factor) is proven.
+//! * `worker_scaling` — `ParallelSession::optimize_batch` with 1/2/4/8
+//!   workers on a *cold* mixed-topology multi-structure batch: the
+//!   worker-pool throughput next to the sequential baseline (scraped into
+//!   `BENCH_0003.json`; hit rate printed so the cold-ness is auditable).
 //! * `fingerprint` — the pure cache-key computation (the per-query
 //!   overhead a hit must amortize).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use milpjoin::{
-    ApproxMode, EncoderConfig, HybridOptimizer, MilpOptimizer, OrderingOptions, PlanSession,
-    Precision,
+    ApproxMode, EncoderConfig, HybridOptimizer, MilpOptimizer, OrderingOptions, ParallelSession,
+    PlanSession, Precision,
 };
-use milpjoin_qopt::{FingerprintOptions, FingerprintedQuery, JoinOrderer};
+use milpjoin_qopt::{Catalog, FingerprintOptions, FingerprintedQuery, JoinOrderer};
 use milpjoin_workloads::{Topology, WorkloadSpec};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -154,6 +158,65 @@ fn bench_upper_bound(c: &mut Criterion) {
     g.finish();
 }
 
+/// Worker-pool scaling on a cold batch: 12 distinct structures (4 per
+/// topology, mixed over one catalog) × 2 copies = 24 queries, solved by a
+/// fresh `ParallelSession` per iteration with 1/2/4/8 workers. The
+/// interesting number is `batch_qps` versus the 1-worker row — the
+/// worker-pool speedup on solver-bound traffic (the 4-worker row is the
+/// acceptance gate recorded in `BENCH_0003.json`).
+fn bench_worker_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("worker_scaling");
+    g.sample_size(3);
+    let mut catalog = Catalog::new();
+    let mut queries = Vec::new();
+    for (i, topo) in TOPOLOGIES.iter().enumerate() {
+        queries.extend(WorkloadSpec::new(*topo, 8).generate_stream_into(
+            &mut catalog,
+            40 + i as u64 * 1000,
+            4,
+            2,
+        ));
+    }
+    for workers in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("hybrid-low", workers),
+            &workers,
+            |b, &w| {
+                b.iter(|| {
+                    // Fresh session per iteration: a *cold* cache, so the
+                    // measured work is 12 real solves (+ 12 in-batch hits).
+                    // The time budget is far above any solve's need: a
+                    // budget that binds under CPU oversubscription would
+                    // clip the slow configurations' solves and fake a
+                    // speedup (observed on a 1-CPU host with the default
+                    // 20 s budget).
+                    let mut session = ParallelSession::new(catalog.clone(), backend())
+                        .with_options(OrderingOptions::with_time_limit(Duration::from_secs(600)));
+                    let start = Instant::now();
+                    let results = session.optimize_batch(&queries, w);
+                    let elapsed = start.elapsed();
+                    for r in &results {
+                        r.as_ref().expect("hybrid always returns a plan");
+                    }
+                    let stats = session.explain();
+                    println!(
+                        "SESSION_STATS group=worker_scaling workers={} queries={} solves={} \
+                         hits={} hit_rate={:.4} batch_qps={:.2}",
+                        w,
+                        queries.len(),
+                        stats.backend_solves,
+                        stats.cache_hits,
+                        stats.hit_rate(),
+                        queries.len() as f64 / elapsed.as_secs_f64(),
+                    );
+                    black_box(stats.backend_solves)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
 /// Fingerprint computation: the fixed per-query cache overhead.
 fn bench_fingerprint(c: &mut Criterion) {
     let mut g = c.benchmark_group("fingerprint");
@@ -173,6 +236,7 @@ criterion_group!(
     bench_batch,
     bench_hybrid_vs_cold,
     bench_upper_bound,
+    bench_worker_scaling,
     bench_fingerprint
 );
 criterion_main!(benches);

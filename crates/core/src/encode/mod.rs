@@ -384,12 +384,32 @@ pub fn encode(
     // operands than under C_out (cost per tuple is ~tuple_bytes/page_bytes,
     // not 1), hence the model-specific cost→cardinality factor.
     let anchor = greedy_anchor_log(&est, config, n) + config.precision.log10_spacing();
+    // Resolvable window width is cost-model-specific (see
+    // `thresholds::max_grid_decades`): page-based models scale every cost
+    // coefficient down by a uniform per-tuple factor, buying back the
+    // decades their cost→cardinality conversion pushes the anchor up (3.9
+    // for BNL at default parameters). Under operator selection the grid is
+    // shared by every enabled model, so the tightest width applies.
+    let max_decades =
+        if config.operator_selection && config.cost_model != milpjoin_qopt::CostModelKind::Cout {
+            [
+                milpjoin_qopt::CostModelKind::Hash,
+                milpjoin_qopt::CostModelKind::SortMerge,
+                milpjoin_qopt::CostModelKind::BlockNestedLoop,
+            ]
+            .into_iter()
+            .map(|m| crate::thresholds::max_grid_decades(m, &config.cost_params))
+            .fold(f64::INFINITY, f64::min)
+        } else {
+            crate::thresholds::max_grid_decades(config.cost_model, &config.cost_params)
+        };
     let grid = ThresholdGrid::build_windowed(
         config.precision,
         n,
         est.log10_cardinality_lower_bound(),
         est.log10_cardinality_upper_bound(),
         anchor,
+        max_decades,
         config.approx_mode,
     );
 
@@ -533,18 +553,9 @@ fn greedy_anchor_log(est: &Estimator, config: &EncoderConfig, n: usize) -> f64 {
     }
 
     // Cost → cardinality: the largest operand whose *own* model cost does
-    // not yet exceed the greedy bound.
-    let tuples_per_cost = match model {
-        milpjoin_qopt::CostModelKind::Cout => 1.0,
-        milpjoin_qopt::CostModelKind::Hash => params.page_bytes / (3.0 * params.tuple_bytes),
-        // Sort-merge pays at least po + pi pages; drop the log factor for a
-        // conservative (upper) bound.
-        milpjoin_qopt::CostModelKind::SortMerge => params.page_bytes / params.tuple_bytes,
-        // BNL pays at least ceil(po / buffer) inner pages with pi >= 1.
-        milpjoin_qopt::CostModelKind::BlockNestedLoop => {
-            params.buffer_pages * params.page_bytes / params.tuple_bytes
-        }
-    };
+    // not yet exceed the greedy bound (shared with the per-model window
+    // width; see `thresholds::tuples_per_unit_cost`).
+    let tuples_per_cost = crate::thresholds::tuples_per_unit_cost(model, params);
     let anchor = best_log.max(0.0) + tuples_per_cost.log10();
     let min_single = starts
         .first()

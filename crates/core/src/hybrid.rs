@@ -220,6 +220,14 @@ impl HybridOptimizer {
     }
 }
 
+// Concurrency audit: like `MilpOptimizer`, the hybrid is configuration-only
+// (greedy seed + MILP scratch are per-call), so one instance is shareable
+// across worker threads and `Clone` makes it an `OrdererFactory`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<HybridOptimizer>();
+};
+
 impl JoinOrderer for HybridOptimizer {
     fn name(&self) -> &'static str {
         "hybrid"

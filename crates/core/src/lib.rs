@@ -62,11 +62,17 @@ pub use optimizer::{
     OptimizeOptions, OptimizeOutcome, TracePoint, MIN_RELATIVE_GAP,
 };
 pub use stats::{ConstrCategory, FormulationStats, VarCategory};
-pub use thresholds::{ApproxMode, CostSpaceProjection, Precision, ThresholdGrid};
+pub use thresholds::{
+    max_grid_decades, tuples_per_unit_cost, ApproxMode, CostSpaceProjection, Precision,
+    ThresholdGrid,
+};
 
 // Backend-agnostic ordering interface and the session service layer
 // (defined in `milpjoin_qopt`), re-exported so downstream users need only
 // one dependency.
+pub use milpjoin_qopt::cache::ShardedPlanCache;
+pub use milpjoin_qopt::executor::ParallelSession;
+pub use milpjoin_qopt::orderer::OrdererFactory;
 pub use milpjoin_qopt::orderer::{
     CostTrace, CostTracePoint, JoinOrderer, OrderingError, OrderingOptions, OrderingOutcome,
 };

@@ -640,6 +640,19 @@ pub(crate) fn ordering_error(e: OptimizeError, options: &OrderingOptions) -> Ord
     }
 }
 
+// Concurrency audit: the optimizer is an immutable configuration; all
+// per-solve scratch (encoding, traces, the incumbent projection cache, the
+// branch-and-bound search) lives on the `optimize` call stack. One instance
+// may therefore serve many worker threads, and the parallel session
+// executor's `OrdererFactory` blanket impl (`Clone` backends) applies.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MilpOptimizer>();
+    assert_send_sync::<OptimizeOptions>();
+    assert_send_sync::<OptimizeOutcome>();
+    assert_send_sync::<OptimizeError>();
+};
+
 impl JoinOrderer for MilpOptimizer {
     fn name(&self) -> &'static str {
         "milp"

@@ -29,6 +29,8 @@
 //! factor (the per-cost-model derivation lives with
 //! `milpjoin::optimizer::bound_projection`).
 
+use milpjoin_qopt::{CostModelKind, CostParams};
+
 /// Approximation precision configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Precision {
@@ -111,7 +113,7 @@ pub enum ApproxMode {
     UpperBound,
 }
 
-/// Maximum dynamic range (in decades) the threshold grid may span.
+/// Baseline maximum dynamic range (in decades) the threshold grid may span.
 ///
 /// The `co = Σ δ_r · cto_r` constraint — and every big-M/linearization row
 /// whose constant is the top threshold — mixes coefficients as far apart as
@@ -125,7 +127,69 @@ pub enum ApproxMode {
 /// range via query properties. Operands above the window saturate at the
 /// top threshold; operands below it approximate to the floor — both with
 /// negligible effect on plan ranking near the optimum.
+///
+/// This constant is the **cost-space** budget; the *cardinality-space*
+/// window a given cost model may span is wider — see
+/// [`max_grid_decades`].
 pub const MAX_GRID_DECADES: f64 = 6.0;
+
+/// Outer tuples one unit of model cost admits — the cost → cardinality
+/// conversion used both to anchor the window top (the largest operand whose
+/// own model cost does not yet exceed a greedy plan's total) and to widen
+/// the resolvable window per model ([`max_grid_decades`]).
+///
+/// Per model, from the cheapest cost-per-outer-tuple:
+///
+/// * **C_out** counts tuples directly: 1;
+/// * **hash** pays at least `3 · tuple_bytes / page_bytes` per outer tuple;
+/// * **sort-merge** pays at least `po + pi` pages (log factor dropped for a
+///   conservative bound): `tuple_bytes / page_bytes` per tuple;
+/// * **block-nested-loop** pays at least `⌈po / B⌉` inner page reads:
+///   `tuple_bytes / (B · page_bytes)` per tuple.
+pub fn tuples_per_unit_cost(model: CostModelKind, params: &CostParams) -> f64 {
+    match model {
+        CostModelKind::Cout => 1.0,
+        CostModelKind::Hash => params.page_bytes / (3.0 * params.tuple_bytes),
+        CostModelKind::SortMerge => params.page_bytes / params.tuple_bytes,
+        CostModelKind::BlockNestedLoop => {
+            params.buffer_pages * params.page_bytes / params.tuple_bytes
+        }
+    }
+}
+
+/// Resolvable window width, in **cardinality decades**, for one cost model.
+///
+/// The motivation: the window top is anchored at the largest operand whose
+/// *own model cost* does not exceed a greedy plan's total, which for the
+/// page-based models sits `log10(tuples_per_unit_cost)` decades *above*
+/// the greedy cost scale (operands that large are still competitive
+/// because each of their tuples costs so little). Under a fixed 6-decade
+/// width that conversion ate the bottom of the window: block-nested-loop
+/// (`B · page_bytes / tuple_bytes = 64 · 8192 / 64 = 8192 ≈ 10^3.9` at
+/// default parameters) left only ~2.1 decades below the cost scale —
+/// where the optimum's operands actually live. The per-model width adds
+/// the conversion decades back, so every model resolves the full
+/// [`MAX_GRID_DECADES`] *below its cost scale*; hash (~1.6 extra decades)
+/// and sort-merge (~2.1) sit between C_out (unchanged) and BNL (~3.9).
+///
+/// On soundness of exceeding the 6-decade baseline: the *cost* rows'
+/// coefficient range is unaffected (each threshold's objective weight is
+/// the raw threshold scaled by the uniform per-tuple cost factor — the
+/// conversion shifts that range without widening it), but the
+/// cardinality-sum row `co = Σ δ_r · cto_r` genuinely spans the full
+/// cardinality window, so its smallest relative coefficients drop toward
+/// the simplex tolerances (`~1e-7`) near the ~9.5-decade BNL width. The
+/// failure mode is benign: a sub-tolerance `δ_0` contribution blurs only
+/// the *lowest* thresholds (locally equivalent to a slightly narrower
+/// window), while plan selection is protected by the exact-cost argmin
+/// and the session layer's exact re-costing, and certificates already
+/// carry the numerical-tolerance caveat (`MIN_RELATIVE_GAP`). The widened
+/// widths are validated empirically: `tests/grid_window.rs` drives
+/// 7-decade-cardinality BNL chains through MILP-vs-DP parity at the full
+/// ~9.5-decade window (no phantom infeasibility, optima matched).
+pub fn max_grid_decades(model: CostModelKind, params: &CostParams) -> f64 {
+    MAX_GRID_DECADES + tuples_per_unit_cost(model, params).log10().max(0.0)
+}
 
 /// A concrete geometric threshold grid in log10 space.
 #[derive(Debug, Clone)]
@@ -156,28 +220,33 @@ impl ThresholdGrid {
             log_card_min,
             log_card_max,
             log_card_max,
+            MAX_GRID_DECADES,
             mode,
         )
     }
 
     /// Builds the grid with an explicit window anchor: the top threshold is
-    /// placed at `anchor_log_top` (clamped into the representable range) and
-    /// the grid extends downward by at most [`MAX_GRID_DECADES`] /
-    /// the precision's threshold budget.
+    /// placed at `anchor_log_top` (clamped into the representable range)
+    /// and the grid extends downward by at most `max_decades` decades
+    /// (typically [`max_grid_decades`] for the configured cost model —
+    /// pass [`MAX_GRID_DECADES`] for the model-agnostic baseline) / the
+    /// precision's threshold budget.
     pub fn build_windowed(
         precision: Precision,
         num_tables: usize,
         log_card_min: f64,
         log_card_max: f64,
         anchor_log_top: f64,
+        max_decades: f64,
         mode: ApproxMode,
     ) -> Self {
         let spacing = precision.log10_spacing();
         let cap = precision.max_thresholds(num_tables).max(1);
         let top = anchor_log_top.min(log_card_max).max(log_card_min + spacing);
         // Budget: paper's per-precision cap, further limited by the
-        // numerically-resolvable window width.
-        let width_cap = (MAX_GRID_DECADES / spacing).floor() as usize + 1;
+        // numerically-resolvable window width (per cost model; see
+        // `max_grid_decades`).
+        let width_cap = (max_decades.max(0.0) / spacing).floor() as usize + 1;
         let budget = cap.min(width_cap).max(1);
         // Do not extend below the smallest representable operand.
         let lowest_useful = log_card_min + spacing;
@@ -515,6 +584,65 @@ mod tests {
         // statement about a non-negative cost space.
         assert_eq!(corr.project(10.0), Some(-1.0));
         assert_eq!(corr.project(f64::INFINITY), None);
+    }
+
+    #[test]
+    fn per_model_window_width_recovers_conversion_decades() {
+        let params = CostParams::default();
+        // C_out converts 1:1 — the baseline width.
+        assert_eq!(
+            max_grid_decades(CostModelKind::Cout, &params),
+            MAX_GRID_DECADES
+        );
+        // BNL's conversion factor is B·page/tuple = 64·8192/64 = 8192:
+        // ~3.9 decades recovered on top of the 6-decade baseline.
+        let bnl = max_grid_decades(CostModelKind::BlockNestedLoop, &params);
+        assert!((bnl - (MAX_GRID_DECADES + 8192f64.log10())).abs() < 1e-12);
+        assert!((bnl - 9.913).abs() < 1e-3, "bnl width {bnl}");
+        // Hash and sort-merge sit between: page/(3·tuple) and page/tuple.
+        let hash = max_grid_decades(CostModelKind::Hash, &params);
+        let sm = max_grid_decades(CostModelKind::SortMerge, &params);
+        assert!(MAX_GRID_DECADES < hash && hash < sm && sm < bnl);
+        // A model whose conversion shrinks cardinalities (tuples wider than
+        // a page) must never narrow the window below the baseline.
+        let wide = CostParams {
+            tuple_bytes: 1e6,
+            ..params
+        };
+        assert_eq!(
+            max_grid_decades(CostModelKind::Hash, &wide),
+            MAX_GRID_DECADES
+        );
+    }
+
+    #[test]
+    fn wider_window_buys_bnl_more_thresholds() {
+        // At Medium precision (1 decade spacing) the baseline admits 7
+        // thresholds; the BNL width admits 10 — the recovered precision.
+        let params = CostParams::default();
+        let base = ThresholdGrid::build_windowed(
+            Precision::Medium,
+            10,
+            0.0,
+            30.0,
+            20.0,
+            MAX_GRID_DECADES,
+            ApproxMode::LowerBound,
+        );
+        let bnl = ThresholdGrid::build_windowed(
+            Precision::Medium,
+            10,
+            0.0,
+            30.0,
+            20.0,
+            max_grid_decades(CostModelKind::BlockNestedLoop, &params),
+            ApproxMode::LowerBound,
+        );
+        assert_eq!(base.len(), 7);
+        assert_eq!(bnl.len(), 10);
+        // Same top anchor; the extra thresholds extend the window *down*.
+        assert_eq!(bnl.top_value(), base.top_value());
+        assert!(bnl.floor_value() < base.floor_value());
     }
 
     #[test]

@@ -49,6 +49,21 @@ pub struct Solver {
     options: SolverOptions,
 }
 
+// Concurrency audit: the solver facade is options-only and every solve
+// builds its own working model, LP, and branch-and-bound state on the call
+// stack (no interior mutability, no shared scratch), so solvers, models,
+// and results may cross thread boundaries freely — the property the
+// parallel session executor in `milpjoin-qopt` is built on.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Solver>();
+    assert_send_sync::<SolverOptions>();
+    assert_send_sync::<Model>();
+    assert_send_sync::<MipResult>();
+    assert_send_sync::<crate::solution::Solution>();
+    assert_send_sync::<crate::branch_bound::SolverEvent>();
+};
+
 impl Solver {
     pub fn new(options: SolverOptions) -> Self {
         Solver { options }

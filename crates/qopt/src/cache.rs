@@ -1,0 +1,284 @@
+//! Shard-locked fingerprint → plan cache shared between sessions and
+//! worker threads.
+//!
+//! The [`crate::session::PlanSession`] of PR 2 kept its plan cache as a
+//! plain `HashMap` inside the session — correct for one thread, useless
+//! for a worker pool. [`ShardedPlanCache`] is that cache split out and made
+//! shareable: entries are distributed over `N` independently-locked shards
+//! by a *deterministic* hash of the fingerprint, so concurrent workers
+//! solving different structures contend only when their fingerprints land
+//! on the same shard. Each shard keeps the PR 3 bookkeeping locally —
+//! bounded population, least-recently-used eviction driven by a monotone
+//! per-shard logical clock, an eviction counter — and the cache aggregates
+//! them for `explain()`-style reporting.
+//!
+//! Design notes:
+//!
+//! * **Deterministic sharding.** The shard index comes from a fixed-key
+//!   SipHash ([`DefaultHasher`]), not the process-randomized `RandomState`,
+//!   so the same fingerprint lands on the same shard in every run —
+//!   eviction behavior (which structures survive a capacity squeeze) is
+//!   reproducible across runs and machines.
+//! * **Per-shard LRU.** Recency is tracked per shard; eviction picks the
+//!   least-recently-used entry *of the full shard*. With one shard
+//!   (the [`crate::session::PlanSession`] default) this is exactly the
+//!   global LRU of PR 3; with many shards it is the standard sharded
+//!   approximation (a globally-stale entry survives while its shard has
+//!   room).
+//! * **Coarse-grained locking.** A lookup or insert holds exactly one shard
+//!   lock for a map operation — never across a backend solve. Solves run
+//!   lock-free; the executor deduplicates concurrent solves of one
+//!   structure *above* this layer (see `crate::executor`).
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
+
+use crate::fingerprint::{ExactStats, Fingerprint};
+use crate::plan::JoinOp;
+
+/// A solved structure: the join order in canonical table indices plus what
+/// the backend proved about it. Stored per fingerprint; instantiated over a
+/// hitting query's concrete tables by the session layer.
+#[derive(Debug, Clone)]
+pub struct CachedPlan {
+    pub(crate) canonical_order: Vec<usize>,
+    pub(crate) operators: Vec<JoinOp>,
+    pub(crate) exact: ExactStats,
+    pub(crate) bound: Option<f64>,
+    pub(crate) proven_optimal: bool,
+}
+
+struct Shard {
+    /// Entries plus their last-touched logical time (the LRU key).
+    map: HashMap<Fingerprint, (Arc<CachedPlan>, u64)>,
+    capacity: usize,
+    /// Monotone logical clock stamping lookups and inserts.
+    clock: u64,
+    evictions: u64,
+}
+
+impl Shard {
+    /// Evicts least-recently-used entries until the shard fits its
+    /// capacity; returns how many were evicted.
+    fn enforce_capacity(&mut self) -> u64 {
+        let mut evicted = 0;
+        while self.map.len() > self.capacity {
+            // O(population) scan per eviction: deterministic, and at real
+            // capacities the scan is trivially cheap next to a backend
+            // solve. Ties cannot happen (the clock is monotone).
+            let lru = self
+                .map
+                .iter()
+                .min_by_key(|(_, &(_, last_used))| last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty shard above capacity");
+            self.map.remove(&lru);
+            evicted += 1;
+        }
+        self.evictions += evicted;
+        evicted
+    }
+}
+
+/// A bounded, shard-locked fingerprint → plan cache (see the module docs).
+///
+/// Shared by reference ([`std::sync::Arc`]) between a session and the
+/// workers of a parallel executor. Entries are `Arc`-wrapped internally,
+/// so a hit hands out a pointer clone — no per-hit deep copy of the plan
+/// payload — and no lock is held while the caller instantiates the plan.
+pub struct ShardedPlanCache {
+    shards: Vec<Mutex<Shard>>,
+}
+
+impl std::fmt::Debug for ShardedPlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedPlanCache")
+            .field("shards", &self.shards.len())
+            .field("len", &self.len())
+            .field("capacity", &self.capacity())
+            .finish()
+    }
+}
+
+impl ShardedPlanCache {
+    /// A cache of `capacity` total entries over `shards` independently
+    /// locked shards. `shards` is clamped to `1..=max(capacity, 1)`: a
+    /// shard that could never hold an entry would silently disable caching
+    /// for every fingerprint hashing to it, so a small capacity gets fewer
+    /// shards instead. The capacity is distributed as evenly as possible;
+    /// shard `i` gets `capacity / shards` entries plus one of the
+    /// remainder.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.clamp(1, capacity.max(1));
+        let base = capacity / shards;
+        let remainder = capacity % shards;
+        ShardedPlanCache {
+            shards: (0..shards)
+                .map(|i| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        capacity: base + usize::from(i < remainder),
+                        clock: 0,
+                        evictions: 0,
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total entry budget across all shards.
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().capacity).sum()
+    }
+
+    /// Re-distributes a new total capacity across the existing shards,
+    /// evicting immediately where a shard now exceeds its share. Returns
+    /// how many entries were evicted by this call.
+    ///
+    /// The shard count is fixed (the handle may be shared), so a nonzero
+    /// capacity smaller than the shard count is rounded up to one entry
+    /// per shard — a zero-capacity shard would silently disable caching
+    /// for every fingerprint hashing to it. [`Self::capacity`] reports the
+    /// effective total. Prefer configuring the shard count alongside the
+    /// capacity (session builders rebuild via [`Self::new`], which clamps
+    /// the shard count instead).
+    pub fn set_capacity(&self, capacity: usize) -> u64 {
+        let n = self.shards.len();
+        let base = capacity / n;
+        let remainder = capacity % n;
+        let mut evicted = 0;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let mut s = shard.lock().unwrap();
+            s.capacity = if capacity == 0 {
+                0
+            } else {
+                (base + usize::from(i < remainder)).max(1)
+            };
+            evicted += s.enforce_capacity();
+        }
+        evicted
+    }
+
+    /// Number of distinct solved structures currently cached.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().map.len())
+            .sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().unwrap().map.clear();
+        }
+    }
+
+    /// Total entries evicted over the cache's lifetime (all shards).
+    pub fn evictions(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().evictions)
+            .sum()
+    }
+
+    /// Deterministic shard index of a fingerprint (fixed-key hash; see the
+    /// module docs).
+    fn shard_of(&self, fp: &Fingerprint) -> usize {
+        let mut hasher = DefaultHasher::new();
+        fp.hash(&mut hasher);
+        (hasher.finish() % self.shards.len() as u64) as usize
+    }
+
+    /// Refreshes an entry's LRU recency without cloning it; returns whether
+    /// the entry was present. Used by the parallel executor to normalize
+    /// recency to input order during batch assembly (so cross-batch
+    /// eviction behavior matches the sequential session's).
+    pub(crate) fn touch(&self, fp: &Fingerprint) -> bool {
+        let mut shard = self.shards[self.shard_of(fp)].lock().unwrap();
+        shard.clock += 1;
+        let clock = shard.clock;
+        match shard.map.get_mut(fp) {
+            Some((_, last_used)) => {
+                *last_used = clock;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Looks a structure up, refreshing its LRU recency on a hit. Returns
+    /// an `Arc` pointer clone, so no lock is held (and no payload is
+    /// copied) while the caller instantiates the plan.
+    pub(crate) fn lookup(&self, fp: &Fingerprint) -> Option<Arc<CachedPlan>> {
+        let mut shard = self.shards[self.shard_of(fp)].lock().unwrap();
+        shard.clock += 1;
+        let clock = shard.clock;
+        let (cached, last_used) = shard.map.get_mut(fp)?;
+        *last_used = clock;
+        Some(Arc::clone(cached))
+    }
+
+    /// Inserts (or replaces) a solved structure, evicting the shard's LRU
+    /// entries beyond capacity. Returns how many entries were evicted. A
+    /// zero-capacity cache stores nothing.
+    pub(crate) fn insert(&self, fp: Fingerprint, plan: Arc<CachedPlan>) -> u64 {
+        let mut shard = self.shards[self.shard_of(&fp)].lock().unwrap();
+        if shard.capacity == 0 {
+            return 0;
+        }
+        shard.clock += 1;
+        let clock = shard.clock;
+        shard.map.insert(fp, (plan, clock));
+        shard.enforce_capacity()
+    }
+}
+
+// The whole point of this type: share it between worker threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ShardedPlanCache>();
+    assert_send_sync::<CachedPlan>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_capacities_never_strand_a_shard() {
+        // Construction clamps the shard count so every shard can hold an
+        // entry: capacity 4 with 16 requested shards becomes 4 shards of 1.
+        let cache = ShardedPlanCache::new(4, 16);
+        assert_eq!(cache.num_shards(), 4);
+        assert_eq!(cache.capacity(), 4);
+        // Zero capacity keeps a single (empty) shard.
+        let empty = ShardedPlanCache::new(0, 16);
+        assert_eq!(empty.num_shards(), 1);
+        assert_eq!(empty.capacity(), 0);
+    }
+
+    #[test]
+    fn set_capacity_rounds_up_to_one_entry_per_shard() {
+        // The shard count is fixed after construction (the handle may be
+        // shared), so shrinking the capacity below it rounds each shard up
+        // to one entry instead of silently disabling caching for the
+        // fingerprints hashing to a zero-capacity shard.
+        let cache = ShardedPlanCache::new(64, 16);
+        assert_eq!(cache.num_shards(), 16);
+        cache.set_capacity(4);
+        assert_eq!(cache.capacity(), 16);
+        // Zero still means "store nothing", everywhere.
+        cache.set_capacity(0);
+        assert_eq!(cache.capacity(), 0);
+    }
+}

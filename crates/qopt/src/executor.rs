@@ -1,0 +1,825 @@
+//! Parallel session executor: a worker pool over `optimize_batch`.
+//!
+//! The solver stack is single-threaded per query — one MILP solve is one
+//! branch-and-bound search on one core. A production query stream,
+//! however, is *embarrassingly parallel across queries*, and the
+//! hybrid-MILP line of work (Schönberger & Trummer, 2025) is built on
+//! exactly that observation: many moderate MILP solves running concurrently
+//! beat one big one. [`ParallelSession`] is the [`PlanSession`] service
+//! re-architected for that shape: `N` workers drain a batch, each owning
+//! its own backend instance (built by an [`OrdererFactory`]), all sharing
+//! one shard-locked plan cache ([`ShardedPlanCache`]).
+//!
+//! ## Determinism and result identity
+//!
+//! [`ParallelSession::optimize_batch`] returns results **in input order**
+//! and — for any worker count — **bit-identical to the sequential
+//! [`PlanSession`]** on the same stream: the same plans, the same exact
+//! costs, the same certificates, the same `cache_hit`/`exact_hit` flags.
+//! Three mechanisms make that hold:
+//!
+//! 1. **Batch-level fingerprint deduplication.** A sequential prepass
+//!    fingerprints every query and designates the *first* occurrence of
+//!    each structure the **leader**; only leaders (and uncacheable
+//!    queries) become worker jobs, so two workers never solve the same
+//!    structure concurrently — exactly the issue's "second waits and takes
+//!    the cache hit", resolved statically instead of with a condition
+//!    variable.
+//! 2. **Followers derive from their leader's result, not from the racy
+//!    cache.** Each later occurrence is instantiated (and exactly
+//!    re-costed) from the leader's solved structure through the same
+//!    `instantiate_cached` helper the sequential session uses, in input
+//!    order, after the pool drains. Thread scheduling therefore cannot
+//!    influence any returned value.
+//! 3. **Deterministic backends per seed.** Instances built by one factory
+//!    are identically configured, so the leader's solve is the same solve
+//!    the sequential session would have run. One genuine nondeterminism
+//!    source remains for *time-limited* solves: a wall-clock budget that
+//!    binds measures CPU contention, so on an oversubscribed host (more
+//!    workers than cores) a budget-clipped solve can terminate earlier —
+//!    with a weaker incumbent or bound — than its sequential counterpart.
+//!    Identity is exact whenever no time budget binds (node budgets and
+//!    gap targets are contention-free); capacity-plan worker counts at or
+//!    below the core count when tight deadlines matter.
+//!
+//! Cross-batch LRU state is normalized too: the worker phase stamps cache
+//! recency in racy completion order, so the assembly pass re-stamps every
+//! fingerprinted query's entry in input order — a later batch then evicts
+//! the same structures the sequential session would have.
+//!
+//! One caveat mirrors the sequential path honestly: when a batch carries
+//! more *distinct* structures than the cache capacity, eviction *order*
+//! depends on which worker inserts first, so the cache's contents **after**
+//! the batch (and hence hit patterns of *later* batches) may vary across
+//! runs — the results of the batch itself remain deterministic. Sequential
+//! equivalence of the hit/miss flags likewise assumes the batch's distinct
+//! structures fit the capacity (the sequential session can evict and
+//! re-solve a structure mid-batch; the parallel session solves each
+//! structure once).
+//!
+//! ## Error semantics
+//!
+//! A failed leader solve is returned for the leader's slot, and each
+//! follower of that structure is then solved individually in input order —
+//! precisely what the sequential session does when a miss fails and the
+//! structure stays uncached. Deterministic backends fail identically, so
+//! equivalence holds on error paths too.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::cache::{CachedPlan, ShardedPlanCache};
+use crate::catalog::Catalog;
+use crate::fingerprint::{FingerprintOptions, FingerprintedQuery};
+use crate::orderer::{JoinOrderer, OrdererFactory, OrderingError, OrderingOptions};
+use crate::query::Query;
+use crate::session::{
+    instantiate_cached, record_for_cache, PlanSession, SessionOutcome, SessionStats,
+};
+
+/// Default shard count of a parallel session's plan cache — enough that a
+/// handful of workers rarely contend on one lock, while each shard still
+/// holds a meaningful slice of the capacity.
+pub const DEFAULT_CACHE_SHARDS: usize = 16;
+
+/// How one query of a batch is handled (the prepass verdict).
+enum Prep {
+    /// Failed validation; answered without touching a worker.
+    Invalid(OrderingError),
+    /// Solved unconditionally by a worker (caching disabled or the query
+    /// is not cacheable).
+    Solo,
+    /// First in-batch occurrence of its structure: solved (or served from
+    /// the shared cache) by a worker.
+    Leader(Box<FingerprintedQuery>),
+    /// Later occurrence: derived from the leader's result in input order.
+    Follower {
+        leader: usize,
+        fp: Box<FingerprintedQuery>,
+    },
+}
+
+/// What a worker leaves behind for one job.
+struct JobOutcome {
+    result: Result<SessionOutcome, OrderingError>,
+    /// The solved structure (for leaders), from which followers are
+    /// instantiated deterministically.
+    record: Option<Arc<CachedPlan>>,
+}
+
+/// A multi-threaded [`PlanSession`]: one catalog, one backend
+/// *configuration*, `N` worker-owned backend instances, one shared
+/// shard-locked plan cache.
+///
+/// ```
+/// use milpjoin_qopt::cost::{CostModelKind, CostParams, plan_cost};
+/// use milpjoin_qopt::executor::ParallelSession;
+/// use milpjoin_qopt::orderer::*;
+/// use milpjoin_qopt::{Catalog, LeftDeepPlan, Predicate, Query};
+/// use std::time::Duration;
+///
+/// // Any `Clone` backend is its own `OrdererFactory`.
+/// #[derive(Clone)]
+/// struct Sorter;
+/// impl JoinOrderer for Sorter {
+///     fn name(&self) -> &'static str { "sorter" }
+///     fn cost_model(&self) -> (CostModelKind, CostParams) {
+///         (CostModelKind::Cout, CostParams::default())
+///     }
+///     fn order(&self, catalog: &Catalog, query: &Query, _o: &OrderingOptions)
+///         -> Result<OrderingOutcome, OrderingError> {
+///         let mut order = query.tables.clone();
+///         order.sort_by(|&a, &b| catalog.cardinality(a).total_cmp(&catalog.cardinality(b)));
+///         let plan = LeftDeepPlan::from_order(order);
+///         let cost = plan_cost(catalog, query, &plan, CostModelKind::Cout,
+///                              &CostParams::default()).total;
+///         Ok(OrderingOutcome { plan, cost, objective: cost, bound: None,
+///             proven_optimal: false, trace: CostTrace::default(),
+///             elapsed: Duration::ZERO })
+///     }
+/// }
+///
+/// let mut catalog = Catalog::new();
+/// let r = catalog.add_table("R", 10.0);
+/// let s = catalog.add_table("S", 1000.0);
+/// let mut query = Query::new(vec![r, s]);
+/// query.add_predicate(Predicate::binary(r, s, 0.1));
+///
+/// let mut session = ParallelSession::new(catalog, Sorter);
+/// let results = session.optimize_batch(&[query.clone(), query], 4);
+/// assert!(!results[0].as_ref().unwrap().cache_hit);
+/// assert!(results[1].as_ref().unwrap().cache_hit);
+/// assert_eq!(session.explain().backend_solves, 1);
+/// ```
+pub struct ParallelSession {
+    /// The full session configuration *and* the sequential-path core:
+    /// catalog, one backend instance (cost-model probe + the repair path
+    /// for followers of a failed leader), runtime options, fingerprint
+    /// options, the shared cache, and the aggregate statistics. Wrapping a
+    /// [`PlanSession`] keeps the two session types' configuration surfaces
+    /// from drifting apart.
+    seq: PlanSession,
+    factory: Box<dyn OrdererFactory>,
+}
+
+impl ParallelSession {
+    /// A parallel session over `catalog` with worker backends built by
+    /// `factory`. Any `Clone` backend (every optimizer in the workspace)
+    /// is its own factory; pass the configured value directly.
+    pub fn new(catalog: Catalog, factory: impl OrdererFactory + 'static) -> Self {
+        ParallelSession {
+            // Same defaults as the sequential session except the shard
+            // count: workers contend on the cache, so it starts sharded.
+            seq: PlanSession::new(catalog, factory.build()).with_cache_shards(DEFAULT_CACHE_SHARDS),
+            factory: Box::new(factory),
+        }
+    }
+
+    /// Builder-style setter for the per-query runtime limits.
+    pub fn with_options(mut self, options: OrderingOptions) -> Self {
+        self.seq = self.seq.with_options(options);
+        self
+    }
+
+    /// Builder-style setter for the fingerprint quantization.
+    pub fn with_fingerprint_options(mut self, options: FingerprintOptions) -> Self {
+        self.seq = self.seq.with_fingerprint_options(options);
+        self
+    }
+
+    /// Disables (or re-enables) the plan cache; every query then reaches a
+    /// worker backend (in-batch deduplication is disabled too, matching
+    /// the sequential session with caching off).
+    pub fn with_caching(mut self, on: bool) -> Self {
+        self.seq = self.seq.with_caching(on);
+        self
+    }
+
+    /// Builder-style setter for the total plan-cache capacity (default
+    /// [`crate::session::DEFAULT_CACHE_CAPACITY`], split across the
+    /// shards).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.seq = self.seq.with_cache_capacity(capacity);
+        self
+    }
+
+    /// Builder-style setter for the shard count (default
+    /// [`DEFAULT_CACHE_SHARDS`]). **Rebuilds the cache**: cached
+    /// structures are dropped.
+    pub fn with_cache_shards(mut self, shards: usize) -> Self {
+        self.seq = self.seq.with_cache_shards(shards);
+        self
+    }
+
+    /// The shared handle to the plan cache (pass it to other sessions to
+    /// share solved structures).
+    pub fn shared_cache(&self) -> Arc<ShardedPlanCache> {
+        self.seq.shared_cache()
+    }
+
+    /// Builder-style setter replacing this session's cache with an
+    /// existing shared one.
+    pub fn with_shared_cache(mut self, cache: Arc<ShardedPlanCache>) -> Self {
+        self.seq = self.seq.with_shared_cache(cache);
+        self
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        self.seq.catalog()
+    }
+
+    /// The underlying backend's name (`"milp"`, `"hybrid"`, ...).
+    pub fn backend_name(&self) -> &'static str {
+        self.seq.backend_name()
+    }
+
+    /// Aggregate hit/miss statistics across all workers and batches (same
+    /// shape and accounting as the sequential session's).
+    pub fn explain(&self) -> SessionStats {
+        self.seq.explain()
+    }
+
+    pub fn cache_len(&self) -> usize {
+        self.seq.cache_len()
+    }
+
+    pub fn clear_cache(&mut self) {
+        self.seq.clear_cache();
+    }
+
+    /// A *separate* sequential [`PlanSession`] with this session's
+    /// configuration and shared cache — for callers that interleave
+    /// single-query traffic (on another thread, say) with parallel
+    /// batches. Statistics accumulate per session; the cache and its
+    /// eviction accounting are shared.
+    pub fn sequential(&self) -> PlanSession {
+        PlanSession::new(self.seq.catalog.clone(), self.factory.build())
+            .with_options(self.seq.options.clone())
+            .with_fingerprint_options(self.seq.fingerprint_options)
+            .with_caching(self.seq.caching)
+            .with_shared_cache(self.seq.shared_cache())
+    }
+
+    /// Optimizes a batch of queries with `workers` threads (clamped to at
+    /// least 1 and at most the number of solve jobs). Results are returned
+    /// in input order and are identical to
+    /// [`PlanSession::optimize_batch`] on the same stream — see the module
+    /// docs for the exact guarantee.
+    pub fn optimize_batch(
+        &mut self,
+        queries: &[Query],
+        workers: usize,
+    ) -> Vec<Result<SessionOutcome, OrderingError>> {
+        // ---- Phase 1: sequential prepass — validate, fingerprint, pick
+        // leaders (first in-batch occurrence of each structure).
+        let mut preps: Vec<Prep> = Vec::with_capacity(queries.len());
+        let mut leader_of: HashMap<crate::fingerprint::Fingerprint, usize> = HashMap::new();
+        for (i, query) in queries.iter().enumerate() {
+            self.seq.stats.queries += 1;
+            if let Err(e) = query.validate(&self.seq.catalog) {
+                preps.push(Prep::Invalid(OrderingError::InvalidQuery(e.to_string())));
+                continue;
+            }
+            if !self.seq.caching {
+                preps.push(Prep::Solo);
+                continue;
+            }
+            let fp = FingerprintedQuery::compute(
+                &self.seq.catalog,
+                query,
+                &self.seq.fingerprint_options,
+            );
+            if !fp.cacheable {
+                self.seq.stats.uncacheable += 1;
+                preps.push(Prep::Solo);
+                continue;
+            }
+            match leader_of.entry(fp.fingerprint.clone()) {
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(i);
+                    preps.push(Prep::Leader(Box::new(fp)));
+                }
+                std::collections::hash_map::Entry::Occupied(slot) => {
+                    preps.push(Prep::Follower {
+                        leader: *slot.get(),
+                        fp: Box::new(fp),
+                    });
+                }
+            }
+        }
+
+        // ---- Phase 2: worker pool over the solve jobs (leaders + solo).
+        let jobs: Vec<usize> = preps
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| matches!(p, Prep::Leader(_) | Prep::Solo))
+            .map(|(i, _)| i)
+            .collect();
+        let mut job_of = vec![usize::MAX; queries.len()];
+        for (j, &qi) in jobs.iter().enumerate() {
+            job_of[qi] = j;
+        }
+        let slots: Vec<Mutex<Option<JobOutcome>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        let workers = workers.clamp(1, jobs.len().max(1));
+        if !jobs.is_empty() {
+            let next = AtomicUsize::new(0);
+            let next = &next;
+            let (catalog, options, cache) = (&self.seq.catalog, &self.seq.options, &self.seq.cache);
+            let (preps_ref, jobs_ref, slots_ref) = (&preps, &jobs, &slots);
+            let factory = &self.factory;
+            let worker_stats = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(move || {
+                            let backend = factory.build();
+                            let (model, params) = backend.cost_model();
+                            let mut local = SessionStats::default();
+                            loop {
+                                let j = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(&qi) = jobs_ref.get(j) else { break };
+                                let query = &queries[qi];
+                                let fp = match &preps_ref[qi] {
+                                    Prep::Leader(fp) => Some(fp.as_ref()),
+                                    _ => None,
+                                };
+                                let outcome = Self::run_job(
+                                    catalog, query, fp, &*backend, model, &params, options, cache,
+                                    &mut local,
+                                );
+                                *slots_ref[j].lock().unwrap() = Some(outcome);
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker thread panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for w in worker_stats {
+                self.seq.stats.cache_hits += w.cache_hits;
+                self.seq.stats.exact_hits += w.exact_hits;
+                self.seq.stats.backend_solves += w.backend_solves;
+                self.seq.stats.backend_errors += w.backend_errors;
+            }
+        }
+
+        // ---- Phase 3: sequential assembly in input order. Followers are
+        // instantiated from their leader's solved structure; followers of a
+        // *failed* leader are solved one by one (the sequential session's
+        // behavior for repeated misses of an uncached structure). Every
+        // fingerprinted query additionally re-stamps its cache entry's LRU
+        // recency here, in input order: the worker phase stamped entries in
+        // racy completion order, and without normalization a later batch
+        // could evict a different structure than the sequential session
+        // would (recency equivalence, like result equivalence, then holds
+        // whenever nothing is evicted mid-batch).
+        let (model, params) = self.seq.backend.cost_model();
+        let mut records: HashMap<usize, Arc<CachedPlan>> = HashMap::new();
+        let mut results = Vec::with_capacity(queries.len());
+        for (i, prep) in preps.into_iter().enumerate() {
+            match prep {
+                Prep::Invalid(e) => results.push(Err(e)),
+                Prep::Solo => {
+                    let job = slots[job_of[i]]
+                        .lock()
+                        .unwrap()
+                        .take()
+                        .expect("every job slot is filled before the pool drains");
+                    results.push(job.result);
+                }
+                Prep::Leader(fp) => {
+                    let job = slots[job_of[i]]
+                        .lock()
+                        .unwrap()
+                        .take()
+                        .expect("every job slot is filled before the pool drains");
+                    if let Some(record) = job.record {
+                        records.insert(i, record);
+                    }
+                    self.seq.cache.touch(&fp.fingerprint);
+                    results.push(job.result);
+                }
+                Prep::Follower { leader, fp } => {
+                    let start = Instant::now();
+                    self.seq.cache.touch(&fp.fingerprint);
+                    let hit = records.get(&leader).and_then(|record| {
+                        instantiate_cached(
+                            &self.seq.catalog,
+                            &queries[i],
+                            &fp,
+                            record.as_ref(),
+                            model,
+                            &params,
+                            start,
+                        )
+                    });
+                    match hit {
+                        Some(outcome) => {
+                            self.seq.stats.cache_hits += 1;
+                            if outcome.exact_hit {
+                                self.seq.stats.exact_hits += 1;
+                            }
+                            results.push(Ok(outcome));
+                        }
+                        None => {
+                            // Leader failed (or, debug-only, its plan did
+                            // not instantiate): run the sequential
+                            // session's own miss path — solve, count, and
+                            // cache on success — so the remaining
+                            // followers are served.
+                            match self.seq.solve(&queries[i], Some((*fp).clone())) {
+                                Ok(outcome) => {
+                                    records.insert(
+                                        leader,
+                                        Arc::new(record_for_cache(
+                                            &queries[i],
+                                            &fp,
+                                            &outcome.outcome,
+                                        )),
+                                    );
+                                    results.push(Ok(outcome));
+                                }
+                                Err(e) => results.push(Err(e)),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        results
+    }
+
+    /// One worker job: serve a leader from the shared cache or solve it
+    /// (solo jobs always solve). Runs on a worker thread; touches the
+    /// shard lock only for the lookup and the insert, never across the
+    /// solve.
+    #[allow(clippy::too_many_arguments)]
+    fn run_job(
+        catalog: &Catalog,
+        query: &Query,
+        fp: Option<&FingerprintedQuery>,
+        backend: &dyn JoinOrderer,
+        model: crate::cost::CostModelKind,
+        params: &crate::cost::CostParams,
+        options: &OrderingOptions,
+        cache: &ShardedPlanCache,
+        local: &mut SessionStats,
+    ) -> JobOutcome {
+        if let Some(fp) = fp {
+            let start = Instant::now();
+            if let Some(cached) = cache.lookup(&fp.fingerprint) {
+                if let Some(hit) =
+                    instantiate_cached(catalog, query, fp, cached.as_ref(), model, params, start)
+                {
+                    local.cache_hits += 1;
+                    if hit.exact_hit {
+                        local.exact_hits += 1;
+                    }
+                    return JobOutcome {
+                        result: Ok(hit),
+                        record: Some(cached),
+                    };
+                }
+            }
+        }
+        local.backend_solves += 1;
+        match backend.order(catalog, query, options) {
+            Ok(outcome) => {
+                let record = fp.map(|fp| {
+                    let record = Arc::new(record_for_cache(query, fp, &outcome));
+                    cache.insert(fp.fingerprint.clone(), Arc::clone(&record));
+                    record
+                });
+                JobOutcome {
+                    result: Ok(SessionOutcome {
+                        outcome,
+                        cache_hit: false,
+                        exact_hit: false,
+                    }),
+                    record,
+                }
+            }
+            Err(e) => {
+                local.backend_errors += 1;
+                JobOutcome {
+                    result: Err(e),
+                    record: None,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::AtomicU64;
+    use std::time::Duration;
+
+    use super::*;
+    use crate::cost::{plan_cost, CostModelKind, CostParams};
+    use crate::orderer::{CostTrace, OrderingOutcome};
+    use crate::plan::LeftDeepPlan;
+    use crate::query::Predicate;
+
+    /// Deterministic toy backend (smallest-cardinality-first) with a
+    /// shared, thread-safe invocation counter.
+    #[derive(Clone)]
+    struct CountingBackend {
+        calls: Arc<AtomicU64>,
+        fail_above: Option<f64>,
+    }
+
+    impl CountingBackend {
+        fn new() -> Self {
+            CountingBackend {
+                calls: Arc::new(AtomicU64::new(0)),
+                fail_above: None,
+            }
+        }
+
+        /// Fails any query whose smallest table exceeds the limit.
+        fn failing_above(limit: f64) -> Self {
+            CountingBackend {
+                calls: Arc::new(AtomicU64::new(0)),
+                fail_above: Some(limit),
+            }
+        }
+
+        fn calls(&self) -> u64 {
+            self.calls.load(Ordering::Relaxed)
+        }
+    }
+
+    impl JoinOrderer for CountingBackend {
+        fn name(&self) -> &'static str {
+            "counting"
+        }
+
+        fn cost_model(&self) -> (CostModelKind, CostParams) {
+            (CostModelKind::Cout, CostParams::default())
+        }
+
+        fn order(
+            &self,
+            catalog: &Catalog,
+            query: &Query,
+            _options: &OrderingOptions,
+        ) -> Result<OrderingOutcome, OrderingError> {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            let mut order = query.tables.clone();
+            order.sort_by(|&a, &b| catalog.cardinality(a).total_cmp(&catalog.cardinality(b)));
+            if let Some(limit) = self.fail_above {
+                if catalog.cardinality(order[0]) > limit {
+                    return Err(OrderingError::Backend("injected failure".into()));
+                }
+            }
+            let plan = LeftDeepPlan::from_order(order);
+            let cost = plan_cost(
+                catalog,
+                query,
+                &plan,
+                CostModelKind::Cout,
+                &CostParams::default(),
+            )
+            .total;
+            Ok(OrderingOutcome {
+                plan,
+                cost,
+                objective: cost,
+                bound: Some(cost),
+                proven_optimal: true,
+                trace: CostTrace::single(Duration::ZERO, cost, Some(cost)),
+                elapsed: Duration::ZERO,
+            })
+        }
+    }
+
+    /// `copies` structurally-identical copies each of `structures` distinct
+    /// three-table chains, interleaved.
+    fn stream(catalog: &mut Catalog, structures: usize, copies: usize) -> Vec<Query> {
+        let mut queries = Vec::new();
+        for _ in 0..copies {
+            for s in 0..structures {
+                let scale = 10f64.powi(s as i32 % 4) * (1.0 + s as f64);
+                let ids: Vec<_> = [scale, scale * 37.0, scale * 900.0]
+                    .iter()
+                    .map(|&c| catalog.add_table(format!("t{}", catalog.num_tables()), c))
+                    .collect();
+                let mut q = Query::new(ids.clone());
+                q.add_predicate(Predicate::binary(ids[0], ids[1], 0.1));
+                q.add_predicate(Predicate::binary(ids[1], ids[2], 0.3));
+                queries.push(q);
+            }
+        }
+        queries
+    }
+
+    #[test]
+    fn one_solve_per_structure_any_worker_count() {
+        for workers in [1, 2, 4, 8] {
+            let mut catalog = Catalog::new();
+            let queries = stream(&mut catalog, 5, 4); // 20 queries, 5 structures
+            let backend = CountingBackend::new();
+            let counter = backend.clone();
+            let mut session = ParallelSession::new(catalog, backend);
+            let results = session.optimize_batch(&queries, workers);
+            assert_eq!(results.len(), 20);
+            for r in &results {
+                r.as_ref().unwrap();
+            }
+            assert_eq!(counter.calls(), 5, "workers={workers}");
+            let stats = session.explain();
+            assert_eq!(stats.backend_solves, 5);
+            assert_eq!(stats.cache_hits, 15);
+            assert_eq!(stats.exact_hits, 15);
+            assert_eq!(session.cache_len(), 5);
+        }
+    }
+
+    #[test]
+    fn results_match_the_sequential_session() {
+        let mut catalog = Catalog::new();
+        let queries = stream(&mut catalog, 6, 3);
+        let mut sequential = PlanSession::new(catalog.clone(), Box::new(CountingBackend::new()));
+        let expected = sequential.optimize_batch(&queries);
+        for workers in [1, 3, 8] {
+            let mut parallel = ParallelSession::new(catalog.clone(), CountingBackend::new());
+            let got = parallel.optimize_batch(&queries, workers);
+            for (i, (e, g)) in expected.iter().zip(&got).enumerate() {
+                let (e, g) = (e.as_ref().unwrap(), g.as_ref().unwrap());
+                assert_eq!(e.outcome.plan, g.outcome.plan, "query {i}");
+                assert_eq!(e.outcome.cost, g.outcome.cost, "query {i}");
+                assert_eq!(e.outcome.bound, g.outcome.bound, "query {i}");
+                assert_eq!(e.outcome.proven_optimal, g.outcome.proven_optimal);
+                assert_eq!(e.cache_hit, g.cache_hit, "query {i}");
+                assert_eq!(e.exact_hit, g.exact_hit, "query {i}");
+            }
+            let (es, gs) = (sequential.explain(), parallel.explain());
+            assert_eq!(es.backend_solves, gs.backend_solves);
+            assert_eq!(es.cache_hits, gs.cache_hits);
+            assert_eq!(es.exact_hits, gs.exact_hits);
+        }
+    }
+
+    #[test]
+    fn failed_leader_retries_followers_sequentially() {
+        let mut catalog = Catalog::new();
+        // One failing structure (all tables above the limit), one healthy.
+        let healthy = stream(&mut catalog, 1, 2);
+        let big: Vec<_> = [(1e7, 1e8), (2e7, 3e8)]
+            .iter()
+            .map(|&(a, b)| {
+                let x = catalog.add_table(format!("x{a}"), a);
+                let y = catalog.add_table(format!("y{b}"), b);
+                let mut q = Query::new(vec![x, y]);
+                q.add_predicate(Predicate::binary(x, y, 0.5));
+                q
+            })
+            .collect();
+        let queries = vec![
+            big[0].clone(),
+            healthy[0].clone(),
+            big[1].clone(),
+            healthy[1].clone(),
+        ];
+        let backend = CountingBackend::failing_above(1e6);
+        let counter = backend.clone();
+        let mut session = ParallelSession::new(catalog, backend);
+        let results = session.optimize_batch(&queries, 4);
+        assert!(results[0].is_err());
+        assert!(!results[1].as_ref().unwrap().cache_hit);
+        // big[1] is a *different* structure (different quantized stats) but
+        // also fails; healthy[1] is a follower hit of healthy[0].
+        assert!(results[2].is_err());
+        assert!(results[3].as_ref().unwrap().cache_hit);
+        assert_eq!(session.explain().backend_errors, 2);
+        assert_eq!(counter.calls(), 3);
+    }
+
+    #[test]
+    fn same_structure_failures_match_sequential_retry_semantics() {
+        let mut catalog = Catalog::new();
+        let mut make = |card: f64| {
+            let x = catalog.add_table(format!("x{}", catalog.num_tables()), card);
+            let y = catalog.add_table(format!("y{}", catalog.num_tables()), card * 10.0);
+            let mut q = Query::new(vec![x, y]);
+            q.add_predicate(Predicate::binary(x, y, 0.5));
+            q
+        };
+        // Three copies of one failing structure: leader fails in the pool,
+        // each follower retries (and fails) sequentially — like the
+        // sequential session re-missing an uncached structure.
+        let queries = vec![make(1e7), make(1e7), make(1e7)];
+        let backend = CountingBackend::failing_above(1e6);
+        let counter = backend.clone();
+        let mut session = ParallelSession::new(catalog, backend);
+        let results = session.optimize_batch(&queries, 2);
+        assert!(results.iter().all(|r| r.is_err()));
+        assert_eq!(counter.calls(), 3);
+        assert_eq!(session.explain().backend_errors, 3);
+        assert_eq!(session.explain().backend_solves, 3);
+    }
+
+    #[test]
+    fn invalid_queries_reported_in_position() {
+        let mut catalog = Catalog::new();
+        let queries = stream(&mut catalog, 1, 2);
+        // References a table id the session's catalog does not contain.
+        let foreign = Query::new(vec![crate::catalog::TableId(9999)]);
+        let batch = vec![queries[0].clone(), foreign, queries[1].clone()];
+        let mut session = ParallelSession::new(catalog, CountingBackend::new());
+        let results = session.optimize_batch(&batch, 2);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(OrderingError::InvalidQuery(_))));
+        assert!(results[2].as_ref().unwrap().cache_hit);
+        assert_eq!(session.explain().queries, 3);
+    }
+
+    #[test]
+    fn caching_disabled_solves_every_query() {
+        let mut catalog = Catalog::new();
+        let queries = stream(&mut catalog, 2, 3);
+        let backend = CountingBackend::new();
+        let counter = backend.clone();
+        let mut session = ParallelSession::new(catalog, backend).with_caching(false);
+        for r in session.optimize_batch(&queries, 4) {
+            r.unwrap();
+        }
+        assert_eq!(counter.calls(), 6);
+        assert_eq!(session.explain().cache_hits, 0);
+        assert_eq!(session.cache_len(), 0);
+    }
+
+    #[test]
+    fn follower_hits_refresh_lru_recency_like_the_sequential_session() {
+        // Regression: followers are served from the in-memory leader
+        // record, so without the input-order recency normalization their
+        // cache entries kept insert-time stamps and a later batch evicted
+        // a *different* structure than the sequential session would.
+        // Scenario (capacity 2, one shard): batch [A, B, A, A] must leave
+        // B as the LRU entry; inserting C then evicts B, and A must still
+        // hit afterwards — on both session types.
+        let mut catalog = Catalog::new();
+        let [a, b, c_query]: [Query; 3] = {
+            let qs = stream(&mut catalog, 3, 1);
+            [qs[0].clone(), qs[1].clone(), qs[2].clone()]
+        };
+        // The final probes are single-query batches: a two-structure batch
+        // over a full cache would evict mid-batch, which is exactly the
+        // documented non-equivalence regime.
+        let batches: [Vec<Query>; 4] = [
+            vec![a.clone(), b.clone(), a.clone(), a.clone()],
+            vec![c_query.clone()],
+            vec![a.clone()],
+            vec![b.clone()],
+        ];
+        let mut sequential = PlanSession::new(catalog.clone(), Box::new(CountingBackend::new()))
+            .with_cache_capacity(2);
+        let mut parallel = ParallelSession::new(catalog, CountingBackend::new())
+            .with_cache_shards(1)
+            .with_cache_capacity(2);
+        for batch in &batches {
+            let seq_hits: Vec<bool> = sequential
+                .optimize_batch(batch)
+                .into_iter()
+                .map(|r| r.unwrap().cache_hit)
+                .collect();
+            let par_hits: Vec<bool> = parallel
+                .optimize_batch(batch, 4)
+                .into_iter()
+                .map(|r| r.unwrap().cache_hit)
+                .collect();
+            assert_eq!(seq_hits, par_hits);
+        }
+        // Batch 3 confirms the recency story: A (refreshed by its batch-1
+        // follower hits) survived C's insertion and hits; B (the true LRU)
+        // was evicted and re-solves, evicting C in turn.
+        let (es, ps) = (sequential.explain(), parallel.explain());
+        assert_eq!(es.backend_solves, ps.backend_solves);
+        assert_eq!(es.cache_hits, ps.cache_hits);
+        assert_eq!(es.evictions, ps.evictions);
+        assert_eq!(ps.evictions, 2);
+    }
+
+    #[test]
+    fn cache_persists_across_batches_and_sessions() {
+        let mut catalog = Catalog::new();
+        let queries = stream(&mut catalog, 3, 1);
+        let mut session = ParallelSession::new(catalog, CountingBackend::new());
+        for r in session.optimize_batch(&queries, 2) {
+            assert!(!r.unwrap().cache_hit);
+        }
+        // Second batch: every structure is already cached.
+        for r in session.optimize_batch(&queries, 2) {
+            assert!(r.unwrap().cache_hit);
+        }
+        // A sequential session sharing the cache hits too.
+        let mut seq = session.sequential();
+        assert!(seq.optimize(&queries[0]).unwrap().cache_hit);
+        assert_eq!(session.explain().backend_solves, 3);
+    }
+}

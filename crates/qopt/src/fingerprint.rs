@@ -8,26 +8,38 @@
 //! the whole equivalence class:
 //!
 //! * tables are relabeled into a **canonical order** (sorted by quantized
-//!   size, then degree and incident-selectivity profile, then iteratively
-//!   refined by neighborhood: tied tables are re-ranked by the multiset of
-//!   (predicate statistics, co-member ranks) until the partition
-//!   stabilizes, à la 1-WL color refinement — a cheap, deterministic
-//!   approximation of graph canonicalization; sound by construction
-//!   because equal fingerprints imply equal *labeled* canonical
-//!   structures, merely incomplete across exotic symmetries where
-//!   WL-equivalent tables remain tied by input order);
+//!   size, then degree / incident-selectivity / carried-column profile,
+//!   then iteratively refined by neighborhood to a fixpoint à la 1-WL
+//!   color refinement; classes the refinement cannot split — true
+//!   symmetries like alternating-selectivity cycles — are resolved by
+//!   **individualization**: each tied member is tentatively promoted, the
+//!   refinement re-run, and the lexicographically smallest resulting
+//!   fingerprint wins, so the outcome is independent of the input listing
+//!   order up to a bounded search budget);
 //! * join-graph edges (predicates) are expressed over canonical positions
 //!   and **sorted**;
+//! * **projection payloads** are canonical too: every carried column
+//!   (output columns and per-predicate column requirements, §5.2) becomes
+//!   a key of (canonical table, quantized width, output flag, requiring
+//!   predicates), so structurally identical projection queries share a
+//!   fingerprint instead of bypassing the cache;
 //! * cardinalities, selectivities, per-tuple evaluation costs, tuple
-//!   widths and correlation corrections are **quantized** on a log10 grid
-//!   ([`FingerprintOptions::log10_step`], default a tenth of a decade), so
-//!   statistically-indistinguishable queries collide on purpose.
+//!   widths, column widths and correlation corrections are **quantized**
+//!   on a log10 grid ([`FingerprintOptions::log10_step`], default a tenth
+//!   of a decade), so statistically-indistinguishable queries collide on
+//!   purpose.
 //!
 //! Quantization makes hits *approximate*: the cached join order is
 //! near-optimal for the new query, not certified. The session therefore
 //! re-costs reused plans exactly and only carries optimality certificates
 //! across when the unquantized statistics match exactly
 //! ([`FingerprintedQuery::exact`]).
+//!
+//! Equal fingerprints imply equal *labeled* canonical structures, so a hit
+//! can never instantiate an incompatible plan — incompleteness (two
+//! isomorphic queries mapping to different fingerprints, possible only
+//! past the individualization budget) costs a cache miss, never a wrong
+//! answer.
 
 use crate::catalog::Catalog;
 use crate::query::Query;
@@ -47,6 +59,16 @@ impl Default for FingerprintOptions {
         FingerprintOptions { log10_step: 0.1 }
     }
 }
+
+/// Bound on the number of individualization branches explored when 1-WL
+/// refinement stabilizes with tied tables (true symmetries). Each branch
+/// promotes one tied member and re-refines; the lexicographically smallest
+/// completed fingerprint wins. Symmetric structures seen in practice
+/// (cycles, cliques, twin leaves of a star) resolve within a handful of
+/// branches; the budget caps adversarial symmetry groups, past which the
+/// remaining ties fall back to input order (a potential cache miss, never
+/// an unsound hit).
+const INDIVIDUALIZATION_BUDGET: usize = 64;
 
 /// Quantizes a positive statistic onto the log10 grid. Non-positive values
 /// (an unset evaluation cost) map to a sentinel bucket of their own.
@@ -99,12 +121,32 @@ struct GroupKey {
     qlog_correction: i64,
 }
 
+/// One carried column of the projection payload (§5.2), in canonical
+/// coordinates: which canonical table it lives on, its quantized width,
+/// whether the query outputs it, and which sorted predicates require it.
+/// Column *positions* within a table deliberately do not appear — two
+/// disjoint table sets with the same carried-column structure must match.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct ColumnKey {
+    /// Canonical table position.
+    table: u16,
+    qlog_bytes: i64,
+    /// Listed in the query's output columns.
+    output: bool,
+    /// Indices into [`Fingerprint::predicates`] of predicates requiring
+    /// this column, ascending.
+    predicates: Vec<u32>,
+}
+
 /// The canonical, quantized structure of one query — the plan-cache key.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Fingerprint {
     tables: Vec<TableKey>,
     predicates: Vec<PredKey>,
     groups: Vec<GroupKey>,
+    /// Carried columns (projection extension); empty when the query tracks
+    /// no columns.
+    columns: Vec<ColumnKey>,
 }
 
 impl Fingerprint {
@@ -124,6 +166,9 @@ pub struct ExactStats {
     predicates: Vec<(Vec<u16>, f64, f64)>,
     /// (sorted-predicate indices, correction) per group.
     groups: Vec<(Vec<u32>, f64)>,
+    /// (canonical table, exact bytes, output, requiring predicates) per
+    /// carried column, sorted.
+    columns: Vec<(u16, f64, bool, Vec<u32>)>,
 }
 
 /// A query together with its fingerprint and the canonical relabeling —
@@ -138,10 +183,30 @@ pub struct FingerprintedQuery {
     pub to_canonical: Vec<usize>,
     /// `from_canonical[canonical_index] = query_position` (inverse).
     pub from_canonical: Vec<usize>,
-    /// Whether the query is safe to cache. Projection information (output
-    /// columns, per-predicate column requirements) is not captured by the
-    /// fingerprint, so such queries must bypass the cache.
+    /// Whether the query is safe to cache. Since the fingerprint models
+    /// projection payloads (carried columns, quantized widths), every
+    /// well-formed query is currently cacheable; the flag remains for
+    /// future query classes the fingerprint cannot express.
     pub cacheable: bool,
+}
+
+/// Order-invariant per-query data shared by the ranking, refinement, and
+/// payload construction stages.
+struct FingerprintCtx<'a> {
+    query: &'a Query,
+    step: f64,
+    n: usize,
+    /// (cardinality, tuple_bytes, sorted) per query position.
+    raw: Vec<(f64, f64, bool)>,
+    keys: Vec<TableKey>,
+    /// Member query positions per predicate.
+    pred_positions: Vec<Vec<usize>>,
+    /// Incident predicate indices per query position.
+    incident: Vec<Vec<usize>>,
+    /// Carried columns: (query position, exact bytes, output, referencing
+    /// predicate indices — *original* indices, remapped to sorted order in
+    /// the payload).
+    columns: Vec<(usize, f64, bool, Vec<usize>)>,
 }
 
 impl FingerprintedQuery {
@@ -182,11 +247,8 @@ impl FingerprintedQuery {
             })
             .collect();
 
-        // Structural profile per position: degree and the sorted list of
-        // incident quantized selectivities — canonicalization signals that
-        // do not depend on the (yet unknown) canonical numbering. Member
-        // positions are resolved once per predicate here; the refinement
-        // loop below reuses them every round.
+        // Member positions are resolved once per predicate; the ranking and
+        // refinement below reuse them every round.
         let pred_positions: Vec<Vec<usize>> = query
             .predicates
             .iter()
@@ -197,147 +259,317 @@ impl FingerprintedQuery {
                     .collect()
             })
             .collect();
-        let mut profiles: Vec<(usize, Vec<i64>)> = vec![(0, Vec::new()); n];
         let mut incident: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for (pi, p) in query.predicates.iter().enumerate() {
-            let q_sel = quantize(p.selectivity, step);
-            for &pos in &pred_positions[pi] {
-                profiles[pos].0 += 1;
-                profiles[pos].1.push(q_sel);
+        for (pi, positions) in pred_positions.iter().enumerate() {
+            for &pos in positions {
                 incident[pos].push(pi);
             }
         }
+
+        // Carried columns (projection payload): the union of output columns
+        // and per-predicate column requirements, each with its roles.
+        fn touch(
+            catalog: &Catalog,
+            query: &Query,
+            role_of: &mut std::collections::HashMap<(usize, u32), usize>,
+            columns: &mut Vec<(usize, f64, bool, Vec<usize>)>,
+            col: crate::catalog::ColumnId,
+        ) -> usize {
+            let pos = query.table_position(col.table).expect("validated query");
+            *role_of.entry((pos, col.column)).or_insert_with(|| {
+                columns.push((pos, catalog.column(col).bytes, false, Vec::new()));
+                columns.len() - 1
+            })
+        }
+        let mut columns: Vec<(usize, f64, bool, Vec<usize>)> = Vec::new();
+        let mut role_of = std::collections::HashMap::new();
+        for &col in &query.output_columns {
+            let idx = touch(catalog, query, &mut role_of, &mut columns, col);
+            columns[idx].2 = true;
+        }
+        for (pi, p) in query.predicates.iter().enumerate() {
+            for &col in &p.columns {
+                let idx = touch(catalog, query, &mut role_of, &mut columns, col);
+                columns[idx].3.push(pi);
+            }
+        }
+
+        let ctx = FingerprintCtx {
+            query,
+            step,
+            n,
+            raw,
+            keys,
+            pred_positions,
+            incident,
+            columns,
+        };
+
+        // Structural profile per position: table key, degree, the sorted
+        // multiset of incident quantized selectivities, and the sorted
+        // multiset of carried-column keys — canonicalization signals that
+        // do not depend on the (yet unknown) canonical numbering.
+        type Profile = (usize, Vec<i64>, Vec<(i64, bool, usize)>);
+        let mut profiles: Vec<Profile> = vec![(0, Vec::new(), Vec::new()); n];
+        for (pi, p) in query.predicates.iter().enumerate() {
+            let q_sel = quantize(p.selectivity, step);
+            for &pos in &ctx.pred_positions[pi] {
+                profiles[pos].0 += 1;
+                profiles[pos].1.push(q_sel);
+            }
+        }
+        for &(pos, bytes, output, ref preds) in &ctx.columns {
+            profiles[pos]
+                .2
+                .push((quantize(bytes, step), output, preds.len()));
+        }
         for prof in &mut profiles {
             prof.1.sort_unstable();
+            prof.2.sort_unstable();
         }
 
         // Initial equivalence classes: positions sharing (table key,
-        // incident-stat profile) get one rank.
-        let mut rank = rank_by_key(n, |pos| (&keys[pos], &profiles[pos]));
-
-        // Iterative neighborhood refinement (1-WL over the predicate
-        // hypergraph): re-rank every position by its current rank plus the
-        // multiset of (predicate statistics, co-member ranks) over its
-        // incident predicates, until the partition stabilizes. Ties between
-        // statistically identical tables are thereby broken by *where* each
-        // statistic attaches in the join graph, not by the input order —
-        // permuting the query's table listing cannot change the outcome.
-        // (Positions that remain tied after stabilization are
-        // WL-equivalent; for those the original-position tie-break below
-        // is still order-sensitive — the documented incompleteness across
-        // exotic symmetries.)
-        loop {
-            let classes = rank.iter().max().map_or(0, |&r| r + 1);
-            if classes == n {
-                break; // fully discriminated
-            }
-            type Neighborhood = Vec<(i64, i64, Vec<usize>)>;
-            let signatures: Vec<(usize, Neighborhood)> = (0..n)
-                .map(|pos| {
-                    let mut nb: Neighborhood = incident[pos]
-                        .iter()
-                        .map(|&pi| {
-                            let p = &query.predicates[pi];
-                            let mut others: Vec<usize> = pred_positions[pi]
-                                .iter()
-                                .filter(|&&q| q != pos)
-                                .map(|&q| rank[q])
-                                .collect();
-                            others.sort_unstable();
-                            (
-                                quantize(p.selectivity, step),
-                                quantize(p.eval_cost_per_tuple, step),
-                                others,
-                            )
-                        })
-                        .collect();
-                    nb.sort();
-                    (rank[pos], nb)
-                })
-                .collect();
-            let refined = rank_by_key(n, |pos| &signatures[pos]);
-            // Each signature embeds the previous rank, so the partition can
-            // only split; a round that splits nothing has stabilized.
-            if refined.iter().max().map_or(0, |&r| r + 1) == classes {
-                break;
-            }
-            rank = refined;
-        }
-
-        // Canonical order: refined rank first, original position as the
-        // final deterministic tie-break among WL-equivalent tables.
-        let mut from_canonical: Vec<usize> = (0..n).collect();
-        from_canonical.sort_by_key(|&pos| (rank[pos], pos));
+        // incident-stat profile) get one rank; then 1-WL refinement to a
+        // fixpoint, then individualization across any remaining symmetric
+        // ties (see `canonicalize`).
+        let rank = rank_by_key(n, |pos| (&ctx.keys[pos], &profiles[pos]));
+        let (fingerprint, exact, from_canonical) = canonicalize(&ctx, rank);
         let mut to_canonical = vec![0usize; n];
         for (canon, &pos) in from_canonical.iter().enumerate() {
             to_canonical[pos] = canon;
         }
 
-        // Predicates over canonical positions, sorted. Remember where each
-        // original predicate landed for the group mapping.
-        let mut preds: Vec<(PredKey, Vec<u16>, f64, f64, usize)> = query
-            .predicates
-            .iter()
-            .enumerate()
-            .map(|(pi, p)| {
-                let mut tables: Vec<u16> = pred_positions[pi]
-                    .iter()
-                    .map(|&pos| to_canonical[pos] as u16)
-                    .collect();
-                tables.sort_unstable();
-                let key = PredKey {
-                    tables: tables.clone(),
-                    qlog_selectivity: quantize(p.selectivity, step),
-                    qlog_eval_cost: quantize(p.eval_cost_per_tuple, step),
-                };
-                (key, tables, p.selectivity, p.eval_cost_per_tuple, pi)
-            })
-            .collect();
-        preds.sort_by(|a, b| (&a.0, a.4).cmp(&(&b.0, b.4)));
-        let mut pred_rank = vec![0u32; preds.len()];
-        for (sorted_idx, p) in preds.iter().enumerate() {
-            pred_rank[p.4] = sorted_idx as u32;
-        }
-
-        // Correlated groups over sorted-predicate indices, sorted.
-        let mut groups: Vec<(GroupKey, Vec<u32>, f64)> = query
-            .correlated_groups
-            .iter()
-            .map(|g| {
-                let mut members: Vec<u32> =
-                    g.members.iter().map(|pid| pred_rank[pid.index()]).collect();
-                members.sort_unstable();
-                (
-                    GroupKey {
-                        members: members.clone(),
-                        qlog_correction: quantize(g.correction, step),
-                    },
-                    members,
-                    g.correction,
-                )
-            })
-            .collect();
-        groups.sort_by(|a, b| a.0.cmp(&b.0));
-
-        let cacheable = query.output_columns.is_empty()
-            && query.predicates.iter().all(|p| p.columns.is_empty());
-
         FingerprintedQuery {
-            fingerprint: Fingerprint {
-                tables: from_canonical.iter().map(|&pos| keys[pos]).collect(),
-                predicates: preds.iter().map(|p| p.0.clone()).collect(),
-                groups: groups.iter().map(|g| g.0.clone()).collect(),
-            },
-            exact: ExactStats {
-                tables: from_canonical.iter().map(|&pos| raw[pos]).collect(),
-                predicates: preds.iter().map(|p| (p.1.clone(), p.2, p.3)).collect(),
-                groups: groups.iter().map(|g| (g.1.clone(), g.2)).collect(),
-            },
+            fingerprint,
+            exact,
             to_canonical,
             from_canonical,
-            cacheable,
+            cacheable: true,
         }
     }
+}
+
+/// Iterative neighborhood refinement (1-WL over the predicate hypergraph):
+/// re-rank every position by its current rank plus the multiset of
+/// (predicate statistics, co-member ranks) over its incident predicates,
+/// until the partition stabilizes. Ties between statistically identical
+/// tables are thereby broken by *where* each statistic attaches in the
+/// join graph, not by the input order — permuting the query's table
+/// listing cannot change the outcome.
+fn refine_to_fixpoint(ctx: &FingerprintCtx, mut rank: Vec<usize>) -> Vec<usize> {
+    let n = ctx.n;
+    loop {
+        let classes = rank.iter().max().map_or(0, |&r| r + 1);
+        if classes == n {
+            return rank; // fully discriminated
+        }
+        type Neighborhood = Vec<(i64, i64, Vec<usize>)>;
+        let signatures: Vec<(usize, Neighborhood)> = (0..n)
+            .map(|pos| {
+                let mut nb: Neighborhood = ctx.incident[pos]
+                    .iter()
+                    .map(|&pi| {
+                        let p = &ctx.query.predicates[pi];
+                        let mut others: Vec<usize> = ctx.pred_positions[pi]
+                            .iter()
+                            .filter(|&&q| q != pos)
+                            .map(|&q| rank[q])
+                            .collect();
+                        others.sort_unstable();
+                        (
+                            quantize(p.selectivity, ctx.step),
+                            quantize(p.eval_cost_per_tuple, ctx.step),
+                            others,
+                        )
+                    })
+                    .collect();
+                nb.sort();
+                (rank[pos], nb)
+            })
+            .collect();
+        let refined = rank_by_key(n, |pos| &signatures[pos]);
+        // Each signature embeds the previous rank, so the partition can
+        // only split; a round that splits nothing has stabilized.
+        if refined.iter().max().map_or(0, |&r| r + 1) == classes {
+            return refined;
+        }
+        rank = refined;
+    }
+}
+
+/// Resolves the canonical order from an initial ranking: refine to a
+/// fixpoint; if symmetric ties remain, branch — individualize each member
+/// of the first tied class in turn, re-refine, recurse — and keep the
+/// lexicographically smallest completed fingerprint. The branch count is
+/// bounded by [`INDIVIDUALIZATION_BUDGET`]; an exhausted budget completes
+/// the current branch with the input-order tie-break (deterministic, and
+/// sound — merely possibly listing-order-sensitive).
+fn canonicalize(
+    ctx: &FingerprintCtx,
+    initial: Vec<usize>,
+) -> (Fingerprint, ExactStats, Vec<usize>) {
+    let mut budget = INDIVIDUALIZATION_BUDGET;
+    let mut best: Option<(Fingerprint, ExactStats, Vec<usize>)> = None;
+    search(ctx, initial, &mut budget, &mut best);
+    best.expect("at least one completion is always explored")
+}
+
+fn search(
+    ctx: &FingerprintCtx,
+    rank: Vec<usize>,
+    budget: &mut usize,
+    best: &mut Option<(Fingerprint, ExactStats, Vec<usize>)>,
+) {
+    let rank = refine_to_fixpoint(ctx, rank);
+    // First class (lowest rank) with more than one member.
+    let mut counts = vec![0usize; ctx.n];
+    for &r in &rank {
+        counts[r] += 1;
+    }
+    if let Some(r) = (0..ctx.n).find(|&r| counts[r] > 1) {
+        if *budget > 0 {
+            let members: Vec<usize> = (0..ctx.n).filter(|&pos| rank[pos] == r).collect();
+            let mut truncated = false;
+            for &m in &members {
+                if *budget == 0 {
+                    truncated = true;
+                    break;
+                }
+                *budget -= 1;
+                // Individualize m: it becomes the smallest member of its
+                // class; refinement then propagates the distinction.
+                let individualized = rank_by_key(ctx.n, |pos| (rank[pos], pos != m));
+                search(ctx, individualized, budget, best);
+            }
+            if !truncated {
+                return; // every member explored; children completed.
+            }
+        }
+        // Budget exhausted (before or during this class): fall back to the
+        // input-order tie-break so this refinement still contributes a
+        // candidate — deterministic and sound, merely possibly sensitive to
+        // the listing order.
+    }
+    complete(ctx, &rank, best);
+}
+
+/// Completes a (possibly still tied) ranking into a concrete canonical
+/// order — remaining ties broken by input position — and keeps it if its
+/// fingerprint is the lexicographically smallest seen.
+fn complete(
+    ctx: &FingerprintCtx,
+    rank: &[usize],
+    best: &mut Option<(Fingerprint, ExactStats, Vec<usize>)>,
+) {
+    let mut from_canonical: Vec<usize> = (0..ctx.n).collect();
+    from_canonical.sort_by_key(|&pos| (rank[pos], pos));
+    let (fp, exact) = build_payload(ctx, &from_canonical);
+    let better = match best {
+        Some((b, _, _)) => fp < *b,
+        None => true,
+    };
+    if better {
+        *best = Some((fp, exact, from_canonical));
+    }
+}
+
+/// Builds the canonical payload (fingerprint + exact statistics) for a
+/// complete canonical order.
+fn build_payload(ctx: &FingerprintCtx, from_canonical: &[usize]) -> (Fingerprint, ExactStats) {
+    let mut to_canonical = vec![0usize; ctx.n];
+    for (canon, &pos) in from_canonical.iter().enumerate() {
+        to_canonical[pos] = canon;
+    }
+
+    // Predicates over canonical positions, sorted. Remember where each
+    // original predicate landed for the group and column mappings.
+    let mut preds: Vec<(PredKey, Vec<u16>, f64, f64, usize)> = ctx
+        .query
+        .predicates
+        .iter()
+        .enumerate()
+        .map(|(pi, p)| {
+            let mut tables: Vec<u16> = ctx.pred_positions[pi]
+                .iter()
+                .map(|&pos| to_canonical[pos] as u16)
+                .collect();
+            tables.sort_unstable();
+            let key = PredKey {
+                tables: tables.clone(),
+                qlog_selectivity: quantize(p.selectivity, ctx.step),
+                qlog_eval_cost: quantize(p.eval_cost_per_tuple, ctx.step),
+            };
+            (key, tables, p.selectivity, p.eval_cost_per_tuple, pi)
+        })
+        .collect();
+    preds.sort_by(|a, b| (&a.0, a.4).cmp(&(&b.0, b.4)));
+    let mut pred_rank = vec![0u32; preds.len()];
+    for (sorted_idx, p) in preds.iter().enumerate() {
+        pred_rank[p.4] = sorted_idx as u32;
+    }
+
+    // Correlated groups over sorted-predicate indices, sorted.
+    let mut groups: Vec<(GroupKey, Vec<u32>, f64)> = ctx
+        .query
+        .correlated_groups
+        .iter()
+        .map(|g| {
+            let mut members: Vec<u32> =
+                g.members.iter().map(|pid| pred_rank[pid.index()]).collect();
+            members.sort_unstable();
+            (
+                GroupKey {
+                    members: members.clone(),
+                    qlog_correction: quantize(g.correction, ctx.step),
+                },
+                members,
+                g.correction,
+            )
+        })
+        .collect();
+    groups.sort_by(|a, b| a.0.cmp(&b.0));
+
+    // Carried columns in canonical coordinates, sorted (see [`ColumnKey`]).
+    let mut columns: Vec<(ColumnKey, u16, f64, bool, Vec<u32>)> = ctx
+        .columns
+        .iter()
+        .map(|&(pos, bytes, output, ref pred_indices)| {
+            let table = to_canonical[pos] as u16;
+            let mut predicates: Vec<u32> = pred_indices.iter().map(|&pi| pred_rank[pi]).collect();
+            predicates.sort_unstable();
+            (
+                ColumnKey {
+                    table,
+                    qlog_bytes: quantize(bytes, ctx.step),
+                    output,
+                    predicates: predicates.clone(),
+                },
+                table,
+                bytes,
+                output,
+                predicates,
+            )
+        })
+        .collect();
+    columns.sort_by(|a, b| a.0.cmp(&b.0).then(a.2.total_cmp(&b.2)));
+
+    (
+        Fingerprint {
+            tables: from_canonical.iter().map(|&pos| ctx.keys[pos]).collect(),
+            predicates: preds.iter().map(|p| p.0.clone()).collect(),
+            groups: groups.iter().map(|g| g.0.clone()).collect(),
+            columns: columns.iter().map(|c| c.0.clone()).collect(),
+        },
+        ExactStats {
+            tables: from_canonical.iter().map(|&pos| ctx.raw[pos]).collect(),
+            predicates: preds.iter().map(|p| (p.1.clone(), p.2, p.3)).collect(),
+            groups: groups.iter().map(|g| (g.1.clone(), g.2)).collect(),
+            columns: columns
+                .iter()
+                .map(|c| (c.1, c.2, c.3, c.4.clone()))
+                .collect(),
+        },
+    )
 }
 
 #[cfg(test)]
@@ -503,13 +735,99 @@ mod tests {
         }
     }
 
+    /// A 6-cycle of identically-sized tables with alternating selectivities
+    /// — every vertex carries the same incident multiset {0.1, 0.5}, so
+    /// 1-WL refinement stabilizes with all six tables tied: the exotic
+    /// symmetry the ROADMAP flagged. `rotate` shifts the listing (and the
+    /// alternation phase); `reverse` flips the orientation.
+    fn alternating_cycle(c: &mut Catalog, rotate: usize, reverse: bool) -> Query {
+        let n = 6;
+        let ids: Vec<_> = (0..n)
+            .map(|i| c.add_table(format!("r{}_{i}", c.num_tables()), 300.0))
+            .collect();
+        let mut listed: Vec<_> = (0..n).map(|i| ids[(i + rotate) % n]).collect();
+        if reverse {
+            listed.reverse();
+        }
+        let mut q = Query::new(listed);
+        for i in 0..n {
+            let sel = if i % 2 == 0 { 0.1 } else { 0.5 };
+            q.add_predicate(Predicate::binary(ids[i], ids[(i + 1) % n], sel));
+        }
+        q
+    }
+
     #[test]
-    fn projection_queries_are_uncacheable() {
+    fn alternating_selectivity_cycle_matches_under_rotation_and_reflection() {
         let mut c = Catalog::new();
-        let mut q = star(&mut c, &[10.0, 500.0, 2000.0], 0.1);
-        let col = c.add_column(q.tables[0], "a", 8.0);
-        q.output_columns.push(col);
-        let f = FingerprintedQuery::compute(&c, &q, &FingerprintOptions::default());
-        assert!(!f.cacheable);
+        let opts = FingerprintOptions::default();
+        let q0 = alternating_cycle(&mut c, 0, false);
+        let base = FingerprintedQuery::compute(&c, &q0, &opts);
+        for rotate in 0..6 {
+            for reverse in [false, true] {
+                let q = alternating_cycle(&mut c, rotate, reverse);
+                let f = FingerprintedQuery::compute(&c, &q, &opts);
+                assert_eq!(
+                    base.fingerprint, f.fingerprint,
+                    "rotate={rotate} reverse={reverse}"
+                );
+                assert_eq!(base.exact, f.exact, "rotate={rotate} reverse={reverse}");
+            }
+        }
+    }
+
+    #[test]
+    fn projection_queries_are_cacheable_and_structural() {
+        let mut c = Catalog::new();
+        let make = |c: &mut Catalog| {
+            let mut q = star(c, &[10.0, 500.0, 2000.0], 0.1);
+            let col = c.add_column(q.tables[0], "a", 8.0);
+            let wide = c.add_column(q.tables[1], "b", 32.0);
+            q.output_columns.push(col);
+            q.predicates[0].columns.push(wide);
+            q
+        };
+        let q1 = make(&mut c);
+        let q2 = make(&mut c);
+        let opts = FingerprintOptions::default();
+        let f1 = FingerprintedQuery::compute(&c, &q1, &opts);
+        let f2 = FingerprintedQuery::compute(&c, &q2, &opts);
+        // Projection queries no longer bypass the cache: structurally
+        // identical carried-column payloads over disjoint tables match.
+        assert!(f1.cacheable && f2.cacheable);
+        assert_eq!(f1.fingerprint, f2.fingerprint);
+        assert_eq!(f1.exact, f2.exact);
+
+        // The payload is part of the key: dropping the output column, or
+        // widening a carried column past the quantization bucket, misses.
+        let plain = star(&mut c, &[10.0, 500.0, 2000.0], 0.1);
+        let fp_plain = FingerprintedQuery::compute(&c, &plain, &opts);
+        assert_ne!(f1.fingerprint, fp_plain.fingerprint);
+        let mut q3 = make(&mut c);
+        let huge = c.add_column(q3.tables[2], "z", 512.0);
+        q3.output_columns.push(huge);
+        assert_ne!(
+            f1.fingerprint,
+            FingerprintedQuery::compute(&c, &q3, &opts).fingerprint
+        );
+    }
+
+    #[test]
+    fn projection_width_drift_collides_but_exact_differs() {
+        let mut c = Catalog::new();
+        let make = |c: &mut Catalog, bytes: f64| {
+            let mut q = star(c, &[10.0, 500.0, 2000.0], 0.1);
+            let col = c.add_column(q.tables[0], "a", bytes);
+            q.output_columns.push(col);
+            q
+        };
+        let q1 = make(&mut c, 8.0);
+        let q2 = make(&mut c, 8.1); // ~1% drift: same 0.1-decade bucket
+        let opts = FingerprintOptions::default();
+        let f1 = FingerprintedQuery::compute(&c, &q1, &opts);
+        let f2 = FingerprintedQuery::compute(&c, &q2, &opts);
+        assert_eq!(f1.fingerprint, f2.fingerprint);
+        // Certificates must not carry over: exact payloads differ.
+        assert_ne!(f1.exact, f2.exact);
     }
 }

@@ -24,9 +24,11 @@
 //! assert_eq!(cost.total, 1000.0);
 //! ```
 
+pub mod cache;
 pub mod card;
 pub mod catalog;
 pub mod cost;
+pub mod executor;
 pub mod fingerprint;
 pub mod graph;
 pub mod orderer;
@@ -35,14 +37,16 @@ pub mod query;
 pub mod session;
 pub mod table_set;
 
+pub use cache::ShardedPlanCache;
 pub use card::Estimator;
 pub use catalog::{Catalog, Column, ColumnId, Table, TableId};
 pub use cost::{CostModelKind, CostParams, JoinContext, PlanCost};
+pub use executor::ParallelSession;
 pub use fingerprint::{Fingerprint, FingerprintOptions, FingerprintedQuery};
 pub use graph::{GraphShape, JoinGraph};
 pub use orderer::{
-    AnytimeTrace, CostTrace, CostTracePoint, JoinOrderer, OrderingError, OrderingOptions,
-    OrderingOutcome, TracePoint,
+    AnytimeTrace, BuildWith, CostTrace, CostTracePoint, JoinOrderer, OrdererFactory, OrderingError,
+    OrderingOptions, OrderingOutcome, TracePoint,
 };
 pub use plan::{eager_evaluation_joins, JoinOp, LeftDeepPlan, PlanError};
 pub use query::{CorrelatedGroup, Predicate, PredicateId, Query, QueryError};

@@ -286,7 +286,15 @@ impl std::error::Error for OrderingError {}
 
 /// A join ordering backend: anything that maps a (catalog, query) pair to a
 /// costed left-deep plan under shared runtime limits.
-pub trait JoinOrderer {
+///
+/// Backends are `Send + Sync`: every implementation in the workspace is an
+/// immutable configuration whose per-solve scratch lives on the call stack
+/// (`order` takes `&self`), so one backend may be shared across threads and
+/// `Box<dyn JoinOrderer>` values may move between them. The parallel
+/// executor ([`crate::executor::ParallelSession`]) relies on this; a
+/// backend needing per-solve mutable state must keep it in a per-call
+/// context, not in `self`.
+pub trait JoinOrderer: Send + Sync {
     /// Short human-readable backend name (`"milp"`, `"dp"`, `"greedy"`,
     /// `"hybrid"`, ...).
     fn name(&self) -> &'static str;
@@ -306,6 +314,63 @@ pub trait JoinOrderer {
         options: &OrderingOptions,
     ) -> Result<OrderingOutcome, OrderingError>;
 }
+
+/// Builds fresh, identically-configured backend instances — one per worker
+/// thread of a parallel executor, so each worker owns its solver rather
+/// than contending on a shared one.
+///
+/// Every `Clone` backend is a factory of itself (the blanket impl below):
+/// `MilpOptimizer`, `HybridOptimizer`, and the DP/greedy wrappers all
+/// qualify, so a configured optimizer value can be handed directly to
+/// [`crate::executor::ParallelSession`]. Backends that are not `Clone`
+/// (or whose construction is more involved) can use [`BuildWith`] around a
+/// closure.
+pub trait OrdererFactory: Send + Sync {
+    /// Builds one backend instance. Instances built from one factory must
+    /// be *identically configured* (same cost model, same determinism per
+    /// seed): the parallel executor's result-identity guarantee assumes
+    /// any two of them produce the same outcome for the same input.
+    fn build(&self) -> Box<dyn JoinOrderer>;
+}
+
+impl<T: JoinOrderer + Clone + 'static> OrdererFactory for T {
+    fn build(&self) -> Box<dyn JoinOrderer> {
+        Box::new(self.clone())
+    }
+}
+
+/// Adapts a closure into an [`OrdererFactory`] (for backends that are not
+/// `Clone`).
+pub struct BuildWith<F>(pub F);
+
+impl<F> OrdererFactory for BuildWith<F>
+where
+    F: Fn() -> Box<dyn JoinOrderer> + Send + Sync,
+{
+    fn build(&self) -> Box<dyn JoinOrderer> {
+        (self.0)()
+    }
+}
+
+// Compile-time audit of the concurrency story: everything a worker thread
+// touches — the shared catalog, per-query outcomes (plans, traces), options,
+// errors, and boxed backends/factories — is `Send + Sync`. A regression
+// (say, an `Rc` slipping into a trace) fails compilation here, not at a
+// distant executor call site.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Catalog>();
+    assert_send_sync::<crate::plan::LeftDeepPlan>();
+    assert_send_sync::<crate::query::Query>();
+    assert_send_sync::<crate::fingerprint::FingerprintedQuery>();
+    assert_send_sync::<OrderingOptions>();
+    assert_send_sync::<OrderingOutcome>();
+    assert_send_sync::<OrderingError>();
+    assert_send_sync::<AnytimeTrace>();
+    assert_send_sync::<CostTrace>();
+    assert_send_sync::<Box<dyn JoinOrderer>>();
+    assert_send_sync::<Box<dyn OrdererFactory>>();
+};
 
 #[cfg(test)]
 mod tests {

@@ -27,8 +27,9 @@
 //! statistics match exactly; an approximate hit returns them as
 //! `None`/`false` — the plan is near-optimal by construction, but nothing
 //! is proven for the perturbed statistics. Queries carrying projection
-//! information bypass the cache entirely (the fingerprint does not model
-//! column sets).
+//! information are cached like any other: the fingerprint canonicalizes
+//! the carried-column payload (quantized widths, output/predicate roles),
+//! so structurally identical projection queries share one solve.
 //!
 //! The cache is **bounded**: at most
 //! [`DEFAULT_CACHE_CAPACITY`] structures by default
@@ -37,14 +38,15 @@
 //! structures holds the session's footprint constant instead of growing
 //! forever. [`PlanSession::explain`] reports the eviction count.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
+use crate::cache::{CachedPlan, ShardedPlanCache};
 use crate::catalog::Catalog;
-use crate::cost::plan_cost;
-use crate::fingerprint::{Fingerprint, FingerprintOptions, FingerprintedQuery};
+use crate::cost::{plan_cost, CostModelKind, CostParams};
+use crate::fingerprint::{FingerprintOptions, FingerprintedQuery};
 use crate::orderer::{CostTrace, JoinOrderer, OrderingError, OrderingOptions, OrderingOutcome};
-use crate::plan::{JoinOp, LeftDeepPlan};
+use crate::plan::LeftDeepPlan;
 use crate::query::Query;
 
 /// Cache hit/miss statistics of one session (see [`PlanSession::explain`]).
@@ -62,7 +64,10 @@ pub struct SessionStats {
     pub backend_solves: u64,
     /// Backend solves that returned an error.
     pub backend_errors: u64,
-    /// Queries that bypassed the cache (projection information).
+    /// Queries that bypassed the cache because the fingerprint cannot
+    /// express them. Currently always zero — the fingerprint models
+    /// projection payloads since they were the last uncacheable class —
+    /// but the accounting stays for future query features.
     pub uncacheable: u64,
     /// Cached structures evicted to respect the cache capacity
     /// ([`PlanSession::with_cache_capacity`]).
@@ -91,22 +96,92 @@ pub struct SessionOutcome {
     pub exact_hit: bool,
 }
 
-/// A solved structure: the join order in canonical table indices plus what
-/// the backend proved about it.
-struct CachedPlan {
-    canonical_order: Vec<usize>,
-    operators: Vec<JoinOp>,
-    exact: crate::fingerprint::ExactStats,
-    bound: Option<f64>,
-    proven_optimal: bool,
-    /// Logical timestamp of the last lookup or insert — the LRU eviction
-    /// key (a session-local counter, deterministic across runs).
-    last_used: u64,
-}
-
 /// Default bound on the number of cached structures
 /// ([`PlanSession::with_cache_capacity`] overrides it).
 pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+/// Instantiates a cached structure over `query`'s concrete tables: maps the
+/// canonical join order through the query's fingerprint relabeling,
+/// re-costs the plan exactly under `(model, params)`, and carries the
+/// original solve's certificates only when the unquantized statistics match
+/// exactly. Returns `None` when the cached plan does not validate against
+/// the query — a canonicalization bug surface, treated as a miss, never as
+/// a wrong answer.
+///
+/// Shared by the sequential [`PlanSession`] and the parallel
+/// [`crate::executor::ParallelSession`]: both paths producing a hit through
+/// this one function is what makes their outcomes bit-identical.
+pub(crate) fn instantiate_cached(
+    catalog: &Catalog,
+    query: &Query,
+    fp: &FingerprintedQuery,
+    cached: &CachedPlan,
+    model: CostModelKind,
+    params: &CostParams,
+    start: Instant,
+) -> Option<SessionOutcome> {
+    let order: Vec<_> = cached
+        .canonical_order
+        .iter()
+        .map(|&c| query.tables[fp.from_canonical[c]])
+        .collect();
+    let plan = if cached.operators.is_empty() {
+        LeftDeepPlan::from_order(order)
+    } else {
+        LeftDeepPlan::with_operators(order, cached.operators.clone())
+    };
+    let exact = fp.exact == cached.exact;
+    let (bound, proven_optimal) = if exact {
+        (cached.bound, cached.proven_optimal)
+    } else {
+        (None, false)
+    };
+    // A fingerprint hit guarantees a structurally compatible plan; a
+    // validation failure would be a canonicalization bug — treated as
+    // a miss, never as a wrong answer.
+    if plan.validate(query).is_err() {
+        debug_assert!(false, "cached plan does not fit a fingerprint-equal query");
+        return None;
+    }
+    let cost = plan_cost(catalog, query, &plan, model, params).total;
+    let elapsed = start.elapsed();
+    Some(SessionOutcome {
+        outcome: OrderingOutcome {
+            plan,
+            cost,
+            objective: cost,
+            bound,
+            proven_optimal,
+            trace: CostTrace::single(elapsed, cost, bound),
+            elapsed,
+        },
+        cache_hit: true,
+        exact_hit: exact,
+    })
+}
+
+/// The cacheable record of one solved outcome: the plan's join order mapped
+/// into canonical table indices plus the solve's certificates. Shared by
+/// the sequential and parallel session paths.
+pub(crate) fn record_for_cache(
+    query: &Query,
+    fp: &FingerprintedQuery,
+    outcome: &OrderingOutcome,
+) -> CachedPlan {
+    let canonical_order: Vec<usize> = outcome
+        .plan
+        .order
+        .iter()
+        .map(|&t| fp.to_canonical[query.table_position(t).expect("validated plan")])
+        .collect();
+    CachedPlan {
+        canonical_order,
+        operators: outcome.plan.operators.clone(),
+        exact: fp.exact.clone(),
+        bound: outcome.bound,
+        proven_optimal: outcome.proven_optimal,
+    }
+}
 
 /// A long-lived optimization service over one catalog and one backend.
 ///
@@ -149,18 +224,19 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
 /// assert_eq!(session.explain().backend_solves, 1);
 /// ```
 pub struct PlanSession {
-    catalog: Catalog,
-    backend: Box<dyn JoinOrderer>,
-    options: OrderingOptions,
-    fingerprint_options: FingerprintOptions,
-    caching: bool,
-    cache: HashMap<Fingerprint, CachedPlan>,
-    /// Maximum cached structures; least-recently-used entries are evicted
-    /// beyond it (`0` disables storing entirely).
-    cache_capacity: usize,
-    /// Monotone logical clock stamping cache touches (LRU recency).
-    clock: u64,
-    stats: SessionStats,
+    // Fields are crate-visible: `crate::executor::ParallelSession` wraps a
+    // `PlanSession` as its configuration + sequential-path core instead of
+    // duplicating this surface.
+    pub(crate) catalog: Catalog,
+    pub(crate) backend: Box<dyn JoinOrderer>,
+    pub(crate) options: OrderingOptions,
+    pub(crate) fingerprint_options: FingerprintOptions,
+    pub(crate) caching: bool,
+    /// The shard-locked plan cache. One shard by default (exact global
+    /// LRU); shareable with other sessions and with the parallel executor
+    /// through [`Self::shared_cache`].
+    pub(crate) cache: Arc<ShardedPlanCache>,
+    pub(crate) stats: SessionStats,
 }
 
 impl PlanSession {
@@ -171,9 +247,7 @@ impl PlanSession {
             options: OrderingOptions::default(),
             fingerprint_options: FingerprintOptions::default(),
             caching: true,
-            cache: HashMap::new(),
-            cache_capacity: DEFAULT_CACHE_CAPACITY,
-            clock: 0,
+            cache: Arc::new(ShardedPlanCache::new(DEFAULT_CACHE_CAPACITY, 1)),
             stats: SessionStats::default(),
         }
     }
@@ -204,28 +278,34 @@ impl PlanSession {
     /// stores nothing (lookups still run; prefer [`Self::with_caching`] to
     /// skip them too). Shrinking below the current population evicts
     /// immediately.
-    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
-        self.cache_capacity = capacity;
-        self.enforce_capacity();
+    pub fn with_cache_capacity(self, capacity: usize) -> Self {
+        self.cache.set_capacity(capacity);
         self
     }
 
-    /// Evicts least-recently-used entries until the cache fits the
-    /// capacity.
-    fn enforce_capacity(&mut self) {
-        while self.cache.len() > self.cache_capacity {
-            // O(population) scan per eviction: deterministic, and at the
-            // default capacity the scan is trivially cheap next to a
-            // backend solve. Ties cannot happen (the clock is monotone).
-            let lru = self
-                .cache
-                .iter()
-                .min_by_key(|(_, v)| v.last_used)
-                .map(|(k, _)| k.clone())
-                .expect("non-empty cache above capacity");
-            self.cache.remove(&lru);
-            self.stats.evictions += 1;
-        }
+    /// Builder-style setter for the number of independently locked cache
+    /// shards (default 1 — exact global LRU). More shards reduce lock
+    /// contention when the cache is shared with a parallel executor, at the
+    /// price of per-shard (approximate) LRU and a per-shard split of the
+    /// capacity. **Rebuilds the cache**: any cached structures are dropped.
+    pub fn with_cache_shards(mut self, shards: usize) -> Self {
+        let capacity = self.cache.capacity();
+        self.cache = Arc::new(ShardedPlanCache::new(capacity, shards));
+        self
+    }
+
+    /// The shared handle to the plan cache. Hand it to another session (or
+    /// keep it across sessions) to share solved structures; eviction and
+    /// hit accounting then aggregate across all users of the handle.
+    pub fn shared_cache(&self) -> Arc<ShardedPlanCache> {
+        Arc::clone(&self.cache)
+    }
+
+    /// Builder-style setter replacing this session's cache with an existing
+    /// shared one (see [`Self::shared_cache`]).
+    pub fn with_shared_cache(mut self, cache: Arc<ShardedPlanCache>) -> Self {
+        self.cache = cache;
+        self
     }
 
     pub fn catalog(&self) -> &Catalog {
@@ -237,9 +317,14 @@ impl PlanSession {
         self.backend.name()
     }
 
-    /// Cache hit/miss statistics accumulated so far.
-    pub fn explain(&self) -> &SessionStats {
-        &self.stats
+    /// Cache hit/miss statistics accumulated so far (a snapshot; the
+    /// eviction count is read from the — possibly shared — cache, where it
+    /// aggregates across every session using the handle).
+    pub fn explain(&self) -> SessionStats {
+        SessionStats {
+            evictions: self.cache.evictions(),
+            ..self.stats.clone()
+        }
     }
 
     /// Number of distinct solved structures currently cached.
@@ -289,57 +374,28 @@ impl PlanSession {
     /// LRU recency on a hit.
     fn try_hit(&mut self, query: &Query, fp: &FingerprintedQuery) -> Option<SessionOutcome> {
         let start = Instant::now();
-        let cached = self.cache.get_mut(&fp.fingerprint)?;
-        self.clock += 1;
-        cached.last_used = self.clock;
-        let order: Vec<_> = cached
-            .canonical_order
-            .iter()
-            .map(|&c| query.tables[fp.from_canonical[c]])
-            .collect();
-        let plan = if cached.operators.is_empty() {
-            LeftDeepPlan::from_order(order)
-        } else {
-            LeftDeepPlan::with_operators(order, cached.operators.clone())
-        };
-        let exact = fp.exact == cached.exact;
-        let (bound, proven_optimal) = if exact {
-            (cached.bound, cached.proven_optimal)
-        } else {
-            (None, false)
-        };
-        // A fingerprint hit guarantees a structurally compatible plan; a
-        // validation failure would be a canonicalization bug — treated as
-        // a miss, never as a wrong answer.
-        if plan.validate(query).is_err() {
-            debug_assert!(false, "cached plan does not fit a fingerprint-equal query");
-            return None;
-        }
+        let cached = self.cache.lookup(&fp.fingerprint)?;
         let (model, params) = self.backend.cost_model();
-        let cost = plan_cost(&self.catalog, query, &plan, model, &params).total;
+        let hit = instantiate_cached(
+            &self.catalog,
+            query,
+            fp,
+            cached.as_ref(),
+            model,
+            &params,
+            start,
+        )?;
         self.stats.cache_hits += 1;
-        if exact {
+        if hit.exact_hit {
             self.stats.exact_hits += 1;
         }
-        let elapsed = start.elapsed();
-        Some(SessionOutcome {
-            outcome: OrderingOutcome {
-                plan,
-                cost,
-                objective: cost,
-                bound,
-                proven_optimal,
-                trace: CostTrace::single(elapsed, cost, bound),
-                elapsed,
-            },
-            cache_hit: true,
-            exact_hit: exact,
-        })
+        Some(hit)
     }
 
     /// Runs the backend and, when the query was fingerprinted, caches the
-    /// solved structure.
-    fn solve(
+    /// solved structure. Crate-visible: the parallel executor's sequential
+    /// repair path (followers of a failed leader) is exactly this code.
+    pub(crate) fn solve(
         &mut self,
         query: &Query,
         fp: Option<FingerprintedQuery>,
@@ -350,27 +406,8 @@ impl PlanSession {
             .order(&self.catalog, query, &self.options)
             .inspect_err(|_| self.stats.backend_errors += 1)?;
         if let Some(fp) = fp {
-            if self.cache_capacity > 0 {
-                let canonical_order: Vec<usize> = outcome
-                    .plan
-                    .order
-                    .iter()
-                    .map(|&t| fp.to_canonical[query.table_position(t).expect("validated plan")])
-                    .collect();
-                self.clock += 1;
-                self.cache.insert(
-                    fp.fingerprint,
-                    CachedPlan {
-                        canonical_order,
-                        operators: outcome.plan.operators.clone(),
-                        exact: fp.exact,
-                        bound: outcome.bound,
-                        proven_optimal: outcome.proven_optimal,
-                        last_used: self.clock,
-                    },
-                );
-                self.enforce_capacity();
-            }
+            let record = record_for_cache(query, &fp, &outcome);
+            self.cache.insert(fp.fingerprint, Arc::new(record));
         }
         Ok(SessionOutcome {
             outcome,
@@ -389,16 +426,17 @@ mod tests {
     use crate::query::Predicate;
 
     /// A deterministic toy backend: joins tables smallest-first and counts
-    /// its invocations.
+    /// its invocations. The call counter is atomic because `JoinOrderer`
+    /// is `Send + Sync` (`order` may run from several worker threads).
     struct CountingBackend {
-        calls: std::cell::Cell<u64>,
+        calls: std::sync::atomic::AtomicU64,
         prove: bool,
     }
 
     impl CountingBackend {
         fn new(prove: bool) -> Self {
             CountingBackend {
-                calls: std::cell::Cell::new(0),
+                calls: std::sync::atomic::AtomicU64::new(0),
                 prove,
             }
         }
@@ -419,7 +457,8 @@ mod tests {
             query: &Query,
             _options: &OrderingOptions,
         ) -> Result<OrderingOutcome, OrderingError> {
-            self.calls.set(self.calls.get() + 1);
+            self.calls
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             let mut order = query.tables.clone();
             order.sort_by(|&a, &b| catalog.cardinality(a).total_cmp(&catalog.cardinality(b)));
             let plan = LeftDeepPlan::from_order(order);
@@ -598,6 +637,38 @@ mod tests {
         assert!(!session.optimize(&qa).unwrap().cache_hit);
         assert!(!session.optimize(&qa).unwrap().cache_hit);
         assert_eq!(session.cache_len(), 0);
+    }
+
+    #[test]
+    fn projection_queries_hit_the_cache() {
+        // Regression: projection queries used to bypass the cache entirely.
+        // Structurally identical carried-column payloads over disjoint
+        // tables must now share one backend solve, with certificates
+        // carried on the exact match.
+        let mut catalog = Catalog::new();
+        let make = |catalog: &mut Catalog| {
+            let n = catalog.num_tables();
+            let a = catalog.add_table(format!("p{n}a"), 20.0);
+            let b = catalog.add_table(format!("p{n}b"), 4000.0);
+            let mut q = Query::new(vec![a, b]);
+            q.add_predicate(Predicate::binary(a, b, 0.2));
+            let col = catalog.add_column(a, "k", 8.0);
+            let needed = catalog.add_column(b, "v", 16.0);
+            q.output_columns.push(col);
+            q.predicates[0].columns.push(needed);
+            q
+        };
+        let q1 = make(&mut catalog);
+        let q2 = make(&mut catalog);
+        let mut session = PlanSession::new(catalog, Box::new(CountingBackend::new(true)));
+        let first = session.optimize(&q1).unwrap();
+        let second = session.optimize(&q2).unwrap();
+        assert!(!first.cache_hit);
+        assert!(second.cache_hit && second.exact_hit);
+        assert!(second.outcome.proven_optimal);
+        let stats = session.explain();
+        assert_eq!(stats.backend_solves, 1);
+        assert_eq!(stats.uncacheable, 0);
     }
 
     #[test]

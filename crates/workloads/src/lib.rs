@@ -166,6 +166,22 @@ impl WorkloadSpec {
         copies: usize,
     ) -> (Catalog, Vec<Query>) {
         let mut catalog = Catalog::new();
+        let queries = self.generate_stream_into(&mut catalog, base_seed, unique, copies);
+        (catalog, queries)
+    }
+
+    /// Like [`Self::generate_stream`], but appends the stream's tables to
+    /// an existing catalog, so several specs — e.g. different topologies —
+    /// can interleave their streams over **one** catalog: the input shape
+    /// of a mixed-traffic batch for `PlanSession::optimize_batch` /
+    /// `ParallelSession::optimize_batch`.
+    pub fn generate_stream_into(
+        &self,
+        catalog: &mut Catalog,
+        base_seed: u64,
+        unique: usize,
+        copies: usize,
+    ) -> Vec<Query> {
         // The edge list is a property of (topology, n): compute it once
         // and share it between stat drawing and query instantiation.
         let edges = self.topology.edges(self.num_tables);
@@ -190,12 +206,15 @@ impl WorkloadSpec {
             .collect();
 
         let mut queries = Vec::with_capacity(unique * copies);
+        // Table names carry the pre-existing catalog size so interleaved
+        // streams of several specs stay distinguishable when debugging.
+        let offset = catalog.num_tables();
         for copy in 0..copies {
             for (s, (cards, sels)) in structures.iter().enumerate() {
                 let ids: Vec<TableId> = cards
                     .iter()
                     .enumerate()
-                    .map(|(t, &card)| catalog.add_table(format!("S{s}C{copy}T{t}"), card))
+                    .map(|(t, &card)| catalog.add_table(format!("O{offset}S{s}C{copy}T{t}"), card))
                     .collect();
                 let mut query = Query::new(ids.clone());
                 for (&(a, b), &sel) in edges.iter().zip(sels) {
@@ -204,7 +223,7 @@ impl WorkloadSpec {
                 queries.push(query);
             }
         }
-        (catalog, queries)
+        queries
     }
 }
 

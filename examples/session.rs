@@ -2,33 +2,49 @@
 //! queries — with a structure-keyed plan cache deduplicating backend
 //! solves across structurally identical queries.
 //!
-//! Run with: `cargo run --release --example session [copies] [tables] [mode]`
+//! Run with:
+//! `cargo run --release --example session [copies] [tables] [mode] [--workers N]`
 //! (the argument form doubles as the CI bench-smoke: e.g. `session 3 6`
-//! drives one tiny workload per topology through `optimize_batch`, and
+//! drives one tiny workload per topology through `optimize_batch`,
 //! `session 3 6 upper` runs the same batch under the upper-bounding
 //! cardinality approximation, asserting the window-floor-corrected
-//! cost-space bound is claimed).
+//! cost-space bound is claimed, and `--workers 4` drives the same batches
+//! through the parallel executor's worker pool instead of the sequential
+//! session).
 
 use std::time::{Duration, Instant};
 
-use milpjoin::{ApproxMode, EncoderConfig, HybridOptimizer, PlanSession, Precision};
+use milpjoin::{
+    ApproxMode, EncoderConfig, HybridOptimizer, ParallelSession, PlanSession, Precision,
+};
 use milpjoin_qopt::OrderingOptions;
 use milpjoin_workloads::{Topology, WorkloadSpec};
 
 fn main() {
-    let copies: usize = std::env::args()
-        .nth(1)
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--workers N` anywhere in the argument list selects the parallel
+    // executor; the remaining positional arguments keep their meaning.
+    let workers: usize = match args.iter().position(|a| a == "--workers") {
+        Some(i) => {
+            let n = args
+                .get(i + 1)
+                .and_then(|s| s.parse().ok())
+                .expect("--workers requires a positive integer");
+            args.drain(i..=i + 1);
+            n
+        }
+        None => 1,
+    };
+    let workers = workers.max(1);
+    let copies: usize = args
+        .first()
         .and_then(|s| s.parse().ok())
         .unwrap_or(8)
         .max(1);
-    let tables: usize = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(8)
-        .max(2);
+    let tables: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8).max(2);
     // Fail loudly on a typo: the CI smoke relies on `upper` actually
     // exercising the UpperBound projection path.
-    let approx_mode = match std::env::args().nth(3).as_deref() {
+    let approx_mode = match args.get(2).map(String::as_str) {
         Some("upper") => ApproxMode::UpperBound,
         Some("lower") | None => ApproxMode::LowerBound,
         Some(other) => panic!("unknown approximation mode {other:?} (expected upper|lower)"),
@@ -46,11 +62,21 @@ fn main() {
             ..EncoderConfig::default().precision(Precision::Low)
         };
         let backend = HybridOptimizer::new(config);
-        let mut session = PlanSession::new(catalog, Box::new(backend))
-            .with_options(OrderingOptions::with_time_limit(Duration::from_secs(10)));
+        let options = OrderingOptions::with_time_limit(Duration::from_secs(10));
 
         let start = Instant::now();
-        let results = session.optimize_batch(&queries);
+        // `--workers N` (N > 1) swaps the sequential session for the
+        // parallel executor — result-identical by construction, faster on
+        // cold multi-structure batches.
+        let (results, stats, catalog) = if workers > 1 {
+            let mut session = ParallelSession::new(catalog, backend).with_options(options);
+            let results = session.optimize_batch(&queries, workers);
+            (results, session.explain(), session.catalog().clone())
+        } else {
+            let mut session = PlanSession::new(catalog, Box::new(backend)).with_options(options);
+            let results = session.optimize_batch(&queries);
+            (results, session.explain(), session.catalog().clone())
+        };
         let elapsed = start.elapsed();
 
         let mut costs = Vec::new();
@@ -58,13 +84,14 @@ fn main() {
             let r = r.as_ref().expect("hybrid always produces a plan");
             costs.push(r.outcome.cost);
         }
-        let stats = session.explain();
         println!(
-            "{:<6} {} queries in {:>8.2?}  backend solves: {}  cache hits: {} \
+            "{:<6} {} queries in {:>8.2?} ({} worker{})  backend solves: {}  cache hits: {} \
              (hit rate {:.0}%)  exact hits: {}  evictions: {}",
             topology.name(),
             queries.len(),
             elapsed,
+            workers,
+            if workers == 1 { "" } else { "s" },
             stats.backend_solves,
             stats.cache_hits,
             100.0 * stats.hit_rate(),
@@ -103,7 +130,7 @@ fn main() {
         let sample = results.get(1).unwrap_or(&results[0]).as_ref().unwrap();
         println!(
             "       plan: {}   cost {:.4e}   guaranteed factor {}   cached: {}",
-            sample.outcome.plan.render(session.catalog()),
+            sample.outcome.plan.render(&catalog),
             sample.outcome.cost,
             factor,
             sample.cache_hit,

@@ -1,0 +1,167 @@
+//! Acceptance tests for the parallel session executor: with any worker
+//! count, `ParallelSession::optimize_batch` must return results — plans,
+//! exact costs, cost-space bounds, optimality certificates, and
+//! cache-provenance flags — identical to the sequential `PlanSession` on
+//! the same stream, in input order.
+//!
+//! The streams are mixed chain/cycle/star traffic over one shared catalog
+//! (round-robin interleaved, so leaders and followers of each structure
+//! spread across the batch), solved by the real hybrid backend.
+
+use milpjoin::{EncoderConfig, HybridOptimizer, ParallelSession, PlanSession, Precision};
+use milpjoin_qopt::{Catalog, OrderingOptions, Query, SessionOutcome};
+use milpjoin_workloads::{Topology, WorkloadSpec};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn backend() -> HybridOptimizer {
+    HybridOptimizer::new(EncoderConfig::default().precision(Precision::Low))
+}
+
+fn options() -> OrderingOptions {
+    OrderingOptions::with_time_limit(Duration::from_secs(20))
+}
+
+/// A mixed-topology stream over one catalog: `unique` random structures
+/// per topology, each `copies` times, round-robin across topologies.
+fn mixed_stream(seed: u64, tables: usize, unique: usize, copies: usize) -> (Catalog, Vec<Query>) {
+    let mut catalog = Catalog::new();
+    let per_topology: Vec<Vec<Query>> = [Topology::Chain, Topology::Cycle, Topology::Star]
+        .into_iter()
+        .enumerate()
+        .map(|(i, topo)| {
+            WorkloadSpec::new(topo, tables).generate_stream_into(
+                &mut catalog,
+                seed + 1000 * i as u64,
+                unique,
+                copies,
+            )
+        })
+        .collect();
+    let len = per_topology.iter().map(Vec::len).max().unwrap_or(0);
+    let mut queries = Vec::new();
+    for i in 0..len {
+        for stream in &per_topology {
+            if let Some(q) = stream.get(i) {
+                queries.push(q.clone());
+            }
+        }
+    }
+    (catalog, queries)
+}
+
+/// Asserts two session outcomes are result-identical (timings excluded:
+/// `elapsed` and trace timestamps are wall-clock by nature).
+fn assert_outcomes_identical(label: &str, seq: &SessionOutcome, par: &SessionOutcome) {
+    assert_eq!(seq.outcome.plan, par.outcome.plan, "{label}: plan");
+    // Bit-identical, not approximately equal: both paths must run the very
+    // same solve and the very same exact re-costing.
+    assert_eq!(
+        seq.outcome.cost.to_bits(),
+        par.outcome.cost.to_bits(),
+        "{label}: cost {} vs {}",
+        seq.outcome.cost,
+        par.outcome.cost
+    );
+    assert_eq!(
+        seq.outcome.objective.to_bits(),
+        par.outcome.objective.to_bits(),
+        "{label}: objective"
+    );
+    assert_eq!(
+        seq.outcome.bound.map(f64::to_bits),
+        par.outcome.bound.map(f64::to_bits),
+        "{label}: bound"
+    );
+    assert_eq!(
+        seq.outcome.proven_optimal, par.outcome.proven_optimal,
+        "{label}: proven_optimal"
+    );
+    assert_eq!(seq.cache_hit, par.cache_hit, "{label}: cache_hit");
+    assert_eq!(seq.exact_hit, par.exact_hit, "{label}: exact_hit");
+}
+
+fn check_stream(catalog: &Catalog, queries: &[Query], workers_to_try: &[usize]) {
+    let mut sequential =
+        PlanSession::new(catalog.clone(), Box::new(backend())).with_options(options());
+    let expected = sequential.optimize_batch(queries);
+    for &workers in workers_to_try {
+        let mut parallel = ParallelSession::new(catalog.clone(), backend()).with_options(options());
+        let got = parallel.optimize_batch(queries, workers);
+        assert_eq!(expected.len(), got.len());
+        for (i, (e, g)) in expected.iter().zip(&got).enumerate() {
+            match (e, g) {
+                (Ok(e), Ok(g)) => {
+                    assert_outcomes_identical(&format!("workers={workers} query={i}"), e, g)
+                }
+                (Err(e), Err(g)) => assert_eq!(
+                    std::mem::discriminant(e),
+                    std::mem::discriminant(g),
+                    "workers={workers} query={i}: error kind"
+                ),
+                (e, g) => panic!("workers={workers} query={i}: {e:?} vs {g:?}"),
+            }
+        }
+        let (es, ps) = (sequential.explain(), parallel.explain());
+        assert_eq!(es.queries, ps.queries, "workers={workers}");
+        assert_eq!(es.backend_solves, ps.backend_solves, "workers={workers}");
+        assert_eq!(es.cache_hits, ps.cache_hits, "workers={workers}");
+        assert_eq!(es.exact_hits, ps.exact_hits, "workers={workers}");
+        assert_eq!(es.backend_errors, ps.backend_errors, "workers={workers}");
+        assert_eq!(
+            sequential.cache_len(),
+            parallel.cache_len(),
+            "workers={workers}"
+        );
+    }
+}
+
+/// Acceptance: a fixed mixed stream, every worker count of the issue's
+/// 2–8 range.
+#[test]
+fn parallel_batch_is_identical_to_sequential_across_worker_counts() {
+    let (catalog, queries) = mixed_stream(7, 5, 2, 3); // 18 queries, 6 structures
+    check_stream(&catalog, &queries, &[2, 3, 4, 5, 6, 7, 8]);
+}
+
+/// The second batch over the same session must be all cache hits, again
+/// identically to a sequential session fed the concatenated stream.
+#[test]
+fn repeated_batches_stay_identical() {
+    let (catalog, queries) = mixed_stream(21, 4, 2, 2);
+    let doubled: Vec<Query> = queries.iter().chain(queries.iter()).cloned().collect();
+    let mut sequential =
+        PlanSession::new(catalog.clone(), Box::new(backend())).with_options(options());
+    let expected = sequential.optimize_batch(&doubled);
+    let mut parallel = ParallelSession::new(catalog, backend()).with_options(options());
+    let first = parallel.optimize_batch(&queries, 4);
+    let second = parallel.optimize_batch(&queries, 4);
+    for (i, (e, g)) in expected
+        .iter()
+        .zip(first.iter().chain(second.iter()))
+        .enumerate()
+    {
+        assert_outcomes_identical(
+            &format!("query={i}"),
+            e.as_ref().unwrap(),
+            g.as_ref().unwrap(),
+        );
+    }
+    for r in &second {
+        assert!(r.as_ref().unwrap().cache_hit, "second batch must hit");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Randomized streams (topology mix, sizes, copies, seed) and worker
+    /// counts across the 2–8 range.
+    #[test]
+    fn random_streams_are_worker_count_invariant(
+        (seed, tables, copies, workers) in (0u64..500, 3usize..=5, 1usize..=3, 2usize..=8)
+    ) {
+        let (catalog, queries) = mixed_stream(seed, tables, 2, copies);
+        check_stream(&catalog, &queries, &[workers]);
+    }
+}

@@ -18,13 +18,19 @@
 //!   workers on a *cold* mixed-topology multi-structure batch: the
 //!   worker-pool throughput next to the sequential baseline (scraped into
 //!   `BENCH_0003.json`; hit rate printed so the cold-ness is auditable).
+//! * `service_ingest` — the continuous-ingest `QueryService` fed a
+//!   duplicate-heavy mixed stream by 1 and 4 racing submitter threads
+//!   (4 workers): measures the submit/wait/in-flight-dedup overhead on
+//!   serving-shaped traffic and audits that duplicates collapse onto one
+//!   solve per structure whatever the submitter count (scraped into
+//!   `BENCH_0004.json`).
 //! * `fingerprint` — the pure cache-key computation (the per-query
 //!   overhead a hit must amortize).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use milpjoin::{
     ApproxMode, EncoderConfig, HybridOptimizer, MilpOptimizer, OrderingOptions, ParallelSession,
-    PlanSession, Precision,
+    PlanSession, Precision, QueryService,
 };
 use milpjoin_qopt::{Catalog, FingerprintOptions, FingerprintedQuery, JoinOrderer};
 use milpjoin_workloads::{Topology, WorkloadSpec};
@@ -217,6 +223,82 @@ fn bench_worker_scaling(c: &mut Criterion) {
     g.finish();
 }
 
+/// Continuous-ingest service on a duplicate-heavy stream: 3 structures
+/// (one per topology, 8 tables) × 8 copies = 24 queries, raced into a
+/// fresh 4-worker `QueryService` by 1 or 4 submitter threads. Three real
+/// solves, 21 deduplicated — the interesting numbers are the end-to-end
+/// ingest throughput and the in-flight counters (leaders must equal the
+/// structure count for every submitter count; wait-hits show how many
+/// duplicates arrived while their leader was still solving).
+fn bench_service_ingest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("service_ingest");
+    g.sample_size(3);
+    let mut catalog = Catalog::new();
+    let mut queries = Vec::new();
+    for (i, topo) in TOPOLOGIES.iter().enumerate() {
+        queries.extend(WorkloadSpec::new(*topo, 8).generate_stream_into(
+            &mut catalog,
+            40 + i as u64 * 1000,
+            1,
+            8,
+        ));
+    }
+    for submitters in [1usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("hybrid-low", submitters),
+            &submitters,
+            |b, &submitters| {
+                b.iter(|| {
+                    // Fresh service per iteration: a cold cache, so every
+                    // iteration measures 3 real solves + 21 dedup
+                    // resolutions end to end. The generous budget keeps
+                    // wall-clock clipping out of the measurement (see the
+                    // worker_scaling note).
+                    let service = QueryService::new(catalog.clone(), backend())
+                        .with_workers(4)
+                        .with_options(OrderingOptions::with_time_limit(Duration::from_secs(600)));
+                    let start = Instant::now();
+                    std::thread::scope(|scope| {
+                        for s in 0..submitters {
+                            let service = &service;
+                            let slice: Vec<_> = queries
+                                .iter()
+                                .skip(s)
+                                .step_by(submitters)
+                                .cloned()
+                                .collect();
+                            scope.spawn(move || {
+                                for t in service.submit_many(slice) {
+                                    t.wait().expect("hybrid always returns a plan");
+                                }
+                            });
+                        }
+                    });
+                    let elapsed = start.elapsed();
+                    let stats = service.shutdown();
+                    assert_eq!(stats.backend_solves, 3, "one solve per structure");
+                    println!(
+                        "SESSION_STATS group=service_ingest submitters={} workers=4 queries={} \
+                         solves={} hits={} leaders={} followers={} wait_hits={} hit_rate={:.4} \
+                         ingest_qps={:.2}",
+                        submitters,
+                        queries.len(),
+                        stats.backend_solves,
+                        stats.cache_hits,
+                        stats.inflight_leaders,
+                        stats.inflight_followers,
+                        stats.inflight_wait_hits,
+                        stats.hit_rate(),
+                        queries.len() as f64 / elapsed.as_secs_f64(),
+                    );
+                    black_box(stats.cache_hits)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
 /// Fingerprint computation: the fixed per-query cache overhead.
 fn bench_fingerprint(c: &mut Criterion) {
     let mut g = c.benchmark_group("fingerprint");
@@ -237,6 +319,7 @@ criterion_group!(
     bench_hybrid_vs_cold,
     bench_upper_bound,
     bench_worker_scaling,
+    bench_service_ingest,
     bench_fingerprint
 );
 criterion_main!(benches);

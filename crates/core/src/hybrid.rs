@@ -249,7 +249,7 @@ impl JoinOrderer for HybridOptimizer {
         let opt_options = OptimizeOptions::from_ordering(options);
         let seed = self
             .resolve_seed(catalog, query, &opt_options)
-            .map_err(|e| crate::optimizer::ordering_error(e, options))?;
+            .map_err(crate::optimizer::ordering_error)?;
         let seed_elapsed = start.elapsed();
         match self.optimize_tracked(catalog, query, &opt_options, seed.clone()) {
             Ok((outcome, swapped)) => {
@@ -281,7 +281,7 @@ impl JoinOrderer for HybridOptimizer {
                 seed_elapsed,
                 start.elapsed(),
             )),
-            Err(e) => Err(crate::optimizer::ordering_error(e, options)),
+            Err(e) => Err(crate::optimizer::ordering_error(e)),
         }
     }
 }

@@ -76,6 +76,7 @@ pub use milpjoin_qopt::orderer::OrdererFactory;
 pub use milpjoin_qopt::orderer::{
     CostTrace, CostTracePoint, JoinOrderer, OrderingError, OrderingOptions, OrderingOutcome,
 };
+pub use milpjoin_qopt::service::{PlanTicket, QueryService};
 pub use milpjoin_qopt::session::{PlanSession, SessionOutcome, SessionStats};
 pub use milpjoin_qopt::{Fingerprint, FingerprintOptions, FingerprintedQuery};
 

@@ -262,9 +262,13 @@ pub enum OptimizeError {
     /// The solver proved infeasibility — impossible for a well-formed
     /// encoding and therefore a bug surface, reported loudly.
     Infeasible,
-    /// No incumbent was found within the limits.
+    /// No incumbent was found within the limits. `stop` records which
+    /// budget actually cut the search short (solver-reported, not guessed
+    /// from the configured options), so callers can tell a deterministic
+    /// node-budget stop from a wall-clock deadline.
     NoPlanFound {
         status: SolveStatus,
+        stop: milpjoin_milp::StopReason,
     },
     Solver(String),
 }
@@ -276,8 +280,11 @@ impl std::fmt::Display for OptimizeError {
             OptimizeError::Infeasible => {
                 write!(f, "encoding is infeasible (this indicates a bug)")
             }
-            OptimizeError::NoPlanFound { status } => {
-                write!(f, "no plan found within limits (solver status: {status})")
+            OptimizeError::NoPlanFound { status, stop } => {
+                write!(
+                    f,
+                    "no plan found within limits (solver status: {status}; stopped on: {stop})"
+                )
             }
             OptimizeError::Solver(e) => write!(f, "solver error: {e}"),
         }
@@ -332,11 +339,19 @@ impl OptimizeOptions {
     }
 
     /// Translates backend-agnostic [`OrderingOptions`] into MILP options.
+    /// The deterministic budget rides on the solver's node metering: the
+    /// effective node limit is the tighter of `node_limit` and
+    /// `deterministic_budget` (node counts are invariant under CPU
+    /// contention, which is the whole point of the deterministic form).
     pub fn from_ordering(options: &OrderingOptions) -> Self {
+        let node_limit = match (options.node_limit, options.deterministic_budget) {
+            (Some(n), Some(d)) => Some(n.min(d)),
+            (n, d) => n.or(d),
+        };
         OptimizeOptions {
             time_limit: options.time_limit,
             relative_gap: options.relative_gap,
-            node_limit: options.node_limit,
+            node_limit,
             seed: options.seed,
             initial_plan: None,
         }
@@ -514,7 +529,10 @@ impl MilpOptimizer {
         match result.status {
             SolveStatus::Infeasible => return Err(OptimizeError::Infeasible),
             s if !s.has_solution() => {
-                return Err(OptimizeError::NoPlanFound { status: s });
+                return Err(OptimizeError::NoPlanFound {
+                    status: s,
+                    stop: result.stop,
+                });
             }
             _ => {}
         }
@@ -607,33 +625,39 @@ impl OptimizeOutcome {
     }
 }
 
-/// Maps MILP failures onto the unified error shape. `options` supplies the
-/// context needed to classify `NoPlanFound` — a time limit makes it a
-/// timeout, otherwise whichever budget stopped the search.
-pub(crate) fn ordering_error(e: OptimizeError, options: &OrderingOptions) -> OrderingError {
+/// Maps MILP failures onto the unified error shape. `NoPlanFound` is
+/// classified by the solver-reported stop reason (no longer guessed from
+/// the configured options): a wall-clock deadline is a [`OrderingError::Timeout`],
+/// a node-budget stop — including the deterministic budget, which rides on
+/// node metering — is a [`OrderingError::ResourceLimit`].
+pub(crate) fn ordering_error(e: OptimizeError) -> OrderingError {
+    use milpjoin_milp::StopReason;
     match e {
         OptimizeError::Encode(EncodeError::Query(q)) => OrderingError::InvalidQuery(q.to_string()),
         OptimizeError::Encode(EncodeError::Config(c)) => {
             OrderingError::InvalidConfig(c.to_string())
         }
         OptimizeError::Encode(e) => OrderingError::InvalidQuery(e.to_string()),
-        OptimizeError::NoPlanFound { status } => match status {
+        OptimizeError::NoPlanFound { status, stop } => match status {
             // A correctly-built encoding is bounded below; an unbounded
             // verdict is a solver/encoder bug, not a budget problem.
             SolveStatus::Unbounded => OrderingError::Backend(format!(
                 "solver reported an unbounded encoding (status: {status})"
             )),
-            // Best-effort classification: when the clock is the sole
-            // configured budget the overwhelmingly likely cause is the
-            // deadline (rare all-node numerical stalls also land here).
-            // With a node limit configured the stop cause is ambiguous,
-            // so report the neutral resource-limit form instead.
-            _ if options.time_limit.is_some() && options.node_limit.is_none() => {
-                OrderingError::Timeout
-            }
-            _ => OrderingError::ResourceLimit(format!(
-                "no plan found within the configured limits (solver status: {status})"
-            )),
+            _ => match stop {
+                StopReason::TimeLimit => OrderingError::Timeout,
+                StopReason::NodeLimit => OrderingError::ResourceLimit(
+                    "node budget exhausted before any plan was found (deterministic stop)"
+                        .to_string(),
+                ),
+                // `Finished`/`Stalled` without a solution: numerically
+                // parked subtrees (or a status/stop mismatch) — a neutral
+                // resource-limit report either way.
+                _ => OrderingError::ResourceLimit(format!(
+                    "no plan found within the configured limits (solver status: {status}; \
+                     stopped on: {stop})"
+                )),
+            },
         },
         OptimizeError::Infeasible => OrderingError::Backend("encoding is infeasible (bug)".into()),
         OptimizeError::Solver(m) => OrderingError::Backend(m),
@@ -670,7 +694,7 @@ impl JoinOrderer for MilpOptimizer {
     ) -> Result<OrderingOutcome, OrderingError> {
         let outcome = self
             .optimize(catalog, query, &OptimizeOptions::from_ordering(options))
-            .map_err(|e| ordering_error(e, options))?;
+            .map_err(ordering_error)?;
         Ok(outcome.into_ordering_outcome())
     }
 }

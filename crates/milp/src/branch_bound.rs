@@ -19,7 +19,7 @@ use crate::lp::LpProblem;
 use crate::options::SolverOptions;
 use crate::simplex::{LpStatus, Simplex, SimplexLimits};
 use crate::solution::{IncumbentEvent, Solution};
-use crate::status::SolveStatus;
+use crate::status::{SolveStatus, StopReason};
 
 /// Events emitted during the search (the anytime stream).
 #[derive(Debug, Clone)]
@@ -81,6 +81,9 @@ impl Ord for OpenNode {
 /// Summary of a finished search (minimization space).
 pub struct SearchOutcome {
     pub status: SolveStatus,
+    /// Which budget (if any) cut the search short; [`StopReason::Finished`]
+    /// whenever the status is conclusive.
+    pub stop: StopReason,
     pub incumbent: Option<(Vec<f64>, f64)>,
     pub bound: f64,
     pub nodes: u64,
@@ -360,7 +363,7 @@ impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
         // fires at t ≈ 0.
         self.try_warm_start();
 
-        let mut hit_limit = false;
+        let mut stop = StopReason::Finished;
         let mut root_unbounded = false;
         let mut root_done = false;
 
@@ -369,10 +372,15 @@ impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
                 // Heap is bound-ordered: everything else is prunable too.
                 break;
             }
-            if self.out_of_time() || self.opts.node_limit.is_some_and(|n| self.nodes >= n) {
+            if self.out_of_time() {
                 // Re-push so its bound still counts as open.
                 self.heap.push(node);
-                hit_limit = true;
+                stop = StopReason::TimeLimit;
+                break;
+            }
+            if self.opts.node_limit.is_some_and(|n| self.nodes >= n) {
+                self.heap.push(node);
+                stop = StopReason::NodeLimit;
                 break;
             }
             if self.gap_reached(Some(node.bound)) {
@@ -395,7 +403,7 @@ impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
                     let bound = data.as_ref().map_or(f64::NEG_INFINITY, |d| d.parent_obj);
                     let seq = self.next_seq();
                     self.heap.push(OpenNode { bound, seq, data });
-                    hit_limit = true;
+                    stop = StopReason::TimeLimit;
                     break 'search;
                 }
 
@@ -445,7 +453,7 @@ impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
                         break;
                     }
                     LpStatus::TimeLimit => {
-                        hit_limit = true;
+                        stop = StopReason::TimeLimit;
                         let bound = data.as_ref().map_or(f64::NEG_INFINITY, |d| d.parent_obj);
                         let seq = self.next_seq();
                         self.heap.push(OpenNode { bound, seq, data });
@@ -580,15 +588,16 @@ impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
             );
         }
         // Parked nodes that the incumbent does not prune keep the search
-        // inconclusive.
-        if self.stalled_bounds.iter().any(|&b| !self.prunable(b)) {
-            hit_limit = true;
+        // inconclusive (recorded only when no configured budget fired
+        // first: the stop reason reports the *earliest* cause).
+        if stop == StopReason::Finished && self.stalled_bounds.iter().any(|&b| !self.prunable(b)) {
+            stop = StopReason::Stalled;
         }
         let bound = self.global_bound(None);
         let status = if root_unbounded {
             SolveStatus::Unbounded
         } else {
-            match (&self.incumbent, hit_limit) {
+            match (&self.incumbent, stop != StopReason::Finished) {
                 (Some(_), false) => SolveStatus::Optimal,
                 (Some(_), true) => {
                     if self.gap_reached(None) {
@@ -601,6 +610,12 @@ impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
                 (None, false) => SolveStatus::Infeasible,
             }
         };
+        // A conclusive verdict overrides a limit that fired in the same
+        // moment (e.g. the gap target was already met when the clock ran
+        // out): `Optimal` always pairs with `Finished`.
+        if status == SolveStatus::Optimal {
+            stop = StopReason::Finished;
+        }
         // When proven optimal the bound equals the incumbent objective.
         let final_bound = match (&self.incumbent, status) {
             (Some((_, obj)), SolveStatus::Optimal) => *obj,
@@ -608,6 +623,7 @@ impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
         };
         SearchOutcome {
             status,
+            stop,
             incumbent: self.incumbent,
             bound: final_bound,
             nodes: self.nodes,
@@ -697,6 +713,7 @@ mod tests {
         m.set_objective(a * 4.0 + b * 5.0 + c * 3.0, Sense::Maximize);
         let out = run(&m, &SolverOptions::default());
         assert_eq!(out.status, SolveStatus::Optimal);
+        assert_eq!(out.stop, StopReason::Finished);
         let (_, obj) = out.incumbent.unwrap();
         // Minimization space: -8.
         assert!((obj + 8.0).abs() < 1e-6, "obj={obj}");
@@ -809,8 +826,10 @@ mod tests {
         opts.node_limit = Some(0);
         let bb = BranchBound::new(&lp, &opts, |_| {});
         let out = bb.run();
-        // The only incumbent is the hint; nothing was proven.
+        // The only incumbent is the hint; nothing was proven. The stop
+        // reason records the node budget — a deterministic resource limit.
         assert_eq!(out.status, SolveStatus::Feasible);
+        assert_eq!(out.stop, StopReason::NodeLimit);
         assert_eq!(out.nodes, 0);
         assert!((out.incumbent.unwrap().1 + 2.0).abs() < 1e-9);
         assert_eq!(out.bound, f64::NEG_INFINITY);

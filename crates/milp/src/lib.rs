@@ -63,4 +63,4 @@ pub use model::{ConstrId, Model, ModelError, Sense, Var, VarType};
 pub use options::{BranchingRule, SolverOptions};
 pub use solution::{IncumbentEvent, MipResult, Solution};
 pub use solver::{SolveError, Solver};
-pub use status::SolveStatus;
+pub use status::{SolveStatus, StopReason};

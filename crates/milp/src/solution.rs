@@ -3,7 +3,7 @@
 use std::time::Duration;
 
 use crate::model::Var;
-use crate::status::SolveStatus;
+use crate::status::{SolveStatus, StopReason};
 
 /// A (feasible) assignment of values to the model variables.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,6 +65,12 @@ impl IncumbentEvent {
 #[derive(Debug, Clone)]
 pub struct MipResult {
     pub status: SolveStatus,
+    /// Which budget (if any) cut the search short
+    /// ([`crate::status::StopReason::Finished`] for conclusive verdicts).
+    /// Lets callers classify a limit-stopped solve precisely: a node-budget
+    /// stop is deterministic (a resource limit), a deadline stop is a
+    /// timeout.
+    pub stop: StopReason,
     /// Objective of the best incumbent (model sense).
     pub objective: Option<f64>,
     /// Final global dual bound (model sense).
@@ -124,6 +130,7 @@ mod tests {
     fn relative_gap() {
         let r = MipResult {
             status: SolveStatus::Feasible,
+            stop: StopReason::NodeLimit,
             objective: Some(10.0),
             bound: 9.0,
             solution: Some(Solution::new(vec![])),

@@ -93,6 +93,7 @@ impl Solver {
             if let PresolveOutcome::Infeasible = presolve(&mut working, 10) {
                 return Ok(MipResult {
                     status: SolveStatus::Infeasible,
+                    stop: crate::status::StopReason::Finished,
                     objective: None,
                     bound: f64::NAN,
                     solution: None,
@@ -116,6 +117,7 @@ impl Solver {
             .map(|(vals, _)| Solution::new(lp.unscale_values(&vals)));
         Ok(MipResult {
             status: outcome.status,
+            stop: outcome.stop,
             objective,
             bound: lp.user_objective(outcome.bound),
             solution,

@@ -25,6 +25,42 @@ impl SolveStatus {
     }
 }
 
+/// Why the branch-and-bound search stopped. Orthogonal to [`SolveStatus`]:
+/// the status says what was (or was not) found, the stop reason says which
+/// budget — if any — cut the search short. Consumers use it to classify
+/// "no plan found" outcomes precisely (a node budget is a *resource* limit,
+/// deterministic under CPU contention; a wall-clock deadline is a timeout)
+/// instead of guessing from the configured options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StopReason {
+    /// The search ran to its natural end (optimum proven, gap target
+    /// reached, or infeasibility/unboundedness established). Always the
+    /// reason when [`SolveStatus::Optimal`] is reported.
+    #[default]
+    Finished,
+    /// The wall-clock deadline ([`crate::SolverOptions::time_limit`]) fired.
+    TimeLimit,
+    /// The node budget ([`crate::SolverOptions::node_limit`]) was exhausted
+    /// — a deterministic stop: the same model, options, and seed exhaust
+    /// the budget at the same tree state regardless of machine load.
+    NodeLimit,
+    /// Numerically stalled subtrees were parked and not pruned, leaving the
+    /// search inconclusive without any configured budget firing.
+    Stalled,
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StopReason::Finished => "finished",
+            StopReason::TimeLimit => "time limit",
+            StopReason::NodeLimit => "node limit",
+            StopReason::Stalled => "numerically stalled",
+        };
+        f.write_str(s)
+    }
+}
+
 impl fmt::Display for SolveStatus {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {

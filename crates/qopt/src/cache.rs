@@ -27,13 +27,25 @@
 //!   room).
 //! * **Coarse-grained locking.** A lookup or insert holds exactly one shard
 //!   lock for a map operation — never across a backend solve. Solves run
-//!   lock-free; the executor deduplicates concurrent solves of one
-//!   structure *above* this layer (see `crate::executor`).
+//!   lock-free.
+//! * **Cross-batch in-flight table.** Each shard additionally tracks the
+//!   fingerprints currently *being solved*, one condvar-backed slot per
+//!   fingerprint. [`ShardedPlanCache::claim`] is the single entry point of
+//!   the dedup protocol: a claimant either gets the cached entry, becomes
+//!   the **leader** (an [`InFlightGuard`] obliging it to publish or
+//!   abandon), or gets the leader's slot to **wait** on. Concurrent
+//!   identical submissions — across threads, batches, and sessions sharing
+//!   the cache handle — therefore trigger exactly one backend solve;
+//!   followers block until the leader publishes and instantiate its
+//!   record. The slot lives in the shard, so the claim check ("cached? in
+//!   flight? neither?") is atomic under the shard lock, and publishing
+//!   inserts the record *before* retiring the slot — a new claimant can
+//!   never observe the gap between "solved" and "cached".
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::fingerprint::{ExactStats, Fingerprint};
 use crate::plan::JoinOp;
@@ -50,9 +62,104 @@ pub struct CachedPlan {
     pub(crate) proven_optimal: bool,
 }
 
+/// State of one in-flight solve slot.
+enum SlotState {
+    /// The leader is still solving.
+    Pending,
+    /// The leader finished: `Some` carries its published record, `None`
+    /// means it failed (or panicked) — followers then re-enter the claim
+    /// protocol, exactly like a sequential session re-missing an uncached
+    /// structure.
+    Done(Option<Arc<CachedPlan>>),
+}
+
+/// One condvar-backed in-flight slot: the rendezvous between the leader
+/// solving a fingerprint and the followers blocked on it.
+pub(crate) struct InFlightSlot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+impl InFlightSlot {
+    fn new() -> Self {
+        InFlightSlot {
+            state: Mutex::new(SlotState::Pending),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until the leader resolves the slot; returns its published
+    /// record, or `None` when the leader failed.
+    pub(crate) fn wait(&self) -> Option<Arc<CachedPlan>> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            match &*state {
+                SlotState::Done(record) => return record.clone(),
+                SlotState::Pending => state = self.cv.wait(state).unwrap(),
+            }
+        }
+    }
+
+    fn resolve(&self, record: Option<Arc<CachedPlan>>) {
+        *self.state.lock().unwrap() = SlotState::Done(record);
+        self.cv.notify_all();
+    }
+}
+
+/// Leadership of one in-flight solve, handed out by
+/// [`ShardedPlanCache::claim`]. The holder **must** end the solve one way
+/// or the other: [`publish`](Self::publish) on success, or drop the guard
+/// to abandon (failure and panic paths alike) — either wakes every blocked
+/// follower, so no thread can wait forever on a dead leader.
+pub(crate) struct InFlightGuard<'a> {
+    cache: &'a ShardedPlanCache,
+    fingerprint: Fingerprint,
+    slot: Arc<InFlightSlot>,
+    published: bool,
+}
+
+impl InFlightGuard<'_> {
+    /// Publishes the leader's solved record: inserts it into the cache,
+    /// retires the in-flight slot, and wakes the followers with the
+    /// record. Insert-before-retire (under one shard lock) means a
+    /// concurrent claimant always sees the structure as either in flight
+    /// or cached — never as a fresh miss that would trigger a second
+    /// solve.
+    pub(crate) fn publish(mut self, record: Arc<CachedPlan>) {
+        self.published = true;
+        self.cache
+            .publish_inflight(&self.fingerprint, Arc::clone(&record));
+        self.slot.resolve(Some(record));
+    }
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        if self.published {
+            return;
+        }
+        // Abandon: retire the slot and wake the followers empty-handed
+        // (they re-enter the claim protocol). Runs on the panic path too.
+        self.cache.retire_inflight(&self.fingerprint);
+        self.slot.resolve(None);
+    }
+}
+
+/// Verdict of [`ShardedPlanCache::claim`] for one fingerprint.
+pub(crate) enum InFlightClaim<'a> {
+    /// Already solved and cached: the entry, recency refreshed.
+    Cached(Arc<CachedPlan>),
+    /// Nobody is solving this structure: the claimant is now the leader.
+    Lead(InFlightGuard<'a>),
+    /// Another thread is solving it: wait on the slot for its outcome.
+    Wait(Arc<InFlightSlot>),
+}
+
 struct Shard {
     /// Entries plus their last-touched logical time (the LRU key).
     map: HashMap<Fingerprint, (Arc<CachedPlan>, u64)>,
+    /// Fingerprints currently being solved (the in-flight dedup table).
+    inflight: HashMap<Fingerprint, Arc<InFlightSlot>>,
     capacity: usize,
     /// Monotone logical clock stamping lookups and inserts.
     clock: u64,
@@ -119,6 +226,7 @@ impl ShardedPlanCache {
                 .map(|i| {
                     Mutex::new(Shard {
                         map: HashMap::new(),
+                        inflight: HashMap::new(),
                         capacity: base + usize::from(i < remainder),
                         clock: 0,
                         evictions: 0,
@@ -216,18 +324,6 @@ impl ShardedPlanCache {
         }
     }
 
-    /// Looks a structure up, refreshing its LRU recency on a hit. Returns
-    /// an `Arc` pointer clone, so no lock is held (and no payload is
-    /// copied) while the caller instantiates the plan.
-    pub(crate) fn lookup(&self, fp: &Fingerprint) -> Option<Arc<CachedPlan>> {
-        let mut shard = self.shards[self.shard_of(fp)].lock().unwrap();
-        shard.clock += 1;
-        let clock = shard.clock;
-        let (cached, last_used) = shard.map.get_mut(fp)?;
-        *last_used = clock;
-        Some(Arc::clone(cached))
-    }
-
     /// Inserts (or replaces) a solved structure, evicting the shard's LRU
     /// entries beyond capacity. Returns how many entries were evicted. A
     /// zero-capacity cache stores nothing.
@@ -240,6 +336,61 @@ impl ShardedPlanCache {
         let clock = shard.clock;
         shard.map.insert(fp, (plan, clock));
         shard.enforce_capacity()
+    }
+
+    /// The in-flight dedup protocol's single entry point (see the module
+    /// docs): atomically — under one shard lock — answers whether `fp` is
+    /// cached (recency refreshed), currently being solved (wait on the
+    /// returned slot), or unclaimed (the caller becomes the leader and
+    /// receives the guard obliging it to publish or abandon).
+    pub(crate) fn claim(&self, fp: &Fingerprint) -> InFlightClaim<'_> {
+        let mut shard = self.shards[self.shard_of(fp)].lock().unwrap();
+        shard.clock += 1;
+        let clock = shard.clock;
+        if let Some((cached, last_used)) = shard.map.get_mut(fp) {
+            *last_used = clock;
+            return InFlightClaim::Cached(Arc::clone(cached));
+        }
+        if let Some(slot) = shard.inflight.get(fp) {
+            return InFlightClaim::Wait(Arc::clone(slot));
+        }
+        let slot = Arc::new(InFlightSlot::new());
+        shard.inflight.insert(fp.clone(), Arc::clone(&slot));
+        InFlightClaim::Lead(InFlightGuard {
+            cache: self,
+            fingerprint: fp.clone(),
+            slot,
+            published: false,
+        })
+    }
+
+    /// Leader success path: inserts the record and retires the in-flight
+    /// slot under one shard lock (a concurrent [`Self::claim`] sees the
+    /// structure as cached the instant it stops being in flight).
+    fn publish_inflight(&self, fp: &Fingerprint, plan: Arc<CachedPlan>) {
+        let mut shard = self.shards[self.shard_of(fp)].lock().unwrap();
+        shard.inflight.remove(fp);
+        if shard.capacity == 0 {
+            return;
+        }
+        shard.clock += 1;
+        let clock = shard.clock;
+        shard.map.insert(fp.clone(), (plan, clock));
+        shard.enforce_capacity();
+    }
+
+    /// Leader failure path: retires the slot without caching anything.
+    fn retire_inflight(&self, fp: &Fingerprint) {
+        let mut shard = self.shards[self.shard_of(fp)].lock().unwrap();
+        shard.inflight.remove(fp);
+    }
+
+    /// Number of structures currently being solved (across all shards).
+    pub fn inflight_len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().inflight.len())
+            .sum()
     }
 }
 
@@ -265,6 +416,105 @@ mod tests {
         let empty = ShardedPlanCache::new(0, 16);
         assert_eq!(empty.num_shards(), 1);
         assert_eq!(empty.capacity(), 0);
+    }
+
+    /// A fingerprinted two-table structure parameterized by cardinality
+    /// (distinct cardinalities give distinct fingerprints).
+    fn fingerprinted(card: f64) -> crate::fingerprint::FingerprintedQuery {
+        let mut c = crate::catalog::Catalog::new();
+        let a = c.add_table("a", card);
+        let b = c.add_table("b", card * 10.0);
+        let mut q = crate::query::Query::new(vec![a, b]);
+        q.add_predicate(crate::query::Predicate::binary(a, b, 0.5));
+        crate::fingerprint::FingerprintedQuery::compute(
+            &c,
+            &q,
+            &crate::fingerprint::FingerprintOptions::default(),
+        )
+    }
+
+    fn fingerprint_of(card: f64) -> Fingerprint {
+        fingerprinted(card).fingerprint
+    }
+
+    fn dummy_plan() -> Arc<CachedPlan> {
+        Arc::new(CachedPlan {
+            canonical_order: vec![0, 1],
+            operators: Vec::new(),
+            exact: fingerprinted(10.0).exact,
+            bound: None,
+            proven_optimal: false,
+        })
+    }
+
+    #[test]
+    fn claim_protocol_leads_waits_and_caches() {
+        let cache = ShardedPlanCache::new(8, 2);
+        let fp = fingerprint_of(10.0);
+        // First claimant leads.
+        let InFlightClaim::Lead(guard) = cache.claim(&fp) else {
+            panic!("first claim must lead");
+        };
+        assert_eq!(cache.inflight_len(), 1);
+        // Second claimant waits on the leader's slot.
+        let InFlightClaim::Wait(slot) = cache.claim(&fp) else {
+            panic!("second claim must wait");
+        };
+        // A different structure is unaffected: it leads its own slot.
+        let other = fingerprint_of(100000.0);
+        let InFlightClaim::Lead(other_guard) = cache.claim(&other) else {
+            panic!("distinct structure must lead its own slot");
+        };
+        assert_eq!(cache.inflight_len(), 2);
+        // Publishing retires the slot, caches the record, wakes waiters.
+        guard.publish(dummy_plan());
+        assert!(slot.wait().is_some());
+        assert_eq!(cache.inflight_len(), 1);
+        assert!(matches!(cache.claim(&fp), InFlightClaim::Cached(_)));
+        drop(other_guard);
+        assert_eq!(cache.inflight_len(), 0);
+    }
+
+    #[test]
+    fn abandoned_leader_wakes_followers_empty_handed() {
+        let cache = ShardedPlanCache::new(8, 1);
+        let fp = fingerprint_of(10.0);
+        let InFlightClaim::Lead(guard) = cache.claim(&fp) else {
+            panic!("first claim must lead");
+        };
+        let InFlightClaim::Wait(slot) = cache.claim(&fp) else {
+            panic!("second claim must wait");
+        };
+        drop(guard); // failure path (also the panic path)
+        assert!(slot.wait().is_none());
+        assert_eq!(cache.inflight_len(), 0);
+        // The structure is unclaimed again: the next claimant leads.
+        assert!(matches!(cache.claim(&fp), InFlightClaim::Lead(_)));
+    }
+
+    #[test]
+    fn blocked_follower_is_woken_across_threads() {
+        let cache = Arc::new(ShardedPlanCache::new(8, 4));
+        let fp = fingerprint_of(42.0);
+        let InFlightClaim::Lead(guard) = cache.claim(&fp) else {
+            panic!("first claim must lead");
+        };
+        let follower = {
+            let cache = Arc::clone(&cache);
+            let fp = fp.clone();
+            std::thread::spawn(move || match cache.claim(&fp) {
+                InFlightClaim::Wait(slot) => slot.wait().is_some(),
+                InFlightClaim::Cached(_) => true, // leader already published
+                InFlightClaim::Lead(_) => panic!("leader is still in flight"),
+            })
+        };
+        // Give the follower a moment to block (correctness does not depend
+        // on it — publishing after the wait started is the interesting
+        // interleaving, publishing before it is handled by `Cached`).
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        guard.publish(dummy_plan());
+        assert!(follower.join().unwrap(), "follower must get the record");
+        assert!(matches!(cache.claim(&fp), InFlightClaim::Cached(_)));
     }
 
     #[test]

@@ -1,117 +1,91 @@
-//! Parallel session executor: a worker pool over `optimize_batch`.
+//! Parallel batch executor: a batch-shaped facade over the
+//! continuous-ingest [`QueryService`].
 //!
 //! The solver stack is single-threaded per query — one MILP solve is one
 //! branch-and-bound search on one core. A production query stream,
 //! however, is *embarrassingly parallel across queries*, and the
 //! hybrid-MILP line of work (Schönberger & Trummer, 2025) is built on
-//! exactly that observation: many moderate MILP solves running concurrently
-//! beat one big one. [`ParallelSession`] is the [`PlanSession`] service
-//! re-architected for that shape: `N` workers drain a batch, each owning
-//! its own backend instance (built by an [`OrdererFactory`]), all sharing
-//! one shard-locked plan cache ([`ShardedPlanCache`]).
+//! exactly that observation: many moderate MILP solves running
+//! concurrently beat one big one. [`ParallelSession`] keeps the
+//! batch-shaped `optimize_batch(queries, workers)` API from PR 4 but is
+//! now a **thin facade**: each call spins up a [`QueryService`] over this
+//! session's configuration (same catalog, options, fingerprinting, and
+//! shared cache — one config surface, held by the wrapped
+//! [`PlanSession`]), submits the batch, waits for the tickets in input
+//! order, and folds the service's statistics back in.
 //!
 //! ## Determinism and result identity
 //!
 //! [`ParallelSession::optimize_batch`] returns results **in input order**
-//! and — for any worker count — **bit-identical to the sequential
+//! and — for any worker count — **identical to the sequential
 //! [`PlanSession`]** on the same stream: the same plans, the same exact
 //! costs, the same certificates, the same `cache_hit`/`exact_hit` flags.
 //! Three mechanisms make that hold:
 //!
-//! 1. **Batch-level fingerprint deduplication.** A sequential prepass
-//!    fingerprints every query and designates the *first* occurrence of
-//!    each structure the **leader**; only leaders (and uncacheable
-//!    queries) become worker jobs, so two workers never solve the same
-//!    structure concurrently — exactly the issue's "second waits and takes
-//!    the cache hit", resolved statically instead of with a condition
-//!    variable.
-//! 2. **Followers derive from their leader's result, not from the racy
-//!    cache.** Each later occurrence is instantiated (and exactly
-//!    re-costed) from the leader's solved structure through the same
-//!    `instantiate_cached` helper the sequential session uses, in input
-//!    order, after the pool drains. Thread scheduling therefore cannot
-//!    influence any returned value.
-//! 3. **Deterministic backends per seed.** Instances built by one factory
-//!    are identically configured, so the leader's solve is the same solve
-//!    the sequential session would have run. One genuine nondeterminism
-//!    source remains for *time-limited* solves: a wall-clock budget that
-//!    binds measures CPU contention, so on an oversubscribed host (more
-//!    workers than cores) a budget-clipped solve can terminate earlier —
-//!    with a weaker incumbent or bound — than its sequential counterpart.
-//!    Identity is exact whenever no time budget binds (node budgets and
-//!    gap targets are contention-free); capacity-plan worker counts at or
-//!    below the core count when tight deadlines matter.
-//!
-//! Cross-batch LRU state is normalized too: the worker phase stamps cache
-//! recency in racy completion order, so the assembly pass re-stamps every
-//! fingerprinted query's entry in input order — a later batch then evicts
-//! the same structures the sequential session would have.
+//! 1. **Leader pinning + cross-batch in-flight deduplication.** A
+//!    facade-side prepass fingerprints the batch and submits only the
+//!    *first* occurrence of each structure (later occurrences resolve
+//!    after the service finishes, in input order, from the cached
+//!    structure) — so the miss is attributed to the same index the
+//!    sequential session would attribute it to, whatever the thread
+//!    schedule. Inside the service, the condvar-backed in-flight table of
+//!    [`ShardedPlanCache`] (one slot per fingerprint being solved)
+//!    additionally collapses duplicates arriving from *outside* the batch
+//!    — other batches, services, and sessions sharing the cache handle —
+//!    onto one solve; followers instantiate the leader's published record
+//!    through the very `instantiate_cached` a sequential cache hit uses.
+//! 2. **Deterministic backends per seed.** Worker backends built by one
+//!    [`OrdererFactory`](crate::orderer::OrdererFactory) are identically
+//!    configured, so the leader's solve is the same solve the sequential
+//!    session would have run. One genuine nondeterminism source remains
+//!    for *wall-clock-limited* solves: a binding time budget measures CPU
+//!    contention, so an oversubscribed host can clip solves earlier than a
+//!    sequential run would. Set
+//!    [`OrderingOptions::deterministic_budget`](crate::orderer::OrderingOptions::deterministic_budget)
+//!    (node-metered) and budget-limited results are identical at any
+//!    worker count; plain wall-clock budgets keep working with this
+//!    documented caveat.
+//! 3. **Input-order LRU normalization.** The worker phase stamps cache
+//!    recency in racy completion order, so after the batch resolves the
+//!    facade re-stamps every fingerprinted query's entry in input order —
+//!    a later batch then evicts the same structures the sequential session
+//!    would have.
 //!
 //! One caveat mirrors the sequential path honestly: when a batch carries
 //! more *distinct* structures than the cache capacity, eviction *order*
 //! depends on which worker inserts first, so the cache's contents **after**
 //! the batch (and hence hit patterns of *later* batches) may vary across
-//! runs — the results of the batch itself remain deterministic. Sequential
-//! equivalence of the hit/miss flags likewise assumes the batch's distinct
-//! structures fit the capacity (the sequential session can evict and
-//! re-solve a structure mid-batch; the parallel session solves each
-//! structure once).
+//! runs — the results of the batch itself remain deterministic whenever no
+//! wall-clock budget binds. Sequential equivalence of the hit/miss flags
+//! likewise assumes the batch's distinct structures fit the capacity.
 //!
 //! ## Error semantics
 //!
-//! A failed leader solve is returned for the leader's slot, and each
-//! follower of that structure is then solved individually in input order —
+//! A failed leader solve fails its own slot; blocked followers wake
+//! empty-handed and re-enter the claim protocol, each re-solving in turn —
 //! precisely what the sequential session does when a miss fails and the
 //! structure stays uncached. Deterministic backends fail identically, so
 //! equivalence holds on error paths too.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::collections::HashSet;
+use std::sync::Arc;
 
-use crate::cache::{CachedPlan, ShardedPlanCache};
+use crate::cache::ShardedPlanCache;
 use crate::catalog::Catalog;
 use crate::fingerprint::{FingerprintOptions, FingerprintedQuery};
-use crate::orderer::{JoinOrderer, OrdererFactory, OrderingError, OrderingOptions};
+use crate::orderer::{OrdererFactory, OrderingError, OrderingOptions};
 use crate::query::Query;
-use crate::session::{
-    instantiate_cached, record_for_cache, PlanSession, SessionOutcome, SessionStats,
-};
+use crate::service::QueryService;
+use crate::session::{process_prepared, EngineCtx, PlanSession, SessionOutcome, SessionStats};
 
 /// Default shard count of a parallel session's plan cache — enough that a
 /// handful of workers rarely contend on one lock, while each shard still
 /// holds a meaningful slice of the capacity.
 pub const DEFAULT_CACHE_SHARDS: usize = 16;
 
-/// How one query of a batch is handled (the prepass verdict).
-enum Prep {
-    /// Failed validation; answered without touching a worker.
-    Invalid(OrderingError),
-    /// Solved unconditionally by a worker (caching disabled or the query
-    /// is not cacheable).
-    Solo,
-    /// First in-batch occurrence of its structure: solved (or served from
-    /// the shared cache) by a worker.
-    Leader(Box<FingerprintedQuery>),
-    /// Later occurrence: derived from the leader's result in input order.
-    Follower {
-        leader: usize,
-        fp: Box<FingerprintedQuery>,
-    },
-}
-
-/// What a worker leaves behind for one job.
-struct JobOutcome {
-    result: Result<SessionOutcome, OrderingError>,
-    /// The solved structure (for leaders), from which followers are
-    /// instantiated deterministically.
-    record: Option<Arc<CachedPlan>>,
-}
-
-/// A multi-threaded [`PlanSession`]: one catalog, one backend
-/// *configuration*, `N` worker-owned backend instances, one shared
-/// shard-locked plan cache.
+/// A multi-threaded batch session: one catalog, one backend
+/// *configuration*, per-call worker pools (via [`QueryService`]), one
+/// shared shard-locked plan cache.
 ///
 /// ```
 /// use milpjoin_qopt::cost::{CostModelKind, CostParams, plan_cost};
@@ -154,14 +128,14 @@ struct JobOutcome {
 /// assert_eq!(session.explain().backend_solves, 1);
 /// ```
 pub struct ParallelSession {
-    /// The full session configuration *and* the sequential-path core:
-    /// catalog, one backend instance (cost-model probe + the repair path
-    /// for followers of a failed leader), runtime options, fingerprint
-    /// options, the shared cache, and the aggregate statistics. Wrapping a
-    /// [`PlanSession`] keeps the two session types' configuration surfaces
-    /// from drifting apart.
+    /// The full session configuration: catalog, one backend instance (the
+    /// cost-model probe), runtime options, fingerprint options, the shared
+    /// cache, and the aggregate statistics. Wrapping a [`PlanSession`]
+    /// keeps the two session types' configuration surfaces from drifting
+    /// apart; each `optimize_batch` call projects this configuration into
+    /// a transient [`QueryService`].
     seq: PlanSession,
-    factory: Box<dyn OrdererFactory>,
+    factory: Arc<dyn OrdererFactory>,
 }
 
 impl ParallelSession {
@@ -169,11 +143,12 @@ impl ParallelSession {
     /// `factory`. Any `Clone` backend (every optimizer in the workspace)
     /// is its own factory; pass the configured value directly.
     pub fn new(catalog: Catalog, factory: impl OrdererFactory + 'static) -> Self {
+        let factory: Arc<dyn OrdererFactory> = Arc::new(factory);
         ParallelSession {
             // Same defaults as the sequential session except the shard
             // count: workers contend on the cache, so it starts sharded.
             seq: PlanSession::new(catalog, factory.build()).with_cache_shards(DEFAULT_CACHE_SHARDS),
-            factory: Box::new(factory),
+            factory,
         }
     }
 
@@ -190,7 +165,7 @@ impl ParallelSession {
     }
 
     /// Disables (or re-enables) the plan cache; every query then reaches a
-    /// worker backend (in-batch deduplication is disabled too, matching
+    /// worker backend (in-flight deduplication is disabled too, matching
     /// the sequential session with caching off).
     pub fn with_caching(mut self, on: bool) -> Self {
         self.seq = self.seq.with_caching(on);
@@ -213,8 +188,8 @@ impl ParallelSession {
         self
     }
 
-    /// The shared handle to the plan cache (pass it to other sessions to
-    /// share solved structures).
+    /// The shared handle to the plan cache (pass it to other sessions or
+    /// services to share solved structures and the in-flight table).
     pub fn shared_cache(&self) -> Arc<ShardedPlanCache> {
         self.seq.shared_cache()
     }
@@ -252,38 +227,78 @@ impl ParallelSession {
     /// A *separate* sequential [`PlanSession`] with this session's
     /// configuration and shared cache — for callers that interleave
     /// single-query traffic (on another thread, say) with parallel
-    /// batches. Statistics accumulate per session; the cache and its
-    /// eviction accounting are shared.
+    /// batches. Statistics accumulate per session; the cache, its
+    /// in-flight table, and the eviction accounting are shared.
     pub fn sequential(&self) -> PlanSession {
-        PlanSession::new(self.seq.catalog.clone(), self.factory.build())
+        PlanSession::with_arc_catalog(Arc::clone(&self.seq.catalog), self.factory.build())
             .with_options(self.seq.options.clone())
             .with_fingerprint_options(self.seq.fingerprint_options)
             .with_caching(self.seq.caching)
             .with_shared_cache(self.seq.shared_cache())
     }
 
+    /// A long-running [`QueryService`] over this session's configuration
+    /// and shared cache, with `workers` worker threads — for callers
+    /// migrating from batch calls to continuous ingest (see the README's
+    /// migration notes). Solved structures and in-flight dedup are shared
+    /// with this session.
+    pub fn service(&self, workers: usize) -> QueryService {
+        QueryService::from_parts(
+            Arc::clone(&self.seq.catalog),
+            Arc::clone(&self.factory),
+            self.seq.options.clone(),
+            self.seq.fingerprint_options,
+            self.seq.caching,
+            self.seq.shared_cache(),
+            workers,
+        )
+    }
+
     /// Optimizes a batch of queries with `workers` threads (clamped to at
-    /// least 1 and at most the number of solve jobs). Results are returned
-    /// in input order and are identical to
+    /// least 1 and at most the number of submitted solve jobs). Results
+    /// are returned in input order and are identical to
     /// [`PlanSession::optimize_batch`] on the same stream — see the module
     /// docs for the exact guarantee.
+    ///
+    /// Implementation shape: a prepass pins the **first** in-batch
+    /// occurrence of each fingerprint as that structure's solver and
+    /// submits it (plus uncacheable/caching-off queries) to a transient
+    /// [`QueryService`]; later occurrences are resolved *after* the
+    /// service finishes, in input order, through the same claim protocol
+    /// (cache hit, or a facade-side re-solve when the leader failed). The
+    /// raw service surface does not pin leaders — whichever concurrent
+    /// duplicate claims first solves — so the prepass is what keeps the
+    /// per-index `cache_hit` flags and per-query outcomes bit-identical
+    /// to the sequential session regardless of worker scheduling.
     pub fn optimize_batch(
         &mut self,
         queries: &[Query],
         workers: usize,
     ) -> Vec<Result<SessionOutcome, OrderingError>> {
-        // ---- Phase 1: sequential prepass — validate, fingerprint, pick
-        // leaders (first in-batch occurrence of each structure).
+        /// Prepass verdict for one query.
+        enum Prep {
+            /// Failed validation; answered without touching a worker.
+            Invalid(OrderingError),
+            /// Submitted to the service (first occurrence of its
+            /// structure, uncacheable, or caching disabled): index into
+            /// the ticket vector.
+            Submitted(usize),
+            /// Later occurrence: resolved facade-side in input order from
+            /// the leader's cached structure.
+            Follower(Box<FingerprintedQuery>),
+        }
+
         let mut preps: Vec<Prep> = Vec::with_capacity(queries.len());
-        let mut leader_of: HashMap<crate::fingerprint::Fingerprint, usize> = HashMap::new();
-        for (i, query) in queries.iter().enumerate() {
-            self.seq.stats.queries += 1;
+        let mut to_submit: Vec<(Query, Option<Box<FingerprintedQuery>>)> = Vec::new();
+        let mut seen: HashSet<crate::fingerprint::Fingerprint> = HashSet::new();
+        for query in queries {
             if let Err(e) = query.validate(&self.seq.catalog) {
                 preps.push(Prep::Invalid(OrderingError::InvalidQuery(e.to_string())));
                 continue;
             }
             if !self.seq.caching {
-                preps.push(Prep::Solo);
+                preps.push(Prep::Submitted(to_submit.len()));
+                to_submit.push((query.clone(), None));
                 continue;
             }
             let fp = FingerprintedQuery::compute(
@@ -291,237 +306,75 @@ impl ParallelSession {
                 query,
                 &self.seq.fingerprint_options,
             );
-            if !fp.cacheable {
-                self.seq.stats.uncacheable += 1;
-                preps.push(Prep::Solo);
-                continue;
-            }
-            match leader_of.entry(fp.fingerprint.clone()) {
-                std::collections::hash_map::Entry::Vacant(slot) => {
-                    slot.insert(i);
-                    preps.push(Prep::Leader(Box::new(fp)));
-                }
-                std::collections::hash_map::Entry::Occupied(slot) => {
-                    preps.push(Prep::Follower {
-                        leader: *slot.get(),
-                        fp: Box::new(fp),
-                    });
-                }
+            if !fp.cacheable || seen.insert(fp.fingerprint.clone()) {
+                // Leaders (and uncacheable queries) carry their prepass
+                // fingerprint along so the worker does not recompute it.
+                preps.push(Prep::Submitted(to_submit.len()));
+                to_submit.push((query.clone(), Some(Box::new(fp))));
+            } else {
+                preps.push(Prep::Follower(Box::new(fp)));
             }
         }
 
-        // ---- Phase 2: worker pool over the solve jobs (leaders + solo).
-        let jobs: Vec<usize> = preps
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| matches!(p, Prep::Leader(_) | Prep::Solo))
-            .map(|(i, _)| i)
+        let workers = workers.clamp(1, to_submit.len().max(1));
+        let service = self.service(workers);
+        let tickets: Vec<_> = to_submit
+            .into_iter()
+            .map(|(query, prepared)| service.submit_prepared(query, prepared))
             .collect();
-        let mut job_of = vec![usize::MAX; queries.len()];
-        for (j, &qi) in jobs.iter().enumerate() {
-            job_of[qi] = j;
-        }
-        let slots: Vec<Mutex<Option<JobOutcome>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
-        let workers = workers.clamp(1, jobs.len().max(1));
-        if !jobs.is_empty() {
-            let next = AtomicUsize::new(0);
-            let next = &next;
-            let (catalog, options, cache) = (&self.seq.catalog, &self.seq.options, &self.seq.cache);
-            let (preps_ref, jobs_ref, slots_ref) = (&preps, &jobs, &slots);
-            let factory = &self.factory;
-            let worker_stats = std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        scope.spawn(move || {
-                            let backend = factory.build();
-                            let (model, params) = backend.cost_model();
-                            let mut local = SessionStats::default();
-                            loop {
-                                let j = next.fetch_add(1, Ordering::Relaxed);
-                                let Some(&qi) = jobs_ref.get(j) else { break };
-                                let query = &queries[qi];
-                                let fp = match &preps_ref[qi] {
-                                    Prep::Leader(fp) => Some(fp.as_ref()),
-                                    _ => None,
-                                };
-                                let outcome = Self::run_job(
-                                    catalog, query, fp, &*backend, model, &params, options, cache,
-                                    &mut local,
-                                );
-                                *slots_ref[j].lock().unwrap() = Some(outcome);
-                            }
-                            local
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker thread panicked"))
-                    .collect::<Vec<_>>()
-            });
-            for w in worker_stats {
-                self.seq.stats.cache_hits += w.cache_hits;
-                self.seq.stats.exact_hits += w.exact_hits;
-                self.seq.stats.backend_solves += w.backend_solves;
-                self.seq.stats.backend_errors += w.backend_errors;
-            }
-        }
+        let mut waited: Vec<Option<Result<SessionOutcome, OrderingError>>> =
+            tickets.iter().map(|t| Some(t.wait())).collect();
+        let service_stats = service.shutdown();
+        self.seq.stats.absorb(&service_stats);
 
-        // ---- Phase 3: sequential assembly in input order. Followers are
-        // instantiated from their leader's solved structure; followers of a
-        // *failed* leader are solved one by one (the sequential session's
-        // behavior for repeated misses of an uncached structure). Every
-        // fingerprinted query additionally re-stamps its cache entry's LRU
-        // recency here, in input order: the worker phase stamped entries in
-        // racy completion order, and without normalization a later batch
-        // could evict a different structure than the sequential session
-        // would (recency equivalence, like result equivalence, then holds
-        // whenever nothing is evicted mid-batch).
-        let (model, params) = self.seq.backend.cost_model();
-        let mut records: HashMap<usize, Arc<CachedPlan>> = HashMap::new();
+        // Assembly in input order. Followers run the claim protocol now —
+        // every leader has resolved, so they hit the cached structure (or
+        // re-solve facade-side when their leader failed, exactly like the
+        // sequential session re-missing an uncached structure). Walking in
+        // input order also normalizes LRU recency: follower claims touch
+        // their entries, and submitted queries are re-stamped explicitly
+        // (the workers stamped them in racy completion order; touching an
+        // absent — e.g. failed — entry is a no-op), so cross-batch
+        // eviction matches the sequential session.
         let mut results = Vec::with_capacity(queries.len());
         for (i, prep) in preps.into_iter().enumerate() {
             match prep {
-                Prep::Invalid(e) => results.push(Err(e)),
-                Prep::Solo => {
-                    let job = slots[job_of[i]]
-                        .lock()
-                        .unwrap()
-                        .take()
-                        .expect("every job slot is filled before the pool drains");
-                    results.push(job.result);
+                Prep::Invalid(e) => {
+                    self.seq.stats.queries += 1;
+                    results.push(Err(e));
                 }
-                Prep::Leader(fp) => {
-                    let job = slots[job_of[i]]
-                        .lock()
-                        .unwrap()
-                        .take()
-                        .expect("every job slot is filled before the pool drains");
-                    if let Some(record) = job.record {
-                        records.insert(i, record);
+                Prep::Submitted(j) => {
+                    if let Some(fp) = tickets[j].fingerprint() {
+                        self.seq.cache.touch(&fp);
                     }
-                    self.seq.cache.touch(&fp.fingerprint);
-                    results.push(job.result);
+                    results.push(waited[j].take().expect("each ticket consumed once"));
                 }
-                Prep::Follower { leader, fp } => {
-                    let start = Instant::now();
-                    self.seq.cache.touch(&fp.fingerprint);
-                    let hit = records.get(&leader).and_then(|record| {
-                        instantiate_cached(
-                            &self.seq.catalog,
-                            &queries[i],
-                            &fp,
-                            record.as_ref(),
-                            model,
-                            &params,
-                            start,
-                        )
-                    });
-                    match hit {
-                        Some(outcome) => {
-                            self.seq.stats.cache_hits += 1;
-                            if outcome.exact_hit {
-                                self.seq.stats.exact_hits += 1;
-                            }
-                            results.push(Ok(outcome));
-                        }
-                        None => {
-                            // Leader failed (or, debug-only, its plan did
-                            // not instantiate): run the sequential
-                            // session's own miss path — solve, count, and
-                            // cache on success — so the remaining
-                            // followers are served.
-                            match self.seq.solve(&queries[i], Some((*fp).clone())) {
-                                Ok(outcome) => {
-                                    records.insert(
-                                        leader,
-                                        Arc::new(record_for_cache(
-                                            &queries[i],
-                                            &fp,
-                                            &outcome.outcome,
-                                        )),
-                                    );
-                                    results.push(Ok(outcome));
-                                }
-                                Err(e) => results.push(Err(e)),
-                            }
-                        }
-                    }
+                Prep::Follower(fp) => {
+                    let ctx = EngineCtx {
+                        catalog: &self.seq.catalog,
+                        backend: &*self.seq.backend,
+                        options: &self.seq.options,
+                        fingerprint_options: &self.seq.fingerprint_options,
+                        caching: self.seq.caching,
+                        cache: &self.seq.cache,
+                    };
+                    results
+                        .push(process_prepared(&ctx, &queries[i], &fp, &mut self.seq.stats).result);
                 }
             }
         }
         results
     }
-
-    /// One worker job: serve a leader from the shared cache or solve it
-    /// (solo jobs always solve). Runs on a worker thread; touches the
-    /// shard lock only for the lookup and the insert, never across the
-    /// solve.
-    #[allow(clippy::too_many_arguments)]
-    fn run_job(
-        catalog: &Catalog,
-        query: &Query,
-        fp: Option<&FingerprintedQuery>,
-        backend: &dyn JoinOrderer,
-        model: crate::cost::CostModelKind,
-        params: &crate::cost::CostParams,
-        options: &OrderingOptions,
-        cache: &ShardedPlanCache,
-        local: &mut SessionStats,
-    ) -> JobOutcome {
-        if let Some(fp) = fp {
-            let start = Instant::now();
-            if let Some(cached) = cache.lookup(&fp.fingerprint) {
-                if let Some(hit) =
-                    instantiate_cached(catalog, query, fp, cached.as_ref(), model, params, start)
-                {
-                    local.cache_hits += 1;
-                    if hit.exact_hit {
-                        local.exact_hits += 1;
-                    }
-                    return JobOutcome {
-                        result: Ok(hit),
-                        record: Some(cached),
-                    };
-                }
-            }
-        }
-        local.backend_solves += 1;
-        match backend.order(catalog, query, options) {
-            Ok(outcome) => {
-                let record = fp.map(|fp| {
-                    let record = Arc::new(record_for_cache(query, fp, &outcome));
-                    cache.insert(fp.fingerprint.clone(), Arc::clone(&record));
-                    record
-                });
-                JobOutcome {
-                    result: Ok(SessionOutcome {
-                        outcome,
-                        cache_hit: false,
-                        exact_hit: false,
-                    }),
-                    record,
-                }
-            }
-            Err(e) => {
-                local.backend_errors += 1;
-                JobOutcome {
-                    result: Err(e),
-                    record: None,
-                }
-            }
-        }
-    }
 }
 
 #[cfg(test)]
 mod tests {
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicU64, Ordering};
     use std::time::Duration;
 
     use super::*;
     use crate::cost::{plan_cost, CostModelKind, CostParams};
-    use crate::orderer::{CostTrace, OrderingOutcome};
+    use crate::orderer::{CostTrace, JoinOrderer, OrderingOutcome};
     use crate::plan::LeftDeepPlan;
     use crate::query::Predicate;
 
@@ -636,6 +489,9 @@ mod tests {
             assert_eq!(stats.backend_solves, 5);
             assert_eq!(stats.cache_hits, 15);
             assert_eq!(stats.exact_hits, 15);
+            // Every solve of a cacheable structure registers as an
+            // in-flight leader.
+            assert_eq!(stats.inflight_leaders, 5);
             assert_eq!(session.cache_len(), 5);
         }
     }
@@ -710,9 +566,10 @@ mod tests {
             q.add_predicate(Predicate::binary(x, y, 0.5));
             q
         };
-        // Three copies of one failing structure: leader fails in the pool,
-        // each follower retries (and fails) sequentially — like the
-        // sequential session re-missing an uncached structure.
+        // Three copies of one failing structure: the in-flight leader
+        // fails, each blocked follower wakes and re-solves (and fails) in
+        // turn — like the sequential session re-missing an uncached
+        // structure.
         let queries = vec![make(1e7), make(1e7), make(1e7)];
         let backend = CountingBackend::failing_above(1e6);
         let counter = backend.clone();
@@ -756,10 +613,9 @@ mod tests {
 
     #[test]
     fn follower_hits_refresh_lru_recency_like_the_sequential_session() {
-        // Regression: followers are served from the in-memory leader
-        // record, so without the input-order recency normalization their
-        // cache entries kept insert-time stamps and a later batch evicted
-        // a *different* structure than the sequential session would.
+        // Regression: without the input-order recency normalization,
+        // follower hits keep completion-order stamps and a later batch
+        // could evict a *different* structure than the sequential session.
         // Scenario (capacity 2, one shard): batch [A, B, A, A] must leave
         // B as the LRU entry; inserting C then evicts B, and A must still
         // hit afterwards — on both session types.
@@ -821,5 +677,24 @@ mod tests {
         let mut seq = session.sequential();
         assert!(seq.optimize(&queries[0]).unwrap().cache_hit);
         assert_eq!(session.explain().backend_solves, 3);
+    }
+
+    #[test]
+    fn service_handle_shares_cache_with_the_batch_session() {
+        let mut catalog = Catalog::new();
+        let queries = stream(&mut catalog, 2, 1);
+        let mut session = ParallelSession::new(catalog, CountingBackend::new());
+        for r in session.optimize_batch(&queries, 2) {
+            assert!(!r.unwrap().cache_hit);
+        }
+        // A service projected from the session hits its solved structures.
+        let service = session.service(2);
+        let tickets = service.submit_many(queries.iter().cloned());
+        for t in &tickets {
+            assert!(t.wait().unwrap().cache_hit);
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.backend_solves, 0);
+        assert_eq!(stats.cache_hits, 2);
     }
 }

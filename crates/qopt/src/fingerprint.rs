@@ -44,6 +44,11 @@
 use crate::catalog::Catalog;
 use crate::query::Query;
 
+/// Default bound on the number of individualization branches explored when
+/// 1-WL refinement stabilizes with tied tables (see
+/// [`FingerprintOptions::individualization_budget`]).
+pub const DEFAULT_INDIVIDUALIZATION_BUDGET: usize = 64;
+
 /// Knobs of the fingerprint computation.
 #[derive(Debug, Clone, Copy)]
 pub struct FingerprintOptions {
@@ -52,23 +57,30 @@ pub struct FingerprintOptions {
     /// widths, corrections). `0.1` buckets values within ~26% of each
     /// other; smaller steps trade hit rate for fidelity.
     pub log10_step: f64,
+    /// Bound on the number of individualization branches explored when
+    /// 1-WL refinement stabilizes with tied tables (true symmetries). Each
+    /// branch promotes one tied member and re-refines; the
+    /// lexicographically smallest completed fingerprint wins. Symmetric
+    /// structures seen in practice (cycles, cliques, twin leaves of a
+    /// star) resolve within a handful of branches; the budget caps
+    /// adversarial symmetry groups, past which the remaining ties fall
+    /// back to input order — a potential cache miss, never an unsound hit.
+    /// Exhaustion is reported via
+    /// [`FingerprintedQuery::budget_exhausted`] (and surfaced by the
+    /// session layer as the `fingerprint_fallbacks` counter). `0` disables
+    /// individualization entirely (input-order tie-breaks for every
+    /// symmetric class).
+    pub individualization_budget: usize,
 }
 
 impl Default for FingerprintOptions {
     fn default() -> Self {
-        FingerprintOptions { log10_step: 0.1 }
+        FingerprintOptions {
+            log10_step: 0.1,
+            individualization_budget: DEFAULT_INDIVIDUALIZATION_BUDGET,
+        }
     }
 }
-
-/// Bound on the number of individualization branches explored when 1-WL
-/// refinement stabilizes with tied tables (true symmetries). Each branch
-/// promotes one tied member and re-refines; the lexicographically smallest
-/// completed fingerprint wins. Symmetric structures seen in practice
-/// (cycles, cliques, twin leaves of a star) resolve within a handful of
-/// branches; the budget caps adversarial symmetry groups, past which the
-/// remaining ties fall back to input order (a potential cache miss, never
-/// an unsound hit).
-const INDIVIDUALIZATION_BUDGET: usize = 64;
 
 /// Quantizes a positive statistic onto the log10 grid. Non-positive values
 /// (an unset evaluation cost) map to a sentinel bucket of their own.
@@ -188,6 +200,14 @@ pub struct FingerprintedQuery {
     /// well-formed query is currently cacheable; the flag remains for
     /// future query classes the fingerprint cannot express.
     pub cacheable: bool,
+    /// Whether the individualization budget
+    /// ([`FingerprintOptions::individualization_budget`]) ran out with
+    /// symmetric ties still unresolved, so some ties fell back to the
+    /// input-order tie-break. The fingerprint is still sound (a wrong hit
+    /// is impossible) but may be listing-order-sensitive: two isomorphic
+    /// queries can miss each other. Sessions count these as
+    /// `fingerprint_fallbacks`.
+    pub budget_exhausted: bool,
 }
 
 /// Order-invariant per-query data shared by the ranking, refinement, and
@@ -333,7 +353,8 @@ impl FingerprintedQuery {
         // fixpoint, then individualization across any remaining symmetric
         // ties (see `canonicalize`).
         let rank = rank_by_key(n, |pos| (&ctx.keys[pos], &profiles[pos]));
-        let (fingerprint, exact, from_canonical) = canonicalize(&ctx, rank);
+        let (fingerprint, exact, from_canonical, budget_exhausted) =
+            canonicalize(&ctx, rank, options.individualization_budget);
         let mut to_canonical = vec![0usize; n];
         for (canon, &pos) in from_canonical.iter().enumerate() {
             to_canonical[pos] = canon;
@@ -345,6 +366,7 @@ impl FingerprintedQuery {
             to_canonical,
             from_canonical,
             cacheable: true,
+            budget_exhausted,
         }
     }
 }
@@ -401,23 +423,29 @@ fn refine_to_fixpoint(ctx: &FingerprintCtx, mut rank: Vec<usize>) -> Vec<usize> 
 /// fixpoint; if symmetric ties remain, branch — individualize each member
 /// of the first tied class in turn, re-refine, recurse — and keep the
 /// lexicographically smallest completed fingerprint. The branch count is
-/// bounded by [`INDIVIDUALIZATION_BUDGET`]; an exhausted budget completes
-/// the current branch with the input-order tie-break (deterministic, and
-/// sound — merely possibly listing-order-sensitive).
+/// bounded by [`FingerprintOptions::individualization_budget`]; an
+/// exhausted budget completes the current branch with the input-order
+/// tie-break (deterministic, and sound — merely possibly
+/// listing-order-sensitive) and is reported in the returned flag.
 fn canonicalize(
     ctx: &FingerprintCtx,
     initial: Vec<usize>,
-) -> (Fingerprint, ExactStats, Vec<usize>) {
-    let mut budget = INDIVIDUALIZATION_BUDGET;
+    budget: usize,
+) -> (Fingerprint, ExactStats, Vec<usize>, bool) {
+    let mut budget = budget;
+    let mut exhausted = false;
     let mut best: Option<(Fingerprint, ExactStats, Vec<usize>)> = None;
-    search(ctx, initial, &mut budget, &mut best);
-    best.expect("at least one completion is always explored")
+    search(ctx, initial, &mut budget, &mut exhausted, &mut best);
+    let (fingerprint, exact, from_canonical) =
+        best.expect("at least one completion is always explored");
+    (fingerprint, exact, from_canonical, exhausted)
 }
 
 fn search(
     ctx: &FingerprintCtx,
     rank: Vec<usize>,
     budget: &mut usize,
+    exhausted: &mut bool,
     best: &mut Option<(Fingerprint, ExactStats, Vec<usize>)>,
 ) {
     let rank = refine_to_fixpoint(ctx, rank);
@@ -439,7 +467,7 @@ fn search(
                 // Individualize m: it becomes the smallest member of its
                 // class; refinement then propagates the distinction.
                 let individualized = rank_by_key(ctx.n, |pos| (rank[pos], pos != m));
-                search(ctx, individualized, budget, best);
+                search(ctx, individualized, budget, exhausted, best);
             }
             if !truncated {
                 return; // every member explored; children completed.
@@ -448,7 +476,8 @@ fn search(
         // Budget exhausted (before or during this class): fall back to the
         // input-order tie-break so this refinement still contributes a
         // candidate — deterministic and sound, merely possibly sensitive to
-        // the listing order.
+        // the listing order. Recorded so sessions can count the fallback.
+        *exhausted = true;
     }
     complete(ctx, &rank, best);
 }
@@ -810,6 +839,53 @@ mod tests {
             f1.fingerprint,
             FingerprintedQuery::compute(&c, &q3, &opts).fingerprint
         );
+    }
+
+    #[test]
+    fn individualization_budget_is_configurable_and_reports_exhaustion() {
+        let mut c = Catalog::new();
+        let opts = FingerprintOptions::default();
+        // The alternating 6-cycle needs individualization: all six tables
+        // stay tied after 1-WL. With the default budget the search
+        // completes (no exhaustion) and matches under rotation.
+        let q0 = alternating_cycle(&mut c, 0, false);
+        let full = FingerprintedQuery::compute(&c, &q0, &opts);
+        assert!(!full.budget_exhausted);
+
+        // Budget 0 disables individualization: the tie falls back to the
+        // input-order tie-break and the fallback is reported.
+        let zero = FingerprintOptions {
+            individualization_budget: 0,
+            ..opts
+        };
+        let f0 = FingerprintedQuery::compute(&c, &q0, &zero);
+        assert!(f0.budget_exhausted);
+        // Sound but listing-order-sensitive: the same listing still maps
+        // to the same fingerprint deterministically.
+        assert_eq!(
+            f0.fingerprint,
+            FingerprintedQuery::compute(&c, &q0, &zero).fingerprint
+        );
+
+        // A partially-consumed budget (smaller than the symmetry group
+        // needs) also reports exhaustion.
+        let tiny = FingerprintOptions {
+            individualization_budget: 2,
+            ..opts
+        };
+        assert!(FingerprintedQuery::compute(&c, &q0, &tiny).budget_exhausted);
+
+        // Asymmetric queries never consume the budget.
+        let chain = {
+            let a = c.add_table("ba", 10.0);
+            let b = c.add_table("bb", 500.0);
+            let d = c.add_table("bd", 2000.0);
+            let mut q = Query::new(vec![a, b, d]);
+            q.add_predicate(Predicate::binary(a, b, 0.1));
+            q.add_predicate(Predicate::binary(b, d, 0.3));
+            q
+        };
+        assert!(!FingerprintedQuery::compute(&c, &chain, &zero).budget_exhausted);
     }
 
     #[test]

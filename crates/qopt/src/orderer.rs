@@ -184,12 +184,30 @@ impl CostTrace {
 #[derive(Debug, Clone, Default)]
 pub struct OrderingOptions {
     /// Wall-clock budget for the whole optimization.
+    ///
+    /// **Caveat under CPU oversubscription:** a wall-clock budget that
+    /// binds measures machine load, not work done — on a host running more
+    /// solver threads than cores, the same solve terminates earlier (with
+    /// a weaker incumbent or bound) than it would alone. Use
+    /// [`Self::deterministic_budget`] where result identity under load
+    /// matters.
     pub time_limit: Option<Duration>,
     /// Stop once the backend proves its objective within this relative gap
     /// of optimal (bounding backends only).
     pub relative_gap: f64,
     /// Branch-and-bound node budget (search backends only).
     pub node_limit: Option<u64>,
+    /// Deterministic per-solve budget, metered in branch-and-bound nodes
+    /// instead of wall-clock time. Unlike [`Self::time_limit`], node
+    /// metering is invariant under CPU contention: the same query, backend
+    /// configuration and seed stop at the same search-tree state whether
+    /// one solve runs or sixteen — so budget-limited outcomes are
+    /// identical at any worker count. Effectively the tighter of this and
+    /// [`Self::node_limit`] applies; exhaustion before any plan is found
+    /// classifies as [`OrderingError::ResourceLimit`], never
+    /// [`OrderingError::Timeout`]. Backends without a node-metered search
+    /// (greedy, DP) ignore it.
+    pub deterministic_budget: Option<u64>,
     /// Random seed (tie-breaking; every backend is deterministic per seed).
     pub seed: u64,
 }
@@ -200,6 +218,23 @@ impl OrderingOptions {
             time_limit: Some(limit),
             ..Default::default()
         }
+    }
+
+    /// Options with only a deterministic node budget (see
+    /// [`Self::deterministic_budget`]): results are identical under any
+    /// CPU load, at the price of a solve time that varies with the
+    /// hardware instead of a deadline that varies the result.
+    pub fn with_deterministic_budget(nodes: u64) -> Self {
+        OrderingOptions {
+            deterministic_budget: Some(nodes),
+            ..Default::default()
+        }
+    }
+
+    /// Builder-style setter for [`Self::deterministic_budget`].
+    pub fn deterministic_budget(mut self, nodes: u64) -> Self {
+        self.deterministic_budget = Some(nodes);
+        self
     }
 }
 

@@ -1,0 +1,895 @@
+//! [`QueryService`]: the continuous-ingest optimization service.
+//!
+//! The batch-shaped surfaces ([`crate::session::PlanSession`],
+//! [`crate::executor::ParallelSession`]) answer a *slice* of queries and
+//! return; production traffic does not arrive in slices. A `QueryService`
+//! is the same optimization stack re-shaped for serving — which is where
+//! the paper's anytime MILP formulation pays off in the first place (and
+//! the argument the hybrid-MILP follow-up, Schönberger & Trummer 2025,
+//! makes explicitly): a long-running process accepts queries **from any
+//! thread at any time**, solves them on a pool of worker threads, and
+//! resolves each submission through a [`PlanTicket`]:
+//!
+//! * [`QueryService::submit`] enqueues one query and returns immediately;
+//!   [`QueryService::submit_many`] enqueues a stream;
+//! * [`PlanTicket::wait`] blocks for the outcome; [`PlanTicket::try_get`]
+//!   polls it;
+//! * [`QueryService::drain`] blocks until everything submitted so far has
+//!   resolved; [`QueryService::shutdown`] drains the queue, stops the
+//!   workers, and returns the final statistics. Submissions after
+//!   shutdown resolve immediately with an error — a ticket can never get
+//!   stuck.
+//!
+//! ## Cross-batch in-flight deduplication
+//!
+//! Batch executors can deduplicate a batch by prepass, but a continuous
+//! stream has no batch boundary to prepass over. The service instead
+//! relies on the **in-flight table** inside [`ShardedPlanCache`]: one
+//! condvar-backed slot per fingerprint currently being solved
+//! ([`ShardedPlanCache::claim`]). The first worker to miss a structure
+//! becomes its *leader* and solves; every concurrent duplicate — from any
+//! worker, any submitter thread, any session sharing the cache handle —
+//! *blocks on the leader's slot* and instantiates its published record.
+//! Concurrent identical submissions therefore trigger **exactly one
+//! backend solve**, and every follower's outcome goes through the same
+//! `instantiate_cached` path a sequential cache hit uses, so every
+//! ticket's plan, exact cost, and certificates are bit-identical to a
+//! sequential [`crate::session::PlanSession`] fed the same stream. One
+//! honest nuance of continuous ingest: *which* concurrent duplicate
+//! carries the miss (`cache_hit: false`) is decided by the claim race,
+//! not by submission order — exactly one per structure, but
+//! scheduling-dependent (a single-worker service processes FIFO and is
+//! fully deterministic; the batch facade
+//! [`crate::executor::ParallelSession`] pins the miss to the first
+//! in-batch occurrence by prepass). If a leader fails, followers wake
+//! empty-handed and re-enter the claim protocol — reproducing the
+//! sequential session's per-occurrence retry of an uncached structure.
+//!
+//! ## Determinism under load
+//!
+//! Thread scheduling cannot change any returned value: solves are
+//! deterministic per backend configuration and seed, and followers derive
+//! from the leader's record. The one caveat is a *binding wall-clock
+//! budget*, which measures CPU contention; set
+//! [`crate::orderer::OrderingOptions::deterministic_budget`] (node-metered)
+//! instead and budget-limited outcomes are identical at any worker count.
+//! LRU recency, by contrast, is stamped in completion order — under
+//! capacity pressure the *eviction* order (hence later hit patterns) can
+//! vary across runs, exactly as documented for the parallel executor.
+//!
+//! ```
+//! use milpjoin_qopt::cost::{plan_cost, CostModelKind, CostParams};
+//! use milpjoin_qopt::orderer::*;
+//! use milpjoin_qopt::service::QueryService;
+//! use milpjoin_qopt::{Catalog, LeftDeepPlan, Predicate, Query};
+//! use std::time::Duration;
+//!
+//! #[derive(Clone)]
+//! struct Sorter;
+//! impl JoinOrderer for Sorter {
+//!     fn name(&self) -> &'static str { "sorter" }
+//!     fn cost_model(&self) -> (CostModelKind, CostParams) {
+//!         (CostModelKind::Cout, CostParams::default())
+//!     }
+//!     fn order(&self, catalog: &Catalog, query: &Query, _o: &OrderingOptions)
+//!         -> Result<OrderingOutcome, OrderingError> {
+//!         let mut order = query.tables.clone();
+//!         order.sort_by(|&a, &b| catalog.cardinality(a).total_cmp(&catalog.cardinality(b)));
+//!         let plan = LeftDeepPlan::from_order(order);
+//!         let cost = plan_cost(catalog, query, &plan, CostModelKind::Cout,
+//!                              &CostParams::default()).total;
+//!         Ok(OrderingOutcome { plan, cost, objective: cost, bound: None,
+//!             proven_optimal: false, trace: CostTrace::default(),
+//!             elapsed: Duration::ZERO })
+//!     }
+//! }
+//!
+//! let mut catalog = Catalog::new();
+//! let r = catalog.add_table("R", 10.0);
+//! let s = catalog.add_table("S", 1000.0);
+//! let mut query = Query::new(vec![r, s]);
+//! query.add_predicate(Predicate::binary(r, s, 0.1));
+//!
+//! let service = QueryService::new(catalog, Sorter).with_workers(2);
+//! let tickets = service.submit_many(vec![query.clone(), query]);
+//! let first = tickets[0].wait().unwrap();
+//! let second = tickets[1].wait().unwrap();
+//! // Identical concurrent submissions share one backend solve.
+//! assert!(first.cache_hit != second.cache_hit || first.cache_hit);
+//! let stats = service.shutdown();
+//! assert_eq!(stats.backend_solves, 1);
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::cache::ShardedPlanCache;
+use crate::catalog::Catalog;
+use crate::executor::DEFAULT_CACHE_SHARDS;
+use crate::fingerprint::{Fingerprint, FingerprintOptions, FingerprintedQuery};
+use crate::orderer::{JoinOrderer, OrdererFactory, OrderingError, OrderingOptions};
+use crate::query::Query;
+use crate::session::{
+    process_prepared, process_query, EngineCtx, Processed, SessionOutcome, SessionStats,
+    DEFAULT_CACHE_CAPACITY,
+};
+
+/// Resolution state of one submission. (The variant size difference is
+/// deliberate: `Pending` is transient and per-ticket, `Done` holds the
+/// full outcome exactly once.)
+#[allow(clippy::large_enum_variant)]
+enum TicketState {
+    Pending,
+    Done {
+        result: Result<SessionOutcome, OrderingError>,
+        /// The query's fingerprint when one was computed (caching on and
+        /// the query fingerprintable) — lets batch facades re-stamp LRU
+        /// recency in input order without re-fingerprinting.
+        fingerprint: Option<Fingerprint>,
+    },
+}
+
+struct TicketShared {
+    state: Mutex<TicketState>,
+    cv: Condvar,
+}
+
+fn resolve_ticket(
+    ticket: &TicketShared,
+    result: Result<SessionOutcome, OrderingError>,
+    fingerprint: Option<Fingerprint>,
+) {
+    let mut state = ticket.state.lock().unwrap();
+    // First resolution wins (the panic-path guard may race a regular
+    // resolve only if a backend panicked *after* resolving — impossible —
+    // so this is belt-and-braces).
+    if matches!(*state, TicketState::Pending) {
+        *state = TicketState::Done {
+            result,
+            fingerprint,
+        };
+        ticket.cv.notify_all();
+    }
+}
+
+/// A claim on one submitted query's outcome (returned by
+/// [`QueryService::submit`]).
+///
+/// Tickets are independent of the service's lifetime: they resolve when a
+/// worker answers the query (or immediately with an error if the service
+/// was already shut down), and remain readable afterwards — [`Self::wait`]
+/// and [`Self::try_get`] can be called any number of times, from any
+/// thread.
+pub struct PlanTicket {
+    shared: Arc<TicketShared>,
+}
+
+impl PlanTicket {
+    /// Blocks until the submission resolves and returns its outcome.
+    pub fn wait(&self) -> Result<SessionOutcome, OrderingError> {
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            match &*state {
+                TicketState::Done { result, .. } => return result.clone(),
+                TicketState::Pending => state = self.shared.cv.wait(state).unwrap(),
+            }
+        }
+    }
+
+    /// Non-blocking poll: `None` while the query is still queued or being
+    /// solved.
+    pub fn try_get(&self) -> Option<Result<SessionOutcome, OrderingError>> {
+        match &*self.shared.state.lock().unwrap() {
+            TicketState::Done { result, .. } => Some(result.clone()),
+            TicketState::Pending => None,
+        }
+    }
+
+    /// Whether the submission has resolved.
+    pub fn is_done(&self) -> bool {
+        matches!(*self.shared.state.lock().unwrap(), TicketState::Done { .. })
+    }
+
+    /// The resolved query's fingerprint, if one was computed. `None` while
+    /// pending, and for uncacheable / caching-disabled / invalid queries.
+    pub(crate) fn fingerprint(&self) -> Option<Fingerprint> {
+        match &*self.shared.state.lock().unwrap() {
+            TicketState::Done { fingerprint, .. } => fingerprint.clone(),
+            TicketState::Pending => None,
+        }
+    }
+}
+
+/// One queued submission.
+struct Job {
+    query: Query,
+    /// Prepass fingerprint from the batch facade's prepared-submit path
+    /// (the query is already validated and `caching` is on). `None` for
+    /// public submissions: the worker runs the full engine.
+    prepared: Option<Box<FingerprintedQuery>>,
+    ticket: Arc<TicketShared>,
+}
+
+/// The ingest queue plus lifecycle counters, under one lock.
+struct ServiceState {
+    queue: VecDeque<Job>,
+    submitted: u64,
+    resolved: u64,
+    shutdown: bool,
+}
+
+/// Everything the worker threads share.
+struct ServiceShared {
+    catalog: Arc<Catalog>,
+    factory: Arc<dyn OrdererFactory>,
+    options: OrderingOptions,
+    fingerprint_options: FingerprintOptions,
+    caching: bool,
+    cache: Arc<ShardedPlanCache>,
+    /// Worker-pool size (applied when the pool lazily spawns on first
+    /// submit).
+    workers: usize,
+    state: Mutex<ServiceState>,
+    /// Workers sleep here while the queue is empty.
+    work_cv: Condvar,
+    /// `drain()` sleeps here until `resolved == submitted`.
+    idle_cv: Condvar,
+    stats: Mutex<SessionStats>,
+}
+
+fn mark_resolved(shared: &ServiceShared) {
+    let mut state = shared.state.lock().unwrap();
+    state.resolved += 1;
+    if state.resolved == state.submitted {
+        shared.idle_cv.notify_all();
+    }
+}
+
+/// A long-running, continuously-ingesting optimization service (see the
+/// module docs). `Send + Sync`: share it between submitter threads with an
+/// [`Arc`] (or scoped borrows) and call [`Self::submit`] from any of them.
+///
+/// Configuration is builder-style and must complete **before the first
+/// submission** (builders panic afterwards): one config surface — options,
+/// fingerprinting, caching, cache handle, worker count — mirroring
+/// [`crate::session::PlanSession`].
+pub struct QueryService {
+    shared: Arc<ServiceShared>,
+    /// One probe instance for metadata queries (`backend_name`).
+    probe: Box<dyn JoinOrderer>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl QueryService {
+    /// A service over `catalog` with worker backends built by `factory`
+    /// (any `Clone` backend is its own factory). Defaults: worker count =
+    /// available parallelism, a [`DEFAULT_CACHE_SHARDS`]-way shared cache
+    /// of [`DEFAULT_CACHE_CAPACITY`] structures, default options.
+    pub fn new(catalog: Catalog, factory: impl OrdererFactory + 'static) -> Self {
+        Self::from_parts(
+            Arc::new(catalog),
+            Arc::new(factory),
+            OrderingOptions::default(),
+            FingerprintOptions::default(),
+            true,
+            Arc::new(ShardedPlanCache::new(
+                DEFAULT_CACHE_CAPACITY,
+                DEFAULT_CACHE_SHARDS,
+            )),
+            default_workers(),
+        )
+    }
+
+    /// Crate-internal constructor over pre-shared parts (the batch facades
+    /// hand in their own catalog/factory/cache handles).
+    pub(crate) fn from_parts(
+        catalog: Arc<Catalog>,
+        factory: Arc<dyn OrdererFactory>,
+        options: OrderingOptions,
+        fingerprint_options: FingerprintOptions,
+        caching: bool,
+        cache: Arc<ShardedPlanCache>,
+        workers: usize,
+    ) -> Self {
+        let probe = factory.build();
+        QueryService {
+            shared: Arc::new(ServiceShared {
+                catalog,
+                factory,
+                options,
+                fingerprint_options,
+                caching,
+                cache,
+                workers: workers.max(1),
+                state: Mutex::new(ServiceState {
+                    queue: VecDeque::new(),
+                    submitted: 0,
+                    resolved: 0,
+                    shutdown: false,
+                }),
+                work_cv: Condvar::new(),
+                idle_cv: Condvar::new(),
+                stats: Mutex::new(SessionStats::default()),
+            }),
+            probe,
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Exclusive access to the shared configuration; panics once tickets
+    /// or workers exist (configure before submitting).
+    fn config_mut(&mut self) -> &mut ServiceShared {
+        Arc::get_mut(&mut self.shared)
+            .expect("QueryService must be configured before the first submission")
+    }
+
+    /// Builder-style setter for the worker-pool size (clamped to at least
+    /// 1; the pool spawns on the first submission).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.config_mut().workers = workers.max(1);
+        self
+    }
+
+    /// Builder-style setter for the per-query runtime limits. For
+    /// result-identity under load prefer
+    /// [`OrderingOptions::deterministic_budget`] over a binding wall-clock
+    /// `time_limit` (see the module docs).
+    pub fn with_options(mut self, options: OrderingOptions) -> Self {
+        self.config_mut().options = options;
+        self
+    }
+
+    /// Builder-style setter for the fingerprint quantization and
+    /// individualization budget.
+    pub fn with_fingerprint_options(mut self, options: FingerprintOptions) -> Self {
+        self.config_mut().fingerprint_options = options;
+        self
+    }
+
+    /// Disables (or re-enables) the plan cache — which also disables
+    /// in-flight dedup: every submission then runs its own backend solve,
+    /// matching the sequential session with caching off.
+    pub fn with_caching(mut self, on: bool) -> Self {
+        self.config_mut().caching = on;
+        self
+    }
+
+    /// Builder-style setter for the total plan-cache capacity (split
+    /// across the shards).
+    pub fn with_cache_capacity(self, capacity: usize) -> Self {
+        self.shared.cache.set_capacity(capacity);
+        self
+    }
+
+    /// Builder-style setter for the cache shard count. **Rebuilds the
+    /// cache**: cached structures are dropped.
+    pub fn with_cache_shards(mut self, shards: usize) -> Self {
+        let capacity = self.shared.cache.capacity();
+        self.config_mut().cache = Arc::new(ShardedPlanCache::new(capacity, shards));
+        self
+    }
+
+    /// Builder-style setter replacing the cache with an existing shared
+    /// one — sessions and services sharing a handle share solved
+    /// structures *and* the in-flight table (cross-session dedup).
+    pub fn with_shared_cache(mut self, cache: Arc<ShardedPlanCache>) -> Self {
+        self.config_mut().cache = cache;
+        self
+    }
+
+    /// The shared handle to the plan cache.
+    pub fn shared_cache(&self) -> Arc<ShardedPlanCache> {
+        Arc::clone(&self.shared.cache)
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.shared.catalog
+    }
+
+    /// The underlying backend's name (`"milp"`, `"hybrid"`, ...).
+    pub fn backend_name(&self) -> &'static str {
+        self.probe.name()
+    }
+
+    /// Configured worker-pool size.
+    pub fn workers(&self) -> usize {
+        self.shared.workers
+    }
+
+    /// Number of distinct solved structures currently cached.
+    pub fn cache_len(&self) -> usize {
+        self.shared.cache.len()
+    }
+
+    /// Submissions not yet resolved (queued or in flight).
+    pub fn pending(&self) -> u64 {
+        let state = self.shared.state.lock().unwrap();
+        state.submitted - state.resolved
+    }
+
+    /// Aggregate statistics across all workers so far (same shape and
+    /// accounting as [`crate::session::PlanSession::explain`], plus the
+    /// in-flight dedup counters).
+    pub fn explain(&self) -> SessionStats {
+        SessionStats {
+            evictions: self.shared.cache.evictions(),
+            ..self.shared.stats.lock().unwrap().clone()
+        }
+    }
+
+    /// Enqueues one query; the returned ticket resolves when a worker
+    /// answers it. Callable from any thread at any time. After
+    /// [`Self::shutdown`] the ticket resolves immediately with an
+    /// [`OrderingError::InvalidConfig`] — never left pending.
+    pub fn submit(&self, query: Query) -> PlanTicket {
+        self.submit_prepared(query, None)
+    }
+
+    /// Enqueues a query with an optional prepass fingerprint (the batch
+    /// facade already validated and fingerprinted it — the worker then
+    /// skips both). Crate-internal: a caller-supplied fingerprint must
+    /// match the query and this service's catalog/fingerprint options.
+    pub(crate) fn submit_prepared(
+        &self,
+        query: Query,
+        prepared: Option<Box<FingerprintedQuery>>,
+    ) -> PlanTicket {
+        let ticket = Arc::new(TicketShared {
+            state: Mutex::new(TicketState::Pending),
+            cv: Condvar::new(),
+        });
+        let accepted = {
+            let mut state = self.shared.state.lock().unwrap();
+            if state.shutdown {
+                false
+            } else {
+                state.submitted += 1;
+                state.queue.push_back(Job {
+                    query,
+                    prepared,
+                    ticket: Arc::clone(&ticket),
+                });
+                self.shared.work_cv.notify_one();
+                true
+            }
+        };
+        if accepted {
+            self.ensure_workers();
+        } else {
+            resolve_ticket(
+                &ticket,
+                Err(OrderingError::InvalidConfig(
+                    "query service is shut down".into(),
+                )),
+                None,
+            );
+        }
+        PlanTicket { shared: ticket }
+    }
+
+    /// Enqueues a stream of queries, returning one ticket per query in
+    /// order.
+    pub fn submit_many<I>(&self, queries: I) -> Vec<PlanTicket>
+    where
+        I: IntoIterator<Item = Query>,
+    {
+        queries.into_iter().map(|q| self.submit(q)).collect()
+    }
+
+    /// Blocks until the service is **idle**: every accepted submission —
+    /// including ones other threads race in while this call sleeps — has
+    /// resolved. Under truly continuous ingress this is a quiescent
+    /// point, not a per-submission barrier; to wait for specific work,
+    /// wait on its tickets.
+    pub fn drain(&self) {
+        let mut state = self.shared.state.lock().unwrap();
+        while state.resolved < state.submitted {
+            state = self.shared.idle_cv.wait(state).unwrap();
+        }
+    }
+
+    /// Drains the queue (workers finish every already-accepted
+    /// submission), stops the worker pool, and returns the final
+    /// statistics. Subsequent submissions resolve immediately with an
+    /// error; tickets already handed out remain readable.
+    pub fn shutdown(self) -> SessionStats {
+        self.shutdown_impl();
+        self.explain()
+    }
+
+    fn shutdown_impl(&self) {
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            state.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        let handles: Vec<_> = self.handles.lock().unwrap().drain(..).collect();
+        for handle in handles {
+            // A worker that panicked already resolved its ticket through
+            // the job guard; surface nothing here.
+            let _ = handle.join();
+        }
+    }
+
+    /// Spawns the worker pool on first use (so builder configuration can
+    /// finish before any thread observes it).
+    fn ensure_workers(&self) {
+        let mut handles = self.handles.lock().unwrap();
+        if !handles.is_empty() {
+            return;
+        }
+        for _ in 0..self.shared.workers {
+            let shared = Arc::clone(&self.shared);
+            handles.push(std::thread::spawn(move || worker_loop(shared)));
+        }
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+/// Default worker-pool size: the machine's available parallelism (the
+/// solver is single-threaded per query, so one worker per core saturates
+/// the hardware without oversubscribing it).
+fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn worker_loop(shared: Arc<ServiceShared>) {
+    // Each worker owns its backend instance: solves never contend on
+    // shared solver state, only on the cache's shard locks.
+    let backend = shared.factory.build();
+    loop {
+        let job = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    break Some(job);
+                }
+                if state.shutdown {
+                    break None;
+                }
+                state = shared.work_cv.wait(state).unwrap();
+            }
+        };
+        let Some(Job {
+            query,
+            prepared,
+            ticket,
+        }) = job
+        else {
+            return;
+        };
+        let mut local = SessionStats::default();
+        // A panicking backend must neither stick the ticket nor kill the
+        // worker (a shrinking pool would eventually hang the queue): catch
+        // the unwind, resolve the ticket with an error, keep the partial
+        // per-job statistics, and move on to the next job. The engine's
+        // own cleanup is unwind-safe — the in-flight guard abandons its
+        // slot on the panic path, waking any blocked followers — and the
+        // `AssertUnwindSafe` is sound because `local` is only read after
+        // the catch and the shared cache guards itself with locks.
+        let processed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let ctx = EngineCtx {
+                catalog: &shared.catalog,
+                backend: &*backend,
+                options: &shared.options,
+                fingerprint_options: &shared.fingerprint_options,
+                caching: shared.caching,
+                cache: &shared.cache,
+            };
+            match &prepared {
+                // Prepared path: validation and fingerprinting already
+                // happened in the submitter's prepass.
+                Some(fp) => process_prepared(&ctx, &query, fp, &mut local),
+                None => process_query(&ctx, &query, &mut local),
+            }
+        }));
+        match processed {
+            Ok(Processed {
+                result,
+                fingerprint,
+            }) => resolve_ticket(&ticket, result, fingerprint),
+            Err(_panic) => resolve_ticket(
+                &ticket,
+                Err(OrderingError::Backend(
+                    "worker panicked while solving".into(),
+                )),
+                None,
+            ),
+        }
+        shared.stats.lock().unwrap().absorb(&local);
+        mark_resolved(&shared);
+    }
+}
+
+// The service exists to be shared across submitter threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<QueryService>();
+    assert_send_sync::<PlanTicket>();
+};
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Duration;
+
+    use super::*;
+    use crate::cost::{plan_cost, CostModelKind, CostParams};
+    use crate::orderer::{CostTrace, OrderingOutcome};
+    use crate::plan::LeftDeepPlan;
+    use crate::query::Predicate;
+
+    /// Deterministic smallest-first toy backend with a shared call
+    /// counter and an optional artificial solve latency (to hold leaders
+    /// in flight long enough for followers to block).
+    #[derive(Clone)]
+    struct CountingBackend {
+        calls: Arc<AtomicU64>,
+        delay: Duration,
+        fail: bool,
+    }
+
+    impl CountingBackend {
+        fn new() -> Self {
+            CountingBackend {
+                calls: Arc::new(AtomicU64::new(0)),
+                delay: Duration::ZERO,
+                fail: false,
+            }
+        }
+
+        fn slow(delay: Duration) -> Self {
+            CountingBackend {
+                delay,
+                ..Self::new()
+            }
+        }
+
+        fn calls(&self) -> u64 {
+            self.calls.load(Ordering::Relaxed)
+        }
+    }
+
+    impl JoinOrderer for CountingBackend {
+        fn name(&self) -> &'static str {
+            "counting"
+        }
+
+        fn cost_model(&self) -> (CostModelKind, CostParams) {
+            (CostModelKind::Cout, CostParams::default())
+        }
+
+        fn order(
+            &self,
+            catalog: &Catalog,
+            query: &Query,
+            _options: &OrderingOptions,
+        ) -> Result<OrderingOutcome, OrderingError> {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            if !self.delay.is_zero() {
+                std::thread::sleep(self.delay);
+            }
+            if self.fail {
+                return Err(OrderingError::Backend("injected failure".into()));
+            }
+            let mut order = query.tables.clone();
+            order.sort_by(|&a, &b| catalog.cardinality(a).total_cmp(&catalog.cardinality(b)));
+            let plan = LeftDeepPlan::from_order(order);
+            let cost = plan_cost(
+                catalog,
+                query,
+                &plan,
+                CostModelKind::Cout,
+                &CostParams::default(),
+            )
+            .total;
+            Ok(OrderingOutcome {
+                plan,
+                cost,
+                objective: cost,
+                bound: Some(cost),
+                proven_optimal: true,
+                trace: CostTrace::single(Duration::ZERO, cost, Some(cost)),
+                elapsed: Duration::ZERO,
+            })
+        }
+    }
+
+    fn chain(catalog: &mut Catalog, scale: f64) -> Query {
+        let ids: Vec<_> = [scale, scale * 37.0, scale * 900.0]
+            .iter()
+            .map(|&c| catalog.add_table(format!("t{}", catalog.num_tables()), c))
+            .collect();
+        let mut q = Query::new(ids.clone());
+        q.add_predicate(Predicate::binary(ids[0], ids[1], 0.1));
+        q.add_predicate(Predicate::binary(ids[1], ids[2], 0.3));
+        q
+    }
+
+    #[test]
+    fn concurrent_identical_submissions_share_one_solve() {
+        let mut catalog = Catalog::new();
+        let query = chain(&mut catalog, 10.0);
+        let backend = CountingBackend::slow(Duration::from_millis(30));
+        let counter = backend.clone();
+        let service = QueryService::new(catalog, backend).with_workers(4);
+        // All four workers can pick up a copy concurrently; the in-flight
+        // table must still collapse them onto one backend solve.
+        let tickets = service.submit_many(std::iter::repeat_n(query, 8));
+        for t in &tickets {
+            let out = t.wait().unwrap();
+            assert!(out.outcome.cost.is_finite());
+        }
+        assert_eq!(counter.calls(), 1, "exactly one backend solve");
+        let stats = service.shutdown();
+        assert_eq!(stats.queries, 8);
+        assert_eq!(stats.backend_solves, 1);
+        assert_eq!(stats.inflight_leaders, 1);
+        assert_eq!(stats.cache_hits, 7);
+        assert_eq!(stats.exact_hits, 7);
+        // Every wait-resolved follower is also a cache hit.
+        assert!(stats.inflight_wait_hits <= stats.cache_hits);
+        assert!(stats.inflight_followers >= stats.inflight_wait_hits);
+    }
+
+    #[test]
+    fn tickets_resolve_out_of_submission_order() {
+        let mut catalog = Catalog::new();
+        let slow_query = chain(&mut catalog, 10.0);
+        let fast_query = chain(&mut catalog, 100000.0);
+        let service = QueryService::new(catalog, CountingBackend::slow(Duration::from_millis(40)))
+            .with_workers(2);
+        let slow = service.submit(slow_query);
+        let fast = service.submit(fast_query);
+        // Both resolve regardless of order; try_get eventually observes it.
+        assert!(fast.wait().is_ok());
+        assert!(slow.wait().is_ok());
+        assert!(slow.try_get().is_some() && fast.try_get().is_some());
+        service.drain(); // everything resolved: returns immediately
+    }
+
+    #[test]
+    fn failed_leader_retries_followers_like_sequential() {
+        let mut catalog = Catalog::new();
+        let query = chain(&mut catalog, 10.0);
+        let backend = CountingBackend {
+            fail: true,
+            ..CountingBackend::slow(Duration::from_millis(20))
+        };
+        let counter = backend.clone();
+        let service = QueryService::new(catalog, backend).with_workers(3);
+        let tickets = service.submit_many(std::iter::repeat_n(query, 3));
+        for t in &tickets {
+            assert!(matches!(t.wait(), Err(OrderingError::Backend(_))));
+        }
+        let stats = service.shutdown();
+        // Every occurrence re-solves (and fails), like the sequential
+        // session re-missing an uncached structure.
+        assert_eq!(counter.calls(), 3);
+        assert_eq!(stats.backend_solves, 3);
+        assert_eq!(stats.backend_errors, 3);
+    }
+
+    #[test]
+    fn drain_then_shutdown_leaves_no_stuck_tickets() {
+        let mut catalog = Catalog::new();
+        let queries: Vec<Query> = (0..6)
+            .map(|i| chain(&mut catalog, 10.0 * 3f64.powi(i)))
+            .collect();
+        let service = QueryService::new(catalog, CountingBackend::new()).with_workers(2);
+        let tickets = service.submit_many(queries);
+        service.drain();
+        for t in &tickets {
+            assert!(t.is_done(), "drain() must resolve every submission");
+            assert!(t.try_get().unwrap().is_ok());
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.queries, 6);
+        assert_eq!(stats.backend_solves, 6);
+    }
+
+    #[test]
+    fn submissions_after_shutdown_resolve_with_an_error() {
+        let mut catalog = Catalog::new();
+        let query = chain(&mut catalog, 10.0);
+        let service = QueryService::new(catalog.clone(), CountingBackend::new());
+        let ok = service.submit(query.clone());
+        assert!(ok.wait().is_ok());
+        // Keep a second handle alive through shutdown via drop semantics:
+        // `shutdown` consumes the service, so re-create to test the flag.
+        let service2 = QueryService::new(catalog, CountingBackend::new());
+        service2.shared.state.lock().unwrap().shutdown = true;
+        let rejected = service2.submit(query);
+        assert!(matches!(
+            rejected.wait(),
+            Err(OrderingError::InvalidConfig(_))
+        ));
+        assert!(rejected.is_done());
+    }
+
+    #[test]
+    fn invalid_queries_resolve_with_invalid_query() {
+        let catalog = Catalog::new();
+        let foreign = Query::new(vec![crate::catalog::TableId(9999)]);
+        let service = QueryService::new(catalog, CountingBackend::new());
+        let t = service.submit(foreign);
+        assert!(matches!(t.wait(), Err(OrderingError::InvalidQuery(_))));
+        let stats = service.shutdown();
+        assert_eq!(stats.queries, 1);
+        assert_eq!(stats.backend_solves, 0);
+    }
+
+    #[test]
+    fn panicking_backend_resolves_the_ticket_and_keeps_the_worker_alive() {
+        /// Panics on the first call only — later submissions must still be
+        /// served by the *same* single worker, proving the pool does not
+        /// shrink on a backend panic.
+        #[derive(Clone)]
+        struct Panicker {
+            panicked: Arc<std::sync::atomic::AtomicBool>,
+            inner: CountingBackend,
+        }
+        impl JoinOrderer for Panicker {
+            fn name(&self) -> &'static str {
+                "panicker"
+            }
+            fn cost_model(&self) -> (CostModelKind, CostParams) {
+                (CostModelKind::Cout, CostParams::default())
+            }
+            fn order(
+                &self,
+                c: &Catalog,
+                q: &Query,
+                o: &OrderingOptions,
+            ) -> Result<OrderingOutcome, OrderingError> {
+                if !self.panicked.swap(true, Ordering::SeqCst) {
+                    panic!("injected panic");
+                }
+                self.inner.order(c, q, o)
+            }
+        }
+        let mut catalog = Catalog::new();
+        let query = chain(&mut catalog, 10.0);
+        let healthy = chain(&mut catalog, 100000.0);
+        let service = QueryService::new(
+            catalog,
+            Panicker {
+                panicked: Arc::new(std::sync::atomic::AtomicBool::new(false)),
+                inner: CountingBackend::new(),
+            },
+        )
+        .with_workers(1);
+        let t = service.submit(query);
+        assert!(matches!(t.wait(), Err(OrderingError::Backend(_))));
+        // The lone worker survived the panic: later submissions resolve,
+        // drain() does not hang, and the panicked job was counted.
+        let t2 = service.submit(healthy);
+        assert!(t2.wait().is_ok());
+        service.drain();
+        let stats = service.shutdown();
+        assert_eq!(stats.queries, 2);
+    }
+
+    #[test]
+    fn shared_cache_dedups_across_service_and_session() {
+        let mut catalog = Catalog::new();
+        let query = chain(&mut catalog, 10.0);
+        let backend = CountingBackend::new();
+        let counter = backend.clone();
+        let service = QueryService::new(catalog.clone(), backend.clone()).with_workers(1);
+        service.submit(query.clone()).wait().unwrap();
+        // A sequential session sharing the cache hits the service's solve.
+        let mut session = crate::session::PlanSession::new(catalog, Box::new(backend))
+            .with_shared_cache(service.shared_cache());
+        assert!(session.optimize(&query).unwrap().cache_hit);
+        assert_eq!(counter.calls(), 1);
+    }
+}

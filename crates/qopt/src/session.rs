@@ -15,7 +15,15 @@
 //!   order — deterministic: the same batch against a fresh session always
 //!   produces the same plans, solves and hit pattern;
 //! * [`PlanSession::explain`] reports what happened (hits, misses, backend
-//!   solves, error counts).
+//!   solves, error counts, in-flight dedup and fingerprint-fallback
+//!   counters).
+//!
+//! The session is the *sequential facade* over the same per-query engine
+//! ([`process_query`]) that powers the continuous-ingest
+//! [`crate::service::QueryService`] and, through it, the batch-parallel
+//! [`crate::executor::ParallelSession`] — including the cross-batch
+//! in-flight claim protocol, so a session sharing its cache handle with a
+//! service deduplicates solves against the service's workers too.
 //!
 //! ## Cache semantics
 //!
@@ -41,10 +49,10 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use crate::cache::{CachedPlan, ShardedPlanCache};
+use crate::cache::{CachedPlan, InFlightClaim, ShardedPlanCache};
 use crate::catalog::Catalog;
 use crate::cost::{plan_cost, CostModelKind, CostParams};
-use crate::fingerprint::{FingerprintOptions, FingerprintedQuery};
+use crate::fingerprint::{Fingerprint, FingerprintOptions, FingerprintedQuery};
 use crate::orderer::{CostTrace, JoinOrderer, OrderingError, OrderingOptions, OrderingOutcome};
 use crate::plan::LeftDeepPlan;
 use crate::query::Query;
@@ -72,6 +80,26 @@ pub struct SessionStats {
     /// Cached structures evicted to respect the cache capacity
     /// ([`PlanSession::with_cache_capacity`]).
     pub evictions: u64,
+    /// Fingerprint computations whose individualization budget
+    /// ([`FingerprintOptions::individualization_budget`]) ran out with
+    /// symmetric ties unresolved — the ties fell back to input-order
+    /// tie-breaks (sound, but such queries may miss the cache under
+    /// permuted listings).
+    pub fingerprint_fallbacks: u64,
+    /// Cache misses that registered as the in-flight **leader** of their
+    /// fingerprint and ran the backend solve. Every `backend_solves` entry
+    /// of a cacheable query is a leader; uncacheable and caching-disabled
+    /// solves are not counted here.
+    pub inflight_leaders: u64,
+    /// Submissions that found their fingerprint already being solved and
+    /// **blocked** on the leader's in-flight slot instead of solving
+    /// (counted once per blocking wait; a submission can wait more than
+    /// once if its leader fails).
+    pub inflight_followers: u64,
+    /// Blocked followers that resolved from the leader's published record
+    /// — cache hits that would have been duplicate concurrent solves
+    /// without the in-flight table. A subset of `cache_hits`.
+    pub inflight_wait_hits: u64,
 }
 
 impl SessionStats {
@@ -82,6 +110,23 @@ impl SessionStats {
         } else {
             self.cache_hits as f64 / self.queries as f64
         }
+    }
+
+    /// Folds another per-worker (or per-service) stats snapshot into this
+    /// one. The eviction count is deliberately **not** folded: it lives in
+    /// the (possibly shared) cache and is re-read at `explain()` time, so
+    /// folding it here would double-count.
+    pub(crate) fn absorb(&mut self, other: &SessionStats) {
+        self.queries += other.queries;
+        self.cache_hits += other.cache_hits;
+        self.exact_hits += other.exact_hits;
+        self.backend_solves += other.backend_solves;
+        self.backend_errors += other.backend_errors;
+        self.uncacheable += other.uncacheable;
+        self.fingerprint_fallbacks += other.fingerprint_fallbacks;
+        self.inflight_leaders += other.inflight_leaders;
+        self.inflight_followers += other.inflight_followers;
+        self.inflight_wait_hits += other.inflight_wait_hits;
     }
 }
 
@@ -183,6 +228,229 @@ pub(crate) fn record_for_cache(
     }
 }
 
+/// The shared per-query configuration of the optimization engine: every
+/// surface — the sequential [`PlanSession`], the continuous-ingest
+/// [`crate::service::QueryService`] workers, and (through the service) the
+/// batch-shaped [`crate::executor::ParallelSession`] — answers a query by
+/// building one of these over its own backend instance and calling
+/// [`process_query`]. One engine, three facades: that is what makes their
+/// results identical by construction.
+pub(crate) struct EngineCtx<'a> {
+    pub catalog: &'a Catalog,
+    pub backend: &'a dyn JoinOrderer,
+    pub options: &'a OrderingOptions,
+    pub fingerprint_options: &'a FingerprintOptions,
+    pub caching: bool,
+    pub cache: &'a ShardedPlanCache,
+}
+
+/// What [`process_query`] hands back: the session-shaped result plus the
+/// query's fingerprint (when one was computed) so callers that need
+/// deterministic LRU recency — the parallel batch facade stamps entries in
+/// input order after the racy worker phase — can touch the cache without
+/// re-fingerprinting.
+pub(crate) struct Processed {
+    pub result: Result<SessionOutcome, OrderingError>,
+    pub fingerprint: Option<Fingerprint>,
+}
+
+/// Answers one query through the full service pipeline: validate →
+/// fingerprint → in-flight claim ([`ShardedPlanCache::claim`]) → cache
+/// hit / leader solve / follower wait. Thread-safe by construction — the
+/// only shared mutable state is inside the cache — and, for any
+/// interleaving of concurrent callers over one cache handle, each
+/// fingerprint is solved exactly once (leaders) with every concurrent
+/// duplicate either hitting the cache or blocking on the leader's slot and
+/// instantiating its record through the same [`instantiate_cached`] the
+/// sequential path uses.
+pub(crate) fn process_query(
+    ctx: &EngineCtx<'_>,
+    query: &Query,
+    stats: &mut SessionStats,
+) -> Processed {
+    if let Err(e) = query.validate(ctx.catalog) {
+        stats.queries += 1;
+        return Processed {
+            result: Err(OrderingError::InvalidQuery(e.to_string())),
+            fingerprint: None,
+        };
+    }
+    if !ctx.caching {
+        stats.queries += 1;
+        return Processed {
+            result: solve_uncached(ctx, query, stats),
+            fingerprint: None,
+        };
+    }
+    let fp = FingerprintedQuery::compute(ctx.catalog, query, ctx.fingerprint_options);
+    process_prepared(ctx, query, &fp, stats)
+}
+
+/// The engine entered with validation already done and the fingerprint
+/// already computed — the batch facade and the service's prepared-submit
+/// path reuse prepass fingerprints here instead of recomputing. Counts
+/// `queries`, fallback, and uncacheable accounting; `ctx.caching` must be
+/// on (a fingerprint exists).
+pub(crate) fn process_prepared(
+    ctx: &EngineCtx<'_>,
+    query: &Query,
+    fp: &FingerprintedQuery,
+    stats: &mut SessionStats,
+) -> Processed {
+    stats.queries += 1;
+    if fp.budget_exhausted {
+        stats.fingerprint_fallbacks += 1;
+    }
+    if !fp.cacheable {
+        stats.uncacheable += 1;
+        return Processed {
+            result: solve_uncached(ctx, query, stats),
+            fingerprint: None,
+        };
+    }
+    let fingerprint = fp.fingerprint.clone();
+    Processed {
+        result: process_fingerprinted(ctx, query, fp, stats),
+        fingerprint: Some(fingerprint),
+    }
+}
+
+/// The claim-protocol stage of the engine ([`process_prepared`] dispatches
+/// here for cacheable queries). Counts hits/solves/in-flight statistics
+/// but **not** `queries`/`fingerprint_fallbacks` — the caller does.
+fn process_fingerprinted(
+    ctx: &EngineCtx<'_>,
+    query: &Query,
+    fp: &FingerprintedQuery,
+    stats: &mut SessionStats,
+) -> Result<SessionOutcome, OrderingError> {
+    let (model, params) = ctx.backend.cost_model();
+    loop {
+        match ctx.cache.claim(&fp.fingerprint) {
+            InFlightClaim::Cached(cached) => {
+                let start = Instant::now();
+                match instantiate_cached(
+                    ctx.catalog,
+                    query,
+                    fp,
+                    cached.as_ref(),
+                    model,
+                    &params,
+                    start,
+                ) {
+                    Some(hit) => {
+                        stats.cache_hits += 1;
+                        if hit.exact_hit {
+                            stats.exact_hits += 1;
+                        }
+                        return Ok(hit);
+                    }
+                    // Canonicalization-bug surface (debug-asserted inside
+                    // `instantiate_cached`): treated as a miss, solved and
+                    // re-cached — never a wrong answer.
+                    None => return solve_and_cache(ctx, query, fp, stats),
+                }
+            }
+            InFlightClaim::Lead(guard) => {
+                stats.inflight_leaders += 1;
+                stats.backend_solves += 1;
+                match ctx.backend.order(ctx.catalog, query, ctx.options) {
+                    Ok(outcome) => {
+                        let record = Arc::new(record_for_cache(query, fp, &outcome));
+                        guard.publish(record);
+                        return Ok(SessionOutcome {
+                            outcome,
+                            cache_hit: false,
+                            exact_hit: false,
+                        });
+                    }
+                    Err(e) => {
+                        stats.backend_errors += 1;
+                        // Dropping the guard abandons the slot: followers
+                        // wake empty-handed and re-enter the protocol.
+                        drop(guard);
+                        return Err(e);
+                    }
+                }
+            }
+            InFlightClaim::Wait(slot) => {
+                stats.inflight_followers += 1;
+                let start = Instant::now();
+                match slot.wait() {
+                    Some(record) => {
+                        match instantiate_cached(
+                            ctx.catalog,
+                            query,
+                            fp,
+                            record.as_ref(),
+                            model,
+                            &params,
+                            start,
+                        ) {
+                            Some(hit) => {
+                                stats.cache_hits += 1;
+                                stats.inflight_wait_hits += 1;
+                                if hit.exact_hit {
+                                    stats.exact_hits += 1;
+                                }
+                                return Ok(hit);
+                            }
+                            None => return solve_and_cache(ctx, query, fp, stats),
+                        }
+                    }
+                    // The leader failed: re-enter the claim protocol —
+                    // one ex-follower becomes the next leader and the rest
+                    // wait again, which reproduces the sequential
+                    // session's per-occurrence retry of an uncached
+                    // structure (deterministic backends fail identically).
+                    None => continue,
+                }
+            }
+        }
+    }
+}
+
+/// Runs the backend without touching the cache (caching disabled, or the
+/// query is not fingerprintable).
+fn solve_uncached(
+    ctx: &EngineCtx<'_>,
+    query: &Query,
+    stats: &mut SessionStats,
+) -> Result<SessionOutcome, OrderingError> {
+    stats.backend_solves += 1;
+    let outcome = ctx
+        .backend
+        .order(ctx.catalog, query, ctx.options)
+        .inspect_err(|_| stats.backend_errors += 1)?;
+    Ok(SessionOutcome {
+        outcome,
+        cache_hit: false,
+        exact_hit: false,
+    })
+}
+
+/// Runs the backend and caches the solved structure directly (the rare
+/// repair path when a cached or published record failed to instantiate).
+fn solve_and_cache(
+    ctx: &EngineCtx<'_>,
+    query: &Query,
+    fp: &FingerprintedQuery,
+    stats: &mut SessionStats,
+) -> Result<SessionOutcome, OrderingError> {
+    stats.backend_solves += 1;
+    let outcome = ctx
+        .backend
+        .order(ctx.catalog, query, ctx.options)
+        .inspect_err(|_| stats.backend_errors += 1)?;
+    let record = record_for_cache(query, fp, &outcome);
+    ctx.cache.insert(fp.fingerprint.clone(), Arc::new(record));
+    Ok(SessionOutcome {
+        outcome,
+        cache_hit: false,
+        exact_hit: false,
+    })
+}
+
 /// A long-lived optimization service over one catalog and one backend.
 ///
 /// ```
@@ -226,8 +494,11 @@ pub(crate) fn record_for_cache(
 pub struct PlanSession {
     // Fields are crate-visible: `crate::executor::ParallelSession` wraps a
     // `PlanSession` as its configuration + sequential-path core instead of
-    // duplicating this surface.
-    pub(crate) catalog: Catalog,
+    // duplicating this surface. The catalog is `Arc`-shared so a
+    // `crate::service::QueryService` spun up over this configuration (the
+    // parallel batch facade does it per call) can hand it to worker
+    // threads without a deep copy.
+    pub(crate) catalog: Arc<Catalog>,
     pub(crate) backend: Box<dyn JoinOrderer>,
     pub(crate) options: OrderingOptions,
     pub(crate) fingerprint_options: FingerprintOptions,
@@ -241,6 +512,13 @@ pub struct PlanSession {
 
 impl PlanSession {
     pub fn new(catalog: Catalog, backend: Box<dyn JoinOrderer>) -> Self {
+        Self::with_arc_catalog(Arc::new(catalog), backend)
+    }
+
+    /// Crate-internal constructor sharing an already-`Arc`'d catalog (the
+    /// executor's `sequential()` and the service facades use it to avoid
+    /// deep-copying the catalog).
+    pub(crate) fn with_arc_catalog(catalog: Arc<Catalog>, backend: Box<dyn JoinOrderer>) -> Self {
         PlanSession {
             catalog,
             backend,
@@ -337,25 +615,22 @@ impl PlanSession {
     }
 
     /// Optimizes one query, reusing a cached plan when a structurally
-    /// identical query was solved before.
+    /// identical query was solved before. Runs the same engine
+    /// ([`process_query`]) as the [`crate::service::QueryService`] workers
+    /// — including the in-flight claim protocol, so a sequential session
+    /// sharing its cache with a service participates in cross-session
+    /// dedup: if a service worker is already solving this structure, the
+    /// session blocks on that solve instead of duplicating it.
     pub fn optimize(&mut self, query: &Query) -> Result<SessionOutcome, OrderingError> {
-        self.stats.queries += 1;
-        query
-            .validate(&self.catalog)
-            .map_err(|e| OrderingError::InvalidQuery(e.to_string()))?;
-
-        if !self.caching {
-            return self.solve(query, None);
-        }
-        let fp = FingerprintedQuery::compute(&self.catalog, query, &self.fingerprint_options);
-        if !fp.cacheable {
-            self.stats.uncacheable += 1;
-            return self.solve(query, None);
-        }
-        if let Some(hit) = self.try_hit(query, &fp) {
-            return Ok(hit);
-        }
-        self.solve(query, Some(fp))
+        let ctx = EngineCtx {
+            catalog: &self.catalog,
+            backend: &*self.backend,
+            options: &self.options,
+            fingerprint_options: &self.fingerprint_options,
+            caching: self.caching,
+            cache: &self.cache,
+        };
+        process_query(&ctx, query, &mut self.stats).result
     }
 
     /// Optimizes a batch of queries in order. Deterministic: cache lookups
@@ -368,52 +643,6 @@ impl PlanSession {
         queries: &[Query],
     ) -> Vec<Result<SessionOutcome, OrderingError>> {
         queries.iter().map(|q| self.optimize(q)).collect()
-    }
-
-    /// Attempts to answer `query` from the cache, refreshing the entry's
-    /// LRU recency on a hit.
-    fn try_hit(&mut self, query: &Query, fp: &FingerprintedQuery) -> Option<SessionOutcome> {
-        let start = Instant::now();
-        let cached = self.cache.lookup(&fp.fingerprint)?;
-        let (model, params) = self.backend.cost_model();
-        let hit = instantiate_cached(
-            &self.catalog,
-            query,
-            fp,
-            cached.as_ref(),
-            model,
-            &params,
-            start,
-        )?;
-        self.stats.cache_hits += 1;
-        if hit.exact_hit {
-            self.stats.exact_hits += 1;
-        }
-        Some(hit)
-    }
-
-    /// Runs the backend and, when the query was fingerprinted, caches the
-    /// solved structure. Crate-visible: the parallel executor's sequential
-    /// repair path (followers of a failed leader) is exactly this code.
-    pub(crate) fn solve(
-        &mut self,
-        query: &Query,
-        fp: Option<FingerprintedQuery>,
-    ) -> Result<SessionOutcome, OrderingError> {
-        self.stats.backend_solves += 1;
-        let outcome = self
-            .backend
-            .order(&self.catalog, query, &self.options)
-            .inspect_err(|_| self.stats.backend_errors += 1)?;
-        if let Some(fp) = fp {
-            let record = record_for_cache(query, &fp, &outcome);
-            self.cache.insert(fp.fingerprint, Arc::new(record));
-        }
-        Ok(SessionOutcome {
-            outcome,
-            cache_hit: false,
-            exact_hit: false,
-        })
     }
 }
 
@@ -669,6 +898,44 @@ mod tests {
         let stats = session.explain();
         assert_eq!(stats.backend_solves, 1);
         assert_eq!(stats.uncacheable, 0);
+    }
+
+    #[test]
+    fn individualization_fallbacks_are_counted() {
+        // A 4-cycle with uniform statistics: 1-WL leaves all four tables
+        // tied, so with a zero individualization budget the fingerprint
+        // falls back to input-order tie-breaks — and the session counts it.
+        let mut catalog = Catalog::new();
+        let ids: Vec<_> = (0..4)
+            .map(|i| catalog.add_table(format!("c{i}"), 500.0))
+            .collect();
+        let mut q = Query::new(ids.clone());
+        for i in 0..4 {
+            q.add_predicate(Predicate::binary(ids[i], ids[(i + 1) % 4], 0.2));
+        }
+        let mut session = PlanSession::new(catalog, Box::new(CountingBackend::new(false)))
+            .with_fingerprint_options(crate::fingerprint::FingerprintOptions {
+                individualization_budget: 0,
+                ..Default::default()
+            });
+        session.optimize(&q).unwrap();
+        session.optimize(&q).unwrap();
+        let stats = session.explain();
+        assert_eq!(stats.fingerprint_fallbacks, 2);
+        // Identical listings still hit (the fallback is deterministic).
+        assert_eq!(stats.cache_hits, 1);
+        // The default budget resolves the symmetry without fallbacks.
+        let mut catalog2 = Catalog::new();
+        let ids2: Vec<_> = (0..4)
+            .map(|i| catalog2.add_table(format!("e{i}"), 500.0))
+            .collect();
+        let mut q3 = Query::new(ids2.clone());
+        for i in 0..4 {
+            q3.add_predicate(Predicate::binary(ids2[i], ids2[(i + 1) % 4], 0.2));
+        }
+        let mut default_session = PlanSession::new(catalog2, Box::new(CountingBackend::new(false)));
+        default_session.optimize(&q3).unwrap();
+        assert_eq!(default_session.explain().fingerprint_fallbacks, 0);
     }
 
     #[test]

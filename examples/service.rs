@@ -1,0 +1,125 @@
+//! The `QueryService` continuous-ingest API: submit queries from several
+//! threads at once, wait on tickets, and watch the cross-batch in-flight
+//! table collapse concurrent duplicates onto one backend solve.
+//!
+//! Run with:
+//! `cargo run --release --example service [copies] [tables] [--submitters N] [--workers N]`
+//! (the argument form doubles as the CI bench-smoke: `service 3 6
+//! --submitters 4 --workers 2` races four submitter threads of one
+//! duplicate-heavy stream per topology into a two-worker service and
+//! asserts that each unique structure was solved exactly once, that every
+//! ticket's cost matches its structure's first solve, and that
+//! drain-then-shutdown leaves no stuck tickets).
+
+use std::time::{Duration, Instant};
+
+use milpjoin::{EncoderConfig, HybridOptimizer, Precision, QueryService};
+use milpjoin_qopt::{OrderingOptions, SessionOutcome};
+use milpjoin_workloads::{Topology, WorkloadSpec};
+
+/// Parses `--flag N` out of the argument list, removing both tokens.
+fn take_flag(args: &mut Vec<String>, flag: &str, default: usize) -> usize {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            let n = args
+                .get(i + 1)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| panic!("{flag} requires a positive integer"));
+            args.drain(i..=i + 1);
+            n
+        }
+        None => default,
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let submitters = take_flag(&mut args, "--submitters", 4).max(1);
+    let workers = take_flag(&mut args, "--workers", 2).max(1);
+    let copies: usize = args
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8)
+        .max(1);
+    let tables: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8).max(2);
+
+    for topology in [Topology::Chain, Topology::Cycle, Topology::Star] {
+        let spec = WorkloadSpec::new(topology, tables);
+        // One random structure instantiated `copies` times over disjoint
+        // tables — a duplicate-heavy stream, the shape recurring query
+        // templates take in real traffic.
+        let (catalog, queries) = spec.generate_stream(7, 1, copies);
+
+        let backend = HybridOptimizer::new(EncoderConfig::default().precision(Precision::Low));
+        let service = QueryService::new(catalog, backend)
+            .with_workers(workers)
+            .with_options(OrderingOptions::with_time_limit(Duration::from_secs(10)));
+
+        // Race `submitters` threads, each feeding an interleaved slice of
+        // the stream into the same service, then wait on every ticket.
+        let start = Instant::now();
+        let outcomes: Vec<SessionOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..submitters)
+                .map(|s| {
+                    let service = &service;
+                    let slice: Vec<_> = queries
+                        .iter()
+                        .skip(s)
+                        .step_by(submitters)
+                        .cloned()
+                        .collect();
+                    scope.spawn(move || {
+                        let tickets = service.submit_many(slice);
+                        tickets
+                            .iter()
+                            .map(|t| t.wait().expect("hybrid always produces a plan"))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("submitter thread panicked"))
+                .collect()
+        });
+        service.drain(); // everything waited: returns immediately
+        let elapsed = start.elapsed();
+        let stats = service.shutdown();
+
+        println!(
+            "{:<6} {} queries in {:>8.2?} ({} submitters x {} workers)  solves: {}  \
+             cache hits: {} (hit rate {:.0}%)  in-flight: {} leaders / {} followers / {} wait-hits",
+            topology.name(),
+            queries.len(),
+            elapsed,
+            submitters,
+            workers,
+            stats.backend_solves,
+            stats.cache_hits,
+            100.0 * stats.hit_rate(),
+            stats.inflight_leaders,
+            stats.inflight_followers,
+            stats.inflight_wait_hits,
+        );
+
+        // The acceptance surface of the smoke: one structure, one solve —
+        // however many threads race it in.
+        assert_eq!(
+            stats.backend_solves, 1,
+            "{topology:?}: concurrent duplicates must share one solve"
+        );
+        assert_eq!(stats.queries, queries.len() as u64);
+        assert_eq!(stats.cache_hits, queries.len() as u64 - 1);
+        let first = outcomes[0].outcome.cost;
+        assert!(
+            outcomes
+                .iter()
+                .all(|o| (o.outcome.cost - first).abs() <= 1e-9 * (1.0 + first.abs())),
+            "copies of one structure must cost the same"
+        );
+        println!(
+            "       cost {:.4e}   exact hits: {}   evictions: {}",
+            first, stats.exact_hits, stats.evictions,
+        );
+    }
+}

@@ -24,6 +24,11 @@
 //!   serving-shaped traffic and audits that duplicates collapse onto one
 //!   solve per structure whatever the submitter count (scraped into
 //!   `BENCH_0004.json`).
+//! * `solver_scaling` — one cold MILP solve with 1/2/4 intra-solve
+//!   branch-and-bound workers (`OptimizeOptions::threads`) on
+//!   search-bound and root-LP-bound instances, with worker-count and
+//!   optimum-agreement assertions inside the loop (scraped into
+//!   `BENCH_0005.json`).
 //! * `fingerprint` — the pure cache-key computation (the per-query
 //!   overhead a hit must amortize).
 
@@ -299,6 +304,91 @@ fn bench_service_ingest(c: &mut Criterion) {
     g.finish();
 }
 
+/// Intra-solve scaling: the same cold MILP solve with 1/2/4
+/// branch-and-bound workers (`OptimizeOptions::threads`), per instance.
+/// Two search-bound instances (many nodes, cheap LPs — where node-level
+/// parallelism can help) and one root-LP-bound 20-table star under a
+/// binding wall-clock budget (nodes ≈ 1: the honest negative case —
+/// intra-solve workers parallelize *nodes*, so a solve dominated by one
+/// root simplex cannot speed up). Assertions run inside the bench loop:
+/// every solve must report the requested worker count, and gap-closed
+/// solves must agree with the 1-thread optimal objective. Scraped into
+/// `BENCH_0005.json`.
+fn bench_solver_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solver_scaling");
+    g.sample_size(3);
+    let instances: [(&str, Topology, usize, u64, Duration); 3] = [
+        // Search-bound: generous budget, must close the gap.
+        ("chain-8", Topology::Chain, 8, 9, Duration::from_secs(600)),
+        ("star-12", Topology::Star, 12, 9, Duration::from_secs(600)),
+        // Root-LP-bound: the budget binds at the root relaxation.
+        ("star-20", Topology::Star, 20, 7, Duration::from_secs(15)),
+    ];
+    for (name, topo, tables, seed, limit) in instances {
+        let (catalog, query) = WorkloadSpec::new(topo, tables).generate(seed);
+        let opt = MilpOptimizer::new(EncoderConfig::default().precision(Precision::Low));
+        let options = |threads: usize| milpjoin::OptimizeOptions {
+            time_limit: Some(limit),
+            threads,
+            ..milpjoin::OptimizeOptions::default()
+        };
+        // 1-thread reference objective (None when even the reference
+        // cannot find a plan within the budget — the root-LP-bound case).
+        let reference = opt
+            .optimize(&catalog, &query, &options(1))
+            .ok()
+            .filter(|o| o.status == milpjoin_milp::SolveStatus::Optimal)
+            .map(|o| o.milp_objective);
+        for threads in [1usize, 2, 4] {
+            g.bench_with_input(BenchmarkId::new(name, threads), &threads, |b, &t| {
+                b.iter(|| {
+                    let start = Instant::now();
+                    let out = opt.optimize(&catalog, &query, &options(t));
+                    let elapsed = start.elapsed();
+                    let (status, nodes, speculative, workers, objective) = match &out {
+                        Ok(o) => (
+                            format!("{:?}", o.status),
+                            o.search.nodes_expanded,
+                            o.search.speculative_nodes,
+                            o.search.workers_used,
+                            Some(o.milp_objective),
+                        ),
+                        Err(_) => ("NoPlanFound".to_string(), 0, 0, t, None),
+                    };
+                    // Every successful solve must have run the requested
+                    // worker count, and a gap-closed solve must agree
+                    // with the sequential optimum.
+                    if let Ok(o) = &out {
+                        assert_eq!(o.search.workers_used, t, "worker count");
+                        if let (Some(r), milpjoin_milp::SolveStatus::Optimal) =
+                            (reference, o.status)
+                        {
+                            assert!(
+                                (o.milp_objective - r).abs() <= 1e-9 * (1.0 + r.abs()),
+                                "{name} threads={t}: objective {} vs sequential optimum {r}",
+                                o.milp_objective
+                            );
+                        }
+                    }
+                    println!(
+                        "SESSION_STATS group=solver_scaling instance={} threads={} status={} \
+                         nodes={} speculative={} workers={} solve_ms={:.1}",
+                        name,
+                        t,
+                        status,
+                        nodes,
+                        speculative,
+                        workers,
+                        elapsed.as_secs_f64() * 1e3,
+                    );
+                    black_box(objective)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
 /// Fingerprint computation: the fixed per-query cache overhead.
 fn bench_fingerprint(c: &mut Criterion) {
     let mut g = c.benchmark_group("fingerprint");
@@ -320,6 +410,7 @@ criterion_group!(
     bench_upper_bound,
     bench_worker_scaling,
     bench_service_ingest,
+    bench_solver_scaling,
     bench_fingerprint
 );
 criterion_main!(benches);

@@ -216,6 +216,7 @@ impl HybridOptimizer {
             proven_optimal: false,
             trace: CostTrace::single(seed_elapsed.min(elapsed), seed_cost, None),
             elapsed,
+            search: Default::default(),
         }
     }
 }

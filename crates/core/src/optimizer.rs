@@ -57,6 +57,7 @@ use milpjoin_milp::{SolveStatus, Solver, SolverOptions};
 use milpjoin_qopt::cost::plan_cost;
 use milpjoin_qopt::orderer::{
     CostTrace, CostTracePoint, JoinOrderer, OrderingError, OrderingOptions, OrderingOutcome,
+    SearchStats,
 };
 use milpjoin_qopt::{Catalog, CostModelKind, CostParams, LeftDeepPlan, Query};
 
@@ -242,6 +243,9 @@ pub struct OptimizeOutcome {
     pub nodes: u64,
     pub simplex_iterations: u64,
     pub solve_time: Duration,
+    /// Search observability counters (nodes expanded, workers used,
+    /// speculative work), mapped from the solver's own record.
+    pub search: SearchStats,
 }
 
 impl OptimizeOutcome {
@@ -320,8 +324,15 @@ pub struct OptimizeOptions {
     /// Warm start: a feasible plan (typically from a heuristic) installed
     /// as the root incumbent before branch and bound starts. The anytime
     /// trace then opens with this incumbent at t ≈ 0 and the search prunes
-    /// against it from the first node.
+    /// against it from the first node. With `threads > 1` the warm-start
+    /// incumbent seeds the *shared* incumbent before any worker launches,
+    /// so every worker prunes against it from its first node.
     pub initial_plan: Option<LeftDeepPlan>,
+    /// Worker threads inside the branch-and-bound search. `0` and `1`
+    /// (the `Default` and the conventional default respectively) both
+    /// select the sequential, bit-identical search; see
+    /// [`OrderingOptions::solver_threads`] for the thread-budgeting story.
+    pub threads: usize,
 }
 
 impl OptimizeOptions {
@@ -354,6 +365,7 @@ impl OptimizeOptions {
             node_limit,
             seed: options.seed,
             initial_plan: None,
+            threads: options.solver_threads,
         }
     }
 }
@@ -425,6 +437,7 @@ impl MilpOptimizer {
                 nodes: 0,
                 simplex_iterations: 0,
                 solve_time: Duration::ZERO,
+                search: SearchStats::default(),
             });
         }
 
@@ -447,6 +460,8 @@ impl MilpOptimizer {
             node_limit: options.node_limit,
             seed: options.seed,
             initial_solution,
+            // `0` (the `Default`) and `1` both mean sequential.
+            threads: options.threads.max(1),
             ..SolverOptions::default()
         };
 
@@ -591,6 +606,13 @@ impl MilpOptimizer {
             nodes: result.nodes,
             simplex_iterations: result.simplex_iterations,
             solve_time: result.solve_time,
+            // Map the solver-native stats struct onto the backend-agnostic
+            // one (qopt cannot depend on the milp crate).
+            search: SearchStats {
+                nodes_expanded: result.search.nodes_expanded,
+                workers_used: result.search.workers_used,
+                speculative_nodes: result.search.speculative_nodes,
+            },
         })
     }
 }
@@ -621,6 +643,7 @@ impl OptimizeOutcome {
             proven_optimal: self.status == SolveStatus::Optimal && !self.argmin_swapped,
             trace: self.cost_trace,
             elapsed: self.solve_time,
+            search: self.search,
         }
     }
 }

@@ -90,6 +90,7 @@ impl JoinOrderer for DpOptimizer {
             bound: Some(res.cost),
             proven_optimal: true,
             elapsed: res.elapsed,
+            search: Default::default(),
         })
     }
 }
@@ -161,6 +162,7 @@ impl JoinOrderer for GreedyOptimizer {
             bound: None,
             proven_optimal: false,
             elapsed,
+            search: Default::default(),
         })
     }
 }

@@ -7,6 +7,32 @@
 //! bound is the minimum over all open node bounds; the solver emits an event
 //! whenever an improving incumbent is found or the global bound rises, which
 //! is exactly the anytime interface the paper relies on.
+//!
+//! Budgets are checked *before* a node is popped (the node under a firing
+//! budget simply stays in the heap, keeping its bound open) and again
+//! between a node's LP solve and the heuristic/branching work that follows,
+//! so a binding wall-clock deadline stops the search promptly instead of
+//! finishing another plunge first. The node LPs themselves poll the same
+//! deadline internally.
+//!
+//! ## Two execution modes
+//!
+//! This module is the **sequential** search ([`SolverOptions::threads`]
+//! `<= 1`, the default): one thread, one simplex, a deterministic node
+//! order — bit-identical results per (model, options, seed).
+//!
+//! [`crate::parallel`] runs the same node computation under a **shared
+//! open-node pool**: one lock-protected best-bound heap feeds N workers,
+//! each owning its private simplex/LU scratch and re-solving its node from
+//! the [`NodeData`] bound chain (the same chain walk this module uses). The
+//! shared-incumbent protocol: an atomic objective gives workers lock-free
+//! pruning against the best solution found by *any* worker, while the
+//! assignment itself is published under the pool lock — the same lock that
+//! serializes callback events, so the merged anytime stream keeps monotone
+//! incumbents and a sound, capped global bound (the minimum over the heap
+//! top, parked subtrees, every worker's in-flight subtree bound, and the
+//! incumbent). Both modes produce the same [`SearchOutcome`] shape and the
+//! same certificates; only the node visit order differs.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -19,7 +45,7 @@ use crate::lp::LpProblem;
 use crate::options::SolverOptions;
 use crate::simplex::{LpStatus, Simplex, SimplexLimits};
 use crate::solution::{IncumbentEvent, Solution};
-use crate::status::{SolveStatus, StopReason};
+use crate::status::{SearchStats, SolveStatus, StopReason};
 
 /// Events emitted during the search (the anytime stream).
 #[derive(Debug, Clone)]
@@ -34,27 +60,30 @@ pub enum SolverEvent {
     },
 }
 
-/// One branching decision relative to the parent node.
+/// One branching decision relative to the parent node. The chain of
+/// parents encodes the node's complete bound set; `Arc` links let the
+/// sequential heap and the parallel shared pool hold overlapping chains
+/// without copying (and let chains cross worker threads).
 #[derive(Debug)]
-struct NodeData {
-    parent: Option<Arc<NodeData>>,
-    var: usize,
-    lb: f64,
-    ub: f64,
+pub(crate) struct NodeData {
+    pub(crate) parent: Option<Arc<NodeData>>,
+    pub(crate) var: usize,
+    pub(crate) lb: f64,
+    pub(crate) ub: f64,
     /// LP objective of the parent (for pseudocost updates).
-    parent_obj: f64,
+    pub(crate) parent_obj: f64,
     /// Fractional part of `var` at the parent.
-    frac: f64,
+    pub(crate) frac: f64,
     /// Whether this is the up-branch.
-    up: bool,
-    depth: u32,
+    pub(crate) up: bool,
+    pub(crate) depth: u32,
 }
 
 /// An open node in the priority queue.
-struct OpenNode {
-    bound: f64,
-    seq: u64,
-    data: Option<Arc<NodeData>>,
+pub(crate) struct OpenNode {
+    pub(crate) bound: f64,
+    pub(crate) seq: u64,
+    pub(crate) data: Option<Arc<NodeData>>,
 }
 
 impl PartialEq for OpenNode {
@@ -78,6 +107,159 @@ impl Ord for OpenNode {
     }
 }
 
+/// The bound a node was opened under: its parent's LP objective, `-inf`
+/// for the root. This is the "justifying bound" recorded per expansion for
+/// the speculative-work statistic.
+pub(crate) fn node_chain_bound(data: &Option<Arc<NodeData>>) -> f64 {
+    data.as_ref().map_or(f64::NEG_INFINITY, |d| d.parent_obj)
+}
+
+/// Applies the bound chain of a node onto the simplex working bounds
+/// (root → leaf, intersecting with any bounds already tightened along the
+/// walk). Shared by the sequential search and every parallel worker — the
+/// chain walk is how a worker re-creates any pool node on its own scratch.
+pub(crate) fn apply_node_bounds(sx: &mut Simplex<'_>, data: &Option<Arc<NodeData>>) {
+    sx.reset_bounds();
+    let mut chain: Vec<&NodeData> = Vec::new();
+    let mut cur = data.as_deref();
+    while let Some(d) = cur {
+        chain.push(d);
+        cur = d.parent.as_deref();
+    }
+    for d in chain.into_iter().rev() {
+        let (lb, ub) = {
+            let (l, u) = sx.bounds();
+            (l[d.var].max(d.lb), u[d.var].min(d.ub))
+        };
+        sx.set_bounds(d.var, lb, ub);
+    }
+}
+
+/// Fractional integer variables of the current LP solution.
+pub(crate) fn fractional_candidates(
+    sx: &Simplex<'_>,
+    lp: &LpProblem,
+    integrality_tol: f64,
+) -> Vec<(usize, f64)> {
+    let values = sx.values();
+    let mut out = Vec::new();
+    for j in 0..lp.num_structural {
+        if lp.integer[j] {
+            let v = values[j];
+            let f = v - v.floor();
+            if f > integrality_tol && f < 1.0 - integrality_tol {
+                out.push((j, f));
+            }
+        }
+    }
+    out
+}
+
+/// Rounds integer entries that are within tolerance of an integer.
+pub(crate) fn snap_integral(lp: &LpProblem, mut values: Vec<f64>) -> Vec<f64> {
+    for j in 0..lp.num_structural {
+        if lp.integer[j] {
+            values[j] = values[j].round();
+        }
+    }
+    values
+}
+
+/// Counts expanded nodes whose justifying bound already exceeded the final
+/// optimum (see [`SearchStats::speculative_nodes`]). `0` without an
+/// incumbent: with nothing found, no expansion is provably wasted.
+pub(crate) fn speculative_count(
+    expanded_bounds: &[f64],
+    incumbent: Option<&(Vec<f64>, f64)>,
+) -> u64 {
+    match incumbent {
+        Some((_, opt)) => {
+            let tol = 1e-9 * (1.0 + opt.abs());
+            expanded_bounds.iter().filter(|&&b| b > opt + tol).count() as u64
+        }
+        None => 0,
+    }
+}
+
+/// Row-activity feasibility check of structural values.
+pub(crate) fn verify_rows(lp: &LpProblem, values: &[f64]) -> bool {
+    let m = lp.num_rows;
+    let mut act = vec![0.0; m];
+    for j in 0..lp.num_structural {
+        if values[j] != 0.0 {
+            lp.column_axpy(j, values[j], &mut act);
+        }
+    }
+    for i in 0..m {
+        let (lo, hi) = (lp.row_lo[i], lp.row_hi[i]);
+        let tol = 1e-6 * (1.0 + act[i].abs());
+        if act[i] < lo - tol || act[i] > hi + tol {
+            return false;
+        }
+    }
+    true
+}
+
+/// Attempts to turn the user-supplied warm-start hints into an integral
+/// root candidate: fix the hinted integer variables, solve the LP for the
+/// continuous completion, and — if other integer variables come out
+/// fractional — finish with one fractional dive. Returns the snapped
+/// candidate and its objective (**unverified**: the caller runs its own
+/// row check through the incumbent-acceptance path); `None` when the hints
+/// are absent, infeasible, or incompletable. Leaves the simplex bounds
+/// reset in every case.
+pub(crate) fn warm_start_candidate(
+    sx: &mut Simplex<'_>,
+    lp: &LpProblem,
+    opts: &SolverOptions,
+    deadline: Option<Instant>,
+) -> Option<(Vec<f64>, f64)> {
+    let hints = opts.initial_solution.as_ref()?;
+    if hints.is_empty() {
+        return None;
+    }
+    sx.reset_bounds();
+    let mut fixed_any = false;
+    for (var, value) in hints {
+        let j = var.index();
+        if j >= lp.num_structural || !lp.integer[j] {
+            continue;
+        }
+        // Integer columns are never rescaled (see `LpProblem`), so model
+        // values carry over; clamp into the (possibly presolved) bounds.
+        let v = value.round().clamp(lp.lb[j], lp.ub[j]).round();
+        sx.set_bounds(j, v, v);
+        fixed_any = true;
+    }
+    if !fixed_any {
+        sx.reset_bounds();
+        return None;
+    }
+    sx.install_slack_basis();
+    let res = sx.solve(&SimplexLimits {
+        max_iterations: None,
+        deadline,
+    });
+    let candidate = if res.status != LpStatus::Optimal {
+        None
+    } else if fractional_candidates(sx, lp, opts.integrality_tol).is_empty() {
+        let obj = sx.objective();
+        let values = sx.values()[..lp.num_structural].to_vec();
+        Some((snap_integral(lp, values), obj))
+    } else {
+        // Hints only covered part of the integer variables; dive the rest
+        // down from the hinted LP.
+        let (lb, ub) = {
+            let (l, u) = sx.bounds();
+            (l.to_vec(), u.to_vec())
+        };
+        diving_heuristic(sx, lp, &lb, &ub, opts.integrality_tol, deadline)
+            .map(|(vals, obj)| (snap_integral(lp, vals), obj))
+    };
+    sx.reset_bounds();
+    candidate
+}
+
 /// Summary of a finished search (minimization space).
 pub struct SearchOutcome {
     pub status: SolveStatus,
@@ -88,6 +270,8 @@ pub struct SearchOutcome {
     pub bound: f64,
     pub nodes: u64,
     pub simplex_iterations: u64,
+    /// Search observability counters (node/worker/speculation accounting).
+    pub stats: SearchStats,
 }
 
 pub struct BranchBound<'a, F: FnMut(&SolverEvent)> {
@@ -112,6 +296,9 @@ pub struct BranchBound<'a, F: FnMut(&SolverEvent)> {
     /// Bounds of nodes parked after their LP stalled (kept so the global
     /// dual bound stays valid; never re-processed).
     stalled_bounds: Vec<f64>,
+    /// Justifying bound of every expanded node, for the speculative-work
+    /// statistic (counted against the final optimum after the search).
+    expanded_bounds: Vec<f64>,
 }
 
 impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
@@ -134,6 +321,7 @@ impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
             cold_retries: 0,
             numerical_failures: 0,
             stalled_bounds: Vec::new(),
+            expanded_bounds: Vec::new(),
         }
     }
 
@@ -202,7 +390,7 @@ impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
                 return false;
             }
         }
-        if !self.verify_rows(values) {
+        if !verify_rows(self.lp, values) {
             return false;
         }
         self.incumbent = Some((values.to_vec(), obj));
@@ -219,59 +407,6 @@ impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
         true
     }
 
-    /// Row-activity feasibility check of structural values.
-    fn verify_rows(&self, values: &[f64]) -> bool {
-        let m = self.lp.num_rows;
-        let mut act = vec![0.0; m];
-        for j in 0..self.lp.num_structural {
-            if values[j] != 0.0 {
-                self.lp.column_axpy(j, values[j], &mut act);
-            }
-        }
-        for i in 0..m {
-            let (lo, hi) = (self.lp.row_lo[i], self.lp.row_hi[i]);
-            let tol = 1e-6 * (1.0 + act[i].abs());
-            if act[i] < lo - tol || act[i] > hi + tol {
-                return false;
-            }
-        }
-        true
-    }
-
-    /// Applies the bound chain of a node onto the simplex working bounds.
-    fn apply_node_bounds(&mut self, data: &Option<Arc<NodeData>>) {
-        self.sx.reset_bounds();
-        let mut chain: Vec<&NodeData> = Vec::new();
-        let mut cur = data.as_deref();
-        while let Some(d) = cur {
-            chain.push(d);
-            cur = d.parent.as_deref();
-        }
-        for d in chain.into_iter().rev() {
-            let (lb, ub) = {
-                let (l, u) = self.sx.bounds();
-                (l[d.var].max(d.lb), u[d.var].min(d.ub))
-            };
-            self.sx.set_bounds(d.var, lb, ub);
-        }
-    }
-
-    /// Fractional integer variables of the current LP solution.
-    fn fractional_candidates(&self) -> Vec<(usize, f64)> {
-        let values = self.sx.values();
-        let mut out = Vec::new();
-        for j in 0..self.lp.num_structural {
-            if self.lp.integer[j] {
-                let v = values[j];
-                let f = v - v.floor();
-                if f > self.opts.integrality_tol && f < 1.0 - self.opts.integrality_tol {
-                    out.push((j, f));
-                }
-            }
-        }
-        out
-    }
-
     /// Whether a node can be pruned against the incumbent under the gap
     /// target.
     fn prunable(&self, bound: f64) -> bool {
@@ -285,67 +420,14 @@ impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
     }
 
     /// Attempts to turn the user-supplied warm-start hints into the root
-    /// incumbent: fix the hinted integer variables, solve the LP for the
-    /// continuous completion, and — if other integer variables come out
-    /// fractional — finish with one fractional dive. Failures are silent:
-    /// the search simply starts without an incumbent, as it would have
-    /// anyway.
+    /// incumbent (see [`warm_start_candidate`]). Failures are silent: the
+    /// search simply starts without an incumbent, as it would have anyway.
     fn try_warm_start(&mut self) {
-        let Some(hints) = self.opts.initial_solution.clone() else {
-            return;
-        };
-        if hints.is_empty() {
-            return;
+        if let Some((snapped, obj)) =
+            warm_start_candidate(&mut self.sx, self.lp, self.opts, self.deadline)
+        {
+            self.try_accept_incumbent(&snapped, obj, None);
         }
-        self.sx.reset_bounds();
-        let mut fixed_any = false;
-        for (var, value) in &hints {
-            let j = var.index();
-            if j >= self.lp.num_structural || !self.lp.integer[j] {
-                continue;
-            }
-            // Integer columns are never rescaled (see `LpProblem`), so model
-            // values carry over; clamp into the (possibly presolved) bounds.
-            let v = value.round().clamp(self.lp.lb[j], self.lp.ub[j]).round();
-            self.sx.set_bounds(j, v, v);
-            fixed_any = true;
-        }
-        if !fixed_any {
-            self.sx.reset_bounds();
-            return;
-        }
-        self.sx.install_slack_basis();
-        let res = self.sx.solve(&SimplexLimits {
-            max_iterations: None,
-            deadline: self.deadline,
-        });
-        if res.status == LpStatus::Optimal {
-            if self.fractional_candidates().is_empty() {
-                let obj = self.sx.objective();
-                let values = self.sx.values()[..self.lp.num_structural].to_vec();
-                let snapped = self.snap_integral(values);
-                self.try_accept_incumbent(&snapped, obj, None);
-            } else {
-                // Hints only covered part of the integer variables; dive the
-                // rest down from the hinted LP.
-                let (lb, ub) = {
-                    let (l, u) = self.sx.bounds();
-                    (l.to_vec(), u.to_vec())
-                };
-                if let Some((vals, obj)) = diving_heuristic(
-                    &mut self.sx,
-                    self.lp,
-                    &lb,
-                    &ub,
-                    self.opts.integrality_tol,
-                    self.deadline,
-                ) {
-                    let snapped = self.snap_integral(vals);
-                    self.try_accept_incumbent(&snapped, obj, None);
-                }
-            }
-        }
-        self.sx.reset_bounds();
     }
 
     /// Runs the search to completion or a limit.
@@ -367,26 +449,27 @@ impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
         let mut root_unbounded = false;
         let mut root_done = false;
 
-        'search: while let Some(node) = self.heap.pop() {
-            if self.prunable(node.bound) {
+        // Budget checks run against the heap *top* before popping: a node
+        // under a firing budget simply stays in the heap (its bound keeps
+        // counting as open) instead of the former pop / re-push churn on
+        // every budget path.
+        'search: while let Some(top_bound) = self.heap.peek().map(|n| n.bound) {
+            if self.prunable(top_bound) {
                 // Heap is bound-ordered: everything else is prunable too.
                 break;
             }
             if self.out_of_time() {
-                // Re-push so its bound still counts as open.
-                self.heap.push(node);
                 stop = StopReason::TimeLimit;
                 break;
             }
             if self.opts.node_limit.is_some_and(|n| self.nodes >= n) {
-                self.heap.push(node);
                 stop = StopReason::NodeLimit;
                 break;
             }
-            if self.gap_reached(Some(node.bound)) {
-                self.heap.push(node);
+            if self.gap_reached(None) {
                 break;
             }
+            let node = self.heap.pop().expect("peeked above");
 
             // Plunge from this node up to max_dive_depth. The first node of
             // a plunge comes from the heap and is solved from a cold basis
@@ -400,14 +483,14 @@ impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
                     // The abandoned subtree keeps the last node bound open:
                     // conservatively re-add it so the reported bound stays
                     // valid.
-                    let bound = data.as_ref().map_or(f64::NEG_INFINITY, |d| d.parent_obj);
+                    let bound = node_chain_bound(&data);
                     let seq = self.next_seq();
                     self.heap.push(OpenNode { bound, seq, data });
                     stop = StopReason::TimeLimit;
                     break 'search;
                 }
 
-                self.apply_node_bounds(&data);
+                apply_node_bounds(&mut self.sx, &data);
                 if !warm {
                     self.sx.install_slack_basis();
                 }
@@ -426,6 +509,7 @@ impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
                     self.cold_retries += 1;
                 }
                 self.nodes += 1;
+                self.expanded_bounds.push(node_chain_bound(&data));
 
                 // A stalled LP that is primal-feasible is still a usable
                 // branching point: its fractional solution guides the
@@ -448,13 +532,13 @@ impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
                         // unless the root was. Never drop the node silently:
                         // park it so its bound stays open.
                         self.numerical_failures += 1;
-                        let bound = data.as_ref().map_or(f64::NEG_INFINITY, |d| d.parent_obj);
+                        let bound = node_chain_bound(&data);
                         self.stalled_bounds.push(bound);
                         break;
                     }
                     LpStatus::TimeLimit => {
                         stop = StopReason::TimeLimit;
-                        let bound = data.as_ref().map_or(f64::NEG_INFINITY, |d| d.parent_obj);
+                        let bound = node_chain_bound(&data);
                         let seq = self.next_seq();
                         self.heap.push(OpenNode { bound, seq, data });
                         break 'search;
@@ -465,7 +549,7 @@ impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
                         // global bound) and move on rather than aborting
                         // the whole search.
                         self.numerical_failures += 1;
-                        let bound = data.as_ref().map_or(f64::NEG_INFINITY, |d| d.parent_obj);
+                        let bound = node_chain_bound(&data);
                         self.stalled_bounds.push(bound);
                         break;
                     }
@@ -478,8 +562,24 @@ impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
                 let obj = if exact {
                     res.objective
                 } else {
-                    data.as_ref().map_or(f64::NEG_INFINITY, |d| d.parent_obj)
+                    node_chain_bound(&data)
                 };
+
+                // Deadline re-check between the node LP and the heuristic /
+                // branching work below: a deadline that expired during the
+                // LP stops here instead of funding another dive or
+                // heuristic first. The subtree stays open under its fresh
+                // bound.
+                if self.out_of_time() {
+                    let seq = self.next_seq();
+                    self.heap.push(OpenNode {
+                        bound: obj,
+                        seq,
+                        data,
+                    });
+                    stop = StopReason::TimeLimit;
+                    break 'search;
+                }
 
                 // Pseudocost update from the parent's prediction.
                 if exact {
@@ -495,11 +595,12 @@ impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
                     break;
                 }
 
-                let candidates = self.fractional_candidates();
+                let candidates =
+                    fractional_candidates(&self.sx, self.lp, self.opts.integrality_tol);
                 if candidates.is_empty() {
                     let point_obj = self.sx.objective();
                     let values = self.sx.values()[..self.lp.num_structural].to_vec();
-                    let snapped = self.snap_integral(values);
+                    let snapped = snap_integral(self.lp, values);
                     self.try_accept_incumbent(&snapped, point_obj, None);
                     self.maybe_report_bound(None);
                     break;
@@ -621,6 +722,7 @@ impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
             (Some((_, obj)), SolveStatus::Optimal) => *obj,
             _ => bound,
         };
+        let speculative = speculative_count(&self.expanded_bounds, self.incumbent.as_ref());
         SearchOutcome {
             status,
             stop,
@@ -628,6 +730,11 @@ impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
             bound: final_bound,
             nodes: self.nodes,
             simplex_iterations: self.sx.iterations_total(),
+            stats: SearchStats {
+                nodes_expanded: self.nodes,
+                workers_used: 1,
+                speculative_nodes: speculative,
+            },
         }
     }
 
@@ -648,16 +755,6 @@ impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
         self.seq
     }
 
-    /// Rounds integer entries that are within tolerance of an integer.
-    fn snap_integral(&self, mut values: Vec<f64>) -> Vec<f64> {
-        for j in 0..self.lp.num_structural {
-            if self.lp.integer[j] {
-                values[j] = values[j].round();
-            }
-        }
-        values
-    }
-
     fn run_diving(&mut self, current_obj: f64) {
         let (lb, ub) = {
             let (l, u) = self.sx.bounds();
@@ -671,7 +768,7 @@ impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
             self.opts.integrality_tol,
             self.deadline,
         ) {
-            let snapped = self.snap_integral(vals);
+            let snapped = snap_integral(self.lp, vals);
             self.try_accept_incumbent(&snapped, obj, Some(current_obj));
         }
     }
@@ -685,7 +782,7 @@ impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
         if let Some((vals, obj)) =
             rounding_heuristic(&mut self.sx, self.lp, &lb, &ub, &base, self.deadline)
         {
-            let snapped = self.snap_integral(vals);
+            let snapped = snap_integral(self.lp, vals);
             self.try_accept_incumbent(&snapped, obj, Some(current_obj));
         }
     }

@@ -51,6 +51,7 @@ pub mod lp;
 pub mod lu;
 pub mod model;
 pub mod options;
+pub mod parallel;
 pub mod presolve;
 pub mod simplex;
 pub mod solution;
@@ -63,4 +64,4 @@ pub use model::{ConstrId, Model, ModelError, Sense, Var, VarType};
 pub use options::{BranchingRule, SolverOptions};
 pub use solution::{IncumbentEvent, MipResult, Solution};
 pub use solver::{SolveError, Solver};
-pub use status::{SolveStatus, StopReason};
+pub use status::{SearchStats, SolveStatus, StopReason};

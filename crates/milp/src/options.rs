@@ -42,6 +42,15 @@ pub struct SolverOptions {
     /// Random seed (tie-breaking only; the algorithm is deterministic for a
     /// fixed seed).
     pub seed: u64,
+    /// Worker threads for the branch-and-bound search. `0` and `1` both
+    /// select the sequential search (`1` is the default), whose execution —
+    /// node order, events, results — is bit-identical to the historical
+    /// single-threaded solver. Values above `1` run the shared-pool
+    /// parallel search ([`crate::parallel`]): same optimum and certificates
+    /// under non-binding budgets, but node exploration order (and therefore
+    /// intermediate incumbents, node counts at limits, and tie-broken
+    /// optima) depends on thread scheduling.
+    pub threads: usize,
     /// Warm start: suggested values for (a subset of) the *integer*
     /// variables. Before the search begins, the hinted variables are fixed
     /// to their (rounded, bound-clamped) values and the resulting LP is
@@ -68,6 +77,7 @@ impl Default for SolverOptions {
             presolve: true,
             max_dive_depth: 64,
             seed: 0,
+            threads: 1,
             initial_solution: None,
         }
     }
@@ -99,6 +109,13 @@ impl SolverOptions {
         self.initial_solution = Some(hints);
         self
     }
+
+    /// Builder-style setter for the worker thread count (see
+    /// [`Self::threads`]).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -117,9 +134,16 @@ mod tests {
     fn builders() {
         let o = SolverOptions::with_time_limit(Duration::from_secs(3))
             .relative_gap(0.05)
-            .branching(BranchingRule::MostFractional);
+            .branching(BranchingRule::MostFractional)
+            .threads(4);
         assert_eq!(o.time_limit, Some(Duration::from_secs(3)));
         assert_eq!(o.relative_gap, 0.05);
         assert_eq!(o.branching, BranchingRule::MostFractional);
+        assert_eq!(o.threads, 4);
+    }
+
+    #[test]
+    fn default_is_sequential() {
+        assert_eq!(SolverOptions::default().threads, 1);
     }
 }

@@ -1,0 +1,870 @@
+//! Shared-pool parallel branch-and-bound ([`crate::SolverOptions::threads`]
+//! `> 1`).
+//!
+//! The parallel search runs the *same* node computation as the sequential
+//! one in [`crate::branch_bound`] — the LP re-solve from the
+//! [`NodeData`] bound chain, plunging, heuristics, pseudocost branching —
+//! under a different execution discipline:
+//!
+//! * **Shared open-node pool.** One lock-protected best-bound
+//!   [`BinaryHeap`] feeds every worker, preserving the global best-first
+//!   order: each idle worker pops the open node with the smallest bound.
+//!   While a worker plunges, the bound of its in-flight subtree is parked
+//!   in a per-worker `active` slot so the global dual bound never forgets
+//!   claimed-but-unfinished work.
+//! * **Shared incumbent.** The best assignment lives under the pool lock;
+//!   its objective is mirrored into an atomic (f64 bits) so workers prune
+//!   mid-plunge without locking. Candidates are row-verified *outside* the
+//!   lock, then re-checked for improvement under it — so concurrent
+//!   discoveries serialize into a monotone non-increasing incumbent
+//!   stream.
+//! * **Per-worker scratch.** Each worker owns a private [`Simplex`] (with
+//!   its own LU basis) and its own [`Pseudocosts`]; nothing numerical is
+//!   shared, so no simplex state can be torn by concurrency.
+//! * **Merged anytime stream.** The user callback is invoked only while
+//!   holding the pool lock, which serializes events across workers:
+//!   incumbent objectives are monotone, and every reported global bound is
+//!   the minimum over the heap top, parked stalled subtrees, every
+//!   worker's in-flight subtree bound, and the incumbent objective (the
+//!   caps-at-incumbent invariant of the sequential search survives
+//!   verbatim).
+//! * **Global budgets.** Nodes are metered by one atomic counter across
+//!   all workers — a `node_limit` (and therefore a deterministic budget
+//!   derived from it) still bounds *total* work, not per-worker work. The
+//!   wall-clock deadline is checked when acquiring a node, before every
+//!   dive child, and inside each LP.
+//!
+//! Termination: a worker that finds the heap empty (or fully prunable)
+//! while other workers are busy *waits* — the busy workers may still push
+//! improving children. The search is over only when no worker holds a
+//! subtree and the heap holds nothing worth expanding. Workers that
+//! observe a halt (budget fired elsewhere) push their in-flight node back
+//! into the heap, keeping the final reported bound sound.
+//!
+//! The search is **not** deterministic for `threads > 1`: node exploration
+//! order depends on OS scheduling, so intermediate incumbents, node counts
+//! at limits, and tie-broken optima may vary run to run. Optimal
+//! objectives, certificates, and bound soundness do not.
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::branch_bound::{
+    apply_node_bounds, fractional_candidates, node_chain_bound, snap_integral, speculative_count,
+    verify_rows, warm_start_candidate, NodeData, OpenNode, SearchOutcome, SolverEvent,
+};
+use crate::branching::{select_branching_var, Pseudocosts};
+use crate::heuristics::{diving_heuristic, rounding_heuristic};
+use crate::lp::LpProblem;
+use crate::options::SolverOptions;
+use crate::simplex::{LpStatus, Simplex, SimplexLimits};
+use crate::solution::{IncumbentEvent, Solution};
+use crate::status::{SearchStats, SolveStatus, StopReason};
+
+/// Mutable search state shared by all workers, guarded by one mutex.
+struct PoolState<F> {
+    heap: BinaryHeap<OpenNode>,
+    seq: u64,
+    /// Workers currently expanding a subtree.
+    busy: usize,
+    /// Per-worker bound of the claimed in-flight subtree (`None` when
+    /// idle) — part of the global dual bound.
+    active: Vec<Option<f64>>,
+    /// Bounds of numerically stalled nodes, parked (never re-processed)
+    /// so the global bound stays valid.
+    stalled_bounds: Vec<f64>,
+    incumbent: Option<(Vec<f64>, f64)>,
+    last_bound_reported: f64,
+    /// First budget that fired (first writer wins).
+    halt: Option<StopReason>,
+    /// Search over: set with `halt`, on natural exhaustion, or on the gap
+    /// target.
+    done: bool,
+    root_unbounded: bool,
+    /// Merged callback: invoked only under this lock, so events from all
+    /// workers form one ordered stream.
+    callback: F,
+}
+
+impl<F> PoolState<F> {
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+}
+
+/// Per-worker counters, merged into the outcome after the workers join.
+#[derive(Default)]
+struct WorkerScratch {
+    expanded_bounds: Vec<f64>,
+    simplex_iterations: u64,
+    infeasible_nodes: u64,
+    cold_retries: u64,
+    numerical_failures: u64,
+}
+
+/// Read-mostly shared context: problem, options, atomics, and the pool.
+struct Shared<'a, F> {
+    lp: &'a LpProblem,
+    opts: &'a SolverOptions,
+    start: Instant,
+    deadline: Option<Instant>,
+    /// Global node meter across all workers.
+    nodes: AtomicU64,
+    /// f64 bits of the incumbent objective (`+inf` when none): lock-free
+    /// pruning mid-plunge. Written only under the pool lock.
+    incumbent_bits: AtomicU64,
+    /// Mirror of `PoolState::done` for cheap mid-plunge checks.
+    finished: AtomicBool,
+    state: Mutex<PoolState<F>>,
+    work: Condvar,
+}
+
+impl<F: FnMut(&SolverEvent) + Send> Shared<'_, F> {
+    fn out_of_time(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    fn incumbent_obj_fast(&self) -> Option<f64> {
+        let v = f64::from_bits(self.incumbent_bits.load(AtomicOrdering::Acquire));
+        (v != f64::INFINITY).then_some(v)
+    }
+
+    fn prunable_against(&self, inc: Option<f64>, bound: f64) -> bool {
+        match inc {
+            Some(inc) => {
+                let slack = self.opts.relative_gap * inc.abs().max(1e-10);
+                bound >= inc - slack - 1e-12
+            }
+            None => false,
+        }
+    }
+
+    /// Lock-free prune check against the atomic incumbent mirror.
+    fn prunable_fast(&self, bound: f64) -> bool {
+        self.prunable_against(self.incumbent_obj_fast(), bound)
+    }
+
+    /// Global dual bound (min space): heap top, stalled subtrees, every
+    /// busy worker's in-flight subtree, `current`, capped at the incumbent
+    /// (same soundness argument as the sequential search).
+    fn global_bound(&self, st: &PoolState<F>, current: Option<f64>) -> f64 {
+        let mut b = f64::INFINITY;
+        if let Some(top) = st.heap.peek() {
+            b = b.min(top.bound);
+        }
+        for &s in &st.stalled_bounds {
+            b = b.min(s);
+        }
+        for a in st.active.iter().flatten() {
+            b = b.min(*a);
+        }
+        if let Some(c) = current {
+            b = b.min(c);
+        }
+        if let Some((_, obj)) = &st.incumbent {
+            b = b.min(*obj);
+        }
+        b
+    }
+
+    fn maybe_report_bound(&self, st: &mut PoolState<F>, current: Option<f64>) {
+        let b = self.global_bound(st, current);
+        if b.is_finite() && b > st.last_bound_reported + 1e-9 * (1.0 + b.abs()) {
+            st.last_bound_reported = b;
+            let ev = SolverEvent::BoundImproved {
+                elapsed: self.start.elapsed(),
+                bound: self.lp.user_objective(b),
+                nodes: self.nodes.load(AtomicOrdering::Relaxed),
+            };
+            (st.callback)(&ev);
+        }
+    }
+
+    fn gap_reached(&self, st: &PoolState<F>, current: Option<f64>) -> bool {
+        let Some((_, inc)) = &st.incumbent else {
+            return false;
+        };
+        let bound = self.global_bound(st, current);
+        if !bound.is_finite() {
+            return false;
+        }
+        (inc - bound).max(0.0) / inc.abs().max(1e-10) <= self.opts.relative_gap
+    }
+
+    /// Verifies a candidate (outside the lock), then accepts it under the
+    /// lock if it still improves on the shared incumbent. The acceptance,
+    /// atomic-mirror update, and event all happen under the lock, so the
+    /// merged incumbent stream is monotone.
+    fn offer_incumbent(&self, values: &[f64], obj: f64, current_bound: Option<f64>) -> bool {
+        if !verify_rows(self.lp, values) {
+            return false;
+        }
+        let mut st = self.state.lock().unwrap();
+        if let Some((_, best)) = &st.incumbent {
+            if obj >= *best - 1e-12 * (1.0 + best.abs()) {
+                return false;
+            }
+        }
+        st.incumbent = Some((values.to_vec(), obj));
+        self.incumbent_bits
+            .store(obj.to_bits(), AtomicOrdering::Release);
+        let bound = self.global_bound(&st, current_bound);
+        let ev = SolverEvent::Incumbent(IncumbentEvent {
+            elapsed: self.start.elapsed(),
+            objective: self.lp.user_objective(obj),
+            bound: self.lp.user_objective(bound.min(obj)),
+            nodes: self.nodes.load(AtomicOrdering::Relaxed),
+            solution: Solution::new(self.lp.unscale_values(values)),
+        });
+        (st.callback)(&ev);
+        // A better incumbent changes prunability: waiting workers must
+        // re-evaluate their termination conditions.
+        self.work.notify_all();
+        true
+    }
+
+    fn node_limit_reached(&self) -> bool {
+        self.opts
+            .node_limit
+            .is_some_and(|n| self.nodes.load(AtomicOrdering::Relaxed) >= n)
+    }
+
+    /// Marks the search done under an already-held lock.
+    fn finish(&self, st: &mut PoolState<F>, halt: Option<StopReason>) {
+        if let Some(reason) = halt {
+            st.halt.get_or_insert(reason);
+        }
+        st.done = true;
+        self.finished.store(true, AtomicOrdering::Release);
+        self.work.notify_all();
+    }
+
+    /// Re-opens a node (bound stays part of the global bound) and halts.
+    fn halt_with(&self, data: Option<Arc<NodeData>>, bound: f64, reason: StopReason) {
+        let mut st = self.state.lock().unwrap();
+        let seq = st.next_seq();
+        st.heap.push(OpenNode { bound, seq, data });
+        self.finish(&mut st, Some(reason));
+    }
+
+    /// Re-opens a node without halting (used when *another* worker ended
+    /// the search while this one was mid-plunge).
+    fn park_open(&self, data: Option<Arc<NodeData>>, bound: f64) {
+        let mut st = self.state.lock().unwrap();
+        let seq = st.next_seq();
+        st.heap.push(OpenNode { bound, seq, data });
+    }
+
+    fn report_bound(&self, current: Option<f64>) {
+        let mut st = self.state.lock().unwrap();
+        self.maybe_report_bound(&mut st, current);
+    }
+
+    /// Blocks until an expandable node is available (claiming it) or the
+    /// search is over (`None`). Termination requires the heap to hold
+    /// nothing worth expanding *and* no worker to be mid-subtree: a busy
+    /// worker may still push children below the current heap top.
+    fn acquire(&self, w: usize) -> Option<OpenNode> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if st.done {
+                return None;
+            }
+            if self.out_of_time() {
+                self.finish(&mut st, Some(StopReason::TimeLimit));
+                return None;
+            }
+            match st.heap.peek().map(|n| n.bound) {
+                Some(top) => {
+                    let inc = st.incumbent.as_ref().map(|(_, o)| *o);
+                    if self.prunable_against(inc, top) {
+                        // Bound-ordered heap: every open node is prunable.
+                        if st.busy == 0 {
+                            self.finish(&mut st, None);
+                            return None;
+                        }
+                    } else if self.node_limit_reached() {
+                        self.finish(&mut st, Some(StopReason::NodeLimit));
+                        return None;
+                    } else if self.gap_reached(&st, None) {
+                        self.finish(&mut st, None);
+                        return None;
+                    } else {
+                        let node = st.heap.pop().expect("peeked above");
+                        st.busy += 1;
+                        st.active[w] = Some(node.bound);
+                        return Some(node);
+                    }
+                }
+                None => {
+                    if st.busy == 0 {
+                        // Tree exhausted.
+                        self.finish(&mut st, None);
+                        return None;
+                    }
+                }
+            }
+            // Nothing expandable right now: wait for a push, a new
+            // incumbent, a subtree closing, or the end of the search.
+            st = match self.deadline {
+                Some(d) => {
+                    let timeout = d
+                        .saturating_duration_since(Instant::now())
+                        .min(Duration::from_millis(20))
+                        .max(Duration::from_millis(1));
+                    self.work.wait_timeout(st, timeout).unwrap().0
+                }
+                None => self.work.wait(st).unwrap(),
+            };
+        }
+    }
+}
+
+fn run_diving<F: FnMut(&SolverEvent) + Send>(
+    shared: &Shared<'_, F>,
+    sx: &mut Simplex<'_>,
+    current_obj: f64,
+) {
+    let (lb, ub) = {
+        let (l, u) = sx.bounds();
+        (l.to_vec(), u.to_vec())
+    };
+    if let Some((vals, obj)) = diving_heuristic(
+        sx,
+        shared.lp,
+        &lb,
+        &ub,
+        shared.opts.integrality_tol,
+        shared.deadline,
+    ) {
+        let snapped = snap_integral(shared.lp, vals);
+        shared.offer_incumbent(&snapped, obj, Some(current_obj));
+    }
+}
+
+fn run_rounding<F: FnMut(&SolverEvent) + Send>(
+    shared: &Shared<'_, F>,
+    sx: &mut Simplex<'_>,
+    current_obj: f64,
+) {
+    let base = sx.values().to_vec();
+    let (lb, ub) = {
+        let (l, u) = sx.bounds();
+        (l.to_vec(), u.to_vec())
+    };
+    if let Some((vals, obj)) = rounding_heuristic(sx, shared.lp, &lb, &ub, &base, shared.deadline) {
+        let snapped = snap_integral(shared.lp, vals);
+        shared.offer_incumbent(&snapped, obj, Some(current_obj));
+    }
+}
+
+/// Expands one claimed node: the same plunge the sequential search runs,
+/// against the shared pool and incumbent.
+fn expand<F: FnMut(&SolverEvent) + Send>(
+    shared: &Shared<'_, F>,
+    w: usize,
+    sx: &mut Simplex<'_>,
+    pseudo: &mut Pseudocosts,
+    node: OpenNode,
+    scratch: &mut WorkerScratch,
+) {
+    let mut current = Some((node.data, /* warm */ false));
+    let mut dive_depth = 0u32;
+    while let Some((data, warm)) = current.take() {
+        // Budget / halt checks before funding another LP. A worker that
+        // backs out re-opens its node so the subtree bound stays valid.
+        if shared.finished.load(AtomicOrdering::Acquire) {
+            let bound = node_chain_bound(&data);
+            shared.park_open(data, bound);
+            return;
+        }
+        if shared.out_of_time() {
+            let bound = node_chain_bound(&data);
+            shared.halt_with(data, bound, StopReason::TimeLimit);
+            return;
+        }
+        if shared.node_limit_reached() {
+            let bound = node_chain_bound(&data);
+            shared.halt_with(data, bound, StopReason::NodeLimit);
+            return;
+        }
+
+        apply_node_bounds(sx, &data);
+        if !warm {
+            sx.install_slack_basis();
+        }
+        let mut res = sx.solve(&SimplexLimits {
+            max_iterations: None,
+            deadline: shared.deadline,
+        });
+        if warm && res.status != LpStatus::Optimal {
+            sx.install_slack_basis();
+            res = sx.solve(&SimplexLimits {
+                max_iterations: None,
+                deadline: shared.deadline,
+            });
+            scratch.cold_retries += 1;
+        }
+        shared.nodes.fetch_add(1, AtomicOrdering::Relaxed);
+        scratch.expanded_bounds.push(node_chain_bound(&data));
+
+        let stalled_feasible =
+            res.status == LpStatus::IterationLimit && sx.primal_infeasibility() < 1e-5;
+
+        match res.status {
+            LpStatus::Infeasible => {
+                scratch.infeasible_nodes += 1;
+                shared.report_bound(None);
+                break;
+            }
+            LpStatus::Unbounded => {
+                if data.is_none() {
+                    let mut st = shared.state.lock().unwrap();
+                    st.root_unbounded = true;
+                    shared.finish(&mut st, None);
+                    return;
+                }
+                scratch.numerical_failures += 1;
+                let bound = node_chain_bound(&data);
+                shared.state.lock().unwrap().stalled_bounds.push(bound);
+                break;
+            }
+            LpStatus::TimeLimit => {
+                let bound = node_chain_bound(&data);
+                shared.halt_with(data, bound, StopReason::TimeLimit);
+                return;
+            }
+            LpStatus::IterationLimit if !stalled_feasible => {
+                scratch.numerical_failures += 1;
+                let bound = node_chain_bound(&data);
+                shared.state.lock().unwrap().stalled_bounds.push(bound);
+                break;
+            }
+            LpStatus::IterationLimit | LpStatus::Optimal => {}
+        }
+
+        let exact = res.status == LpStatus::Optimal;
+        let obj = if exact {
+            res.objective
+        } else {
+            node_chain_bound(&data)
+        };
+
+        // Deadline re-check between the node LP and the work below.
+        if shared.out_of_time() {
+            shared.halt_with(data, obj, StopReason::TimeLimit);
+            return;
+        }
+
+        if exact {
+            if let Some(d) = &data {
+                if d.parent_obj.is_finite() {
+                    pseudo.record(d.var, d.frac, obj - d.parent_obj, d.up);
+                }
+            }
+        }
+
+        if shared.prunable_fast(obj) {
+            shared.report_bound(None);
+            break;
+        }
+
+        let candidates = fractional_candidates(sx, shared.lp, shared.opts.integrality_tol);
+        if candidates.is_empty() {
+            let point_obj = sx.objective();
+            let values = sx.values()[..shared.lp.num_structural].to_vec();
+            let snapped = snap_integral(shared.lp, values);
+            shared.offer_incumbent(&snapped, point_obj, None);
+            shared.report_bound(None);
+            break;
+        }
+
+        let Some((var, frac)) = select_branching_var(shared.opts.branching, &candidates, pseudo)
+        else {
+            break;
+        };
+        let val = sx.values()[var];
+        let (node_lb, node_ub) = {
+            let (l, u) = sx.bounds();
+            (l[var], u[var])
+        };
+        let depth = data.as_ref().map_or(0, |d| d.depth) + 1;
+
+        // Root diving runs exactly once: only one node has no data (the
+        // root), and exactly one worker claims it.
+        if data.is_none() {
+            if shared.opts.root_diving {
+                run_diving(shared, sx, obj);
+            }
+        } else if shared.opts.heuristic_frequency > 0
+            && shared
+                .nodes
+                .load(AtomicOrdering::Relaxed)
+                .is_multiple_of(shared.opts.heuristic_frequency)
+        {
+            run_rounding(shared, sx, obj);
+        }
+
+        let down = Arc::new(NodeData {
+            parent: data.clone(),
+            var,
+            lb: node_lb,
+            ub: val.floor(),
+            parent_obj: obj,
+            frac,
+            up: false,
+            depth,
+        });
+        let up = Arc::new(NodeData {
+            parent: data.clone(),
+            var,
+            lb: val.ceil(),
+            ub: node_ub,
+            parent_obj: obj,
+            frac,
+            up: true,
+            depth,
+        });
+        let (first, second) = if frac < 0.5 { (down, up) } else { (up, down) };
+
+        dive_depth += 1;
+        let keep_diving = dive_depth <= shared.opts.max_dive_depth;
+        {
+            let mut st = shared.state.lock().unwrap();
+            let seq = st.next_seq();
+            st.heap.push(OpenNode {
+                bound: obj,
+                seq,
+                data: Some(second),
+            });
+            if !keep_diving {
+                let seq = st.next_seq();
+                st.heap.push(OpenNode {
+                    bound: obj,
+                    seq,
+                    data: Some(first.clone()),
+                });
+            }
+            // The in-flight subtree's bound tightened to this node's LP
+            // objective.
+            st.active[w] = Some(obj);
+            shared.maybe_report_bound(&mut st, keep_diving.then_some(obj));
+            // New open work for idle workers.
+            shared.work.notify_all();
+        }
+        if keep_diving {
+            current = Some((Some(first), true));
+        }
+    }
+}
+
+fn worker<F: FnMut(&SolverEvent) + Send>(
+    shared: &Shared<'_, F>,
+    w: usize,
+    scratch: &mut WorkerScratch,
+) {
+    let mut sx = Simplex::new(shared.lp);
+    let mut pseudo = Pseudocosts::new(shared.lp.num_structural, &shared.lp.obj);
+    while let Some(node) = shared.acquire(w) {
+        expand(shared, w, &mut sx, &mut pseudo, node, scratch);
+        // Close out the claimed subtree: the worker no longer holds (or
+        // has re-opened) it, so its `active` slot empties and waiting
+        // workers re-check termination.
+        let mut st = shared.state.lock().unwrap();
+        st.busy -= 1;
+        st.active[w] = None;
+        shared.maybe_report_bound(&mut st, None);
+        shared.work.notify_all();
+    }
+    scratch.simplex_iterations = sx.iterations_total();
+}
+
+/// Multi-worker branch-and-bound over a shared open-node pool. Same
+/// arguments and [`SearchOutcome`] as the sequential
+/// [`crate::branch_bound::BranchBound`]; see the module docs for the
+/// protocol.
+pub struct ParallelBranchBound<'a, F: FnMut(&SolverEvent) + Send> {
+    lp: &'a LpProblem,
+    opts: &'a SolverOptions,
+    callback: F,
+}
+
+impl<'a, F: FnMut(&SolverEvent) + Send> ParallelBranchBound<'a, F> {
+    pub fn new(lp: &'a LpProblem, opts: &'a SolverOptions, callback: F) -> Self {
+        ParallelBranchBound { lp, opts, callback }
+    }
+
+    /// Runs the search to completion or a limit.
+    pub fn run(self) -> SearchOutcome {
+        let threads = self.opts.threads.max(1);
+        let start = Instant::now();
+        let shared = Shared {
+            lp: self.lp,
+            opts: self.opts,
+            start,
+            deadline: self.opts.time_limit.map(|d| start + d),
+            nodes: AtomicU64::new(0),
+            incumbent_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            finished: AtomicBool::new(false),
+            state: Mutex::new(PoolState {
+                heap: BinaryHeap::new(),
+                seq: 0,
+                busy: 0,
+                active: vec![None; threads],
+                stalled_bounds: Vec::new(),
+                incumbent: None,
+                last_bound_reported: f64::NEG_INFINITY,
+                halt: None,
+                done: false,
+                root_unbounded: false,
+                callback: self.callback,
+            }),
+            work: Condvar::new(),
+        };
+
+        // Root node.
+        {
+            let mut st = shared.state.lock().unwrap();
+            let seq = st.next_seq();
+            st.heap.push(OpenNode {
+                bound: f64::NEG_INFINITY,
+                seq,
+                data: None,
+            });
+        }
+
+        // Warm start on the calling thread, before any worker launches:
+        // the hinted incumbent seeds the shared incumbent, so every worker
+        // prunes against it from its very first node and the anytime
+        // stream opens with a finite objective at t ≈ 0.
+        let warm_iterations = {
+            let mut sx = Simplex::new(shared.lp);
+            if let Some((snapped, obj)) =
+                warm_start_candidate(&mut sx, shared.lp, shared.opts, shared.deadline)
+            {
+                shared.offer_incumbent(&snapped, obj, None);
+            }
+            sx.iterations_total()
+        };
+
+        let mut scratches: Vec<WorkerScratch> =
+            (0..threads).map(|_| WorkerScratch::default()).collect();
+        std::thread::scope(|scope| {
+            for (w, scratch) in scratches.iter_mut().enumerate() {
+                let shared = &shared;
+                scope.spawn(move || worker(shared, w, scratch));
+            }
+        });
+
+        // Workers joined: fold their private counters and map the pool
+        // state to an outcome exactly as the sequential search does.
+        let nodes = shared.nodes.load(AtomicOrdering::Relaxed);
+        let st = shared.state.lock().unwrap();
+        let mut expanded_bounds: Vec<f64> = Vec::new();
+        let mut simplex_iterations = warm_iterations;
+        let mut infeasible_nodes = 0u64;
+        let mut cold_retries = 0u64;
+        let mut numerical_failures = 0u64;
+        for s in &scratches {
+            expanded_bounds.extend_from_slice(&s.expanded_bounds);
+            simplex_iterations += s.simplex_iterations;
+            infeasible_nodes += s.infeasible_nodes;
+            cold_retries += s.cold_retries;
+            numerical_failures += s.numerical_failures;
+        }
+        if std::env::var_os("MILP_STATS").is_some() {
+            eprintln!(
+                "bb[par x{threads}]: nodes={} infeasible={} cold_retries={} \
+                 numerical_failures={} heap_left={}",
+                nodes,
+                infeasible_nodes,
+                cold_retries,
+                numerical_failures,
+                st.heap.len()
+            );
+        }
+
+        let incumbent_obj = st.incumbent.as_ref().map(|(_, o)| *o);
+        let mut stop = st.halt.unwrap_or(StopReason::Finished);
+        if stop == StopReason::Finished
+            && st
+                .stalled_bounds
+                .iter()
+                .any(|&b| !shared.prunable_against(incumbent_obj, b))
+        {
+            stop = StopReason::Stalled;
+        }
+        let bound = shared.global_bound(&st, None);
+        let status = if st.root_unbounded {
+            SolveStatus::Unbounded
+        } else {
+            match (incumbent_obj.is_some(), stop != StopReason::Finished) {
+                (true, false) => SolveStatus::Optimal,
+                (true, true) => {
+                    if shared.gap_reached(&st, None) {
+                        SolveStatus::Optimal
+                    } else {
+                        SolveStatus::Feasible
+                    }
+                }
+                (false, true) => SolveStatus::NoSolutionFound,
+                (false, false) => SolveStatus::Infeasible,
+            }
+        };
+        if status == SolveStatus::Optimal {
+            stop = StopReason::Finished;
+        }
+        let final_bound = match (incumbent_obj, status) {
+            (Some(obj), SolveStatus::Optimal) => obj,
+            _ => bound,
+        };
+        let incumbent = {
+            // Extract the incumbent out of the (now-exclusive) pool state.
+            drop(st);
+            shared.state.into_inner().unwrap().incumbent
+        };
+        let speculative = speculative_count(&expanded_bounds, incumbent.as_ref());
+        SearchOutcome {
+            status,
+            stop,
+            incumbent,
+            bound: final_bound,
+            nodes,
+            simplex_iterations,
+            stats: SearchStats {
+                nodes_expanded: nodes,
+                workers_used: threads,
+                speculative_nodes: speculative,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Sense};
+    use crate::solver::Solver;
+
+    fn knapsack(n: usize) -> Model {
+        let mut m = Model::new("ks");
+        let mut cap = crate::expr::LinExpr::new();
+        let mut obj = crate::expr::LinExpr::new();
+        for i in 0..n {
+            let v = m.add_binary(format!("x{i}"));
+            cap += v * (1.0 + (i % 5) as f64);
+            obj += v * (1.5 + (i % 7) as f64 * 1.3);
+        }
+        m.add_le(cap, (n as f64) * 1.2, "cap");
+        m.set_objective(obj, Sense::Maximize);
+        m
+    }
+
+    #[test]
+    fn parallel_matches_sequential_optimum() {
+        let m = knapsack(14);
+        let seq = Solver::new(SolverOptions::default()).solve(&m).unwrap();
+        for threads in [2usize, 4] {
+            let par = Solver::new(SolverOptions::default().threads(threads))
+                .solve(&m)
+                .unwrap();
+            assert_eq!(par.status, SolveStatus::Optimal, "threads={threads}");
+            assert_eq!(par.stop, StopReason::Finished);
+            let (a, b) = (seq.objective.unwrap(), par.objective.unwrap());
+            assert!((a - b).abs() < 1e-6, "threads={threads}: {a} vs {b}");
+            // Proven optimal: bound equals objective.
+            assert!((par.bound - b).abs() < 1e-6);
+            assert_eq!(par.search.workers_used, threads);
+            assert!(par.search.nodes_expanded >= 1);
+        }
+    }
+
+    #[test]
+    fn parallel_events_are_monotone() {
+        let m = knapsack(16);
+        let events = Mutex::new(Vec::new());
+        let r = Solver::new(SolverOptions::default().threads(4))
+            .solve_with_callback(&m, |ev| {
+                if let SolverEvent::Incumbent(inc) = ev {
+                    events.lock().unwrap().push(inc.objective);
+                }
+            })
+            .unwrap();
+        assert_eq!(r.status, SolveStatus::Optimal);
+        let events = events.into_inner().unwrap();
+        assert!(!events.is_empty());
+        // Maximization incumbents must be non-decreasing.
+        for pair in events.windows(2) {
+            assert!(pair[1] >= pair[0] - 1e-9, "{events:?}");
+        }
+        assert_eq!(events.last().copied(), r.objective);
+    }
+
+    #[test]
+    fn parallel_infeasible() {
+        let mut m = Model::new("inf");
+        let x = m.add_integer(0.0, 10.0, "x");
+        m.add_ge(x * 2.0, 3.0, "c0");
+        m.add_le(x * 2.0, 3.5, "c1");
+        m.set_objective(x.into(), Sense::Minimize);
+        // Presolve would catch this; go through the raw search.
+        let mut opts = SolverOptions::default().threads(3);
+        opts.presolve = false;
+        let r = Solver::new(opts).solve(&m).unwrap();
+        assert_eq!(r.status, SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn parallel_node_limit_is_global() {
+        let m = knapsack(24);
+        let mut opts = SolverOptions::default().threads(4);
+        opts.node_limit = Some(5);
+        opts.root_diving = false;
+        opts.heuristic_frequency = 0;
+        let r = Solver::new(opts).solve(&m).unwrap();
+        // Metering is global: each in-flight worker may expand at most one
+        // more node after the limit trips.
+        assert!(
+            r.nodes <= 5 + 4,
+            "global node meter exceeded: {} nodes",
+            r.nodes
+        );
+        if !r.status.has_solution() {
+            assert_eq!(r.stop, StopReason::NodeLimit);
+        }
+    }
+
+    #[test]
+    fn parallel_warm_start_seeds_shared_incumbent() {
+        let mut m = Model::new("ws");
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_binary("c");
+        m.add_le(a * 3.0 + b * 4.0 + c * 2.0, 6.0, "cap");
+        m.set_objective(a * 4.0 + b * 5.0 + c * 3.0, Sense::Maximize);
+        let opts = SolverOptions::default().threads(2).initial_solution(vec![
+            (a, 1.0),
+            (b, 0.0),
+            (c, 0.0),
+        ]);
+        let first_event = Mutex::new(None);
+        let r = Solver::new(opts)
+            .solve_with_callback(&m, |ev| {
+                let mut guard = first_event.lock().unwrap();
+                if guard.is_none() {
+                    *guard = Some(matches!(ev, SolverEvent::Incumbent(_)));
+                }
+            })
+            .unwrap();
+        assert_eq!(r.status, SolveStatus::Optimal);
+        assert!((r.objective.unwrap() - 8.0).abs() < 1e-6);
+        assert_eq!(
+            first_event.into_inner().unwrap(),
+            Some(true),
+            "warm start must be the first event, before any worker bound"
+        );
+    }
+}

@@ -3,7 +3,7 @@
 use std::time::Duration;
 
 use crate::model::Var;
-use crate::status::{SolveStatus, StopReason};
+use crate::status::{SearchStats, SolveStatus, StopReason};
 
 /// A (feasible) assignment of values to the model variables.
 #[derive(Debug, Clone, PartialEq)]
@@ -83,6 +83,9 @@ pub struct MipResult {
     pub simplex_iterations: u64,
     /// Wall-clock time spent.
     pub solve_time: Duration,
+    /// Search observability counters (nodes expanded, workers used,
+    /// speculative work).
+    pub search: SearchStats,
 }
 
 impl MipResult {
@@ -137,6 +140,7 @@ mod tests {
             nodes: 0,
             simplex_iterations: 0,
             solve_time: Duration::ZERO,
+            search: SearchStats::default(),
         };
         assert!((r.relative_gap().unwrap() - 0.1).abs() < 1e-12);
     }

@@ -7,9 +7,10 @@ use crate::branch_bound::{BranchBound, SolverEvent};
 use crate::lp::LpProblem;
 use crate::model::{Model, ModelError};
 use crate::options::SolverOptions;
+use crate::parallel::ParallelBranchBound;
 use crate::presolve::{presolve, PresolveOutcome};
 use crate::solution::{MipResult, Solution};
-use crate::status::SolveStatus;
+use crate::status::{SearchStats, SolveStatus};
 
 /// Errors surfaced before the search starts.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,11 +80,15 @@ impl Solver {
     }
 
     /// Solves the model, invoking `callback` on every incumbent and global
-    /// bound improvement (the anytime stream).
+    /// bound improvement (the anytime stream). With
+    /// [`SolverOptions::threads`] `> 1` the events of all workers are
+    /// merged into one stream (serialized under the shared-pool lock, so
+    /// incumbent objectives stay monotone and bounds stay sound); the
+    /// callback therefore must be `Send` — it may run on a worker thread.
     pub fn solve_with_callback(
         &self,
         model: &Model,
-        callback: impl FnMut(&SolverEvent),
+        callback: impl FnMut(&SolverEvent) + Send,
     ) -> Result<MipResult, SolveError> {
         model.validate()?;
         let start = Instant::now();
@@ -100,13 +105,20 @@ impl Solver {
                     nodes: 0,
                     simplex_iterations: 0,
                     solve_time: start.elapsed(),
+                    search: SearchStats::default(),
                 });
             }
         }
 
         let lp = LpProblem::from_model(&working);
-        let bb = BranchBound::new(&lp, &self.options, callback);
-        let outcome = bb.run();
+        // `threads <= 1` takes the historical sequential path untouched —
+        // this is what keeps the default bit-identical to the
+        // single-threaded solver.
+        let outcome = if self.options.threads > 1 {
+            ParallelBranchBound::new(&lp, &self.options, callback).run()
+        } else {
+            BranchBound::new(&lp, &self.options, callback).run()
+        };
 
         let objective = outcome
             .incumbent
@@ -124,6 +136,7 @@ impl Solver {
             nodes: outcome.nodes,
             simplex_iterations: outcome.simplex_iterations,
             solve_time: start.elapsed(),
+            search: outcome.stats,
         })
     }
 }

@@ -49,6 +49,28 @@ pub enum StopReason {
     Stalled,
 }
 
+/// Per-solve search observability counters, carried on
+/// [`crate::branch_bound::SearchOutcome`] and [`crate::MipResult`]. All
+/// fields describe the branch-and-bound search itself (no LP-level detail):
+/// consumers aggregate them across solves to understand where search effort
+/// went and how much of it was wasted speculation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchStats {
+    /// Branch-and-bound nodes whose LP relaxation was solved (mirrors the
+    /// result's `nodes` field; kept here so the stats block is
+    /// self-contained).
+    pub nodes_expanded: u64,
+    /// Worker threads the search ran with (`1` for the sequential path).
+    pub workers_used: usize,
+    /// Nodes expanded whose justifying bound (the parent LP objective the
+    /// node was opened under) already exceeded the final optimum — work a
+    /// clairvoyant search would have pruned. In a parallel search this is
+    /// the natural measure of speculative overhead: workers expand
+    /// best-bound-at-the-time nodes that a later incumbent retroactively
+    /// proves useless. `0` whenever no incumbent was found.
+    pub speculative_nodes: u64,
+}
+
 impl fmt::Display for StopReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {

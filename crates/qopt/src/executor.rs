@@ -111,7 +111,7 @@ pub const DEFAULT_CACHE_SHARDS: usize = 16;
 ///                              &CostParams::default()).total;
 ///         Ok(OrderingOutcome { plan, cost, objective: cost, bound: None,
 ///             proven_optimal: false, trace: CostTrace::default(),
-///             elapsed: Duration::ZERO })
+///             elapsed: Duration::ZERO, search: Default::default() })
 ///     }
 /// }
 ///
@@ -447,6 +447,7 @@ mod tests {
                 proven_optimal: true,
                 trace: CostTrace::single(Duration::ZERO, cost, Some(cost)),
                 elapsed: Duration::ZERO,
+                search: Default::default(),
             })
         }
     }

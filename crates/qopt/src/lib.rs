@@ -47,7 +47,7 @@ pub use fingerprint::{Fingerprint, FingerprintOptions, FingerprintedQuery};
 pub use graph::{GraphShape, JoinGraph};
 pub use orderer::{
     AnytimeTrace, BuildWith, CostTrace, CostTracePoint, JoinOrderer, OrdererFactory, OrderingError,
-    OrderingOptions, OrderingOutcome, TracePoint,
+    OrderingOptions, OrderingOutcome, SearchStats, TracePoint,
 };
 pub use plan::{eager_evaluation_joins, JoinOp, LeftDeepPlan, PlanError};
 pub use query::{CorrelatedGroup, Predicate, PredicateId, Query, QueryError};

@@ -210,6 +210,17 @@ pub struct OrderingOptions {
     pub deterministic_budget: Option<u64>,
     /// Random seed (tie-breaking; every backend is deterministic per seed).
     pub seed: u64,
+    /// Worker threads *inside* each single solve (search backends only;
+    /// greedy and DP ignore it). `0` and `1` both select the sequential
+    /// search, which is bit-identical to the historical single-threaded
+    /// solver; values above `1` run the MILP backend's shared-pool
+    /// parallel branch-and-bound. Composes multiplicatively with service
+    /// concurrency: a `ParallelSession` with `w` workers each solving with
+    /// `t` solver threads can occupy up to `w × t` cores — budget both
+    /// knobs together, and keep this at the default `1` whenever
+    /// bit-identical results matter (`threads > 1` preserves optimal costs
+    /// and certificates but not node-by-node determinism).
+    pub solver_threads: usize,
 }
 
 impl OrderingOptions {
@@ -236,6 +247,28 @@ impl OrderingOptions {
         self.deterministic_budget = Some(nodes);
         self
     }
+
+    /// Builder-style setter for [`Self::solver_threads`].
+    pub fn solver_threads(mut self, threads: usize) -> Self {
+        self.solver_threads = threads;
+        self
+    }
+}
+
+/// Per-solve search observability counters, aggregated by the session
+/// layer into [`crate::session::SessionStats`]. Backends without a
+/// node-based search (greedy, DP, cache hits) report all-zero stats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchStats {
+    /// Branch-and-bound nodes whose relaxation was solved.
+    pub nodes_expanded: u64,
+    /// Worker threads the search ran with (`1` for a sequential search,
+    /// `0` when the backend has no search at all).
+    pub workers_used: usize,
+    /// Nodes expanded whose justifying bound already exceeded the final
+    /// optimum — work a clairvoyant search would have pruned; the natural
+    /// measure of speculative overhead in a parallel search.
+    pub speculative_nodes: u64,
 }
 
 /// What every backend reports for one query.
@@ -265,6 +298,8 @@ pub struct OrderingOutcome {
     pub trace: CostTrace,
     /// Wall-clock time the backend spent.
     pub elapsed: Duration,
+    /// Search observability counters (all-zero for non-search backends).
+    pub search: SearchStats,
 }
 
 impl OrderingOutcome {
@@ -485,6 +520,7 @@ mod tests {
             proven_optimal: true,
             trace: CostTrace::default(),
             elapsed: Duration::ZERO,
+            search: SearchStats::default(),
         };
         assert_eq!(outcome.guaranteed_factor(), Some(1.0));
         // MILP-space trace: same convention.
@@ -526,6 +562,7 @@ mod tests {
             proven_optimal: false,
             trace: CostTrace::default(),
             elapsed: Duration::ZERO,
+            search: SearchStats::default(),
         };
         assert_eq!(outcome.guaranteed_factor(), Some(2.5));
         let unbounded = OrderingOutcome {

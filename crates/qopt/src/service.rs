@@ -80,7 +80,7 @@
 //!                              &CostParams::default()).total;
 //!         Ok(OrderingOutcome { plan, cost, objective: cost, bound: None,
 //!             proven_optimal: false, trace: CostTrace::default(),
-//!             elapsed: Duration::ZERO })
+//!             elapsed: Duration::ZERO, search: Default::default() })
 //!     }
 //! }
 //!
@@ -699,6 +699,7 @@ mod tests {
                 proven_optimal: true,
                 trace: CostTrace::single(Duration::ZERO, cost, Some(cost)),
                 elapsed: Duration::ZERO,
+                search: Default::default(),
             })
         }
     }

@@ -53,7 +53,9 @@ use crate::cache::{CachedPlan, InFlightClaim, ShardedPlanCache};
 use crate::catalog::Catalog;
 use crate::cost::{plan_cost, CostModelKind, CostParams};
 use crate::fingerprint::{Fingerprint, FingerprintOptions, FingerprintedQuery};
-use crate::orderer::{CostTrace, JoinOrderer, OrderingError, OrderingOptions, OrderingOutcome};
+use crate::orderer::{
+    CostTrace, JoinOrderer, OrderingError, OrderingOptions, OrderingOutcome, SearchStats,
+};
 use crate::plan::LeftDeepPlan;
 use crate::query::Query;
 
@@ -100,6 +102,16 @@ pub struct SessionStats {
     /// — cache hits that would have been duplicate concurrent solves
     /// without the in-flight table. A subset of `cache_hits`.
     pub inflight_wait_hits: u64,
+    /// Branch-and-bound nodes expanded across every backend solve (cache
+    /// hits expand none; non-search backends report zero).
+    pub nodes_expanded: u64,
+    /// Nodes whose justifying bound already exceeded their solve's final
+    /// optimum — speculative search work, summed across solves (see
+    /// [`crate::orderer::SearchStats::speculative_nodes`]).
+    pub speculative_nodes: u64,
+    /// The largest intra-solve worker count any backend solve ran with
+    /// (`0` until a search backend reports; `1` for sequential solves).
+    pub max_workers_used: usize,
 }
 
 impl SessionStats {
@@ -127,6 +139,16 @@ impl SessionStats {
         self.inflight_leaders += other.inflight_leaders;
         self.inflight_followers += other.inflight_followers;
         self.inflight_wait_hits += other.inflight_wait_hits;
+        self.nodes_expanded += other.nodes_expanded;
+        self.speculative_nodes += other.speculative_nodes;
+        self.max_workers_used = self.max_workers_used.max(other.max_workers_used);
+    }
+
+    /// Folds one backend solve's search counters into the session totals.
+    pub(crate) fn record_search(&mut self, search: &SearchStats) {
+        self.nodes_expanded += search.nodes_expanded;
+        self.speculative_nodes += search.speculative_nodes;
+        self.max_workers_used = self.max_workers_used.max(search.workers_used);
     }
 }
 
@@ -199,6 +221,8 @@ pub(crate) fn instantiate_cached(
             proven_optimal,
             trace: CostTrace::single(elapsed, cost, bound),
             elapsed,
+            // A cache hit expands no search nodes.
+            search: SearchStats::default(),
         },
         cache_hit: true,
         exact_hit: exact,
@@ -356,6 +380,7 @@ fn process_fingerprinted(
                 stats.backend_solves += 1;
                 match ctx.backend.order(ctx.catalog, query, ctx.options) {
                     Ok(outcome) => {
+                        stats.record_search(&outcome.search);
                         let record = Arc::new(record_for_cache(query, fp, &outcome));
                         guard.publish(record);
                         return Ok(SessionOutcome {
@@ -422,6 +447,7 @@ fn solve_uncached(
         .backend
         .order(ctx.catalog, query, ctx.options)
         .inspect_err(|_| stats.backend_errors += 1)?;
+    stats.record_search(&outcome.search);
     Ok(SessionOutcome {
         outcome,
         cache_hit: false,
@@ -442,6 +468,7 @@ fn solve_and_cache(
         .backend
         .order(ctx.catalog, query, ctx.options)
         .inspect_err(|_| stats.backend_errors += 1)?;
+    stats.record_search(&outcome.search);
     let record = record_for_cache(query, fp, &outcome);
     ctx.cache.insert(fp.fingerprint.clone(), Arc::new(record));
     Ok(SessionOutcome {
@@ -475,7 +502,7 @@ fn solve_and_cache(
 /// #                              &CostParams::default()).total;
 /// #         Ok(OrderingOutcome { plan, cost, objective: cost, bound: None,
 /// #             proven_optimal: false, trace: CostTrace::default(),
-/// #             elapsed: Duration::ZERO })
+/// #             elapsed: Duration::ZERO, search: Default::default() })
 /// #     }
 /// # }
 ///
@@ -707,6 +734,11 @@ mod tests {
                 proven_optimal: self.prove,
                 trace: CostTrace::single(Duration::ZERO, cost, self.prove.then_some(cost)),
                 elapsed: Duration::ZERO,
+                search: SearchStats {
+                    nodes_expanded: 3,
+                    workers_used: 1,
+                    speculative_nodes: 1,
+                },
             })
         }
     }

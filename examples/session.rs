@@ -3,14 +3,17 @@
 //! solves across structurally identical queries.
 //!
 //! Run with:
-//! `cargo run --release --example session [copies] [tables] [mode] [--workers N]`
+//! `cargo run --release --example session [copies] [tables] [mode] \
+//!      [--workers N] [--solver-threads T]`
 //! (the argument form doubles as the CI bench-smoke: e.g. `session 3 6`
 //! drives one tiny workload per topology through `optimize_batch`,
 //! `session 3 6 upper` runs the same batch under the upper-bounding
 //! cardinality approximation, asserting the window-floor-corrected
 //! cost-space bound is claimed, and `--workers 4` drives the same batches
 //! through the parallel executor's worker pool instead of the sequential
-//! session).
+//! session; `--solver-threads T` additionally runs T branch-and-bound
+//! workers *inside* each MILP solve — total concurrency is the product,
+//! so budget `workers * solver_threads <= cores`).
 
 use std::time::{Duration, Instant};
 
@@ -36,6 +39,20 @@ fn main() {
         None => 1,
     };
     let workers = workers.max(1);
+    // `--solver-threads T` sets the intra-solve branch-and-bound worker
+    // count (independent of `--workers`, which parallelizes across
+    // queries).
+    let solver_threads: usize = match args.iter().position(|a| a == "--solver-threads") {
+        Some(i) => {
+            let n = args
+                .get(i + 1)
+                .and_then(|s| s.parse().ok())
+                .expect("--solver-threads requires a positive integer");
+            args.drain(i..=i + 1);
+            n
+        }
+        None => 1,
+    };
     let copies: usize = args
         .first()
         .and_then(|s| s.parse().ok())
@@ -62,7 +79,8 @@ fn main() {
             ..EncoderConfig::default().precision(Precision::Low)
         };
         let backend = HybridOptimizer::new(config);
-        let options = OrderingOptions::with_time_limit(Duration::from_secs(10));
+        let options = OrderingOptions::with_time_limit(Duration::from_secs(10))
+            .solver_threads(solver_threads);
 
         let start = Instant::now();
         // `--workers N` (N > 1) swaps the sequential session for the
@@ -86,7 +104,8 @@ fn main() {
         }
         println!(
             "{:<6} {} queries in {:>8.2?} ({} worker{})  backend solves: {}  cache hits: {} \
-             (hit rate {:.0}%)  exact hits: {}  evictions: {}",
+             (hit rate {:.0}%)  exact hits: {}  evictions: {}  nodes: {} \
+             (speculative {})  solver workers: {}",
             topology.name(),
             queries.len(),
             elapsed,
@@ -97,6 +116,17 @@ fn main() {
             100.0 * stats.hit_rate(),
             stats.exact_hits,
             stats.evictions,
+            stats.nodes_expanded,
+            stats.speculative_nodes,
+            stats.max_workers_used,
+        );
+        // The smoke must actually exercise the requested intra-solve
+        // parallelism: with `--solver-threads T` every cold solve runs T
+        // search workers, and `explain()` reports the largest count seen.
+        assert_eq!(
+            stats.max_workers_used,
+            solver_threads.max(1),
+            "backend solves must run the requested solver-thread count"
         );
         // Structurally identical queries get cost-identical plans.
         let first = costs[0];

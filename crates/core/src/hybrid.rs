@@ -217,6 +217,7 @@ impl HybridOptimizer {
             trace: CostTrace::single(seed_elapsed.min(elapsed), seed_cost, None),
             elapsed,
             search: Default::default(),
+            route: None,
         }
     }
 }

@@ -50,6 +50,7 @@ pub mod decode;
 pub mod encode;
 pub mod hybrid;
 pub mod optimizer;
+pub mod router;
 pub mod stats;
 pub mod thresholds;
 
@@ -61,6 +62,7 @@ pub use optimizer::{
     bound_projection, cost_space_bound, AnytimeTrace, MilpOptimizer, OptimizeError,
     OptimizeOptions, OptimizeOutcome, TracePoint, MIN_RELATIVE_GAP,
 };
+pub use router::standard_router;
 pub use stats::{ConstrCategory, FormulationStats, VarCategory};
 pub use thresholds::{
     max_grid_decades, tuples_per_unit_cost, ApproxMode, CostSpaceProjection, Precision,
@@ -75,6 +77,9 @@ pub use milpjoin_qopt::executor::ParallelSession;
 pub use milpjoin_qopt::orderer::OrdererFactory;
 pub use milpjoin_qopt::orderer::{
     CostTrace, CostTracePoint, JoinOrderer, OrderingError, OrderingOptions, OrderingOutcome,
+};
+pub use milpjoin_qopt::router::{
+    BackendArm, QueryFeatures, RouteCounts, RouteDecision, RouterOptimizer, RouterOptions,
 };
 pub use milpjoin_qopt::service::{PlanTicket, QueryService};
 pub use milpjoin_qopt::session::{PlanSession, SessionOutcome, SessionStats};

@@ -644,6 +644,7 @@ impl OptimizeOutcome {
             trace: self.cost_trace,
             elapsed: self.solve_time,
             search: self.search,
+            route: None,
         }
     }
 }

@@ -27,8 +27,10 @@ use std::time::Instant;
 use milpjoin_qopt::cost::{CostModelKind, CostParams, JoinContext};
 use milpjoin_qopt::{Catalog, Estimator, LeftDeepPlan, Query, TableSet};
 
+pub mod dpconv;
 pub mod orderer;
 
+pub use dpconv::{optimize_conv, DpConvOptimizer};
 pub use orderer::{DpOptimizer, GreedyOptimizer};
 
 /// Failure modes of the DP baseline.

@@ -91,6 +91,7 @@ impl JoinOrderer for DpOptimizer {
             proven_optimal: true,
             elapsed: res.elapsed,
             search: Default::default(),
+            route: None,
         })
     }
 }
@@ -163,6 +164,7 @@ impl JoinOrderer for GreedyOptimizer {
             proven_optimal: false,
             elapsed,
             search: Default::default(),
+            route: None,
         })
     }
 }

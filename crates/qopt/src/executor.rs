@@ -111,7 +111,8 @@ pub const DEFAULT_CACHE_SHARDS: usize = 16;
 ///                              &CostParams::default()).total;
 ///         Ok(OrderingOutcome { plan, cost, objective: cost, bound: None,
 ///             proven_optimal: false, trace: CostTrace::default(),
-///             elapsed: Duration::ZERO, search: Default::default() })
+///             elapsed: Duration::ZERO, search: Default::default(),
+///             route: None })
 ///     }
 /// }
 ///
@@ -448,6 +449,7 @@ mod tests {
                 trace: CostTrace::single(Duration::ZERO, cost, Some(cost)),
                 elapsed: Duration::ZERO,
                 search: Default::default(),
+                route: None,
             })
         }
     }

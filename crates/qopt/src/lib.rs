@@ -34,6 +34,7 @@ pub mod graph;
 pub mod orderer;
 pub mod plan;
 pub mod query;
+pub mod router;
 pub mod service;
 pub mod session;
 pub mod table_set;
@@ -51,6 +52,9 @@ pub use orderer::{
 };
 pub use plan::{eager_evaluation_joins, JoinOp, LeftDeepPlan, PlanError};
 pub use query::{CorrelatedGroup, Predicate, PredicateId, Query, QueryError};
+pub use router::{
+    BackendArm, QueryFeatures, RouteCounts, RouteDecision, RouterOptimizer, RouterOptions,
+};
 pub use service::{PlanTicket, QueryService};
 pub use session::{PlanSession, SessionOutcome, SessionStats};
 pub use table_set::TableSet;

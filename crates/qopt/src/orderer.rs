@@ -300,6 +300,11 @@ pub struct OrderingOutcome {
     pub elapsed: Duration,
     /// Search observability counters (all-zero for non-search backends).
     pub search: SearchStats,
+    /// Which backend arm served this query and why, when the solve was
+    /// dispatched by a [`crate::router::RouterOptimizer`]; `None` for
+    /// directly-invoked backends and for session cache hits (a hit never
+    /// re-routes).
+    pub route: Option<crate::router::RouteDecision>,
 }
 
 impl OrderingOutcome {
@@ -440,6 +445,8 @@ const _: () = {
     assert_send_sync::<CostTrace>();
     assert_send_sync::<Box<dyn JoinOrderer>>();
     assert_send_sync::<Box<dyn OrdererFactory>>();
+    assert_send_sync::<crate::router::RouteDecision>();
+    assert_send_sync::<crate::router::RouterOptimizer>();
 };
 
 #[cfg(test)]
@@ -521,6 +528,7 @@ mod tests {
             trace: CostTrace::default(),
             elapsed: Duration::ZERO,
             search: SearchStats::default(),
+            route: None,
         };
         assert_eq!(outcome.guaranteed_factor(), Some(1.0));
         // MILP-space trace: same convention.
@@ -563,6 +571,7 @@ mod tests {
             trace: CostTrace::default(),
             elapsed: Duration::ZERO,
             search: SearchStats::default(),
+            route: None,
         };
         assert_eq!(outcome.guaranteed_factor(), Some(2.5));
         let unbounded = OrderingOutcome {

@@ -80,7 +80,8 @@
 //!                              &CostParams::default()).total;
 //!         Ok(OrderingOutcome { plan, cost, objective: cost, bound: None,
 //!             proven_optimal: false, trace: CostTrace::default(),
-//!             elapsed: Duration::ZERO, search: Default::default() })
+//!             elapsed: Duration::ZERO, search: Default::default(),
+//!             route: None })
 //!     }
 //! }
 //!
@@ -700,6 +701,7 @@ mod tests {
                 trace: CostTrace::single(Duration::ZERO, cost, Some(cost)),
                 elapsed: Duration::ZERO,
                 search: Default::default(),
+                route: None,
             })
         }
     }

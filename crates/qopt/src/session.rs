@@ -58,6 +58,7 @@ use crate::orderer::{
 };
 use crate::plan::LeftDeepPlan;
 use crate::query::Query;
+use crate::router::RouteCounts;
 
 /// Cache hit/miss statistics of one session (see [`PlanSession::explain`]).
 #[derive(Debug, Clone, Default)]
@@ -112,6 +113,13 @@ pub struct SessionStats {
     /// The largest intra-solve worker count any backend solve ran with
     /// (`0` until a search backend reports; `1` for sequential solves).
     pub max_workers_used: usize,
+    /// Per-arm dispatch counts of every routed backend solve (zero unless
+    /// the backend is a [`crate::router::RouterOptimizer`]). Cache hits
+    /// never re-route and are not counted: on a duplicate-heavy stream
+    /// `routes.total()` equals the routed backend solves, so
+    /// `routes.search_solves() == 0` proves no query of the stream ever
+    /// reached branch-and-bound.
+    pub routes: RouteCounts,
 }
 
 impl SessionStats {
@@ -142,13 +150,18 @@ impl SessionStats {
         self.nodes_expanded += other.nodes_expanded;
         self.speculative_nodes += other.speculative_nodes;
         self.max_workers_used = self.max_workers_used.max(other.max_workers_used);
+        self.routes.absorb(&other.routes);
     }
 
-    /// Folds one backend solve's search counters into the session totals.
-    pub(crate) fn record_search(&mut self, search: &SearchStats) {
-        self.nodes_expanded += search.nodes_expanded;
-        self.speculative_nodes += search.speculative_nodes;
-        self.max_workers_used = self.max_workers_used.max(search.workers_used);
+    /// Folds one backend solve's observability counters — search stats and
+    /// any routing decision — into the session totals.
+    pub(crate) fn record_solve(&mut self, outcome: &OrderingOutcome) {
+        self.nodes_expanded += outcome.search.nodes_expanded;
+        self.speculative_nodes += outcome.search.speculative_nodes;
+        self.max_workers_used = self.max_workers_used.max(outcome.search.workers_used);
+        if let Some(route) = &outcome.route {
+            self.routes.record(route.arm);
+        }
     }
 }
 
@@ -221,8 +234,10 @@ pub(crate) fn instantiate_cached(
             proven_optimal,
             trace: CostTrace::single(elapsed, cost, bound),
             elapsed,
-            // A cache hit expands no search nodes.
+            // A cache hit expands no search nodes and makes no routing
+            // decision.
             search: SearchStats::default(),
+            route: None,
         },
         cache_hit: true,
         exact_hit: exact,
@@ -380,7 +395,7 @@ fn process_fingerprinted(
                 stats.backend_solves += 1;
                 match ctx.backend.order(ctx.catalog, query, ctx.options) {
                     Ok(outcome) => {
-                        stats.record_search(&outcome.search);
+                        stats.record_solve(&outcome);
                         let record = Arc::new(record_for_cache(query, fp, &outcome));
                         guard.publish(record);
                         return Ok(SessionOutcome {
@@ -447,7 +462,7 @@ fn solve_uncached(
         .backend
         .order(ctx.catalog, query, ctx.options)
         .inspect_err(|_| stats.backend_errors += 1)?;
-    stats.record_search(&outcome.search);
+    stats.record_solve(&outcome);
     Ok(SessionOutcome {
         outcome,
         cache_hit: false,
@@ -468,7 +483,7 @@ fn solve_and_cache(
         .backend
         .order(ctx.catalog, query, ctx.options)
         .inspect_err(|_| stats.backend_errors += 1)?;
-    stats.record_search(&outcome.search);
+    stats.record_solve(&outcome);
     let record = record_for_cache(query, fp, &outcome);
     ctx.cache.insert(fp.fingerprint.clone(), Arc::new(record));
     Ok(SessionOutcome {
@@ -502,7 +517,8 @@ fn solve_and_cache(
 /// #                              &CostParams::default()).total;
 /// #         Ok(OrderingOutcome { plan, cost, objective: cost, bound: None,
 /// #             proven_optimal: false, trace: CostTrace::default(),
-/// #             elapsed: Duration::ZERO, search: Default::default() })
+/// #             elapsed: Duration::ZERO, search: Default::default(),
+/// #             route: None })
 /// #     }
 /// # }
 ///
@@ -739,6 +755,7 @@ mod tests {
                     workers_used: 1,
                     speculative_nodes: 1,
                 },
+                route: None,
             })
         }
     }

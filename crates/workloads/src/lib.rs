@@ -227,6 +227,55 @@ impl WorkloadSpec {
     }
 }
 
+/// The default size sweep of [`size_swept_stream`]: small queries any
+/// exact backend resolves in microseconds (3, 6), the upper edge of the
+/// subset-DP comfort zone (10), and a tail size where search backends earn
+/// their keep (14).
+pub const SWEEP_SIZES: [usize; 4] = [3, 6, 10, 14];
+
+/// Generates a **size-swept mixed stream** over one shared catalog: the
+/// same topology mix instantiated at several query sizes, each structure
+/// repeated `copies` times (round-robin interleaved, disjoint tables per
+/// copy — the contract of [`WorkloadSpec::generate_stream_into`]).
+///
+/// This is the input shape an adaptive backend router is judged on: one
+/// batch that contains both the small-query fast path and the MILP-worthy
+/// tail, with enough duplicate structures for the session plan cache to
+/// matter. The structure seed depends only on `(topology, size,
+/// base_seed)` — not on the position in the mix — so streams with
+/// different topology subsets still draw identical statistics for the
+/// shapes they share.
+///
+/// Returns the shared catalog and `topologies.len() * sizes.len() *
+/// copies` queries.
+pub fn size_swept_stream(
+    topologies: &[Topology],
+    sizes: &[usize],
+    base_seed: u64,
+    copies: usize,
+) -> (Catalog, Vec<Query>) {
+    let mut catalog = Catalog::new();
+    let mut queries = Vec::with_capacity(topologies.len() * sizes.len() * copies);
+    for _ in 0..copies {
+        for (t, &topology) in topologies.iter().enumerate() {
+            for (s, &size) in sizes.iter().enumerate() {
+                // One structure per (topology, size), identical across
+                // copies: ask the stream generator for a single unique
+                // structure and one copy — the seed shifts per shape but
+                // not per copy.
+                let seed = base_seed
+                    .wrapping_add(1009 * t as u64)
+                    .wrapping_add(9176 * s as u64);
+                let spec = WorkloadSpec::new(topology, size);
+                let batch = spec.generate_stream_into(&mut catalog, seed, 1, 1);
+                debug_assert_eq!(batch.len(), 1);
+                queries.extend(batch);
+            }
+        }
+    }
+    (catalog, queries)
+}
+
 fn log_uniform(rng: &mut StdRng, (lo, hi): (f64, f64)) -> f64 {
     if lo >= hi {
         return lo;
@@ -357,6 +406,37 @@ mod tests {
                 assert_eq!(pa.selectivity, pb.selectivity);
             }
         }
+    }
+
+    #[test]
+    fn size_swept_stream_mixes_sizes_and_repeats_structures() {
+        let topologies = [Topology::Chain, Topology::Star];
+        let (catalog, queries) = size_swept_stream(&topologies, &SWEEP_SIZES, 5, 3);
+        assert_eq!(queries.len(), 2 * SWEEP_SIZES.len() * 3);
+        for q in &queries {
+            q.validate(&catalog).unwrap();
+        }
+        // One round covers every (topology, size) cell once, in order.
+        let round = 2 * SWEEP_SIZES.len();
+        let sizes: Vec<usize> = queries[..round].iter().map(|q| q.num_tables()).collect();
+        assert_eq!(sizes, vec![3, 6, 10, 14, 3, 6, 10, 14]);
+        // Copies across rounds are structurally identical (same stats)
+        // over disjoint tables.
+        let stats = |q: &Query| -> (Vec<f64>, Vec<f64>) {
+            (
+                q.tables.iter().map(|&t| catalog.cardinality(t)).collect(),
+                q.predicates.iter().map(|p| p.selectivity).collect(),
+            )
+        };
+        for cell in 0..round {
+            assert_eq!(stats(&queries[cell]), stats(&queries[cell + round]));
+            assert!(queries[cell]
+                .tables
+                .iter()
+                .all(|t| !queries[cell + round].tables.contains(t)));
+        }
+        // Different cells draw different statistics.
+        assert_ne!(stats(&queries[0]), stats(&queries[4]));
     }
 
     #[test]

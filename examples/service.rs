@@ -3,19 +3,32 @@
 //! table collapse concurrent duplicates onto one backend solve.
 //!
 //! Run with:
-//! `cargo run --release --example service [copies] [tables] [--submitters N] [--workers N]`
+//! `cargo run --release --example service [copies] [tables] \
+//!      [--backend B] [--submitters N] [--workers N]`
 //! (the argument form doubles as the CI bench-smoke: `service 3 6
 //! --submitters 4 --workers 2` races four submitter threads of one
 //! duplicate-heavy stream per topology into a two-worker service and
 //! asserts that each unique structure was solved exactly once, that every
 //! ticket's cost matches its structure's first solve, and that
 //! drain-then-shutdown leaves no stuck tickets).
+//!
+//! `--backend {greedy,dp,dpconv,milp,hybrid,router}` picks the solver
+//! (default `hybrid`). The `router` backend drives a duplicate-heavy
+//! **small**-size-swept mixed stream (3/6/10 tables, all paper
+//! topologies) instead, prints each cold solve's `RouteDecision`, and
+//! asserts from the service stats that no query of the stream ever
+//! reached a branch-and-bound arm — the router's core promise for
+//! small-query traffic.
 
 use std::time::{Duration, Instant};
 
-use milpjoin::{EncoderConfig, HybridOptimizer, Precision, QueryService};
-use milpjoin_qopt::{OrderingOptions, SessionOutcome};
-use milpjoin_workloads::{Topology, WorkloadSpec};
+use milpjoin::{
+    standard_router, EncoderConfig, HybridOptimizer, MilpOptimizer, OrderingOptions, Precision,
+    QueryService, RouterOptions, SessionStats,
+};
+use milpjoin_dp::{DpConvOptimizer, DpOptimizer, GreedyOptimizer};
+use milpjoin_qopt::{OrdererFactory, Query, SessionOutcome};
+use milpjoin_workloads::{size_swept_stream, Topology, WorkloadSpec};
 
 /// Parses `--flag N` out of the argument list, removing both tokens.
 fn take_flag(args: &mut Vec<String>, flag: &str, default: usize) -> usize {
@@ -32,17 +45,69 @@ fn take_flag(args: &mut Vec<String>, flag: &str, default: usize) -> usize {
     }
 }
 
-fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let submitters = take_flag(&mut args, "--submitters", 4).max(1);
-    let workers = take_flag(&mut args, "--workers", 2).max(1);
-    let copies: usize = args
-        .first()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(8)
-        .max(1);
-    let tables: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8).max(2);
+/// Parses `--backend NAME` out of the argument list, removing both tokens.
+fn take_backend(args: &mut Vec<String>) -> String {
+    match args.iter().position(|a| a == "--backend") {
+        Some(i) => {
+            let name = args
+                .get(i + 1)
+                .cloned()
+                .expect("--backend requires a backend name");
+            args.drain(i..=i + 1);
+            name
+        }
+        None => "hybrid".to_string(),
+    }
+}
 
+/// Races `submitters` threads, each feeding an interleaved slice of the
+/// stream into the service, then waits on every ticket. Returns the
+/// outcomes realigned to stream order plus the drained service's stats.
+fn race_stream(
+    service: &QueryService,
+    queries: &[Query],
+    submitters: usize,
+) -> Vec<SessionOutcome> {
+    let mut indexed: Vec<(usize, SessionOutcome)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..submitters)
+            .map(|s| {
+                let service = &service;
+                let slice: Vec<(usize, Query)> = queries
+                    .iter()
+                    .enumerate()
+                    .skip(s)
+                    .step_by(submitters)
+                    .map(|(i, q)| (i, q.clone()))
+                    .collect();
+                scope.spawn(move || {
+                    let tickets = service.submit_many(slice.iter().map(|(_, q)| q.clone()));
+                    slice
+                        .iter()
+                        .zip(&tickets)
+                        .map(|((i, _), t)| (*i, t.wait().expect("backend solves this stream")))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("submitter thread panicked"))
+            .collect()
+    });
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, o)| o).collect()
+}
+
+/// The fixed-backend path: per topology, one random structure instantiated
+/// `copies` times — concurrent duplicates must collapse onto one solve.
+fn drive_fixed(
+    name: &str,
+    factory: impl OrdererFactory + Clone + 'static,
+    copies: usize,
+    tables: usize,
+    submitters: usize,
+    workers: usize,
+) {
     for topology in [Topology::Chain, Topology::Cycle, Topology::Star] {
         let spec = WorkloadSpec::new(topology, tables);
         // One random structure instantiated `copies` times over disjoint
@@ -50,50 +115,25 @@ fn main() {
         // templates take in real traffic.
         let (catalog, queries) = spec.generate_stream(7, 1, copies);
 
-        let backend = HybridOptimizer::new(EncoderConfig::default().precision(Precision::Low));
-        let service = QueryService::new(catalog, backend)
+        let service = QueryService::new(catalog, factory.clone())
             .with_workers(workers)
             .with_options(OrderingOptions::with_time_limit(Duration::from_secs(10)));
 
-        // Race `submitters` threads, each feeding an interleaved slice of
-        // the stream into the same service, then wait on every ticket.
         let start = Instant::now();
-        let outcomes: Vec<SessionOutcome> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..submitters)
-                .map(|s| {
-                    let service = &service;
-                    let slice: Vec<_> = queries
-                        .iter()
-                        .skip(s)
-                        .step_by(submitters)
-                        .cloned()
-                        .collect();
-                    scope.spawn(move || {
-                        let tickets = service.submit_many(slice);
-                        tickets
-                            .iter()
-                            .map(|t| t.wait().expect("hybrid always produces a plan"))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("submitter thread panicked"))
-                .collect()
-        });
+        let outcomes = race_stream(&service, &queries, submitters);
         service.drain(); // everything waited: returns immediately
         let elapsed = start.elapsed();
         let stats = service.shutdown();
 
         println!(
-            "{:<6} {} queries in {:>8.2?} ({} submitters x {} workers)  solves: {}  \
+            "{:<6} {} queries in {:>8.2?} ({} submitters x {} workers)  backend: {}  solves: {}  \
              cache hits: {} (hit rate {:.0}%)  in-flight: {} leaders / {} followers / {} wait-hits",
             topology.name(),
             queries.len(),
             elapsed,
             submitters,
             workers,
+            name,
             stats.backend_solves,
             stats.cache_hits,
             100.0 * stats.hit_rate(),
@@ -121,5 +161,137 @@ fn main() {
             "       cost {:.4e}   exact hits: {}   evictions: {}",
             first, stats.exact_hits, stats.evictions,
         );
+    }
+}
+
+/// The router path: a duplicate-heavy mixed stream of *small* sizes only
+/// (all within the policy's exact window), raced through the service. The
+/// stats must show every solve went to an exact arm — branch-and-bound
+/// never fires on small-query traffic.
+fn drive_router(config: EncoderConfig, copies: usize, submitters: usize, workers: usize) {
+    const SMALL_SIZES: [usize; 3] = [3, 6, 10];
+    let router = standard_router(config, RouterOptions::default());
+    let (catalog, queries) = size_swept_stream(&Topology::PAPER, &SMALL_SIZES, 7, copies.max(2));
+    let unique = Topology::PAPER.len() * SMALL_SIZES.len();
+
+    let service = QueryService::new(catalog, router)
+        .with_workers(workers)
+        .with_options(OrderingOptions::with_time_limit(Duration::from_secs(10)));
+
+    let start = Instant::now();
+    let outcomes = race_stream(&service, &queries, submitters);
+    service.drain();
+    let elapsed = start.elapsed();
+    let stats: SessionStats = service.shutdown();
+
+    for (i, (o, q)) in outcomes.iter().zip(&queries).enumerate() {
+        if let Some(decision) = o.outcome.route {
+            println!("  query {i:>2} ({} tables): {decision}", q.num_tables());
+        }
+    }
+    println!(
+        "router {} queries in {:>8.2?} ({} submitters x {} workers)  solves: {}  \
+         cache hits: {} (hit rate {:.0}%)  arms: {}  nodes: {}",
+        queries.len(),
+        elapsed,
+        submitters,
+        workers,
+        stats.backend_solves,
+        stats.cache_hits,
+        100.0 * stats.hit_rate(),
+        stats.routes,
+        stats.nodes_expanded,
+    );
+
+    // The router's core promise on small-query traffic, read off the
+    // service stats: every unique structure solved once, every solve
+    // dispatched to an exact arm, zero branch-and-bound nodes anywhere.
+    assert_eq!(stats.backend_solves, unique as u64);
+    assert_eq!(stats.routes.total(), unique as u64);
+    assert_eq!(
+        stats.routes.search_solves(),
+        0,
+        "small queries must never reach branch-and-bound, got {}",
+        stats.routes,
+    );
+    assert_eq!(stats.nodes_expanded, 0);
+    // Copies of one structure are cost-identical across the cache.
+    for cell in 0..unique {
+        let a = outcomes[cell].outcome.cost;
+        let b = outcomes[cell + unique].outcome.cost;
+        assert!(
+            (a - b).abs() <= 1e-9 * (1.0 + a.abs()),
+            "copies of one structure must cost the same"
+        );
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let submitters = take_flag(&mut args, "--submitters", 4).max(1);
+    let workers = take_flag(&mut args, "--workers", 2).max(1);
+    let backend = take_backend(&mut args);
+    let copies: usize = args
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8)
+        .max(1);
+    let tables: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8).max(2);
+
+    let config = EncoderConfig::default().precision(Precision::Low);
+    let (model, params) = (config.cost_model, config.cost_params);
+    match backend.as_str() {
+        "greedy" => drive_fixed(
+            "greedy",
+            GreedyOptimizer {
+                cost_model: model,
+                params,
+            },
+            copies,
+            tables,
+            submitters,
+            workers,
+        ),
+        "dp" => drive_fixed(
+            "dp",
+            DpOptimizer {
+                cost_model: model,
+                params,
+                ..Default::default()
+            },
+            copies,
+            tables,
+            submitters,
+            workers,
+        ),
+        "dpconv" => drive_fixed(
+            "dpconv",
+            DpConvOptimizer {
+                params,
+                ..Default::default()
+            },
+            copies,
+            tables,
+            submitters,
+            workers,
+        ),
+        "milp" => drive_fixed(
+            "milp",
+            MilpOptimizer::new(config),
+            copies,
+            tables,
+            submitters,
+            workers,
+        ),
+        "hybrid" => drive_fixed(
+            "hybrid",
+            HybridOptimizer::new(config),
+            copies,
+            tables,
+            submitters,
+            workers,
+        ),
+        "router" => drive_router(config, copies, submitters, workers),
+        other => panic!("unknown backend {other:?} (expected greedy|dp|dpconv|milp|hybrid|router)"),
     }
 }

@@ -4,7 +4,7 @@
 //!
 //! Run with:
 //! `cargo run --release --example session [copies] [tables] [mode] \
-//!      [--workers N] [--solver-threads T]`
+//!      [--backend B] [--workers N] [--solver-threads T]`
 //! (the argument form doubles as the CI bench-smoke: e.g. `session 3 6`
 //! drives one tiny workload per topology through `optimize_batch`,
 //! `session 3 6 upper` runs the same batch under the upper-bounding
@@ -14,103 +14,121 @@
 //! session; `--solver-threads T` additionally runs T branch-and-bound
 //! workers *inside* each MILP solve — total concurrency is the product,
 //! so budget `workers * solver_threads <= cores`).
+//!
+//! `--backend {greedy,dp,dpconv,milp,hybrid,router}` picks the solver
+//! (default `hybrid`). The `router` backend ignores the `[tables]`
+//! argument and instead drives a **size-swept mixed stream** (the paper
+//! topologies at 3/6/10/14 tables over one shared catalog), printing each
+//! cold solve's `RouteDecision` and asserting via `explain()` that the
+//! policy actually spread the stream over at least two distinct arms.
 
 use std::time::{Duration, Instant};
 
 use milpjoin::{
-    ApproxMode, EncoderConfig, HybridOptimizer, ParallelSession, PlanSession, Precision,
+    standard_router, ApproxMode, EncoderConfig, HybridOptimizer, JoinOrderer, MilpOptimizer,
+    OrderingError, OrderingOptions, ParallelSession, PlanSession, Precision, RouterOptions,
+    SessionOutcome, SessionStats,
 };
-use milpjoin_qopt::OrderingOptions;
-use milpjoin_workloads::{Topology, WorkloadSpec};
+use milpjoin_dp::{DpConvOptimizer, DpOptimizer, GreedyOptimizer};
+use milpjoin_qopt::{Catalog, Query};
+use milpjoin_workloads::{size_swept_stream, Topology, WorkloadSpec, SWEEP_SIZES};
 
-fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    // `--workers N` anywhere in the argument list selects the parallel
-    // executor; the remaining positional arguments keep their meaning.
-    let workers: usize = match args.iter().position(|a| a == "--workers") {
+/// Parses `--flag N` out of the argument list, removing both tokens.
+fn take_flag(args: &mut Vec<String>, flag: &str, default: usize) -> usize {
+    match args.iter().position(|a| a == flag) {
         Some(i) => {
             let n = args
                 .get(i + 1)
                 .and_then(|s| s.parse().ok())
-                .expect("--workers requires a positive integer");
+                .unwrap_or_else(|| panic!("{flag} requires a positive integer"));
             args.drain(i..=i + 1);
             n
         }
-        None => 1,
-    };
-    let workers = workers.max(1);
-    // `--solver-threads T` sets the intra-solve branch-and-bound worker
-    // count (independent of `--workers`, which parallelizes across
-    // queries).
-    let solver_threads: usize = match args.iter().position(|a| a == "--solver-threads") {
-        Some(i) => {
-            let n = args
-                .get(i + 1)
-                .and_then(|s| s.parse().ok())
-                .expect("--solver-threads requires a positive integer");
-            args.drain(i..=i + 1);
-            n
-        }
-        None => 1,
-    };
-    let copies: usize = args
-        .first()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(8)
-        .max(1);
-    let tables: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8).max(2);
-    // Fail loudly on a typo: the CI smoke relies on `upper` actually
-    // exercising the UpperBound projection path.
-    let approx_mode = match args.get(2).map(String::as_str) {
-        Some("upper") => ApproxMode::UpperBound,
-        Some("lower") | None => ApproxMode::LowerBound,
-        Some(other) => panic!("unknown approximation mode {other:?} (expected upper|lower)"),
-    };
+        None => default,
+    }
+}
 
-    // A stream of 3 * copies queries: per topology, one random structure
-    // instantiated `copies` times over disjoint tables (the shape of
-    // recurring query templates in real traffic).
+/// Parses `--backend NAME` out of the argument list, removing both tokens.
+fn take_backend(args: &mut Vec<String>) -> String {
+    match args.iter().position(|a| a == "--backend") {
+        Some(i) => {
+            let name = args
+                .get(i + 1)
+                .cloned()
+                .expect("--backend requires a backend name");
+            args.drain(i..=i + 1);
+            name
+        }
+        None => "hybrid".to_string(),
+    }
+}
+
+/// Runs one stream through the sequential session or the parallel
+/// executor — result-identical by construction.
+fn run_stream<B: JoinOrderer + Clone + 'static>(
+    backend: B,
+    catalog: Catalog,
+    queries: &[Query],
+    workers: usize,
+    options: OrderingOptions,
+) -> (
+    Vec<Result<SessionOutcome, OrderingError>>,
+    SessionStats,
+    Catalog,
+) {
+    if workers > 1 {
+        let mut session = ParallelSession::new(catalog, backend).with_options(options);
+        let results = session.optimize_batch(queries, workers);
+        (results, session.explain(), session.catalog().clone())
+    } else {
+        let mut session = PlanSession::new(catalog, Box::new(backend)).with_options(options);
+        let results = session.optimize_batch(queries);
+        (results, session.explain(), session.catalog().clone())
+    }
+}
+
+struct Cli {
+    copies: usize,
+    tables: usize,
+    approx_mode: ApproxMode,
+    workers: usize,
+    solver_threads: usize,
+}
+
+/// The fixed-backend path: one tiny workload per paper topology, each
+/// structure repeated `copies` times.
+fn drive_fixed<B: JoinOrderer + Clone + 'static>(
+    name: &str,
+    backend: B,
+    cli: &Cli,
+    is_search_backend: bool,
+) {
     for topology in [Topology::Chain, Topology::Cycle, Topology::Star] {
-        let spec = WorkloadSpec::new(topology, tables);
-        let (catalog, queries) = spec.generate_stream(7, 1, copies);
+        let spec = WorkloadSpec::new(topology, cli.tables);
+        let (catalog, queries) = spec.generate_stream(7, 1, cli.copies);
 
-        let config = EncoderConfig {
-            approx_mode,
-            ..EncoderConfig::default().precision(Precision::Low)
-        };
-        let backend = HybridOptimizer::new(config);
         let options = OrderingOptions::with_time_limit(Duration::from_secs(10))
-            .solver_threads(solver_threads);
-
+            .solver_threads(cli.solver_threads);
         let start = Instant::now();
-        // `--workers N` (N > 1) swaps the sequential session for the
-        // parallel executor — result-identical by construction, faster on
-        // cold multi-structure batches.
-        let (results, stats, catalog) = if workers > 1 {
-            let mut session = ParallelSession::new(catalog, backend).with_options(options);
-            let results = session.optimize_batch(&queries, workers);
-            (results, session.explain(), session.catalog().clone())
-        } else {
-            let mut session = PlanSession::new(catalog, Box::new(backend)).with_options(options);
-            let results = session.optimize_batch(&queries);
-            (results, session.explain(), session.catalog().clone())
-        };
+        let (results, stats, catalog) =
+            run_stream(backend.clone(), catalog, &queries, cli.workers, options);
         let elapsed = start.elapsed();
 
         let mut costs = Vec::new();
         for r in &results {
-            let r = r.as_ref().expect("hybrid always produces a plan");
+            let r = r.as_ref().expect("every backend solves this tiny workload");
             costs.push(r.outcome.cost);
         }
         println!(
-            "{:<6} {} queries in {:>8.2?} ({} worker{})  backend solves: {}  cache hits: {} \
+            "{:<6} {} queries in {:>8.2?} ({} worker{})  backend: {}  solves: {}  cache hits: {} \
              (hit rate {:.0}%)  exact hits: {}  evictions: {}  nodes: {} \
              (speculative {})  solver workers: {}",
             topology.name(),
             queries.len(),
             elapsed,
-            workers,
-            if workers == 1 { "" } else { "s" },
+            cli.workers,
+            if cli.workers == 1 { "" } else { "s" },
+            name,
             stats.backend_solves,
             stats.cache_hits,
             100.0 * stats.hit_rate(),
@@ -121,13 +139,20 @@ fn main() {
             stats.max_workers_used,
         );
         // The smoke must actually exercise the requested intra-solve
-        // parallelism: with `--solver-threads T` every cold solve runs T
-        // search workers, and `explain()` reports the largest count seen.
-        assert_eq!(
-            stats.max_workers_used,
-            solver_threads.max(1),
-            "backend solves must run the requested solver-thread count"
-        );
+        // parallelism — but only search backends run solver workers at
+        // all; greedy and the subset DPs honestly report zero.
+        if is_search_backend {
+            assert_eq!(
+                stats.max_workers_used,
+                cli.solver_threads.max(1),
+                "backend solves must run the requested solver-thread count"
+            );
+        } else {
+            assert_eq!(
+                stats.max_workers_used, 0,
+                "non-search backends must not report search workers"
+            );
+        }
         // Structurally identical queries get cost-identical plans.
         let first = costs[0];
         assert!(
@@ -146,7 +171,8 @@ fn main() {
         if solved.outcome.proven_optimal {
             assert!(
                 solved.outcome.bound.is_some(),
-                "{approx_mode:?}: finished hybrid solve claimed no cost-space bound"
+                "{:?}: finished {name} solve claimed no cost-space bound",
+                cli.approx_mode
             );
         }
         // A factor exists whenever the bound is positive (an optimum below
@@ -165,5 +191,135 @@ fn main() {
             factor,
             sample.cache_hit,
         );
+    }
+}
+
+/// The router path: one size-swept mixed stream (all paper topologies at
+/// 3/6/10/14 tables over a shared catalog), so the policy's exact fast
+/// path and its search tail both fire in a single batch.
+fn drive_router(config: EncoderConfig, cli: &Cli) {
+    let router = standard_router(config, RouterOptions::default());
+    let (catalog, queries) =
+        size_swept_stream(&Topology::PAPER, &SWEEP_SIZES, 7, cli.copies.max(2));
+
+    let options = OrderingOptions::with_time_limit(Duration::from_secs(10))
+        .solver_threads(cli.solver_threads);
+    let start = Instant::now();
+    let (results, stats, _catalog) = run_stream(router, catalog, &queries, cli.workers, options);
+    let elapsed = start.elapsed();
+
+    // Every cold solve carries the decision that dispatched it; cache
+    // hits carry none (a hit never re-routes).
+    for (i, (r, q)) in results.iter().zip(&queries).enumerate() {
+        let r = r.as_ref().expect("every arm solves this stream");
+        match r.outcome.route {
+            Some(decision) => println!("  query {i:>2} ({} tables): {decision}", q.num_tables()),
+            None => assert!(r.cache_hit, "a cold routed solve must record its decision"),
+        }
+    }
+    println!(
+        "router {} queries in {:>8.2?} ({} worker{})  solves: {}  cache hits: {} \
+         (hit rate {:.0}%)  arms: {}",
+        queries.len(),
+        elapsed,
+        cli.workers,
+        if cli.workers == 1 { "" } else { "s" },
+        stats.backend_solves,
+        stats.cache_hits,
+        100.0 * stats.hit_rate(),
+        stats.routes,
+    );
+
+    // The acceptance surface of the router smoke: the mixed stream must
+    // actually spread over the policy, every routed solve is counted, and
+    // duplicate copies still deduplicate onto one solve per structure.
+    assert!(
+        stats.routes.distinct_arms() >= 2,
+        "a size-swept stream must exercise at least two arms, got {}",
+        stats.routes,
+    );
+    assert_eq!(stats.routes.total(), stats.backend_solves);
+    let unique = Topology::PAPER.len() * SWEEP_SIZES.len();
+    assert_eq!(stats.backend_solves, unique as u64);
+    // Copies of one structure are cost-identical whichever arm solved it.
+    for cell in 0..unique {
+        let a = results[cell].as_ref().unwrap().outcome.cost;
+        let b = results[cell + unique].as_ref().unwrap().outcome.cost;
+        assert!(
+            (a - b).abs() <= 1e-9 * (1.0 + a.abs()),
+            "copies of one structure must cost the same"
+        );
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--workers N` anywhere in the argument list selects the parallel
+    // executor; the remaining positional arguments keep their meaning.
+    let workers = take_flag(&mut args, "--workers", 1).max(1);
+    // `--solver-threads T` sets the intra-solve branch-and-bound worker
+    // count (independent of `--workers`, which parallelizes across
+    // queries).
+    let solver_threads = take_flag(&mut args, "--solver-threads", 1).max(1);
+    let backend = take_backend(&mut args);
+    let copies: usize = args
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8)
+        .max(1);
+    let tables: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8).max(2);
+    // Fail loudly on a typo: the CI smoke relies on `upper` actually
+    // exercising the UpperBound projection path.
+    let approx_mode = match args.get(2).map(String::as_str) {
+        Some("upper") => ApproxMode::UpperBound,
+        Some("lower") | None => ApproxMode::LowerBound,
+        Some(other) => panic!("unknown approximation mode {other:?} (expected upper|lower)"),
+    };
+    let cli = Cli {
+        copies,
+        tables,
+        approx_mode,
+        workers,
+        solver_threads,
+    };
+
+    let config = EncoderConfig {
+        approx_mode,
+        ..EncoderConfig::default().precision(Precision::Low)
+    };
+    let (model, params) = (config.cost_model, config.cost_params);
+    match backend.as_str() {
+        "greedy" => drive_fixed(
+            "greedy",
+            GreedyOptimizer {
+                cost_model: model,
+                params,
+            },
+            &cli,
+            false,
+        ),
+        "dp" => drive_fixed(
+            "dp",
+            DpOptimizer {
+                cost_model: model,
+                params,
+                ..Default::default()
+            },
+            &cli,
+            false,
+        ),
+        "dpconv" => drive_fixed(
+            "dpconv",
+            DpConvOptimizer {
+                params,
+                ..Default::default()
+            },
+            &cli,
+            false,
+        ),
+        "milp" => drive_fixed("milp", MilpOptimizer::new(config), &cli, true),
+        "hybrid" => drive_fixed("hybrid", HybridOptimizer::new(config), &cli, true),
+        "router" => drive_router(config, &cli),
+        other => panic!("unknown backend {other:?} (expected greedy|dp|dpconv|milp|hybrid|router)"),
     }
 }

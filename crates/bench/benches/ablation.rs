@@ -13,8 +13,7 @@ fn run(config: EncoderConfig, seed_opts: &OptimizeOptions) -> f64 {
     let (catalog, query) = WorkloadSpec::new(Topology::Star, 6).generate(1);
     MilpOptimizer::new(config)
         .optimize(&catalog, &query, seed_opts)
-        .map(|o| o.true_cost)
-        .unwrap_or(f64::NAN)
+        .map_or(f64::NAN, |o| o.true_cost)
 }
 
 fn bench_ablation(c: &mut Criterion) {
@@ -35,7 +34,7 @@ fn bench_ablation(c: &mut Criterion) {
         };
         g.bench_with_input(BenchmarkId::new("encoding", name), &name, |b, _| {
             let (config, opts) = (config.clone(), opts.clone());
-            b.iter(|| black_box(run(config.clone(), &opts)))
+            b.iter(|| black_box(run(config.clone(), &opts)));
         });
     }
 
@@ -61,7 +60,7 @@ fn bench_ablation(c: &mut Criterion) {
             ..SolverOptions::default()
         };
         g.bench_with_input(BenchmarkId::new("branching", name), &name, |b, _| {
-            b.iter(|| black_box(Solver::new(sopts.clone()).solve(&enc.model).unwrap().nodes))
+            b.iter(|| black_box(Solver::new(sopts.clone()).solve(&enc.model).unwrap().nodes));
         });
     }
     g.finish();

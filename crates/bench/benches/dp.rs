@@ -18,7 +18,7 @@ fn bench_dp(c: &mut Criterion) {
                         .unwrap()
                         .cost,
                 )
-            })
+            });
         });
     }
     g.finish();

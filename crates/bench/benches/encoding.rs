@@ -14,7 +14,7 @@ fn bench_encoding(c: &mut Criterion) {
             let (catalog, query) = WorkloadSpec::new(Topology::Star, n).generate(1);
             let config = EncoderConfig::default().precision(precision);
             g.bench_with_input(BenchmarkId::new(format!("star-{pname}"), n), &n, |b, _| {
-                b.iter(|| black_box(encode(&catalog, &query, &config).unwrap().stats.num_vars()))
+                b.iter(|| black_box(encode(&catalog, &query, &config).unwrap().stats.num_vars()));
             });
         }
     }

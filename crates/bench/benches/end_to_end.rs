@@ -22,7 +22,7 @@ fn bench_end_to_end(c: &mut Criterion) {
                         .unwrap()
                         .true_cost,
                 )
-            })
+            });
         });
     }
     g.finish();

@@ -89,7 +89,7 @@ fn bench_batch(c: &mut Criterion) {
                         queries.len() as f64 / elapsed.as_secs_f64(),
                     );
                     black_box(stats.cache_hits)
-                })
+                });
             },
         );
     }
@@ -112,7 +112,7 @@ fn bench_hybrid_vs_cold(c: &mut Criterion) {
                         .expect("hybrid plan")
                         .cost,
                 )
-            })
+            });
         });
         g.bench_with_input(BenchmarkId::new("cold-milp", topo.name()), &topo, |b, _| {
             b.iter(|| {
@@ -121,7 +121,7 @@ fn bench_hybrid_vs_cold(c: &mut Criterion) {
                         .map(|o| o.cost)
                         .ok(),
                 )
-            })
+            });
         });
     }
     g.finish();
@@ -166,7 +166,7 @@ fn bench_upper_bound(c: &mut Criterion) {
                         with_factor,
                     );
                     black_box(bounded)
-                })
+                });
             },
         );
     }
@@ -225,7 +225,7 @@ fn bench_worker_scaling(c: &mut Criterion) {
                         queries.len() as f64 / elapsed.as_secs_f64(),
                     );
                     black_box(stats.backend_solves)
-                })
+                });
             },
         );
     }
@@ -301,7 +301,7 @@ fn bench_service_ingest(c: &mut Criterion) {
                         queries.len() as f64 / elapsed.as_secs_f64(),
                     );
                     black_box(stats.cache_hits)
-                })
+                });
             },
         );
     }
@@ -386,7 +386,7 @@ fn bench_solver_scaling(c: &mut Criterion) {
                         elapsed.as_secs_f64() * 1e3,
                     );
                     black_box(objective)
-                })
+                });
             });
         }
     }
@@ -471,7 +471,7 @@ fn bench_backend_router(c: &mut Criterion) {
                     stream,
                     "router",
                 ))
-            })
+            });
         });
         g.bench_with_input(BenchmarkId::new("hybrid", stream), &stream, |b, _| {
             b.iter(|| {
@@ -483,7 +483,7 @@ fn bench_backend_router(c: &mut Criterion) {
                     stream,
                     "hybrid",
                 ))
-            })
+            });
         });
     }
 
@@ -494,10 +494,10 @@ fn bench_backend_router(c: &mut Criterion) {
     let dp = DpOptimizer::default();
     g.sample_size(20);
     g.bench_with_input(BenchmarkId::new("dpconv", "chain-10"), &(), |b, _| {
-        b.iter(|| black_box(conv.order(&catalog, &query, &options()).unwrap().cost))
+        b.iter(|| black_box(conv.order(&catalog, &query, &options()).unwrap().cost));
     });
     g.bench_with_input(BenchmarkId::new("dp", "chain-10"), &(), |b, _| {
-        b.iter(|| black_box(dp.order(&catalog, &query, &options()).unwrap().cost))
+        b.iter(|| black_box(dp.order(&catalog, &query, &options()).unwrap().cost));
     });
     g.finish();
 }
@@ -510,7 +510,7 @@ fn bench_fingerprint(c: &mut Criterion) {
         let (catalog, query) = WorkloadSpec::new(Topology::Cycle, n).generate(3);
         let opts = FingerprintOptions::default();
         g.bench_with_input(BenchmarkId::new("cycle", n), &n, |b, _| {
-            b.iter(|| black_box(FingerprintedQuery::compute(&catalog, &query, &opts).fingerprint))
+            b.iter(|| black_box(FingerprintedQuery::compute(&catalog, &query, &opts).fingerprint));
         });
     }
     g.finish();

@@ -20,7 +20,7 @@ fn bench_simplex(c: &mut Criterion) {
             b.iter(|| {
                 let mut sx = Simplex::new(&lp);
                 black_box(sx.solve(&SimplexLimits::default()).status)
-            })
+            });
         });
     }
     g.finish();

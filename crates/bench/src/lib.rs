@@ -124,7 +124,7 @@ mod tests {
                 "9",
             ]
             .iter()
-            .map(|s| s.to_string()),
+            .map(std::string::ToString::to_string),
         );
         assert!(a.full);
         assert_eq!(a.timeout, Duration::from_secs_f64(2.5));

@@ -178,7 +178,7 @@ fn pgi_expr_projected(ctx: &Ctx<'_>, j: usize) -> LinExpr {
     for l in 0..ctx.vars.columns.len() {
         let cid = ctx.vars.columns[l];
         let byte = ctx.catalog.column(cid).bytes;
-        let tpos = ctx.query.table_position(cid.table).expect("validated");
+        let tpos = ctx.query.position_of(cid.table);
         let card = ctx.card[tpos];
         expr += ctx.vars.cli[j][l] * (card * byte / ctx.config.cost_params.page_bytes);
     }

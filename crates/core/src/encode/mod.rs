@@ -167,11 +167,7 @@ pub fn warm_start_assignment(
     let vars = &encoding.vars;
     let est = Estimator::new(catalog, query);
 
-    let positions: Vec<usize> = plan
-        .order
-        .iter()
-        .map(|&t| query.table_position(t).expect("validated plan"))
-        .collect();
+    let positions: Vec<usize> = plan.order.iter().map(|&t| query.position_of(t)).collect();
     // Outer operand of join j = first j+1 tables of the order.
     let outer_sets: Vec<TableSet> = (0..jn)
         .map(|j| TableSet::from_positions(positions[..=j].iter().copied()))
@@ -507,6 +503,8 @@ fn greedy_anchor_log(est: &Estimator, config: &EncoderConfig, n: usize) -> f64 {
                     est.log10_cardinality(set.insert(a))
                         .total_cmp(&est.log10_cardinality(set.insert(b)))
                 })
+                // audit-allow(no-panic): the min_by scans a remaining-set the
+                // enclosing loop guard proves non-empty.
                 .expect("remaining table");
             let joined = set.insert(next);
             let join_log = {
@@ -559,8 +557,7 @@ fn greedy_anchor_log(est: &Estimator, config: &EncoderConfig, n: usize) -> f64 {
     let anchor = best_log.max(0.0) + tuples_per_cost.log10();
     let min_single = starts
         .first()
-        .map(|&s| est.log10_cardinality(TableSet::single(s)))
-        .unwrap_or(0.0);
+        .map_or(0.0, |&s| est.log10_cardinality(TableSet::single(s)));
     anchor.max(min_single)
 }
 

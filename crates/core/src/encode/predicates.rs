@@ -48,11 +48,7 @@ pub(crate) fn build(ctx: &mut Ctx<'_>) {
         let Some(e) = ctx.vars.pred_index[qi] else {
             continue;
         };
-        let positions: Vec<usize> = p
-            .tables
-            .iter()
-            .map(|&t| ctx.query.table_position(t).expect("validated"))
-            .collect();
+        let positions: Vec<usize> = p.tables.iter().map(|&t| ctx.query.position_of(t)).collect();
         for j in 0..jn {
             for &tp in &positions {
                 let expr = LinExpr::from(ctx.vars.pao[e][j]) - ctx.vars.tio[j][tp];

@@ -53,7 +53,7 @@ pub(crate) fn build(ctx: &mut Ctx<'_>) {
     }
 
     for (l, cid) in columns.iter().enumerate() {
-        let tpos = ctx.query.table_position(cid.table).expect("validated");
+        let tpos = ctx.query.position_of(cid.table);
         // Table presence.
         for j in 0..jn {
             let expr = LinExpr::from(ctx.vars.clo[j][l]) - ctx.vars.tio[j][tpos];

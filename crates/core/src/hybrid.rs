@@ -26,8 +26,6 @@
 //! `proven_optimal: false`, exactly like the greedy backend. A caller with
 //! a feasible seed never sees `NoPlanFound`.
 
-use std::time::Instant;
-
 use milpjoin_dp::{greedy_order, DpOptions};
 use milpjoin_qopt::cost::{plan_cost, CostModelKind, CostParams};
 use milpjoin_qopt::orderer::{
@@ -247,7 +245,7 @@ impl JoinOrderer for HybridOptimizer {
     ) -> Result<OrderingOutcome, OrderingError> {
         // Resolve the seed here so it survives a MILP failure (the
         // greedy-only fallback below needs it).
-        let start = Instant::now();
+        let start = milpjoin_shim::time::now();
         let opt_options = OptimizeOptions::from_ordering(options);
         let seed = self
             .resolve_seed(catalog, query, &opt_options)

@@ -552,6 +552,8 @@ impl MilpOptimizer {
             _ => {}
         }
 
+        // audit-allow(no-panic): the status match above returns early for
+        // every status without a solution.
         let solution = result.solution.as_ref().expect("has_solution checked");
         let mut decoded = decode(&encoding, query, solution)
             .map_err(|e| OptimizeError::Solver(format!("decode failed: {e}")))?;
@@ -595,6 +597,8 @@ impl MilpOptimizer {
             plan: decoded.plan.clone(),
             decoded,
             status: result.status,
+            // audit-allow(no-panic): guarded by the same has_solution early
+            // return as the solution access above.
             milp_objective: result.objective.expect("has solution"),
             milp_bound: result.bound,
             cost_bound: final_bound,
@@ -677,10 +681,12 @@ pub(crate) fn ordering_error(e: OptimizeError) -> OrderingError {
                 // `Finished`/`Stalled` without a solution: numerically
                 // parked subtrees (or a status/stop mismatch) — a neutral
                 // resource-limit report either way.
-                _ => OrderingError::ResourceLimit(format!(
-                    "no plan found within the configured limits (solver status: {status}; \
+                StopReason::Finished | StopReason::Stalled => {
+                    OrderingError::ResourceLimit(format!(
+                        "no plan found within the configured limits (solver status: {status}; \
                      stopped on: {stop})"
-                )),
+                    ))
+                }
             },
         },
         OptimizeError::Infeasible => OrderingError::Backend("encoding is infeasible (bug)".into()),

@@ -72,8 +72,6 @@
 //! super-polynomial bound. The [`crate::optimize`] baseline stays the
 //! reference for every other cost model.
 
-use std::time::Instant;
-
 use milpjoin_qopt::cost::{plan_cost_with_estimator, CostModelKind, CostParams};
 use milpjoin_qopt::orderer::{
     CostTrace, JoinOrderer, OrderingError, OrderingOptions, OrderingOutcome,
@@ -109,7 +107,7 @@ pub fn optimize_conv(
     query: &Query,
     options: &DpOptions,
 ) -> Result<DpResult, DpError> {
-    let start = Instant::now();
+    let start = milpjoin_shim::time::now();
     let n = query.num_tables();
     if n == 0 || n > 63 {
         return Err(DpError::InvalidQuery);
@@ -150,11 +148,7 @@ pub fn optimize_conv(
         .predicates
         .iter()
         .map(|p| {
-            let mask = TableSet::from_positions(
-                p.tables
-                    .iter()
-                    .map(|&t| query.table_position(t).expect("validated query")),
-            );
+            let mask = TableSet::from_positions(p.tables.iter().map(|&t| query.position_of(t)));
             (mask, p.log10_selectivity())
         })
         .chain(query.correlated_groups.iter().map(|g| {
@@ -162,8 +156,8 @@ pub fn optimize_conv(
                 .members
                 .iter()
                 .flat_map(|pid| &query.predicates[pid.index()].tables)
-                .map(|&t| query.table_position(t).expect("validated query"))
-                .fold(TableSet::EMPTY, |a, p| a.insert(p));
+                .map(|&t| query.position_of(t))
+                .fold(TableSet::EMPTY, TableSet::insert);
             (mask, g.correction.log10())
         }));
     for (mask, log_factor) in factors {
@@ -220,7 +214,7 @@ pub fn optimize_conv(
         }
         if set_bits % 8192 == 0 {
             if let Some(d) = options.deadline {
-                if Instant::now() >= d {
+                if milpjoin_shim::time::now() >= d {
                     return Err(DpError::Timeout);
                 }
             }
@@ -230,6 +224,8 @@ pub fn optimize_conv(
         // re-enters, plus exactly the factors anchored at it that the
         // current set completes (single-table factors of `low` included —
         // the predecessor contains none of them).
+        // audit-allow(no-panic): subset enumeration starts at singletons;
+        // the empty set is never visited.
         let low = set.first().expect("non-empty set");
         let pred_bits = (set_bits & (set_bits - 1)) as usize;
         let mut lc = logcard[pred_bits] + table_log[low];
@@ -280,6 +276,8 @@ pub fn optimize_conv(
         order_rev.push(query.tables[t as usize]);
         cur = cur.remove(t as usize);
     }
+    // audit-allow(no-panic): the extraction loop above runs until
+    // exactly one table remains in `cur`.
     order_rev.push(query.tables[cur.first().expect("one table left")]);
     order_rev.reverse();
 
@@ -334,7 +332,9 @@ impl DpConvOptimizer {
 
     fn dp_options(&self, options: &OrderingOptions) -> DpOptions {
         DpOptions {
-            deadline: options.time_limit.map(|limit| Instant::now() + limit),
+            deadline: options
+                .time_limit
+                .map(|limit| milpjoin_shim::time::now() + limit),
             memory_budget_bytes: self.memory_budget_bytes,
             cost_model: self.cost_model,
             params: self.params,

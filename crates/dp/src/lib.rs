@@ -103,7 +103,7 @@ pub fn optimize(
     query: &Query,
     options: &DpOptions,
 ) -> Result<DpResult, DpError> {
-    let start = Instant::now();
+    let start = milpjoin_shim::time::now();
     let n = query.num_tables();
     if n == 0 || n > 63 {
         return Err(DpError::InvalidQuery);
@@ -151,7 +151,7 @@ pub fn optimize(
         // Deadline check, amortized.
         if set_bits % 8192 == 0 {
             if let Some(d) = options.deadline {
-                if Instant::now() >= d {
+                if milpjoin_shim::time::now() >= d {
                     return Err(DpError::Timeout);
                 }
             }
@@ -199,6 +199,8 @@ pub fn optimize(
         order_rev.push(query.tables[t as usize]);
         cur = cur.remove(t as usize);
     }
+    // audit-allow(no-panic): the extraction loop above runs until
+    // exactly one table remains in `cur`.
     order_rev.push(query.tables[cur.first().expect("one table left")]);
     order_rev.reverse();
 
@@ -225,6 +227,8 @@ pub fn greedy_order(catalog: &Catalog, query: &Query, options: &DpOptions) -> Le
             let cb = est.cardinality(TableSet::single(b));
             ca.partial_cmp(&cb).unwrap_or(std::cmp::Ordering::Equal)
         })
+        // audit-allow(no-panic): `0..n` is non-empty — validated queries
+        // have at least one table.
         .unwrap();
     let mut set = TableSet::single(start);
     let mut order = vec![query.tables[start]];
@@ -246,6 +250,8 @@ pub fn greedy_order(catalog: &Catalog, query: &Query, options: &DpOptions) -> Le
                 (t, options.cost_model.join_cost(&ctx, &options.params))
             })
             .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            // audit-allow(no-panic): the while-loop guard proves the remaining
+            // set is non-empty.
             .expect("at least one remaining table");
         set = set.insert(next);
         order.push(query.tables[next]);
@@ -355,7 +361,7 @@ mod tests {
             .collect();
         let q = Query::new(ids);
         let opts = DpOptions {
-            deadline: Some(Instant::now() + Duration::from_millis(1)),
+            deadline: Some(milpjoin_shim::time::now() + Duration::from_millis(1)),
             ..Default::default()
         };
         match optimize(&c, &q, &opts) {

@@ -5,8 +5,6 @@
 //! limits only) and translate between the trait's unified types and the
 //! crate-native [`DpOptions`] / [`DpError`].
 
-use std::time::Instant;
-
 use milpjoin_qopt::cost::{plan_cost, CostModelKind, CostParams};
 use milpjoin_qopt::orderer::{
     CostTrace, JoinOrderer, OrderingError, OrderingOptions, OrderingOutcome,
@@ -47,7 +45,9 @@ impl DpOptimizer {
 
     fn dp_options(&self, options: &OrderingOptions) -> DpOptions {
         DpOptions {
-            deadline: options.time_limit.map(|limit| Instant::now() + limit),
+            deadline: options
+                .time_limit
+                .map(|limit| milpjoin_shim::time::now() + limit),
             memory_budget_bytes: self.memory_budget_bytes,
             cost_model: self.cost_model,
             params: self.params,
@@ -144,7 +144,7 @@ impl JoinOrderer for GreedyOptimizer {
         query
             .validate(catalog)
             .map_err(|e| OrderingError::InvalidQuery(e.to_string()))?;
-        let start = Instant::now();
+        let start = milpjoin_shim::time::now();
         let dp_options = DpOptions {
             cost_model: self.cost_model,
             params: self.params,

@@ -303,7 +303,7 @@ pub struct BranchBound<'a, F: FnMut(&SolverEvent)> {
 
 impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
     pub fn new(lp: &'a LpProblem, opts: &'a SolverOptions, callback: F) -> Self {
-        let start = Instant::now();
+        let start = milpjoin_shim::time::now();
         BranchBound {
             lp,
             opts,
@@ -330,7 +330,8 @@ impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
     }
 
     fn out_of_time(&self) -> bool {
-        self.deadline.is_some_and(|d| Instant::now() >= d)
+        self.deadline
+            .is_some_and(|d| milpjoin_shim::time::now() >= d)
     }
 
     /// Current global dual bound (min space): min over open nodes, the
@@ -469,6 +470,8 @@ impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
             if self.gap_reached(None) {
                 break;
             }
+            // audit-allow(no-panic): the peek at loop entry proves the heap is
+            // non-empty, and nothing pops between.
             let node = self.heap.pop().expect("peeked above");
 
             // Plunge from this node up to max_dive_depth. The first node of

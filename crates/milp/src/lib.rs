@@ -52,6 +52,7 @@ pub mod lu;
 pub mod model;
 pub mod options;
 pub mod parallel;
+pub(crate) mod pool;
 pub mod presolve;
 pub mod simplex;
 pub mod solution;

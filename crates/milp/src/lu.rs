@@ -156,6 +156,9 @@ impl LuFactors {
         if !defective.is_empty() {
             let mut free_rows: Vec<usize> = (0..m).filter(|&r| pos_of_row[r] == NONE).collect();
             for k in defective {
+                // audit-allow(no-panic): counting argument — every defective column
+                // leaves exactly one row unassigned, so `free_rows` has one entry
+                // per iteration.
                 let r = free_rows.pop().expect("one free row per defective column");
                 lu.pivot_row[k] = r as u32;
                 lu.u_diag[k] = 1.0;

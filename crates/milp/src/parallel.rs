@@ -4,13 +4,15 @@
 //! The parallel search runs the *same* node computation as the sequential
 //! one in [`crate::branch_bound`] — the LP re-solve from the
 //! [`NodeData`] bound chain, plunging, heuristics, pseudocost branching —
-//! under a different execution discipline:
+//! under a different execution discipline, whose coordination half lives
+//! in [`crate::pool`] (and is model-checked there by the interleaving
+//! explorer):
 //!
-//! * **Shared open-node pool.** One lock-protected best-bound
-//!   [`BinaryHeap`] feeds every worker, preserving the global best-first
-//!   order: each idle worker pops the open node with the smallest bound.
-//!   While a worker plunges, the bound of its in-flight subtree is parked
-//!   in a per-worker `active` slot so the global dual bound never forgets
+//! * **Shared open-node pool.** One lock-protected best-bound heap feeds
+//!   every worker, preserving the global best-first order: each idle
+//!   worker pops the open node with the smallest bound. While a worker
+//!   plunges, the bound of its in-flight subtree is parked in a
+//!   per-worker `active` slot so the global dual bound never forgets
 //!   claimed-but-unfinished work.
 //! * **Shared incumbent.** The best assignment lives under the pool lock;
 //!   its objective is mirrored into an atomic (f64 bits) so workers prune
@@ -46,52 +48,85 @@
 //! at limits, and tie-broken optima may vary run to run. Optimal
 //! objectives, certificates, and bound soundness do not.
 
-use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+
+use milpjoin_shim::time as shim_time;
 
 use crate::branch_bound::{
     apply_node_bounds, fractional_candidates, node_chain_bound, snap_integral, speculative_count,
-    verify_rows, warm_start_candidate, NodeData, OpenNode, SearchOutcome, SolverEvent,
+    verify_rows, warm_start_candidate, NodeData, SearchOutcome, SolverEvent,
 };
 use crate::branching::{select_branching_var, Pseudocosts};
 use crate::heuristics::{diving_heuristic, rounding_heuristic};
 use crate::lp::LpProblem;
 use crate::options::SolverOptions;
+use crate::pool::{Open, Pool, PoolEvent, PoolLimits};
 use crate::simplex::{LpStatus, Simplex, SimplexLimits};
 use crate::solution::{IncumbentEvent, Solution};
 use crate::status::{SearchStats, SolveStatus, StopReason};
 
-/// Mutable search state shared by all workers, guarded by one mutex.
-struct PoolState<F> {
-    heap: BinaryHeap<OpenNode>,
-    seq: u64,
-    /// Workers currently expanding a subtree.
-    busy: usize,
-    /// Per-worker bound of the claimed in-flight subtree (`None` when
-    /// idle) — part of the global dual bound.
-    active: Vec<Option<f64>>,
-    /// Bounds of numerically stalled nodes, parked (never re-processed)
-    /// so the global bound stays valid.
-    stalled_bounds: Vec<f64>,
-    incumbent: Option<(Vec<f64>, f64)>,
-    last_bound_reported: f64,
-    /// First budget that fired (first writer wins).
-    halt: Option<StopReason>,
-    /// Search over: set with `halt`, on natural exhaustion, or on the gap
-    /// target.
-    done: bool,
-    root_unbounded: bool,
-    /// Merged callback: invoked only under this lock, so events from all
-    /// workers form one ordered stream.
-    callback: F,
+/// Node payload in the shared pool: the bound chain (`None` = root).
+type NodePayload = Option<Arc<NodeData>>;
+
+/// Read-mostly numerical context shared by all workers; the coordination
+/// state lives in the [`Pool`].
+struct Ctx<'a> {
+    lp: &'a LpProblem,
+    opts: &'a SolverOptions,
 }
 
-impl<F> PoolState<F> {
-    fn next_seq(&mut self) -> u64 {
-        self.seq += 1;
-        self.seq
+/// Verifies a candidate against the original rows (outside any lock),
+/// then offers it to the shared incumbent.
+fn offer<F: FnMut(PoolEvent<'_, Vec<f64>>)>(
+    ctx: &Ctx<'_>,
+    pool: &Pool<NodePayload, Vec<f64>, F>,
+    values: &[f64],
+    obj: f64,
+    current_bound: Option<f64>,
+) -> bool {
+    if !verify_rows(ctx.lp, values) {
+        return false;
+    }
+    pool.offer_incumbent(values.to_vec(), obj, current_bound)
+}
+
+fn run_diving<F: FnMut(PoolEvent<'_, Vec<f64>>)>(
+    ctx: &Ctx<'_>,
+    pool: &Pool<NodePayload, Vec<f64>, F>,
+    sx: &mut Simplex<'_>,
+    current_obj: f64,
+) {
+    let (lb, ub) = {
+        let (l, u) = sx.bounds();
+        (l.to_vec(), u.to_vec())
+    };
+    if let Some((vals, obj)) = diving_heuristic(
+        sx,
+        ctx.lp,
+        &lb,
+        &ub,
+        ctx.opts.integrality_tol,
+        pool.deadline(),
+    ) {
+        let snapped = snap_integral(ctx.lp, vals);
+        offer(ctx, pool, &snapped, obj, Some(current_obj));
+    }
+}
+
+fn run_rounding<F: FnMut(PoolEvent<'_, Vec<f64>>)>(
+    ctx: &Ctx<'_>,
+    pool: &Pool<NodePayload, Vec<f64>, F>,
+    sx: &mut Simplex<'_>,
+    current_obj: f64,
+) {
+    let base = sx.values().to_vec();
+    let (lb, ub) = {
+        let (l, u) = sx.bounds();
+        (l.to_vec(), u.to_vec())
+    };
+    if let Some((vals, obj)) = rounding_heuristic(sx, ctx.lp, &lb, &ub, &base, pool.deadline()) {
+        let snapped = snap_integral(ctx.lp, vals);
+        offer(ctx, pool, &snapped, obj, Some(current_obj));
     }
 }
 
@@ -105,290 +140,35 @@ struct WorkerScratch {
     numerical_failures: u64,
 }
 
-/// Read-mostly shared context: problem, options, atomics, and the pool.
-struct Shared<'a, F> {
-    lp: &'a LpProblem,
-    opts: &'a SolverOptions,
-    start: Instant,
-    deadline: Option<Instant>,
-    /// Global node meter across all workers.
-    nodes: AtomicU64,
-    /// f64 bits of the incumbent objective (`+inf` when none): lock-free
-    /// pruning mid-plunge. Written only under the pool lock.
-    incumbent_bits: AtomicU64,
-    /// Mirror of `PoolState::done` for cheap mid-plunge checks.
-    finished: AtomicBool,
-    state: Mutex<PoolState<F>>,
-    work: Condvar,
-}
-
-impl<F: FnMut(&SolverEvent) + Send> Shared<'_, F> {
-    fn out_of_time(&self) -> bool {
-        self.deadline.is_some_and(|d| Instant::now() >= d)
-    }
-
-    fn incumbent_obj_fast(&self) -> Option<f64> {
-        let v = f64::from_bits(self.incumbent_bits.load(AtomicOrdering::Acquire));
-        (v != f64::INFINITY).then_some(v)
-    }
-
-    fn prunable_against(&self, inc: Option<f64>, bound: f64) -> bool {
-        match inc {
-            Some(inc) => {
-                let slack = self.opts.relative_gap * inc.abs().max(1e-10);
-                bound >= inc - slack - 1e-12
-            }
-            None => false,
-        }
-    }
-
-    /// Lock-free prune check against the atomic incumbent mirror.
-    fn prunable_fast(&self, bound: f64) -> bool {
-        self.prunable_against(self.incumbent_obj_fast(), bound)
-    }
-
-    /// Global dual bound (min space): heap top, stalled subtrees, every
-    /// busy worker's in-flight subtree, `current`, capped at the incumbent
-    /// (same soundness argument as the sequential search).
-    fn global_bound(&self, st: &PoolState<F>, current: Option<f64>) -> f64 {
-        let mut b = f64::INFINITY;
-        if let Some(top) = st.heap.peek() {
-            b = b.min(top.bound);
-        }
-        for &s in &st.stalled_bounds {
-            b = b.min(s);
-        }
-        for a in st.active.iter().flatten() {
-            b = b.min(*a);
-        }
-        if let Some(c) = current {
-            b = b.min(c);
-        }
-        if let Some((_, obj)) = &st.incumbent {
-            b = b.min(*obj);
-        }
-        b
-    }
-
-    fn maybe_report_bound(&self, st: &mut PoolState<F>, current: Option<f64>) {
-        let b = self.global_bound(st, current);
-        if b.is_finite() && b > st.last_bound_reported + 1e-9 * (1.0 + b.abs()) {
-            st.last_bound_reported = b;
-            let ev = SolverEvent::BoundImproved {
-                elapsed: self.start.elapsed(),
-                bound: self.lp.user_objective(b),
-                nodes: self.nodes.load(AtomicOrdering::Relaxed),
-            };
-            (st.callback)(&ev);
-        }
-    }
-
-    fn gap_reached(&self, st: &PoolState<F>, current: Option<f64>) -> bool {
-        let Some((_, inc)) = &st.incumbent else {
-            return false;
-        };
-        let bound = self.global_bound(st, current);
-        if !bound.is_finite() {
-            return false;
-        }
-        (inc - bound).max(0.0) / inc.abs().max(1e-10) <= self.opts.relative_gap
-    }
-
-    /// Verifies a candidate (outside the lock), then accepts it under the
-    /// lock if it still improves on the shared incumbent. The acceptance,
-    /// atomic-mirror update, and event all happen under the lock, so the
-    /// merged incumbent stream is monotone.
-    fn offer_incumbent(&self, values: &[f64], obj: f64, current_bound: Option<f64>) -> bool {
-        if !verify_rows(self.lp, values) {
-            return false;
-        }
-        let mut st = self.state.lock().unwrap();
-        if let Some((_, best)) = &st.incumbent {
-            if obj >= *best - 1e-12 * (1.0 + best.abs()) {
-                return false;
-            }
-        }
-        st.incumbent = Some((values.to_vec(), obj));
-        self.incumbent_bits
-            .store(obj.to_bits(), AtomicOrdering::Release);
-        let bound = self.global_bound(&st, current_bound);
-        let ev = SolverEvent::Incumbent(IncumbentEvent {
-            elapsed: self.start.elapsed(),
-            objective: self.lp.user_objective(obj),
-            bound: self.lp.user_objective(bound.min(obj)),
-            nodes: self.nodes.load(AtomicOrdering::Relaxed),
-            solution: Solution::new(self.lp.unscale_values(values)),
-        });
-        (st.callback)(&ev);
-        // A better incumbent changes prunability: waiting workers must
-        // re-evaluate their termination conditions.
-        self.work.notify_all();
-        true
-    }
-
-    fn node_limit_reached(&self) -> bool {
-        self.opts
-            .node_limit
-            .is_some_and(|n| self.nodes.load(AtomicOrdering::Relaxed) >= n)
-    }
-
-    /// Marks the search done under an already-held lock.
-    fn finish(&self, st: &mut PoolState<F>, halt: Option<StopReason>) {
-        if let Some(reason) = halt {
-            st.halt.get_or_insert(reason);
-        }
-        st.done = true;
-        self.finished.store(true, AtomicOrdering::Release);
-        self.work.notify_all();
-    }
-
-    /// Re-opens a node (bound stays part of the global bound) and halts.
-    fn halt_with(&self, data: Option<Arc<NodeData>>, bound: f64, reason: StopReason) {
-        let mut st = self.state.lock().unwrap();
-        let seq = st.next_seq();
-        st.heap.push(OpenNode { bound, seq, data });
-        self.finish(&mut st, Some(reason));
-    }
-
-    /// Re-opens a node without halting (used when *another* worker ended
-    /// the search while this one was mid-plunge).
-    fn park_open(&self, data: Option<Arc<NodeData>>, bound: f64) {
-        let mut st = self.state.lock().unwrap();
-        let seq = st.next_seq();
-        st.heap.push(OpenNode { bound, seq, data });
-    }
-
-    fn report_bound(&self, current: Option<f64>) {
-        let mut st = self.state.lock().unwrap();
-        self.maybe_report_bound(&mut st, current);
-    }
-
-    /// Blocks until an expandable node is available (claiming it) or the
-    /// search is over (`None`). Termination requires the heap to hold
-    /// nothing worth expanding *and* no worker to be mid-subtree: a busy
-    /// worker may still push children below the current heap top.
-    fn acquire(&self, w: usize) -> Option<OpenNode> {
-        let mut st = self.state.lock().unwrap();
-        loop {
-            if st.done {
-                return None;
-            }
-            if self.out_of_time() {
-                self.finish(&mut st, Some(StopReason::TimeLimit));
-                return None;
-            }
-            match st.heap.peek().map(|n| n.bound) {
-                Some(top) => {
-                    let inc = st.incumbent.as_ref().map(|(_, o)| *o);
-                    if self.prunable_against(inc, top) {
-                        // Bound-ordered heap: every open node is prunable.
-                        if st.busy == 0 {
-                            self.finish(&mut st, None);
-                            return None;
-                        }
-                    } else if self.node_limit_reached() {
-                        self.finish(&mut st, Some(StopReason::NodeLimit));
-                        return None;
-                    } else if self.gap_reached(&st, None) {
-                        self.finish(&mut st, None);
-                        return None;
-                    } else {
-                        let node = st.heap.pop().expect("peeked above");
-                        st.busy += 1;
-                        st.active[w] = Some(node.bound);
-                        return Some(node);
-                    }
-                }
-                None => {
-                    if st.busy == 0 {
-                        // Tree exhausted.
-                        self.finish(&mut st, None);
-                        return None;
-                    }
-                }
-            }
-            // Nothing expandable right now: wait for a push, a new
-            // incumbent, a subtree closing, or the end of the search.
-            st = match self.deadline {
-                Some(d) => {
-                    let timeout = d
-                        .saturating_duration_since(Instant::now())
-                        .min(Duration::from_millis(20))
-                        .max(Duration::from_millis(1));
-                    self.work.wait_timeout(st, timeout).unwrap().0
-                }
-                None => self.work.wait(st).unwrap(),
-            };
-        }
-    }
-}
-
-fn run_diving<F: FnMut(&SolverEvent) + Send>(
-    shared: &Shared<'_, F>,
-    sx: &mut Simplex<'_>,
-    current_obj: f64,
-) {
-    let (lb, ub) = {
-        let (l, u) = sx.bounds();
-        (l.to_vec(), u.to_vec())
-    };
-    if let Some((vals, obj)) = diving_heuristic(
-        sx,
-        shared.lp,
-        &lb,
-        &ub,
-        shared.opts.integrality_tol,
-        shared.deadline,
-    ) {
-        let snapped = snap_integral(shared.lp, vals);
-        shared.offer_incumbent(&snapped, obj, Some(current_obj));
-    }
-}
-
-fn run_rounding<F: FnMut(&SolverEvent) + Send>(
-    shared: &Shared<'_, F>,
-    sx: &mut Simplex<'_>,
-    current_obj: f64,
-) {
-    let base = sx.values().to_vec();
-    let (lb, ub) = {
-        let (l, u) = sx.bounds();
-        (l.to_vec(), u.to_vec())
-    };
-    if let Some((vals, obj)) = rounding_heuristic(sx, shared.lp, &lb, &ub, &base, shared.deadline) {
-        let snapped = snap_integral(shared.lp, vals);
-        shared.offer_incumbent(&snapped, obj, Some(current_obj));
-    }
-}
-
 /// Expands one claimed node: the same plunge the sequential search runs,
 /// against the shared pool and incumbent.
-fn expand<F: FnMut(&SolverEvent) + Send>(
-    shared: &Shared<'_, F>,
+fn expand<F: FnMut(PoolEvent<'_, Vec<f64>>)>(
+    ctx: &Ctx<'_>,
+    pool: &Pool<NodePayload, Vec<f64>, F>,
     w: usize,
     sx: &mut Simplex<'_>,
     pseudo: &mut Pseudocosts,
-    node: OpenNode,
+    node: Open<NodePayload>,
     scratch: &mut WorkerScratch,
 ) {
-    let mut current = Some((node.data, /* warm */ false));
+    let mut current = Some((node.payload, /* warm */ false));
     let mut dive_depth = 0u32;
     while let Some((data, warm)) = current.take() {
         // Budget / halt checks before funding another LP. A worker that
         // backs out re-opens its node so the subtree bound stays valid.
-        if shared.finished.load(AtomicOrdering::Acquire) {
+        if pool.is_finished() {
             let bound = node_chain_bound(&data);
-            shared.park_open(data, bound);
+            pool.park_open(data, bound);
             return;
         }
-        if shared.out_of_time() {
+        if pool.out_of_time() {
             let bound = node_chain_bound(&data);
-            shared.halt_with(data, bound, StopReason::TimeLimit);
+            pool.halt_with(data, bound, StopReason::TimeLimit);
             return;
         }
-        if shared.node_limit_reached() {
+        if pool.node_limit_reached() {
             let bound = node_chain_bound(&data);
-            shared.halt_with(data, bound, StopReason::NodeLimit);
+            pool.halt_with(data, bound, StopReason::NodeLimit);
             return;
         }
 
@@ -398,17 +178,17 @@ fn expand<F: FnMut(&SolverEvent) + Send>(
         }
         let mut res = sx.solve(&SimplexLimits {
             max_iterations: None,
-            deadline: shared.deadline,
+            deadline: pool.deadline(),
         });
         if warm && res.status != LpStatus::Optimal {
             sx.install_slack_basis();
             res = sx.solve(&SimplexLimits {
                 max_iterations: None,
-                deadline: shared.deadline,
+                deadline: pool.deadline(),
             });
             scratch.cold_retries += 1;
         }
-        shared.nodes.fetch_add(1, AtomicOrdering::Relaxed);
+        pool.count_node();
         scratch.expanded_bounds.push(node_chain_bound(&data));
 
         let stalled_feasible =
@@ -417,30 +197,26 @@ fn expand<F: FnMut(&SolverEvent) + Send>(
         match res.status {
             LpStatus::Infeasible => {
                 scratch.infeasible_nodes += 1;
-                shared.report_bound(None);
+                pool.report_bound(None);
                 break;
             }
             LpStatus::Unbounded => {
                 if data.is_none() {
-                    let mut st = shared.state.lock().unwrap();
-                    st.root_unbounded = true;
-                    shared.finish(&mut st, None);
+                    pool.finish_root_unbounded();
                     return;
                 }
                 scratch.numerical_failures += 1;
-                let bound = node_chain_bound(&data);
-                shared.state.lock().unwrap().stalled_bounds.push(bound);
+                pool.park_stalled(node_chain_bound(&data));
                 break;
             }
             LpStatus::TimeLimit => {
                 let bound = node_chain_bound(&data);
-                shared.halt_with(data, bound, StopReason::TimeLimit);
+                pool.halt_with(data, bound, StopReason::TimeLimit);
                 return;
             }
             LpStatus::IterationLimit if !stalled_feasible => {
                 scratch.numerical_failures += 1;
-                let bound = node_chain_bound(&data);
-                shared.state.lock().unwrap().stalled_bounds.push(bound);
+                pool.park_stalled(node_chain_bound(&data));
                 break;
             }
             LpStatus::IterationLimit | LpStatus::Optimal => {}
@@ -454,8 +230,8 @@ fn expand<F: FnMut(&SolverEvent) + Send>(
         };
 
         // Deadline re-check between the node LP and the work below.
-        if shared.out_of_time() {
-            shared.halt_with(data, obj, StopReason::TimeLimit);
+        if pool.out_of_time() {
+            pool.halt_with(data, obj, StopReason::TimeLimit);
             return;
         }
 
@@ -467,22 +243,22 @@ fn expand<F: FnMut(&SolverEvent) + Send>(
             }
         }
 
-        if shared.prunable_fast(obj) {
-            shared.report_bound(None);
+        if pool.prunable_fast(obj) {
+            pool.report_bound(None);
             break;
         }
 
-        let candidates = fractional_candidates(sx, shared.lp, shared.opts.integrality_tol);
+        let candidates = fractional_candidates(sx, ctx.lp, ctx.opts.integrality_tol);
         if candidates.is_empty() {
             let point_obj = sx.objective();
-            let values = sx.values()[..shared.lp.num_structural].to_vec();
-            let snapped = snap_integral(shared.lp, values);
-            shared.offer_incumbent(&snapped, point_obj, None);
-            shared.report_bound(None);
+            let values = sx.values()[..ctx.lp.num_structural].to_vec();
+            let snapped = snap_integral(ctx.lp, values);
+            offer(ctx, pool, &snapped, point_obj, None);
+            pool.report_bound(None);
             break;
         }
 
-        let Some((var, frac)) = select_branching_var(shared.opts.branching, &candidates, pseudo)
+        let Some((var, frac)) = select_branching_var(ctx.opts.branching, &candidates, pseudo)
         else {
             break;
         };
@@ -496,16 +272,13 @@ fn expand<F: FnMut(&SolverEvent) + Send>(
         // Root diving runs exactly once: only one node has no data (the
         // root), and exactly one worker claims it.
         if data.is_none() {
-            if shared.opts.root_diving {
-                run_diving(shared, sx, obj);
+            if ctx.opts.root_diving {
+                run_diving(ctx, pool, sx, obj);
             }
-        } else if shared.opts.heuristic_frequency > 0
-            && shared
-                .nodes
-                .load(AtomicOrdering::Relaxed)
-                .is_multiple_of(shared.opts.heuristic_frequency)
+        } else if ctx.opts.heuristic_frequency > 0
+            && pool.nodes().is_multiple_of(ctx.opts.heuristic_frequency)
         {
-            run_rounding(shared, sx, obj);
+            run_rounding(ctx, pool, sx, obj);
         }
 
         let down = Arc::new(NodeData {
@@ -531,61 +304,41 @@ fn expand<F: FnMut(&SolverEvent) + Send>(
         let (first, second) = if frac < 0.5 { (down, up) } else { (up, down) };
 
         dive_depth += 1;
-        let keep_diving = dive_depth <= shared.opts.max_dive_depth;
-        {
-            let mut st = shared.state.lock().unwrap();
-            let seq = st.next_seq();
-            st.heap.push(OpenNode {
-                bound: obj,
-                seq,
-                data: Some(second),
-            });
-            if !keep_diving {
-                let seq = st.next_seq();
-                st.heap.push(OpenNode {
-                    bound: obj,
-                    seq,
-                    data: Some(first.clone()),
-                });
-            }
-            // The in-flight subtree's bound tightened to this node's LP
-            // objective.
-            st.active[w] = Some(obj);
-            shared.maybe_report_bound(&mut st, keep_diving.then_some(obj));
-            // New open work for idle workers.
-            shared.work.notify_all();
+        let keep_diving = dive_depth <= ctx.opts.max_dive_depth;
+        // The in-flight subtree's bound tightened to this node's LP
+        // objective; publish the children in one critical section.
+        let mut children: Vec<(NodePayload, f64)> = vec![(Some(second), obj)];
+        if !keep_diving {
+            children.push((Some(Arc::clone(&first)), obj));
         }
+        pool.publish_children(w, children, obj, keep_diving.then_some(obj));
         if keep_diving {
             current = Some((Some(first), true));
         }
     }
 }
 
-fn worker<F: FnMut(&SolverEvent) + Send>(
-    shared: &Shared<'_, F>,
+fn worker<F: FnMut(PoolEvent<'_, Vec<f64>>)>(
+    ctx: &Ctx<'_>,
+    pool: &Pool<NodePayload, Vec<f64>, F>,
     w: usize,
     scratch: &mut WorkerScratch,
 ) {
-    let mut sx = Simplex::new(shared.lp);
-    let mut pseudo = Pseudocosts::new(shared.lp.num_structural, &shared.lp.obj);
-    while let Some(node) = shared.acquire(w) {
-        expand(shared, w, &mut sx, &mut pseudo, node, scratch);
+    let mut sx = Simplex::new(ctx.lp);
+    let mut pseudo = Pseudocosts::new(ctx.lp.num_structural, &ctx.lp.obj);
+    while let Some(node) = pool.acquire(w) {
+        expand(ctx, pool, w, &mut sx, &mut pseudo, node, scratch);
         // Close out the claimed subtree: the worker no longer holds (or
-        // has re-opened) it, so its `active` slot empties and waiting
-        // workers re-check termination.
-        let mut st = shared.state.lock().unwrap();
-        st.busy -= 1;
-        st.active[w] = None;
-        shared.maybe_report_bound(&mut st, None);
-        shared.work.notify_all();
+        // has re-opened) it, so waiting workers re-check termination.
+        pool.release(w);
     }
     scratch.simplex_iterations = sx.iterations_total();
 }
 
 /// Multi-worker branch-and-bound over a shared open-node pool. Same
 /// arguments and [`SearchOutcome`] as the sequential
-/// [`crate::branch_bound::BranchBound`]; see the module docs for the
-/// protocol.
+/// [`crate::branch_bound::BranchBound`]; see the module docs (and
+/// [`crate::pool`]) for the protocol.
 pub struct ParallelBranchBound<'a, F: FnMut(&SolverEvent) + Send> {
     lp: &'a LpProblem,
     opts: &'a SolverOptions,
@@ -600,52 +353,57 @@ impl<'a, F: FnMut(&SolverEvent) + Send> ParallelBranchBound<'a, F> {
     /// Runs the search to completion or a limit.
     pub fn run(self) -> SearchOutcome {
         let threads = self.opts.threads.max(1);
-        let start = Instant::now();
-        let shared = Shared {
+        let start = shim_time::now();
+        let ctx = Ctx {
             lp: self.lp,
             opts: self.opts,
-            start,
-            deadline: self.opts.time_limit.map(|d| start + d),
-            nodes: AtomicU64::new(0),
-            incumbent_bits: AtomicU64::new(f64::INFINITY.to_bits()),
-            finished: AtomicBool::new(false),
-            state: Mutex::new(PoolState {
-                heap: BinaryHeap::new(),
-                seq: 0,
-                busy: 0,
-                active: vec![None; threads],
-                stalled_bounds: Vec::new(),
-                incumbent: None,
-                last_bound_reported: f64::NEG_INFINITY,
-                halt: None,
-                done: false,
-                root_unbounded: false,
-                callback: self.callback,
-            }),
-            work: Condvar::new(),
         };
+        // Translate pool events (internal objective space) into the user's
+        // anytime stream. The pool invokes this under its lock, so the
+        // merged stream is ordered.
+        let lp = self.lp;
+        let mut callback = self.callback;
+        let pool = Pool::new(
+            PoolLimits {
+                node_limit: self.opts.node_limit,
+                relative_gap: self.opts.relative_gap,
+                deadline: self.opts.time_limit.map(|d| start + d),
+            },
+            threads,
+            move |ev: PoolEvent<'_, Vec<f64>>| match ev {
+                PoolEvent::Bound { bound, nodes } => callback(&SolverEvent::BoundImproved {
+                    elapsed: shim_time::now().saturating_duration_since(start),
+                    bound: lp.user_objective(bound),
+                    nodes,
+                }),
+                PoolEvent::Incumbent {
+                    objective,
+                    bound,
+                    nodes,
+                    solution,
+                } => callback(&SolverEvent::Incumbent(IncumbentEvent {
+                    elapsed: shim_time::now().saturating_duration_since(start),
+                    objective: lp.user_objective(objective),
+                    bound: lp.user_objective(bound),
+                    nodes,
+                    solution: Solution::new(lp.unscale_values(solution)),
+                })),
+            },
+        );
 
         // Root node.
-        {
-            let mut st = shared.state.lock().unwrap();
-            let seq = st.next_seq();
-            st.heap.push(OpenNode {
-                bound: f64::NEG_INFINITY,
-                seq,
-                data: None,
-            });
-        }
+        pool.push_root(None, f64::NEG_INFINITY);
 
         // Warm start on the calling thread, before any worker launches:
         // the hinted incumbent seeds the shared incumbent, so every worker
         // prunes against it from its very first node and the anytime
         // stream opens with a finite objective at t ≈ 0.
         let warm_iterations = {
-            let mut sx = Simplex::new(shared.lp);
+            let mut sx = Simplex::new(ctx.lp);
             if let Some((snapped, obj)) =
-                warm_start_candidate(&mut sx, shared.lp, shared.opts, shared.deadline)
+                warm_start_candidate(&mut sx, ctx.lp, ctx.opts, pool.deadline())
             {
-                shared.offer_incumbent(&snapped, obj, None);
+                offer(&ctx, &pool, &snapped, obj, None);
             }
             sx.iterations_total()
         };
@@ -654,15 +412,15 @@ impl<'a, F: FnMut(&SolverEvent) + Send> ParallelBranchBound<'a, F> {
             (0..threads).map(|_| WorkerScratch::default()).collect();
         std::thread::scope(|scope| {
             for (w, scratch) in scratches.iter_mut().enumerate() {
-                let shared = &shared;
-                scope.spawn(move || worker(shared, w, scratch));
+                let (ctx, pool) = (&ctx, &pool);
+                scope.spawn(move || worker(ctx, pool, w, scratch));
             }
         });
 
         // Workers joined: fold their private counters and map the pool
         // state to an outcome exactly as the sequential search does.
-        let nodes = shared.nodes.load(AtomicOrdering::Relaxed);
-        let st = shared.state.lock().unwrap();
+        let out = pool.finalize();
+        let nodes = out.nodes;
         let mut expanded_bounds: Vec<f64> = Vec::new();
         let mut simplex_iterations = warm_iterations;
         let mut infeasible_nodes = 0u64;
@@ -679,32 +437,22 @@ impl<'a, F: FnMut(&SolverEvent) + Send> ParallelBranchBound<'a, F> {
             eprintln!(
                 "bb[par x{threads}]: nodes={} infeasible={} cold_retries={} \
                  numerical_failures={} heap_left={}",
-                nodes,
-                infeasible_nodes,
-                cold_retries,
-                numerical_failures,
-                st.heap.len()
+                nodes, infeasible_nodes, cold_retries, numerical_failures, out.heap_len
             );
         }
 
-        let incumbent_obj = st.incumbent.as_ref().map(|(_, o)| *o);
-        let mut stop = st.halt.unwrap_or(StopReason::Finished);
-        if stop == StopReason::Finished
-            && st
-                .stalled_bounds
-                .iter()
-                .any(|&b| !shared.prunable_against(incumbent_obj, b))
-        {
+        let incumbent_obj = out.incumbent.as_ref().map(|(_, o)| *o);
+        let mut stop = out.halt.unwrap_or(StopReason::Finished);
+        if stop == StopReason::Finished && out.stalled_unresolved {
             stop = StopReason::Stalled;
         }
-        let bound = shared.global_bound(&st, None);
-        let status = if st.root_unbounded {
+        let status = if out.root_unbounded {
             SolveStatus::Unbounded
         } else {
             match (incumbent_obj.is_some(), stop != StopReason::Finished) {
                 (true, false) => SolveStatus::Optimal,
                 (true, true) => {
-                    if shared.gap_reached(&st, None) {
+                    if out.gap_reached {
                         SolveStatus::Optimal
                     } else {
                         SolveStatus::Feasible
@@ -719,13 +467,9 @@ impl<'a, F: FnMut(&SolverEvent) + Send> ParallelBranchBound<'a, F> {
         }
         let final_bound = match (incumbent_obj, status) {
             (Some(obj), SolveStatus::Optimal) => obj,
-            _ => bound,
+            _ => out.bound,
         };
-        let incumbent = {
-            // Extract the incumbent out of the (now-exclusive) pool state.
-            drop(st);
-            shared.state.into_inner().unwrap().incumbent
-        };
+        let incumbent = out.incumbent;
         let speculative = speculative_count(&expanded_bounds, incumbent.as_ref());
         SearchOutcome {
             status,
@@ -748,6 +492,7 @@ mod tests {
     use super::*;
     use crate::model::{Model, Sense};
     use crate::solver::Solver;
+    use std::sync::Mutex;
 
     fn knapsack(n: usize) -> Model {
         let mut m = Model::new("ks");

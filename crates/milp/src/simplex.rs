@@ -255,6 +255,26 @@ impl<'a> Simplex<'a> {
         }
     }
 
+    /// The current basis factorization. Every caller runs strictly after
+    /// a `factorize()` on the solve path (`lu` is only `None` between
+    /// basis invalidation and the next solve), so the accessor centralizes
+    /// that invariant instead of an `unwrap` per use site.
+    fn factors(&self) -> &LuFactors {
+        // audit-allow(no-panic): single audited choke point — `lu` is
+        // re-established at solve entry before any read reaches this.
+        self.lu
+            .as_ref()
+            .expect("basis factorized on the solve path")
+    }
+
+    /// Mutable form of [`factors`](Self::factors), for eta updates.
+    fn factors_mut(&mut self) -> &mut LuFactors {
+        // audit-allow(no-panic): see `factors` — same invariant.
+        self.lu
+            .as_mut()
+            .expect("basis factorized on the solve path")
+    }
+
     fn factorize(&mut self) {
         let lp = self.lp;
         let basis = self.basis.clone();
@@ -288,7 +308,7 @@ impl<'a> Simplex<'a> {
                 self.lp.column_axpy(j, -self.x[j], &mut rhs);
             }
         }
-        self.lu.as_ref().expect("factorized").ftran(&mut rhs);
+        self.factors().ftran(&mut rhs);
         for (i, &col) in self.basis.iter().enumerate() {
             self.x[col] = rhs[i];
         }
@@ -339,7 +359,7 @@ impl<'a> Simplex<'a> {
             }
             if iterations.is_multiple_of(64) {
                 if let Some(deadline) = limits.deadline {
-                    if Instant::now() >= deadline {
+                    if milpjoin_shim::time::now() >= deadline {
                         return self.finish(LpStatus::TimeLimit, iterations);
                     }
                 }
@@ -418,7 +438,7 @@ impl<'a> Simplex<'a> {
                     self.cost(col)
                 };
             }
-            self.lu.as_ref().unwrap().btran(&mut cb);
+            self.factors().btran(&mut cb);
             let y = cb; // now indexed by row
 
             // Pricing: Dantzig rule on scale-normalized reduced costs, or
@@ -452,10 +472,8 @@ impl<'a> Simplex<'a> {
                     DUAL_TOL + 1e-12 * scale
                 };
                 let dir = match st {
-                    VarStatus::AtLower if d < -tol => 1.0,
-                    VarStatus::AtUpper if d > tol => -1.0,
-                    VarStatus::Free if d < -tol => 1.0,
-                    VarStatus::Free if d > tol => -1.0,
+                    VarStatus::AtLower | VarStatus::Free if d < -tol => 1.0,
+                    VarStatus::AtUpper | VarStatus::Free if d > tol => -1.0,
                     _ => continue,
                 };
                 if use_bland {
@@ -503,7 +521,7 @@ impl<'a> Simplex<'a> {
             // Entering direction d = B^-1 a_q.
             let mut dvec = vec![0.0; m];
             self.lp.column_axpy(q, 1.0, &mut dvec);
-            self.lu.as_ref().unwrap().ftran(&mut dvec);
+            self.factors().ftran(&mut dvec);
 
             // Ratio test (two-pass Harris style; strict Bland variant under
             // prolonged degeneracy).
@@ -556,7 +574,7 @@ impl<'a> Simplex<'a> {
                     };
                     self.status[q] = VarStatus::Basic;
                     self.basis[row] = q;
-                    let ok = self.lu.as_mut().unwrap().push_eta(row, &dvec);
+                    let ok = self.factors_mut().push_eta(row, &dvec);
                     if ok {
                         etas_since_refactor += 1;
                     } else {

@@ -99,6 +99,8 @@ impl MipResult {
 
     /// Convenience accessor that panics without a solution.
     pub fn solution_ref(&self) -> &Solution {
+        // audit-allow(no-panic): documented panicking convenience accessor
+        // (see the doc comment); fallible callers use `solution` directly.
         self.solution.as_ref().expect("no incumbent available")
     }
 }

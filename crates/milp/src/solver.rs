@@ -1,7 +1,6 @@
 //! Public solve facade: validation, presolve, search, result mapping.
 
 use std::fmt;
-use std::time::Instant;
 
 use crate::branch_bound::{BranchBound, SolverEvent};
 use crate::lp::LpProblem;
@@ -91,7 +90,7 @@ impl Solver {
         callback: impl FnMut(&SolverEvent) + Send,
     ) -> Result<MipResult, SolveError> {
         model.validate()?;
-        let start = Instant::now();
+        let start = milpjoin_shim::time::now();
 
         let mut working = model.clone();
         if self.options.presolve {
@@ -194,7 +193,7 @@ mod tests {
         let x = m.add_integer(0.0, 5.0, "x");
         m.set_objective(x.into(), Sense::Maximize);
         let opts = SolverOptions::with_time_limit(Duration::from_millis(200));
-        let start = Instant::now();
+        let start = milpjoin_shim::time::now();
         let r = Solver::new(opts).solve(&m).unwrap();
         assert!(start.elapsed() < Duration::from_secs(5));
         assert!(r.status.has_solution() || r.status == SolveStatus::NoSolutionFound);

@@ -17,7 +17,7 @@ pub struct CscMatrix {
 impl CscMatrix {
     /// Builds a CSC matrix from per-column `(row, value)` lists.
     pub fn from_columns(nrows: usize, columns: &[Vec<(u32, f64)>]) -> Self {
-        let nnz: usize = columns.iter().map(|c| c.len()).sum();
+        let nnz: usize = columns.iter().map(Vec::len).sum();
         let mut col_ptr = Vec::with_capacity(columns.len() + 1);
         let mut row_idx = Vec::with_capacity(nnz);
         let mut values = Vec::with_capacity(nnz);
@@ -89,9 +89,11 @@ impl CscMatrix {
             row_counts[r as usize] += 1;
         }
         let mut row_ptr = Vec::with_capacity(self.nrows + 1);
-        row_ptr.push(0usize);
+        let mut acc = 0usize;
+        row_ptr.push(acc);
         for c in &row_counts {
-            row_ptr.push(row_ptr.last().unwrap() + c);
+            acc += c;
+            row_ptr.push(acc);
         }
         let mut col_idx = vec![0u32; self.nnz()];
         let mut values = vec![0.0; self.nnz()];

@@ -41,11 +41,23 @@
 //!   flight? neither?") is atomic under the shard lock, and publishing
 //!   inserts the record *before* retiring the slot — a new claimant can
 //!   never observe the gap between "solved" and "cached".
+//! * **Model-checked protocol.** The locks and condvars here are
+//!   `milpjoin_shim::sync` primitives: plain `std` types in a release
+//!   build, but under the interleaving explorer
+//!   (`milpjoin_shim::explore`) the *real* claim/publish/abandon code is
+//!   driven through every yield-point schedule for 2–3 threads. The
+//!   `interleave_tests` module exhaustively checks leader publish vs.
+//!   follower wake vs. abandoned- and panicked-leader re-entry, and its
+//!   seeded mutations (retire-before-insert gap, dropped wakeup) prove
+//!   the checker detects the bug classes this protocol is designed out
+//!   of.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
+
+use milpjoin_shim::sync::{Condvar, Mutex};
 
 use crate::fingerprint::{ExactStats, Fingerprint};
 use crate::plan::JoinOp;
@@ -91,19 +103,38 @@ impl InFlightSlot {
     /// Blocks until the leader resolves the slot; returns its published
     /// record, or `None` when the leader failed.
     pub(crate) fn wait(&self) -> Option<Arc<CachedPlan>> {
-        let mut state = self.state.lock().unwrap();
+        let mut state = self.state.lock();
         loop {
             match &*state {
                 SlotState::Done(record) => return record.clone(),
-                SlotState::Pending => state = self.cv.wait(state).unwrap(),
+                SlotState::Pending => state = self.cv.wait(state),
             }
         }
     }
 
-    fn resolve(&self, record: Option<Arc<CachedPlan>>) {
-        *self.state.lock().unwrap() = SlotState::Done(record);
-        self.cv.notify_all();
+    fn resolve(&self, record: Option<Arc<CachedPlan>>, notify: bool) {
+        *self.state.lock() = SlotState::Done(record);
+        if notify {
+            self.cv.notify_all();
+        }
     }
+}
+
+/// Seedable protocol mutations for the interleaving-explorer self-tests
+/// (`interleave_tests`): each flag re-introduces one bug class the claim
+/// protocol is designed out of, so the tests can prove the explorer
+/// detects it. Debug builds only; release builds have no flags and no
+/// branches.
+#[cfg(debug_assertions)]
+#[derive(Default)]
+pub(crate) struct CacheFaults {
+    /// Publish retires the in-flight slot (and wakes followers) *before*
+    /// inserting the record — re-opening the solved-but-uncached gap a
+    /// concurrent claimant can fall through (double solve).
+    pub(crate) publish_retire_first: std::sync::atomic::AtomicBool,
+    /// Publish resolves the slot without notifying — a lost wakeup, which
+    /// the explorer observes as a deadlock.
+    pub(crate) drop_publish_notify: std::sync::atomic::AtomicBool,
 }
 
 /// Leadership of one in-flight solve, handed out by
@@ -127,9 +158,28 @@ impl InFlightGuard<'_> {
     /// solve.
     pub(crate) fn publish(mut self, record: Arc<CachedPlan>) {
         self.published = true;
+        #[cfg(debug_assertions)]
+        if self
+            .cache
+            .faults
+            .publish_retire_first
+            .load(std::sync::atomic::Ordering::SeqCst)
+        {
+            // Seeded bug (see `CacheFaults`): retire the slot and wake the
+            // followers first, insert the record only after a scheduling
+            // point — the solved-but-uncached gap the real path closes by
+            // insert-before-retire under one shard lock.
+            self.cache.retire_inflight(&self.fingerprint);
+            self.slot
+                .resolve(Some(Arc::clone(&record)), self.cache.publish_notifies());
+            milpjoin_shim::yield_point();
+            self.cache.insert(self.fingerprint.clone(), record);
+            return;
+        }
         self.cache
             .publish_inflight(&self.fingerprint, Arc::clone(&record));
-        self.slot.resolve(Some(record));
+        self.slot
+            .resolve(Some(record), self.cache.publish_notifies());
     }
 }
 
@@ -141,7 +191,7 @@ impl Drop for InFlightGuard<'_> {
         // Abandon: retire the slot and wake the followers empty-handed
         // (they re-enter the claim protocol). Runs on the panic path too.
         self.cache.retire_inflight(&self.fingerprint);
-        self.slot.resolve(None);
+        self.slot.resolve(None, true);
     }
 }
 
@@ -175,11 +225,15 @@ impl Shard {
             // O(population) scan per eviction: deterministic, and at real
             // capacities the scan is trivially cheap next to a backend
             // solve. Ties cannot happen (the clock is monotone).
+            // audit-allow(no-unordered-iter): min_by_key over unique
+            // monotone clock values — the winner is order-independent.
             let lru = self
                 .map
                 .iter()
                 .min_by_key(|(_, &(_, last_used))| last_used)
                 .map(|(k, _)| k.clone())
+                // audit-allow(no-panic): loop guard proves len > capacity
+                // >= 0, so the shard is non-empty here.
                 .expect("non-empty shard above capacity");
             self.map.remove(&lru);
             evicted += 1;
@@ -197,6 +251,8 @@ impl Shard {
 /// payload — and no lock is held while the caller instantiates the plan.
 pub struct ShardedPlanCache {
     shards: Vec<Mutex<Shard>>,
+    #[cfg(debug_assertions)]
+    pub(crate) faults: CacheFaults,
 }
 
 impl std::fmt::Debug for ShardedPlanCache {
@@ -233,6 +289,24 @@ impl ShardedPlanCache {
                     })
                 })
                 .collect(),
+            #[cfg(debug_assertions)]
+            faults: CacheFaults::default(),
+        }
+    }
+
+    /// Whether publishing should notify slot waiters — `true` unless the
+    /// `drop_publish_notify` seeded mutation is armed (debug builds only).
+    fn publish_notifies(&self) -> bool {
+        #[cfg(debug_assertions)]
+        {
+            !self
+                .faults
+                .drop_publish_notify
+                .load(std::sync::atomic::Ordering::SeqCst)
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            true
         }
     }
 
@@ -242,7 +316,7 @@ impl ShardedPlanCache {
 
     /// Total entry budget across all shards.
     pub fn capacity(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().unwrap().capacity).sum()
+        self.shards.iter().map(|s| s.lock().capacity).sum()
     }
 
     /// Re-distributes a new total capacity across the existing shards,
@@ -262,7 +336,7 @@ impl ShardedPlanCache {
         let remainder = capacity % n;
         let mut evicted = 0;
         for (i, shard) in self.shards.iter().enumerate() {
-            let mut s = shard.lock().unwrap();
+            let mut s = shard.lock();
             s.capacity = if capacity == 0 {
                 0
             } else {
@@ -275,10 +349,7 @@ impl ShardedPlanCache {
 
     /// Number of distinct solved structures currently cached.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().unwrap().map.len())
-            .sum()
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -287,16 +358,13 @@ impl ShardedPlanCache {
 
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().unwrap().map.clear();
+            shard.lock().map.clear();
         }
     }
 
     /// Total entries evicted over the cache's lifetime (all shards).
     pub fn evictions(&self) -> u64 {
-        self.shards
-            .iter()
-            .map(|s| s.lock().unwrap().evictions)
-            .sum()
+        self.shards.iter().map(|s| s.lock().evictions).sum()
     }
 
     /// Deterministic shard index of a fingerprint (fixed-key hash; see the
@@ -312,7 +380,7 @@ impl ShardedPlanCache {
     /// recency to input order during batch assembly (so cross-batch
     /// eviction behavior matches the sequential session's).
     pub(crate) fn touch(&self, fp: &Fingerprint) -> bool {
-        let mut shard = self.shards[self.shard_of(fp)].lock().unwrap();
+        let mut shard = self.shards[self.shard_of(fp)].lock();
         shard.clock += 1;
         let clock = shard.clock;
         match shard.map.get_mut(fp) {
@@ -328,7 +396,7 @@ impl ShardedPlanCache {
     /// entries beyond capacity. Returns how many entries were evicted. A
     /// zero-capacity cache stores nothing.
     pub(crate) fn insert(&self, fp: Fingerprint, plan: Arc<CachedPlan>) -> u64 {
-        let mut shard = self.shards[self.shard_of(&fp)].lock().unwrap();
+        let mut shard = self.shards[self.shard_of(&fp)].lock();
         if shard.capacity == 0 {
             return 0;
         }
@@ -344,7 +412,7 @@ impl ShardedPlanCache {
     /// returned slot), or unclaimed (the caller becomes the leader and
     /// receives the guard obliging it to publish or abandon).
     pub(crate) fn claim(&self, fp: &Fingerprint) -> InFlightClaim<'_> {
-        let mut shard = self.shards[self.shard_of(fp)].lock().unwrap();
+        let mut shard = self.shards[self.shard_of(fp)].lock();
         shard.clock += 1;
         let clock = shard.clock;
         if let Some((cached, last_used)) = shard.map.get_mut(fp) {
@@ -368,7 +436,7 @@ impl ShardedPlanCache {
     /// slot under one shard lock (a concurrent [`Self::claim`] sees the
     /// structure as cached the instant it stops being in flight).
     fn publish_inflight(&self, fp: &Fingerprint, plan: Arc<CachedPlan>) {
-        let mut shard = self.shards[self.shard_of(fp)].lock().unwrap();
+        let mut shard = self.shards[self.shard_of(fp)].lock();
         shard.inflight.remove(fp);
         if shard.capacity == 0 {
             return;
@@ -381,16 +449,13 @@ impl ShardedPlanCache {
 
     /// Leader failure path: retires the slot without caching anything.
     fn retire_inflight(&self, fp: &Fingerprint) {
-        let mut shard = self.shards[self.shard_of(fp)].lock().unwrap();
+        let mut shard = self.shards[self.shard_of(fp)].lock();
         shard.inflight.remove(fp);
     }
 
     /// Number of structures currently being solved (across all shards).
     pub fn inflight_len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().unwrap().inflight.len())
-            .sum()
+        self.shards.iter().map(|s| s.lock().inflight.len()).sum()
     }
 }
 
@@ -420,7 +485,7 @@ mod tests {
 
     /// A fingerprinted two-table structure parameterized by cardinality
     /// (distinct cardinalities give distinct fingerprints).
-    fn fingerprinted(card: f64) -> crate::fingerprint::FingerprintedQuery {
+    pub(super) fn fingerprinted(card: f64) -> crate::fingerprint::FingerprintedQuery {
         let mut c = crate::catalog::Catalog::new();
         let a = c.add_table("a", card);
         let b = c.add_table("b", card * 10.0);
@@ -433,11 +498,11 @@ mod tests {
         )
     }
 
-    fn fingerprint_of(card: f64) -> Fingerprint {
+    pub(super) fn fingerprint_of(card: f64) -> Fingerprint {
         fingerprinted(card).fingerprint
     }
 
-    fn dummy_plan() -> Arc<CachedPlan> {
+    pub(super) fn dummy_plan() -> Arc<CachedPlan> {
         Arc::new(CachedPlan {
             canonical_order: vec![0, 1],
             operators: Vec::new(),
@@ -530,5 +595,239 @@ mod tests {
         // Zero still means "store nothing", everywhere.
         cache.set_capacity(0);
         assert_eq!(cache.capacity(), 0);
+    }
+}
+
+/// Exhaustive interleaving checks of the claim protocol, driving the real
+/// [`ShardedPlanCache`] code through every yield-point schedule via the
+/// shim explorer (see the module docs and `milpjoin_shim`'s crate docs for
+/// the yield-point contract). Debug builds only: release builds compile
+/// the scheduler out of the primitives.
+#[cfg(all(test, debug_assertions))]
+mod interleave_tests {
+    use super::tests::{dummy_plan, fingerprint_of};
+    use super::*;
+    use milpjoin_shim::explore::{Explorer, Trial};
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    /// The session-loop shape from `PlanSession::process_fingerprinted`:
+    /// claim until a record is obtained, solving (and counting the solve)
+    /// when leadership lands here, re-entering when a leader abandons.
+    fn drive(cache: &ShardedPlanCache, fp: &Fingerprint, solves: &AtomicU32) {
+        loop {
+            match cache.claim(fp) {
+                InFlightClaim::Cached(_) => return,
+                InFlightClaim::Lead(guard) => {
+                    solves.fetch_add(1, Ordering::SeqCst);
+                    guard.publish(dummy_plan());
+                    return;
+                }
+                InFlightClaim::Wait(slot) => {
+                    if slot.wait().is_some() {
+                        return;
+                    }
+                    // Leader abandoned: re-enter the claim protocol.
+                }
+            }
+        }
+    }
+
+    fn harness() -> (Arc<ShardedPlanCache>, Fingerprint, Arc<AtomicU32>) {
+        (
+            Arc::new(ShardedPlanCache::new(8, 1)),
+            fingerprint_of(10.0),
+            Arc::new(AtomicU32::new(0)),
+        )
+    }
+
+    /// The acceptance-criterion test: every 2-thread schedule of the claim
+    /// protocol (leader publish vs. follower wake) ends with exactly one
+    /// solve, the record cached, and the in-flight table empty. The
+    /// schedule count is printed (run with `--nocapture` to see it).
+    #[test]
+    fn two_thread_claim_protocol_exhaustive() {
+        let report = Explorer::new().run(|| {
+            let (cache, fp, solves) = harness();
+            let mut trial = Trial::new();
+            for _ in 0..2 {
+                let (cache, fp, solves) = (Arc::clone(&cache), fp.clone(), Arc::clone(&solves));
+                trial = trial.thread(move || drive(&cache, &fp, &solves));
+            }
+            trial.check(move || {
+                assert_eq!(solves.load(Ordering::SeqCst), 1, "exactly one solve");
+                assert!(matches!(cache.claim(&fp), InFlightClaim::Cached(_)));
+                assert_eq!(cache.inflight_len(), 0, "no slot left behind");
+            })
+        });
+        report.assert_clean(2);
+        println!(
+            "claim protocol: exhaustively explored {} two-thread schedules",
+            report.schedules
+        );
+    }
+
+    /// Abandoned-leader re-entry: one thread abandons its first leadership
+    /// (the failure path), then re-enters alongside a normal claimant.
+    /// Under every schedule the followers are woken empty-handed, re-enter,
+    /// and exactly one publish happens.
+    #[test]
+    fn abandoned_leader_reentry_exhaustive() {
+        let report = Explorer::new().run(|| {
+            let (cache, fp, solves) = harness();
+            let abandoner = {
+                let (cache, fp, solves) = (Arc::clone(&cache), fp.clone(), Arc::clone(&solves));
+                move || {
+                    if let InFlightClaim::Lead(guard) = cache.claim(&fp) {
+                        drop(guard); // abandon: followers wake empty-handed
+                    }
+                    drive(&cache, &fp, &solves);
+                }
+            };
+            let follower = {
+                let (cache, fp, solves) = (Arc::clone(&cache), fp.clone(), Arc::clone(&solves));
+                move || drive(&cache, &fp, &solves)
+            };
+            Trial::new()
+                .thread(abandoner)
+                .thread(follower)
+                .check(move || {
+                    assert_eq!(solves.load(Ordering::SeqCst), 1, "exactly one solve");
+                    assert!(matches!(cache.claim(&fp), InFlightClaim::Cached(_)));
+                    assert_eq!(cache.inflight_len(), 0);
+                })
+        });
+        report.assert_clean(2);
+    }
+
+    /// Panicked-leader path: the leader's solve panics with the guard live,
+    /// so the guard's `Drop` runs on the unwind — followers must be woken
+    /// empty-handed and the protocol must converge exactly as for a polite
+    /// abandon. (`claim` is inside the `catch_unwind` so the unwind crosses
+    /// the guard, like a real solver panic in the session loop would.)
+    #[test]
+    fn panicked_leader_wakes_followers_exhaustive() {
+        let report = Explorer::new().run(|| {
+            let (cache, fp, solves) = harness();
+            let panicker = {
+                let (cache, fp, solves) = (Arc::clone(&cache), fp.clone(), Arc::clone(&solves));
+                move || {
+                    let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        if let InFlightClaim::Lead(_guard) = cache.claim(&fp) {
+                            panic!("solver exploded mid-solve");
+                        }
+                    }));
+                    let _ = unwound;
+                    drive(&cache, &fp, &solves);
+                }
+            };
+            let follower = {
+                let (cache, fp, solves) = (Arc::clone(&cache), fp.clone(), Arc::clone(&solves));
+                move || drive(&cache, &fp, &solves)
+            };
+            Trial::new()
+                .thread(panicker)
+                .thread(follower)
+                .check(move || {
+                    assert_eq!(solves.load(Ordering::SeqCst), 1, "exactly one solve");
+                    assert!(matches!(cache.claim(&fp), InFlightClaim::Cached(_)));
+                    assert_eq!(cache.inflight_len(), 0);
+                })
+        });
+        report.assert_clean(2);
+    }
+
+    /// Three threads — an abandoning first leader plus two normal
+    /// claimants — so abandoned-leader wakeups with *multiple* blocked
+    /// followers are covered: both re-enter, exactly one publish wins.
+    /// (The abandoner claims once and leaves; giving it a full drive loop
+    /// too roughly squares the schedule count without adding coverage —
+    /// re-entry is exercised by the two followers.)
+    #[test]
+    fn three_thread_abandon_with_two_followers() {
+        let report = Explorer::new().run(|| {
+            let (cache, fp, solves) = harness();
+            let abandoner = {
+                let (cache, fp) = (Arc::clone(&cache), fp.clone());
+                move || {
+                    if let InFlightClaim::Lead(guard) = cache.claim(&fp) {
+                        drop(guard);
+                    }
+                }
+            };
+            let mut trial = Trial::new().thread(abandoner);
+            for _ in 0..2 {
+                let (cache, fp, solves) = (Arc::clone(&cache), fp.clone(), Arc::clone(&solves));
+                trial = trial.thread(move || drive(&cache, &fp, &solves));
+            }
+            trial.check(move || {
+                assert_eq!(solves.load(Ordering::SeqCst), 1, "exactly one solve");
+                assert!(matches!(cache.claim(&fp), InFlightClaim::Cached(_)));
+                assert_eq!(cache.inflight_len(), 0);
+            })
+        });
+        report.assert_clean(6);
+        println!(
+            "claim protocol: explored {} three-thread schedules",
+            report.schedules
+        );
+    }
+
+    /// Seeded mutation: publishing retire-first re-opens the
+    /// solved-but-uncached gap, and the explorer must catch the resulting
+    /// double solve under some schedule. Proves the checker detects the
+    /// bug class the insert-before-retire ordering exists to prevent.
+    #[test]
+    fn seeded_retire_first_gap_is_detected() {
+        let report = Explorer::new().fail_fast(false).run(|| {
+            let (cache, fp, solves) = harness();
+            cache
+                .faults
+                .publish_retire_first
+                .store(true, Ordering::SeqCst);
+            let mut trial = Trial::new();
+            for _ in 0..2 {
+                let (cache, fp, solves) = (Arc::clone(&cache), fp.clone(), Arc::clone(&solves));
+                trial = trial.thread(move || drive(&cache, &fp, &solves));
+            }
+            trial.check(move || {
+                assert_eq!(
+                    solves.load(Ordering::SeqCst),
+                    1,
+                    "a claimant slipped through the solved-but-uncached gap"
+                );
+            })
+        });
+        assert!(
+            report.check_failures > 0,
+            "the retire-first gap must surface as a double solve: {report:?}"
+        );
+        // The friendly schedules still pass — the gap is schedule-dependent,
+        // which is exactly why exhaustive enumeration matters.
+        assert!(report.schedules > report.check_failures);
+    }
+
+    /// Seeded mutation: publishing without notifying is a lost wakeup; the
+    /// schedule where a follower is already parked on the slot must be
+    /// reported as a deadlock.
+    #[test]
+    fn seeded_dropped_notify_is_detected() {
+        let report = Explorer::new().fail_fast(false).run(|| {
+            let (cache, fp, solves) = harness();
+            cache
+                .faults
+                .drop_publish_notify
+                .store(true, Ordering::SeqCst);
+            let mut trial = Trial::new();
+            for _ in 0..2 {
+                let (cache, fp, solves) = (Arc::clone(&cache), fp.clone(), Arc::clone(&solves));
+                trial = trial.thread(move || drive(&cache, &fp, &solves));
+            }
+            trial
+        });
+        assert!(
+            report.deadlocks > 0,
+            "a dropped publish notify must surface as a deadlock: {report:?}"
+        );
+        assert!(report.schedules > report.deadlocks);
     }
 }

@@ -31,11 +31,7 @@ impl Estimator {
             .map(|&t| catalog.log10_cardinality(t))
             .collect();
         let pred_mask = |tables: &[crate::catalog::TableId]| {
-            TableSet::from_positions(
-                tables
-                    .iter()
-                    .map(|&t| query.table_position(t).expect("validated query")),
-            )
+            TableSet::from_positions(tables.iter().map(|&t| query.position_of(t)))
         };
         let preds = query
             .predicates

@@ -191,7 +191,7 @@ pub fn plan_cost_with_estimator(
 
     let mut outer_set = TableSet::EMPTY;
     if n > 0 {
-        let pos0 = query.table_position(plan.order[0]).expect("validated plan");
+        let pos0 = query.position_of(plan.order[0]);
         outer_set = TableSet::single(pos0);
     }
     let mut outer_card = if n > 0 {
@@ -202,7 +202,7 @@ pub fn plan_cost_with_estimator(
 
     for j in 0..num_joins {
         let inner = plan.order[j + 1];
-        let inner_pos = query.table_position(inner).expect("validated plan");
+        let inner_pos = query.position_of(inner);
         let inner_card = catalog.cardinality(inner);
         let result_set = outer_set.insert(inner_pos);
         let output_card = est.cardinality(result_set);

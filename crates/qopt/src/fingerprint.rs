@@ -272,12 +272,7 @@ impl FingerprintedQuery {
         let pred_positions: Vec<Vec<usize>> = query
             .predicates
             .iter()
-            .map(|p| {
-                p.tables
-                    .iter()
-                    .map(|&t| query.table_position(t).expect("validated query"))
-                    .collect()
-            })
+            .map(|p| p.tables.iter().map(|&t| query.position_of(t)).collect())
             .collect();
         let mut incident: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (pi, positions) in pred_positions.iter().enumerate() {
@@ -295,7 +290,7 @@ impl FingerprintedQuery {
             columns: &mut Vec<(usize, f64, bool, Vec<usize>)>,
             col: crate::catalog::ColumnId,
         ) -> usize {
-            let pos = query.table_position(col.table).expect("validated query");
+            let pos = query.position_of(col.table);
             *role_of.entry((pos, col.column)).or_insert_with(|| {
                 columns.push((pos, catalog.column(col).bytes, false, Vec::new()));
                 columns.len() - 1
@@ -437,6 +432,8 @@ fn canonicalize(
     let mut best: Option<(Fingerprint, ExactStats, Vec<usize>)> = None;
     search(ctx, initial, &mut budget, &mut exhausted, &mut best);
     let (fingerprint, exact, from_canonical) =
+        // audit-allow(no-panic): the search seeds the first completion
+        // before the budget can expire, so `best` is always set.
         best.expect("at least one completion is always explored");
     (fingerprint, exact, from_canonical, exhausted)
 }

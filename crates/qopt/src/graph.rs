@@ -34,11 +34,7 @@ impl JoinGraph {
         let mut adj = vec![TableSet::EMPTY; n];
         let mut edges = std::collections::HashSet::new();
         for p in &query.predicates {
-            let positions: Vec<usize> = p
-                .tables
-                .iter()
-                .map(|&t| query.table_position(t).expect("validated query"))
-                .collect();
+            let positions: Vec<usize> = p.tables.iter().map(|&t| query.position_of(t)).collect();
             for (i, &a) in positions.iter().enumerate() {
                 for &b in &positions[i + 1..] {
                     if a != b {

@@ -69,11 +69,7 @@ impl LeftDeepPlan {
     /// The table set joined after `k + 1` tables (prefix of the order), in
     /// query-local positions.
     pub fn prefix_set(&self, query: &Query, k: usize) -> TableSet {
-        TableSet::from_positions(
-            self.order[..=k]
-                .iter()
-                .map(|&t| query.table_position(t).expect("table in query")),
-        )
+        TableSet::from_positions(self.order[..=k].iter().map(|&t| query.position_of(t)))
     }
 
     /// Checks that the plan is a complete permutation of the query tables
@@ -150,18 +146,14 @@ pub fn eager_evaluation_joins(query: &Query, plan: &LeftDeepPlan) -> Vec<Option<
     // has been joined, which happens during join `max_rank - 1`.
     let mut rank = vec![usize::MAX; query.num_tables()];
     for (i, &t) in plan.order.iter().enumerate() {
-        let pos = query.table_position(t).expect("validated plan");
+        let pos = query.position_of(t);
         rank[pos] = i;
     }
     query
         .predicates
         .iter()
         .map(|p| {
-            let max_rank = p
-                .tables
-                .iter()
-                .map(|&t| rank[query.table_position(t).expect("validated query")])
-                .max()?;
+            let max_rank = p.tables.iter().map(|&t| rank[query.position_of(t)]).max()?;
             max_rank.checked_sub(1)
         })
         .collect()

@@ -57,7 +57,7 @@ impl Predicate {
             "p({})",
             tables
                 .iter()
-                .map(|t| t.to_string())
+                .map(ToString::to_string)
                 .collect::<Vec<_>>()
                 .join(",")
         );
@@ -200,6 +200,25 @@ impl Query {
     /// Query-local position of a table (`None` if not part of the query).
     pub fn table_position(&self, t: TableId) -> Option<usize> {
         self.tables.iter().position(|&x| x == t)
+    }
+
+    /// Query-local position of a table that is known to belong to the
+    /// query — the post-[`validate`](Query::validate) form of
+    /// [`table_position`](Query::table_position), for code paths that
+    /// only ever see validated queries (encoders, cost models,
+    /// fingerprinting, plan decoding). Centralizing the lookup keeps the
+    /// membership invariant in one audited place instead of an `expect`
+    /// at every call site.
+    ///
+    /// # Panics
+    ///
+    /// If `t` is not one of the query's tables — by contract a
+    /// caller-side validation bug, not a recoverable condition.
+    pub fn position_of(&self, t: TableId) -> usize {
+        // audit-allow(no-panic): single audited choke point for the
+        // validated-query membership invariant; see the doc contract.
+        self.table_position(t)
+            .expect("table outside the validated query")
     }
 
     /// Validates the query against a catalog.

@@ -521,9 +521,13 @@ impl JoinOrderer for RouterOptimizer {
         let features = QueryFeatures::compute(query, model, options);
         let decision = self
             .route(&features)
+            // audit-allow(no-panic): construction validates that a router with
+            // a cost model installs at least one arm.
             .expect("router with a cost model has at least one arm");
         let backend = self.arms[decision.arm.index()]
             .as_ref()
+            // audit-allow(no-panic): `route` draws from the installed-arm set
+            // by construction.
             .expect("route() only returns installed arms");
         // Dispatch. Errors (and their Timeout/ResourceLimit/InvalidConfig
         // classification) pass through unchanged; on success the outcome is

@@ -102,7 +102,9 @@
 //! ```
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
+
+use milpjoin_shim::sync::{Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use crate::cache::ShardedPlanCache;
@@ -141,7 +143,7 @@ fn resolve_ticket(
     result: Result<SessionOutcome, OrderingError>,
     fingerprint: Option<Fingerprint>,
 ) {
-    let mut state = ticket.state.lock().unwrap();
+    let mut state = ticket.state.lock();
     // First resolution wins (the panic-path guard may race a regular
     // resolve only if a backend panicked *after* resolving — impossible —
     // so this is belt-and-braces).
@@ -169,11 +171,11 @@ pub struct PlanTicket {
 impl PlanTicket {
     /// Blocks until the submission resolves and returns its outcome.
     pub fn wait(&self) -> Result<SessionOutcome, OrderingError> {
-        let mut state = self.shared.state.lock().unwrap();
+        let mut state = self.shared.state.lock();
         loop {
             match &*state {
                 TicketState::Done { result, .. } => return result.clone(),
-                TicketState::Pending => state = self.shared.cv.wait(state).unwrap(),
+                TicketState::Pending => state = self.shared.cv.wait(state),
             }
         }
     }
@@ -181,7 +183,7 @@ impl PlanTicket {
     /// Non-blocking poll: `None` while the query is still queued or being
     /// solved.
     pub fn try_get(&self) -> Option<Result<SessionOutcome, OrderingError>> {
-        match &*self.shared.state.lock().unwrap() {
+        match &*self.shared.state.lock() {
             TicketState::Done { result, .. } => Some(result.clone()),
             TicketState::Pending => None,
         }
@@ -189,13 +191,13 @@ impl PlanTicket {
 
     /// Whether the submission has resolved.
     pub fn is_done(&self) -> bool {
-        matches!(*self.shared.state.lock().unwrap(), TicketState::Done { .. })
+        matches!(*self.shared.state.lock(), TicketState::Done { .. })
     }
 
     /// The resolved query's fingerprint, if one was computed. `None` while
     /// pending, and for uncacheable / caching-disabled / invalid queries.
     pub(crate) fn fingerprint(&self) -> Option<Fingerprint> {
-        match &*self.shared.state.lock().unwrap() {
+        match &*self.shared.state.lock() {
             TicketState::Done { fingerprint, .. } => fingerprint.clone(),
             TicketState::Pending => None,
         }
@@ -240,7 +242,7 @@ struct ServiceShared {
 }
 
 fn mark_resolved(shared: &ServiceShared) {
-    let mut state = shared.state.lock().unwrap();
+    let mut state = shared.state.lock();
     state.resolved += 1;
     if state.resolved == state.submitted {
         shared.idle_cv.notify_all();
@@ -322,6 +324,8 @@ impl QueryService {
     /// or workers exist (configure before submitting).
     fn config_mut(&mut self) -> &mut ServiceShared {
         Arc::get_mut(&mut self.shared)
+            // audit-allow(no-panic): documented API contract — configuration
+            // happens before the service is shared with workers.
             .expect("QueryService must be configured before the first submission")
     }
 
@@ -405,7 +409,7 @@ impl QueryService {
 
     /// Submissions not yet resolved (queued or in flight).
     pub fn pending(&self) -> u64 {
-        let state = self.shared.state.lock().unwrap();
+        let state = self.shared.state.lock();
         state.submitted - state.resolved
     }
 
@@ -415,7 +419,7 @@ impl QueryService {
     pub fn explain(&self) -> SessionStats {
         SessionStats {
             evictions: self.shared.cache.evictions(),
-            ..self.shared.stats.lock().unwrap().clone()
+            ..self.shared.stats.lock().clone()
         }
     }
 
@@ -441,7 +445,7 @@ impl QueryService {
             cv: Condvar::new(),
         });
         let accepted = {
-            let mut state = self.shared.state.lock().unwrap();
+            let mut state = self.shared.state.lock();
             if state.shutdown {
                 false
             } else {
@@ -484,9 +488,9 @@ impl QueryService {
     /// point, not a per-submission barrier; to wait for specific work,
     /// wait on its tickets.
     pub fn drain(&self) {
-        let mut state = self.shared.state.lock().unwrap();
+        let mut state = self.shared.state.lock();
         while state.resolved < state.submitted {
-            state = self.shared.idle_cv.wait(state).unwrap();
+            state = self.shared.idle_cv.wait(state);
         }
     }
 
@@ -501,11 +505,11 @@ impl QueryService {
 
     fn shutdown_impl(&self) {
         {
-            let mut state = self.shared.state.lock().unwrap();
+            let mut state = self.shared.state.lock();
             state.shutdown = true;
             self.shared.work_cv.notify_all();
         }
-        let handles: Vec<_> = self.handles.lock().unwrap().drain(..).collect();
+        let handles: Vec<_> = self.handles.lock().drain(..).collect();
         for handle in handles {
             // A worker that panicked already resolved its ticket through
             // the job guard; surface nothing here.
@@ -516,7 +520,7 @@ impl QueryService {
     /// Spawns the worker pool on first use (so builder configuration can
     /// finish before any thread observes it).
     fn ensure_workers(&self) {
-        let mut handles = self.handles.lock().unwrap();
+        let mut handles = self.handles.lock();
         if !handles.is_empty() {
             return;
         }
@@ -537,9 +541,7 @@ impl Drop for QueryService {
 /// solver is single-threaded per query, so one worker per core saturates
 /// the hardware without oversubscribing it).
 fn default_workers() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
 }
 
 fn worker_loop(shared: Arc<ServiceShared>) {
@@ -548,7 +550,7 @@ fn worker_loop(shared: Arc<ServiceShared>) {
     let backend = shared.factory.build();
     loop {
         let job = {
-            let mut state = shared.state.lock().unwrap();
+            let mut state = shared.state.lock();
             loop {
                 if let Some(job) = state.queue.pop_front() {
                     break Some(job);
@@ -556,7 +558,7 @@ fn worker_loop(shared: Arc<ServiceShared>) {
                 if state.shutdown {
                     break None;
                 }
-                state = shared.work_cv.wait(state).unwrap();
+                state = shared.work_cv.wait(state);
             }
         };
         let Some(Job {
@@ -605,7 +607,7 @@ fn worker_loop(shared: Arc<ServiceShared>) {
                 None,
             ),
         }
-        shared.stats.lock().unwrap().absorb(&local);
+        shared.stats.lock().absorb(&local);
         mark_resolved(&shared);
     }
 }
@@ -809,7 +811,7 @@ mod tests {
         // Keep a second handle alive through shutdown via drop semantics:
         // `shutdown` consumes the service, so re-create to test the flag.
         let service2 = QueryService::new(catalog, CountingBackend::new());
-        service2.shared.state.lock().unwrap().shutdown = true;
+        service2.shared.state.lock().shutdown = true;
         let rejected = service2.submit(query);
         assert!(matches!(
             rejected.wait(),

@@ -256,7 +256,7 @@ pub(crate) fn record_for_cache(
         .plan
         .order
         .iter()
-        .map(|&t| fp.to_canonical[query.table_position(t).expect("validated plan")])
+        .map(|&t| fp.to_canonical[query.position_of(t)])
         .collect();
     CachedPlan {
         canonical_order,
@@ -367,7 +367,7 @@ fn process_fingerprinted(
     loop {
         match ctx.cache.claim(&fp.fingerprint) {
             InFlightClaim::Cached(cached) => {
-                let start = Instant::now();
+                let start = milpjoin_shim::time::now();
                 match instantiate_cached(
                     ctx.catalog,
                     query,
@@ -415,35 +415,33 @@ fn process_fingerprinted(
             }
             InFlightClaim::Wait(slot) => {
                 stats.inflight_followers += 1;
-                let start = Instant::now();
-                match slot.wait() {
-                    Some(record) => {
-                        match instantiate_cached(
-                            ctx.catalog,
-                            query,
-                            fp,
-                            record.as_ref(),
-                            model,
-                            &params,
-                            start,
-                        ) {
-                            Some(hit) => {
-                                stats.cache_hits += 1;
-                                stats.inflight_wait_hits += 1;
-                                if hit.exact_hit {
-                                    stats.exact_hits += 1;
-                                }
-                                return Ok(hit);
+                let start = milpjoin_shim::time::now();
+                // A `None` wait means the leader failed: fall through and
+                // re-enter the claim protocol — one ex-follower becomes
+                // the next leader and the rest wait again, which
+                // reproduces the sequential session's per-occurrence
+                // retry of an uncached structure (deterministic backends
+                // fail identically).
+                if let Some(record) = slot.wait() {
+                    match instantiate_cached(
+                        ctx.catalog,
+                        query,
+                        fp,
+                        record.as_ref(),
+                        model,
+                        &params,
+                        start,
+                    ) {
+                        Some(hit) => {
+                            stats.cache_hits += 1;
+                            stats.inflight_wait_hits += 1;
+                            if hit.exact_hit {
+                                stats.exact_hits += 1;
                             }
-                            None => return solve_and_cache(ctx, query, fp, stats),
+                            return Ok(hit);
                         }
+                        None => return solve_and_cache(ctx, query, fp, stats),
                     }
-                    // The leader failed: re-enter the claim protocol —
-                    // one ex-follower becomes the next leader and the rest
-                    // wait again, which reproduces the sequential
-                    // session's per-occurrence retry of an uncached
-                    // structure (deterministic backends fail identically).
-                    None => continue,
                 }
             }
         }
@@ -1018,10 +1016,7 @@ mod tests {
             // mapping each plan through its *own* query's positions must
             // give identical permutations.
             let positions = |q: &Query, plan: &LeftDeepPlan| -> Vec<usize> {
-                plan.order
-                    .iter()
-                    .map(|&t| q.table_position(t).expect("plan tables are query tables"))
-                    .collect()
+                plan.order.iter().map(|&t| q.position_of(t)).collect()
             };
             assert_eq!(
                 positions(&queries1[i], &a.outcome.plan),

@@ -1,0 +1,401 @@
+//! The deterministic cooperative scheduler behind the interleaving
+//! explorer ([`crate::explore`]).
+//!
+//! One trial runs the registered threads on real OS threads, but only
+//! **one at a time**: every thread parks on the scheduler's condvar until
+//! it is the chosen `current` thread. At every *yield point* — a
+//! [`crate::sync::Mutex::lock`], a [`crate::sync::Condvar`] wait, an
+//! explicit [`crate::yield_point`] — the running thread hands control
+//! back, the scheduler consults the trial's schedule prefix to pick the
+//! next runnable thread, and records the choice so the explorer can
+//! backtrack. Lock contention and condvar waits are *modeled* (owner /
+//! waiter bookkeeping keyed by primitive address), so a blocked thread is
+//! simply not schedulable; the underlying `std` primitives never contend
+//! while a scheduler is active and exist only to carry the data.
+//!
+//! Deadlock is therefore an *observation*, not a hang: a transition that
+//! leaves no thread runnable while some are unfinished aborts the trial
+//! and records which thread was blocked on what — which is exactly how a
+//! lost wakeup (a dropped `notify_all`) surfaces under exhaustive
+//! enumeration.
+//!
+//! Model conventions (the same ones loom/shuttle document):
+//!
+//! * no spurious condvar wakeups — a waiter runs again only after a
+//!   notify;
+//! * `notify_one` wakes the lowest-id waiter (deterministic, not a choice
+//!   point); the workspace's protocols use `notify_all`;
+//! * `wait_timeout` never times out (wall clock is virtual under the
+//!   scheduler; see [`crate::time`]) — explore deadline-free
+//!   configurations, which is the code path the timeout variant guards;
+//! * code between two yield points runs atomically, so shared state must
+//!   only be touched under a shim lock or beside an explicit
+//!   [`crate::yield_point`].
+//!
+//! The whole module is compiled under `debug_assertions` only: release
+//! builds ship the raw `std` primitives with no scheduler check at all.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, PoisonError};
+use std::time::Instant;
+
+/// Panic payload used to unwind trial threads when a trial aborts
+/// (deadlock detected, another thread panicked, or depth overflow).
+pub(crate) struct TrialAbort;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TState {
+    /// Eligible to be scheduled.
+    Runnable,
+    /// Parked until the modeled mutex is released (then re-runnable; the
+    /// thread retries the acquisition when next scheduled).
+    BlockedMutex(usize),
+    /// Parked on a modeled condvar until a notify.
+    BlockedCv(usize),
+    Finished,
+}
+
+/// One recorded scheduling decision (only branching points — two or more
+/// runnable threads — are recorded; forced moves are not).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Choice {
+    pub options: usize,
+    pub chosen: usize,
+}
+
+struct SchedState {
+    threads: Vec<TState>,
+    /// Index of the one thread allowed to run; `usize::MAX` before the
+    /// trial starts and after it ends.
+    current: usize,
+    /// Trial threads parked at the start gate.
+    registered: usize,
+    started: bool,
+    /// Modeled mutex owners, keyed by the `Mutex` address.
+    owners: HashMap<usize, usize>,
+    /// Prescribed decisions for the branching points, replayed in order;
+    /// decisions beyond the prefix default to option 0.
+    schedule: Vec<usize>,
+    pos: usize,
+    /// Every branching decision actually taken (for backtracking).
+    trace: Vec<Choice>,
+    /// Set when the trial is being torn down; parked threads unwind via
+    /// [`TrialAbort`] and shim operations become passthroughs.
+    aborting: bool,
+    deadlock: Option<String>,
+    /// First non-[`TrialAbort`] panic observed on a trial thread.
+    panic: Option<String>,
+    depth_overflow: bool,
+}
+
+/// Shared per-trial scheduler (one per explorer trial).
+pub(crate) struct Scheduler {
+    state: StdMutex<SchedState>,
+    cv: StdCondvar,
+    /// Bound on recorded branching decisions per trial: a livelocking
+    /// schedule aborts instead of spinning forever.
+    max_choices: usize,
+    /// Virtual "now" handed out by [`crate::time::now`] while this
+    /// scheduler is active: deadlines never advance mid-trial, so trials
+    /// are time-deterministic.
+    pub(crate) epoch: Instant,
+}
+
+/// Thread-local binding of a trial thread to its scheduler.
+#[derive(Clone)]
+pub(crate) struct ThreadCtx {
+    pub(crate) sched: Arc<Scheduler>,
+    pub(crate) tid: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<ThreadCtx>> = const { RefCell::new(None) };
+}
+
+/// The current thread's trial binding, if an explorer is driving it.
+pub(crate) fn current() -> Option<ThreadCtx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_current(ctx: Option<ThreadCtx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+fn lock_state(m: &StdMutex<SchedState>) -> std::sync::MutexGuard<'_, SchedState> {
+    // The scheduler's own lock: a panicking trial thread may poison it
+    // mid-teardown; the state stays consistent (all transitions are
+    // single-step) so recover and continue the teardown.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Scheduler {
+    pub(crate) fn new(threads: usize, schedule: Vec<usize>, max_choices: usize) -> Self {
+        Scheduler {
+            state: StdMutex::new(SchedState {
+                threads: vec![TState::Runnable; threads],
+                current: usize::MAX,
+                registered: 0,
+                started: false,
+                owners: HashMap::new(),
+                schedule,
+                pos: 0,
+                trace: Vec::new(),
+                aborting: false,
+                deadlock: None,
+                panic: None,
+                depth_overflow: false,
+            }),
+            cv: StdCondvar::new(),
+            max_choices,
+            epoch: crate::time::real_now(),
+        }
+    }
+
+    /// Picks the next thread to run from the runnable set, consuming one
+    /// schedule decision when the choice actually branches. Detects
+    /// deadlock: nothing runnable while threads are unfinished.
+    fn pick_next(&self, st: &mut SchedState) {
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == TState::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            let unfinished: Vec<String> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| **s != TState::Finished)
+                .map(|(i, s)| format!("thread {i}: {s:?}"))
+                .collect();
+            st.current = usize::MAX;
+            if !unfinished.is_empty() && !st.aborting {
+                st.deadlock = Some(format!(
+                    "deadlock: no runnable thread; blocked = [{}]",
+                    unfinished.join(", ")
+                ));
+                st.aborting = true;
+            }
+            self.cv.notify_all();
+            return;
+        }
+        let chosen = if runnable.len() == 1 {
+            0
+        } else {
+            if st.trace.len() >= self.max_choices {
+                st.depth_overflow = true;
+                st.aborting = true;
+                st.current = usize::MAX;
+                self.cv.notify_all();
+                return;
+            }
+            let c = st.schedule.get(st.pos).copied().unwrap_or(0);
+            st.pos += 1;
+            st.trace.push(Choice {
+                options: runnable.len(),
+                chosen: c,
+            });
+            c
+        };
+        st.current = runnable[chosen];
+        self.cv.notify_all();
+    }
+
+    /// Parks the calling thread until it is scheduled (or the trial
+    /// aborts, in which case it unwinds with [`TrialAbort`]).
+    fn wait_scheduled<'a>(
+        &'a self,
+        mut st: std::sync::MutexGuard<'a, SchedState>,
+        me: usize,
+    ) -> std::sync::MutexGuard<'a, SchedState> {
+        loop {
+            if st.aborting {
+                drop(st);
+                std::panic::panic_any(TrialAbort);
+            }
+            if st.current == me && st.threads[me] == TState::Runnable {
+                return st;
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Start gate: trial threads park here until the driver releases the
+    /// trial, then wait to be scheduled for the first time.
+    pub(crate) fn gate(&self, me: usize) {
+        let mut st = lock_state(&self.state);
+        st.registered += 1;
+        self.cv.notify_all();
+        while !st.started {
+            if st.aborting {
+                drop(st);
+                std::panic::panic_any(TrialAbort);
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        drop(self.wait_scheduled(st, me));
+    }
+
+    /// Driver side: wait for all trial threads to reach the gate, then
+    /// make the first scheduling decision.
+    pub(crate) fn start(&self, threads: usize) {
+        let mut st = lock_state(&self.state);
+        while st.registered < threads {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        st.started = true;
+        self.pick_next(&mut st);
+    }
+
+    /// Yield point: hand control back and wait to be rescheduled.
+    pub(crate) fn yield_now(&self, me: usize) {
+        let mut st = lock_state(&self.state);
+        if st.aborting {
+            drop(st);
+            std::panic::panic_any(TrialAbort);
+        }
+        self.pick_next(&mut st);
+        drop(self.wait_scheduled(st, me));
+    }
+
+    /// Modeled mutex acquisition (a yield point). Blocks — in the model —
+    /// while another thread owns `mid`; on return the calling thread owns
+    /// it and the underlying `std` mutex is guaranteed uncontended.
+    pub(crate) fn acquire_mutex(&self, me: usize, mid: usize) {
+        let mut st = lock_state(&self.state);
+        if st.aborting {
+            // Teardown passthrough: exclusion is irrelevant, the trial
+            // state is being discarded.
+            return;
+        }
+        // The acquisition attempt itself is a scheduling point: others may
+        // run (and take the lock) first.
+        self.pick_next(&mut st);
+        st = self.wait_scheduled(st, me);
+        loop {
+            match st.owners.get(&mid) {
+                None => {
+                    st.owners.insert(mid, me);
+                    return;
+                }
+                Some(_) => {
+                    st.threads[me] = TState::BlockedMutex(mid);
+                    self.pick_next(&mut st);
+                    st = self.wait_scheduled(st, me);
+                }
+            }
+        }
+    }
+
+    /// Modeled mutex release: every thread blocked on `mid` becomes
+    /// runnable again (they retry the acquisition when scheduled). Not a
+    /// yield point — the next shim operation of the releasing thread is.
+    pub(crate) fn release_mutex(&self, me: usize, mid: usize) {
+        let mut st = lock_state(&self.state);
+        if st.aborting {
+            return;
+        }
+        debug_assert_eq!(st.owners.get(&mid), Some(&me), "release by non-owner");
+        st.owners.remove(&mid);
+        for s in &mut st.threads {
+            if *s == TState::BlockedMutex(mid) {
+                *s = TState::Runnable;
+            }
+        }
+    }
+
+    /// Modeled condvar wait: atomically releases `mid`, parks on `cvid`,
+    /// and returns once notified *and* scheduled. The caller re-acquires
+    /// the mutex afterwards (via [`Self::acquire_mutex`]).
+    pub(crate) fn cv_wait(&self, me: usize, cvid: usize, mid: usize) {
+        let mut st = lock_state(&self.state);
+        if st.aborting {
+            return;
+        }
+        debug_assert_eq!(st.owners.get(&mid), Some(&me), "wait without the lock");
+        st.owners.remove(&mid);
+        for s in &mut st.threads {
+            if *s == TState::BlockedMutex(mid) {
+                *s = TState::Runnable;
+            }
+        }
+        st.threads[me] = TState::BlockedCv(cvid);
+        self.pick_next(&mut st);
+        drop(self.wait_scheduled(st, me));
+    }
+
+    /// Modeled notify-all: every thread parked on `cvid` becomes runnable
+    /// (it will re-acquire the associated mutex itself). Not a yield
+    /// point.
+    pub(crate) fn notify_all(&self, cvid: usize) {
+        let mut st = lock_state(&self.state);
+        if st.aborting {
+            return;
+        }
+        for s in &mut st.threads {
+            if *s == TState::BlockedCv(cvid) {
+                *s = TState::Runnable;
+            }
+        }
+    }
+
+    /// Modeled notify-one: deterministically wakes the lowest-id waiter.
+    pub(crate) fn notify_one(&self, cvid: usize) {
+        let mut st = lock_state(&self.state);
+        if st.aborting {
+            return;
+        }
+        if let Some(s) = st
+            .threads
+            .iter_mut()
+            .find(|s| **s == TState::BlockedCv(cvid))
+        {
+            *s = TState::Runnable;
+        }
+    }
+
+    /// Marks the calling thread finished and schedules a successor.
+    pub(crate) fn finish(&self, me: usize) {
+        let mut st = lock_state(&self.state);
+        st.threads[me] = TState::Finished;
+        if !st.aborting {
+            self.pick_next(&mut st);
+        } else {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Records a real (non-abort) panic from a trial thread and tears the
+    /// trial down so the other threads unwind.
+    pub(crate) fn record_panic(&self, me: usize, message: String) {
+        let mut st = lock_state(&self.state);
+        if st.panic.is_none() {
+            st.panic = Some(format!("thread {me} panicked: {message}"));
+        }
+        st.aborting = true;
+        st.threads[me] = TState::Finished;
+        self.cv.notify_all();
+    }
+
+    /// Driver side: the trial's outcome once every thread has joined.
+    pub(crate) fn outcome(&self) -> TrialOutcome {
+        let st = lock_state(&self.state);
+        TrialOutcome {
+            trace: st.trace.clone(),
+            deadlock: st.deadlock.clone(),
+            panic: st.panic.clone(),
+            depth_overflow: st.depth_overflow,
+        }
+    }
+}
+
+/// What one trial observed, handed back to the explorer.
+pub(crate) struct TrialOutcome {
+    pub trace: Vec<Choice>,
+    pub deadlock: Option<String>,
+    pub panic: Option<String>,
+    pub depth_overflow: bool,
+}

@@ -418,7 +418,10 @@ mod tests {
         }
         // One round covers every (topology, size) cell once, in order.
         let round = 2 * SWEEP_SIZES.len();
-        let sizes: Vec<usize> = queries[..round].iter().map(|q| q.num_tables()).collect();
+        let sizes: Vec<usize> = queries[..round]
+            .iter()
+            .map(milpjoin_qopt::Query::num_tables)
+            .collect();
         assert_eq!(sizes, vec![3, 6, 10, 14, 3, 6, 10, 14]);
         // Copies across rounds are structurally identical (same stats)
         // over disjoint tables.

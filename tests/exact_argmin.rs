@@ -36,7 +36,7 @@ fn assert_argmin(label: &str, out: &OrderingOutcome) {
         .filter_map(|p| p.incumbent)
         .collect();
     assert!(!incumbents.is_empty(), "{label}: no trace incumbents");
-    let min = incumbents.iter().cloned().fold(f64::INFINITY, f64::min);
+    let min = incumbents.iter().copied().fold(f64::INFINITY, f64::min);
     assert!(
         (out.cost - min).abs() <= 1e-9 * (1.0 + min.abs()),
         "{label}: returned cost {:.6e} != min trace incumbent {min:.6e}",

@@ -92,7 +92,7 @@ fn check_stream(catalog: &Catalog, queries: &[Query], workers_to_try: &[usize]) 
         for (i, (e, g)) in expected.iter().zip(&got).enumerate() {
             match (e, g) {
                 (Ok(e), Ok(g)) => {
-                    assert_outcomes_identical(&format!("workers={workers} query={i}"), e, g)
+                    assert_outcomes_identical(&format!("workers={workers} query={i}"), e, g);
                 }
                 (Err(e), Err(g)) => assert_eq!(
                     std::mem::discriminant(e),

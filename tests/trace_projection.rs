@@ -65,7 +65,7 @@ fn milp_trace_incumbents_are_exact_plan_costs() {
     ] {
         let (catalog, query) = WorkloadSpec::new(topo, 5).generate(seed);
         let all = all_plan_costs(&catalog, &query);
-        let optimal = all.iter().cloned().fold(f64::INFINITY, f64::min);
+        let optimal = all.iter().copied().fold(f64::INFINITY, f64::min);
 
         let out = MilpOptimizer::new(EncoderConfig::default().precision(Precision::Medium))
             .optimize(
@@ -185,7 +185,7 @@ fn upper_bound_projection_is_sound_against_exhaustive_optimum() {
     ] {
         let (catalog, query) = WorkloadSpec::new(topo, 5).generate(seed);
         let all = all_plan_costs(&catalog, &query);
-        let optimal = all.iter().cloned().fold(f64::INFINITY, f64::min);
+        let optimal = all.iter().copied().fold(f64::INFINITY, f64::min);
 
         let config = EncoderConfig {
             approx_mode: ApproxMode::UpperBound,

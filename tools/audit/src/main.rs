@@ -1,0 +1,83 @@
+//! CLI for the workspace invariant linter. See the library docs for the
+//! rule set; `cargo run -p milpjoin-audit -- lint` is the canonical
+//! invocation (CI runs it without `--json` for readable logs).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use milpjoin_audit::{lint_workspace, RULE_NAMES};
+
+const USAGE: &str = "usage: milpjoin-audit lint [--json] [--root DIR]
+
+Lints the workspace's library crates for invariant violations.
+Exit codes: 0 clean, 1 findings, 2 usage or I/O error.";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    if cmd != "lint" {
+        eprintln!("unknown command `{cmd}`\n\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let mut json = false;
+    // Default root: the workspace this binary is built from (two levels
+    // above tools/audit), so `cargo run -p milpjoin-audit -- lint` works
+    // from any cwd.
+    let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from("."));
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root requires a directory\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let outcome = match lint_workspace(&root) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("audit: I/O error under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", outcome.to_json());
+    } else {
+        for f in &outcome.findings {
+            println!("{f}");
+        }
+        if outcome.clean() {
+            println!(
+                "audit: clean — {} files, {} rules",
+                outcome.files_scanned,
+                RULE_NAMES.len()
+            );
+        } else {
+            println!(
+                "audit: {} finding(s) across {} files",
+                outcome.findings.len(),
+                outcome.files_scanned
+            );
+        }
+    }
+    if outcome.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,230 @@
+//! Per-file analysis shared by every rule: brace depths, test-region
+//! exclusion, and the `audit-allow` escape hatch.
+//!
+//! Test exclusion is attribute-driven: after a `#[cfg(test…)]` or
+//! `#[test]` attribute, the next item's brace block (or single statement)
+//! is test code and exempt from every rule. Allows are parsed from the
+//! comment channel: `audit-allow(rule): reason` on a code line applies to
+//! that line; on a comment-only line it applies to the next code-bearing
+//! line (so a wrapped justification comment above the construct works).
+//! An allow with an unknown rule name or an empty reason is itself
+//! reported (rule `audit-allow`) — a silent typo must not suppress a real
+//! diagnostic.
+
+use std::collections::HashMap;
+
+use crate::strip::{strip, Stripped};
+use crate::RULE_NAMES;
+
+/// A fully preprocessed source file, ready for the rule scanners.
+pub struct FileScan {
+    /// Path relative to the workspace root (diagnostics use this).
+    pub rel: String,
+    /// Code channel: comments and literal bodies blanked (see `strip`).
+    pub code: Vec<String>,
+    /// Brace depth at the *start* of each line (code channel).
+    pub depth: Vec<usize>,
+    /// Whether each line is inside a test item (exempt from all rules).
+    pub is_test: Vec<bool>,
+    /// Resolved allows: line index -> rules allowed on that line.
+    allows: HashMap<usize, Vec<String>>,
+    /// Malformed `audit-allow` occurrences: (line index, problem).
+    pub malformed_allows: Vec<(usize, String)>,
+}
+
+impl FileScan {
+    pub fn analyze(rel: &str, source: &str) -> FileScan {
+        let Stripped { code, comments } = strip(source);
+        let n = code.len();
+
+        // Brace depth at line start, from the code channel.
+        let mut depth = Vec::with_capacity(n);
+        let mut d = 0usize;
+        for line in &code {
+            depth.push(d);
+            for c in line.chars() {
+                match c {
+                    '{' => d += 1,
+                    '}' => d = d.saturating_sub(1),
+                    _ => {}
+                }
+            }
+        }
+        let end_depth = |i: usize| depth.get(i + 1).copied().unwrap_or(0);
+
+        // Test regions: a test attribute arms the *next* item. An item
+        // with a brace block is test until that block closes; a braceless
+        // item (e.g. a `use`) is test for its statement line only.
+        let mut is_test = vec![false; n];
+        let mut pending_attr = false;
+        let mut region_floor: Option<usize> = None;
+        for i in 0..n {
+            if let Some(floor) = region_floor {
+                is_test[i] = true;
+                if end_depth(i) <= floor {
+                    region_floor = None;
+                }
+                continue;
+            }
+            let line = code[i].trim();
+            if line.contains("#[cfg(test)")
+                || line.contains("#[cfg(all(test")
+                || line.contains("#[test]")
+            {
+                pending_attr = true;
+                is_test[i] = true;
+                // Attribute and item opening on one line.
+                if line.contains('{') {
+                    region_floor = Some(depth[i]);
+                    pending_attr = false;
+                    if end_depth(i) <= depth[i] {
+                        region_floor = None; // opened and closed inline
+                    }
+                }
+                continue;
+            }
+            if pending_attr {
+                is_test[i] = true;
+                if line.contains('{') {
+                    pending_attr = false;
+                    region_floor = Some(depth[i]);
+                    if end_depth(i) <= depth[i] {
+                        region_floor = None;
+                    }
+                } else if line.ends_with(';') {
+                    pending_attr = false; // braceless item: one statement
+                } else if line.starts_with("#[") {
+                    // Stacked attributes: stay armed.
+                }
+            }
+        }
+
+        // Allows: collect raw occurrences, then resolve comment-only
+        // lines forward to the next code-bearing line.
+        let mut allows: HashMap<usize, Vec<String>> = HashMap::new();
+        let mut malformed = Vec::new();
+        for i in 0..n {
+            for (rule, problem) in parse_allows(&comments[i]) {
+                if let Some(problem) = problem {
+                    malformed.push((i, problem));
+                    continue;
+                }
+                let target = if code[i].trim().is_empty() {
+                    (i + 1..n).find(|&j| !code[j].trim().is_empty())
+                } else {
+                    Some(i)
+                };
+                if let Some(t) = target {
+                    allows.entry(t).or_default().push(rule.clone());
+                    // rustfmt wraps long statements onto chain-continuation
+                    // lines (leading `.` or `?.`); the allow covers the
+                    // whole wrapped statement, not just its first line.
+                    for (j, line) in code.iter().enumerate().skip(t + 1) {
+                        let tj = line.trim_start();
+                        if tj.starts_with('.') || tj.starts_with("?.") {
+                            allows.entry(j).or_default().push(rule.clone());
+                        } else if !tj.is_empty() {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        FileScan {
+            rel: rel.to_string(),
+            code,
+            depth,
+            is_test,
+            allows,
+            malformed_allows: malformed,
+        }
+    }
+
+    /// Whether `rule` is suppressed on 0-based line `i` by an inline allow.
+    pub fn allowed(&self, i: usize, rule: &str) -> bool {
+        self.allows
+            .get(&i)
+            .is_some_and(|rs| rs.iter().any(|r| r == rule))
+    }
+
+    /// Brace depth after the last line (0 for balanced files).
+    pub fn end_depth(&self, i: usize) -> usize {
+        self.depth.get(i + 1).copied().unwrap_or(0)
+    }
+}
+
+/// Parses every `audit-allow(rule): reason` in one line's comment text.
+/// Returns `(rule, None)` for a well-formed allow and `(_, Some(problem))`
+/// for a malformed one.
+fn parse_allows(comment: &str) -> Vec<(String, Option<String>)> {
+    const KEY: &str = "audit-allow(";
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find(KEY) {
+        let after = &rest[pos + KEY.len()..];
+        let Some(close) = after.find(')') else {
+            out.push((String::new(), Some("unterminated audit-allow".into())));
+            return out;
+        };
+        let rule = after[..close].trim().to_string();
+        let tail = &after[close + 1..];
+        if !RULE_NAMES.contains(&rule.as_str()) {
+            out.push((
+                rule.clone(),
+                Some(format!("unknown rule `{rule}` in audit-allow")),
+            ));
+        } else if !tail.trim_start().starts_with(':') || tail.trim_start()[1..].trim().is_empty() {
+            out.push((
+                rule.clone(),
+                Some(format!(
+                    "audit-allow({rule}) requires a non-empty `: reason`"
+                )),
+            ));
+        } else {
+            out.push((rule, None));
+        }
+        rest = tail;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::FileScan;
+
+    #[test]
+    fn test_mod_is_excluded() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn lib2() {}\n";
+        let s = FileScan::analyze("x.rs", src);
+        assert!(!s.is_test[0]);
+        assert!(s.is_test[1] && s.is_test[2] && s.is_test[3] && s.is_test[4]);
+        assert!(!s.is_test[5]);
+    }
+
+    #[test]
+    fn allow_on_comment_line_carries_to_next_code_line() {
+        let src = "// audit-allow(no-panic): proven\n// continuation text\nx.unwrap();\n";
+        let s = FileScan::analyze("x.rs", src);
+        assert!(s.allowed(2, "no-panic"));
+        assert!(!s.allowed(2, "no-wall-clock"));
+    }
+
+    #[test]
+    fn allow_covers_wrapped_chain_continuations() {
+        let src = "// audit-allow(no-panic): proven\nself.lu\n    .as_ref()\n    .expect(\"msg\");\nother();\n";
+        let s = FileScan::analyze("x.rs", src);
+        assert!(s.allowed(1, "no-panic"));
+        assert!(s.allowed(2, "no-panic"));
+        assert!(s.allowed(3, "no-panic"));
+        assert!(!s.allowed(4, "no-panic"));
+    }
+
+    #[test]
+    fn malformed_allow_is_reported() {
+        let src = "x(); // audit-allow(no-panik): typo\ny(); // audit-allow(no-panic):\n";
+        let s = FileScan::analyze("x.rs", src);
+        assert_eq!(s.malformed_allows.len(), 2);
+        assert!(!s.allowed(0, "no-panic"));
+    }
+}

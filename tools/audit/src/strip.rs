@@ -1,0 +1,259 @@
+//! Lexical preprocessing: blank out comments and string/char literals so
+//! the rule scanners only ever see code tokens, while capturing comment
+//! text separately (the `audit-allow` escape hatch lives in comments).
+//!
+//! This is a deliberately small hand-rolled lexer — the workspace takes no
+//! external dependencies, so there is no `syn` to lean on. It understands
+//! line comments, nested block comments, string/byte-string literals with
+//! escapes, raw strings (`r#"…"#`), and the char-literal/lifetime
+//! ambiguity. Column positions inside blanked regions are preserved
+//! (every blanked character becomes a space), so diagnostics and brace
+//! tracking keep working on the stripped text.
+
+/// Per-line split of a source file into code and comment channels.
+pub struct Stripped {
+    /// Source lines with comments and literal *bodies* blanked to spaces.
+    pub code: Vec<String>,
+    /// Comment text per line (line + block comments, concatenated).
+    pub comments: Vec<String>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nesting depth of `/* … */` (Rust block comments nest).
+    BlockComment(u32),
+    /// Inside `"…"`; the flag records a pending backslash escape.
+    Str {
+        escaped: bool,
+    },
+    /// Inside `r##"…"##` with the given hash count.
+    RawStr {
+        hashes: u32,
+    },
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Splits `source` into code and comment channels (see [`Stripped`]).
+pub fn strip(source: &str) -> Stripped {
+    let chars: Vec<char> = source.chars().collect();
+    let mut code = Vec::new();
+    let mut comments = Vec::new();
+    let mut code_line = String::new();
+    let mut comment_line = String::new();
+    let mut state = State::Code;
+    let mut i = 0;
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            code.push(std::mem::take(&mut code_line));
+            comments.push(std::mem::take(&mut comment_line));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                let prev = i.checked_sub(1).and_then(|p| chars.get(p)).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    code_line.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    code_line.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    // Entering a plain (or byte) string; the opening quote
+                    // stays in the code channel as a harmless marker.
+                    state = State::Str { escaped: false };
+                    code_line.push('"');
+                    i += 1;
+                } else if (c == 'r' || c == 'b')
+                    && !prev.is_some_and(is_ident)
+                    && raw_string_open(&chars, i).is_some()
+                {
+                    let (hashes, skip) = raw_string_open(&chars, i).unwrap();
+                    state = State::RawStr { hashes };
+                    for _ in 0..skip {
+                        code_line.push(' ');
+                    }
+                    code_line.push('"');
+                    i += skip + 1;
+                } else if c == '\'' && !prev.is_some_and(is_ident) {
+                    // Char literal vs lifetime: a literal closes within a
+                    // few chars (`'x'`, `'\n'`, `'\u{1F600}'`); a lifetime
+                    // never has a closing quote before a non-ident char.
+                    if let Some(end) = char_literal_end(&chars, i) {
+                        code_line.push('\'');
+                        for _ in i + 1..end {
+                            code_line.push(' ');
+                        }
+                        code_line.push('\'');
+                        i = end + 1;
+                    } else {
+                        code_line.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    code_line.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comment_line.push(c);
+                code_line.push(' ');
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    code_line.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    code_line.push_str("  ");
+                    comment_line.push_str("/*");
+                    i += 2;
+                } else {
+                    comment_line.push(c);
+                    code_line.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str { escaped } => {
+                if escaped {
+                    state = State::Str { escaped: false };
+                    code_line.push(' ');
+                } else if c == '\\' {
+                    state = State::Str { escaped: true };
+                    code_line.push(' ');
+                } else if c == '"' {
+                    state = State::Code;
+                    code_line.push('"');
+                } else {
+                    code_line.push(' ');
+                }
+                i += 1;
+            }
+            State::RawStr { hashes } => {
+                if c == '"' && raw_string_closes(&chars, i, hashes) {
+                    state = State::Code;
+                    code_line.push('"');
+                    for _ in 0..hashes {
+                        code_line.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                } else {
+                    code_line.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    code.push(code_line);
+    comments.push(comment_line);
+    Stripped { code, comments }
+}
+
+/// If position `i` opens a raw (byte) string, returns `(hash_count,
+/// chars_before_quote)`; `i` points at the leading `r` or `b`.
+fn raw_string_open(chars: &[char], i: usize) -> Option<(u32, usize)> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some((hashes, j - i))
+}
+
+fn raw_string_closes(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// If position `i` (a `'`) starts a char literal, returns the index of the
+/// closing quote; `None` means it is a lifetime.
+fn char_literal_end(chars: &[char], i: usize) -> Option<usize> {
+    match chars.get(i + 1)? {
+        '\\' => {
+            // Escaped literal: scan to the closing quote (bounded — an
+            // unclosed escape means malformed source; give up at EOL).
+            let mut j = i + 2;
+            while let Some(&c) = chars.get(j) {
+                if c == '\'' {
+                    return Some(j);
+                }
+                if c == '\n' {
+                    return None;
+                }
+                j += 1;
+            }
+            None
+        }
+        '\'' => None, // `''` — not a literal
+        _ => (chars.get(i + 2) == Some(&'\'')).then_some(i + 2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::strip;
+
+    #[test]
+    fn line_comment_moves_to_comment_channel() {
+        let s = strip("let x = 1; // audit-allow(no-panic): fine\n");
+        assert_eq!(s.code[0].trim_end(), "let x = 1;");
+        assert!(s.comments[0].contains("audit-allow(no-panic)"));
+    }
+
+    #[test]
+    fn string_bodies_are_blanked() {
+        let s = strip("call(\".unwrap() panic!\");\n");
+        assert!(!s.code[0].contains("unwrap"));
+        assert!(!s.code[0].contains("panic"));
+        assert!(s.code[0].contains("call(\""));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let s = strip("let a = r#\"x \" .unwrap()\"#; let b = \"\\\" .expect(\";\n");
+        assert!(!s.code[0].contains("unwrap"));
+        assert!(!s.code[0].contains("expect"));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let s = strip("fn f<'a>(x: &'a str) { let c = '{'; g(c) }\n");
+        // The brace inside the char literal must not leak into code.
+        let opens = s.code[0].matches('{').count();
+        let closes = s.code[0].matches('}').count();
+        assert_eq!(opens, closes, "stripped: {:?}", s.code[0]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = strip("a /* x /* y */ z */ b\n");
+        assert_eq!(s.code[0].split_whitespace().collect::<Vec<_>>(), ["a", "b"]);
+    }
+}

@@ -1,0 +1,24 @@
+//! Seeded no-wall-clock violations. `FLAG: <rule>` marks expected
+//! findings (read back by the integration test).
+
+use std::time::{Instant, SystemTime}; // FLAG: no-wall-clock
+
+pub fn violations() -> u64 {
+    let a = Instant::now(); // FLAG: no-wall-clock
+    let b = SystemTime::now(); // FLAG: no-wall-clock
+    let _ = (a, b);
+    0
+}
+
+pub fn decoy() -> std::time::Duration {
+    // The approved choke point is fine (`Instant` the *type* is too —
+    // only the clock reads are restricted).
+    let start: std::time::Instant = milpjoin_shim::time::now();
+    milpjoin_shim::time::now().saturating_duration_since(start)
+}
+
+pub fn allowed() -> std::time::Instant {
+    // audit-allow(no-wall-clock): fixture decoy — stands in for the
+    // choke point.
+    Instant::now()
+}

@@ -1,0 +1,34 @@
+//! Seeded no-unordered-iter violations: iteration over hash collections
+//! whose order is randomized. `FLAG: <rule>` marks expected findings.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Registry {
+    plans: HashMap<u64, String>,
+}
+
+pub fn violations(reg: &Registry, pending: HashSet<u64>) -> Vec<u64> {
+    let mut tags = HashMap::new();
+    tags.insert(1u64, "a");
+    let plans = &reg.plans;
+    let mut out: Vec<u64> = plans.keys().copied().collect(); // FLAG: no-unordered-iter
+    for t in &pending { // FLAG: no-unordered-iter
+        out.push(*t);
+    }
+    out.extend(tags.values().map(|v| v.len() as u64)); // FLAG: no-unordered-iter
+    out
+}
+
+pub fn decoys(reg: &Registry, ids: Vec<u64>) -> usize {
+    // Point lookups and membership are order-independent: fine.
+    let hit = ids.iter().filter(|i| reg.plans.contains_key(i)).count();
+    // Vec iteration is ordered: fine.
+    let v: Vec<u64> = ids.into_iter().collect();
+    hit + v.len()
+}
+
+pub fn allowed(reg: &Registry) -> usize {
+    // audit-allow(no-unordered-iter): fixture decoy — the fold below is
+    // commutative, so visit order cannot change the result.
+    reg.plans.values().map(String::len).sum()
+}

@@ -1,0 +1,65 @@
+//! Seeded stop-reason-exhaustive violations: wildcard arms in matches
+//! over the stop-classification enum. `FLAG: <rule>` marks expected
+//! findings.
+
+pub enum StopReason {
+    Finished,
+    TimeLimit,
+    NodeLimit,
+    Stalled,
+}
+
+pub fn violation_wildcard(stop: StopReason) -> &'static str {
+    match stop {
+        StopReason::TimeLimit => "timeout",
+        _ => "other", // FLAG: stop-reason-exhaustive
+    }
+}
+
+pub fn violation_guarded_wildcard(stop: StopReason, n: u64) -> &'static str {
+    match stop {
+        StopReason::NodeLimit => "nodes",
+        _ if n > 0 => "partial", // FLAG: stop-reason-exhaustive
+        _ => "none", // FLAG: stop-reason-exhaustive
+    }
+}
+
+pub fn decoy_exhaustive(stop: StopReason) -> &'static str {
+    match stop {
+        StopReason::Finished => "done",
+        StopReason::TimeLimit => "timeout",
+        StopReason::NodeLimit => "nodes",
+        StopReason::Stalled => "stalled",
+    }
+}
+
+pub fn decoy_other_enum(x: Option<u32>) -> u32 {
+    // Wildcards over non-classification enums are fine.
+    match x {
+        Some(v) => v,
+        _ => 0,
+    }
+}
+
+pub fn decoy_nested_other_enum(stop: StopReason, x: Option<u32>) -> u32 {
+    // The inner match is over Option, not StopReason: its wildcard is
+    // fine even though the outer match names the enum in its arms.
+    match stop {
+        StopReason::Finished => match x {
+            Some(v) => v,
+            _ => 1,
+        },
+        StopReason::TimeLimit => 2,
+        StopReason::NodeLimit => 3,
+        StopReason::Stalled => 4,
+    }
+}
+
+pub fn allowed(stop: StopReason) -> &'static str {
+    match stop {
+        StopReason::Finished => "done",
+        // audit-allow(stop-reason-exhaustive): fixture decoy — collapsed
+        // tail is intentional here.
+        _ => "other",
+    }
+}

@@ -1,0 +1,46 @@
+//! Seeded no-panic violations; the decoys must NOT be flagged. Lines
+//! marked `FLAG: <rule>` are the expected findings — the integration
+//! test reads the markers back, so they must stay on the flagged line.
+
+pub fn violations(x: Option<u32>) -> u32 {
+    let a = x.unwrap(); // FLAG: no-panic
+    let b = x.expect("present"); // FLAG: no-panic
+    if a > b {
+        panic!("boom"); // FLAG: no-panic
+    }
+    match a {
+        0 => unreachable!(), // FLAG: no-panic
+        1 => todo!(), // FLAG: no-panic
+        2 => unimplemented!(), // FLAG: no-panic
+        _ => a + b,
+    }
+}
+
+pub fn decoys(x: Option<u32>) -> u32 {
+    // Adapters are fine: they never panic.
+    let a = x.unwrap_or(0) + x.unwrap_or_else(|| 1) + x.unwrap_or_default();
+    // Names merely *containing* the tokens are fine.
+    let panicked = a + 1;
+    let s = "call .unwrap() or panic!(now)"; // tokens inside a string
+    a + panicked + s.len() as u32
+}
+
+pub fn allowed(x: Option<u32>) -> u32 {
+    // audit-allow(no-panic): fixture decoy — the invariant is proven by
+    // the surrounding harness.
+    x.unwrap()
+}
+
+pub fn allowed_inline(x: Option<u32>) -> u32 {
+    x.unwrap() // audit-allow(no-panic): fixture decoy, same-line form.
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic() {
+        super::violations(Some(3));
+        Some(1).unwrap();
+        panic!("fine in tests");
+    }
+}

@@ -1,0 +1,39 @@
+//! A clean file: every rule's nearby-but-legal form. Must produce zero
+//! findings.
+
+use std::collections::HashMap;
+
+pub struct Index {
+    by_id: HashMap<u64, usize>,
+    ordered: Vec<u64>,
+}
+
+impl Index {
+    pub fn lookup(&self, id: u64) -> Option<usize> {
+        self.by_id.get(&id).copied()
+    }
+
+    /// Ordered iteration goes through the Vec, not the map.
+    pub fn ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.ordered.iter().copied()
+    }
+}
+
+pub fn robust(x: Option<u32>) -> u32 {
+    x.unwrap_or_default()
+}
+
+pub fn elapsed_via_shim() -> std::time::Duration {
+    let start = milpjoin_shim::time::now();
+    milpjoin_shim::time::now().saturating_duration_since(start)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_do_anything() {
+        let t = std::time::Instant::now();
+        assert!(t.elapsed().as_secs() < 1);
+        Some(5u32).unwrap();
+    }
+}

@@ -1,0 +1,55 @@
+//! Seeded lock-discipline violations. Named `pool.rs` so the
+//! concurrent-core rule scope applies to this fixture; `FLAG: <rule>`
+//! marks expected findings.
+
+pub struct Shard {
+    inner: std::sync::Mutex<Vec<u64>>,
+}
+
+pub fn violations(shard: &Shard, cv: &std::sync::Condvar, callback: impl Fn(u64)) {
+    let mut guard = shard.inner.lock();
+    callback(guard.len() as u64); // FLAG: lock-discipline
+    std::thread::sleep(std::time::Duration::from_millis(1)); // FLAG: lock-discipline
+    cv.wait(); // FLAG: lock-discipline
+    guard.push(1);
+}
+
+pub fn violation_solver_under_lock(shard: &Shard, solver: &impl Solve) {
+    let state = shard.inner.lock();
+    let _ = solver.solve(state.len()); // FLAG: lock-discipline
+}
+
+pub trait Solve {
+    fn solve(&self, n: usize) -> usize;
+}
+
+pub fn decoy_wait_with_guard(shard: &Shard, cv: &std::sync::Condvar) {
+    // Handing the guard to the condvar releases it while blocked: fine.
+    let mut guard = shard.inner.lock();
+    while guard.is_empty() {
+        guard = cv.wait(guard);
+    }
+}
+
+pub fn decoy_blocking_after_scope(shard: &Shard, callback: impl Fn(u64)) {
+    let n;
+    {
+        let guard = shard.inner.lock();
+        n = guard.len() as u64;
+    }
+    callback(n); // guard scope closed above: fine
+}
+
+pub fn decoy_explicit_drop(shard: &Shard, callback: impl Fn(u64)) {
+    let guard = shard.inner.lock();
+    let n = guard.len() as u64;
+    drop(guard);
+    callback(n); // guard dropped explicitly: fine
+}
+
+pub fn allowed(shard: &Shard, callback: impl Fn(u64)) {
+    let guard = shard.inner.lock();
+    // audit-allow(lock-discipline): fixture decoy — stands in for the
+    // pool's by-design serialized event stream.
+    callback(guard.len() as u64);
+}

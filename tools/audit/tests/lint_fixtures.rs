@@ -1,0 +1,107 @@
+//! Seeded-mutation self-tests for the linter: each fixture file plants
+//! known violations of one rule class plus nearby decoys that must stay
+//! clean. Expected findings are declared *in* the fixtures as
+//! `// FLAG: <rule>` markers on the flagged line; this test compares the
+//! marker set against the linter's findings exactly — so a rule that
+//! goes blind (misses a seeded bug) and a rule that over-fires (flags a
+//! decoy) both fail.
+
+use std::collections::BTreeSet;
+
+use milpjoin_audit::{lint_source, RULE_NAMES};
+
+/// (line, rule) pairs a fixture expects, read from its FLAG markers.
+/// Only markers naming a real rule count, so prose mentioning the marker
+/// syntax stays inert.
+fn expected(source: &str) -> BTreeSet<(usize, String)> {
+    source
+        .lines()
+        .enumerate()
+        .filter_map(|(i, l)| {
+            let rule = l.split("FLAG:").nth(1)?.trim();
+            RULE_NAMES
+                .contains(&rule)
+                .then(|| (i + 1, rule.to_string()))
+        })
+        .collect()
+}
+
+fn check(rel: &str, source: &str) {
+    let want = expected(source);
+    let got: BTreeSet<(usize, String)> = lint_source(rel, source)
+        .into_iter()
+        .map(|f| (f.line, f.rule.to_string()))
+        .collect();
+    assert_eq!(
+        got,
+        want,
+        "linter findings diverge from fixture markers in {rel}\n  \
+         flagged-but-unmarked: {:?}\n  marked-but-missed: {:?}",
+        got.difference(&want).collect::<Vec<_>>(),
+        want.difference(&got).collect::<Vec<_>>(),
+    );
+    assert!(
+        !want.is_empty() || rel.contains("clean"),
+        "fixture {rel} seeds no violations"
+    );
+}
+
+#[test]
+fn seeded_panics_are_detected() {
+    check(
+        "fixtures/bad_panics.rs",
+        include_str!("fixtures/bad_panics.rs"),
+    );
+}
+
+#[test]
+fn seeded_wall_clock_reads_are_detected() {
+    check(
+        "fixtures/bad_clock.rs",
+        include_str!("fixtures/bad_clock.rs"),
+    );
+}
+
+#[test]
+fn seeded_hash_iteration_is_detected() {
+    check("fixtures/bad_iter.rs", include_str!("fixtures/bad_iter.rs"));
+}
+
+#[test]
+fn seeded_lock_discipline_breaches_are_detected() {
+    check("fixtures/pool.rs", include_str!("fixtures/pool.rs"));
+}
+
+#[test]
+fn seeded_wildcard_matches_are_detected() {
+    check(
+        "fixtures/bad_match.rs",
+        include_str!("fixtures/bad_match.rs"),
+    );
+}
+
+#[test]
+fn clean_fixture_stays_clean() {
+    check("fixtures/clean.rs", include_str!("fixtures/clean.rs"));
+}
+
+#[test]
+fn malformed_allow_is_a_finding() {
+    let src =
+        "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // audit-allow(no-panik): typo\n}\n";
+    let findings = lint_source("crates/core/src/x.rs", src);
+    let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+    // The typo'd allow suppresses nothing AND is reported itself.
+    assert!(rules.contains(&"no-panic"), "findings: {findings:?}");
+    assert!(rules.contains(&"audit-allow"), "findings: {findings:?}");
+}
+
+#[test]
+fn allow_without_reason_is_a_finding() {
+    let src = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // audit-allow(no-panic):\n}\n";
+    let findings = lint_source("crates/core/src/x.rs", src);
+    assert!(
+        findings.iter().any(|f| f.rule == "audit-allow"),
+        "findings: {findings:?}"
+    );
+}

@@ -32,15 +32,22 @@
 //! * `backend_router` — the adaptive router vs a fixed hybrid on
 //!   size-swept mixed streams, plus the DPconv kernel vs the classical
 //!   subset DP on one cold exact solve (scraped into `BENCH_0006.json`).
+//! * `decomposition` — decompose-and-conquer vs the whole-query hybrid
+//!   vs the greedy heuristic on very large (20/30/60-table) queries under
+//!   one per-solve wall-clock SLO, with stitched-plan validity,
+//!   cost-ratio-vs-greedy and fragment-count assertions inside the loop
+//!   (scraped into `BENCH_0007.json`).
 //! * `fingerprint` — the pure cache-key computation (the per-query
 //!   overhead a hit must amortize).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use milpjoin::{
-    standard_router, ApproxMode, EncoderConfig, HybridOptimizer, MilpOptimizer, OrderingOptions,
-    ParallelSession, PlanSession, Precision, QueryService, RouterOptions,
+    partition_join_graph, standard_router, ApproxMode, DecomposeOptions, EncoderConfig,
+    HybridOptimizer, MilpOptimizer, OrderingOptions, ParallelSession, PlanSession, Precision,
+    QueryService, RouterOptions,
 };
 use milpjoin_dp::{DpConvOptimizer, DpOptimizer};
+use milpjoin_qopt::cost::plan_cost;
 use milpjoin_qopt::{Catalog, FingerprintOptions, FingerprintedQuery, JoinOrderer, Query};
 use milpjoin_workloads::{size_swept_stream, Topology, WorkloadSpec, SWEEP_SIZES};
 use std::hint::black_box;
@@ -502,6 +509,155 @@ fn bench_backend_router(c: &mut Criterion) {
     g.finish();
 }
 
+/// Decompose-and-conquer against the whole-query alternatives on very
+/// large queries (scraped into `BENCH_0007.json`). Per instance —
+/// star-20, star-30 (the acceptance case) and chain-60 — three backends
+/// solve the same cold query under the same 15 s per-solve budget:
+///
+/// * `decomp` — partitions the join graph (default 10-table fragment
+///   cap), solves fragments with the hybrid pipeline, stitches over the
+///   quotient graph. Assertions inside the loop: the stitched plan
+///   validates, the solve stays under the budget (plus scheduling slack),
+///   claims no optimality or bound, and never costs more than greedy —
+///   the structural guarantee of its greedy safety net.
+/// * `hybrid` — the whole-query pipeline under the same budget: on these
+///   sizes the root LP dominates, so the budget binds and the row
+///   measures anytime quality at the SLO (the honest baseline the
+///   decompose arm exists to beat).
+/// * `greedy` — the heuristic floor: its exact plan cost is the
+///   denominator of every `ratio_vs_greedy` printed.
+///
+/// The fragment-count audit runs once per instance: the default
+/// partitioner must split every instance (count > 1, at least
+/// `ceil(n/10)`) with every fragment within the cap.
+fn bench_decomposition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decomposition");
+    g.sample_size(3);
+    let config = EncoderConfig::default().precision(Precision::Low);
+    let budget = Duration::from_secs(15);
+    let instances: [(&str, Topology, usize, u64); 3] = [
+        ("star-20", Topology::Star, 20, 7),
+        ("star-30", Topology::Star, 30, 7),
+        ("chain-60", Topology::Chain, 60, 7),
+    ];
+    for (name, topo, tables, seed) in instances {
+        let (catalog, query) = WorkloadSpec::new(topo, tables).generate(seed);
+        let cap = DecomposeOptions::default().fragment_max_tables;
+        let fragments = partition_join_graph(&query, cap);
+        assert!(fragments.len() > 1, "{name}: instance must decompose");
+        assert!(
+            fragments.len() >= tables.div_ceil(cap),
+            "{name}: too few fragments for the cap"
+        );
+        assert!(
+            fragments.iter().all(|f| f.len() <= cap),
+            "{name}: fragment over the cap"
+        );
+
+        // The greedy floor, costed exactly — the shared denominator.
+        let dp_options = milpjoin_dp::DpOptions {
+            cost_model: config.cost_model,
+            params: config.cost_params,
+            ..milpjoin_dp::DpOptions::default()
+        };
+        let greedy_plan = milpjoin_dp::greedy_order(&catalog, &query, &dp_options);
+        let greedy_cost = plan_cost(
+            &catalog,
+            &query,
+            &greedy_plan,
+            config.cost_model,
+            &config.cost_params,
+        )
+        .total;
+        let solve_options = OrderingOptions::with_time_limit(budget);
+
+        g.bench_with_input(BenchmarkId::new("decomp", name), &name, |b, _| {
+            let backend = milpjoin::DecomposingOptimizer::new(config.clone());
+            b.iter(|| {
+                let start = Instant::now();
+                let out = backend
+                    .order(&catalog, &query, &solve_options)
+                    .expect("decompose solves every valid query");
+                let elapsed = start.elapsed();
+                out.plan.validate(&query).expect("stitched plan is valid");
+                assert!(!out.proven_optimal && out.bound.is_none(), "{name}: honesty");
+                assert!(
+                    out.cost <= greedy_cost * (1.0 + 1e-9),
+                    "{name}: stitched {:e} worse than greedy {:e}",
+                    out.cost,
+                    greedy_cost
+                );
+                // "Under budget": the per-fragment splits must keep the
+                // whole solve inside the per-solve SLO (stitching and
+                // scheduling get a little slack).
+                assert!(
+                    elapsed <= budget + Duration::from_secs(3),
+                    "{name}: decompose blew the budget ({elapsed:?})"
+                );
+                println!(
+                    "SESSION_STATS group=decomposition instance={} backend=decomp cost={:.6e} \
+                     ratio_vs_greedy={:.6} fragments={} nodes={} lp_iters={} solve_ms={:.1}",
+                    name,
+                    out.cost,
+                    out.cost / greedy_cost,
+                    fragments.len(),
+                    out.search.nodes_expanded,
+                    out.search.total_lp_iterations,
+                    elapsed.as_secs_f64() * 1e3,
+                );
+                black_box(out.cost)
+            });
+        });
+
+        g.bench_with_input(BenchmarkId::new("hybrid", name), &name, |b, _| {
+            let backend = HybridOptimizer::new(config.clone());
+            b.iter(|| {
+                let start = Instant::now();
+                let out = backend
+                    .order(&catalog, &query, &solve_options)
+                    .expect("hybrid never fails with a feasible seed");
+                let elapsed = start.elapsed();
+                println!(
+                    "SESSION_STATS group=decomposition instance={} backend=hybrid cost={:.6e} \
+                     ratio_vs_greedy={:.6} nodes={} lp_iters={} solve_ms={:.1}",
+                    name,
+                    out.cost,
+                    out.cost / greedy_cost,
+                    out.search.nodes_expanded,
+                    out.search.total_lp_iterations,
+                    elapsed.as_secs_f64() * 1e3,
+                );
+                black_box(out.cost)
+            });
+        });
+
+        g.bench_with_input(BenchmarkId::new("greedy", name), &name, |b, _| {
+            b.iter(|| {
+                let start = Instant::now();
+                let plan = milpjoin_dp::greedy_order(&catalog, &query, &dp_options);
+                let cost = plan_cost(
+                    &catalog,
+                    &query,
+                    &plan,
+                    config.cost_model,
+                    &config.cost_params,
+                )
+                .total;
+                let elapsed = start.elapsed();
+                println!(
+                    "SESSION_STATS group=decomposition instance={} backend=greedy cost={:.6e} \
+                     ratio_vs_greedy=1.000000 solve_ms={:.1}",
+                    name,
+                    cost,
+                    elapsed.as_secs_f64() * 1e3,
+                );
+                black_box(cost)
+            });
+        });
+    }
+    g.finish();
+}
+
 /// Fingerprint computation: the fixed per-query cache overhead.
 fn bench_fingerprint(c: &mut Criterion) {
     let mut g = c.benchmark_group("fingerprint");
@@ -525,6 +681,7 @@ criterion_group!(
     bench_service_ingest,
     bench_solver_scaling,
     bench_backend_router,
+    bench_decomposition,
     bench_fingerprint
 );
 criterion_main!(benches);

@@ -47,6 +47,7 @@
 
 pub mod config;
 pub mod decode;
+pub mod decompose;
 pub mod encode;
 pub mod hybrid;
 pub mod optimizer;
@@ -56,6 +57,9 @@ pub mod thresholds;
 
 pub use config::{ConfigError, EncoderConfig, PageMode};
 pub use decode::{decode, DecodeError, DecodedPlan};
+pub use decompose::{
+    partition_join_graph, DecomposeOptions, DecomposingOptimizer, QUOTIENT_DP_MAX,
+};
 pub use encode::{encode, warm_start_assignment, EncodeError, Encoding, EncodingVars, PhysOp};
 pub use hybrid::HybridOptimizer;
 pub use optimizer::{

@@ -616,6 +616,8 @@ impl MilpOptimizer {
                 nodes_expanded: result.search.nodes_expanded,
                 workers_used: result.search.workers_used,
                 speculative_nodes: result.search.speculative_nodes,
+                root_lp_iterations: result.search.root_lp_iterations,
+                total_lp_iterations: result.search.total_lp_iterations,
             },
         })
     }

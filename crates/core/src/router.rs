@@ -3,8 +3,8 @@
 //!
 //! The router itself lives in `milpjoin_qopt` (below every backend crate
 //! in the dependency graph); this module is the one place that can see
-//! greedy, DP, DPconv, MILP and hybrid at once and therefore owns the
-//! standard assembly. [`standard_router`] derives every arm from a single
+//! greedy, DP, DPconv, MILP, hybrid and decompose at once and therefore
+//! owns the standard assembly. [`standard_router`] derives every arm from a single
 //! [`EncoderConfig`], so all arms provably share one cost model — the
 //! router's consistency requirement — and the result is `Clone`, making
 //! it an `OrdererFactory` that drops into `PlanSession`, `QueryService`
@@ -15,13 +15,15 @@ use milpjoin_qopt::cost::CostModelKind;
 use milpjoin_qopt::router::{BackendArm, RouterOptimizer, RouterOptions};
 
 use crate::config::EncoderConfig;
+use crate::decompose::DecomposingOptimizer;
 use crate::hybrid::HybridOptimizer;
 use crate::optimizer::MilpOptimizer;
 
-/// Builds the standard five-arm router from one encoder configuration:
+/// Builds the standard six-arm router from one encoder configuration:
 /// greedy, classical DP, DPconv (only under the C_out cost model — its
 /// objective-shape requirement; see `milpjoin_dp::dpconv`), plain MILP,
-/// and the greedy-seeded hybrid. Routing thresholds come from `options`
+/// the greedy-seeded hybrid, and the decompose-and-conquer arm for very
+/// large queries. Routing thresholds come from `options`
 /// ([`RouterOptions::default`] encodes the measured defaults).
 pub fn standard_router(config: EncoderConfig, options: RouterOptions) -> RouterOptimizer {
     let mut router = RouterOptimizer::new(options)
@@ -54,7 +56,8 @@ pub fn standard_router(config: EncoderConfig, options: RouterOptions) -> RouterO
     }
     router
         .with_arm(BackendArm::Milp, MilpOptimizer::new(config.clone()))
-        .with_arm(BackendArm::Hybrid, HybridOptimizer::new(config))
+        .with_arm(BackendArm::Hybrid, HybridOptimizer::new(config.clone()))
+        .with_arm(BackendArm::Decompose, DecomposingOptimizer::new(config))
 }
 
 #[cfg(test)]
@@ -74,7 +77,7 @@ mod tests {
     }
 
     #[test]
-    fn cout_config_installs_all_five_arms() {
+    fn cout_config_installs_all_six_arms() {
         let router = standard_router(EncoderConfig::default(), RouterOptions::default());
         for arm in BackendArm::ALL {
             assert!(router.has_arm(arm), "missing {arm}");

@@ -299,6 +299,9 @@ pub struct BranchBound<'a, F: FnMut(&SolverEvent)> {
     /// Justifying bound of every expanded node, for the speculative-work
     /// statistic (counted against the final optimum after the search).
     expanded_bounds: Vec<f64>,
+    /// Simplex iterations spent on the root relaxation's LP solve (cold
+    /// retry included) — the root-LP-bound-vs-search-bound diagnostic.
+    root_lp_iterations: u64,
 }
 
 impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
@@ -322,6 +325,7 @@ impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
             numerical_failures: 0,
             stalled_bounds: Vec::new(),
             expanded_bounds: Vec::new(),
+            root_lp_iterations: 0,
         }
     }
 
@@ -497,6 +501,10 @@ impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
                 if !warm {
                     self.sx.install_slack_basis();
                 }
+                // Iteration count before this node's LP: the warm start and
+                // heuristic dives share the simplex, so the root's share is
+                // a delta, not the running total.
+                let iters_before = self.sx.iterations_total();
                 let mut res = self.sx.solve(&SimplexLimits {
                     max_iterations: None,
                     deadline: self.deadline,
@@ -510,6 +518,9 @@ impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
                         deadline: self.deadline,
                     });
                     self.cold_retries += 1;
+                }
+                if data.is_none() {
+                    self.root_lp_iterations += self.sx.iterations_total() - iters_before;
                 }
                 self.nodes += 1;
                 self.expanded_bounds.push(node_chain_bound(&data));
@@ -737,6 +748,8 @@ impl<'a, F: FnMut(&SolverEvent)> BranchBound<'a, F> {
                 nodes_expanded: self.nodes,
                 workers_used: 1,
                 speculative_nodes: speculative,
+                root_lp_iterations: self.root_lp_iterations,
+                total_lp_iterations: self.sx.iterations_total(),
             },
         }
     }

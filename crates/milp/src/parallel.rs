@@ -138,6 +138,9 @@ struct WorkerScratch {
     infeasible_nodes: u64,
     cold_retries: u64,
     numerical_failures: u64,
+    /// Root-relaxation simplex iterations — nonzero on exactly the worker
+    /// that claimed the root node.
+    root_lp_iterations: u64,
 }
 
 /// Expands one claimed node: the same plunge the sequential search runs,
@@ -176,6 +179,9 @@ fn expand<F: FnMut(PoolEvent<'_, Vec<f64>>)>(
         if !warm {
             sx.install_slack_basis();
         }
+        // Iteration count before this node's LP: the worker's simplex is
+        // reused across nodes, so the root's share is a delta.
+        let iters_before = sx.iterations_total();
         let mut res = sx.solve(&SimplexLimits {
             max_iterations: None,
             deadline: pool.deadline(),
@@ -187,6 +193,9 @@ fn expand<F: FnMut(PoolEvent<'_, Vec<f64>>)>(
                 deadline: pool.deadline(),
             });
             scratch.cold_retries += 1;
+        }
+        if data.is_none() {
+            scratch.root_lp_iterations += sx.iterations_total() - iters_before;
         }
         pool.count_node();
         scratch.expanded_bounds.push(node_chain_bound(&data));
@@ -426,12 +435,14 @@ impl<'a, F: FnMut(&SolverEvent) + Send> ParallelBranchBound<'a, F> {
         let mut infeasible_nodes = 0u64;
         let mut cold_retries = 0u64;
         let mut numerical_failures = 0u64;
+        let mut root_lp_iterations = 0u64;
         for s in &scratches {
             expanded_bounds.extend_from_slice(&s.expanded_bounds);
             simplex_iterations += s.simplex_iterations;
             infeasible_nodes += s.infeasible_nodes;
             cold_retries += s.cold_retries;
             numerical_failures += s.numerical_failures;
+            root_lp_iterations += s.root_lp_iterations;
         }
         if std::env::var_os("MILP_STATS").is_some() {
             eprintln!(
@@ -482,6 +493,8 @@ impl<'a, F: FnMut(&SolverEvent) + Send> ParallelBranchBound<'a, F> {
                 nodes_expanded: nodes,
                 workers_used: threads,
                 speculative_nodes: speculative,
+                root_lp_iterations,
+                total_lp_iterations: simplex_iterations,
             },
         }
     }

@@ -50,10 +50,10 @@ pub enum StopReason {
 }
 
 /// Per-solve search observability counters, carried on
-/// [`crate::branch_bound::SearchOutcome`] and [`crate::MipResult`]. All
-/// fields describe the branch-and-bound search itself (no LP-level detail):
-/// consumers aggregate them across solves to understand where search effort
-/// went and how much of it was wasted speculation.
+/// [`crate::branch_bound::SearchOutcome`] and [`crate::MipResult`].
+/// Consumers aggregate them across solves to understand where search effort
+/// went, how much of it was wasted speculation, and whether a solve was
+/// root-LP-bound (one huge root simplex) or search-bound (many nodes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SearchStats {
     /// Branch-and-bound nodes whose LP relaxation was solved (mirrors the
@@ -69,6 +69,18 @@ pub struct SearchStats {
     /// best-bound-at-the-time nodes that a later incumbent retroactively
     /// proves useless. `0` whenever no incumbent was found.
     pub speculative_nodes: u64,
+    /// Simplex iterations spent on the *root* relaxation's LP solve
+    /// (including a cold retry when the warm verdict needed verification).
+    /// A solve where this dominates `total_lp_iterations` is root-LP-bound:
+    /// node-level parallelism cannot help it, a faster simplex (or
+    /// decomposition) can. `0` when the root was never solved (presolve
+    /// infeasibility, zero node budget).
+    pub root_lp_iterations: u64,
+    /// Simplex iterations across every LP solved during the search: warm
+    /// start, node relaxations, and heuristic dives alike. Together with
+    /// `nodes_expanded` this separates "many cheap LPs" from "few enormous
+    /// ones".
+    pub total_lp_iterations: u64,
 }
 
 impl fmt::Display for StopReason {

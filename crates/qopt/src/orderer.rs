@@ -269,6 +269,14 @@ pub struct SearchStats {
     /// optimum — work a clairvoyant search would have pruned; the natural
     /// measure of speculative overhead in a parallel search.
     pub speculative_nodes: u64,
+    /// Simplex iterations spent on the root relaxation's LP solve. A
+    /// solve where this dominates `total_lp_iterations` is root-LP-bound:
+    /// node-level parallelism cannot help it, only a faster simplex or
+    /// fragment decomposition can.
+    pub root_lp_iterations: u64,
+    /// Simplex iterations across every LP the solve ran (warm start, node
+    /// relaxations, heuristics). Zero for backends without an LP.
+    pub total_lp_iterations: u64,
 }
 
 /// What every backend reports for one query.

@@ -41,19 +41,26 @@
 //! 1. `tight-budget` — a wall-clock budget at or below
 //!    [`RouterOptions::greedy_budget`] routes to **greedy**: no exact arm
 //!    finishes reliably in microseconds.
-//! 2. `large-star-fastpath` — star-shaped queries with at least
+//! 2. `very-large-decompose` — queries with at least
+//!    [`RouterOptions::decompose_min_tables`] tables route to
+//!    **decompose**: the join graph is partitioned into fragments, each
+//!    fragment is solved by the hybrid pipeline, and the fragment plans
+//!    are stitched over the quotient graph. No whole-query root LP is
+//!    ever attempted, so the BENCH_0005 root-LP stall cannot occur.
+//! 3. `large-star-fastpath` — star-shaped queries with at least
 //!    [`RouterOptions::star_fastpath_tables`] tables route to **greedy**:
 //!    the MILP's root LP relaxation stalls on large stars (BENCH_0005)
-//!    and the subset DPs are out of memory range, so the heuristic is the
-//!    only arm that productively spends the budget.
-//! 3. `small-cout` — at most [`RouterOptions::exact_max_tables`] tables
+//!    and the subset DPs are out of memory range, so without a decompose
+//!    arm the heuristic is the only arm that productively spends the
+//!    budget.
+//! 4. `small-cout` — at most [`RouterOptions::exact_max_tables`] tables
 //!    with a subset-decomposable objective (C_out, no expensive
 //!    predicates) routes to **dpconv**: the exact optimum in microseconds
 //!    to low milliseconds.
-//! 4. `small-exact` — at most [`RouterOptions::exact_max_tables`] tables
+//! 5. `small-exact` — at most [`RouterOptions::exact_max_tables`] tables
 //!    otherwise routes to **dp** (classical Selinger enumeration; exact
 //!    for every cost model).
-//! 5. `large-search` — everything else routes to **hybrid** (greedy-seeded
+//! 6. `large-search` — everything else routes to **hybrid** (greedy-seeded
 //!    MILP), falling back to **milp** when no hybrid arm is installed.
 //!
 //! If a rule's arm is missing the next rule is tried; if no rule fires,
@@ -87,15 +94,20 @@ pub enum BackendArm {
     Milp,
     /// Greedy-seeded warm-started MILP.
     Hybrid,
+    /// Decompose-and-conquer: partition the join graph into fragments,
+    /// solve each with the hybrid pipeline, stitch over the quotient
+    /// graph (see `milpjoin::DecomposingOptimizer`).
+    Decompose,
 }
 
 impl BackendArm {
-    pub const ALL: [BackendArm; 5] = [
+    pub const ALL: [BackendArm; 6] = [
         BackendArm::Greedy,
         BackendArm::Dp,
         BackendArm::DpConv,
         BackendArm::Milp,
         BackendArm::Hybrid,
+        BackendArm::Decompose,
     ];
 
     pub fn name(self) -> &'static str {
@@ -105,6 +117,7 @@ impl BackendArm {
             BackendArm::DpConv => "dpconv",
             BackendArm::Milp => "milp",
             BackendArm::Hybrid => "hybrid",
+            BackendArm::Decompose => "decomp",
         }
     }
 
@@ -115,6 +128,7 @@ impl BackendArm {
             BackendArm::DpConv => 2,
             BackendArm::Milp => 3,
             BackendArm::Hybrid => 4,
+            BackendArm::Decompose => 5,
         }
     }
 }
@@ -175,9 +189,9 @@ pub struct RouteDecision {
     /// The arm that ran (the outcome is bit-identical to running it
     /// directly).
     pub arm: BackendArm,
-    /// The policy rule that fired (`"tight-budget"`, `"small-cout"`,
-    /// `"small-exact"`, `"large-star-fastpath"`, `"large-search"`,
-    /// `"fallback"`).
+    /// The policy rule that fired (`"tight-budget"`,
+    /// `"very-large-decompose"`, `"large-star-fastpath"`, `"small-cout"`,
+    /// `"small-exact"`, `"large-search"`, `"fallback"`).
     pub rule: &'static str,
     /// The features the rule fired on.
     pub features: QueryFeatures,
@@ -209,6 +223,7 @@ pub struct RouteCounts {
     pub dpconv: u64,
     pub milp: u64,
     pub hybrid: u64,
+    pub decompose: u64,
 }
 
 impl RouteCounts {
@@ -219,6 +234,7 @@ impl RouteCounts {
             BackendArm::DpConv => self.dpconv,
             BackendArm::Milp => self.milp,
             BackendArm::Hybrid => self.hybrid,
+            BackendArm::Decompose => self.decompose,
         }
     }
 
@@ -229,6 +245,7 @@ impl RouteCounts {
             BackendArm::DpConv => self.dpconv += 1,
             BackendArm::Milp => self.milp += 1,
             BackendArm::Hybrid => self.hybrid += 1,
+            BackendArm::Decompose => self.decompose += 1,
         }
     }
 
@@ -246,7 +263,10 @@ impl RouteCounts {
     }
 
     /// Routed solves that reached a branch-and-bound backend (MILP or
-    /// hybrid) — the expensive tail the router exists to protect.
+    /// hybrid) — the expensive tail the router exists to protect. The
+    /// decompose arm is *not* counted: its fragment solves never run a
+    /// bare whole-query root LP, which is exactly what this counter
+    /// polices.
     pub fn search_solves(&self) -> u64 {
         self.milp + self.hybrid
     }
@@ -257,6 +277,7 @@ impl RouteCounts {
         self.dpconv += other.dpconv;
         self.milp += other.milp;
         self.hybrid += other.hybrid;
+        self.decompose += other.decompose;
     }
 }
 
@@ -299,6 +320,13 @@ pub struct RouterOptions {
     /// stars, so branch-and-bound buys nothing (BENCH_0005's star-20).
     /// Default 20.
     pub star_fastpath_tables: usize,
+    /// Queries with at least this many tables route to the decompose arm
+    /// (rule `very-large-decompose`), which partitions the join graph and
+    /// solves fragments instead of running one whole-query root LP. Fires
+    /// *ahead of* `large-star-fastpath`, so when both arms are installed
+    /// large stars get a stitched plan instead of a bare heuristic one.
+    /// Default 20.
+    pub decompose_min_tables: usize,
 }
 
 impl Default for RouterOptions {
@@ -307,6 +335,7 @@ impl Default for RouterOptions {
             greedy_budget: Duration::from_micros(500),
             exact_max_tables: 12,
             star_fastpath_tables: 20,
+            decompose_min_tables: 20,
         }
     }
 }
@@ -329,6 +358,12 @@ impl RouterOptions {
         self.star_fastpath_tables = n;
         self
     }
+
+    /// Builder-style setter for [`Self::decompose_min_tables`].
+    pub fn decompose_min_tables(mut self, n: usize) -> Self {
+        self.decompose_min_tables = n;
+        self
+    }
 }
 
 /// An adaptive multi-backend [`JoinOrderer`]: picks one arm per query from
@@ -337,11 +372,11 @@ impl RouterOptions {
 ///
 /// Built empty and populated with [`Self::with_arm`]; the first arm fixes
 /// the router's cost model and later arms must match it. Most callers want
-/// `milpjoin::standard_router`, which wires all five workspace arms from
+/// `milpjoin::standard_router`, which wires all six workspace arms from
 /// one encoder configuration.
 #[derive(Clone)]
 pub struct RouterOptimizer {
-    arms: [Option<Arc<dyn JoinOrderer>>; 5],
+    arms: [Option<Arc<dyn JoinOrderer>>; 6],
     options: RouterOptions,
     model: Option<(CostModelKind, CostParams)>,
     /// First configuration inconsistency seen while installing arms;
@@ -352,7 +387,7 @@ pub struct RouterOptimizer {
 impl RouterOptimizer {
     pub fn new(options: RouterOptions) -> Self {
         RouterOptimizer {
-            arms: [None, None, None, None, None],
+            arms: [None, None, None, None, None, None],
             options,
             model: None,
             config_error: None,
@@ -436,8 +471,19 @@ impl RouterOptimizer {
                 }
             }
         }
-        // Rule 2: large stars starve the MILP root LP and exceed subset-DP
-        // memory; the heuristic is the only productive arm.
+        // Rule 2: very large queries never run a whole-query root LP —
+        // the decompose arm partitions the join graph, solves fragments,
+        // and stitches. Deliberately ahead of the star fastpath: when the
+        // arm is installed, large stars get a stitched plan instead of a
+        // bare heuristic one.
+        if features.tables >= self.options.decompose_min_tables {
+            if let Some(d) = decision(BackendArm::Decompose, "very-large-decompose") {
+                return Some(d);
+            }
+        }
+        // Rule 3: large stars starve the MILP root LP and exceed subset-DP
+        // memory; with no decompose arm the heuristic is the only
+        // productive arm.
         if features.shape == GraphShape::Star
             && features.tables >= self.options.star_fastpath_tables
         {
@@ -445,7 +491,7 @@ impl RouterOptimizer {
                 return Some(d);
             }
         }
-        // Rules 3/4: the exact fast path.
+        // Rules 4/5: the exact fast path.
         if features.tables <= self.options.exact_max_tables {
             if features.dpconv_applicable() {
                 if let Some(d) = decision(BackendArm::DpConv, "small-cout") {
@@ -456,7 +502,7 @@ impl RouterOptimizer {
                 return Some(d);
             }
         }
-        // Rule 5: the search tail.
+        // Rule 6: the search tail.
         if let Some(d) = decision(BackendArm::Hybrid, "large-search") {
             return Some(d);
         }
@@ -466,12 +512,23 @@ impl RouterOptimizer {
         // Deterministic fallback over whatever is installed: exact arms
         // first when the query is small enough for them, heuristics before
         // out-of-range DPs otherwise. DPconv is only ever picked when its
-        // objective shape applies.
+        // objective shape applies; decompose serves any query, but only as
+        // the last resort below its threshold.
         let small = features.tables <= self.options.exact_max_tables;
-        let order: [BackendArm; 3] = if small {
-            [BackendArm::DpConv, BackendArm::Dp, BackendArm::Greedy]
+        let order: [BackendArm; 4] = if small {
+            [
+                BackendArm::DpConv,
+                BackendArm::Dp,
+                BackendArm::Greedy,
+                BackendArm::Decompose,
+            ]
         } else {
-            [BackendArm::Greedy, BackendArm::Dp, BackendArm::DpConv]
+            [
+                BackendArm::Greedy,
+                BackendArm::Dp,
+                BackendArm::DpConv,
+                BackendArm::Decompose,
+            ]
         };
         for arm in order {
             if arm == BackendArm::DpConv && !features.dpconv_applicable() {
@@ -688,7 +745,7 @@ mod tests {
     }
 
     #[test]
-    fn large_queries_route_to_hybrid_and_large_stars_to_greedy() {
+    fn large_queries_route_to_hybrid_and_very_large_to_decompose() {
         let router = full_router();
         let (c, q) = star_query(15);
         let out = router.order(&c, &q, &OrderingOptions::default()).unwrap();
@@ -697,6 +754,23 @@ mod tests {
         assert_eq!(route.rule, "large-search");
         assert_eq!(route.features.shape, GraphShape::Star);
 
+        // At the decompose threshold the decompose arm wins — ahead of
+        // the star fastpath, which would otherwise clip to greedy.
+        let (c, q) = star_query(20);
+        let out = router.order(&c, &q, &OrderingOptions::default()).unwrap();
+        let route = out.route.unwrap();
+        assert_eq!(route.arm, BackendArm::Decompose);
+        assert_eq!(route.rule, "very-large-decompose");
+    }
+
+    #[test]
+    fn large_stars_without_decompose_arm_fast_path_to_greedy() {
+        let mut router = RouterOptimizer::new(RouterOptions::default());
+        for a in BackendArm::ALL {
+            if a != BackendArm::Decompose {
+                router = router.with_arm(a, arm(CostModelKind::Cout));
+            }
+        }
         let (c, q) = star_query(20);
         let out = router.order(&c, &q, &OrderingOptions::default()).unwrap();
         let route = out.route.unwrap();
@@ -773,9 +847,14 @@ mod tests {
         assert_eq!(format!("{counts}"), "dpconv:2 hybrid:1");
         let mut other = RouteCounts::default();
         other.record(BackendArm::Greedy);
+        other.record(BackendArm::Decompose);
         counts.absorb(&other);
-        assert_eq!(counts.total(), 4);
+        assert_eq!(counts.total(), 5);
         assert_eq!(counts.greedy, 1);
+        assert_eq!(counts.decompose, 1);
+        // Decompose never runs a bare whole-query root LP, so it does not
+        // count as a search solve.
+        assert_eq!(counts.search_solves(), 1);
     }
 
     #[test]

@@ -113,6 +113,13 @@ pub struct SessionStats {
     /// The largest intra-solve worker count any backend solve ran with
     /// (`0` until a search backend reports; `1` for sequential solves).
     pub max_workers_used: usize,
+    /// Simplex iterations spent on root LP relaxations, summed across
+    /// backend solves. Read next to `total_lp_iterations`: a session whose
+    /// root share dominates is root-LP-bound (large queries stalling at the
+    /// relaxation), not search-bound.
+    pub root_lp_iterations: u64,
+    /// Simplex iterations across every LP of every backend solve.
+    pub total_lp_iterations: u64,
     /// Per-arm dispatch counts of every routed backend solve (zero unless
     /// the backend is a [`crate::router::RouterOptimizer`]). Cache hits
     /// never re-route and are not counted: on a duplicate-heavy stream
@@ -150,6 +157,8 @@ impl SessionStats {
         self.nodes_expanded += other.nodes_expanded;
         self.speculative_nodes += other.speculative_nodes;
         self.max_workers_used = self.max_workers_used.max(other.max_workers_used);
+        self.root_lp_iterations += other.root_lp_iterations;
+        self.total_lp_iterations += other.total_lp_iterations;
         self.routes.absorb(&other.routes);
     }
 
@@ -159,6 +168,8 @@ impl SessionStats {
         self.nodes_expanded += outcome.search.nodes_expanded;
         self.speculative_nodes += outcome.search.speculative_nodes;
         self.max_workers_used = self.max_workers_used.max(outcome.search.workers_used);
+        self.root_lp_iterations += outcome.search.root_lp_iterations;
+        self.total_lp_iterations += outcome.search.total_lp_iterations;
         if let Some(route) = &outcome.route {
             self.routes.record(route.arm);
         }
@@ -752,6 +763,8 @@ mod tests {
                     nodes_expanded: 3,
                     workers_used: 1,
                     speculative_nodes: 1,
+                    root_lp_iterations: 2,
+                    total_lp_iterations: 5,
                 },
                 route: None,
             })

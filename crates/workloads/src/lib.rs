@@ -276,6 +276,26 @@ pub fn size_swept_stream(
     (catalog, queries)
 }
 
+/// Query sizes of [`large_query_stream`]: the router's decompose threshold
+/// (20), the decomposition acceptance size (30), and the paper's largest
+/// evaluated query (60). The table-set bitmask caps queries at
+/// `milpjoin_qopt::query::MAX_TABLES` (64) tables, so the stream tops out
+/// at 60 rather than continuing to 100.
+pub const LARGE_SIZES: [usize; 3] = [20, 30, 60];
+
+/// Generates a **large-query stream** over one shared catalog: chains,
+/// cycles and stars ([`Topology::PAPER`]) at every [`LARGE_SIZES`] size,
+/// each structure repeated `copies` times. Every query sits at or past the
+/// router's `very-large-decompose` threshold — this is the traffic shape
+/// the decompose-and-conquer backend exists for, where a whole-query root
+/// LP stalls (BENCH_0005) and the subset DPs are out of memory range.
+///
+/// Statistics draw through [`size_swept_stream`], so the structures are
+/// deterministic per `base_seed` and identical across copies.
+pub fn large_query_stream(base_seed: u64, copies: usize) -> (Catalog, Vec<Query>) {
+    size_swept_stream(&Topology::PAPER, &LARGE_SIZES, base_seed, copies)
+}
+
 fn log_uniform(rng: &mut StdRng, (lo, hi): (f64, f64)) -> f64 {
     if lo >= hi {
         return lo;
@@ -440,6 +460,33 @@ mod tests {
         }
         // Different cells draw different statistics.
         assert_ne!(stats(&queries[0]), stats(&queries[4]));
+    }
+
+    #[test]
+    fn large_query_stream_is_all_past_the_decompose_threshold() {
+        let (catalog, queries) = large_query_stream(11, 2);
+        assert_eq!(queries.len(), Topology::PAPER.len() * LARGE_SIZES.len() * 2);
+        for q in &queries {
+            q.validate(&catalog).unwrap();
+            assert!(q.num_tables() >= 20, "{} tables", q.num_tables());
+        }
+        // One round covers every (topology, size) cell; shapes match the
+        // topology mix so router features classify them as intended.
+        let round = Topology::PAPER.len() * LARGE_SIZES.len();
+        for (i, q) in queries[..round].iter().enumerate() {
+            let topology = Topology::PAPER[i / LARGE_SIZES.len()];
+            let size = LARGE_SIZES[i % LARGE_SIZES.len()];
+            assert_eq!(q.num_tables(), size);
+            assert_eq!(
+                JoinGraph::from_query(q).shape(),
+                topology.expected_shape(size)
+            );
+        }
+        // Deterministic per seed.
+        let (_, again) = large_query_stream(11, 2);
+        for (a, b) in queries.iter().zip(&again) {
+            assert_eq!(a.tables, b.tables);
+        }
     }
 
     #[test]

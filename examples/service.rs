@@ -12,8 +12,8 @@
 //! ticket's cost matches its structure's first solve, and that
 //! drain-then-shutdown leaves no stuck tickets).
 //!
-//! `--backend {greedy,dp,dpconv,milp,hybrid,router}` picks the solver
-//! (default `hybrid`). The `router` backend drives a duplicate-heavy
+//! `--backend {greedy,dp,dpconv,milp,hybrid,decomp,router}` picks the
+//! solver (default `hybrid`). The `router` backend drives a duplicate-heavy
 //! **small**-size-swept mixed stream (3/6/10 tables, all paper
 //! topologies) instead, prints each cold solve's `RouteDecision`, and
 //! asserts from the service stats that no query of the stream ever
@@ -23,8 +23,8 @@
 use std::time::{Duration, Instant};
 
 use milpjoin::{
-    standard_router, EncoderConfig, HybridOptimizer, MilpOptimizer, OrderingOptions, Precision,
-    QueryService, RouterOptions, SessionStats,
+    standard_router, DecomposingOptimizer, EncoderConfig, HybridOptimizer, MilpOptimizer,
+    OrderingOptions, Precision, QueryService, RouterOptions, SessionStats,
 };
 use milpjoin_dp::{DpConvOptimizer, DpOptimizer, GreedyOptimizer};
 use milpjoin_qopt::{OrdererFactory, Query, SessionOutcome};
@@ -291,7 +291,17 @@ fn main() {
             submitters,
             workers,
         ),
+        "decomp" => drive_fixed(
+            "decomp",
+            DecomposingOptimizer::new(config),
+            copies,
+            tables,
+            submitters,
+            workers,
+        ),
         "router" => drive_router(config, copies, submitters, workers),
-        other => panic!("unknown backend {other:?} (expected greedy|dp|dpconv|milp|hybrid|router)"),
+        other => panic!(
+            "unknown backend {other:?} (expected greedy|dp|dpconv|milp|hybrid|decomp|router)"
+        ),
     }
 }

@@ -15,23 +15,28 @@
 //! workers *inside* each MILP solve — total concurrency is the product,
 //! so budget `workers * solver_threads <= cores`).
 //!
-//! `--backend {greedy,dp,dpconv,milp,hybrid,router}` picks the solver
-//! (default `hybrid`). The `router` backend ignores the `[tables]`
-//! argument and instead drives a **size-swept mixed stream** (the paper
-//! topologies at 3/6/10/14 tables over one shared catalog), printing each
-//! cold solve's `RouteDecision` and asserting via `explain()` that the
-//! policy actually spread the stream over at least two distinct arms.
+//! `--backend {greedy,dp,dpconv,milp,hybrid,decomp,router}` picks the
+//! solver (default `hybrid`). `decomp` is the decompose-and-conquer
+//! backend (fragment solves + quotient stitching) — pair it with a large
+//! `[tables]` argument (e.g. `session 3 30 --backend decomp`) to exercise
+//! actual decomposition; below its fragment cap it degenerates to the
+//! hybrid. The `router` backend ignores the `[tables]` argument and
+//! instead drives a **size-swept mixed stream** (the paper topologies at
+//! 3/6/10/14 tables plus a 20-table decompose tail over one shared
+//! catalog), printing each cold solve's `RouteDecision` and asserting via
+//! `explain()` that the policy spread the stream over at least two
+//! distinct arms and that every tail cell fired `very-large-decompose`.
 
 use std::time::{Duration, Instant};
 
 use milpjoin::{
-    standard_router, ApproxMode, EncoderConfig, HybridOptimizer, JoinOrderer, MilpOptimizer,
-    OrderingError, OrderingOptions, ParallelSession, PlanSession, Precision, RouterOptions,
-    SessionOutcome, SessionStats,
+    standard_router, ApproxMode, DecomposingOptimizer, EncoderConfig, HybridOptimizer,
+    JoinOrderer, MilpOptimizer, OrderingError, OrderingOptions, ParallelSession, PlanSession,
+    Precision, RouterOptions, SessionOutcome, SessionStats,
 };
 use milpjoin_dp::{DpConvOptimizer, DpOptimizer, GreedyOptimizer};
 use milpjoin_qopt::{Catalog, Query};
-use milpjoin_workloads::{size_swept_stream, Topology, WorkloadSpec, SWEEP_SIZES};
+use milpjoin_workloads::{size_swept_stream, Topology, WorkloadSpec};
 
 /// Parses `--flag N` out of the argument list, removing both tokens.
 fn take_flag(args: &mut Vec<String>, flag: &str, default: usize) -> usize {
@@ -195,12 +200,16 @@ fn drive_fixed<B: JoinOrderer + Clone + 'static>(
 }
 
 /// The router path: one size-swept mixed stream (all paper topologies at
-/// 3/6/10/14 tables over a shared catalog), so the policy's exact fast
-/// path and its search tail both fire in a single batch.
+/// 3/6/10/14 tables plus a 20-table tail over a shared catalog), so the
+/// policy's exact fast path, its search tail, and the very-large
+/// decompose rule all fire in a single batch.
 fn drive_router(config: EncoderConfig, cli: &Cli) {
+    // SWEEP_SIZES plus one cell at the decompose threshold.
+    const ROUTER_SIZES: [usize; 5] = [3, 6, 10, 14, 20];
     let router = standard_router(config, RouterOptions::default());
+    let decompose_min = RouterOptions::default().decompose_min_tables;
     let (catalog, queries) =
-        size_swept_stream(&Topology::PAPER, &SWEEP_SIZES, 7, cli.copies.max(2));
+        size_swept_stream(&Topology::PAPER, &ROUTER_SIZES, 7, cli.copies.max(2));
 
     let options = OrderingOptions::with_time_limit(Duration::from_secs(10))
         .solver_threads(cli.solver_threads);
@@ -213,7 +222,19 @@ fn drive_router(config: EncoderConfig, cli: &Cli) {
     for (i, (r, q)) in results.iter().zip(&queries).enumerate() {
         let r = r.as_ref().expect("every arm solves this stream");
         match r.outcome.route {
-            Some(decision) => println!("  query {i:>2} ({} tables): {decision}", q.num_tables()),
+            Some(decision) => {
+                // The tail cells sit at the decompose threshold: nothing
+                // that large may reach a bare whole-query root LP.
+                if q.num_tables() >= decompose_min {
+                    assert_eq!(
+                        decision.rule, "very-large-decompose",
+                        "query {i}: {} tables routed via {}",
+                        q.num_tables(),
+                        decision.rule
+                    );
+                }
+                println!("  query {i:>2} ({} tables): {decision}", q.num_tables());
+            }
             None => assert!(r.cache_hit, "a cold routed solve must record its decision"),
         }
     }
@@ -238,8 +259,13 @@ fn drive_router(config: EncoderConfig, cli: &Cli) {
         "a size-swept stream must exercise at least two arms, got {}",
         stats.routes,
     );
+    assert!(
+        stats.routes.decompose >= 1,
+        "the 20-table tail must land on the decompose arm, got {}",
+        stats.routes,
+    );
     assert_eq!(stats.routes.total(), stats.backend_solves);
-    let unique = Topology::PAPER.len() * SWEEP_SIZES.len();
+    let unique = Topology::PAPER.len() * ROUTER_SIZES.len();
     assert_eq!(stats.backend_solves, unique as u64);
     // Copies of one structure are cost-identical whichever arm solved it.
     for cell in 0..unique {
@@ -319,7 +345,13 @@ fn main() {
         ),
         "milp" => drive_fixed("milp", MilpOptimizer::new(config), &cli, true),
         "hybrid" => drive_fixed("hybrid", HybridOptimizer::new(config), &cli, true),
+        // The decompose backend reports its fragment-worker count (the
+        // repurposed `solver_threads`) as the search worker count, so the
+        // search-backend smoke assertions apply to it unchanged.
+        "decomp" => drive_fixed("decomp", DecomposingOptimizer::new(config), &cli, true),
         "router" => drive_router(config, &cli),
-        other => panic!("unknown backend {other:?} (expected greedy|dp|dpconv|milp|hybrid|router)"),
+        other => panic!(
+            "unknown backend {other:?} (expected greedy|dp|dpconv|milp|hybrid|decomp|router)"
+        ),
     }
 }

@@ -3,9 +3,11 @@
 //! (fixed cases plus randomized mixed streams), the DPconv arm agrees with
 //! the classical subset DP on the C_out optimum across all paper
 //! topologies, every arm's error/limit classification passes through the
-//! router unchanged, and a duplicate-heavy small-query stream through
+//! router unchanged, a duplicate-heavy small-query stream through
 //! `QueryService` resolves without ever reaching branch-and-bound —
-//! verified from `SessionStats` arm counts alone.
+//! verified from `SessionStats` arm counts alone — and traffic at or past
+//! the decompose threshold always lands on the decompose arm, so a very
+//! large query never runs a bare whole-query root LP.
 
 use std::time::Duration;
 
@@ -17,7 +19,7 @@ use milpjoin::{
 use milpjoin_dp::{DpConvOptimizer, DpOptimizer};
 use milpjoin_qopt::cost::{CostModelKind, CostParams};
 use milpjoin_qopt::{Catalog, Query};
-use milpjoin_workloads::{size_swept_stream, Topology, WorkloadSpec};
+use milpjoin_workloads::{large_query_stream, size_swept_stream, Topology, WorkloadSpec};
 use proptest::prelude::*;
 
 fn options() -> OrderingOptions {
@@ -93,16 +95,17 @@ fn check_routed_identity(
     router: &RouterOptimizer,
     catalog: &Catalog,
     query: &Query,
+    opts: &OrderingOptions,
     label: &str,
 ) -> BackendArm {
     let routed = router
-        .order(catalog, query, &options())
+        .order(catalog, query, opts)
         .unwrap_or_else(|e| panic!("{label}: routed solve failed: {e:?}"));
     let decision = routed.route.expect("routed solve records its decision");
     let direct = router
         .arm(decision.arm)
         .expect("route() only returns installed arms")
-        .order(catalog, query, &options())
+        .order(catalog, query, opts)
         .unwrap_or_else(|e| panic!("{label}: direct {} failed: {e:?}", decision.arm));
     assert_bit_identical(&format!("{label} via {}", decision.arm), &routed, &direct);
     decision.arm
@@ -110,7 +113,9 @@ fn check_routed_identity(
 
 /// Fixed cases covering every default-policy rule that can fire under
 /// C_out: the exact fast path at 3/6/10 tables, the search tail above the
-/// exact window, and the large-star greedy fastpath.
+/// exact window, and the very-large decompose rule (which outranks the
+/// star fastpath on a full router, and whose orchestration is
+/// deterministic — so routed-vs-direct bit-identity holds through it too).
 #[test]
 fn routed_outcome_bit_identical_fixed_cases() {
     let router = router(CostModelKind::Cout);
@@ -119,11 +124,20 @@ fn routed_outcome_bit_identical_fixed_cases() {
         (Topology::Cycle, 6, BackendArm::DpConv),
         (Topology::Star, 10, BackendArm::DpConv),
         (Topology::Chain, 13, BackendArm::Hybrid),
-        (Topology::Star, 20, BackendArm::Greedy),
+        (Topology::Star, 20, BackendArm::Decompose),
     ] {
         let (catalog, query) = WorkloadSpec::new(topo, n).generate(5);
+        // The decompose case runs under a deterministic node budget: a
+        // wall-clock limit that binds mid-fragment-solve would make the
+        // routed and direct runs legitimately diverge (and burn the full
+        // limit); a node budget keeps them cheap and bit-reproducible.
+        let opts = if expect == BackendArm::Decompose {
+            OrderingOptions::default().deterministic_budget(60)
+        } else {
+            options()
+        };
         let label = format!("{topo:?} n={n}");
-        let arm = check_routed_identity(&router, &catalog, &query, &label);
+        let arm = check_routed_identity(&router, &catalog, &query, &opts, &label);
         assert_eq!(arm, expect, "{label}: unexpected arm");
     }
 }
@@ -142,7 +156,7 @@ proptest! {
         let router = router(model);
         let (catalog, queries) = mixed_stream(seed, tables, 2, 1);
         for (i, q) in queries.iter().enumerate() {
-            let arm = check_routed_identity(&router, &catalog, q, &format!("seed={seed} query={i}"));
+            let arm = check_routed_identity(&router, &catalog, q, &options(), &format!("seed={seed} query={i}"));
             // The small-query policy never spends branch-and-bound here.
             assert!(
                 matches!(arm, BackendArm::DpConv | BackendArm::Dp),
@@ -336,4 +350,62 @@ fn service_router_small_traffic_never_reaches_branch_and_bound() {
         );
     }
     assert_eq!(parallel.explain().routes, stats.routes);
+}
+
+/// The acceptance criterion of the decompose arm's router wiring: traffic
+/// at or past `decompose_min_tables` tables never reaches a bare
+/// whole-query root LP. Checked two ways — the pure policy routes every
+/// query of the large-query stream (all paper topologies at 20/30/60
+/// tables) to the decompose arm under the `very-large-decompose` rule,
+/// and an end-to-end session over the 20-table slice shows all solves on
+/// the decompose arm with zero `search_solves` (the counter that polices
+/// bare MILP/hybrid root solves) in the aggregated arm counts.
+#[test]
+fn large_traffic_never_reaches_a_bare_root_lp() {
+    let r = router(CostModelKind::Cout);
+    let threshold = r.options().decompose_min_tables;
+    let (catalog, queries) = large_query_stream(13, 1);
+    assert!(!queries.is_empty());
+    for q in &queries {
+        assert!(q.num_tables() >= threshold, "stream below the threshold");
+        let decision = r
+            .route_query(q, &options())
+            .expect("full router always routes");
+        assert_eq!(
+            decision.arm,
+            BackendArm::Decompose,
+            "{} tables routed to {}",
+            q.num_tables(),
+            decision.arm
+        );
+        assert_eq!(decision.rule, "very-large-decompose");
+    }
+
+    // End-to-end on the threshold-sized slice (a small deterministic node
+    // budget keeps the fragment solves cheap; with no time limit set the
+    // tight-budget rule cannot preempt the decompose rule).
+    let at_threshold: Vec<Query> = queries
+        .iter()
+        .filter(|q| q.num_tables() == threshold)
+        .cloned()
+        .collect();
+    assert!(!at_threshold.is_empty());
+    let mut session = PlanSession::new(catalog, Box::new(r))
+        .with_options(OrderingOptions::default().deterministic_budget(60));
+    let results = session.optimize_batch(&at_threshold);
+    for (q, r) in at_threshold.iter().zip(&results) {
+        let outcome = &r.as_ref().expect("decompose solves the stream").outcome;
+        outcome.plan.validate(q).expect("stitched plan is valid");
+        let decision = outcome.route.expect("routed solve records its decision");
+        assert_eq!(decision.rule, "very-large-decompose");
+        assert!(!outcome.proven_optimal && outcome.bound.is_none());
+    }
+    let stats = session.explain();
+    assert_eq!(stats.routes.decompose, at_threshold.len() as u64);
+    assert_eq!(
+        stats.routes.search_solves(),
+        0,
+        "a very large query ran a bare root LP: {}",
+        stats.routes
+    );
 }

@@ -315,6 +315,90 @@ fn bench_service_ingest(c: &mut Criterion) {
     g.finish();
 }
 
+/// Cold vs snapshot-booted serving of the same duplicate-heavy 24-query
+/// stream as `service_ingest`. A throwaway seeder service solves the 3
+/// structures once and exports the plan cache at shutdown; the `cold`
+/// arm then measures a fresh service per iteration (3 real solves + 21
+/// dedup resolutions), while the `snapshot` arm boots from the file and
+/// must absorb all 24 queries with **zero** backend solves — asserted
+/// inside the loop, so the headline ratio can never quietly measure a
+/// half-warm cache. Scraped into `BENCH_0008.json`.
+fn bench_warm_boot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("warm_boot");
+    g.sample_size(3);
+    let mut catalog = Catalog::new();
+    let mut queries = Vec::new();
+    for (i, topo) in TOPOLOGIES.iter().enumerate() {
+        queries.extend(WorkloadSpec::new(*topo, 8).generate_stream_into(
+            &mut catalog,
+            40 + i as u64 * 1000,
+            1,
+            8,
+        ));
+    }
+    let path = std::env::temp_dir().join(format!("milpjoin-warm-boot-{}.snap", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    {
+        // Seed the snapshot once, outside the measurement: cold solves,
+        // export at shutdown via the armed snapshot path.
+        let seeder = QueryService::new(catalog.clone(), backend())
+            .with_workers(4)
+            .with_options(OrderingOptions::with_time_limit(Duration::from_secs(600)))
+            .with_snapshot(&path);
+        for t in seeder.submit_many(queries.iter().cloned()) {
+            t.wait().expect("hybrid always returns a plan");
+        }
+        let stats = seeder.shutdown();
+        assert_eq!(stats.backend_solves, 3, "one seed solve per structure");
+        assert_eq!(stats.snapshot_entries_written, 3);
+    }
+    for mode in ["cold", "snapshot"] {
+        g.bench_with_input(BenchmarkId::new(mode, 24), &mode, |b, &mode| {
+            b.iter(|| {
+                let mut service = QueryService::new(catalog.clone(), backend())
+                    .with_workers(4)
+                    .with_options(OrderingOptions::with_time_limit(Duration::from_secs(600)));
+                if mode == "snapshot" {
+                    service = service.with_snapshot(&path);
+                }
+                let boot = service.explain();
+                let start = Instant::now();
+                for t in service.submit_many(queries.iter().cloned()) {
+                    t.wait().expect("hybrid always returns a plan");
+                }
+                let elapsed = start.elapsed();
+                let stats = service.shutdown();
+                if mode == "snapshot" {
+                    assert_eq!(boot.snapshot_entries_loaded, 3, "full snapshot load");
+                    assert_eq!(boot.snapshot_entries_rejected, 0);
+                    assert_eq!(stats.backend_solves, 0, "warm boot absorbs the stream");
+                    assert_eq!(stats.warm_hits, queries.len() as u64);
+                } else {
+                    assert_eq!(stats.backend_solves, 3, "one cold solve per structure");
+                    assert_eq!(stats.warm_hits, 0);
+                }
+                println!(
+                    "SESSION_STATS group=warm_boot mode={} workers=4 queries={} solves={} \
+                     warm_hits={} loaded={} rejected={} written={} hit_rate={:.4} \
+                     ingest_qps={:.2}",
+                    mode,
+                    queries.len(),
+                    stats.backend_solves,
+                    stats.warm_hits,
+                    boot.snapshot_entries_loaded,
+                    boot.snapshot_entries_rejected,
+                    stats.snapshot_entries_written,
+                    stats.hit_rate(),
+                    queries.len() as f64 / elapsed.as_secs_f64(),
+                );
+                black_box(stats.cache_hits)
+            });
+        });
+    }
+    g.finish();
+    let _ = std::fs::remove_file(&path);
+}
+
 /// Intra-solve scaling: the same cold MILP solve with 1/2/4
 /// branch-and-bound workers (`OptimizeOptions::threads`), per instance.
 /// Two search-bound instances (many nodes, cheap LPs — where node-level
@@ -580,7 +664,10 @@ fn bench_decomposition(c: &mut Criterion) {
                     .expect("decompose solves every valid query");
                 let elapsed = start.elapsed();
                 out.plan.validate(&query).expect("stitched plan is valid");
-                assert!(!out.proven_optimal && out.bound.is_none(), "{name}: honesty");
+                assert!(
+                    !out.proven_optimal && out.bound.is_none(),
+                    "{name}: honesty"
+                );
                 assert!(
                     out.cost <= greedy_cost * (1.0 + 1e-9),
                     "{name}: stitched {:e} worse than greedy {:e}",
@@ -679,6 +766,7 @@ criterion_group!(
     bench_upper_bound,
     bench_worker_scaling,
     bench_service_ingest,
+    bench_warm_boot,
     bench_solver_scaling,
     bench_backend_router,
     bench_decomposition,

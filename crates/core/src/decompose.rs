@@ -529,7 +529,11 @@ mod tests {
             .collect();
         let mut q = Query::new(ids.clone());
         for i in 0..n - 1 {
-            q.add_predicate(Predicate::binary(ids[i], ids[i + 1], 0.01 + i as f64 * 0.01));
+            q.add_predicate(Predicate::binary(
+                ids[i],
+                ids[i + 1],
+                0.01 + i as f64 * 0.01,
+            ));
         }
         (c, q)
     }

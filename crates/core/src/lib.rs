@@ -82,6 +82,7 @@ pub use milpjoin_qopt::orderer::OrdererFactory;
 pub use milpjoin_qopt::orderer::{
     CostTrace, CostTracePoint, JoinOrderer, OrderingError, OrderingOptions, OrderingOutcome,
 };
+pub use milpjoin_qopt::persist::{SnapshotConfig, SnapshotLoadStats, SnapshotWriteStats};
 pub use milpjoin_qopt::router::{
     BackendArm, QueryFeatures, RouteCounts, RouteDecision, RouterOptimizer, RouterOptions,
 };

@@ -72,6 +72,10 @@ pub struct CachedPlan {
     pub(crate) exact: ExactStats,
     pub(crate) bound: Option<f64>,
     pub(crate) proven_optimal: bool,
+    /// Loaded from a persisted snapshot rather than solved in-process.
+    /// Hits on warm entries are counted as `SessionStats::warm_hits`, so a
+    /// booted service can prove its snapshot actually absorbed the traffic.
+    pub(crate) warm: bool,
 }
 
 /// State of one in-flight solve slot.
@@ -147,6 +151,10 @@ pub(crate) struct InFlightGuard<'a> {
     fingerprint: Fingerprint,
     slot: Arc<InFlightSlot>,
     published: bool,
+    /// Recency stamp of the claim that produced this guard (see
+    /// [`Shard::stamp`]); the publish re-uses it so a job's insert lands at
+    /// its submission index, not at solve-completion time.
+    at: Option<u64>,
 }
 
 impl InFlightGuard<'_> {
@@ -173,11 +181,12 @@ impl InFlightGuard<'_> {
             self.slot
                 .resolve(Some(Arc::clone(&record)), self.cache.publish_notifies());
             milpjoin_shim::yield_point();
-            self.cache.insert(self.fingerprint.clone(), record);
+            self.cache
+                .insert_at(self.fingerprint.clone(), record, self.at);
             return;
         }
         self.cache
-            .publish_inflight(&self.fingerprint, Arc::clone(&record));
+            .publish_inflight(&self.fingerprint, Arc::clone(&record), self.at);
         self.slot
             .resolve(Some(record), self.cache.publish_notifies());
     }
@@ -217,6 +226,28 @@ struct Shard {
 }
 
 impl Shard {
+    /// Advances the clock and returns the recency stamp for one operation.
+    /// `at: None` is the sequential domain (the next clock tick);
+    /// `at: Some(t)` is an externally assigned logical time — the
+    /// `QueryService` stamps every cache operation of job *i* with its
+    /// submission index, so eviction order matches the order queries were
+    /// submitted, not the order worker threads happened to finish them.
+    /// The clock max-merges external stamps, keeping it monotone across
+    /// mixed domains (snapshot-loaded entries, sequential sessions, and
+    /// service traffic sharing one cache).
+    fn stamp(&mut self, at: Option<u64>) -> u64 {
+        match at {
+            Some(t) => {
+                self.clock = self.clock.max(t);
+                t
+            }
+            None => {
+                self.clock += 1;
+                self.clock
+            }
+        }
+    }
+
     /// Evicts least-recently-used entries until the shard fits its
     /// capacity; returns how many were evicted.
     fn enforce_capacity(&mut self) -> u64 {
@@ -224,13 +255,18 @@ impl Shard {
         while self.map.len() > self.capacity {
             // O(population) scan per eviction: deterministic, and at real
             // capacities the scan is trivially cheap next to a backend
-            // solve. Ties cannot happen (the clock is monotone).
-            // audit-allow(no-unordered-iter): min_by_key over unique
-            // monotone clock values — the winner is order-independent.
+            // solve. Recency ties are impossible within one stamping
+            // domain (the clock is monotone, and a submission index is
+            // used for exactly one fingerprint); the fingerprint tie-break
+            // keeps the victim deterministic even if independent external
+            // domains ever collide.
+            // audit-allow(no-unordered-iter): min_by over (clock,
+            // fingerprint) — a total order, so the winner is
+            // order-independent.
             let lru = self
                 .map
                 .iter()
-                .min_by_key(|(_, &(_, last_used))| last_used)
+                .min_by(|(ka, &(_, ta)), (kb, &(_, tb))| ta.cmp(&tb).then_with(|| ka.cmp(kb)))
                 .map(|(k, _)| k.clone())
                 // audit-allow(no-panic): loop guard proves len > capacity
                 // >= 0, so the shard is non-empty here.
@@ -396,13 +432,28 @@ impl ShardedPlanCache {
     /// entries beyond capacity. Returns how many entries were evicted. A
     /// zero-capacity cache stores nothing.
     pub(crate) fn insert(&self, fp: Fingerprint, plan: Arc<CachedPlan>) -> u64 {
+        self.insert_at(fp, plan, None)
+    }
+
+    /// [`Self::insert`] with an explicit recency stamp (see
+    /// [`Shard::stamp`]). When replacing an existing entry the recency is
+    /// max-merged, so a stale external stamp can never *age* an entry a
+    /// later operation already refreshed.
+    pub(crate) fn insert_at(&self, fp: Fingerprint, plan: Arc<CachedPlan>, at: Option<u64>) -> u64 {
         let mut shard = self.shards[self.shard_of(&fp)].lock();
         if shard.capacity == 0 {
             return 0;
         }
-        shard.clock += 1;
-        let clock = shard.clock;
-        shard.map.insert(fp, (plan, clock));
+        let clock = shard.stamp(at);
+        match shard.map.get_mut(&fp) {
+            Some((existing, last_used)) => {
+                *existing = plan;
+                *last_used = (*last_used).max(clock);
+            }
+            None => {
+                shard.map.insert(fp, (plan, clock));
+            }
+        }
         shard.enforce_capacity()
     }
 
@@ -411,12 +462,23 @@ impl ShardedPlanCache {
     /// cached (recency refreshed), currently being solved (wait on the
     /// returned slot), or unclaimed (the caller becomes the leader and
     /// receives the guard obliging it to publish or abandon).
+    /// (Production callers go through [`Self::claim_at`] — the engine
+    /// always threads an explicit recency domain; the protocol tests use
+    /// this shorthand.)
+    #[cfg(test)]
     pub(crate) fn claim(&self, fp: &Fingerprint) -> InFlightClaim<'_> {
+        self.claim_at(fp, None)
+    }
+
+    /// [`Self::claim`] with an explicit recency stamp (see
+    /// [`Shard::stamp`]): the `QueryService` passes each job's submission
+    /// index so hit refreshes and the eventual publish both land at
+    /// submission order, whatever order worker threads finish in.
+    pub(crate) fn claim_at(&self, fp: &Fingerprint, at: Option<u64>) -> InFlightClaim<'_> {
         let mut shard = self.shards[self.shard_of(fp)].lock();
-        shard.clock += 1;
-        let clock = shard.clock;
+        let clock = shard.stamp(at);
         if let Some((cached, last_used)) = shard.map.get_mut(fp) {
-            *last_used = clock;
+            *last_used = (*last_used).max(clock);
             return InFlightClaim::Cached(Arc::clone(cached));
         }
         if let Some(slot) = shard.inflight.get(fp) {
@@ -429,21 +491,29 @@ impl ShardedPlanCache {
             fingerprint: fp.clone(),
             slot,
             published: false,
+            at,
         })
     }
 
     /// Leader success path: inserts the record and retires the in-flight
     /// slot under one shard lock (a concurrent [`Self::claim`] sees the
     /// structure as cached the instant it stops being in flight).
-    fn publish_inflight(&self, fp: &Fingerprint, plan: Arc<CachedPlan>) {
+    fn publish_inflight(&self, fp: &Fingerprint, plan: Arc<CachedPlan>, at: Option<u64>) {
         let mut shard = self.shards[self.shard_of(fp)].lock();
         shard.inflight.remove(fp);
         if shard.capacity == 0 {
             return;
         }
-        shard.clock += 1;
-        let clock = shard.clock;
-        shard.map.insert(fp.clone(), (plan, clock));
+        let clock = shard.stamp(at);
+        match shard.map.get_mut(fp) {
+            Some((existing, last_used)) => {
+                *existing = plan;
+                *last_used = (*last_used).max(clock);
+            }
+            None => {
+                shard.map.insert(fp.clone(), (plan, clock));
+            }
+        }
         shard.enforce_capacity();
     }
 
@@ -457,6 +527,53 @@ impl ShardedPlanCache {
     pub fn inflight_len(&self) -> usize {
         self.shards.iter().map(|s| s.lock().inflight.len()).sum()
     }
+
+    /// The largest logical-clock value across all shards — the watermark
+    /// above which an external recency domain (service submission indexes)
+    /// must start so its stamps outrank everything already present (e.g.
+    /// snapshot-loaded entries).
+    pub(crate) fn max_clock(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().clock)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Clones out every cached entry with its recency stamp, one brief
+    /// shard lock at a time — the snapshot writer's read side. In-flight
+    /// claims on other shards proceed untouched, and claims on the shard
+    /// being copied only wait for `Arc` pointer clones, never for
+    /// serialization or file IO (both happen after every lock is dropped):
+    /// snapshot-while-serving never blocks the claim protocol.
+    ///
+    /// The collection order is per-shard hash order and deliberately
+    /// carries no meaning — the snapshot writer re-sorts globally by
+    /// `(last_used, shard, fingerprint)` before assigning recency ranks.
+    pub(crate) fn snapshot_entries(&self) -> Vec<SnapshotSource> {
+        let mut out = Vec::new();
+        for (shard_idx, shard) in self.shards.iter().enumerate() {
+            let s = shard.lock();
+            for (fp, (plan, last_used)) in &s.map {
+                out.push(SnapshotSource {
+                    fingerprint: fp.clone(),
+                    plan: Arc::clone(plan),
+                    last_used: *last_used,
+                    shard: shard_idx,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// One cached entry as extracted for snapshotting: the key, the shared
+/// plan record, and where/when it last lived in the LRU order.
+pub(crate) struct SnapshotSource {
+    pub(crate) fingerprint: Fingerprint,
+    pub(crate) plan: Arc<CachedPlan>,
+    pub(crate) last_used: u64,
+    pub(crate) shard: usize,
 }
 
 // The whole point of this type: share it between worker threads.
@@ -467,7 +584,7 @@ const _: () = {
 };
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
 
     #[test]
@@ -485,7 +602,7 @@ mod tests {
 
     /// A fingerprinted two-table structure parameterized by cardinality
     /// (distinct cardinalities give distinct fingerprints).
-    pub(super) fn fingerprinted(card: f64) -> crate::fingerprint::FingerprintedQuery {
+    pub(crate) fn fingerprinted(card: f64) -> crate::fingerprint::FingerprintedQuery {
         let mut c = crate::catalog::Catalog::new();
         let a = c.add_table("a", card);
         let b = c.add_table("b", card * 10.0);
@@ -498,17 +615,18 @@ mod tests {
         )
     }
 
-    pub(super) fn fingerprint_of(card: f64) -> Fingerprint {
+    pub(crate) fn fingerprint_of(card: f64) -> Fingerprint {
         fingerprinted(card).fingerprint
     }
 
-    pub(super) fn dummy_plan() -> Arc<CachedPlan> {
+    pub(crate) fn dummy_plan() -> Arc<CachedPlan> {
         Arc::new(CachedPlan {
             canonical_order: vec![0, 1],
             operators: Vec::new(),
             exact: fingerprinted(10.0).exact,
             bound: None,
             proven_optimal: false,
+            warm: false,
         })
     }
 

@@ -360,6 +360,7 @@ impl ParallelSession {
                         fingerprint_options: &self.seq.fingerprint_options,
                         caching: self.seq.caching,
                         cache: &self.seq.cache,
+                        recency: None,
                     };
                     results
                         .push(process_prepared(&ctx, &queries[i], &fp, &mut self.seq.stats).result);

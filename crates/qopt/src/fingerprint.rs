@@ -108,29 +108,31 @@ fn rank_by_key<K: Ord>(n: usize, key: impl Fn(usize) -> K) -> Vec<usize> {
 }
 
 /// One table of the canonical structure.
+///
+/// (`pub(crate)` so `persist` can encode snapshot records field by field.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-struct TableKey {
-    qlog_card: i64,
-    qlog_tuple_bytes: i64,
-    sorted: bool,
+pub(crate) struct TableKey {
+    pub(crate) qlog_card: i64,
+    pub(crate) qlog_tuple_bytes: i64,
+    pub(crate) sorted: bool,
 }
 
 /// One predicate (join-graph edge, or n-ary hyperedge) over canonical
 /// table positions.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-struct PredKey {
+pub(crate) struct PredKey {
     /// Canonical positions, ascending.
-    tables: Vec<u16>,
-    qlog_selectivity: i64,
-    qlog_eval_cost: i64,
+    pub(crate) tables: Vec<u16>,
+    pub(crate) qlog_selectivity: i64,
+    pub(crate) qlog_eval_cost: i64,
 }
 
 /// One correlated group, over indices into the sorted predicate list.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-struct GroupKey {
+pub(crate) struct GroupKey {
     /// Indices into [`Fingerprint::predicates`], ascending.
-    members: Vec<u32>,
-    qlog_correction: i64,
+    pub(crate) members: Vec<u32>,
+    pub(crate) qlog_correction: i64,
 }
 
 /// One carried column of the projection payload (§5.2), in canonical
@@ -139,26 +141,26 @@ struct GroupKey {
 /// Column *positions* within a table deliberately do not appear — two
 /// disjoint table sets with the same carried-column structure must match.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-struct ColumnKey {
+pub(crate) struct ColumnKey {
     /// Canonical table position.
-    table: u16,
-    qlog_bytes: i64,
+    pub(crate) table: u16,
+    pub(crate) qlog_bytes: i64,
     /// Listed in the query's output columns.
-    output: bool,
+    pub(crate) output: bool,
     /// Indices into [`Fingerprint::predicates`] of predicates requiring
     /// this column, ascending.
-    predicates: Vec<u32>,
+    pub(crate) predicates: Vec<u32>,
 }
 
 /// The canonical, quantized structure of one query — the plan-cache key.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Fingerprint {
-    tables: Vec<TableKey>,
-    predicates: Vec<PredKey>,
-    groups: Vec<GroupKey>,
+    pub(crate) tables: Vec<TableKey>,
+    pub(crate) predicates: Vec<PredKey>,
+    pub(crate) groups: Vec<GroupKey>,
     /// Carried columns (projection extension); empty when the query tracks
     /// no columns.
-    columns: Vec<ColumnKey>,
+    pub(crate) columns: Vec<ColumnKey>,
 }
 
 impl Fingerprint {
@@ -173,14 +175,14 @@ impl Fingerprint {
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExactStats {
     /// (cardinality, tuple_bytes, sorted) per canonical table.
-    tables: Vec<(f64, f64, bool)>,
+    pub(crate) tables: Vec<(f64, f64, bool)>,
     /// (canonical positions, selectivity, eval cost) per sorted predicate.
-    predicates: Vec<(Vec<u16>, f64, f64)>,
+    pub(crate) predicates: Vec<(Vec<u16>, f64, f64)>,
     /// (sorted-predicate indices, correction) per group.
-    groups: Vec<(Vec<u32>, f64)>,
+    pub(crate) groups: Vec<(Vec<u32>, f64)>,
     /// (canonical table, exact bytes, output, requiring predicates) per
     /// carried column, sorted.
-    columns: Vec<(u16, f64, bool, Vec<u32>)>,
+    pub(crate) columns: Vec<(u16, f64, bool, Vec<u32>)>,
 }
 
 /// A query together with its fingerprint and the canonical relabeling —

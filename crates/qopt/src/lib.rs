@@ -32,6 +32,7 @@ pub mod executor;
 pub mod fingerprint;
 pub mod graph;
 pub mod orderer;
+pub mod persist;
 pub mod plan;
 pub mod query;
 pub mod router;
@@ -50,6 +51,7 @@ pub use orderer::{
     AnytimeTrace, BuildWith, CostTrace, CostTracePoint, JoinOrderer, OrdererFactory, OrderingError,
     OrderingOptions, OrderingOutcome, SearchStats, TracePoint,
 };
+pub use persist::{SnapshotConfig, SnapshotLoadStats, SnapshotWriteStats};
 pub use plan::{eager_evaluation_joins, JoinOp, LeftDeepPlan, PlanError};
 pub use query::{CorrelatedGroup, Predicate, PredicateId, Query, QueryError};
 pub use router::{

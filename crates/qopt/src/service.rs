@@ -53,9 +53,11 @@
 //! budget*, which measures CPU contention; set
 //! [`crate::orderer::OrderingOptions::deterministic_budget`] (node-metered)
 //! instead and budget-limited outcomes are identical at any worker count.
-//! LRU recency, by contrast, is stamped in completion order — under
-//! capacity pressure the *eviction* order (hence later hit patterns) can
-//! vary across runs, exactly as documented for the parallel executor.
+//! LRU recency is stamped by **submission index** (each accepted
+//! submission carries its admission number into the cache, max-merged on
+//! hits), so under capacity pressure the eviction order follows arrival
+//! order deterministically even when a slow early solve publishes after
+//! later fast ones — matching the batch facade's input-order semantics.
 //!
 //! ```
 //! use milpjoin_qopt::cost::{plan_cost, CostModelKind, CostParams};
@@ -102,6 +104,9 @@
 //! ```
 
 use std::collections::VecDeque;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use milpjoin_shim::sync::{Condvar, Mutex};
@@ -112,6 +117,7 @@ use crate::catalog::Catalog;
 use crate::executor::DEFAULT_CACHE_SHARDS;
 use crate::fingerprint::{Fingerprint, FingerprintOptions, FingerprintedQuery};
 use crate::orderer::{JoinOrderer, OrdererFactory, OrderingError, OrderingOptions};
+use crate::persist::{SnapshotConfig, SnapshotWriteStats};
 use crate::query::Query;
 use crate::session::{
     process_prepared, process_query, EngineCtx, Processed, SessionOutcome, SessionStats,
@@ -212,6 +218,11 @@ struct Job {
     /// public submissions: the worker runs the full engine.
     prepared: Option<Box<FingerprintedQuery>>,
     ticket: Arc<TicketShared>,
+    /// LRU recency stamp: the submission index offset above the cache's
+    /// boot-time clock watermark. Every cache operation this job performs
+    /// uses it, so eviction order matches submission order — the
+    /// sequential-session semantics — whatever order workers finish in.
+    recency: u64,
 }
 
 /// The ingest queue plus lifecycle counters, under one lock.
@@ -233,6 +244,20 @@ struct ServiceShared {
     /// Worker-pool size (applied when the pool lazily spawns on first
     /// submit).
     workers: usize,
+    /// Bound on unresolved submissions (queued + in flight); `0` means
+    /// unbounded. Past it, `submit` rejects with a `ResourceLimit` error
+    /// instead of growing the queue without limit.
+    max_pending: usize,
+    /// Snapshot file armed by `with_snapshot`: loaded at build time and
+    /// re-exported once at shutdown (first closer wins, Drop included).
+    snapshot_path: Option<PathBuf>,
+    /// Whether the shutdown snapshot export already ran.
+    snapshot_written: AtomicBool,
+    /// Base of the submission-index recency domain: the cache's clock
+    /// watermark at first submission (so service stamps outrank
+    /// snapshot-loaded entries), computed lazily via compare-exchange.
+    /// `u64::MAX` = not yet computed.
+    recency_base: AtomicU64,
     state: Mutex<ServiceState>,
     /// Workers sleep here while the queue is empty.
     work_cv: Condvar,
@@ -305,6 +330,10 @@ impl QueryService {
                 caching,
                 cache,
                 workers: workers.max(1),
+                max_pending: 0,
+                snapshot_path: None,
+                snapshot_written: AtomicBool::new(false),
+                recency_base: AtomicU64::new(u64::MAX),
                 state: Mutex::new(ServiceState {
                     queue: VecDeque::new(),
                     submitted: 0,
@@ -383,6 +412,65 @@ impl QueryService {
         self
     }
 
+    /// Builder-style setter bounding the submission backlog: once
+    /// `max_pending` submissions are unresolved (queued or in flight),
+    /// further submissions resolve immediately with an honest
+    /// [`OrderingError::ResourceLimit`] instead of growing the queue
+    /// without bound. `0` (the default) is unbounded. Rejected
+    /// submissions are not counted in `queries`/`backend_solves` — they
+    /// never entered the pipeline.
+    pub fn with_max_pending(mut self, max_pending: usize) -> Self {
+        self.config_mut().max_pending = max_pending;
+        self
+    }
+
+    /// Arms a snapshot file for this service: loads it now (validated per
+    /// entry; a missing/corrupt/mismatched file is a clean cold boot,
+    /// counted in `explain()`), and exports the cache back to the same
+    /// path once, when the service shuts down (explicit [`Self::shutdown`]
+    /// or drop). For an error-checked export at a moment of your choosing,
+    /// call [`Self::snapshot`] — the shutdown hook is best-effort (a
+    /// drop-path write has nowhere to report an error).
+    pub fn with_snapshot(mut self, path: impl AsRef<Path>) -> Self {
+        let path = path.as_ref().to_path_buf();
+        let config = self.snapshot_config();
+        let loaded = self.shared.cache.load_snapshot(&path, &config);
+        {
+            let mut stats = self.shared.stats.lock();
+            stats.snapshot_entries_loaded += loaded.loaded;
+            stats.snapshot_entries_rejected += loaded.rejected;
+        }
+        self.config_mut().snapshot_path = Some(path);
+        self
+    }
+
+    /// Exports the plan cache to a snapshot file at `path` (atomic: temp
+    /// file + rename), keyed to [`Self::snapshot_config`]. Safe while
+    /// serving: the export clones entries one brief shard lock at a time
+    /// and serializes lock-free, so in-flight claims never block on it
+    /// (concurrently-published solves may or may not make the cut — the
+    /// snapshot is a consistent-enough point-in-time view, not a barrier).
+    pub fn snapshot(&self, path: impl AsRef<Path>) -> io::Result<SnapshotWriteStats> {
+        let written = self
+            .shared
+            .cache
+            .write_snapshot(path.as_ref(), &self.snapshot_config())?;
+        self.shared.stats.lock().snapshot_entries_written += written.entries;
+        Ok(written)
+    }
+
+    /// The snapshot compatibility key of this service (see
+    /// [`crate::persist`]): fingerprint quantization plus the backend's
+    /// cost model and parameters.
+    pub fn snapshot_config(&self) -> SnapshotConfig {
+        let (cost_model, cost_params) = self.probe.cost_model();
+        SnapshotConfig {
+            fingerprint_options: self.shared.fingerprint_options,
+            cost_model,
+            cost_params,
+        }
+    }
+
     /// The shared handle to the plan cache.
     pub fn shared_cache(&self) -> Arc<ShardedPlanCache> {
         Arc::clone(&self.shared.cache)
@@ -444,33 +532,67 @@ impl QueryService {
             state: Mutex::new(TicketState::Pending),
             cv: Condvar::new(),
         });
-        let accepted = {
+        // The recency base touches every cache shard, so it is computed
+        // outside the state lock (lazily, once — losers of the race adopt
+        // the winner's value).
+        let recency_base = self.recency_base();
+        let rejection = {
             let mut state = self.shared.state.lock();
+            let pending = state.submitted - state.resolved;
             if state.shutdown {
-                false
+                Some(OrderingError::InvalidConfig(
+                    "query service is shut down".into(),
+                ))
+            } else if self.shared.max_pending > 0 && pending >= self.shared.max_pending as u64 {
+                // Honest backpressure: the queue is full, and pretending
+                // otherwise just moves the overload somewhere less
+                // observable. Rejected submissions never enter the
+                // pipeline (no counters, no queue slot).
+                Some(OrderingError::ResourceLimit(format!(
+                    "query service backlog is full ({pending} unresolved submissions >= \
+                     max_pending {}); resubmit after the backlog drains",
+                    self.shared.max_pending
+                )))
             } else {
                 state.submitted += 1;
+                let recency = recency_base + state.submitted;
                 state.queue.push_back(Job {
                     query,
                     prepared,
                     ticket: Arc::clone(&ticket),
+                    recency,
                 });
                 self.shared.work_cv.notify_one();
-                true
+                None
             }
         };
-        if accepted {
-            self.ensure_workers();
-        } else {
-            resolve_ticket(
-                &ticket,
-                Err(OrderingError::InvalidConfig(
-                    "query service is shut down".into(),
-                )),
-                None,
-            );
+        match rejection {
+            None => self.ensure_workers(),
+            Some(error) => resolve_ticket(&ticket, Err(error), None),
         }
         PlanTicket { shared: ticket }
+    }
+
+    /// The submission-index recency domain's base: the cache's clock
+    /// watermark observed at the first submission, so every service stamp
+    /// (`base + submission index`) outranks whatever the cache already
+    /// held (snapshot-loaded entries in particular). Computed once via
+    /// compare-exchange; `u64::MAX` is the unset sentinel.
+    fn recency_base(&self) -> u64 {
+        let base = self.shared.recency_base.load(Ordering::Acquire);
+        if base != u64::MAX {
+            return base;
+        }
+        let computed = self.shared.cache.max_clock();
+        match self.shared.recency_base.compare_exchange(
+            u64::MAX,
+            computed,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => computed,
+            Err(current) => current,
+        }
     }
 
     /// Enqueues a stream of queries, returning one ticket per query in
@@ -514,6 +636,22 @@ impl QueryService {
             // A worker that panicked already resolved its ticket through
             // the job guard; surface nothing here.
             let _ = handle.join();
+        }
+        // The armed warm-boot export, after every worker has drained (the
+        // snapshot sees the final cache). Exactly once, whichever of
+        // `shutdown`/drop closes the service first; best-effort by
+        // necessity — the drop path has nowhere to report an IO error
+        // (use `snapshot()` for an error-checked export).
+        if let Some(path) = &self.shared.snapshot_path {
+            if !self.shared.snapshot_written.swap(true, Ordering::SeqCst) {
+                if let Ok(written) = self
+                    .shared
+                    .cache
+                    .write_snapshot(path, &self.snapshot_config())
+                {
+                    self.shared.stats.lock().snapshot_entries_written += written.entries;
+                }
+            }
         }
     }
 
@@ -565,6 +703,7 @@ fn worker_loop(shared: Arc<ServiceShared>) {
             query,
             prepared,
             ticket,
+            recency,
         }) = job
         else {
             return;
@@ -586,6 +725,7 @@ fn worker_loop(shared: Arc<ServiceShared>) {
                 fingerprint_options: &shared.fingerprint_options,
                 caching: shared.caching,
                 cache: &shared.cache,
+                recency: Some(recency),
             };
             match &prepared {
                 // Prepared path: validation and fingerprinting already
@@ -881,6 +1021,118 @@ mod tests {
         service.drain();
         let stats = service.shutdown();
         assert_eq!(stats.queries, 2);
+    }
+
+    #[test]
+    fn full_backlog_rejects_with_resource_limit_and_recovers() {
+        let mut catalog = Catalog::new();
+        let slow_query = chain(&mut catalog, 10.0);
+        let extra = chain(&mut catalog, 1000.0);
+        let late = chain(&mut catalog, 100000.0);
+        let backend = CountingBackend::slow(Duration::from_millis(60));
+        let counter = backend.clone();
+        let service = QueryService::new(catalog, backend)
+            .with_workers(1)
+            .with_max_pending(1);
+        // The first submission fills the backlog (it stays *unresolved*
+        // while the worker sleeps, even once dequeued), so an immediate
+        // second submission must bounce without blocking.
+        let accepted = service.submit(slow_query);
+        let rejected = service.submit(extra);
+        assert!(rejected.is_done(), "rejection resolves synchronously");
+        assert!(matches!(
+            rejected.wait(),
+            Err(OrderingError::ResourceLimit(_))
+        ));
+        assert!(accepted.wait().is_ok());
+        // Rejected submissions never entered the engine: once the backlog
+        // drains, capacity is available again.
+        service.drain();
+        assert!(service.submit(late).wait().is_ok());
+        let stats = service.shutdown();
+        assert_eq!(stats.queries, 2, "rejections are not counted as queries");
+        assert_eq!(counter.calls(), 2);
+        assert_eq!(stats.backend_solves, 2);
+    }
+
+    /// Delays only the queries whose smallest table is below a threshold,
+    /// so one submission can be made to finish *after* later ones.
+    #[derive(Clone)]
+    struct SelectiveDelay {
+        inner: CountingBackend,
+        slow_below: f64,
+        delay: Duration,
+    }
+
+    impl JoinOrderer for SelectiveDelay {
+        fn name(&self) -> &'static str {
+            "selective-delay"
+        }
+
+        fn cost_model(&self) -> (CostModelKind, CostParams) {
+            self.inner.cost_model()
+        }
+
+        fn order(
+            &self,
+            catalog: &Catalog,
+            query: &Query,
+            options: &OrderingOptions,
+        ) -> Result<OrderingOutcome, OrderingError> {
+            let min = query
+                .tables
+                .iter()
+                .map(|&t| catalog.cardinality(t))
+                .fold(f64::INFINITY, f64::min);
+            if min < self.slow_below {
+                std::thread::sleep(self.delay);
+            }
+            self.inner.order(catalog, query, options)
+        }
+    }
+
+    #[test]
+    fn cache_recency_follows_submission_order_not_completion_order() {
+        let mut catalog = Catalog::new();
+        let a = chain(&mut catalog, 10.0); // slow: completes *last*
+        let b = chain(&mut catalog, 1000.0);
+        let c = chain(&mut catalog, 100000.0);
+        let backend = SelectiveDelay {
+            inner: CountingBackend::new(),
+            slow_below: 100.0,
+            delay: Duration::from_millis(80),
+        };
+        let counter = backend.inner.clone();
+        let service = QueryService::new(catalog, backend)
+            .with_workers(2)
+            .with_cache_shards(1)
+            .with_cache_capacity(2);
+        // A is submitted first but publishes its plan last (B and C both
+        // complete while A's backend sleeps). Submission-index stamping
+        // makes A the LRU victim anyway; completion-order stamping would
+        // instead make A look freshest and evict B.
+        let tickets = service.submit_many(vec![a.clone(), b.clone(), c]);
+        for t in &tickets {
+            assert!(t.wait().is_ok());
+        }
+        service.drain();
+        assert_eq!(counter.calls(), 3);
+        // A was evicted (capacity 2 kept B and C): re-solves.
+        assert!(service.submit(a).wait().is_ok());
+        assert_eq!(
+            counter.calls(),
+            4,
+            "A must miss: it is the oldest submission"
+        );
+        service.drain();
+        // A's re-insert evicted B, the next-oldest submission: re-solves.
+        assert!(service.submit(b).wait().is_ok());
+        assert_eq!(counter.calls(), 5, "B must miss after A reclaimed a slot");
+        let stats = service.shutdown();
+        assert_eq!(stats.backend_solves, 5);
+        // A's publish, A's re-insert, and B's re-insert each displaced the
+        // then-oldest submission from the two-slot cache.
+        assert_eq!(stats.evictions, 3);
     }
 
     #[test]

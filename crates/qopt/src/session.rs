@@ -46,6 +46,8 @@
 //! structures holds the session's footprint constant instead of growing
 //! forever. [`PlanSession::explain`] reports the eviction count.
 
+use std::io;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -56,6 +58,7 @@ use crate::fingerprint::{Fingerprint, FingerprintOptions, FingerprintedQuery};
 use crate::orderer::{
     CostTrace, JoinOrderer, OrderingError, OrderingOptions, OrderingOutcome, SearchStats,
 };
+use crate::persist::{SnapshotConfig, SnapshotWriteStats};
 use crate::plan::LeftDeepPlan;
 use crate::query::Query;
 use crate::router::RouteCounts;
@@ -127,6 +130,21 @@ pub struct SessionStats {
     /// `routes.search_solves() == 0` proves no query of the stream ever
     /// reached branch-and-bound.
     pub routes: RouteCounts,
+    /// Entries serialized by snapshot exports ([`PlanSession::snapshot_to`],
+    /// `QueryService::snapshot`, and the service's shutdown hook), summed.
+    pub snapshot_entries_written: u64,
+    /// Entries accepted from loaded snapshots ([`PlanSession::with_snapshot`]
+    /// / `QueryService::with_snapshot`).
+    pub snapshot_entries_loaded: u64,
+    /// Entries (or unreadable whole files, counted as one unit) refused by
+    /// snapshot validation: corruption, version skew, or a
+    /// fingerprint-options / cost-config hash mismatch. A rejected snapshot
+    /// is a clean cold boot — this counter is how you see it happened.
+    pub snapshot_entries_rejected: u64,
+    /// Cache hits served from a snapshot-loaded entry (a subset of
+    /// `cache_hits`): `warm_hits == queries` with zero `backend_solves`
+    /// proves a boot snapshot absorbed the entire stream.
+    pub warm_hits: u64,
 }
 
 impl SessionStats {
@@ -160,6 +178,10 @@ impl SessionStats {
         self.root_lp_iterations += other.root_lp_iterations;
         self.total_lp_iterations += other.total_lp_iterations;
         self.routes.absorb(&other.routes);
+        self.snapshot_entries_written += other.snapshot_entries_written;
+        self.snapshot_entries_loaded += other.snapshot_entries_loaded;
+        self.snapshot_entries_rejected += other.snapshot_entries_rejected;
+        self.warm_hits += other.warm_hits;
     }
 
     /// Folds one backend solve's observability counters — search stats and
@@ -275,6 +297,7 @@ pub(crate) fn record_for_cache(
         exact: fp.exact.clone(),
         bound: outcome.bound,
         proven_optimal: outcome.proven_optimal,
+        warm: false,
     }
 }
 
@@ -292,6 +315,12 @@ pub(crate) struct EngineCtx<'a> {
     pub fingerprint_options: &'a FingerprintOptions,
     pub caching: bool,
     pub cache: &'a ShardedPlanCache,
+    /// Externally assigned LRU recency stamp for every cache operation of
+    /// this query (see `Shard::stamp`). `None` for sequential facades (the
+    /// cache's own clock is submission order there); the `QueryService`
+    /// passes each job's submission index so eviction order matches the
+    /// order queries were submitted, not the order workers finished them.
+    pub recency: Option<u64>,
 }
 
 /// What [`process_query`] hands back: the session-shaped result plus the
@@ -376,7 +405,7 @@ fn process_fingerprinted(
 ) -> Result<SessionOutcome, OrderingError> {
     let (model, params) = ctx.backend.cost_model();
     loop {
-        match ctx.cache.claim(&fp.fingerprint) {
+        match ctx.cache.claim_at(&fp.fingerprint, ctx.recency) {
             InFlightClaim::Cached(cached) => {
                 let start = milpjoin_shim::time::now();
                 match instantiate_cached(
@@ -390,6 +419,9 @@ fn process_fingerprinted(
                 ) {
                     Some(hit) => {
                         stats.cache_hits += 1;
+                        if cached.warm {
+                            stats.warm_hits += 1;
+                        }
                         if hit.exact_hit {
                             stats.exact_hits += 1;
                         }
@@ -446,6 +478,9 @@ fn process_fingerprinted(
                         Some(hit) => {
                             stats.cache_hits += 1;
                             stats.inflight_wait_hits += 1;
+                            if record.warm {
+                                stats.warm_hits += 1;
+                            }
                             if hit.exact_hit {
                                 stats.exact_hits += 1;
                             }
@@ -494,7 +529,8 @@ fn solve_and_cache(
         .inspect_err(|_| stats.backend_errors += 1)?;
     stats.record_solve(&outcome);
     let record = record_for_cache(query, fp, &outcome);
-    ctx.cache.insert(fp.fingerprint.clone(), Arc::new(record));
+    ctx.cache
+        .insert_at(fp.fingerprint.clone(), Arc::new(record), ctx.recency);
     Ok(SessionOutcome {
         outcome,
         cache_hit: false,
@@ -638,6 +674,48 @@ impl PlanSession {
         self
     }
 
+    /// The snapshot compatibility key of this session: its fingerprint
+    /// quantization plus the backend's cost model and parameters. A
+    /// persisted snapshot is only loadable by a session whose key hashes
+    /// match (see [`crate::persist`]).
+    pub fn snapshot_config(&self) -> SnapshotConfig {
+        let (cost_model, cost_params) = self.backend.cost_model();
+        SnapshotConfig {
+            fingerprint_options: self.fingerprint_options,
+            cost_model,
+            cost_params,
+        }
+    }
+
+    /// Exports the plan cache to a snapshot file at `path` (atomic: temp
+    /// file + rename), keyed to [`Self::snapshot_config`]. The export is
+    /// counted as `snapshot_entries_written` in [`Self::explain`].
+    pub fn snapshot_to(&mut self, path: impl AsRef<Path>) -> io::Result<SnapshotWriteStats> {
+        let written = self
+            .cache
+            .write_snapshot(path.as_ref(), &self.snapshot_config())?;
+        self.stats.snapshot_entries_written += written.entries;
+        Ok(written)
+    }
+
+    /// Warm-boots the session from a snapshot file: loads every entry that
+    /// passes validation into the plan cache (counted as
+    /// `snapshot_entries_loaded` / `snapshot_entries_rejected` in
+    /// [`Self::explain`]). A missing, corrupt, or config-mismatched
+    /// snapshot degrades to a cold boot — never an error, never a stale
+    /// plan. Loaded entries behave exactly like in-process solves on a
+    /// hit: re-validated against the live query, re-costed against the
+    /// live catalog, certificates only on an exact statistics match — and
+    /// additionally count `warm_hits`.
+    pub fn with_snapshot(mut self, path: impl AsRef<Path>) -> Self {
+        let loaded = self
+            .cache
+            .load_snapshot(path.as_ref(), &self.snapshot_config());
+        self.stats.snapshot_entries_loaded += loaded.loaded;
+        self.stats.snapshot_entries_rejected += loaded.rejected;
+        self
+    }
+
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
     }
@@ -681,6 +759,7 @@ impl PlanSession {
             fingerprint_options: &self.fingerprint_options,
             caching: self.caching,
             cache: &self.cache,
+            recency: None,
         };
         process_query(&ctx, query, &mut self.stats).result
     }

@@ -19,6 +19,14 @@
 //! asserts from the service stats that no query of the stream ever
 //! reached a branch-and-bound arm — the router's core promise for
 //! small-query traffic.
+//!
+//! `--snapshot PATH` arms the persistent plan cache (hybrid backend): a
+//! combined mixed-topology stream is served, and the cache is exported to
+//! `PATH` at shutdown. Run the same command twice — the first boot is
+//! cold (one solve per unique structure, then the export), the second
+//! loads the snapshot and must absorb the **entire** stream with zero
+//! backend solves. The assertions are boot-mode-aware, so the pair of
+//! runs is the warm-boot CI smoke.
 
 use std::time::{Duration, Instant};
 
@@ -43,6 +51,17 @@ fn take_flag(args: &mut Vec<String>, flag: &str, default: usize) -> usize {
         }
         None => default,
     }
+}
+
+/// Parses `--snapshot PATH` out of the argument list, removing both tokens.
+fn take_snapshot(args: &mut Vec<String>) -> Option<String> {
+    let i = args.iter().position(|a| a == "--snapshot")?;
+    let path = args
+        .get(i + 1)
+        .cloned()
+        .expect("--snapshot requires a file path");
+    args.drain(i..=i + 1);
+    Some(path)
 }
 
 /// Parses `--backend NAME` out of the argument list, removing both tokens.
@@ -226,10 +245,94 @@ fn drive_router(config: EncoderConfig, copies: usize, submitters: usize, workers
     }
 }
 
+/// The persistence path: a combined mixed-topology duplicate-heavy stream
+/// through a snapshot-armed service. Boot mode is detected from the load
+/// counters, so the same invocation doubles as both halves of the
+/// warm-boot smoke: cold boot solves once per structure and exports at
+/// shutdown; warm boot serves everything from the snapshot.
+fn drive_snapshot(
+    config: EncoderConfig,
+    copies: usize,
+    tables: usize,
+    submitters: usize,
+    workers: usize,
+    path: &str,
+) {
+    let topologies = [Topology::Chain, Topology::Cycle, Topology::Star];
+    let mut catalog = milpjoin_qopt::Catalog::new();
+    let mut queries = Vec::new();
+    for topology in topologies {
+        queries.extend(WorkloadSpec::new(topology, tables).generate_stream_into(
+            &mut catalog,
+            7,
+            1,
+            copies,
+        ));
+    }
+    let unique = topologies.len() as u64;
+
+    let service = QueryService::new(catalog, HybridOptimizer::new(config))
+        .with_workers(workers)
+        .with_options(OrderingOptions::with_time_limit(Duration::from_secs(10)))
+        .with_snapshot(path);
+    let boot = service.explain();
+    let warm_boot = boot.snapshot_entries_loaded > 0;
+
+    let start = Instant::now();
+    let outcomes = race_stream(&service, &queries, submitters);
+    service.drain();
+    let elapsed = start.elapsed();
+    let stats = service.shutdown();
+
+    println!(
+        "{} boot: {} queries in {:>8.2?} ({} submitters x {} workers)  solves: {}  \
+         warm hits: {}  loaded: {}  rejected: {}  written: {}  -> {}",
+        if warm_boot { "warm" } else { "cold" },
+        queries.len(),
+        elapsed,
+        submitters,
+        workers,
+        stats.backend_solves,
+        stats.warm_hits,
+        boot.snapshot_entries_loaded,
+        boot.snapshot_entries_rejected,
+        stats.snapshot_entries_written,
+        path,
+    );
+
+    assert_eq!(boot.snapshot_entries_rejected, 0, "snapshot must be intact");
+    if warm_boot {
+        assert_eq!(boot.snapshot_entries_loaded, unique);
+        assert_eq!(
+            stats.backend_solves, 0,
+            "a warm boot must absorb the entire stream from the snapshot"
+        );
+        assert_eq!(stats.warm_hits, queries.len() as u64);
+    } else {
+        assert_eq!(stats.backend_solves, unique, "one cold solve per structure");
+        assert_eq!(stats.warm_hits, 0);
+    }
+    assert_eq!(
+        stats.snapshot_entries_written, unique,
+        "shutdown exports the cache"
+    );
+    // Copies of one structure are cost-identical, warm or cold.
+    for cell in 0..topologies.len() {
+        let base = outcomes[cell * copies].outcome.cost;
+        for o in &outcomes[cell * copies..(cell + 1) * copies] {
+            assert!(
+                (o.outcome.cost - base).abs() <= 1e-9 * (1.0 + base.abs()),
+                "copies of one structure must cost the same"
+            );
+        }
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let submitters = take_flag(&mut args, "--submitters", 4).max(1);
     let workers = take_flag(&mut args, "--workers", 2).max(1);
+    let snapshot = take_snapshot(&mut args);
     let backend = take_backend(&mut args);
     let copies: usize = args
         .first()
@@ -239,6 +342,10 @@ fn main() {
     let tables: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8).max(2);
 
     let config = EncoderConfig::default().precision(Precision::Low);
+    if let Some(path) = snapshot {
+        drive_snapshot(config, copies, tables, submitters, workers, &path);
+        return;
+    }
     let (model, params) = (config.cost_model, config.cost_params);
     match backend.as_str() {
         "greedy" => drive_fixed(

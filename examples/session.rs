@@ -30,9 +30,9 @@
 use std::time::{Duration, Instant};
 
 use milpjoin::{
-    standard_router, ApproxMode, DecomposingOptimizer, EncoderConfig, HybridOptimizer,
-    JoinOrderer, MilpOptimizer, OrderingError, OrderingOptions, ParallelSession, PlanSession,
-    Precision, RouterOptions, SessionOutcome, SessionStats,
+    standard_router, ApproxMode, DecomposingOptimizer, EncoderConfig, HybridOptimizer, JoinOrderer,
+    MilpOptimizer, OrderingError, OrderingOptions, ParallelSession, PlanSession, Precision,
+    RouterOptions, SessionOutcome, SessionStats,
 };
 use milpjoin_dp::{DpConvOptimizer, DpOptimizer, GreedyOptimizer};
 use milpjoin_qopt::{Catalog, Query};
@@ -227,7 +227,8 @@ fn drive_router(config: EncoderConfig, cli: &Cli) {
                 // that large may reach a bare whole-query root LP.
                 if q.num_tables() >= decompose_min {
                     assert_eq!(
-                        decision.rule, "very-large-decompose",
+                        decision.rule,
+                        "very-large-decompose",
                         "query {i}: {} tables routed via {}",
                         q.num_tables(),
                         decision.rule

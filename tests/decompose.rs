@@ -13,7 +13,7 @@ use milpjoin::{
     EncoderConfig, HybridOptimizer, JoinOrderer, MilpOptimizer, OrderingError, OrderingOptions,
     OrderingOutcome, Precision, RouterOptimizer, RouterOptions,
 };
-use milpjoin_dp::{greedy_order, DpOptions, DpOptimizer, GreedyOptimizer};
+use milpjoin_dp::{greedy_order, DpOptimizer, DpOptions, GreedyOptimizer};
 use milpjoin_qopt::cost::{plan_cost, CostModelKind, CostParams};
 use milpjoin_qopt::{Catalog, Query, TableSet};
 use milpjoin_workloads::{Topology, WorkloadSpec};

@@ -1,7 +1,7 @@
 //! `milpjoin-audit` — the workspace invariant linter.
 //!
 //! A dependency-free static checker for the correctness invariants the
-//! type system cannot see. Five rules:
+//! type system cannot see. Six rules:
 //!
 //! * **`no-panic`** — library code returns classified errors; no
 //!   `.unwrap()` / `.expect(…)` / panicking macros outside test code and
@@ -16,6 +16,9 @@
 //!   live.
 //! * **`stop-reason-exhaustive`** — `match` sites over the stop/error
 //!   classification enums name every variant (no `_` arms).
+//! * **`no-fs-outside-persist`** — filesystem access lives in
+//!   `qopt::persist` only; durable state goes through the versioned,
+//!   checksummed, atomically written snapshot tier.
 //!
 //! Point exemptions use the inline escape hatch — a comment on the same
 //! line or the line(s) directly above:
@@ -45,6 +48,7 @@ pub const RULE_NAMES: &[&str] = &[
     "no-unordered-iter",
     "lock-discipline",
     "stop-reason-exhaustive",
+    "no-fs-outside-persist",
 ];
 
 /// Workspace-relative directories the linter walks: every library crate's
@@ -149,6 +153,7 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
     rules::no_unordered_iter(&scan, &mut out);
     rules::lock_discipline(&scan, &mut out);
     rules::stop_reason_exhaustive(&scan, &mut out);
+    rules::no_fs_outside_persist(&scan, &mut out);
     rules::malformed_allows(&scan, &mut out);
     out
 }

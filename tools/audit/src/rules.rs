@@ -24,6 +24,11 @@ pub const FILE_ALLOW: &[(&str, &str, &str)] = &[
         "no-wall-clock",
         "the single approved wall-clock choke point every other read routes through",
     ),
+    (
+        "crates/qopt/src/persist.rs",
+        "no-fs-outside-persist",
+        "the snapshot tier itself: the one module allowed to touch the filesystem",
+    ),
 ];
 
 /// Files the lock-discipline rule applies to: the concurrent core, where
@@ -498,6 +503,33 @@ fn char_depths(chars: &[char]) -> Vec<usize> {
         }
     }
     out
+}
+
+// ---------------------------------------------------------------------
+// Rule: no-fs-outside-persist
+// ---------------------------------------------------------------------
+
+/// Durable state goes through `qopt::persist` only: snapshots there are
+/// versioned, checksummed, and written atomically (temp file + rename).
+/// A stray `std::fs` call anywhere else bypasses every one of those
+/// guarantees — a half-written file served on the next boot, or an
+/// unversioned format nobody can evolve.
+pub fn no_fs_outside_persist(scan: &FileScan, out: &mut Vec<Finding>) {
+    const TOKENS: &[&str] = &[
+        "std::fs",
+        "fs::",
+        "File::create",
+        "File::open",
+        "OpenOptions",
+    ];
+    for (i, line) in scan.code.iter().enumerate() {
+        for t in TOKENS {
+            if has_token(line, t) {
+                emit(out, scan, i, "no-fs-outside-persist", format!("`{t}` outside the persist module — durable state goes through qopt::persist snapshots (versioned, checksummed, atomically replaced)"));
+                break;
+            }
+        }
+    }
 }
 
 /// Reports malformed `audit-allow` annotations (unknown rule, missing

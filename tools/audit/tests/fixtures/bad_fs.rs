@@ -1,0 +1,37 @@
+//! Seeded no-fs-outside-persist violations. `FLAG: <rule>` marks
+//! expected findings (read back by the integration test). The fixture
+//! stands in for a non-persist library file reaching for the filesystem
+//! directly instead of going through the snapshot tier.
+
+use std::fs; // FLAG: no-fs-outside-persist
+use std::path::Path;
+
+pub fn violations(path: &Path) -> bool {
+    let read = fs::read(path).is_ok(); // FLAG: no-fs-outside-persist
+    let created = std::fs::File::create(path).is_ok(); // FLAG: no-fs-outside-persist
+    let opts = std::fs::OpenOptions::new().read(true).open(path).is_ok(); // FLAG: no-fs-outside-persist
+    read && created && opts
+}
+
+pub fn decoy(offset: usize) -> usize {
+    // Mentioning fs::write in a comment is fine — only code counts —
+    // and identifiers merely *containing* "fs" are not filesystem calls.
+    let offs = offset + 1;
+    offs
+}
+
+pub fn allowed(path: &Path) -> bool {
+    // audit-allow(no-fs-outside-persist): fixture decoy — stands in for
+    // a reviewed, deliberate exemption.
+    std::fs::metadata(path).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may touch the filesystem freely (scratch files, fixture
+    // corpora): the rule exempts test regions like every other rule.
+    #[test]
+    fn scratch_files_are_fine() {
+        let _ = std::fs::remove_file("scratch.tmp");
+    }
+}

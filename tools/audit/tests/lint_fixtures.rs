@@ -81,6 +81,11 @@ fn seeded_wildcard_matches_are_detected() {
 }
 
 #[test]
+fn seeded_fs_access_is_detected() {
+    check("fixtures/bad_fs.rs", include_str!("fixtures/bad_fs.rs"));
+}
+
+#[test]
 fn clean_fixture_stays_clean() {
     check("fixtures/clean.rs", include_str!("fixtures/clean.rs"));
 }
